@@ -1,0 +1,40 @@
+//! E12 bench — end-to-end prediction efficiency: the whole pipeline
+//! (parse → sema → translate → place → aggregate) per kernel, against the
+//! cycle-accurate simulation of the same block, quantifying the paper's
+//! "efficient but detailed" positioning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presage_bench::kernels::{innermost_block, JACOBI, MATMUL};
+use presage_core::predictor::Predictor;
+use presage_machine::machines;
+use presage_sim::{simulate_blocks, simulate_loop};
+use std::hint::black_box;
+
+fn bench_efficiency(c: &mut Criterion) {
+    let machine = machines::power_like();
+    let predictor = Predictor::new(machine.clone());
+
+    c.bench_function("predict_e2e/jacobi", |b| {
+        b.iter(|| black_box(predictor.predict_source(black_box(JACOBI)).unwrap()))
+    });
+    c.bench_function("predict_e2e/matmul4", |b| {
+        b.iter(|| black_box(predictor.predict_source(black_box(MATMUL)).unwrap()))
+    });
+
+    // Simulating 64 loop iterations of the same kernels — what a
+    // simulation-based estimate of a single loop-size data point costs.
+    let jac = innermost_block(JACOBI, &machine);
+    let mm = innermost_block(MATMUL, &machine);
+    c.bench_function("simulate_64_iters/jacobi", |b| {
+        b.iter(|| {
+            let copies: Vec<&presage_translate::BlockIr> = std::iter::repeat(&jac).take(64).collect();
+            black_box(simulate_blocks(&machine, copies.into_iter()))
+        })
+    });
+    c.bench_function("simulate_64_iters/matmul4", |b| {
+        b.iter(|| black_box(simulate_loop(&machine, &mm, 64)))
+    });
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 bench — prediction throughput per Figure 7 kernel: how fast the
+//! Tetris model costs each innermost basic block (the paper's efficiency
+//! requirement: repeated calls during restructuring must be cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presage_bench::kernels::{figure7, innermost_block};
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::machines;
+use presage_sim::{naive_block_cost, simulate_block};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let machine = machines::power_like();
+    let mut group = c.benchmark_group("fig7_place");
+    for k in figure7() {
+        let block = innermost_block(k.source, &machine);
+        group.bench_function(k.name, |b| {
+            b.iter(|| black_box(place_block(&machine, black_box(&block), PlaceOptions::default())))
+        });
+    }
+    group.finish();
+
+    // The reference scheduler and the naive model on the same blocks, for
+    // the cost-of-accuracy comparison.
+    let mut group = c.benchmark_group("fig7_reference");
+    let matmul = innermost_block(presage_bench::kernels::MATMUL, &machine);
+    group.bench_function("simulate/Matmul", |b| {
+        b.iter(|| black_box(simulate_block(&machine, black_box(&matmul))))
+    });
+    group.bench_function("naive/Matmul", |b| {
+        b.iter(|| black_box(naive_block_cost(&machine, black_box(&matmul))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 bench — placement cost as a function of the focus span ("allowing
+//! more flexible allocation of computing resources based on accuracy and
+//! efficiency considerations"). Pair with `focus_span_sweep` for the
+//! accuracy half of the trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presage_bench::kernels::{innermost_block, MATMUL};
+use presage_core::tetris::{PlaceOptions, Placer};
+use presage_machine::machines;
+use std::hint::black_box;
+
+fn bench_focus_span(c: &mut Criterion) {
+    let machine = machines::power_like();
+    let block = innermost_block(MATMUL, &machine);
+    let mut group = c.benchmark_group("focus_span_loop_drop");
+    for span in [1u32, 4, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            b.iter(|| {
+                // Re-drop 16 iterations: a loop-costing call pattern.
+                let mut p = Placer::new(&machine, PlaceOptions::with_focus_span(span));
+                for _ in 0..16 {
+                    p.drop_block(black_box(&block));
+                }
+                black_box(p.cost_block().span())
+            })
+        });
+    }
+    group.bench_function("unbounded", |b| {
+        b.iter(|| {
+            let mut p = Placer::new(&machine, PlaceOptions::default());
+            for _ in 0..16 {
+                p.drop_block(black_box(&block));
+            }
+            black_box(p.cost_block().span())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_focus_span);
+criterion_main!(benches);

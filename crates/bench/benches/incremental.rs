@@ -1,0 +1,48 @@
+//! E7 bench — incremental update vs. full recompute (paper §3.3.1): the
+//! cost of maintaining up-to-date predictions while transformations churn
+//! one region of a large program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presage_core::aggregate::AggregateOptions;
+use presage_core::incremental::CostTree;
+use presage_frontend::{parse, sema};
+use presage_machine::machines;
+use presage_translate::{translate, IrNode, ProgramIr};
+use std::hint::black_box;
+
+fn program_with_loops(loops: usize) -> ProgramIr {
+    let machine = machines::power_like();
+    let mut body = String::new();
+    for k in 0..loops {
+        body.push_str(&format!(
+            "do i = 1, n\n  a(i) = a(i) * 2.0 + {k}.0\nend do\n"
+        ));
+    }
+    let src = format!("subroutine s(a, n)\nreal a(n)\ninteger i, n\n{body}end");
+    let prog = parse(&src).expect("valid");
+    let symbols = sema::analyze(&prog.units[0]).expect("sema");
+    translate(&prog.units[0], &symbols, &machine).expect("translate")
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let machine = machines::power_like();
+    let mut group = c.benchmark_group("incremental_vs_full");
+    for loops in [8usize, 32, 128] {
+        let ir = program_with_loops(loops);
+        let opts = AggregateOptions::default();
+
+        group.bench_with_input(BenchmarkId::new("full_rebuild", loops), &ir, |b, ir| {
+            b.iter(|| black_box(CostTree::build(ir, &machine, None, opts.clone())))
+        });
+
+        let mut tree = CostTree::build(&ir, &machine, None, opts.clone());
+        let replacement: IrNode = ir.root[0].clone();
+        group.bench_with_input(BenchmarkId::new("incremental_replace", loops), &(), |b, _| {
+            b.iter(|| black_box(tree.replace(&[0], replacement.clone())).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2 bench — the linear-time claim (paper §2.1): placement time vs.
+//! operation count for dependence-light and dependence-heavy streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::{machines, BasicOp};
+use presage_translate::{BlockIr, ValueDef};
+use std::hint::black_box;
+
+fn mixed_block(n: usize, chain: bool) -> BlockIr {
+    let mut b = BlockIr::new();
+    let x = b.add_value(ValueDef::External("x".into()));
+    let mut prev = x;
+    for i in 0..n {
+        let basic = match i % 4 {
+            0 => BasicOp::FAdd,
+            1 => BasicOp::Fma,
+            2 => BasicOp::IAdd,
+            _ => BasicOp::LoadFloat,
+        };
+        let args = if chain { vec![prev, x] } else { vec![x, x] };
+        prev = b.emit(basic, args);
+    }
+    b
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let machine = machines::power_like();
+    for (label, chain) in [("independent", false), ("chained", true)] {
+        let mut group = c.benchmark_group(format!("placement_{label}"));
+        for n in [16usize, 64, 256, 1024, 4096] {
+            let block = mixed_block(n, chain);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(n), &block, |b, block| {
+                b.iter(|| {
+                    black_box(place_block(
+                        &machine,
+                        black_box(block),
+                        PlaceOptions::with_focus_span(32),
+                    ))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E3 bench — the Figure 4 data structure: run-encoded block lists vs. a
+//! flat bitmap under fragmented find-fit/fill workloads. "By looking at
+//! blocks instead of individual array elements, simultaneously searching
+//! for empty spaces ... can be done much more efficiently."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presage_core::slots::{BlockList, FlatSlots};
+use std::hint::black_box;
+
+/// Deterministic placement mix: `ops` placements with spread-out `from`
+/// hints. `max_len` controls run lengths: short runs fragment the
+/// timeline (worst case for run hopping), long runs give the paper's
+/// claimed advantage — the block list skips a whole filled run per step
+/// where the bitmap scans every slot.
+fn workload(ops: usize, max_len: usize) -> Vec<(usize, usize)> {
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    (0..ops)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let from = (seed >> 33) as usize % (ops * 2);
+            let len = 1 + (seed >> 13) as usize % max_len;
+            (from, len)
+        })
+        .collect()
+}
+
+fn bench_slots(c: &mut Criterion) {
+    for (regime, max_len) in [("short_runs", 4usize), ("long_runs", 64)] {
+        let mut group = c.benchmark_group(format!("slots_{regime}"));
+        for ops in [64usize, 512, 2048] {
+            let w = workload(ops, max_len);
+            group.bench_with_input(BenchmarkId::new("blocklist", ops), &w, |b, w| {
+                b.iter(|| {
+                    let mut list = BlockList::new();
+                    for &(from, len) in w {
+                        let t = list.find_fit(from, len);
+                        list.fill(t, len);
+                    }
+                    black_box(list.busy())
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("flat_bitmap", ops), &w, |b, w| {
+                b.iter(|| {
+                    let mut flat = FlatSlots::new();
+                    for &(from, len) in w {
+                        let t = flat.find_fit(from, len);
+                        flat.fill(t, len);
+                    }
+                    black_box(flat.highest())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_slots);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E6 bench — the symbolic layer's throughput: polynomial arithmetic,
+//! closed-form roots, sign regions, and whole-expression comparison. The
+//! paper's framework calls these "repeatedly ... in the decision making
+//! process", so they must be fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presage_symbolic::roots::real_roots;
+use presage_symbolic::signs::sign_regions;
+use presage_symbolic::{PerfExpr, Poly, Symbol, VarInfo};
+use std::hint::black_box;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let n = Symbol::new("n");
+    let m = Symbol::new("m");
+    let np = Poly::var(n.clone());
+    let mp = Poly::var(m.clone());
+
+    c.bench_function("poly_mul_quadratic", |b| {
+        let p1 = &(&np * &np).scale(3) + &np.scale(2);
+        let p2 = &(&mp * &np).scale(5) + &Poly::from(7);
+        b.iter(|| black_box(black_box(&p1) * black_box(&p2)))
+    });
+
+    c.bench_function("poly_subst", |b| {
+        let p = (&np * &np).scale(4) + np.scale(2) + Poly::from(1);
+        let rep = &mp + &Poly::from(1);
+        b.iter(|| black_box(p.subst(&n, black_box(&rep)).unwrap()))
+    });
+
+    c.bench_function("roots_quartic", |b| {
+        // (x-1)(x-2)(x-3)(x-4)
+        let coeffs = [24.0, -50.0, 35.0, -10.0, 1.0];
+        b.iter(|| black_box(real_roots(black_box(&coeffs))))
+    });
+
+    c.bench_function("sign_regions_cubic", |b| {
+        let x = Symbol::new("x");
+        let p = (Poly::var(x.clone()) + Poly::from(1))
+            * (Poly::var(x.clone()) - Poly::from(2))
+            * (Poly::var(x.clone()) - Poly::from(5));
+        b.iter(|| black_box(sign_regions(black_box(&p), &x, -10.0, 10.0).unwrap()))
+    });
+
+    c.bench_function("perf_expr_compare_crossover", |b| {
+        let info = VarInfo::loop_bound(1.0, 1e6);
+        let a = PerfExpr::cycles(2).repeat_symbolic(n.clone(), info) + PerfExpr::cycles(100);
+        let bb = PerfExpr::cycles(10).repeat_symbolic(n.clone(), info);
+        b.iter(|| black_box(black_box(&a).compare(black_box(&bb))))
+    });
+
+    c.bench_function("perf_expr_compare_multivariate", |b| {
+        let info = VarInfo::loop_bound(1.0, 1e3);
+        let prod = PerfExpr::cycles(3)
+            .repeat_symbolic(n.clone(), info)
+            .repeat_symbolic(m.clone(), info);
+        let other = prod.clone() + PerfExpr::cycles(5).repeat_symbolic(n.clone(), info);
+        b.iter(|| black_box(black_box(&other).compare(black_box(&prod))))
+    });
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E10 — the communication cost model: block vs cyclic distribution for a
+//! 2-D stencil exchange and for triangular load balance, in the style of
+//! the data-partitioning comparisons the paper cites (Balasundaram et al.).
+//!
+//! Run with `cargo run -p presage-bench --bin comm_table`.
+
+use presage_core::comm::{
+    message_cost, redistribution_cost, stencil_exchange_cost, triangular_max_load, CommParams,
+    Distribution,
+};
+use presage_symbolic::Symbol;
+use std::collections::HashMap;
+
+fn main() {
+    let params = CommParams::default();
+    let n = Symbol::new("n");
+    let range = (64.0, 8192.0);
+    println!(
+        "machine: P = {}, α = {} cycles/message, β = {} cycles/byte",
+        params.procs, params.alpha, params.beta
+    );
+    println!("one message of 1 KiB costs {} cycles\n", message_cost(&params, 1024.0));
+
+    println!("2-D stencil halo exchange, per sweep (symbolic in n):");
+    for (label, dist) in [
+        ("block", Distribution::Block),
+        ("cyclic", Distribution::Cyclic),
+        ("blkcyc(4)", Distribution::BlockCyclic(4)),
+    ] {
+        let c = stencil_exchange_cost(&params, dist, &n, 1, range);
+        println!("  {label:<10} C(n) = {c}");
+    }
+    println!("\nevaluated:");
+    println!("{:>8} {:>14} {:>14} {:>10}", "n", "block", "cyclic", "ratio");
+    for nv in [256.0, 1024.0, 4096.0] {
+        let mut b = HashMap::new();
+        b.insert(n.clone(), nv);
+        let block = stencil_exchange_cost(&params, Distribution::Block, &n, 1, range)
+            .eval_with_defaults(&b);
+        let cyclic = stencil_exchange_cost(&params, Distribution::Cyclic, &n, 1, range)
+            .eval_with_defaults(&b);
+        println!("{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.1}×", cyclic / block);
+    }
+
+    println!("\ntriangular iteration space, max per-processor load:");
+    println!("{:>8} {:>14} {:>14} {:>10}", "n", "block", "cyclic", "ratio");
+    for nv in [256.0, 1024.0, 4096.0] {
+        let mut b = HashMap::new();
+        b.insert(n.clone(), nv);
+        let block =
+            triangular_max_load(&params, Distribution::Block, &n, range).eval_with_defaults(&b);
+        let cyclic =
+            triangular_max_load(&params, Distribution::Cyclic, &n, range).eval_with_defaults(&b);
+        println!("{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.2}×", block / cyclic);
+    }
+    println!("\nblock wins stencils (surface-to-volume); cyclic wins triangular");
+    println!("load balance — the symbolic comparison picks per program.");
+
+    let mut b = HashMap::new();
+    b.insert(n.clone(), 1_000_000.0);
+    let redist = redistribution_cost(&params, &n, (1.0, 1e7)).eval_with_defaults(&b);
+    println!("\nredistributing 1M elements block→cyclic: {redist:.0} cycles");
+}

@@ -1,0 +1,36 @@
+//! E2 — renders the Figure 3/8 visuals: operations dropped into
+//! functional-unit bins and the resulting cost block, for the Jacobi and
+//! Matmul kernels.
+//!
+//! Run with `cargo run -p presage-bench --bin cost_block_render`.
+
+use presage_bench::kernels::{innermost_block, JACOBI, MATMUL};
+use presage_core::render::{render_bins, render_cost_block};
+use presage_core::tetris::{PlaceOptions, Placer};
+use presage_machine::machines;
+
+fn show(name: &str, source: &str) {
+    let machine = machines::power_like();
+    let block = innermost_block(source, &machine);
+    let mut placer = Placer::new(&machine, PlaceOptions::default());
+    placer.drop_block(&block);
+
+    println!("=== {name}: {} operations ===", block.len());
+    println!("{block}");
+    println!("bins after placement (Figure 3; latest slot on top):");
+    print!("{}", render_bins(&placer));
+    let cb = placer.cost_block();
+    println!("\n{}", render_cost_block(&cb));
+    println!(
+        "critical unit {:?} at {:.0}% occupancy; suggested unroll {}; FXU lead {} (branch-cost probe)\n",
+        cb.critical_unit(),
+        cb.critical_ratio() * 100.0,
+        cb.suggested_unroll(),
+        cb.fxu_lead()
+    );
+}
+
+fn main() {
+    show("Jacobi", JACOBI);
+    show("Matmul 4x4", MATMUL);
+}

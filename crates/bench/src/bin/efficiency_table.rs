@@ -1,0 +1,116 @@
+//! E12 — the efficiency requirement (paper §1.3): "performance prediction
+//! needs to be very efficient to make repeated calls practical". Measures
+//! prediction time vs. program size, the linear scaling of the placement
+//! algorithm, and the incremental-update advantage (§3.3.1).
+//!
+//! Run with `cargo run --release -p presage-bench --bin efficiency_table`.
+
+use presage_core::aggregate::AggregateOptions;
+use presage_core::incremental::CostTree;
+use presage_core::predictor::Predictor;
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::machines;
+use presage_sim::simulate_block;
+use presage_translate::{BlockIr, IrNode, ValueDef};
+use std::time::Instant;
+
+/// Generates a synthetic block of `n` operations with mixed dependences.
+fn synthetic_block(n: usize) -> BlockIr {
+    let mut b = BlockIr::new();
+    let x = b.add_value(ValueDef::External("x".into()));
+    let mut prev = x;
+    for i in 0..n {
+        use presage_machine::BasicOp::*;
+        let basic = match i % 5 {
+            0 => FAdd,
+            1 => FMul,
+            2 => IAdd,
+            3 => Fma,
+            _ => LoadFloat,
+        };
+        let args = if i % 3 == 0 { vec![prev, x] } else { vec![x, x] };
+        prev = b.emit(basic, args);
+    }
+    b
+}
+
+fn source_of_size(loops: usize) -> String {
+    let mut body = String::new();
+    for k in 0..loops {
+        body.push_str(&format!(
+            "do i = 1, n\n  a(i) = a(i) * 2.0 + {k}.0\n  b(i) = a(i) + b(i)\nend do\n"
+        ));
+    }
+    format!("subroutine s(a, b, n)\nreal a(n), b(n)\ninteger i, n\n{body}end")
+}
+
+fn main() {
+    let machine = machines::power_like();
+
+    println!("placement scales linearly (paper §2.1's linear-time claim):");
+    println!("{:>8} {:>14} {:>12}", "ops", "time µs", "µs/op");
+    for n in [10usize, 100, 1000, 10000] {
+        let block = synthetic_block(n);
+        let reps = (100_000 / n).max(3);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(place_block(&machine, &block, PlaceOptions::with_focus_span(32)));
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        println!("{n:>8} {us:>14.1} {:>12.4}", us / n as f64);
+    }
+
+    println!("\npredictor vs. cycle simulator on a 1000-op block:");
+    let block = synthetic_block(1000);
+    let t0 = Instant::now();
+    let reps = 50;
+    for _ in 0..reps {
+        std::hint::black_box(place_block(&machine, &block, PlaceOptions::default()));
+    }
+    let place_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(simulate_block(&machine, &block));
+    }
+    let sim_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("  placement {place_us:.0} µs, simulator {sim_us:.0} µs ({:.1}× slower)", sim_us / place_us);
+
+    println!("\nend-to-end prediction time vs. program size:");
+    println!("{:>8} {:>14}", "loops", "time µs");
+    let predictor = Predictor::new(machine.clone());
+    for loops in [1usize, 4, 16, 64] {
+        let src = source_of_size(loops);
+        let t0 = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            std::hint::black_box(predictor.predict_source(&src).expect("valid"));
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        println!("{loops:>8} {us:>14.0}");
+    }
+
+    println!("\nincremental update vs. full recompute (§3.3.1), 64-loop program:");
+    let src = source_of_size(64);
+    let preds = predictor.predict_source(&src).expect("valid");
+    let ir = &preds[0].ir;
+    let opts = AggregateOptions::default();
+    let t0 = Instant::now();
+    let reps = 10;
+    for _ in 0..reps {
+        std::hint::black_box(CostTree::build(ir, &machine, None, opts.clone()));
+    }
+    let build_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let mut tree = CostTree::build(ir, &machine, None, opts);
+    let replacement = match &ir.root[0] {
+        node @ IrNode::Loop(_) => node.clone(),
+        other => other.clone(),
+    };
+    let t0 = Instant::now();
+    let reps = 200;
+    for _ in 0..reps {
+        std::hint::black_box(tree.replace(&[0], replacement.clone()));
+    }
+    let update_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("  full build {build_us:.0} µs, incremental replace {update_us:.0} µs ({:.0}× cheaper)", build_us / update_us);
+}

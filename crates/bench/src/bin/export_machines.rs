@@ -1,0 +1,14 @@
+//! Exports the predefined machine descriptions as JSON data files under
+//! `machines/` — demonstrating that "adding a new architecture ... is a
+//! matter of defining the atomic operation mapping and the atomic
+//! operation cost table" as data, not code.
+//!
+//! Run with `cargo run -p presage-bench --bin export_machines`.
+
+fn main() {
+    for m in presage_machine::machines::all() {
+        let path = format!("machines/{}.json", m.name());
+        std::fs::write(&path, m.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

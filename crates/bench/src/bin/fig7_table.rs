@@ -1,0 +1,20 @@
+//! E1 — regenerates the paper's Figure 7: straight-line prediction
+//! accuracy for the kernel suite, per machine.
+//!
+//! Run with `cargo run -p presage-bench --bin fig7_table`.
+
+use presage_bench::tables::{fig7_rows, render_fig7};
+use presage_core::tetris::PlaceOptions;
+use presage_machine::machines;
+
+fn main() {
+    for machine in machines::all() {
+        let rows = fig7_rows(&machine, PlaceOptions::default());
+        println!("{}", render_fig7(&rows, machine.name()));
+        let max_err = rows.iter().map(|r| r.error_pct().abs()).fold(0.0, f64::max);
+        let worst_naive = rows.iter().map(|r| r.naive_factor()).fold(0.0, f64::max);
+        println!(
+            "max |error| = {max_err:.1}%   worst naive overestimate = {worst_naive:.2}×\n"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! E4 — the focus-span ablation (paper §2.1): the span is "an adjustable
+//! parameter, thus allowing more flexible allocation of computing
+//! resources based on accuracy and efficiency considerations". Sweeps the
+//! span and reports prediction error and placement time over the kernel
+//! suite.
+//!
+//! Run with `cargo run --release -p presage-bench --bin focus_span_sweep`.
+
+use presage_bench::kernels::{figure7, innermost_block};
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::machines;
+use presage_sim::simulate_block;
+use std::time::Instant;
+
+fn main() {
+    let machine = machines::power_like();
+    let blocks: Vec<_> = figure7()
+        .into_iter()
+        .map(|k| (k.name, innermost_block(k.source, &machine)))
+        .collect();
+    let references: Vec<u32> = blocks
+        .iter()
+        .map(|(_, b)| simulate_block(&machine, b).makespan)
+        .collect();
+
+    println!("focus-span sweep on {} ({} kernels)", machine.name(), blocks.len());
+    println!("{:>10} {:>12} {:>12} {:>14}", "span", "mean |err|%", "max |err|%", "time/block µs");
+    let spans: Vec<Option<u32>> = vec![
+        Some(1),
+        Some(2),
+        Some(4),
+        Some(8),
+        Some(16),
+        Some(32),
+        Some(64),
+        None,
+    ];
+    for span in spans {
+        let opts = match span {
+            Some(s) => PlaceOptions::with_focus_span(s),
+            None => PlaceOptions::default(),
+        };
+        let mut errs = Vec::new();
+        let reps = 200;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for ((_, b), _) in blocks.iter().zip(&references) {
+                std::hint::black_box(place_block(&machine, b, opts));
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        for ((_, b), r) in blocks.iter().zip(&references) {
+            let p = place_block(&machine, b, opts).completion;
+            errs.push(((p as f64 - *r as f64) / *r as f64 * 100.0).abs());
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().cloned().fold(0.0, f64::max);
+        let label = span.map(|s| s.to_string()).unwrap_or_else(|| "∞".into());
+        println!(
+            "{label:>10} {mean:>12.2} {max:>12.2} {:>14.2}",
+            elapsed / (reps as f64 * blocks.len() as f64) * 1e6
+        );
+    }
+}

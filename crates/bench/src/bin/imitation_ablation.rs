@@ -1,0 +1,70 @@
+//! Ablation of the back-end imitation passes (paper §2.2.2): "if the cost
+//! estimate fails to take these [low-level optimizations] into
+//! consideration, the resulting estimate may be seriously distorted."
+//!
+//! For each kernel, the *reference* is the optimized stream's scheduler
+//! cost (what the back end would actually generate). The model predicts
+//! it once while imitating the back end (full flags) and once while
+//! translating naively (all imitation off) — the naive translation never
+//! saw the FMA fusion, reduction registers, CSE, or strength reduction
+//! the real back end will perform, so its source-level estimate distorts.
+//!
+//! Run with `cargo run -p presage-bench --bin imitation_ablation`.
+
+use presage_bench::kernels::figure7;
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_frontend::{parse, sema};
+use presage_machine::{machines, BackendFlags};
+use presage_sim::simulate_block;
+use presage_translate::translate;
+
+fn main() {
+    let imitating = machines::power_like();
+    let mut oblivious = machines::power_like();
+    oblivious.backend = BackendFlags {
+        cse: false,
+        licm: false,
+        dce: false,
+        fma_fusion: false,
+        reduction_recognition: false,
+        strength_reduction: false,
+    };
+
+    println!("back-end imitation ablation on {} (innermost blocks)", imitating.name());
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "kernel", "reference", "imitating", "oblivious", "imit err %", "obliv err %"
+    );
+    let mut imit_errs = Vec::new();
+    let mut obliv_errs = Vec::new();
+    for k in figure7() {
+        let prog = parse(k.source).expect("kernel parses");
+        let symbols = sema::analyze(&prog.units[0]).expect("sema");
+
+        let opt_ir = translate(&prog.units[0], &symbols, &imitating).expect("translate");
+        let opt_block = opt_ir.innermost_block().expect("block");
+        let reference = simulate_block(&imitating, opt_block).makespan;
+        let predicted = place_block(&imitating, opt_block, PlaceOptions::default()).completion;
+
+        let naive_ir = translate(&prog.units[0], &symbols, &oblivious).expect("translate");
+        let naive_block = naive_ir.innermost_block().expect("block");
+        let oblivious_pred =
+            place_block(&imitating, naive_block, PlaceOptions::default()).completion;
+
+        let ierr = (predicted as f64 - reference as f64) / reference as f64 * 100.0;
+        let oerr = (oblivious_pred as f64 - reference as f64) / reference as f64 * 100.0;
+        imit_errs.push(ierr.abs());
+        obliv_errs.push(oerr.abs());
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>11.1}% {:>11.1}%",
+            k.name, reference, predicted, oblivious_pred, ierr, oerr
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmean |error|: imitating {:.1}%, oblivious {:.1}%",
+        mean(&imit_errs),
+        mean(&obliv_errs)
+    );
+    println!("imitating the back end is what keeps source-level prediction honest.");
+}

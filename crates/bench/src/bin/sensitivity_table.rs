@@ -1,0 +1,70 @@
+//! E8 — sensitivity analysis and run-time test selection (paper §3.4):
+//! ranks each kernel's unknowns by performance impact and shows a
+//! generated multi-version plan for a crossover case.
+//!
+//! Run with `cargo run -p presage-bench --bin sensitivity_table`.
+
+use presage_core::predictor::{Predictor, PredictorOptions};
+use presage_machine::machines;
+use presage_opt::rtt::plan_from_comparison;
+use presage_symbolic::sensitivity::{analyze, SensitivityOptions};
+
+const KERNEL: &str = "subroutine stages(a, b, n, m, k)
+   real a(n), b(m)
+   integer i, j, n, m, k
+   do i = 1, n
+     a(i) = a(i) * 2.0 + 1.0
+   end do
+   do j = 1, m
+     b(j) = b(j) / 3.0
+   end do
+   do i = 1, k
+     a(1) = a(1) + 0.5
+   end do
+ end";
+
+fn main() {
+    let mut opts = PredictorOptions::default();
+    for (v, r) in [("n", (1.0, 1e4)), ("m", (1.0, 1e3)), ("k", (1.0, 1e2))] {
+        opts.aggregate.var_ranges.insert(v.into(), r);
+    }
+    let predictor = Predictor::with_options(machines::power_like(), opts);
+    let pred = &predictor.predict_source(KERNEL).expect("valid")[0];
+    println!("C = {}", pred.total);
+    println!("\nsensitivity ranking (±5% of each range at the midpoint):");
+    for s in analyze(&pred.total, SensitivityOptions::default()) {
+        println!("  {s}");
+    }
+    println!("\n→ the top-ranked variables are where §3.4 says to spend the");
+    println!("  few affordable run-time tests.");
+
+    // A crossover pair to exercise plan generation.
+    let fast = "subroutine f(a, n)
+       real a(n), w(128)
+       integer i, n
+       do i = 1, 128
+         w(i) = 0.5
+       end do
+       do i = 1, n
+         a(i) = a(i) * 0.5
+       end do
+     end";
+    let slow = "subroutine g(a, n)
+       real a(n)
+       integer i, n
+       do i = 1, n
+         a(i) = a(i) * 0.5 + a(i) / 4.0
+       end do
+     end";
+    let mut o2 = PredictorOptions::default();
+    o2.aggregate.var_ranges.insert("n".into(), (1.0, 2000.0));
+    let p2 = Predictor::with_options(machines::power_like(), o2);
+    let ca = p2.predict_source(fast).unwrap().remove(0).total;
+    let cb = p2.predict_source(slow).unwrap().remove(0).total;
+    let cmp = ca.compare(&cb);
+    println!("\ncrossover study: C(f) = {ca}, C(g) = {cb}");
+    match plan_from_comparison(&cmp) {
+        Some(plan) => println!("{plan}"),
+        None => println!("  outcome: {} (no test needed)", cmp.outcome),
+    }
+}

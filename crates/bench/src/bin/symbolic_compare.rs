@@ -1,0 +1,85 @@
+//! E6 — symbolic comparison of performance expressions (paper §3.1 and
+//! Figure 10): sign regions of polynomial differences, crossover
+//! detection, the P+/P− measures and integrals, and the term-dropping
+//! simplification example from the paper.
+//!
+//! Run with `cargo run -p presage-bench --bin symbolic_compare`.
+
+use presage_core::predictor::Predictor;
+use presage_machine::machines;
+use presage_opt::transforms::Transform;
+use presage_opt::whatif::compare_transform;
+use presage_symbolic::signs::{sign_measures, sign_regions, signed_areas};
+use presage_symbolic::{Monomial, PerfExpr, Poly, Rational, Symbol, VarInfo};
+
+fn figure10_demo() {
+    println!("— Figure 10: sign regions of a cubic over a bounded range —");
+    let x = Symbol::new("x");
+    // y = (x+1)(x-2)(x-5) = x^3 - 6x^2 + 3x + 10, a > 0.
+    let p = (Poly::var(x.clone()) + Poly::from(1))
+        * (Poly::var(x.clone()) - Poly::from(2))
+        * (Poly::var(x.clone()) - Poly::from(5));
+    println!("P(x) = {p}   over x ∈ [-3, 7]");
+    for r in sign_regions(&p, &x, -3.0, 7.0).expect("univariate") {
+        println!("  {r}");
+    }
+    let (pos_w, neg_w) = sign_measures(&p, &x, -3.0, 7.0).unwrap();
+    let (pos_a, neg_a) = signed_areas(&p, &x, -3.0, 7.0).unwrap();
+    println!("  widths: P+ {pos_w:.2}, P− {neg_w:.2}; areas: ∫P+ {pos_a:.1}, ∫P− {neg_a:.1}");
+}
+
+fn term_dropping_demo() {
+    println!("\n— §3.1 term dropping: 4x⁴ + 2x³ − 4x + 1/x³ on x ∈ [3, 100] —");
+    let x = Symbol::new("x");
+    let poly = Poly::term(4, Monomial::power(x.clone(), 4))
+        + Poly::term(2, Monomial::power(x.clone(), 3))
+        + Poly::term(-4, Monomial::var(x.clone()))
+        + Poly::term(Rational::ONE, Monomial::power(x.clone(), -3));
+    let e = PerfExpr::from_poly(poly, [(x, VarInfo::param(3.0, 100.0))]);
+    println!("  before: {}", e.poly());
+    println!("  after : {}", e.drop_negligible_terms(1e-3).poly());
+}
+
+fn transformation_comparison() {
+    println!("\n— comparing transformations symbolically (matmul-like nest) —");
+    let sub = presage_frontend::parse(
+        "subroutine mm(a, b, c, n)
+           real a(n,n), b(n,n), c(n,n)
+           integer i, j, k, n
+           do j = 1, n
+             do i = 1, n
+               do k = 1, n
+                 c(i,j) = c(i,j) + a(i,k) * b(k,j)
+               end do
+             end do
+           end do
+         end",
+    )
+    .expect("valid")
+    .units
+    .remove(0);
+    let predictor = Predictor::new(machines::power_like());
+    for (label, path, t) in [
+        ("unroll k×2", vec![0usize, 0, 0], Transform::Unroll(2)),
+        ("unroll k×4", vec![0, 0, 0], Transform::Unroll(4)),
+        ("interchange", vec![0, 0], Transform::Interchange),
+        ("distribute", vec![0], Transform::Distribute),
+    ] {
+        match compare_transform(&sub, &path, &t, &predictor) {
+            Ok((_, cmp)) => {
+                print!("  {label:<12}: {:<22} Δ = {}", cmp.outcome.to_string(), cmp.difference);
+                if !cmp.crossovers.is_empty() {
+                    print!("   crossovers at n = {:?}", cmp.crossovers);
+                }
+                println!();
+            }
+            Err(e) => println!("  {label:<12}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    figure10_demo();
+    term_dropping_demo();
+    transformation_comparison();
+}

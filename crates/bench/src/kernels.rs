@@ -1,0 +1,205 @@
+//! The Figure 7 kernel suite.
+//!
+//! The paper evaluates straight-line prediction on "innermost basic blocks
+//! taken from Purdue benchmarks in the HPF Benchmark suite" (F1–F7), the
+//! innermost block of a matrix multiply "blocked and unrolled 4 times in
+//! both dimensions (a total of 16 FMA operations in the basic block)", the
+//! Jacobi innermost block, and the red-black innermost block. The original
+//! kernel sources are not reproduced in the paper, so this module provides
+//! representative small numeric kernels of the same shapes (see DESIGN.md,
+//! substitution table).
+
+use presage_frontend::{parse, sema};
+use presage_machine::MachineDesc;
+use presage_translate::{translate, BlockIr, ProgramIr};
+
+/// One named kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    /// Row label used in the Figure 7 table.
+    pub name: &'static str,
+    /// Mini-Fortran source.
+    pub source: &'static str,
+}
+
+/// F1: element-wise vector add.
+pub const F1: &str = "subroutine f1(c, a, b, n)
+   real c(n), a(n), b(n)
+   integer i, n
+   do i = 1, n
+     c(i) = a(i) + b(i)
+   end do
+ end";
+
+/// F2: scaled vector update (daxpy-like).
+pub const F2: &str = "subroutine f2(y, x, s, n)
+   real y(n), x(n), s
+   integer i, n
+   do i = 1, n
+     y(i) = y(i) + s * x(i)
+   end do
+ end";
+
+/// F3: 2-norm combination with square root.
+pub const F3: &str = "subroutine f3(c, a, b, n)
+   real c(n), a(n), b(n)
+   integer i, n
+   do i = 1, n
+     c(i) = sqrt(a(i) * a(i) + b(i) * b(i))
+   end do
+ end";
+
+/// F4: cubic polynomial evaluation (Horner).
+pub const F4: &str = "subroutine f4(y, x, c0, c1, c2, c3, n)
+   real y(n), x(n), c0, c1, c2, c3
+   integer i, n
+   do i = 1, n
+     y(i) = ((c3 * x(i) + c2) * x(i) + c1) * x(i) + c0
+   end do
+ end";
+
+/// F5: mixed integer/real arithmetic with conversion.
+pub const F5: &str = "subroutine f5(c, a, n)
+   real c(n), a(n)
+   integer i, n
+   do i = 1, n
+     c(i) = a(i) * real(i) + real(i * i)
+   end do
+ end";
+
+/// F6: select-heavy code (compare and pick).
+pub const F6: &str = "subroutine f6(c, a, b, n)
+   real c(n), a(n), b(n)
+   integer i, n
+   do i = 1, n
+     c(i) = max(a(i), b(i)) + min(a(i), b(i))
+   end do
+ end";
+
+/// F7: division-bound update.
+pub const F7: &str = "subroutine f7(c, a, b, n)
+   real c(n), a(n), b(n)
+   integer i, n
+   do i = 1, n
+     c(i) = a(i) / b(i) + 1.0
+   end do
+ end";
+
+/// Matmul: 4×4 register-blocked innermost block — 16 FMAs per iteration.
+pub const MATMUL: &str = "subroutine matmul4(a, b, c, n, i, j)
+   real a(n,n), b(n,n), c(n,n)
+   integer i, j, k, n
+   do k = 1, n
+     c(i,j) = c(i,j) + a(i,k) * b(k,j)
+     c(i+1,j) = c(i+1,j) + a(i+1,k) * b(k,j)
+     c(i+2,j) = c(i+2,j) + a(i+2,k) * b(k,j)
+     c(i+3,j) = c(i+3,j) + a(i+3,k) * b(k,j)
+     c(i,j+1) = c(i,j+1) + a(i,k) * b(k,j+1)
+     c(i+1,j+1) = c(i+1,j+1) + a(i+1,k) * b(k,j+1)
+     c(i+2,j+1) = c(i+2,j+1) + a(i+2,k) * b(k,j+1)
+     c(i+3,j+1) = c(i+3,j+1) + a(i+3,k) * b(k,j+1)
+     c(i,j+2) = c(i,j+2) + a(i,k) * b(k,j+2)
+     c(i+1,j+2) = c(i+1,j+2) + a(i+1,k) * b(k,j+2)
+     c(i+2,j+2) = c(i+2,j+2) + a(i+2,k) * b(k,j+2)
+     c(i+3,j+2) = c(i+3,j+2) + a(i+3,k) * b(k,j+2)
+     c(i,j+3) = c(i,j+3) + a(i,k) * b(k,j+3)
+     c(i+1,j+3) = c(i+1,j+3) + a(i+1,k) * b(k,j+3)
+     c(i+2,j+3) = c(i+2,j+3) + a(i+2,k) * b(k,j+3)
+     c(i+3,j+3) = c(i+3,j+3) + a(i+3,k) * b(k,j+3)
+   end do
+ end";
+
+/// Jacobi relaxation innermost block.
+pub const JACOBI: &str = "subroutine jacobi(a, b, n)
+   real a(n,n), b(n,n)
+   integer i, j, n
+   do j = 2, n-1
+     do i = 2, n-1
+       a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+     end do
+   end do
+ end";
+
+/// Red-black relaxation innermost block (stride-2 in-place update).
+pub const RB: &str = "subroutine redblack(a, n)
+   real a(n,n)
+   integer i, j, n
+   do j = 2, n-1
+     do i = 2, n-1, 2
+       a(i,j) = 0.25 * (a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))
+     end do
+   end do
+ end";
+
+/// The full Figure 7 row set, in the paper's order.
+pub fn figure7() -> Vec<Kernel> {
+    vec![
+        Kernel { name: "F1", source: F1 },
+        Kernel { name: "F2", source: F2 },
+        Kernel { name: "F3", source: F3 },
+        Kernel { name: "F4", source: F4 },
+        Kernel { name: "F5", source: F5 },
+        Kernel { name: "F6", source: F6 },
+        Kernel { name: "F7", source: F7 },
+        Kernel { name: "Matmul", source: MATMUL },
+        Kernel { name: "Jacobi", source: JACOBI },
+        Kernel { name: "RB", source: RB },
+    ]
+}
+
+/// Translates a kernel and returns its full IR.
+///
+/// # Panics
+///
+/// Panics on invalid kernel source (the suite is fixed and valid).
+pub fn translate_kernel(source: &str, machine: &MachineDesc) -> ProgramIr {
+    let prog = parse(source).expect("kernel parses");
+    let symbols = sema::analyze(&prog.units[0]).expect("kernel type-checks");
+    translate(&prog.units[0], &symbols, machine).expect("kernel translates")
+}
+
+/// Translates a kernel and extracts the innermost basic block — the unit
+/// Figure 7 reports on.
+///
+/// # Panics
+///
+/// Panics if the kernel has no innermost block (the suite always does).
+pub fn innermost_block(source: &str, machine: &MachineDesc) -> BlockIr {
+    translate_kernel(source, machine)
+        .innermost_block()
+        .expect("kernel has an innermost block")
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+
+    #[test]
+    fn all_kernels_translate_on_all_machines() {
+        for m in machines::all() {
+            for k in figure7() {
+                let block = innermost_block(k.source, &m);
+                assert!(!block.is_empty(), "{} on {}", k.name, m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_block_has_16_fmas() {
+        let m = machines::power_like();
+        let block = innermost_block(MATMUL, &m);
+        let fmas = block
+            .ops
+            .iter()
+            .filter(|o| o.basic == presage_machine::BasicOp::Fma)
+            .count();
+        assert_eq!(fmas, 16, "the paper's Matmul row: 16 FMA operations");
+    }
+
+    #[test]
+    fn suite_has_ten_rows() {
+        assert_eq!(figure7().len(), 10);
+    }
+}

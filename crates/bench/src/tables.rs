@@ -1,0 +1,105 @@
+//! Shared row computation for the table-regenerating binaries.
+
+use crate::kernels::{figure7, innermost_block};
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::MachineDesc;
+use presage_sim::{naive_block_cost, simulate_block};
+
+/// One row of the Figure 7 accuracy table.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Operations in the innermost basic block.
+    pub ops: usize,
+    /// Tetris-model predicted cycles (completion time).
+    pub predicted: u32,
+    /// Reference list-scheduler cycles (the xlf stand-in).
+    pub reference: u32,
+    /// Naive latency-sum cycles.
+    pub naive: u32,
+}
+
+impl Fig7Row {
+    /// Relative error of the prediction vs. the reference, in percent.
+    pub fn error_pct(&self) -> f64 {
+        if self.reference == 0 {
+            return 0.0;
+        }
+        (self.predicted as f64 - self.reference as f64) / self.reference as f64 * 100.0
+    }
+
+    /// Overestimation factor of the naive model vs. the reference.
+    pub fn naive_factor(&self) -> f64 {
+        if self.reference == 0 {
+            return 1.0;
+        }
+        self.naive as f64 / self.reference as f64
+    }
+}
+
+/// Computes the Figure 7 table for a machine.
+pub fn fig7_rows(machine: &MachineDesc, opts: PlaceOptions) -> Vec<Fig7Row> {
+    figure7()
+        .into_iter()
+        .map(|k| {
+            let block = innermost_block(k.source, machine);
+            let predicted = place_block(machine, &block, opts).completion;
+            let reference = simulate_block(machine, &block).makespan;
+            let naive = naive_block_cost(machine, &block);
+            Fig7Row { name: k.name, ops: block.len(), predicted, reference, naive }
+        })
+        .collect()
+}
+
+/// Formats rows as an aligned text table.
+pub fn render_fig7(rows: &[Fig7Row], machine_name: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 7 — straight-line prediction accuracy on {machine_name}");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>5} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "kernel", "ops", "predicted", "reference", "err %", "naive", "naive ×"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>5} {:>10} {:>10} {:>7.1}% {:>10} {:>7.2}×",
+            r.name,
+            r.ops,
+            r.predicted,
+            r.reference,
+            r.error_pct(),
+            r.naive,
+            r.naive_factor()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+
+    #[test]
+    fn fig7_rows_complete() {
+        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.predicted > 0, "{}", r.name);
+            assert!(r.reference > 0, "{}", r.name);
+            assert!(r.naive >= r.reference, "naive never beats the scheduler: {}", r.name);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+        let text = render_fig7(&rows, "power-like");
+        for r in &rows {
+            assert!(text.contains(r.name));
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! Symbolic cost aggregation of compound statements (paper §2.4).
+//!
+//! - `C(do k = lb, ub, step {B}) = C(lb) + C(ub) + C(step) + Σ_{Iter} C(B)`
+//! - `C(if (c) Bt else Bf) = C(c) + p_t·C(Bt) + p_f·C(Bf) + c_br`
+//!
+//! "The major difference between our cost aggregation model and previous
+//! work is that we compute and represent performance expressions
+//! symbolically when control structures contain unknowns."
+
+use crate::library::LibraryCostTable;
+use crate::overlap::steady_state;
+use crate::tetris::{place_block, PlaceOptions};
+use presage_frontend::{BinOp, Expr, Intrinsic, UnOp};
+use presage_machine::MachineDesc;
+use presage_symbolic::{PerfExpr, Poly, Rational, Symbol, VarInfo};
+use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr};
+use std::collections::HashMap;
+
+/// Options controlling aggregation.
+#[derive(Clone, Debug)]
+pub struct AggregateOptions {
+    /// Placement options for straight-line blocks.
+    pub place: PlaceOptions,
+    /// Probe iterations for loop steady-state costing; values < 2 disable
+    /// iteration overlap (each iteration pays its standalone cost).
+    pub steady_probes: u32,
+    /// Default `[lo, hi]` range assumed for unknown integer scalars.
+    pub default_range: (f64, f64),
+    /// Per-variable range overrides.
+    pub var_ranges: HashMap<String, (f64, f64)>,
+    /// If both branch costs are concrete and within this relative
+    /// tolerance, the probability symbol is elided and the costs averaged
+    /// (§3.3.2: "if the two branches ... have performance estimations that
+    /// are very close, the reaching probability ... can be ignored").
+    pub branch_tolerance: f64,
+    /// Infer probabilities for loop-index conditions (§3.3.2: "when a
+    /// variable in the conditional expression is a loop index, we may
+    /// assume equal probability for each iteration").
+    pub infer_loop_index_probs: bool,
+}
+
+impl Default for AggregateOptions {
+    fn default() -> Self {
+        AggregateOptions {
+            place: PlaceOptions::default(),
+            steady_probes: 6,
+            default_range: (1.0, 1e6),
+            var_ranges: HashMap::new(),
+            branch_tolerance: 0.1,
+            infer_loop_index_probs: true,
+        }
+    }
+}
+
+/// Aggregates a translated program into one symbolic performance
+/// expression.
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::aggregate::{aggregate, AggregateOptions};
+/// use presage_frontend::{parse, sema};
+/// use presage_machine::machines;
+/// use presage_translate::translate;
+///
+/// let m = machines::power_like();
+/// let prog = parse(
+///     "subroutine s(a, n)
+///        real a(n)
+///        integer i, n
+///        do i = 1, n
+///          a(i) = a(i) + 1.0
+///        end do
+///      end").unwrap();
+/// let symbols = sema::analyze(&prog.units[0]).unwrap();
+/// let ir = translate(&prog.units[0], &symbols, &m).unwrap();
+/// let cost = aggregate(&ir, &m, None, &AggregateOptions::default());
+/// // Cost is linear in the unknown n.
+/// assert_eq!(cost.poly().degree_in(&presage_symbolic::Symbol::new("n")), 1);
+/// ```
+pub fn aggregate(
+    ir: &ProgramIr,
+    machine: &MachineDesc,
+    library: Option<&LibraryCostTable>,
+    opts: &AggregateOptions,
+) -> PerfExpr {
+    let agg = Aggregator { machine, library, opts };
+    let mut ctx = Vec::new();
+    agg.nodes(&ir.root, &mut ctx)
+}
+
+/// Enclosing-loop context for probability inference.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopCtx {
+    pub(crate) var: String,
+    pub(crate) lb: Poly,
+    pub(crate) count: Poly,
+}
+
+pub(crate) struct Aggregator<'a> {
+    pub(crate) machine: &'a MachineDesc,
+    pub(crate) library: Option<&'a LibraryCostTable>,
+    pub(crate) opts: &'a AggregateOptions,
+}
+
+impl Aggregator<'_> {
+    pub(crate) fn var_info(&self, name: &str) -> VarInfo {
+        let (lo, hi) = self
+            .opts
+            .var_ranges
+            .get(name)
+            .copied()
+            .unwrap_or(self.opts.default_range);
+        VarInfo::loop_bound(lo, hi)
+    }
+
+    pub(crate) fn wrap(&self, poly: Poly) -> PerfExpr {
+        let infos: Vec<(Symbol, VarInfo)> = poly
+            .symbols()
+            .into_iter()
+            .map(|s| {
+                let info = self.var_info(s.name());
+                (s, info)
+            })
+            .collect();
+        PerfExpr::from_poly(poly, infos)
+    }
+
+    pub(crate) fn nodes(&self, nodes: &[IrNode], ctx: &mut Vec<LoopCtx>) -> PerfExpr {
+        let mut total = PerfExpr::zero();
+        for n in nodes {
+            total += self.node(n, ctx);
+        }
+        total
+    }
+
+    pub(crate) fn node(&self, node: &IrNode, ctx: &mut Vec<LoopCtx>) -> PerfExpr {
+        match node {
+            IrNode::Block(b) => self.block_cost(b),
+            IrNode::Loop(l) => self.loop_cost(l, ctx),
+            IrNode::If(i) => self.if_cost(i, ctx),
+        }
+    }
+
+    /// Cost of a straight-line block: placement completion time plus any
+    /// library-call expressions.
+    pub(crate) fn block_cost(&self, block: &BlockIr) -> PerfExpr {
+        if block.is_empty() {
+            return PerfExpr::zero();
+        }
+        let cb = place_block(self.machine, block, self.opts.place);
+        let mut cost = PerfExpr::cycles(cb.completion as i64);
+        cost += self.call_costs(block);
+        cost
+    }
+
+    /// Extra cost of `call` operations from the library table.
+    fn call_costs(&self, block: &BlockIr) -> PerfExpr {
+        let Some(lib) = self.library else {
+            return PerfExpr::zero();
+        };
+        let mut cost = PerfExpr::zero();
+        for op in &block.ops {
+            if let Some(name) = &op.callee {
+                // Scalar actuals are not tracked through the IR; formals
+                // stay symbolic, which is the paper's general case.
+                cost += lib.call_cost(name, &[]);
+            }
+        }
+        cost
+    }
+
+    pub(crate) fn loop_cost(&self, l: &LoopIr, ctx: &mut Vec<LoopCtx>) -> PerfExpr {
+        let one_time = self.block_cost(&l.preheader) + self.block_cost(&l.postheader);
+
+        let (count_poly, lb_poly) = self.trip_count(l);
+
+        // Per-iteration cost: for a simple (single-block) body, drop the
+        // body plus loop control into the bins repeatedly for steady-state
+        // overlap; for compound bodies, aggregate children symbolically and
+        // add the control cost.
+        ctx.push(LoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly.clone() });
+        let per_iter: PerfExpr = match &l.body[..] {
+            [IrNode::Block(b)] if self.opts.steady_probes >= 2 => {
+                let mut merged = b.clone();
+                append_block(&mut merged, &l.control);
+                let ss = steady_state(self.machine, &merged, self.opts.place, self.opts.steady_probes);
+                // Library-call expressions are charged per iteration on top
+                // of the placed instruction stream.
+                PerfExpr::cycles_rational(approx_rational(ss.per_iteration)) + self.call_costs(b)
+            }
+            _ => {
+                let body = self.nodes(&l.body, ctx);
+                // Compound body: charge the control block standalone.
+                let control_cost = place_block(self.machine, &l.control, self.opts.place);
+                body + PerfExpr::cycles(control_cost.span() as i64)
+            }
+        };
+        let frame = ctx.pop().expect("frame pushed above");
+        one_time + self.iterate(per_iter, &l.var, &frame)
+    }
+
+    /// Total cost of `count` iterations whose per-iteration cost may
+    /// depend on the loop variable (triangular/trapezoidal nests): sums
+    /// the polynomial over the index in closed form (Faulhaber) when it
+    /// does, otherwise multiplies by the trip count.
+    pub(crate) fn iterate(&self, per_iter: PerfExpr, var: &str, frame: &LoopCtx) -> PerfExpr {
+        let var_sym = Symbol::new(var);
+        if per_iter.poly().contains_symbol(&var_sym) {
+            // Unit-step assumption: lb + count − 1 is the inclusive upper
+            // index expression in summation space.
+            let ub = &(&frame.lb + &frame.count) - &Poly::one();
+            if let Some(summed) =
+                presage_symbolic::summation::sum_range(per_iter.poly(), &var_sym, &frame.lb, &ub)
+            {
+                return self.wrap(summed);
+            }
+            // No closed form (degree > 4 in the index): fall back to the
+            // average-index approximation, an explicit late guess.
+            let mid = (&frame.lb + &ub).scale(Rational::new(1, 2));
+            if let Ok(avg) = per_iter.poly().subst(&var_sym, &mid) {
+                return self.wrap(&avg * &frame.count);
+            }
+        }
+        per_iter.repeat(&self.wrap(frame.count.clone()))
+    }
+
+    /// Symbolic trip count `(ub − lb)/step + 1` and the lower bound.
+    ///
+    /// Bounds written as `max(...)` lower bounds or `min(...)` upper bounds
+    /// (produced by unroll tails and tile inner loops) are resolved to the
+    /// tightest polynomial candidate: `do i = max(a,b), ub` runs at most
+    /// `min_k (ub − arg_k)/step + 1` iterations.
+    pub(crate) fn trip_count(&self, l: &LoopIr) -> (Poly, Poly) {
+        let step_const = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
+        let Some(s) = step_const.filter(|s| *s != 0) else {
+            return (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one());
+        };
+        let lbs = bound_candidates(&l.lb, Intrinsic::Max);
+        let ubs = bound_candidates(&l.ub, Intrinsic::Min);
+        let mut best: Option<Poly> = None;
+        for lbp in &lbs {
+            for ubp in &ubs {
+                let count = (ubp - lbp).scale(Rational::new(1, s as i128)) + Poly::one();
+                best = Some(match best {
+                    None => count,
+                    // Prefer a constant bound (the tight tail/tile case),
+                    // otherwise keep the first polynomial candidate.
+                    Some(prev) => match (prev.constant_value(), count.constant_value()) {
+                        (Some(a), Some(b)) => {
+                            if b < a {
+                                count
+                            } else {
+                                Poly::constant(a)
+                            }
+                        }
+                        (None, Some(_)) => count,
+                        _ => prev,
+                    },
+                });
+            }
+        }
+        match best {
+            Some(count) => {
+                let lb = lbs.first().cloned().unwrap_or_else(Poly::one);
+                (count, lb)
+            }
+            None => (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one()),
+        }
+    }
+
+    pub(crate) fn if_cost(&self, i: &IfIr, ctx: &mut Vec<LoopCtx>) -> PerfExpr {
+        let cond = self.block_cost(&i.cond_block);
+        let then_cost = self.nodes(&i.then_nodes, ctx);
+        let else_cost = self.nodes(&i.else_nodes, ctx);
+        let (pt, pe) = self.branch_split(&i.cond, &then_cost, &else_cost, ctx);
+        cond + pt.mul(&then_cost) + pe.mul(&else_cost)
+    }
+
+    /// Chooses the branch weights `(p_then, p_else)` for a conditional:
+    /// near-equal concrete branches average without a probability symbol
+    /// (§3.3.2), loop-index conditions get inferred iteration splits, and
+    /// everything else receives a fresh probability unknown.
+    pub(crate) fn branch_split(
+        &self,
+        cond: &Expr,
+        then_cost: &PerfExpr,
+        else_cost: &PerfExpr,
+        ctx: &[LoopCtx],
+    ) -> (PerfExpr, PerfExpr) {
+        let half = PerfExpr::cycles_rational(Rational::new(1, 2));
+        if self.opts.branch_tolerance > 0.0 {
+            if let (Some(t), Some(e)) = (then_cost.concrete_cycles(), else_cost.concrete_cycles()) {
+                let (tf, ef) = (t.to_f64(), e.to_f64());
+                let scale = tf.abs().max(ef.abs());
+                if scale == 0.0 || (tf - ef).abs() / scale <= self.opts.branch_tolerance {
+                    return (half.clone(), half);
+                }
+            }
+        }
+        if self.opts.infer_loop_index_probs {
+            if let Some(p) = self.loop_index_probability(cond, ctx) {
+                let pe = self.wrap(&Poly::one() - &p);
+                return (self.wrap(p), pe);
+            }
+        }
+        let p = PerfExpr::var(Symbol::new(format!("p${cond}")), presage_symbolic::VarInfo::branch_prob());
+        let q = PerfExpr::cycles(1) - p.clone();
+        (p, q)
+    }
+
+    /// For conditions of the form `ivar REL bound` with `ivar` an enclosing
+    /// loop index and a polynomial bound, returns the fraction of
+    /// iterations taking the then-branch (the paper's
+    /// `C(L) = k·C(Bt) + (n−k)·C(Bf)` split, as a probability).
+    fn loop_index_probability(&self, cond: &Expr, ctx: &[LoopCtx]) -> Option<Poly> {
+        let Expr::Binary { op, lhs, rhs } = cond else {
+            return None;
+        };
+        if !op.is_relational() {
+            return None;
+        }
+        // Normalize to `ivar REL bound`.
+        let (var, bound, op) = match (lhs.as_var(), rhs.as_var()) {
+            (Some(v), _) if ctx.iter().any(|c| c.var == v) => (v, rhs.as_ref(), *op),
+            (_, Some(v)) if ctx.iter().any(|c| c.var == v) => (v, lhs.as_ref(), flip(*op)),
+            _ => return None,
+        };
+        let loop_ctx = ctx.iter().rev().find(|c| c.var == var)?;
+        let bound_poly = int_expr_to_poly(bound)?;
+        // The bound must be invariant in the loop variable itself.
+        if bound_poly.contains_symbol(&Symbol::new(var)) {
+            return None;
+        }
+
+        // True-iteration count for step-1 loops over [lb, ub]:
+        //   i ≤ k: k − lb + 1     i < k: k − lb
+        //   i ≥ k: n − (k − lb)   i > k: n − (k − lb) − 1
+        //   i = k: 1              i ≠ k: n − 1
+        let n = &loop_ctx.count;
+        let k_minus_lb = &bound_poly - &loop_ctx.lb;
+        let trues: Poly = match op {
+            BinOp::Le => &k_minus_lb + &Poly::one(),
+            BinOp::Lt => k_minus_lb,
+            BinOp::Ge => n - &k_minus_lb,
+            BinOp::Gt => &(n - &k_minus_lb) - &Poly::one(),
+            BinOp::Eq => Poly::one(),
+            BinOp::Ne => n - &Poly::one(),
+            _ => return None,
+        };
+        // p = trues / n. Laurent division needs a monomial count.
+        let (c, m) = n.single_term()?;
+        let inv_n = Poly::term(c.recip(), m.pow(-1));
+        Some(&trues * &inv_n)
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Appends a copy of `extra`'s operations to `block`, remapping ids.
+pub fn append_block(block: &mut BlockIr, extra: &BlockIr) {
+    let value_offset = block.values.len() as u32;
+    let op_offset = block.ops.len() as u32;
+    for def in &extra.values {
+        let shifted = match def {
+            presage_translate::ValueDef::Op(id) => {
+                presage_translate::ValueDef::Op(presage_translate::OpId(id.0 + op_offset))
+            }
+            other => other.clone(),
+        };
+        block.values.push(shifted);
+    }
+    for op in &extra.ops {
+        let mut op = op.clone();
+        for a in &mut op.args {
+            a.0 += value_offset;
+        }
+        if let Some(r) = &mut op.result {
+            r.0 += value_offset;
+        }
+        for d in &mut op.extra_deps {
+            d.0 += op_offset;
+        }
+        block.ops.push(op);
+    }
+}
+
+/// Symbolic trip count of a loop, resolving `max`/`min` bound forms the
+/// same way [`Aggregator::trip_count`] does (used by the memory model).
+pub fn loop_trip_poly(l: &LoopIr) -> Poly {
+    let step = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
+    let Some(s) = step.filter(|s| *s != 0) else {
+        return Poly::var(Symbol::new(format!("trip${}", l.var)));
+    };
+    let lbs = bound_candidates(&l.lb, Intrinsic::Max);
+    let ubs = bound_candidates(&l.ub, Intrinsic::Min);
+    let mut best: Option<Poly> = None;
+    for lbp in &lbs {
+        for ubp in &ubs {
+            let count = (ubp - lbp).scale(Rational::new(1, s as i128)) + Poly::one();
+            best = Some(match best {
+                None => count,
+                Some(prev) => match (prev.constant_value(), count.constant_value()) {
+                    (Some(a), Some(b)) => {
+                        if b < a {
+                            count
+                        } else {
+                            Poly::constant(a)
+                        }
+                    }
+                    (None, Some(_)) => count,
+                    _ => prev,
+                },
+            });
+        }
+    }
+    best.unwrap_or_else(|| Poly::var(Symbol::new(format!("trip${}", l.var))))
+}
+
+/// Polynomial candidates for a loop bound: the bound itself, or — when it
+/// is the given selector intrinsic (`max` for lower bounds, `min` for
+/// upper) — each polynomial argument.
+fn bound_candidates(e: &Expr, selector: Intrinsic) -> Vec<Poly> {
+    if let Expr::Intrinsic { func, args } = e {
+        if *func == selector {
+            return args.iter().filter_map(int_expr_to_poly).collect();
+        }
+    }
+    int_expr_to_poly(e).into_iter().collect()
+}
+
+/// Converts an integer source expression to a polynomial over its scalar
+/// variables. Division is only folded for constant divisors (as a rational
+/// scale — the model treats trip-count divisions as exact).
+pub fn int_expr_to_poly(e: &Expr) -> Option<Poly> {
+    match e {
+        Expr::IntLit(n) => Some(Poly::from(*n)),
+        Expr::Var(name) => Some(Poly::var(Symbol::new(name))),
+        Expr::Unary { op: UnOp::Neg, operand } => Some(-int_expr_to_poly(operand)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = int_expr_to_poly(lhs)?;
+            let r = int_expr_to_poly(rhs)?;
+            match op {
+                BinOp::Add => Some(&l + &r),
+                BinOp::Sub => Some(&l - &r),
+                BinOp::Mul => Some(&l * &r),
+                BinOp::Div => {
+                    let c = r.constant_value()?;
+                    if c.is_zero() {
+                        None
+                    } else {
+                        Some(l.scale(c.recip()))
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Approximates an `f64` cycle count as a rational with millicycle
+/// resolution (keeps expressions exact downstream).
+pub fn approx_rational(x: f64) -> Rational {
+    Rational::new((x * 1000.0).round() as i128, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_frontend::{parse, sema};
+    use presage_machine::machines;
+    use presage_translate::translate;
+
+    fn cost_of(src: &str, opts: &AggregateOptions) -> PerfExpr {
+        let m = machines::power_like();
+        let prog = parse(src).expect("parse");
+        let symbols = sema::analyze(&prog.units[0]).expect("sema");
+        let ir = translate(&prog.units[0], &symbols, &m).expect("translate");
+        aggregate(&ir, &m, None, opts)
+    }
+
+    #[test]
+    fn straight_line_is_concrete() {
+        let c = cost_of(
+            "subroutine s(a)\nreal a(4)\na(1) = 1.0\na(2) = 2.0\nend",
+            &AggregateOptions::default(),
+        );
+        assert!(c.is_concrete());
+        assert!(c.concrete_cycles().unwrap().to_f64() > 0.0);
+    }
+
+    #[test]
+    fn single_loop_is_linear_in_n() {
+        let c = cost_of(
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = a(i) + 1.0\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        let n = Symbol::new("n");
+        assert_eq!(c.poly().degree_in(&n), 1);
+        // Linear coefficient is the per-iteration cost: positive, modest.
+        let per_iter = c.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        assert!(per_iter.to_f64() > 0.5 && per_iter.to_f64() < 40.0, "{c}");
+    }
+
+    #[test]
+    fn nested_loops_quadratic() {
+        let c = cost_of(
+            "subroutine s(a, n)\nreal a(n,n)\ninteger i, j, n\ndo i = 1, n\ndo j = 1, n\na(i,j) = 0.0\nend do\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        let n = Symbol::new("n");
+        assert_eq!(c.poly().degree_in(&n), 2);
+    }
+
+    #[test]
+    fn triangular_loop_bounds() {
+        // do j = i, n inside do i = 1, n: count (n - i + 1) → n²/2 shape.
+        let c = cost_of(
+            "subroutine s(a, n)\nreal a(n,n)\ninteger i, j, n\ndo i = 1, n\ndo j = i, n\na(i,j) = 0.0\nend do\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        let n = Symbol::new("n");
+        assert_eq!(c.poly().degree_in(&n), 2);
+        // Leading n² coefficient should be half the inner per-iteration cost.
+        let parts = c.poly().as_univariate(&n);
+        let lead = parts.last().unwrap();
+        assert_eq!(lead.0, 2);
+    }
+
+    #[test]
+    fn constant_bounds_fold_to_concrete() {
+        let c = cost_of(
+            "subroutine s(a)\nreal a(100)\ninteger i\ndo i = 1, 100\na(i) = 0.0\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        assert!(c.is_concrete(), "constant-trip loop: {c}");
+        let v = c.concrete_cycles().unwrap().to_f64();
+        assert!(v > 100.0 && v < 3000.0, "got {v}");
+    }
+
+    #[test]
+    fn step_divides_trip_count() {
+        let base = cost_of(
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        let stepped = cost_of(
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n, 2\na(i) = 0.0\nend do\nend",
+            &AggregateOptions::default(),
+        );
+        let n = Symbol::new("n");
+        let c_base = base.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        let c_step = stepped.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        let ratio = c_base.to_f64() / c_step.to_f64();
+        assert!((ratio - 2.0).abs() < 0.3, "step-2 halves the trip count: {ratio}");
+    }
+
+    #[test]
+    fn unknown_branch_probability_appears() {
+        let mut opts = AggregateOptions::default();
+        opts.branch_tolerance = 0.0;
+        let c = cost_of(
+            "subroutine s(a, n, x)
+               real a(n), x
+               integer i, n
+               do i = 1, n
+                 if (x .gt. 0.5) then
+                   a(i) = a(i) / x
+                 else
+                   a(i) = 0.0
+                 end if
+               end do
+             end",
+            &opts,
+        );
+        let has_prob = c
+            .vars()
+            .iter()
+            .any(|(_, info)| info.kind == presage_symbolic::VarKind::BranchProb);
+        assert!(has_prob, "expected a probability unknown: {c:#}");
+    }
+
+    #[test]
+    fn loop_index_condition_eliminates_probability() {
+        // The paper's example: `if (i .le. k)` inside `do i = 1, n` gives
+        // C = k·C(Bt) + (n−k)·C(Bf) — no probability symbol.
+        let c = cost_of(
+            "subroutine s(a, n, k)
+               real a(n)
+               integer i, n, k
+               do i = 1, n
+                 if (i .le. k) then
+                   a(i) = a(i) * 2.0 + 1.0
+                 else
+                   a(i) = 0.0
+                 end if
+               end do
+             end",
+            &AggregateOptions::default(),
+        );
+        let has_prob = c
+            .vars()
+            .iter()
+            .any(|(_, info)| info.kind == presage_symbolic::VarKind::BranchProb);
+        assert!(!has_prob, "loop-index probability inferred: {c:#}");
+        // k appears linearly: k iterations take the then-branch.
+        assert_eq!(c.poly().degree_in(&Symbol::new("k")), 1);
+        // No residual 1/n terms: n·(k/n) collapses.
+        assert!(!c.poly().has_negative_exponents(), "{c}");
+    }
+
+    #[test]
+    fn close_branches_simplify_without_probability() {
+        let mut opts = AggregateOptions::default();
+        opts.branch_tolerance = 0.2;
+        let c = cost_of(
+            "subroutine s(a, n, x)
+               real a(n), x
+               integer i, n
+               do i = 1, n
+                 if (x .gt. 0.5) then
+                   a(i) = 1.0
+                 else
+                   a(i) = 2.0
+                 end if
+               end do
+             end",
+            &opts,
+        );
+        let has_prob = c
+            .vars()
+            .iter()
+            .any(|(_, info)| info.kind == presage_symbolic::VarKind::BranchProb);
+        assert!(!has_prob, "close branches averaged: {c:#}");
+    }
+
+    #[test]
+    fn int_expr_conversion() {
+        use presage_frontend::Expr;
+        let e = Expr::binary(
+            BinOp::Div,
+            Expr::binary(BinOp::Sub, Expr::Var("n".into()), Expr::IntLit(1)),
+            Expr::IntLit(2),
+        );
+        let p = int_expr_to_poly(&e).unwrap();
+        assert_eq!(p.to_string(), "1/2*n - 1/2");
+        let bad = Expr::binary(BinOp::Div, Expr::Var("n".into()), Expr::Var("m".into()));
+        assert!(int_expr_to_poly(&bad).is_none(), "symbolic divisor unsupported");
+    }
+
+    #[test]
+    fn approx_rational_millicycles() {
+        assert_eq!(approx_rational(2.5).to_f64(), 2.5);
+        assert_eq!(approx_rational(1.0 / 3.0), Rational::new(333, 1000));
+    }
+
+    #[test]
+    fn append_block_remaps() {
+        use presage_machine::BasicOp;
+        use presage_translate::ValueDef;
+        let mut a = BlockIr::new();
+        let x = a.add_value(ValueDef::External("x".into()));
+        a.emit(BasicOp::FAdd, vec![x, x]);
+        let mut b = BlockIr::new();
+        let y = b.add_value(ValueDef::External("y".into()));
+        let t = b.emit(BasicOp::IAdd, vec![y, y]);
+        b.emit(BasicOp::ICmp, vec![t, y]);
+        append_block(&mut a, &b);
+        assert_eq!(a.len(), 3);
+        // The appended compare depends on the appended add, not on op 0.
+        let deps = a.deps_of(&a.ops[2]);
+        assert_eq!(deps, vec![presage_translate::OpId(1)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Communication cost model for distributed-memory machines.
+//!
+//! The paper routes message-passing statements through a parameterized
+//! static communication model (after Wang–Houstis [19]): each message costs
+//! a startup latency plus a per-byte transfer time, and data-distribution
+//! decisions (block vs. cyclic) change how many messages and bytes a loop
+//! nest induces. Costs integrate with the same symbolic expressions as the
+//! instruction model, so distribution choices can be compared with the
+//! §3.1 machinery — the use case of Balasundaram et al. that the paper
+//! cites.
+
+use presage_symbolic::{PerfExpr, Poly, Rational, Symbol, VarInfo};
+
+/// Machine communication parameters (cycles).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CommParams {
+    /// Per-message startup cost (α).
+    pub alpha: f64,
+    /// Per-byte transfer cost (β).
+    pub beta: f64,
+    /// Number of processors.
+    pub procs: u32,
+}
+
+impl Default for CommParams {
+    /// SP1-flavoured defaults: expensive startup, ~10 cycles/byte.
+    fn default() -> Self {
+        CommParams { alpha: 5000.0, beta: 10.0, procs: 16 }
+    }
+}
+
+/// How an array dimension is distributed over processors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Distribution {
+    /// Contiguous blocks of `n/P` elements per processor.
+    Block,
+    /// Element `i` on processor `i mod P`.
+    Cyclic,
+    /// Blocks of the given size dealt round-robin.
+    BlockCyclic(u32),
+}
+
+const ELEM_BYTES: f64 = 8.0;
+
+fn rat(x: f64) -> Rational {
+    Rational::new((x * 1000.0).round() as i128, 1000)
+}
+
+fn wrap(poly: Poly, n_range: (f64, f64)) -> PerfExpr {
+    let infos: Vec<(Symbol, VarInfo)> = poly
+        .symbols()
+        .into_iter()
+        .map(|s| (s, VarInfo::param(n_range.0, n_range.1)))
+        .collect();
+    PerfExpr::from_poly(poly, infos)
+}
+
+/// Cost of one message of `bytes` bytes.
+pub fn message_cost(params: &CommParams, bytes: f64) -> f64 {
+    params.alpha + params.beta * bytes
+}
+
+/// Per-processor boundary-exchange cost for one sweep of a 2-D
+/// `n × n` stencil with the given halo `radius`, as a symbolic expression
+/// in `n`.
+///
+/// - `Block` rows: each processor exchanges `2` halo strips of
+///   `radius × n` elements → `2(α + β·radius·n·8)`.
+/// - `Cyclic` rows: every one of the `n/P` local rows needs both neighbor
+///   rows from remote processors → `2(n/P)(α + β·n·8)`.
+/// - `BlockCyclic(b)`: `n/(P·b)` blocks each exchange two strips.
+///
+/// The block distribution's surface-to-volume advantage is exactly what
+/// the symbolic comparison machinery should discover.
+pub fn stencil_exchange_cost(
+    params: &CommParams,
+    dist: Distribution,
+    n: &Symbol,
+    radius: u32,
+    n_range: (f64, f64),
+) -> PerfExpr {
+    let np = Poly::var(n.clone());
+    let p = params.procs.max(1) as i128;
+    let row_bytes = np.scale(rat(ELEM_BYTES));
+    let poly = match dist {
+        Distribution::Block => {
+            // 2 messages of radius rows.
+            let bytes = row_bytes.scale(Rational::from_int(radius as i64));
+            bytes.scale(rat(2.0 * params.beta)) + Poly::constant(rat(2.0 * params.alpha))
+        }
+        Distribution::Cyclic => {
+            // n/P local rows, each pulling its 2·radius neighbor rows.
+            let msgs = np.scale(Rational::new(2 * radius as i128, p));
+            let per_msg_bytes = row_bytes.scale(rat(params.beta));
+            &msgs * &(per_msg_bytes + Poly::constant(rat(params.alpha)))
+        }
+        Distribution::BlockCyclic(b) => {
+            let blocks = np.scale(Rational::new(1, p * b.max(1) as i128));
+            let bytes = row_bytes.scale(Rational::from_int(radius as i64));
+            let per_block = bytes.scale(rat(2.0 * params.beta)) + Poly::constant(rat(2.0 * params.alpha));
+            &blocks * &per_block
+        }
+    };
+    wrap(poly, n_range)
+}
+
+/// Per-processor *computation* load (element-updates) for a triangular
+/// iteration space `do i = 1, n { do j = 1, i }` under row distributions:
+/// the maximum over processors, symbolically in `n`.
+///
+/// Block distribution loads the last processor with the widest rows
+/// (≈ `(2P−1)/P²·n²/2`), while cyclic balances to `≈ n²/(2P)` — the classic
+/// case where cyclic wins despite worse locality.
+pub fn triangular_max_load(params: &CommParams, dist: Distribution, n: &Symbol, n_range: (f64, f64)) -> PerfExpr {
+    let np = Poly::var(n.clone());
+    let n2 = (&np * &np).scale(Rational::new(1, 2));
+    let p = params.procs.max(1) as i128;
+    let poly = match dist {
+        Distribution::Block => {
+            // Last processor owns rows ((P−1)/P·n, n]: load ≈ n²(2P−1)/(2P²).
+            n2.scale(Rational::new(2 * p - 1, p * p))
+        }
+        Distribution::Cyclic => n2.scale(Rational::new(1, p)),
+        Distribution::BlockCyclic(b) => {
+            // Between the two; approximate with cyclic plus a block-size
+            // correction term b·n/(2P).
+            n2.scale(Rational::new(1, p)) + np.scale(Rational::new(b.max(1) as i128, 2 * p))
+        }
+    };
+    wrap(poly, n_range)
+}
+
+/// Total bytes a processor sends redistributing an `n`-element block-
+/// distributed array to cyclic (or back): all but `1/P` of the data moves.
+pub fn redistribution_cost(params: &CommParams, n: &Symbol, n_range: (f64, f64)) -> PerfExpr {
+    let np = Poly::var(n.clone());
+    let p = params.procs.max(1) as i128;
+    let local = np.scale(Rational::new(1, p));
+    let moved_bytes = local.scale(Rational::new((p - 1) as i128, p)).scale(rat(ELEM_BYTES));
+    let msgs = Poly::constant(Rational::from_int((params.procs - 1) as i64));
+    let poly = moved_bytes.scale(rat(params.beta)) + msgs.scale(rat(params.alpha));
+    wrap(poly, n_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_symbolic::CompareOutcome;
+    use std::collections::HashMap;
+
+    fn n() -> Symbol {
+        Symbol::new("n")
+    }
+
+    fn eval(e: &PerfExpr, nv: f64) -> f64 {
+        let mut b = HashMap::new();
+        b.insert(n(), nv);
+        e.poly().eval_f64(&b).unwrap()
+    }
+
+    #[test]
+    fn message_cost_linear_in_bytes() {
+        let p = CommParams { alpha: 100.0, beta: 2.0, procs: 4 };
+        assert_eq!(message_cost(&p, 0.0), 100.0);
+        assert_eq!(message_cost(&p, 50.0), 200.0);
+    }
+
+    #[test]
+    fn block_beats_cyclic_for_stencils() {
+        let p = CommParams::default();
+        let range = (64.0, 4096.0);
+        let block = stencil_exchange_cost(&p, Distribution::Block, &n(), 1, range);
+        let cyclic = stencil_exchange_cost(&p, Distribution::Cyclic, &n(), 1, range);
+        let cmp = block.compare(&cyclic);
+        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "{block} vs {cyclic}");
+        // And by a growing factor: at n = 1024 cyclic pays for n/P messages.
+        assert!(eval(&cyclic, 1024.0) / eval(&block, 1024.0) > 10.0);
+    }
+
+    #[test]
+    fn cyclic_balances_triangular_load() {
+        let p = CommParams::default();
+        let range = (64.0, 4096.0);
+        let block = triangular_max_load(&p, Distribution::Block, &n(), range);
+        let cyclic = triangular_max_load(&p, Distribution::Cyclic, &n(), range);
+        let cmp = cyclic.compare(&block);
+        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper);
+        // Block's worst processor does ≈ (2P−1)/P ≈ 2× the mean.
+        let ratio = eval(&block, 1000.0) / eval(&cyclic, 1000.0);
+        assert!((ratio - 1.94).abs() < 0.1, "got {ratio}");
+    }
+
+    #[test]
+    fn block_cyclic_interpolates_stencil_cost() {
+        let p = CommParams::default();
+        let range = (64.0, 4096.0);
+        let b1 = stencil_exchange_cost(&p, Distribution::BlockCyclic(1), &n(), 1, range);
+        let cyclic = stencil_exchange_cost(&p, Distribution::Cyclic, &n(), 1, range);
+        // Block-cyclic(1) on rows is close to cyclic in message count but
+        // each block only exchanges radius rows.
+        assert!(eval(&b1, 1024.0) <= eval(&cyclic, 1024.0));
+    }
+
+    #[test]
+    fn redistribution_scales_linearly() {
+        let p = CommParams::default();
+        let c = redistribution_cost(&p, &n(), (64.0, 1e6));
+        // Affine in n: doubling n less-than-doubles the total (the α·(P−1)
+        // startup term is constant), but the byte term doubles exactly.
+        let r = eval(&c, 20000.0) / eval(&c, 10000.0);
+        assert!(r > 1.2 && r < 2.0, "affine growth: {r}");
+        let byte_slope = (eval(&c, 20000.0) - eval(&c, 10000.0)) / 10000.0;
+        assert!(byte_slope > 0.0);
+    }
+
+    #[test]
+    fn radius_scales_block_cost() {
+        let p = CommParams::default();
+        let r1 = stencil_exchange_cost(&p, Distribution::Block, &n(), 1, (64.0, 4096.0));
+        let r2 = stencil_exchange_cost(&p, Distribution::Block, &n(), 2, (64.0, 4096.0));
+        let v1 = eval(&r1, 1024.0) - 2.0 * p.alpha;
+        let v2 = eval(&r2, 1024.0) - 2.0 * p.alpha;
+        assert!((v2 / v1 - 2.0).abs() < 1e-6);
+    }
+}

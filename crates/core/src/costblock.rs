@@ -1,0 +1,315 @@
+//! Cost blocks: the geometric summary of a placed basic block (paper
+//! Figure 8) and shape-based overlap estimation between adjacent blocks
+//! (Figure 9).
+
+use presage_machine::UnitClass;
+use std::fmt;
+
+/// Occupancy of one functional-unit instance after placement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnitUsage {
+    /// The unit's class.
+    pub class: UnitClass,
+    /// Instance index within its pool.
+    pub instance: u8,
+    /// First occupied time slot (meaningless when `busy == 0`).
+    pub bottom: u32,
+    /// One past the last occupied slot (0 when `busy == 0`).
+    pub top: u32,
+    /// Number of occupied (noncoverable) slots.
+    pub busy: u32,
+}
+
+/// The cost block of a placed basic block: "the first and last occupied
+/// time slots in functional units define the actual cost of a basic block
+/// and the area they enclosed is called the cost block".
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CostBlock {
+    /// Per-unit-instance usage, in machine unit order.
+    pub units: Vec<UnitUsage>,
+    /// Completion time of the last result (includes trailing coverable
+    /// latency of the final operations).
+    pub completion: u32,
+}
+
+impl CostBlock {
+    /// Lowest occupied slot across all units (`None` if nothing placed).
+    pub fn bottom(&self) -> Option<u32> {
+        self.units.iter().filter(|u| u.busy > 0).map(|u| u.bottom).min()
+    }
+
+    /// One past the highest occupied slot across all units.
+    pub fn top(&self) -> u32 {
+        self.units.iter().map(|u| u.top).max().unwrap_or(0)
+    }
+
+    /// The paper's block cost: "the time difference between the highest
+    /// time slot and the lowest time slot occupied by the operations".
+    pub fn span(&self) -> u32 {
+        match self.bottom() {
+            Some(b) => self.top() - b,
+            None => 0,
+        }
+    }
+
+    /// Total busy slots across all units (resource work).
+    pub fn total_busy(&self) -> u32 {
+        self.units.iter().map(|u| u.busy).sum()
+    }
+
+    /// Busy slots on one unit class (summed over instances).
+    pub fn busy_on(&self, class: UnitClass) -> u32 {
+        self.units.iter().filter(|u| u.class == class).map(|u| u.busy).sum()
+    }
+
+    /// Occupancy ratio of the busiest unit instance within the span —
+    /// "by checking the ratio of the occupied and empty slots in the
+    /// critical functional bin(s), the compiler can decide whether
+    /// statement reordering and loop unrolling are beneficial".
+    pub fn critical_ratio(&self) -> f64 {
+        let span = self.span();
+        if span == 0 {
+            return 0.0;
+        }
+        self.units
+            .iter()
+            .map(|u| u.busy as f64 / span as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// The critical (most occupied) unit class.
+    pub fn critical_unit(&self) -> Option<UnitClass> {
+        self.units
+            .iter()
+            .max_by_key(|u| u.busy)
+            .filter(|u| u.busy > 0)
+            .map(|u| u.class)
+    }
+
+    /// Empty slots at the top of this block for the given unit instance —
+    /// how far the next block's work on that unit could slide up (Figure 9).
+    pub fn top_gap(&self, idx: usize) -> u32 {
+        let u = &self.units[idx];
+        if u.busy == 0 {
+            self.span()
+        } else {
+            self.top() - u.top
+        }
+    }
+
+    /// Empty lead at the bottom of this block for the given unit instance.
+    pub fn bottom_lead(&self, idx: usize) -> u32 {
+        let u = &self.units[idx];
+        match self.bottom() {
+            None => 0,
+            Some(b) => {
+                if u.busy == 0 {
+                    self.span()
+                } else {
+                    u.bottom - b
+                }
+            }
+        }
+    }
+
+    /// Estimates how many cycles of `next` can overlap with the tail of
+    /// `self` by matching "the top and bottom of the geometry shape of the
+    /// cost block" (Figure 9): the slide is limited by the unit whose
+    /// top-gap plus bottom-lead is smallest.
+    ///
+    /// Both blocks must come from the same machine (same unit list).
+    pub fn estimate_overlap(&self, next: &CostBlock) -> u32 {
+        if self.units.len() != next.units.len() || self.span() == 0 || next.span() == 0 {
+            return 0;
+        }
+        let mut overlap = u32::MAX;
+        let mut constrained = false;
+        for i in 0..self.units.len() {
+            let here = &self.units[i];
+            let there = &next.units[i];
+            if here.busy == 0 && there.busy == 0 {
+                continue;
+            }
+            constrained = true;
+            overlap = overlap.min(self.top_gap(i) + next.bottom_lead(i));
+        }
+        if !constrained {
+            return 0;
+        }
+        overlap.min(self.span()).min(next.span())
+    }
+
+    /// Estimated cost of running `self` then `next` with overlap (Figure 9:
+    /// "cost of combining basic block 1 and 2").
+    pub fn combined_cost(&self, next: &CostBlock) -> u32 {
+        self.span() + next.span() - self.estimate_overlap(next)
+    }
+
+    /// Rough unrolling-factor suggestion: "the shapes of the cost blocks
+    /// can be used to decide ... the rough estimation of the loop unrolling
+    /// factor". Unrolling pays off until the critical bin saturates, so the
+    /// suggestion is `span / critical-busy` (≥ 1).
+    pub fn suggested_unroll(&self) -> u32 {
+        let crit = self
+            .units
+            .iter()
+            .map(|u| u.busy)
+            .max()
+            .unwrap_or(0);
+        if crit == 0 {
+            return 1;
+        }
+        (self.span() + crit - 1) / crit
+    }
+
+    /// The paper's branch-cost probe: "the cost of branch operations can be
+    /// estimated by checking the number of load instructions before
+    /// operations in other units started (this can be approximated as the
+    /// difference between the bottom of FXU and other units)".
+    pub fn fxu_lead(&self) -> u32 {
+        let fxu_bottom = self
+            .units
+            .iter()
+            .filter(|u| u.class == UnitClass::Fxu && u.busy > 0)
+            .map(|u| u.bottom)
+            .min();
+        let others_bottom = self
+            .units
+            .iter()
+            .filter(|u| u.class != UnitClass::Fxu && u.busy > 0)
+            .map(|u| u.bottom)
+            .min();
+        match (fxu_bottom, others_bottom) {
+            (Some(f), Some(o)) if o > f => o - f,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for CostBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cost block: span {} (completion {}):", self.span(), self.completion)?;
+        for u in &self.units {
+            if u.busy > 0 {
+                write!(f, " {}[{}..{}:{}]", u.class, u.bottom, u.top, u.busy)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(class: UnitClass, bottom: u32, top: u32, busy: u32) -> UnitUsage {
+        UnitUsage { class, instance: 0, bottom, top, busy }
+    }
+
+    fn two_unit_block(fxu: (u32, u32, u32), fpu: (u32, u32, u32)) -> CostBlock {
+        CostBlock {
+            units: vec![
+                usage(UnitClass::Fxu, fxu.0, fxu.1, fxu.2),
+                usage(UnitClass::Fpu, fpu.0, fpu.1, fpu.2),
+            ],
+            completion: fxu.1.max(fpu.1),
+        }
+    }
+
+    #[test]
+    fn span_and_busy() {
+        let b = two_unit_block((0, 3, 3), (1, 6, 4));
+        assert_eq!(b.span(), 6);
+        assert_eq!(b.total_busy(), 7);
+        assert_eq!(b.busy_on(UnitClass::Fpu), 4);
+        assert_eq!(b.bottom(), Some(0));
+        assert_eq!(b.top(), 6);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = CostBlock::default();
+        assert_eq!(b.span(), 0);
+        assert_eq!(b.critical_ratio(), 0.0);
+        assert_eq!(b.critical_unit(), None);
+        assert_eq!(b.suggested_unroll(), 1);
+    }
+
+    #[test]
+    fn critical_unit_and_ratio() {
+        let b = two_unit_block((0, 2, 2), (0, 6, 6));
+        assert_eq!(b.critical_unit(), Some(UnitClass::Fpu));
+        assert!((b.critical_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_and_leads() {
+        // FXU busy early (0..2), FPU busy late (3..6); span 6.
+        let b = two_unit_block((0, 2, 2), (3, 6, 3));
+        assert_eq!(b.top_gap(0), 4, "FXU free for 4 slots at the top");
+        assert_eq!(b.top_gap(1), 0);
+        assert_eq!(b.bottom_lead(0), 0);
+        assert_eq!(b.bottom_lead(1), 3);
+    }
+
+    #[test]
+    fn overlap_matches_figure9_geometry() {
+        // Block 1: FXU 0..2, FPU 3..6 (FPU-tail).
+        // Block 2: FXU 0..2, FPU 3..6 again — its FXU head fits the
+        // 4-slot FXU gap at block 1's top, but FPU allows 0 + 3.
+        let b1 = two_unit_block((0, 2, 2), (3, 6, 3));
+        let b2 = two_unit_block((0, 2, 2), (3, 6, 3));
+        // FXU constraint: 4 + 0 = 4; FPU constraint: 0 + 3 = 3.
+        assert_eq!(b1.estimate_overlap(&b2), 3);
+        assert_eq!(b1.combined_cost(&b2), 9);
+    }
+
+    #[test]
+    fn overlap_zero_for_dense_blocks() {
+        let b1 = two_unit_block((0, 4, 4), (0, 4, 4));
+        assert_eq!(b1.estimate_overlap(&b1.clone()), 0);
+        assert_eq!(b1.combined_cost(&b1.clone()), 8);
+    }
+
+    #[test]
+    fn overlap_ignores_mutually_unused_units() {
+        // Only FPU is used by both; FXU idle in both blocks.
+        let b1 = two_unit_block((0, 0, 0), (0, 2, 2));
+        let b2 = two_unit_block((0, 0, 0), (0, 2, 2));
+        assert_eq!(b1.estimate_overlap(&b2), 0, "FPU dense: no overlap");
+    }
+
+    #[test]
+    fn overlap_capped_by_spans() {
+        // Block 1 uses only FXU, block 2 only FPU: fully overlappable,
+        // capped by the shorter span.
+        let b1 = two_unit_block((0, 5, 5), (0, 0, 0));
+        let b2 = two_unit_block((0, 0, 0), (0, 3, 3));
+        assert_eq!(b1.estimate_overlap(&b2), 3);
+        assert_eq!(b1.combined_cost(&b2), 5);
+    }
+
+    #[test]
+    fn suggested_unroll() {
+        // Span 6, critical busy 2 → unroll ≈ 3 fills the pipeline.
+        let b = two_unit_block((0, 2, 2), (4, 6, 2));
+        assert_eq!(b.suggested_unroll(), 3);
+    }
+
+    #[test]
+    fn fxu_lead_probe() {
+        let b = two_unit_block((0, 2, 2), (2, 5, 3));
+        assert_eq!(b.fxu_lead(), 2, "FPU starts 2 slots after FXU");
+        let b2 = two_unit_block((1, 3, 2), (0, 2, 2));
+        assert_eq!(b2.fxu_lead(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let b = two_unit_block((0, 2, 2), (0, 0, 0));
+        let s = b.to_string();
+        assert!(s.contains("span 2"));
+        assert!(s.contains("FXU[0..2:2]"));
+        assert!(!s.contains("FPU"), "idle units omitted");
+    }
+}

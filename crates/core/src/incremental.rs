@@ -1,0 +1,465 @@
+//! Incremental update of performance predictions (paper §3.3.1).
+//!
+//! "The performance prediction framework needs to support incremental
+//! update so that cost of maintaining up-to-date performance during the
+//! program optimization process is as small as possible. ... each
+//! transformation defines an *affected region* of performance based on the
+//! structure it changes."
+//!
+//! A [`CostTree`] caches a performance expression at every structure node.
+//! Replacing one subtree re-costs only that subtree (the affected region)
+//! and recombines cached expressions along the ancestor path — no other
+//! placement work is repeated.
+
+use crate::aggregate::{AggregateOptions, Aggregator, LoopCtx};
+use crate::library::LibraryCostTable;
+use presage_machine::MachineDesc;
+use presage_symbolic::PerfExpr;
+use presage_translate::{IrNode, ProgramIr};
+
+/// Counters exposing how much work updates perform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecomputeStats {
+    /// Structure nodes re-costed from scratch.
+    pub nodes_recosted: u64,
+    /// Ancestor nodes recombined from cached children.
+    pub nodes_recombined: u64,
+}
+
+/// What a node contributes besides its children.
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// Straight-line block (leaf): `cost` is the placement cost.
+    Block,
+    /// A loop whose body was costed by steady-state re-dropping (leaf).
+    SimpleLoop,
+    /// A compound loop: `cost = one_time + Σ_iterations (children + control)`
+    /// (closed-form summation when children depend on the index).
+    Loop {
+        one_time: PerfExpr,
+        frame: LoopCtx,
+        control: PerfExpr,
+    },
+    /// A conditional: `cost = cond + p_t·Σ then + p_e·Σ else`.
+    If {
+        cond_cost: PerfExpr,
+        then_children: usize,
+    },
+}
+
+/// One cached node.
+#[derive(Clone, Debug)]
+struct CostNode {
+    ir: IrNode,
+    kind: NodeKind,
+    children: Vec<CostNode>,
+    /// Enclosing loop context at this node (for re-costing in place).
+    ctx: Vec<LoopCtx>,
+    cost: PerfExpr,
+}
+
+/// A cached, incrementally updatable cost model of one subroutine.
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::incremental::CostTree;
+/// use presage_core::aggregate::AggregateOptions;
+/// use presage_frontend::{parse, sema};
+/// use presage_machine::machines;
+/// use presage_translate::translate;
+///
+/// let m = machines::power_like();
+/// let prog = parse(
+///     "subroutine s(a, n)
+///        real a(n)
+///        integer i, n
+///        do i = 1, n
+///          a(i) = a(i) + 1.0
+///        end do
+///      end").unwrap();
+/// let symbols = sema::analyze(&prog.units[0]).unwrap();
+/// let ir = translate(&prog.units[0], &symbols, &m).unwrap();
+/// let tree = CostTree::build(&ir, &m, None, AggregateOptions::default());
+/// assert!(!tree.total().is_concrete());
+/// ```
+#[derive(Debug)]
+pub struct CostTree {
+    machine: MachineDesc,
+    library: Option<LibraryCostTable>,
+    opts: AggregateOptions,
+    roots: Vec<CostNode>,
+    total: PerfExpr,
+    stats: RecomputeStats,
+}
+
+impl CostTree {
+    /// Builds the tree with a full aggregation pass.
+    pub fn build(
+        ir: &ProgramIr,
+        machine: &MachineDesc,
+        library: Option<&LibraryCostTable>,
+        opts: AggregateOptions,
+    ) -> CostTree {
+        let mut tree = CostTree {
+            machine: machine.clone(),
+            library: library.cloned(),
+            opts,
+            roots: Vec::new(),
+            total: PerfExpr::zero(),
+            stats: RecomputeStats::default(),
+        };
+        let mut ctx: Vec<LoopCtx> = Vec::new();
+        tree.roots = ir
+            .root
+            .iter()
+            .map(|n| tree.build_node(n, &mut ctx))
+            .collect();
+        tree.total = tree.roots.iter().map(|n| n.cost.clone()).sum();
+        tree
+    }
+
+    fn aggregator(&self) -> Aggregator<'_> {
+        Aggregator {
+            machine: &self.machine,
+            library: self.library.as_ref(),
+            opts: &self.opts,
+        }
+    }
+
+    fn build_node(&mut self, node: &IrNode, ctx: &mut Vec<LoopCtx>) -> CostNode {
+        self.stats.nodes_recosted += 1;
+        let agg = Aggregator {
+            machine: &self.machine,
+            library: self.library.as_ref(),
+            opts: &self.opts,
+        };
+        match node {
+            IrNode::Block(b) => CostNode {
+                ir: node.clone(),
+                kind: NodeKind::Block,
+                children: Vec::new(),
+                ctx: ctx.clone(),
+                cost: agg.block_cost(b),
+            },
+            IrNode::Loop(l) => {
+                let one_time = agg.block_cost(&l.preheader) + agg.block_cost(&l.postheader);
+                let (count_poly, lb_poly) = agg.trip_count(l);
+                ctx.push(LoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly });
+                let simple = matches!(&l.body[..], [IrNode::Block(_)]) && self.opts.steady_probes >= 2;
+                let result = if simple {
+                    // Leaf: the whole loop re-costs as one unit.
+                    let mut inner_ctx = ctx.clone();
+                    inner_ctx.pop();
+                    let cost = agg.loop_cost(l, &mut inner_ctx);
+                    CostNode {
+                        ir: node.clone(),
+                        kind: NodeKind::SimpleLoop,
+                        children: Vec::new(),
+                        ctx: inner_ctx,
+                        cost,
+                    }
+                } else {
+                    let control = {
+                        let cb = crate::tetris::place_block(&self.machine, &l.control, self.opts.place);
+                        PerfExpr::cycles(cb.span() as i64)
+                    };
+                    let children: Vec<CostNode> =
+                        l.body.iter().map(|c| self.build_node(c, ctx)).collect();
+                    let body: PerfExpr = children.iter().map(|c| c.cost.clone()).sum();
+                    let frame = ctx.last().expect("frame pushed above").clone();
+                    let agg2 = Aggregator {
+                        machine: &self.machine,
+                        library: self.library.as_ref(),
+                        opts: &self.opts,
+                    };
+                    let cost =
+                        one_time.clone() + agg2.iterate(body + control.clone(), &l.var, &frame);
+                    let mut saved_ctx = ctx.clone();
+                    saved_ctx.pop();
+                    CostNode {
+                        ir: node.clone(),
+                        kind: NodeKind::Loop { one_time, frame, control },
+                        children,
+                        ctx: saved_ctx,
+                        cost,
+                    }
+                };
+                ctx.pop();
+                result
+            }
+            IrNode::If(i) => {
+                let cond_cost = agg.block_cost(&i.cond_block);
+                let children: Vec<CostNode> = i
+                    .then_nodes
+                    .iter()
+                    .chain(&i.else_nodes)
+                    .map(|c| self.build_node(c, ctx))
+                    .collect();
+                let then_children = i.then_nodes.len();
+                let mut n = CostNode {
+                    ir: node.clone(),
+                    kind: NodeKind::If { cond_cost, then_children },
+                    children,
+                    ctx: ctx.clone(),
+                    cost: PerfExpr::zero(),
+                };
+                n.cost = self.combine_if(&n);
+                n
+            }
+        }
+    }
+
+    fn combine_if(&self, node: &CostNode) -> PerfExpr {
+        let NodeKind::If { cond_cost, then_children } = &node.kind else {
+            unreachable!("combine_if on non-if node");
+        };
+        let IrNode::If(i) = &node.ir else {
+            unreachable!("if node without if ir");
+        };
+        let then_cost: PerfExpr = node.children[..*then_children]
+            .iter()
+            .map(|c| c.cost.clone())
+            .sum();
+        let else_cost: PerfExpr = node.children[*then_children..]
+            .iter()
+            .map(|c| c.cost.clone())
+            .sum();
+        let agg = self.aggregator();
+        let (pt, pe) = agg.branch_split(&i.cond, &then_cost, &else_cost, &node.ctx);
+        cond_cost.clone() + pt.mul(&then_cost) + pe.mul(&else_cost)
+    }
+
+    /// The cached total cost.
+    pub fn total(&self) -> &PerfExpr {
+        &self.total
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> RecomputeStats {
+        self.stats
+    }
+
+    /// Number of root nodes.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of children of the node at `path` (empty path = roots).
+    pub fn child_count(&self, path: &[usize]) -> Option<usize> {
+        if path.is_empty() {
+            return Some(self.roots.len());
+        }
+        self.node_at(path).map(|n| n.children.len())
+    }
+
+    fn node_at(&self, path: &[usize]) -> Option<&CostNode> {
+        let mut node = self.roots.get(*path.first()?)?;
+        for &idx in &path[1..] {
+            node = node.children.get(idx)?;
+        }
+        Some(node)
+    }
+
+    /// Replaces the subtree at `path` with new IR, re-costing only the
+    /// affected region and recombining cached ancestors.
+    ///
+    /// Returns the new total, or `None` if the path is invalid.
+    pub fn replace(&mut self, path: &[usize], new_ir: IrNode) -> Option<&PerfExpr> {
+        if path.is_empty() {
+            return None;
+        }
+        // Rebuild the replaced node in its saved loop context.
+        let mut saved_ctx = self.node_at(path)?.ctx.clone();
+        let new_node = self.build_node(&new_ir, &mut saved_ctx);
+
+        // Install and recombine ancestors bottom-up.
+        install(&mut self.roots, path, new_node)?;
+        for depth in (1..path.len()).rev() {
+            let prefix = &path[..depth];
+            let recombined = {
+                let node = self.node_at(prefix)?;
+                match &node.kind {
+                    NodeKind::Block | NodeKind::SimpleLoop => node.cost.clone(),
+                    NodeKind::Loop { one_time, frame, control } => {
+                        let body: PerfExpr = node.children.iter().map(|c| c.cost.clone()).sum();
+                        let IrNode::Loop(l) = &node.ir else {
+                            unreachable!("loop node without loop ir")
+                        };
+                        one_time.clone()
+                            + self.aggregator().iterate(body + control.clone(), &l.var, frame)
+                    }
+                    NodeKind::If { .. } => self.combine_if(node),
+                }
+            };
+            set_cost(&mut self.roots, prefix, recombined);
+            self.stats.nodes_recombined += 1;
+        }
+        self.total = self.roots.iter().map(|n| n.cost.clone()).sum();
+        Some(&self.total)
+    }
+}
+
+fn install(roots: &mut [CostNode], path: &[usize], new_node: CostNode) -> Option<()> {
+    let (first, rest) = path.split_first()?;
+    let mut node = roots.get_mut(*first)?;
+    if rest.is_empty() {
+        *node = new_node;
+        return Some(());
+    }
+    for (k, &idx) in rest.iter().enumerate() {
+        if k == rest.len() - 1 {
+            *node.children.get_mut(idx)? = new_node;
+            return Some(());
+        }
+        node = node.children.get_mut(idx)?;
+    }
+    None
+}
+
+fn set_cost(roots: &mut [CostNode], path: &[usize], cost: PerfExpr) {
+    let (first, rest) = match path.split_first() {
+        Some(x) => x,
+        None => return,
+    };
+    let mut node = match roots.get_mut(*first) {
+        Some(n) => n,
+        None => return,
+    };
+    for &idx in rest {
+        node = match node.children.get_mut(idx) {
+            Some(n) => n,
+            None => return,
+        };
+    }
+    node.cost = cost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+    use presage_frontend::{parse, sema};
+    use presage_machine::machines;
+    use presage_translate::translate;
+
+    fn ir_of(src: &str) -> (ProgramIr, MachineDesc) {
+        let m = machines::power_like();
+        let prog = parse(src).expect("parse");
+        let symbols = sema::analyze(&prog.units[0]).expect("sema");
+        let ir = translate(&prog.units[0], &symbols, &m).expect("translate");
+        (ir, m)
+    }
+
+    const NESTED: &str = "subroutine s(a, b, n, k)
+        real a(n,n), b(n,n)
+        integer i, j, n, k
+        do i = 1, n
+          a(i,1) = 0.0
+          do j = 1, n
+            a(i,j) = a(i,j) + b(i,j)
+          end do
+        end do
+      end";
+
+    #[test]
+    fn tree_total_matches_full_aggregation() {
+        for src in [
+            NESTED,
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+            "subroutine s(a, n, k)
+               real a(n)
+               integer i, n, k
+               do i = 1, n
+                 if (i .le. k) then
+                   a(i) = a(i) * 2.0 + 1.0
+                 else
+                   a(i) = 0.0
+                 end if
+               end do
+             end",
+        ] {
+            let (ir, m) = ir_of(src);
+            let opts = AggregateOptions::default();
+            let full = aggregate(&ir, &m, None, &opts);
+            let tree = CostTree::build(&ir, &m, None, opts);
+            assert_eq!(tree.total(), &full, "mismatch for:\n{src}");
+        }
+    }
+
+    #[test]
+    fn replace_inner_loop_updates_total() {
+        let (ir, m) = ir_of(NESTED);
+        let opts = AggregateOptions::default();
+        let mut tree = CostTree::build(&ir, &m, None, opts.clone());
+        let before = tree.total().clone();
+
+        // Replace the inner loop (outer loop child 1) with a cheaper body.
+        let (cheap_ir, _) = ir_of(
+            "subroutine s(a, b, n, k)
+               real a(n,n), b(n,n)
+               integer i, j, n, k
+               do j = 1, n
+                 a(1,j) = 0.0
+               end do
+             end",
+        );
+        let new_inner = cheap_ir.root[0].clone();
+        let after = tree.replace(&[0, 1], new_inner).expect("valid path").clone();
+        assert_ne!(before, after);
+
+        // The incremental total must equal a from-scratch aggregation of
+        // the equivalent program.
+        let (equiv_ir, _) = ir_of(
+            "subroutine s(a, b, n, k)
+               real a(n,n), b(n,n)
+               integer i, j, n, k
+               do i = 1, n
+                 a(i,1) = 0.0
+                 do j = 1, n
+                   a(1,j) = 0.0
+                 end do
+               end do
+             end",
+        );
+        let full = aggregate(&equiv_ir, &m, None, &opts);
+        assert_eq!(&after, &full);
+    }
+
+    #[test]
+    fn replace_recosts_only_affected_region() {
+        let (ir, m) = ir_of(NESTED);
+        let mut tree = CostTree::build(&ir, &m, None, AggregateOptions::default());
+        let built = tree.stats().nodes_recosted;
+
+        let (cheap_ir, _) = ir_of(
+            "subroutine s(a, n)\nreal a(n)\ninteger j, n\ndo j = 1, n\na(j) = 0.0\nend do\nend",
+        );
+        tree.replace(&[0, 1], cheap_ir.root[0].clone());
+        let after = tree.stats();
+        assert_eq!(
+            after.nodes_recosted - built,
+            1,
+            "only the replaced simple loop re-costed"
+        );
+        assert!(after.nodes_recombined >= 1, "outer loop recombined");
+    }
+
+    #[test]
+    fn invalid_path_rejected() {
+        let (ir, m) = ir_of(NESTED);
+        let mut tree = CostTree::build(&ir, &m, None, AggregateOptions::default());
+        assert!(tree.replace(&[], IrNode::Block(Default::default())).is_none());
+        assert!(tree.replace(&[9, 9], IrNode::Block(Default::default())).is_none());
+    }
+
+    #[test]
+    fn child_counts() {
+        let (ir, m) = ir_of(NESTED);
+        let tree = CostTree::build(&ir, &m, None, AggregateOptions::default());
+        assert_eq!(tree.root_count(), 1);
+        assert_eq!(tree.child_count(&[]), Some(1));
+        // Outer loop children: straight-line block + inner simple loop.
+        assert_eq!(tree.child_count(&[0]), Some(2));
+    }
+}

@@ -1,0 +1,62 @@
+//! Presage core: the performance prediction framework of Wang, *Precise
+//! Compile-Time Performance Prediction for Superscalar-Based Computers*
+//! (PLDI 1994).
+//!
+//! The paper's Figure 1 pipeline maps onto this crate as follows:
+//!
+//! - **Instruction cost model** (§2.1): [`slots`] implements the Figure 4
+//!   block-list time-slot structure, [`tetris`] the linear-time placement
+//!   of operations into functional-unit bins with coverable/noncoverable
+//!   costs and a tunable focus span, and [`costblock`] the Figure 8 cost
+//!   blocks with Figure 9 shape-based overlap estimation.
+//! - **Loop overlap** (§2.2.2): [`overlap`] estimates steady-state
+//!   per-iteration cost by re-dropping the body into the bins, plus the
+//!   cheap shape-matching alternative and unroll profiles.
+//! - **Cost aggregation** (§2.4): [`aggregate`] builds symbolic
+//!   performance expressions over unknown bounds and branch probabilities,
+//!   with the §3.3.2 simplification heuristics.
+//! - **Memory cost model** (§2.3): [`memory`] counts cache-line accesses
+//!   per reference group with a capacity-aware reuse heuristic.
+//! - **Communication cost model**: [`comm`] is the parameterized
+//!   message-passing model used for distribution decisions.
+//! - **Library interface** (§3.5): [`library`] holds parameterized cost
+//!   expressions for external routines.
+//! - **Incremental update** (§3.3.1): [`incremental`] caches per-structure
+//!   costs and re-costs only a transformation's affected region.
+//! - **Facade**: [`predictor::Predictor`] wires everything to source text.
+//!
+//! # Quick start
+//!
+//! ```
+//! use presage_core::predictor::Predictor;
+//! use presage_machine::machines;
+//!
+//! let predictor = Predictor::new(machines::power_like());
+//! let pred = &predictor.predict_source(
+//!     "subroutine daxpy(y, x, a, n)
+//!        real y(n), x(n), a
+//!        integer i, n
+//!        do i = 1, n
+//!          y(i) = y(i) + a * x(i)
+//!        end do
+//!      end").unwrap()[0];
+//! println!("C(daxpy) = {} cycles", pred.total);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod comm;
+pub mod costblock;
+pub mod incremental;
+pub mod library;
+pub mod memory;
+pub mod overlap;
+pub mod predictor;
+pub mod render;
+pub mod slots;
+pub mod tetris;
+
+pub use costblock::CostBlock;
+pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
+pub use tetris::{place_block, PlaceOptions, Placer};

@@ -1,0 +1,165 @@
+//! Procedure and library-routine cost tables (paper §3.5).
+//!
+//! "Table look-up of the performance expression can be used to find the
+//! cost of external function calls or library routines. ... The performance
+//! expressions are parameterized with the formal parameters. Actual
+//! parameters are substituted at the call site to get more specific
+//! performance expressions."
+
+use presage_symbolic::{PerfExpr, Poly, Symbol, VarInfo};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One library routine's parameterized cost.
+#[derive(Clone, Debug)]
+pub struct LibraryEntry {
+    /// Formal parameter names appearing in the expression.
+    pub formals: Vec<String>,
+    /// Cost expression over the formals.
+    pub cost: PerfExpr,
+}
+
+/// A table of external-routine cost expressions.
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::library::LibraryCostTable;
+/// use presage_symbolic::{PerfExpr, Symbol, VarInfo, Poly};
+///
+/// let mut table = LibraryCostTable::new();
+/// let n = Symbol::new("n");
+/// // dgemv: 2n² + 10n cycles.
+/// let cost = PerfExpr::from_poly(
+///     (&Poly::var(n.clone()) * &Poly::var(n.clone())).scale(2) + Poly::var(n.clone()).scale(10),
+///     [(n, VarInfo::param(1.0, 1e6))],
+/// );
+/// table.insert("dgemv", vec!["n".into()], cost);
+/// assert!(table.lookup("dgemv").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LibraryCostTable {
+    entries: HashMap<String, LibraryEntry>,
+    /// Cost charged for calls with no table entry.
+    pub unknown_call_cycles: i64,
+}
+
+impl LibraryCostTable {
+    /// An empty table; unknown calls default to 100 cycles.
+    pub fn new() -> LibraryCostTable {
+        LibraryCostTable { entries: HashMap::new(), unknown_call_cycles: 100 }
+    }
+
+    /// Registers a routine's parameterized cost expression.
+    pub fn insert(&mut self, name: impl Into<String>, formals: Vec<String>, cost: PerfExpr) {
+        self.entries.insert(name.into(), LibraryEntry { formals, cost });
+    }
+
+    /// Looks up a routine.
+    pub fn lookup(&self, name: &str) -> Option<&LibraryEntry> {
+        self.entries.get(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cost of a call site: the entry's expression with actual-argument
+    /// polynomials substituted for formals. Arguments given as `None` (not
+    /// statically polynomial) keep the formal as a free parameter.
+    ///
+    /// Unknown routines cost [`LibraryCostTable::unknown_call_cycles`].
+    pub fn call_cost(&self, name: &str, actuals: &[Option<Poly>]) -> PerfExpr {
+        let Some(entry) = self.entries.get(name) else {
+            return PerfExpr::cycles(self.unknown_call_cycles);
+        };
+        let mut expr = entry.cost.clone();
+        for (formal, actual) in entry.formals.iter().zip(actuals) {
+            if let Some(poly) = actual {
+                let sym = Symbol::new(formal);
+                let infos: Vec<(Symbol, VarInfo)> = poly
+                    .symbols()
+                    .into_iter()
+                    .map(|s| (s, VarInfo::param(1.0, 1e6)))
+                    .collect();
+                if let Ok(substituted) = expr.subst(&sym, poly, infos) {
+                    expr = substituted;
+                }
+                // On substitution failure (negative powers vs. compound
+                // polynomials) the formal simply stays symbolic.
+            }
+        }
+        expr
+    }
+}
+
+impl fmt::Display for LibraryCostTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "library cost table ({} entries):", self.entries.len())?;
+        let mut names: Vec<&String> = self.entries.keys().collect();
+        names.sort();
+        for n in names {
+            let e = &self.entries[n];
+            writeln!(f, "  {n}({}) = {}", e.formals.join(", "), e.cost)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LibraryCostTable {
+        let mut t = LibraryCostTable::new();
+        let n = Symbol::new("n");
+        let cost = PerfExpr::from_poly(
+            Poly::var(n.clone()).scale(3) + Poly::from(20),
+            [(n, VarInfo::param(1.0, 1e6))],
+        );
+        t.insert("saxpy", vec!["n".into()], cost);
+        t
+    }
+
+    #[test]
+    fn substitution_with_constant() {
+        let t = table();
+        let c = t.call_cost("saxpy", &[Some(Poly::from(10))]);
+        assert_eq!(c.concrete_cycles().unwrap(), presage_symbolic::Rational::from_int(50));
+    }
+
+    #[test]
+    fn substitution_with_expression() {
+        let t = table();
+        let m = Poly::var(Symbol::new("m"));
+        let c = t.call_cost("saxpy", &[Some(&m * &Poly::from(2))]);
+        assert_eq!(c.poly().to_string(), "6*m + 20");
+    }
+
+    #[test]
+    fn unknown_argument_stays_symbolic() {
+        let t = table();
+        let c = t.call_cost("saxpy", &[None]);
+        assert_eq!(c.poly().to_string(), "3*n + 20");
+    }
+
+    #[test]
+    fn unknown_routine_flat_cost() {
+        let t = table();
+        let c = t.call_cost("mystery", &[]);
+        assert_eq!(c.concrete_cycles().unwrap(), presage_symbolic::Rational::from_int(100));
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let s = table().to_string();
+        assert!(s.contains("saxpy(n)"));
+        assert!(s.contains("3*n + 20"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The end-to-end prediction facade (paper Figure 1).
+//!
+//! Source text flows through the front end, the instruction translation
+//! module, the placement cost model, and the symbolic aggregation model;
+//! memory costs are computed independently (§2.3) and added, and library
+//! calls draw on the external cost table (§3.5).
+
+use crate::aggregate::{aggregate, AggregateOptions};
+use crate::incremental::CostTree;
+use crate::library::LibraryCostTable;
+use crate::memory::{memory_cost, MemoryCost};
+use presage_frontend::{parse, sema, FrontendError, Subroutine};
+use presage_machine::MachineDesc;
+use presage_symbolic::PerfExpr;
+use presage_translate::{translate, ProgramIr, TranslateError};
+use std::fmt;
+
+/// Predictor configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PredictorOptions {
+    /// Aggregation/placement options.
+    pub aggregate: AggregateOptions,
+    /// Include the §2.3 memory cost model in the total.
+    pub include_memory: bool,
+    /// Library routine cost table for `call` statements.
+    pub library: Option<LibraryCostTable>,
+}
+
+/// Errors from prediction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredictError {
+    /// Lexing, parsing, or semantic analysis failed.
+    Frontend(FrontendError),
+    /// Instruction translation failed.
+    Translate(TranslateError),
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Frontend(e) => write!(f, "{e}"),
+            PredictError::Translate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<FrontendError> for PredictError {
+    fn from(e: FrontendError) -> Self {
+        PredictError::Frontend(e)
+    }
+}
+
+impl From<TranslateError> for PredictError {
+    fn from(e: TranslateError) -> Self {
+        PredictError::Translate(e)
+    }
+}
+
+/// A finished prediction for one subroutine.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Subroutine name.
+    pub name: String,
+    /// Instruction-stream cost (placement + aggregation).
+    pub compute: PerfExpr,
+    /// Memory cost, when enabled.
+    pub memory: Option<MemoryCost>,
+    /// `compute` plus memory stall cycles.
+    pub total: PerfExpr,
+    /// The translated program (for cost blocks, optimization, rendering).
+    pub ir: ProgramIr,
+}
+
+impl fmt::Display for Prediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} cycles", self.name, self.total)
+    }
+}
+
+/// The performance prediction engine for one target machine.
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::predictor::Predictor;
+/// use presage_machine::machines;
+///
+/// let predictor = Predictor::new(machines::power_like());
+/// let predictions = predictor
+///     .predict_source(
+///         "subroutine scale(a, s, n)
+///            real a(n), s
+///            integer i, n
+///            do i = 1, n
+///              a(i) = a(i) * s
+///            end do
+///          end",
+///     )
+///     .unwrap();
+/// let p = &predictions[0];
+/// assert_eq!(p.name, "scale");
+/// // Cost is symbolic in the unknown bound n.
+/// assert!(!p.total.is_concrete());
+/// ```
+#[derive(Debug)]
+pub struct Predictor {
+    machine: MachineDesc,
+    options: PredictorOptions,
+}
+
+impl Predictor {
+    /// A predictor with default options (no memory model, no library).
+    pub fn new(machine: MachineDesc) -> Predictor {
+        Predictor { machine, options: PredictorOptions::default() }
+    }
+
+    /// A predictor with explicit options.
+    pub fn with_options(machine: MachineDesc, options: PredictorOptions) -> Predictor {
+        Predictor { machine, options }
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &MachineDesc {
+        &self.machine
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &PredictorOptions {
+        &self.options
+    }
+
+    /// Parses, checks, translates, and predicts every subroutine in `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end or translation error.
+    pub fn predict_source(&self, src: &str) -> Result<Vec<Prediction>, PredictError> {
+        let program = parse(src)?;
+        program
+            .units
+            .iter()
+            .map(|sub| self.predict_subroutine(sub))
+            .collect()
+    }
+
+    /// Predicts one parsed subroutine.
+    ///
+    /// # Errors
+    ///
+    /// Returns semantic or translation errors.
+    pub fn predict_subroutine(&self, sub: &Subroutine) -> Result<Prediction, PredictError> {
+        let symbols = sema::analyze(sub)?;
+        let ir = translate(sub, &symbols, &self.machine)?;
+        Ok(self.predict_ir(sub.name.clone(), ir))
+    }
+
+    /// Predicts an already-translated program.
+    pub fn predict_ir(&self, name: String, ir: ProgramIr) -> Prediction {
+        let compute = aggregate(
+            &ir,
+            &self.machine,
+            self.options.library.as_ref(),
+            &self.options.aggregate,
+        );
+        let memory = self
+            .options
+            .include_memory
+            .then(|| memory_cost(&ir, &self.machine.cache, &self.options.aggregate));
+        let total = match &memory {
+            Some(mc) => compute.clone() + mc.cycles.clone(),
+            None => compute.clone(),
+        };
+        Prediction { name, compute, memory, total, ir }
+    }
+
+    /// Predicts every subroutine with *interprocedural* costing: each
+    /// predicted subroutine's expression is entered into the library cost
+    /// table (keyed by its name, parameterized by its unknowns), so later
+    /// subroutines' `call` statements are charged the callee's symbolic
+    /// cost rather than a flat unknown-call estimate.
+    ///
+    /// This is the paper's §3.5: "If source code is available, the
+    /// performance expressions of the external library routines can be
+    /// computed and stored in an external library cost table." Subroutines
+    /// must appear before their callers (no recursion — mini-Fortran has
+    /// none). Callee unknowns keep their formal names; actuals are not
+    /// substituted (the general parameterized-table case).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end or translation error.
+    pub fn predict_source_interprocedural(&self, src: &str) -> Result<Vec<Prediction>, PredictError> {
+        let program = parse(src)?;
+        let mut library = self.options.library.clone().unwrap_or_default();
+        let mut out = Vec::new();
+        for sub in &program.units {
+            let symbols = sema::analyze(sub)?;
+            let ir = translate(sub, &symbols, &self.machine)?;
+            let compute = aggregate(&ir, &self.machine, Some(&library), &self.options.aggregate);
+            let memory = self
+                .options
+                .include_memory
+                .then(|| memory_cost(&ir, &self.machine.cache, &self.options.aggregate));
+            let total = match &memory {
+                Some(mc) => compute.clone() + mc.cycles.clone(),
+                None => compute.clone(),
+            };
+            library.insert(sub.name.clone(), sub.params.clone(), total.clone());
+            out.push(Prediction { name: sub.name.clone(), compute, memory, total, ir });
+        }
+        Ok(out)
+    }
+
+    /// Builds an incrementally updatable cost tree for a translated
+    /// program (§3.3.1).
+    pub fn cost_tree(&self, ir: &ProgramIr) -> CostTree {
+        CostTree::build(
+            ir,
+            &self.machine,
+            self.options.library.as_ref(),
+            self.options.aggregate.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+    use presage_symbolic::{CompareOutcome, Symbol};
+    use std::collections::HashMap;
+
+    const AXPY: &str = "subroutine axpy(y, x, a, n)
+        real y(n), x(n), a
+        integer i, n
+        do i = 1, n
+          y(i) = y(i) + a * x(i)
+        end do
+      end";
+
+    #[test]
+    fn predicts_each_subroutine() {
+        let p = Predictor::new(machines::power_like());
+        let src = format!("{AXPY}\nsubroutine zero(a)\nreal a(8)\na(1) = 0.0\nend");
+        let preds = p.predict_source(&src).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].name, "axpy");
+        assert_eq!(preds[1].name, "zero");
+        assert!(preds[1].total.is_concrete());
+    }
+
+    #[test]
+    fn memory_model_adds_cost() {
+        let without = Predictor::new(machines::power_like());
+        let mut opts = PredictorOptions::default();
+        opts.include_memory = true;
+        let with = Predictor::with_options(machines::power_like(), opts);
+        let a = &without.predict_source(AXPY).unwrap()[0];
+        let b = &with.predict_source(AXPY).unwrap()[0];
+        assert!(b.memory.is_some());
+        let cmp = a.total.compare(&b.total);
+        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "memory adds cost");
+    }
+
+    #[test]
+    fn portability_same_source_two_machines() {
+        // The paper's portability claim: retargeting = swapping tables.
+        let power = Predictor::new(machines::power_like());
+        let risc = Predictor::new(machines::risc1());
+        let a = &power.predict_source(AXPY).unwrap()[0];
+        let b = &risc.predict_source(AXPY).unwrap()[0];
+        let n = Symbol::new("n");
+        let mut at = HashMap::new();
+        at.insert(n, 1000.0);
+        let pa = a.total.poly().eval_f64(&at).unwrap();
+        let pb = b.total.poly().eval_f64(&at).unwrap();
+        assert!(pb > pa, "scalar machine slower than superscalar: {pa} vs {pb}");
+    }
+
+    #[test]
+    fn frontend_errors_propagate() {
+        let p = Predictor::new(machines::power_like());
+        match p.predict_source("subroutine s(\nend") {
+            Err(PredictError::Frontend(_)) => {}
+            other => panic!("expected frontend error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interprocedural_prediction_threads_callee_costs() {
+        let p = Predictor::new(machines::power_like());
+        let src = "subroutine inner(a, m)
+             real a(m)
+             integer i, m
+             do i = 1, m
+               a(i) = a(i) * 2.0
+             end do
+           end
+           subroutine outer(a, m, k)
+             real a(m)
+             integer j, m, k
+             do j = 1, k
+               call inner(a, m)
+             end do
+           end";
+        let preds = p.predict_source_interprocedural(src).unwrap();
+        assert_eq!(preds.len(), 2);
+        let outer = &preds[1];
+        // outer's cost must contain a k·m term: k calls, each Θ(m).
+        let poly = outer.total.poly();
+        assert_eq!(poly.degree_in(&Symbol::new("k")), 1, "{}", outer.total);
+        assert_eq!(poly.degree_in(&Symbol::new("m")), 1, "{}", outer.total);
+        let km = poly
+            .terms()
+            .any(|(mono, _)| {
+                mono.exponent_of(&Symbol::new("k")) == 1 && mono.exponent_of(&Symbol::new("m")) == 1
+            });
+        assert!(km, "expected a k*m cross term: {}", outer.total);
+    }
+
+    #[test]
+    fn interprocedural_without_callee_uses_flat_cost() {
+        let p = Predictor::new(machines::power_like());
+        let src = "subroutine s(x, k)\nreal x\ninteger k\ncall mystery(k)\nend";
+        let preds = p.predict_source_interprocedural(src).unwrap();
+        // No memory model, unknown callee: the flat default applies.
+        assert!(preds[0].total.is_concrete());
+    }
+
+    #[test]
+    fn library_calls_costed() {
+        use presage_symbolic::{Poly, VarInfo};
+        let mut lib = LibraryCostTable::new();
+        let m = Symbol::new("m");
+        lib.insert(
+            "work",
+            vec!["m".into()],
+            PerfExpr::from_poly(Poly::var(m.clone()).scale(7), [(m, VarInfo::param(1.0, 1e6))]),
+        );
+        let mut opts = PredictorOptions::default();
+        opts.library = Some(lib);
+        let p = Predictor::with_options(machines::power_like(), opts);
+        let pred = &p
+            .predict_source("subroutine s(x, k)\nreal x\ninteger k\ncall work(k)\nend")
+            .unwrap()[0];
+        assert!(pred.total.poly().contains_symbol(&Symbol::new("m")), "{pred}");
+    }
+}

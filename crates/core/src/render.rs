@@ -1,0 +1,185 @@
+//! ASCII rendering of functional-unit bins and cost blocks, regenerating
+//! the visual language of the paper's Figures 3 and 8.
+
+use crate::costblock::CostBlock;
+use crate::tetris::Placer;
+
+/// Renders the placer's bins as a column-per-unit diagram, latest time slot
+/// on top (the orientation of Figure 3). `█` marks noncoverable occupancy,
+/// `·` an empty slot.
+pub fn render_bins(placer: &Placer<'_>) -> String {
+    let bins = placer.bin_runs();
+    let height = bins
+        .iter()
+        .flat_map(|(_, _, runs)| runs.iter().map(|(s, l, _)| s + l))
+        .max()
+        .unwrap_or(0);
+    let labels: Vec<String> = bins
+        .iter()
+        .map(|(class, inst, _)| {
+            if placer.machine().unit_count(*class) > 1 {
+                format!("{class}{inst}")
+            } else {
+                class.to_string()
+            }
+        })
+        .collect();
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        out.push_str(&format!("{row:>4} |"));
+        for (_, _, runs) in &bins {
+            let filled = runs
+                .iter()
+                .any(|(start, len, f)| *f && row >= *start && row < start + len);
+            let cell = if filled { '█' } else { '·' };
+            out.push_str(&format!(" {cell:^width$}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("      ");
+    for l in &labels {
+        out.push_str(&format!(" {l:^width$}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a cost-block outline (Figure 8): per unit, its occupied span
+/// within the overall block.
+pub fn render_cost_block(cb: &CostBlock) -> String {
+    let mut out = String::new();
+    let top = cb.top();
+    let bottom = cb.bottom().unwrap_or(0);
+    out.push_str(&format!(
+        "cost block: span {} cycles (slots {}..{}), completion {}\n",
+        cb.span(),
+        bottom,
+        top,
+        cb.completion
+    ));
+    for u in &cb.units {
+        let label = format!("{}{}", u.class, u.instance);
+        if u.busy == 0 {
+            out.push_str(&format!("  {label:<12} (idle)\n"));
+            continue;
+        }
+        let lead = (u.bottom - bottom) as usize;
+        let body = (u.top - u.bottom) as usize;
+        let tail = (top - u.top) as usize;
+        out.push_str(&format!(
+            "  {label:<12} {}{}{}  busy {}/{}\n",
+            "·".repeat(lead),
+            "█".repeat(body),
+            "·".repeat(tail),
+            u.busy,
+            body
+        ));
+    }
+    out
+}
+
+/// Renders an xlf-style cycle listing: each operation with its issue and
+/// finish cycle (the reference format the paper compared against — "the
+/// IBM xlf compiler prints out a listing of assembly code with a cycle
+/// count for each assembly instruction").
+pub fn render_listing(
+    block: &presage_translate::BlockIr,
+    schedule: &crate::tetris::DropSchedule,
+    machine: &presage_machine::MachineDesc,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>5} {:>6}  {:<10} {}", "issue", "finish", "op", "operands");
+    for (op, t) in block.ops.iter().zip(&schedule.per_op) {
+        let atomics: Vec<&str> = machine
+            .expand(op.basic)
+            .iter()
+            .map(|id| machine.atomic(*id).name.as_str())
+            .collect();
+        let mut operands = String::new();
+        if let Some(m) = &op.mem {
+            operands.push_str(&m.key());
+        }
+        if let Some(c) = &op.callee {
+            let _ = write!(operands, "@{c}");
+        }
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6}  {:<10} {}",
+            t.issue,
+            t.finish,
+            atomics.join("+"),
+            operands
+        );
+    }
+    let _ = writeln!(out, "total: {} cycles", schedule.completion);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tetris::{PlaceOptions, Placer};
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::{BlockIr, ValueDef};
+
+    fn sample_placer(m: &presage_machine::MachineDesc) -> Placer<'_> {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let t = b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::IAdd, vec![x, x]);
+        b.emit(BasicOp::FAdd, vec![t, t]);
+        let mut p = Placer::new(m, PlaceOptions::default());
+        p.drop_block(&b);
+        p
+    }
+
+    #[test]
+    fn bins_render_contains_units_and_fill() {
+        let m = machines::power_like();
+        let p = sample_placer(&m);
+        let s = render_bins(&p);
+        assert!(s.contains("FXU"));
+        assert!(s.contains("FPU"));
+        assert!(s.contains('█'));
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn cost_block_render_shows_span() {
+        let m = machines::power_like();
+        let p = sample_placer(&m);
+        let s = render_cost_block(&p.cost_block());
+        assert!(s.starts_with("cost block: span"));
+        assert!(s.contains("(idle)"), "unused units marked idle");
+    }
+
+    #[test]
+    fn listing_shows_cycles_and_ops() {
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let t = b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::FMul, vec![t, t]);
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let sched = p.drop_block_detailed(&b);
+        let listing = render_listing(&b, &sched, &m);
+        assert!(listing.contains("fa"), "{listing}");
+        assert!(listing.contains("total: 4 cycles"), "{listing}");
+        // The dependent multiply issues after the add's latency.
+        let lines: Vec<&str> = listing.lines().collect();
+        assert!(lines[2].trim_start().starts_with('2'), "{listing}");
+    }
+
+    #[test]
+    fn empty_placer_renders() {
+        let m = machines::power_like();
+        let p = Placer::new(&m, PlaceOptions::default());
+        let s = render_bins(&p);
+        assert!(s.contains("FXU"));
+        let cb = render_cost_block(&p.cost_block());
+        assert!(cb.contains("span 0"));
+    }
+}

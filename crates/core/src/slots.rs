@@ -1,0 +1,515 @@
+//! Time-slot tracking for one functional unit (paper Figure 4).
+//!
+//! "The time slots of instruction execution units are decomposed into lists
+//! of alternating filled and empty blocks that are represented by a
+//! two-dimensional array. The first and last slots of a block are used to
+//! record the size of the block. If the block is empty, we record the
+//! negative value of the block size. The array representation has the
+//! advantages of double linked lists since reaching the adjacent blocks is
+//! only one operation."
+
+use std::fmt;
+
+/// Run-length-encoded occupancy of one functional unit's time slots.
+///
+/// Only *noncoverable* cycles occupy slots; coverable latency is visible to
+/// dependents through ready times, not through the bins.
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::slots::BlockList;
+///
+/// let mut b = BlockList::new();
+/// let t = b.find_fit(0, 2);
+/// b.fill(t, 2);
+/// assert_eq!(b.highest_filled(), Some(1));
+/// assert_eq!(b.find_fit(0, 1), 2, "next free slot is after the filled run");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BlockList {
+    /// `slots[i]` at a run boundary holds ±run-length (negative = empty);
+    /// interior cells are unspecified.
+    slots: Vec<i32>,
+    /// One past the highest filled slot (0 when nothing is filled).
+    highest: usize,
+    /// Lowest filled slot, if any.
+    lowest: Option<usize>,
+    /// Total filled slots.
+    busy: usize,
+    /// Run start from which scans may begin: all queries are guaranteed to
+    /// target positions ≥ this run's start (advanced by
+    /// [`BlockList::advance_min_position`] under the focus-span policy,
+    /// which makes placement amortized linear).
+    hint: usize,
+}
+
+const INITIAL_CAPACITY: usize = 64;
+
+impl BlockList {
+    /// An empty slot list.
+    pub fn new() -> BlockList {
+        let mut slots = vec![0; INITIAL_CAPACITY];
+        write_run(&mut slots, 0, INITIAL_CAPACITY, false);
+        BlockList { slots, highest: 0, lowest: None, busy: 0, hint: 0 }
+    }
+
+    /// Flushes all slots ("the bins are flushed before being used for
+    /// another block of statements").
+    pub fn clear(&mut self) {
+        let cap = self.slots.len();
+        write_run(&mut self.slots, 0, cap, false);
+        self.highest = 0;
+        self.lowest = None;
+        self.busy = 0;
+        self.hint = 0;
+    }
+
+    /// One past the highest filled slot, `None` if empty.
+    pub fn highest_filled(&self) -> Option<usize> {
+        (self.highest > 0).then(|| self.highest - 1)
+    }
+
+    /// The lowest filled slot, `None` if empty.
+    pub fn lowest_filled(&self) -> Option<usize> {
+        self.lowest
+    }
+
+    /// Total number of filled slots.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Returns `true` if no slot is filled.
+    pub fn is_empty(&self) -> bool {
+        self.busy == 0
+    }
+
+    fn ensure_capacity(&mut self, needed: usize) {
+        let mut cap = self.slots.len();
+        if needed <= cap {
+            return;
+        }
+        while cap < needed {
+            cap *= 2;
+        }
+        let old = self.slots.len();
+        self.slots.resize(cap, 0);
+        // The region beyond `old` is empty; merge it with a trailing empty
+        // run if present.
+        let mut start = old;
+        if old > 0 {
+            let tail = self.slots[old - 1];
+            if tail < 0 {
+                start = old - (-tail) as usize;
+            }
+        }
+        write_run(&mut self.slots, start, cap - start, false);
+    }
+
+    /// Promises that no future `find_fit`/`fill` will target a position
+    /// below `pos`, letting scans skip everything before the run containing
+    /// `pos`. Used by the placement engine's focus-span floor; `pos` must
+    /// be non-decreasing across calls.
+    pub fn advance_min_position(&mut self, pos: usize) {
+        self.ensure_capacity(pos + 1);
+        let mut i = self.hint;
+        loop {
+            let run = self.slots[i];
+            debug_assert!(run != 0, "corrupt run encoding at {i}");
+            let l = run.unsigned_abs() as usize;
+            if pos < i + l {
+                break;
+            }
+            i += l;
+        }
+        self.hint = i;
+    }
+
+    /// Finds the lowest start `≥ from` of `len` consecutive empty slots.
+    ///
+    /// Always succeeds: the list grows to accommodate the request.
+    pub fn find_fit(&mut self, from: usize, len: usize) -> usize {
+        assert!(len > 0, "cannot place a zero-length run");
+        self.ensure_capacity(from + len);
+        let cap = self.slots.len();
+        let mut i = if from >= self.hint { self.hint } else { 0 };
+        while i < cap {
+            let run = self.slots[i];
+            debug_assert!(run != 0, "corrupt run encoding at {i}");
+            let l = run.unsigned_abs() as usize;
+            let end = i + l;
+            if run < 0 && end > from {
+                let start = i.max(from);
+                if end - start >= len {
+                    return start;
+                }
+            }
+            i = end;
+        }
+        // No interior fit: append past the end (growing as needed).
+        let start = self.highest.max(from);
+        self.ensure_capacity(start + len);
+        start
+    }
+
+    /// Marks `[start, start + len)` as filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot in the range is already filled (callers must use
+    /// [`BlockList::find_fit`] first).
+    pub fn fill(&mut self, start: usize, len: usize) {
+        assert!(len > 0, "cannot fill a zero-length run");
+        self.ensure_capacity(start + len);
+        // Locate the empty run containing `start`.
+        let mut i = if start >= self.hint { self.hint } else { 0 };
+        let (run_start, run_len) = loop {
+            let run = self.slots[i];
+            debug_assert!(run != 0, "corrupt run encoding at {i}");
+            let l = run.unsigned_abs() as usize;
+            if start < i + l {
+                assert!(run < 0, "slot {start} already filled");
+                break (i, l);
+            }
+            i += l;
+        };
+        assert!(
+            start + len <= run_start + run_len,
+            "fill range [{start}, {}) crosses into a filled run",
+            start + len
+        );
+
+        // Determine merge extents with adjacent filled runs.
+        let mut new_start = start;
+        if start == run_start && run_start > 0 {
+            let prev = self.slots[run_start - 1];
+            if prev > 0 {
+                new_start = run_start - prev as usize;
+            }
+        }
+        let mut new_end = start + len;
+        let run_end = run_start + run_len;
+        if new_end == run_end && run_end < self.slots.len() {
+            let next = self.slots[run_end];
+            if next > 0 {
+                new_end = run_end + next as usize;
+            }
+        }
+        // Rewrite: [leading empty][merged filled][trailing empty].
+        if start > run_start {
+            write_run(&mut self.slots, run_start, start - run_start, false);
+        }
+        write_run(&mut self.slots, new_start, new_end - new_start, true);
+        if start + len < run_end {
+            write_run(&mut self.slots, start + len, run_end - (start + len), false);
+        }
+
+        self.busy += len;
+        self.highest = self.highest.max(start + len);
+        self.lowest = Some(self.lowest.map_or(start, |l| l.min(start)));
+        // A backward merge can swallow the run the hint pointed at; keep
+        // the hint on a run boundary.
+        if new_start < self.hint {
+            self.hint = new_start;
+        }
+    }
+
+    /// Iterates `(start, len, filled)` runs up to the highest filled slot.
+    pub fn runs(&self) -> Runs<'_> {
+        Runs { list: self, pos: 0 }
+    }
+
+    /// Returns `true` if slot `t` is filled.
+    pub fn is_filled(&self, t: usize) -> bool {
+        if t >= self.highest {
+            return false;
+        }
+        for (start, len, filled) in self.runs() {
+            if t < start + len {
+                return filled && t >= start;
+            }
+        }
+        false
+    }
+
+    /// Number of filled slots within `[lo, hi)`.
+    pub fn busy_in(&self, lo: usize, hi: usize) -> usize {
+        let mut n = 0;
+        for (start, len, filled) in self.runs() {
+            if !filled {
+                continue;
+            }
+            let s = start.max(lo);
+            let e = (start + len).min(hi);
+            if s < e {
+                n += e - s;
+            }
+        }
+        n
+    }
+}
+
+/// Iterator over runs of a [`BlockList`].
+#[derive(Debug)]
+pub struct Runs<'a> {
+    list: &'a BlockList,
+    pos: usize,
+}
+
+impl Iterator for Runs<'_> {
+    type Item = (usize, usize, bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.list.highest {
+            return None;
+        }
+        let run = self.list.slots[self.pos];
+        let len = run.unsigned_abs() as usize;
+        let item = (self.pos, len.min(self.list.highest - self.pos), run > 0);
+        self.pos += len;
+        Some(item)
+    }
+}
+
+fn write_run(slots: &mut [i32], start: usize, len: usize, filled: bool) {
+    if len == 0 {
+        return;
+    }
+    let v = if filled { len as i32 } else { -(len as i32) };
+    slots[start] = v;
+    slots[start + len - 1] = v;
+}
+
+impl Default for BlockList {
+    fn default() -> Self {
+        BlockList::new()
+    }
+}
+
+impl fmt::Debug for BlockList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockList[")?;
+        for (start, len, filled) in self.runs() {
+            write!(f, " {}{}@{}", if filled { "#" } else { "." }, len, start)?;
+        }
+        write!(f, " ] highest={}", self.highest)
+    }
+}
+
+/// Naive flat-bitmap baseline used by the Figure 4 ablation bench: same
+/// interface, linear slot-by-slot scanning.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FlatSlots {
+    filled: Vec<bool>,
+    highest: usize,
+}
+
+impl FlatSlots {
+    /// An empty flat slot map.
+    pub fn new() -> FlatSlots {
+        FlatSlots { filled: vec![false; INITIAL_CAPACITY], highest: 0 }
+    }
+
+    /// Finds the lowest start `≥ from` of `len` consecutive empty slots by
+    /// scanning individual slots.
+    pub fn find_fit(&mut self, from: usize, len: usize) -> usize {
+        loop {
+            if from + len > self.filled.len() {
+                self.filled.resize((from + len).next_power_of_two(), false);
+            }
+            let mut start = from;
+            'outer: while start + len <= self.filled.len() {
+                for k in 0..len {
+                    if self.filled[start + k] {
+                        start = start + k + 1;
+                        continue 'outer;
+                    }
+                }
+                return start;
+            }
+            self.filled.resize(self.filled.len() * 2, false);
+        }
+    }
+
+    /// Marks the range filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot in the range is already filled.
+    pub fn fill(&mut self, start: usize, len: usize) {
+        if start + len > self.filled.len() {
+            self.filled.resize((start + len).next_power_of_two(), false);
+        }
+        for k in 0..len {
+            assert!(!self.filled[start + k], "slot {} already filled", start + k);
+            self.filled[start + k] = true;
+        }
+        self.highest = self.highest.max(start + len);
+    }
+
+    /// One past the highest filled slot (0 when empty).
+    pub fn highest(&self) -> usize {
+        self.highest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list() {
+        let b = BlockList::new();
+        assert!(b.is_empty());
+        assert_eq!(b.highest_filled(), None);
+        assert_eq!(b.lowest_filled(), None);
+        assert_eq!(b.busy(), 0);
+    }
+
+    #[test]
+    fn simple_fill() {
+        let mut b = BlockList::new();
+        b.fill(0, 3);
+        assert_eq!(b.highest_filled(), Some(2));
+        assert_eq!(b.lowest_filled(), Some(0));
+        assert_eq!(b.busy(), 3);
+        assert!(b.is_filled(0) && b.is_filled(2) && !b.is_filled(3));
+    }
+
+    #[test]
+    fn find_fit_skips_filled() {
+        let mut b = BlockList::new();
+        b.fill(0, 2);
+        b.fill(4, 2);
+        assert_eq!(b.find_fit(0, 2), 2, "gap between the runs");
+        assert_eq!(b.find_fit(0, 3), 6, "gap too small, go past the top");
+        assert_eq!(b.find_fit(5, 1), 6);
+    }
+
+    #[test]
+    fn fill_merges_adjacent_runs() {
+        let mut b = BlockList::new();
+        b.fill(0, 2);
+        b.fill(4, 2);
+        b.fill(2, 2); // bridges the gap
+        let runs: Vec<_> = b.runs().collect();
+        assert_eq!(runs, vec![(0, 6, true)]);
+        assert_eq!(b.busy(), 6);
+    }
+
+    #[test]
+    fn fill_splits_empty_run() {
+        let mut b = BlockList::new();
+        b.fill(3, 2);
+        let runs: Vec<_> = b.runs().collect();
+        assert_eq!(runs, vec![(0, 3, false), (3, 2, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already filled")]
+    fn double_fill_panics() {
+        let mut b = BlockList::new();
+        b.fill(0, 2);
+        b.fill(1, 1);
+    }
+
+    #[test]
+    fn growth_beyond_initial_capacity() {
+        let mut b = BlockList::new();
+        let t = b.find_fit(100, 50);
+        assert_eq!(t, 100);
+        b.fill(t, 50);
+        assert_eq!(b.highest_filled(), Some(149));
+        // And further growth merges trailing empties correctly.
+        let t2 = b.find_fit(0, 200);
+        b.fill(t2, 200);
+        assert_eq!(b.busy(), 250);
+    }
+
+    #[test]
+    fn busy_in_ranges() {
+        let mut b = BlockList::new();
+        b.fill(2, 3);
+        b.fill(8, 2);
+        assert_eq!(b.busy_in(0, 16), 5);
+        assert_eq!(b.busy_in(3, 9), 3);
+        assert_eq!(b.busy_in(5, 8), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = BlockList::new();
+        b.fill(0, 10);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.find_fit(0, 4), 0);
+    }
+
+    #[test]
+    fn backfill_prefers_lowest_slot() {
+        let mut b = BlockList::new();
+        b.fill(5, 5);
+        assert_eq!(b.find_fit(0, 4), 0, "backfills below the occupied region");
+    }
+
+    #[test]
+    fn hint_survives_backward_merge() {
+        let mut b = BlockList::new();
+        b.fill(0, 10); // filled [0,10)
+        b.advance_min_position(10); // hint at the empty run starting at 10
+        // Fill right at the hint: merges backward into the filled run,
+        // making 10 an interior cell. The hint must follow the merge.
+        let t = b.find_fit(10, 3);
+        assert_eq!(t, 10);
+        b.fill(t, 3);
+        // Subsequent queries must still behave.
+        assert_eq!(b.find_fit(10, 2), 13);
+        b.fill(13, 2);
+        assert_eq!(b.busy(), 15);
+        let runs: Vec<_> = b.runs().collect();
+        assert_eq!(runs, vec![(0, 15, true)]);
+    }
+
+    #[test]
+    fn advance_min_position_skips_prefix() {
+        let mut b = BlockList::new();
+        b.fill(0, 4);
+        b.fill(8, 4);
+        b.advance_min_position(8);
+        // The gap at [4, 8) is now unreachable by contract; fits search
+        // from the hint onward.
+        assert_eq!(b.find_fit(8, 2), 12);
+    }
+
+    #[test]
+    fn flat_slots_agrees_with_blocklist() {
+        let mut a = BlockList::new();
+        let mut f = FlatSlots::new();
+        // A deterministic mix of placements.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let from = (seed >> 33) as usize % 64;
+            let len = 1 + (seed >> 12) as usize % 5;
+            let ta = a.find_fit(from, len);
+            let tf = f.find_fit(from, len);
+            assert_eq!(ta, tf, "divergence at from={from} len={len}");
+            a.fill(ta, len);
+            f.fill(tf, len);
+        }
+        assert_eq!(a.highest_filled().map(|h| h + 1).unwrap_or(0), f.highest());
+    }
+
+    #[test]
+    fn runs_iterator_alternates() {
+        let mut b = BlockList::new();
+        b.fill(1, 2);
+        b.fill(5, 1);
+        let runs: Vec<_> = b.runs().collect();
+        assert_eq!(
+            runs,
+            vec![(0, 1, false), (1, 2, true), (3, 2, false), (5, 1, true)]
+        );
+    }
+}

@@ -1,0 +1,513 @@
+//! The placement cost model for straight-line code (paper §2.1).
+//!
+//! "Estimating the cost of executing a sequence of operations can be viewed
+//! as finding a way to drop all operation objects into the virtual
+//! architecture bin with the goal of minimizing the unfilled slots" —
+//! Figure 3's Tetris analogy. The approximate solution is "to place the
+//! cost object of each operation into the lowest time slots that all cost
+//! components of the operation can fit simultaneously", which this module
+//! implements in time linear in the number of operations (for a bounded
+//! focus span).
+
+use crate::costblock::{CostBlock, UnitUsage};
+use crate::slots::BlockList;
+use presage_machine::{MachineDesc, UnitClass};
+use presage_translate::BlockIr;
+
+/// Options controlling placement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PlaceOptions {
+    /// Number of slots below the highest occupied slot that remain
+    /// searchable ("only a certain number of slots (called *focus span*)
+    /// under the highest occupied time slot need to be considered ... an
+    /// adjustable parameter, thus allowing more flexible allocation of
+    /// computing resources based on accuracy and efficiency
+    /// considerations"). `None` searches the whole history.
+    pub focus_span: Option<u32>,
+}
+
+impl PlaceOptions {
+    /// Placement with a bounded focus span.
+    pub fn with_focus_span(span: u32) -> PlaceOptions {
+        PlaceOptions { focus_span: Some(span) }
+    }
+}
+
+struct Bin {
+    class: UnitClass,
+    instance: u8,
+    list: BlockList,
+}
+
+/// The virtual architecture bins: reusable placement state.
+///
+/// Repeatedly [`Placer::drop_block`]-ing the same block models loop
+/// iterations overlapping in the pipeline ("dropping the innermost basic
+/// block into the functional bins multiple times", §2.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use presage_core::tetris::{Placer, PlaceOptions};
+/// use presage_frontend::{parse, sema};
+/// use presage_machine::machines;
+/// use presage_translate::translate;
+///
+/// let m = machines::power_like();
+/// let prog = parse(
+///     "subroutine s(a, b, n)
+///        real a(n), b(n)
+///        integer i, n
+///        do i = 1, n
+///          a(i) = b(i) * 2.0 + 1.0
+///        end do
+///      end").unwrap();
+/// let symbols = sema::analyze(&prog.units[0]).unwrap();
+/// let ir = translate(&prog.units[0], &symbols, &m).unwrap();
+/// let mut placer = Placer::new(&m, PlaceOptions::default());
+/// let completion = placer.drop_block(ir.innermost_block().unwrap());
+/// assert!(completion > 0);
+/// ```
+pub struct Placer<'m> {
+    machine: &'m MachineDesc,
+    opts: PlaceOptions,
+    bins: Vec<Bin>,
+    max_completion: u32,
+    ops_placed: u64,
+}
+
+impl std::fmt::Debug for Placer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Placer({}, {} bins, completion {})",
+            self.machine.name(),
+            self.bins.len(),
+            self.max_completion
+        )
+    }
+}
+
+impl<'m> Placer<'m> {
+    /// Creates empty bins for the machine's functional units.
+    pub fn new(machine: &'m MachineDesc, opts: PlaceOptions) -> Placer<'m> {
+        let mut bins = Vec::new();
+        for pool in machine.units() {
+            for inst in 0..pool.count {
+                bins.push(Bin { class: pool.class, instance: inst, list: BlockList::new() });
+            }
+        }
+        Placer { machine, opts, bins, max_completion: 0, ops_placed: 0 }
+    }
+
+    /// The machine being modeled.
+    pub fn machine(&self) -> &MachineDesc {
+        self.machine
+    }
+
+    /// Flushes all bins ("the bins are flushed before being used for
+    /// another block of statements").
+    pub fn clear(&mut self) {
+        for b in &mut self.bins {
+            b.list.clear();
+        }
+        self.max_completion = 0;
+        self.ops_placed = 0;
+    }
+
+    /// Total operations placed since the last clear.
+    pub fn ops_placed(&self) -> u64 {
+        self.ops_placed
+    }
+
+    /// One past the highest occupied slot across all bins.
+    fn highest(&self) -> u32 {
+        self.bins
+            .iter()
+            .filter_map(|b| b.list.highest_filled())
+            .map(|h| h as u32 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The lowest searchable slot under the focus-span policy.
+    fn floor(&self) -> u32 {
+        match self.opts.focus_span {
+            None => 0,
+            Some(span) => self.highest().saturating_sub(span),
+        }
+    }
+
+    /// Drops one straight-line block into the bins, returning the
+    /// completion time of its last result (measured from slot 0 of the
+    /// whole placement history).
+    pub fn drop_block(&mut self, block: &BlockIr) -> u32 {
+        self.drop_block_detailed(block).completion
+    }
+
+    /// Like [`Placer::drop_block`], but also returns each operation's
+    /// issue and finish cycles — the data behind the xlf-style cycle
+    /// listing the paper used as its reference format.
+    pub fn drop_block_detailed(&mut self, block: &BlockIr) -> DropSchedule {
+        let mut per_op: Vec<OpTime> = Vec::with_capacity(block.ops.len());
+        let mut finish = vec![0u32; block.ops.len()];
+        let mut completion = self.max_completion;
+        for (i, op) in block.ops.iter().enumerate() {
+            let ready = block
+                .deps_of(op)
+                .into_iter()
+                .map(|d| finish[d.0 as usize])
+                .max()
+                .unwrap_or(0);
+            let mut t_done = ready;
+            let mut first_issue = None;
+            for atomic_id in self.machine.expand(op.basic) {
+                let atomic = self.machine.atomic(*atomic_id).clone();
+                if atomic.costs.is_empty() {
+                    continue;
+                }
+                let t = self.place_atomic(&atomic, t_done);
+                first_issue.get_or_insert(t);
+                t_done = t + atomic.latency();
+            }
+            finish[i] = t_done;
+            per_op.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+            completion = completion.max(t_done);
+            self.ops_placed += 1;
+        }
+        self.max_completion = completion;
+        DropSchedule { completion, per_op }
+    }
+
+    /// Finds the lowest slot ≥ `ready` (and ≥ the focus floor) where every
+    /// cost component fits simultaneously, then fills it (Figure 5).
+    fn place_atomic(&mut self, atomic: &presage_machine::AtomicOpDef, ready: u32) -> u32 {
+        debug_assert!(
+            {
+                let mut classes: Vec<_> = atomic.costs.iter().map(|c| c.class).collect();
+                classes.sort();
+                classes.windows(2).all(|w| w[0] != w[1])
+            },
+            "atomic ops use each unit class at most once"
+        );
+        let floor = self.floor();
+        if self.opts.focus_span.is_some() && floor > 0 {
+            // The focus-span floor is monotone: let every bin skip the
+            // frozen prefix, keeping placement amortized linear.
+            for bin in &mut self.bins {
+                bin.list.advance_min_position(floor as usize);
+            }
+        }
+        let mut t = ready.max(floor);
+        'fixpoint: loop {
+            let mut picks: Vec<(usize, u32)> = Vec::with_capacity(atomic.costs.len());
+            for comp in &atomic.costs {
+                if comp.noncoverable == 0 {
+                    continue;
+                }
+                let (idx, fit) = self.best_fit(comp.class, t, comp.noncoverable);
+                if fit > t {
+                    t = fit;
+                    continue 'fixpoint;
+                }
+                picks.push((idx, comp.noncoverable));
+            }
+            for (idx, len) in picks {
+                self.bins[idx].list.fill(t as usize, len as usize);
+            }
+            return t;
+        }
+    }
+
+    /// The earliest fit at or after `from` across the instances of a pool.
+    fn best_fit(&mut self, class: UnitClass, from: u32, len: u32) -> (usize, u32) {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, bin) in self.bins.iter_mut().enumerate() {
+            if bin.class != class {
+                continue;
+            }
+            let fit = bin.list.find_fit(from as usize, len as usize) as u32;
+            if best.map_or(true, |(_, bf)| fit < bf) {
+                best = Some((i, fit));
+            }
+        }
+        best.unwrap_or_else(|| panic!("machine has no unit of class {class}"))
+    }
+
+    /// Snapshot of the current bins as a [`CostBlock`] (Figure 8).
+    pub fn cost_block(&self) -> CostBlock {
+        let units = self
+            .bins
+            .iter()
+            .map(|b| UnitUsage {
+                class: b.class,
+                instance: b.instance,
+                bottom: b.list.lowest_filled().unwrap_or(0) as u32,
+                top: b.list.highest_filled().map(|h| h as u32 + 1).unwrap_or(0),
+                busy: b.list.busy() as u32,
+            })
+            .collect();
+        CostBlock { units, completion: self.max_completion }
+    }
+
+    /// Iterates the run structure of a bin (for rendering; Figure 3).
+    pub fn bin_runs(&self) -> Vec<(UnitClass, u8, Vec<(usize, usize, bool)>)> {
+        self.bins
+            .iter()
+            .map(|b| (b.class, b.instance, b.list.runs().collect()))
+            .collect()
+    }
+}
+
+/// Issue/finish times of one placed operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpTime {
+    /// Cycle the first atomic operation of the expansion was placed at.
+    pub issue: u32,
+    /// Cycle the result becomes available (includes coverable latency).
+    pub finish: u32,
+}
+
+/// Per-operation schedule of one [`Placer::drop_block_detailed`] call.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DropSchedule {
+    /// Completion time of the drop's last result.
+    pub completion: u32,
+    /// Index-aligned issue/finish times for the block's operations.
+    pub per_op: Vec<OpTime>,
+}
+
+/// One-shot placement of a single block with fresh bins.
+pub fn place_block(machine: &MachineDesc, block: &BlockIr, opts: PlaceOptions) -> CostBlock {
+    let mut p = Placer::new(machine, opts);
+    p.drop_block(block);
+    p.cost_block()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::{BlockIr, ValueDef};
+
+    /// Builds a block of `n` independent FP adds.
+    fn independent_fadds(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            b.emit(BasicOp::FAdd, vec![x, x]);
+        }
+        b
+    }
+
+    /// Builds a chain of `n` dependent FP adds.
+    fn chained_fadds(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let mut v = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            v = b.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        b
+    }
+
+    #[test]
+    fn independent_ops_pipeline() {
+        // fadd = 1 noncoverable + 1 coverable: independent adds issue one
+        // per cycle; n adds complete at n + 1.
+        let m = machines::power_like();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let done = p.drop_block(&independent_fadds(8));
+        assert_eq!(done, 9, "8 issue slots + 1 trailing coverable cycle");
+        assert_eq!(p.cost_block().busy_on(presage_machine::UnitClass::Fpu), 8);
+    }
+
+    #[test]
+    fn dependent_ops_serialize() {
+        // A dependent chain pays the full 2-cycle latency each step.
+        let m = machines::power_like();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let done = p.drop_block(&chained_fadds(8));
+        assert_eq!(done, 16, "8 × latency 2");
+    }
+
+    #[test]
+    fn coverable_slots_are_shared() {
+        // The paper's example: if another operation fills the coverable
+        // cycle, an fadd effectively costs one cycle.
+        let m = machines::power_like();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        p.drop_block(&independent_fadds(2));
+        let cb = p.cost_block();
+        // Two adds occupy slots 0 and 1 — the second sits in the first's
+        // coverable window.
+        assert_eq!(cb.span(), 2);
+    }
+
+    #[test]
+    fn multi_unit_op_occupies_both() {
+        // The paper's FP store: FPU 1+1c and FXU 1 simultaneously.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let v = b.add_value(ValueDef::External("v".into()));
+        let a = b.add_value(ValueDef::External("addr".into()));
+        b.push_op(presage_translate::Op {
+            basic: BasicOp::StoreFloat,
+            args: vec![v, a],
+            result: None,
+            mem: None,
+            extra_deps: vec![],
+            callee: None,
+        });
+        let cb = place_block(&m, &b, PlaceOptions::default());
+        assert_eq!(cb.busy_on(presage_machine::UnitClass::Fpu), 1);
+        assert_eq!(cb.busy_on(presage_machine::UnitClass::Fxu), 1);
+        assert!(cb.busy_on(presage_machine::UnitClass::LoadStore) > 0);
+    }
+
+    #[test]
+    fn different_units_fully_overlap() {
+        // Integer and float work share no unit: span is set by one stream.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..4 {
+            b.emit(BasicOp::IAdd, vec![x, x]);
+            b.emit(BasicOp::FAdd, vec![x, x]);
+        }
+        let cb = place_block(&m, &b, PlaceOptions::default());
+        assert_eq!(cb.span(), 4, "FXU and FPU streams run side by side");
+    }
+
+    #[test]
+    fn wide_machine_uses_both_pipes() {
+        let m = machines::wide4();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        p.drop_block(&independent_fadds(8));
+        let cb = p.cost_block();
+        // Two FPU instances split the work: 4 issue slots each.
+        let fpu_tops: Vec<u32> = cb
+            .units
+            .iter()
+            .filter(|u| u.class == presage_machine::UnitClass::Fpu)
+            .map(|u| u.top)
+            .collect();
+        assert_eq!(fpu_tops.len(), 2);
+        assert!(fpu_tops.iter().all(|t| *t == 4));
+    }
+
+    #[test]
+    fn focus_span_limits_backfill() {
+        let m = machines::power_like();
+        // A long FPU chain raises the ceiling; a late independent FXU op
+        // could backfill to slot 0 — unless the focus span forbids it.
+        let mut block = chained_fadds(10);
+        let x = block.add_value(ValueDef::External("y".into()));
+        block.emit(BasicOp::IAdd, vec![x, x]);
+
+        let unbounded = place_block(&m, &block, PlaceOptions::default());
+        let fxu_unbounded = unbounded
+            .units
+            .iter()
+            .find(|u| u.class == presage_machine::UnitClass::Fxu)
+            .unwrap()
+            .bottom;
+        assert_eq!(fxu_unbounded, 0, "full history allows backfill to slot 0");
+
+        let bounded = place_block(&m, &block, PlaceOptions::with_focus_span(4));
+        let fxu_bounded = bounded
+            .units
+            .iter()
+            .find(|u| u.class == presage_machine::UnitClass::Fxu)
+            .unwrap()
+            .bottom;
+        assert!(fxu_bounded >= 15, "focus span pins placement near the top, got {fxu_bounded}");
+    }
+
+    #[test]
+    fn repeated_drops_overlap_iterations() {
+        // Dropping the same block twice costs less than twice one drop
+        // when units are under-utilized.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let t1 = b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::FAdd, vec![t1, t1]);
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let c1 = p.drop_block(&b);
+        let c2 = p.drop_block(&b);
+        assert!(c2 - c1 < c1, "second iteration hides in the first's bubbles: {c1} then {c2}");
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let m = machines::power_like();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        p.drop_block(&independent_fadds(4));
+        p.clear();
+        assert_eq!(p.cost_block().span(), 0);
+        assert_eq!(p.ops_placed(), 0);
+        let done = p.drop_block(&independent_fadds(1));
+        assert_eq!(done, 2);
+    }
+
+    #[test]
+    fn empty_block_is_free() {
+        let m = machines::power_like();
+        let cb = place_block(&m, &BlockIr::new(), PlaceOptions::default());
+        assert_eq!(cb.span(), 0);
+        assert_eq!(cb.completion, 0);
+    }
+
+    #[test]
+    fn risc1_fma_expansion_chains() {
+        // risc1 has no FMA: the expansion is two chained 1+2c ALU ops.
+        let m = machines::risc1();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::Fma, vec![x, x, x]);
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let done = p.drop_block(&b);
+        assert_eq!(done, 6, "two chained latency-3 ops");
+    }
+
+    #[test]
+    fn detailed_schedule_reports_times() {
+        let m = machines::power_like();
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let sched = p.drop_block_detailed(&chained_fadds(3));
+        assert_eq!(sched.per_op.len(), 3);
+        assert_eq!(sched.completion, 6);
+        // A dependent chain issues at 0, 2, 4 and finishes 2 cycles later.
+        let issues: Vec<u32> = sched.per_op.iter().map(|t| t.issue).collect();
+        assert_eq!(issues, vec![0, 2, 4]);
+        for t in &sched.per_op {
+            assert_eq!(t.finish, t.issue + 2);
+        }
+    }
+
+    #[test]
+    fn detailed_schedule_issue_never_precedes_deps() {
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let t1 = b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::IAdd, vec![x, x]); // independent FXU op
+        b.emit(BasicOp::FMul, vec![t1, t1]);
+        let mut p = Placer::new(&m, PlaceOptions::default());
+        let sched = p.drop_block_detailed(&b);
+        assert!(sched.per_op[2].issue >= sched.per_op[0].finish);
+    }
+
+    #[test]
+    fn variable_latency_multiply() {
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::IMulSmall, vec![x, x]);
+        assert_eq!(place_block(&m, &b, PlaceOptions::default()).completion, 3);
+        let mut b2 = BlockIr::new();
+        let y = b2.add_value(ValueDef::External("y".into()));
+        b2.emit(BasicOp::IMul, vec![y, y]);
+        assert_eq!(place_block(&m, &b2, PlaceOptions::default()).completion, 5);
+    }
+}

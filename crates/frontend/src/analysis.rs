@@ -1,0 +1,344 @@
+//! Program-structure analysis used by the cost model.
+//!
+//! The paper's framework assumes "the program analysis module" provides the
+//! information the cost model needs (§2.2): loop structure, loop-invariant
+//! expressions, induction variables, and affine subscript shapes for the
+//! memory model.
+
+use crate::ast::{Expr, Stmt, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// Names (scalars and arrays) that may be written by a statement list.
+///
+/// Loop variables of contained `do` loops count as assigned; arguments of
+/// `call` statements are conservatively treated as assigned (Fortran
+/// call-by-reference).
+pub fn assigned_names(stmts: &[Stmt]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    collect_assigned(stmts, &mut out);
+    out
+}
+
+fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, .. } => match target {
+                Expr::Var(n) => {
+                    out.insert(n.clone());
+                }
+                Expr::ArrayRef { name, .. } => {
+                    out.insert(name.clone());
+                }
+                _ => {}
+            },
+            Stmt::Do { var, body, .. } => {
+                out.insert(var.clone());
+                collect_assigned(body, out);
+            }
+            Stmt::DoWhile { body, .. } => {
+                collect_assigned(body, out);
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        Expr::Var(n) => {
+                            out.insert(n.clone());
+                        }
+                        Expr::ArrayRef { name, .. } => {
+                            out.insert(name.clone());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// Returns `true` if `expr` is invariant with respect to a loop whose body
+/// assigns `assigned` and iterates `loop_var` (§2.2.2: loop-invariant
+/// expressions are hoisted and costed once).
+pub fn is_invariant(expr: &Expr, loop_var: &str, assigned: &HashSet<String>) -> bool {
+    let mut invariant = true;
+    expr.walk(&mut |e| match e {
+        Expr::Var(n) => {
+            if n == loop_var || assigned.contains(n) {
+                invariant = false;
+            }
+        }
+        Expr::ArrayRef { name, .. } => {
+            // A load from an array written in the loop may change between
+            // iterations.
+            if assigned.contains(name) {
+                invariant = false;
+            }
+        }
+        _ => {}
+    });
+    invariant
+}
+
+/// An affine integer form `Σ coeff_i · var_i + constant`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Affine {
+    /// Per-variable integer coefficients (absent = 0).
+    pub terms: HashMap<String, i64>,
+    /// The constant part.
+    pub constant: i64,
+}
+
+impl Affine {
+    /// The coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: &str) -> i64 {
+        self.terms.get(var).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.values().all(|c| *c == 0)
+    }
+
+    fn add(mut self, other: Affine, sign: i64) -> Affine {
+        for (v, c) in other.terms {
+            *self.terms.entry(v).or_insert(0) += sign * c;
+        }
+        self.constant += sign * other.constant;
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Affine {
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+}
+
+/// Tries to view an integer expression as an affine form over scalar
+/// variables. Returns `None` for non-affine shapes (products of variables,
+/// divisions, array references, intrinsics).
+///
+/// This powers the memory model's stride analysis and the strength-reduction
+/// imitation in the translator.
+pub fn affine_form(expr: &Expr) -> Option<Affine> {
+    match expr {
+        Expr::IntLit(n) => Some(Affine { terms: HashMap::new(), constant: *n }),
+        Expr::Var(n) => Some(Affine { terms: HashMap::from([(n.clone(), 1)]), constant: 0 }),
+        Expr::Unary { op: UnOp::Neg, operand } => affine_form(operand).map(|a| a.scale(-1)),
+        Expr::Binary { op, lhs, rhs } => {
+            use crate::ast::BinOp;
+            match op {
+                BinOp::Add => Some(affine_form(lhs)?.add(affine_form(rhs)?, 1)),
+                BinOp::Sub => Some(affine_form(lhs)?.add(affine_form(rhs)?, -1)),
+                BinOp::Mul => {
+                    let l = affine_form(lhs)?;
+                    let r = affine_form(rhs)?;
+                    if l.is_constant() {
+                        Some(r.scale(l.constant))
+                    } else if r.is_constant() {
+                        Some(l.scale(r.constant))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// One level of a loop nest.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopHeader<'a> {
+    /// Control variable.
+    pub var: &'a str,
+    /// Lower bound expression.
+    pub lb: &'a Expr,
+    /// Upper bound expression.
+    pub ub: &'a Expr,
+    /// Step expression (`None` = 1).
+    pub step: Option<&'a Expr>,
+}
+
+/// Peels a perfect loop nest: returns the chain of loop headers and the
+/// innermost body. A nest is *perfect* while each body consists of exactly
+/// one nested `do`.
+pub fn perfect_nest(stmt: &Stmt) -> (Vec<LoopHeader<'_>>, &[Stmt]) {
+    let mut headers = Vec::new();
+    let mut current = std::slice::from_ref(stmt);
+    loop {
+        match current {
+            [Stmt::Do { var, lb, ub, step, body, .. }] => {
+                headers.push(LoopHeader { var, lb, ub, step: step.as_ref() });
+                current = body;
+            }
+            _ => return (headers, current),
+        }
+    }
+}
+
+/// Statistics about the statements in a subtree, used for quick shape
+/// queries (e.g. "is one branch much smaller than the other").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StmtStats {
+    /// Number of assignment statements.
+    pub assignments: usize,
+    /// Number of loops.
+    pub loops: usize,
+    /// Number of conditionals.
+    pub conditionals: usize,
+    /// Number of call statements.
+    pub calls: usize,
+}
+
+/// Computes [`StmtStats`] over a statement list.
+pub fn stmt_stats(stmts: &[Stmt]) -> StmtStats {
+    let mut st = StmtStats::default();
+    fn go(stmts: &[Stmt], st: &mut StmtStats) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { .. } => st.assignments += 1,
+                Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => {
+                    st.loops += 1;
+                    go(body, st);
+                }
+                Stmt::If { then_body, else_body, .. } => {
+                    st.conditionals += 1;
+                    go(then_body, st);
+                    go(else_body, st);
+                }
+                Stmt::Call { .. } => st.calls += 1,
+                Stmt::Return { .. } => {}
+            }
+        }
+    }
+    go(stmts, &mut st);
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        parse(src).unwrap().units.remove(0).body
+    }
+
+    impl crate::ast::Program {
+        fn units_owned(self) -> Vec<crate::ast::Subroutine> {
+            self.units
+        }
+    }
+
+    fn first_stmt(src: &str) -> Stmt {
+        parse(src).unwrap().units_owned().remove(0).body.remove(0)
+    }
+
+    #[test]
+    fn assigned_names_basic() {
+        let body = body_of(
+            "subroutine s(a, n, k)\nreal a(n)\ndo i = 1, n\na(i) = 0.0\nif (i .lt. k) m = i\nend do\ncall f(q)\nend",
+        );
+        let names = assigned_names(&body);
+        for expected in ["a", "i", "m", "q"] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        assert!(!names.contains("k"));
+        assert!(!names.contains("n"));
+    }
+
+    #[test]
+    fn invariance() {
+        let assigned: HashSet<String> = ["a", "i", "t"].iter().map(|s| s.to_string()).collect();
+        let n_plus_1 = Expr::binary(crate::ast::BinOp::Add, Expr::Var("n".into()), Expr::IntLit(1));
+        assert!(is_invariant(&n_plus_1, "i", &assigned));
+        let uses_i = Expr::binary(crate::ast::BinOp::Add, Expr::Var("i".into()), Expr::IntLit(1));
+        assert!(!is_invariant(&uses_i, "i", &assigned));
+        let loads_a = Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("n".into())] };
+        assert!(!is_invariant(&loads_a, "i", &assigned), "a is assigned in the loop");
+        let loads_b = Expr::ArrayRef { name: "b".into(), indices: vec![Expr::Var("n".into())] };
+        assert!(is_invariant(&loads_b, "i", &assigned));
+    }
+
+    #[test]
+    fn affine_linear_subscript() {
+        // 2*i - j + 3
+        let e = Expr::binary(
+            crate::ast::BinOp::Add,
+            Expr::binary(
+                crate::ast::BinOp::Sub,
+                Expr::binary(crate::ast::BinOp::Mul, Expr::IntLit(2), Expr::Var("i".into())),
+                Expr::Var("j".into()),
+            ),
+            Expr::IntLit(3),
+        );
+        let a = affine_form(&e).unwrap();
+        assert_eq!(a.coeff("i"), 2);
+        assert_eq!(a.coeff("j"), -1);
+        assert_eq!(a.constant, 3);
+        assert!(!a.is_constant());
+    }
+
+    #[test]
+    fn affine_rejects_products_of_vars() {
+        let e = Expr::binary(crate::ast::BinOp::Mul, Expr::Var("i".into()), Expr::Var("j".into()));
+        assert!(affine_form(&e).is_none());
+    }
+
+    #[test]
+    fn affine_negation_and_cancellation() {
+        // -(i - i) = 0
+        let e = Expr::unary(
+            UnOp::Neg,
+            Expr::binary(crate::ast::BinOp::Sub, Expr::Var("i".into()), Expr::Var("i".into())),
+        );
+        let a = affine_form(&e).unwrap();
+        assert!(a.is_constant());
+        assert_eq!(a.constant, 0);
+    }
+
+    #[test]
+    fn perfect_nest_extraction() {
+        let s = first_stmt(
+            "subroutine s(a, n)\nreal a(n,n)\ndo i = 1, n\ndo j = 1, n\na(i,j) = 0.0\nend do\nend do\nend",
+        );
+        let (headers, inner) = perfect_nest(&s);
+        assert_eq!(headers.len(), 2);
+        assert_eq!(headers[0].var, "i");
+        assert_eq!(headers[1].var, "j");
+        assert_eq!(inner.len(), 1);
+        assert!(matches!(inner[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn imperfect_nest_stops_early() {
+        let s = first_stmt(
+            "subroutine s(a, n)\nreal a(n)\ndo i = 1, n\na(i) = 0.0\ndo j = 1, n\na(j) = 1.0\nend do\nend do\nend",
+        );
+        let (headers, inner) = perfect_nest(&s);
+        assert_eq!(headers.len(), 1);
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    fn stats() {
+        let body = body_of(
+            "subroutine s(a, n, k)\nreal a(n)\ndo i = 1, n\nif (i .lt. k) then\na(i) = 0.0\nelse\na(i) = 1.0\nend if\nend do\ncall f(a)\nend",
+        );
+        let st = stmt_stats(&body);
+        assert_eq!(st.loops, 1);
+        assert_eq!(st.conditionals, 1);
+        assert_eq!(st.assignments, 2);
+        assert_eq!(st.calls, 1);
+    }
+}

@@ -1,0 +1,567 @@
+//! Abstract syntax tree of the mini-Fortran language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A whole translation unit: one or more subroutines.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    /// The subroutines, in source order.
+    pub units: Vec<Subroutine>,
+}
+
+impl Program {
+    /// Finds a subroutine by (lower-case) name.
+    pub fn subroutine(&self, name: &str) -> Option<&Subroutine> {
+        self.units.iter().find(|s| s.name == name)
+    }
+}
+
+/// One `subroutine name(args) ... end` unit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Subroutine {
+    /// Lower-cased name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Type/dimension declarations.
+    pub decls: Vec<Decl>,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+    /// Source span of the header.
+    pub span: Span,
+}
+
+/// Base types of the language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BaseType {
+    /// Default integer.
+    Integer,
+    /// Default real (modeled as 64-bit in the cost tables).
+    Real,
+    /// Logical (boolean).
+    Logical,
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BaseType::Integer => "integer",
+            BaseType::Real => "real",
+            BaseType::Logical => "logical",
+        })
+    }
+}
+
+/// A declaration statement: `real a(n,m), x`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Decl {
+    /// Declared base type.
+    pub ty: BaseType,
+    /// Declared entities.
+    pub vars: Vec<DeclVar>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One declared entity, possibly dimensioned.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DeclVar {
+    /// Lower-cased name.
+    pub name: String,
+    /// Array dimensions (empty for scalars). Each extent is an expression
+    /// over parameters and constants.
+    pub dims: Vec<Expr>,
+}
+
+/// Executable statements.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `target = value`
+    Assign {
+        /// Left-hand side: a variable or array reference.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source span.
+        span: Span,
+    },
+    /// `do var = lb, ub[, step] ... end do`
+    Do {
+        /// Loop control variable.
+        var: String,
+        /// Lower bound.
+        lb: Expr,
+        /// Upper bound.
+        ub: Expr,
+        /// Optional step (defaults to 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source span of the header.
+        span: Span,
+    },
+    /// `do while (cond) ... end do` — trip count unknowable statically.
+    DoWhile {
+        /// Controlling condition, re-evaluated before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source span of the header.
+        span: Span,
+    },
+    /// `if (cond) then ... [else ...] end if` (or the one-line form).
+    If {
+        /// Controlling condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source span of the header.
+        span: Span,
+    },
+    /// `call name(args)`
+    Call {
+        /// Callee name (lower-cased).
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `return`
+    Return {
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Return { span } => *span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)] // names are the operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for `<, <=, >, >=, ==, /=`.
+    pub fn is_relational(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Returns `true` for `.and.` / `.or.`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "**",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "/=",
+            BinOp::And => ".and.",
+            BinOp::Or => ".or.",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Recognized intrinsic functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)] // names are the Fortran intrinsics
+pub enum Intrinsic {
+    Sqrt,
+    Abs,
+    Max,
+    Min,
+    Mod,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Int,
+    Real,
+}
+
+impl Intrinsic {
+    /// Parses an intrinsic name (already lower-cased).
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" => Intrinsic::Sqrt,
+            "abs" => Intrinsic::Abs,
+            "max" => Intrinsic::Max,
+            "min" => Intrinsic::Min,
+            "mod" => Intrinsic::Mod,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "int" => Intrinsic::Int,
+            "real" => Intrinsic::Real,
+            _ => return None,
+        })
+    }
+
+    /// The Fortran spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Abs => "abs",
+            Intrinsic::Max => "max",
+            Intrinsic::Min => "min",
+            Intrinsic::Mod => "mod",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Int => "int",
+            Intrinsic::Real => "real",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal.
+    RealLit(f64),
+    /// Logical literal.
+    LogicalLit(bool),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference `name(i, j, ...)`.
+    ArrayRef {
+        /// Array name (lower-cased).
+        name: String,
+        /// Subscript expressions, innermost (fastest-varying) first.
+        indices: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Intrinsic function call.
+    Intrinsic {
+        /// Which intrinsic.
+        func: Intrinsic,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor for unary nodes.
+    pub fn unary(op: UnOp, operand: Expr) -> Expr {
+        Expr::Unary { op, operand: Box::new(operand) }
+    }
+
+    /// Returns the referenced variable name if the expression is a plain
+    /// variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Expr::Var(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant integer value if the expression is a literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(n) => Some(*n),
+            Expr::Unary { op: UnOp::Neg, operand } => operand.as_int().map(|n| -n),
+            _ => None,
+        }
+    }
+
+    /// Visits this expression and all subexpressions, outside-in.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Expr)) {
+        visit(self);
+        match self {
+            Expr::Unary { operand, .. } => operand.walk(visit),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(visit);
+                rhs.walk(visit);
+            }
+            Expr::ArrayRef { indices, .. } => {
+                for i in indices {
+                    i.walk(visit);
+                }
+            }
+            Expr::Intrinsic { args, .. } => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Collects the names of all variables referenced (including array names).
+    pub fn referenced_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::ArrayRef { name, .. } => out.push(name.clone()),
+            _ => {}
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::IntLit(n) => write!(f, "{n}"),
+            Expr::RealLit(x) => write!(f, "{x}"),
+            Expr::LogicalLit(b) => f.write_str(if *b { ".true." } else { ".false." }),
+            Expr::Var(n) => f.write_str(n),
+            Expr::ArrayRef { name, indices } => {
+                write!(f, "{name}(")?;
+                for (i, e) in indices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Unary { op: UnOp::Neg, operand } => write!(f, "(-{operand})"),
+            Expr::Unary { op: UnOp::Not, operand } => write!(f, "(.not. {operand})"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Intrinsic { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], depth: usize) -> fmt::Result {
+    for s in stmts {
+        write_stmt(f, s, depth)?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    match stmt {
+        Stmt::Assign { target, value, .. } => writeln!(f, "{pad}{target} = {value}"),
+        Stmt::Do { var, lb, ub, step, body, .. } => {
+            write!(f, "{pad}do {var} = {lb}, {ub}")?;
+            if let Some(s) = step {
+                write!(f, ", {s}")?;
+            }
+            writeln!(f)?;
+            write_stmts(f, body, depth + 1)?;
+            writeln!(f, "{pad}end do")
+        }
+        Stmt::DoWhile { cond, body, .. } => {
+            writeln!(f, "{pad}do while ({cond})")?;
+            write_stmts(f, body, depth + 1)?;
+            writeln!(f, "{pad}end do")
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            writeln!(f, "{pad}if ({cond}) then")?;
+            write_stmts(f, then_body, depth + 1)?;
+            if !else_body.is_empty() {
+                writeln!(f, "{pad}else")?;
+                write_stmts(f, else_body, depth + 1)?;
+            }
+            writeln!(f, "{pad}end if")
+        }
+        Stmt::Call { name, args, .. } => {
+            write!(f, "{pad}call {name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f, ")")
+        }
+        Stmt::Return { .. } => writeln!(f, "{pad}return"),
+    }
+}
+
+impl fmt::Display for Stmt {
+    /// Re-emits parseable source (used for transformation round-trips and
+    /// multi-version code generation).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_stmt(f, self, 0)
+    }
+}
+
+impl fmt::Display for Subroutine {
+    /// Re-emits parseable source for the whole subroutine.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subroutine {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ")")?;
+        for d in &self.decls {
+            write!(f, "  {} ", d.ty)?;
+            for (i, v) in d.vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", v.name)?;
+                if !v.dims.is_empty() {
+                    write!(f, "(")?;
+                    for (k, e) in v.dims.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        write_stmts(f, &self.body, 1)?;
+        writeln!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_int_handles_negation() {
+        let e = Expr::unary(UnOp::Neg, Expr::IntLit(5));
+        assert_eq!(e.as_int(), Some(-5));
+        assert_eq!(Expr::Var("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn referenced_names_dedup() {
+        // a(i) + i + b
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::binary(
+                BinOp::Add,
+                Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("i".into())] },
+                Expr::Var("i".into()),
+            ),
+            Expr::Var("b".into()),
+        );
+        assert_eq!(e.referenced_names(), ["a", "b", "i"]);
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let e = Expr::binary(
+            BinOp::Mul,
+            Expr::RealLit(0.25),
+            Expr::ArrayRef {
+                name: "b".into(),
+                indices: vec![Expr::binary(BinOp::Sub, Expr::Var("i".into()), Expr::IntLit(1))],
+            },
+        );
+        assert_eq!(e.to_string(), "(0.25 * b((i - 1)))");
+    }
+
+    #[test]
+    fn subroutine_display_roundtrips_through_parser() {
+        let src = "subroutine s(a, n, k)
+           real a(n,n)
+           integer i, j, n, k
+           do i = 1, n, 2
+             if (i .le. k) then
+               a(i,1) = 0.25 * a(i,1)
+             else
+               call f(a, i)
+             end if
+           end do
+         end";
+        let p1 = crate::parser::parse(src).unwrap();
+        let emitted = p1.units[0].to_string();
+        let p2 = crate::parser::parse(&emitted).unwrap();
+        // Spans differ; canonical re-emission must be a fixpoint.
+        assert_eq!(emitted, p2.units[0].to_string());
+    }
+
+    #[test]
+    fn intrinsic_lookup() {
+        assert_eq!(Intrinsic::from_name("sqrt"), Some(Intrinsic::Sqrt));
+        assert_eq!(Intrinsic::from_name("foo"), None);
+        assert_eq!(Intrinsic::Max.name(), "max");
+    }
+}

@@ -1,0 +1,62 @@
+//! Front-end diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Which phase produced the diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        })
+    }
+}
+
+/// A front-end error with source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FrontendError {
+    /// Producing phase.
+    pub phase: Phase,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl FrontendError {
+    /// Builds an error.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> FrontendError {
+        FrontendError { phase, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FrontendError::new(Phase::Parse, "expected `then`", Span::new(0, 1, 4, 9));
+        assert_eq!(e.to_string(), "parse error at 4:9: expected `then`");
+    }
+}

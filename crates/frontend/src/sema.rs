@@ -1,0 +1,473 @@
+//! Semantic analysis: symbol tables, Fortran implicit typing, type checking.
+
+use crate::ast::*;
+use crate::diag::{FrontendError, Phase};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// Information about one name in a subroutine.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SymbolInfo {
+    /// The (lower-cased) name.
+    pub name: String,
+    /// Resolved base type.
+    pub ty: BaseType,
+    /// Array dimensions (empty for scalars).
+    pub dims: Vec<Expr>,
+    /// Whether the name is a formal parameter.
+    pub is_param: bool,
+}
+
+impl SymbolInfo {
+    /// Returns `true` if the symbol is an array.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Number of array dimensions (0 for scalars).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// The symbol table of one subroutine.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SymbolTable {
+    symbols: HashMap<String, SymbolInfo>,
+}
+
+impl SymbolTable {
+    /// Looks up a name.
+    pub fn lookup(&self, name: &str) -> Option<&SymbolInfo> {
+        self.symbols.get(name)
+    }
+
+    /// Returns `true` if the name is a declared array.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.lookup(name).is_some_and(|s| s.is_array())
+    }
+
+    /// Iterates over all symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &SymbolInfo> {
+        self.symbols.values()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// Fortran implicit typing: names starting with `i`–`n` are integer, all
+/// others real.
+pub fn implicit_type(name: &str) -> BaseType {
+    match name.bytes().next() {
+        Some(b'i'..=b'n') => BaseType::Integer,
+        _ => BaseType::Real,
+    }
+}
+
+/// Builds and checks the symbol table for a subroutine.
+///
+/// # Errors
+///
+/// Reports duplicate declarations, references to undeclared arrays,
+/// subscript-count/type mismatches, non-logical conditions, non-integer
+/// loop controls, and assignments between incompatible types.
+pub fn analyze(sub: &Subroutine) -> Result<SymbolTable, FrontendError> {
+    let mut table = SymbolTable::default();
+
+    for decl in &sub.decls {
+        for v in &decl.vars {
+            if table.symbols.contains_key(&v.name) {
+                return Err(FrontendError::new(
+                    Phase::Sema,
+                    format!("`{}` declared twice", v.name),
+                    decl.span,
+                ));
+            }
+            table.symbols.insert(
+                v.name.clone(),
+                SymbolInfo {
+                    name: v.name.clone(),
+                    ty: decl.ty,
+                    dims: v.dims.clone(),
+                    is_param: sub.params.contains(&v.name),
+                },
+            );
+        }
+    }
+    // Parameters without declarations get implicit types.
+    for p in &sub.params {
+        table.symbols.entry(p.clone()).or_insert_with(|| SymbolInfo {
+            name: p.clone(),
+            ty: implicit_type(p),
+            dims: Vec::new(),
+            is_param: true,
+        });
+    }
+    // Array extents must be integer expressions over known scalars.
+    let extents: Vec<(Expr, Span)> = sub
+        .decls
+        .iter()
+        .flat_map(|d| d.vars.iter().flat_map(move |v| v.dims.iter().map(move |e| (e.clone(), d.span))))
+        .collect();
+
+    let mut checker = Checker { table, errors: None };
+    for (extent, span) in &extents {
+        let ty = checker.type_of(extent, *span)?;
+        if ty != BaseType::Integer {
+            return Err(FrontendError::new(Phase::Sema, "array extent must be integer", *span));
+        }
+    }
+    checker.stmts(&sub.body)?;
+    Ok(checker.table)
+}
+
+/// Computes the type of an expression against a symbol table.
+///
+/// Undeclared scalar names are given their implicit type (and are *not*
+/// added to the table). Undeclared array references are errors.
+///
+/// # Errors
+///
+/// Type errors as described in [`analyze`].
+pub fn type_of_expr(expr: &Expr, table: &SymbolTable) -> Result<BaseType, FrontendError> {
+    let mut checker = Checker { table: table.clone(), errors: None };
+    checker.type_of(expr, Span::default())
+}
+
+struct Checker {
+    table: SymbolTable,
+    // Placeholder to keep the struct open for multi-error collection.
+    #[allow(dead_code)]
+    errors: Option<Vec<FrontendError>>,
+}
+
+impl Checker {
+    fn error(&self, msg: impl Into<String>, span: Span) -> FrontendError {
+        FrontendError::new(Phase::Sema, msg, span)
+    }
+
+    fn name_type(&mut self, name: &str) -> BaseType {
+        if let Some(info) = self.table.lookup(name) {
+            info.ty
+        } else {
+            // Implicitly typed scalar: record it so later queries agree.
+            let ty = implicit_type(name);
+            self.table.symbols.insert(
+                name.to_string(),
+                SymbolInfo { name: name.to_string(), ty, dims: Vec::new(), is_param: false },
+            );
+            ty
+        }
+    }
+
+    fn type_of(&mut self, expr: &Expr, span: Span) -> Result<BaseType, FrontendError> {
+        match expr {
+            Expr::IntLit(_) => Ok(BaseType::Integer),
+            Expr::RealLit(_) => Ok(BaseType::Real),
+            Expr::LogicalLit(_) => Ok(BaseType::Logical),
+            Expr::Var(name) => {
+                if self.table.is_array(name) {
+                    return Err(self.error(format!("array `{name}` used without subscripts"), span));
+                }
+                Ok(self.name_type(name))
+            }
+            Expr::ArrayRef { name, indices } => {
+                let info = self
+                    .table
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| self.error(format!("`{name}` is not a declared array or intrinsic"), span))?;
+                if !info.is_array() {
+                    return Err(self.error(format!("`{name}` is scalar but subscripted"), span));
+                }
+                if info.rank() != indices.len() {
+                    return Err(self.error(
+                        format!("`{name}` has rank {} but {} subscripts given", info.rank(), indices.len()),
+                        span,
+                    ));
+                }
+                for idx in indices {
+                    let t = self.type_of(idx, span)?;
+                    if t != BaseType::Integer {
+                        return Err(self.error(format!("subscript of `{name}` must be integer"), span));
+                    }
+                }
+                Ok(info.ty)
+            }
+            Expr::Unary { op, operand } => {
+                let t = self.type_of(operand, span)?;
+                match op {
+                    UnOp::Neg => {
+                        if t == BaseType::Logical {
+                            Err(self.error("cannot negate a logical value", span))
+                        } else {
+                            Ok(t)
+                        }
+                    }
+                    UnOp::Not => {
+                        if t == BaseType::Logical {
+                            Ok(BaseType::Logical)
+                        } else {
+                            Err(self.error("`.not.` requires a logical operand", span))
+                        }
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.type_of(lhs, span)?;
+                let rt = self.type_of(rhs, span)?;
+                if op.is_logical() {
+                    if lt == BaseType::Logical && rt == BaseType::Logical {
+                        Ok(BaseType::Logical)
+                    } else {
+                        Err(self.error(format!("`{op}` requires logical operands"), span))
+                    }
+                } else if op.is_relational() {
+                    if lt == BaseType::Logical || rt == BaseType::Logical {
+                        Err(self.error(format!("`{op}` cannot compare logical values"), span))
+                    } else {
+                        Ok(BaseType::Logical)
+                    }
+                } else {
+                    if lt == BaseType::Logical || rt == BaseType::Logical {
+                        return Err(self.error(format!("`{op}` requires numeric operands"), span));
+                    }
+                    if lt == BaseType::Integer && rt == BaseType::Integer {
+                        Ok(BaseType::Integer)
+                    } else {
+                        Ok(BaseType::Real)
+                    }
+                }
+            }
+            Expr::Intrinsic { func, args } => {
+                for a in args {
+                    let t = self.type_of(a, span)?;
+                    if t == BaseType::Logical {
+                        return Err(self.error(format!("`{}` takes numeric arguments", func.name()), span));
+                    }
+                }
+                let arity_ok = match func {
+                    Intrinsic::Max | Intrinsic::Min => args.len() >= 2,
+                    Intrinsic::Mod => args.len() == 2,
+                    _ => args.len() == 1,
+                };
+                if !arity_ok {
+                    return Err(self.error(format!("wrong number of arguments to `{}`", func.name()), span));
+                }
+                match func {
+                    Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos | Intrinsic::Real => {
+                        Ok(BaseType::Real)
+                    }
+                    Intrinsic::Int => Ok(BaseType::Integer),
+                    Intrinsic::Abs => self.type_of(&args[0], span),
+                    Intrinsic::Mod | Intrinsic::Max | Intrinsic::Min => {
+                        let mut ty = BaseType::Integer;
+                        for a in args {
+                            if self.type_of(a, span)? == BaseType::Real {
+                                ty = BaseType::Real;
+                            }
+                        }
+                        Ok(ty)
+                    }
+                }
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), FrontendError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
+        match stmt {
+            Stmt::Assign { target, value, span } => {
+                let tt = self.type_of(target, *span)?;
+                let vt = self.type_of(value, *span)?;
+                let compatible = match (tt, vt) {
+                    (BaseType::Logical, BaseType::Logical) => true,
+                    (BaseType::Logical, _) | (_, BaseType::Logical) => false,
+                    _ => true, // numeric conversions are implicit
+                };
+                if !compatible {
+                    return Err(self.error(format!("cannot assign {vt} to {tt}"), *span));
+                }
+                Ok(())
+            }
+            Stmt::Do { var, lb, ub, step, body, span } => {
+                if self.name_type(var) != BaseType::Integer {
+                    return Err(self.error(format!("loop variable `{var}` must be integer"), *span));
+                }
+                for (what, e) in [("lower bound", Some(lb)), ("upper bound", Some(ub)), ("step", step.as_ref())]
+                {
+                    if let Some(e) = e {
+                        if self.type_of(e, *span)? != BaseType::Integer {
+                            return Err(self.error(format!("loop {what} must be integer"), *span));
+                        }
+                    }
+                }
+                if let Some(s) = step {
+                    if s.as_int() == Some(0) {
+                        return Err(self.error("loop step must be nonzero", *span));
+                    }
+                }
+                self.stmts(body)
+            }
+            Stmt::DoWhile { cond, body, span } => {
+                if self.type_of(cond, *span)? != BaseType::Logical {
+                    return Err(self.error("do-while condition must be logical", *span));
+                }
+                self.stmts(body)
+            }
+            Stmt::If { cond, then_body, else_body, span } => {
+                if self.type_of(cond, *span)? != BaseType::Logical {
+                    return Err(self.error("if-condition must be logical", *span));
+                }
+                self.stmts(then_body)?;
+                self.stmts(else_body)
+            }
+            Stmt::Call { args, span, .. } => {
+                for a in args {
+                    // Whole arrays pass by reference: a bare array name is
+                    // legal as an actual argument.
+                    if let Expr::Var(n) = a {
+                        if self.table.is_array(n) {
+                            continue;
+                        }
+                    }
+                    self.type_of(a, *span)?;
+                }
+                Ok(())
+            }
+            Stmt::Return { .. } => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<SymbolTable, FrontendError> {
+        let p = parse(src).expect("parse");
+        analyze(&p.units[0])
+    }
+
+    #[test]
+    fn implicit_typing_rule() {
+        assert_eq!(implicit_type("i"), BaseType::Integer);
+        assert_eq!(implicit_type("n2"), BaseType::Integer);
+        assert_eq!(implicit_type("x"), BaseType::Real);
+        assert_eq!(implicit_type("alpha"), BaseType::Real);
+    }
+
+    #[test]
+    fn declares_and_implicit() {
+        let t = analyze_src("subroutine s(x, n)\nreal x(n)\ny = x(1)\nend").unwrap();
+        assert!(t.is_array("x"));
+        assert_eq!(t.lookup("n").unwrap().ty, BaseType::Integer);
+        assert!(t.lookup("n").unwrap().is_param);
+        assert_eq!(t.lookup("y").unwrap().ty, BaseType::Real);
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = analyze_src("subroutine s()\nreal x\ninteger x\nreturn\nend").unwrap_err();
+        assert!(e.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let e = analyze_src("subroutine s()\ny = q(1)\nend").unwrap_err();
+        assert!(e.message.contains("not a declared array"));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let e = analyze_src("subroutine s(a, n)\nreal a(n,n)\ny = a(1)\nend").unwrap_err();
+        assert!(e.message.contains("rank 2"));
+    }
+
+    #[test]
+    fn real_subscript_rejected() {
+        let e = analyze_src("subroutine s(a, n)\nreal a(n)\ny = a(1.5)\nend").unwrap_err();
+        assert!(e.message.contains("subscript"));
+    }
+
+    #[test]
+    fn condition_must_be_logical() {
+        let e = analyze_src("subroutine s(n)\nif (n) then\nend if\nend").unwrap_err();
+        assert!(e.message.contains("logical"));
+    }
+
+    #[test]
+    fn loop_var_must_be_integer() {
+        let e = analyze_src("subroutine s(n)\ndo x = 1, n\nend do\nend").unwrap_err();
+        assert!(e.message.contains("must be integer"));
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        let e = analyze_src("subroutine s(n)\ndo i = 1, n, 0\nend do\nend").unwrap_err();
+        assert!(e.message.contains("nonzero"));
+    }
+
+    #[test]
+    fn logical_assignment_mismatch() {
+        let e = analyze_src("subroutine s()\nlogical f\nf = 1\nend").unwrap_err();
+        assert!(e.message.contains("cannot assign"));
+    }
+
+    #[test]
+    fn numeric_conversion_allowed() {
+        analyze_src("subroutine s(n)\ninteger n\nx = n\nend").unwrap();
+    }
+
+    #[test]
+    fn expression_types() {
+        let t = analyze_src("subroutine s(a, n)\nreal a(n)\ninteger n, i\ny = a(i) + 1\nend").unwrap();
+        let int_expr = Expr::binary(BinOp::Add, Expr::IntLit(1), Expr::Var("i".into()));
+        assert_eq!(type_of_expr(&int_expr, &t).unwrap(), BaseType::Integer);
+        let mixed = Expr::binary(BinOp::Mul, Expr::RealLit(2.0), Expr::Var("i".into()));
+        assert_eq!(type_of_expr(&mixed, &t).unwrap(), BaseType::Real);
+        let rel = Expr::binary(BinOp::Le, Expr::Var("i".into()), Expr::Var("n".into()));
+        assert_eq!(type_of_expr(&rel, &t).unwrap(), BaseType::Logical);
+    }
+
+    #[test]
+    fn intrinsic_types() {
+        let t = SymbolTable::default();
+        let sq = Expr::Intrinsic { func: Intrinsic::Sqrt, args: vec![Expr::RealLit(2.0)] };
+        assert_eq!(type_of_expr(&sq, &t).unwrap(), BaseType::Real);
+        let m = Expr::Intrinsic { func: Intrinsic::Mod, args: vec![Expr::IntLit(5), Expr::IntLit(2)] };
+        assert_eq!(type_of_expr(&m, &t).unwrap(), BaseType::Integer);
+        let mx = Expr::Intrinsic { func: Intrinsic::Max, args: vec![Expr::IntLit(5), Expr::RealLit(2.0)] };
+        assert_eq!(type_of_expr(&mx, &t).unwrap(), BaseType::Real);
+    }
+
+    #[test]
+    fn intrinsic_arity_checked() {
+        let t = SymbolTable::default();
+        let bad = Expr::Intrinsic { func: Intrinsic::Sqrt, args: vec![] };
+        assert!(type_of_expr(&bad, &t).is_err());
+        let bad2 = Expr::Intrinsic { func: Intrinsic::Max, args: vec![Expr::IntLit(1)] };
+        assert!(type_of_expr(&bad2, &t).is_err());
+    }
+
+    #[test]
+    fn bare_array_name_rejected_in_expr() {
+        let e = analyze_src("subroutine s(a, n)\nreal a(n)\ny = a + 1\nend").unwrap_err();
+        assert!(e.message.contains("without subscripts"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Source locations for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range in the source, with the line/column of its start.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the start.
+    pub line: u32,
+    /// 1-based column of the start.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
+        Span { start, end, line, col }
+    }
+
+    /// A span covering both inputs (keeps the earlier start position).
+    pub fn to(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_spans() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(5, 9, 1, 6);
+        let j = a.to(b);
+        assert_eq!((j.start, j.end), (0, 9));
+        assert_eq!((j.line, j.col), (1, 1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

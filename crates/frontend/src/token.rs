@@ -1,0 +1,100 @@
+//! Tokens of the mini-Fortran surface language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased; keyword-ness decided by parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `<` or `.lt.`
+    Lt,
+    /// `<=` or `.le.`
+    Le,
+    /// `>` or `.gt.`
+    Gt,
+    /// `>=` or `.ge.`
+    Ge,
+    /// `==` or `.eq.`
+    EqEq,
+    /// `/=` or `.ne.`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// `.true.`
+    True,
+    /// `.false.`
+    False,
+    /// End of a statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Real(x) => write!(f, "{x}"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::StarStar => f.write_str("**"),
+            Tok::Slash => f.write_str("/"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::Comma => f.write_str(","),
+            Tok::Assign => f.write_str("="),
+            Tok::Lt => f.write_str(".lt."),
+            Tok::Le => f.write_str(".le."),
+            Tok::Gt => f.write_str(".gt."),
+            Tok::Ge => f.write_str(".ge."),
+            Tok::EqEq => f.write_str(".eq."),
+            Tok::Ne => f.write_str(".ne."),
+            Tok::And => f.write_str(".and."),
+            Tok::Or => f.write_str(".or."),
+            Tok::Not => f.write_str(".not."),
+            Tok::True => f.write_str(".true."),
+            Tok::False => f.write_str(".false."),
+            Tok::Newline => f.write_str("end of line"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}

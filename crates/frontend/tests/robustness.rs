@@ -1,0 +1,75 @@
+//! Robustness: the front end must reject arbitrary garbage with an error,
+//! never a panic, and must be total over its own output (print → parse).
+
+use presage_frontend::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\n]{0,200}") {
+        // Success or error are both fine; a panic is not.
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("subroutine".to_string()),
+                Just("do".to_string()),
+                Just("while".to_string()),
+                Just("end".to_string()),
+                Just("if".to_string()),
+                Just("then".to_string()),
+                Just("else".to_string()),
+                Just("call".to_string()),
+                Just("return".to_string()),
+                Just("real".to_string()),
+                Just("integer".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("**".to_string()),
+                Just(".lt.".to_string()),
+                Just("\n".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just("2.5".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn valid_programs_roundtrip_through_printer(
+        n_loops in 1usize..4,
+        use_if in proptest::bool::ANY,
+        use_while in proptest::bool::ANY,
+    ) {
+        let mut body = String::new();
+        for k in 0..n_loops {
+            body.push_str(&format!("do i = 1, n, {}\n", k + 1));
+            if use_if {
+                body.push_str("if (i .le. k) then\na(i) = 0.0\nelse\na(i) = 1.0\nend if\n");
+            } else {
+                body.push_str(&format!("a(i) = a(i) * {k}.0 + 1.0\n"));
+            }
+            body.push_str("end do\n");
+        }
+        if use_while {
+            body.push_str("do while (x .gt. 0.5)\nx = x * 0.5\nend do\n");
+        }
+        let src = format!("subroutine s(a, n, k)\nreal a(n), x\ninteger i, n, k\n{body}end");
+        let p1 = parse(&src).expect("generated program is valid");
+        let emitted = p1.units[0].to_string();
+        let p2 = parse(&emitted).expect("printer output re-parses");
+        prop_assert_eq!(emitted, p2.units[0].to_string(), "printer is a fixpoint");
+    }
+}

@@ -1,0 +1,167 @@
+//! Atomic operations and their two-component costs (paper §2.1).
+//!
+//! "Unlike previous cost models, the cost of operations is divided into two
+//! components: *noncoverable cost* — the time that a functional unit
+//! actually dedicates to the operation — and *coverable cost* — the time
+//! when the next operation that does not depend on the result of the
+//! current operation can be started."
+
+use crate::units::UnitClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an atomic operation in a machine's atomic-operation table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct AtomicOpId(pub u16);
+
+impl fmt::Display for AtomicOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The cost an atomic operation imposes on one functional-unit class.
+///
+/// The paper's floating-point add has `noncoverable = 1, coverable = 1` on
+/// the FPU: it busies the unit for one cycle, and a *dependent* operation
+/// must additionally wait out the coverable cycle, while an independent
+/// operation may issue immediately after the noncoverable cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct UnitCost {
+    /// Which unit class is occupied.
+    pub class: UnitClass,
+    /// Solid cycles: no other operation's noncoverable cost may share them.
+    pub noncoverable: u32,
+    /// Transparent cycles: latency visible only to dependent operations.
+    pub coverable: u32,
+}
+
+impl UnitCost {
+    /// Convenience constructor.
+    pub fn new(class: UnitClass, noncoverable: u32, coverable: u32) -> UnitCost {
+        UnitCost { class, noncoverable, coverable }
+    }
+
+    /// Total per-unit latency `noncoverable + coverable`.
+    pub fn latency(&self) -> u32 {
+        self.noncoverable + self.coverable
+    }
+}
+
+impl fmt::Display for UnitCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}+{}c", self.class, self.noncoverable, self.coverable)
+    }
+}
+
+/// An atomic operation: "specific low level instructions supported by the
+/// processor architecture", each with costs on one or more functional units
+/// ("an operation can have costs on multiple functional units").
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AtomicOpDef {
+    /// Mnemonic for diagnostics and rendering.
+    pub name: String,
+    /// Costs on each unit class this operation occupies.
+    pub costs: Vec<UnitCost>,
+}
+
+impl AtomicOpDef {
+    /// Builds an atomic operation definition.
+    pub fn new(name: impl Into<String>, costs: Vec<UnitCost>) -> AtomicOpDef {
+        AtomicOpDef { name: name.into(), costs }
+    }
+
+    /// Result latency: cycles until a dependent operation may start, i.e.
+    /// the maximum `noncoverable + coverable` over all unit components.
+    pub fn latency(&self) -> u32 {
+        self.costs.iter().map(UnitCost::latency).max().unwrap_or(0)
+    }
+
+    /// Busy (noncoverable) cycles on a given unit class, 0 if unused.
+    pub fn busy_on(&self, class: UnitClass) -> u32 {
+        self.costs
+            .iter()
+            .filter(|c| c.class == class)
+            .map(|c| c.noncoverable)
+            .sum()
+    }
+
+    /// Total noncoverable work across all units — the resource demand used
+    /// by operation-count baselines and lower bounds.
+    pub fn total_busy(&self) -> u32 {
+        self.costs.iter().map(|c| c.noncoverable).sum()
+    }
+
+    /// Returns `true` if the operation occupies the given unit class.
+    pub fn uses(&self, class: UnitClass) -> bool {
+        self.costs.iter().any(|c| c.class == class)
+    }
+}
+
+impl fmt::Display for AtomicOpDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, c) in self.costs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fadd() -> AtomicOpDef {
+        AtomicOpDef::new("fadd", vec![UnitCost::new(UnitClass::Fpu, 1, 1)])
+    }
+
+    fn fstore() -> AtomicOpDef {
+        // The paper's example: FP store occupies the FPU for two cycles
+        // (one coverable) and an integer unit for one cycle.
+        AtomicOpDef::new(
+            "stfd",
+            vec![UnitCost::new(UnitClass::Fpu, 1, 1), UnitCost::new(UnitClass::Fxu, 1, 0)],
+        )
+    }
+
+    #[test]
+    fn paper_fadd_costs() {
+        let op = fadd();
+        assert_eq!(op.latency(), 2, "dependent op waits 2 cycles");
+        assert_eq!(op.busy_on(UnitClass::Fpu), 1, "unit busy only 1 cycle");
+        assert_eq!(op.busy_on(UnitClass::Fxu), 0);
+    }
+
+    #[test]
+    fn paper_fstore_multi_unit() {
+        let op = fstore();
+        assert!(op.uses(UnitClass::Fpu) && op.uses(UnitClass::Fxu));
+        assert_eq!(op.latency(), 2);
+        assert_eq!(op.total_busy(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(fadd().to_string(), "fadd [FPU:1+1c]");
+        assert_eq!(fstore().to_string(), "stfd [FPU:1+1c, FXU:1+0c]");
+    }
+
+    #[test]
+    fn zero_cost_op() {
+        let nop = AtomicOpDef::new("nop", vec![]);
+        assert_eq!(nop.latency(), 0);
+        assert_eq!(nop.total_busy(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = fstore();
+        let json = serde_json::to_string(&op).unwrap();
+        let back: AtomicOpDef = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

@@ -1,0 +1,475 @@
+//! Machine descriptions: the architecture-dependent half of the paper's
+//! two-level translation.
+//!
+//! "Adding a new architecture to the cost model is a matter of defining the
+//! atomic operation mapping and the atomic operation cost table" (§2.2.1).
+//! A [`MachineDesc`] bundles exactly those two tables with the functional
+//! unit inventory and memory-hierarchy parameters, and is fully
+//! serde-serializable so descriptions can be shipped as data files.
+
+use crate::cost::{AtomicOpDef, AtomicOpId, UnitCost};
+use crate::ops::BasicOp;
+use crate::units::{UnitClass, UnitPool};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Memory-hierarchy parameters used by the memory access cost model (§2.3).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Total cache capacity in bytes.
+    pub size_bytes: u64,
+    /// Cycles to fill one cache line from memory.
+    pub miss_penalty: u32,
+    /// Page size in bytes (for TLB cost).
+    pub page_bytes: u64,
+    /// Number of TLB entries.
+    pub tlb_entries: u32,
+    /// Cycles per TLB miss.
+    pub tlb_penalty: u32,
+}
+
+impl Default for CacheParams {
+    /// A POWER1-flavoured 64 KiB cache with 128-byte lines.
+    fn default() -> Self {
+        CacheParams {
+            line_bytes: 128,
+            size_bytes: 64 * 1024,
+            miss_penalty: 16,
+            page_bytes: 4096,
+            tlb_entries: 128,
+            tlb_penalty: 30,
+        }
+    }
+}
+
+/// Back-end optimization capabilities of the compiler being modeled
+/// (§2.2.2: "flags representing the optimization capabilities of the
+/// back-end are defined and used for tuning the cost model").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BackendFlags {
+    /// Back end performs common-subexpression elimination.
+    pub cse: bool,
+    /// Back end hoists loop-invariant code.
+    pub licm: bool,
+    /// Back end eliminates dead code.
+    pub dce: bool,
+    /// Back end fuses multiply-add pairs when the machine supports FMA.
+    pub fma_fusion: bool,
+    /// Back end keeps sum-reduction accumulators in registers.
+    pub reduction_recognition: bool,
+    /// Back end strength-reduces subscript address arithmetic.
+    pub strength_reduction: bool,
+}
+
+impl Default for BackendFlags {
+    fn default() -> Self {
+        BackendFlags {
+            cse: true,
+            licm: true,
+            dce: true,
+            fma_fusion: true,
+            reduction_recognition: true,
+            strength_reduction: true,
+        }
+    }
+}
+
+/// A complete machine description.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MachineDesc {
+    name: String,
+    units: Vec<UnitPool>,
+    atomic_ops: Vec<AtomicOpDef>,
+    mapping: BTreeMap<BasicOp, Vec<AtomicOpId>>,
+    /// Register-pressure heuristic: after this many outstanding loaded
+    /// values the model charges a spill store (§2.2.1: "the effect of the
+    /// limited number of registers ... a heuristic that forces a store
+    /// after certain number of loads").
+    pub register_load_limit: u32,
+    /// Whether the architecture has a fused multiply-add.
+    pub supports_fma: bool,
+    /// Memory-hierarchy parameters.
+    pub cache: CacheParams,
+    /// Modeled back-end capabilities.
+    pub backend: BackendFlags,
+}
+
+impl MachineDesc {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functional unit pools (the bins of Figure 3).
+    pub fn units(&self) -> &[UnitPool] {
+        &self.units
+    }
+
+    /// Number of units in the pool serving `class` (0 if the machine has
+    /// no such unit).
+    pub fn unit_count(&self, class: UnitClass) -> u8 {
+        self.units
+            .iter()
+            .find(|p| p.class == class)
+            .map(|p| p.count)
+            .unwrap_or(0)
+    }
+
+    /// The atomic operation table.
+    pub fn atomic_ops(&self) -> &[AtomicOpDef] {
+        &self.atomic_ops
+    }
+
+    /// Looks up an atomic operation definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids come from this description's
+    /// own tables, so this indicates construction-time corruption).
+    pub fn atomic(&self, id: AtomicOpId) -> &AtomicOpDef {
+        &self.atomic_ops[id.0 as usize]
+    }
+
+    /// Expands a basic operation into its atomic operations (the paper's
+    /// *atomic operation mapping*). [`BasicOp::Nop`] expands to nothing.
+    pub fn expand(&self, op: BasicOp) -> &[AtomicOpId] {
+        self.mapping.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Result latency of a basic operation: max atomic latency in its
+    /// expansion.
+    pub fn latency_of(&self, op: BasicOp) -> u32 {
+        self.expand(op)
+            .iter()
+            .map(|id| self.atomic(*id).latency())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total noncoverable work of a basic operation across its expansion.
+    pub fn busy_of(&self, op: BasicOp) -> u32 {
+        self.expand(op).iter().map(|id| self.atomic(*id).total_busy()).sum()
+    }
+
+    /// Serializes the description to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("machine descriptions are always serializable")
+    }
+
+    /// Loads a description from JSON, revalidating invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] for malformed JSON or descriptions that
+    /// violate the builder's invariants.
+    pub fn from_json(json: &str) -> Result<MachineDesc, MachineError> {
+        let desc: MachineDesc =
+            serde_json::from_str(json).map_err(|e| MachineError::Parse(e.to_string()))?;
+        validate(&desc)?;
+        Ok(desc)
+    }
+}
+
+impl fmt::Display for MachineDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (", self.name)?;
+        for (i, u) in self.units.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}")?;
+        }
+        write!(f, "; {} atomic ops)", self.atomic_ops.len())
+    }
+}
+
+/// Errors from building or loading a machine description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// JSON was malformed.
+    Parse(String),
+    /// A basic operation has no mapping.
+    UnmappedOp(BasicOp),
+    /// An atomic op id in the mapping is out of range.
+    DanglingAtomicId(AtomicOpId),
+    /// An atomic operation costs a unit class the machine does not have.
+    MissingUnit {
+        /// Name of the offending atomic operation.
+        op: String,
+        /// The missing unit class.
+        class: UnitClass,
+    },
+    /// A unit pool is declared with zero units.
+    EmptyPool(UnitClass),
+    /// The same unit class is declared twice.
+    DuplicatePool(UnitClass),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Parse(e) => write!(f, "malformed machine description: {e}"),
+            MachineError::UnmappedOp(op) => write!(f, "basic operation `{op}` has no atomic mapping"),
+            MachineError::DanglingAtomicId(id) => write!(f, "mapping references unknown atomic op {id}"),
+            MachineError::MissingUnit { op, class } => {
+                write!(f, "atomic op `{op}` costs unit {class} which the machine lacks")
+            }
+            MachineError::EmptyPool(c) => write!(f, "unit pool {c} has zero units"),
+            MachineError::DuplicatePool(c) => write!(f, "unit pool {c} declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+fn validate(desc: &MachineDesc) -> Result<(), MachineError> {
+    let mut seen = Vec::new();
+    for pool in &desc.units {
+        if pool.count == 0 {
+            return Err(MachineError::EmptyPool(pool.class));
+        }
+        if seen.contains(&pool.class) {
+            return Err(MachineError::DuplicatePool(pool.class));
+        }
+        seen.push(pool.class);
+    }
+    for op in BasicOp::ALL {
+        if !desc.mapping.contains_key(&op) {
+            return Err(MachineError::UnmappedOp(op));
+        }
+    }
+    for ids in desc.mapping.values() {
+        for id in ids {
+            if id.0 as usize >= desc.atomic_ops.len() {
+                return Err(MachineError::DanglingAtomicId(*id));
+            }
+        }
+    }
+    for aop in &desc.atomic_ops {
+        for cost in &aop.costs {
+            if desc.unit_count(cost.class) == 0 {
+                return Err(MachineError::MissingUnit { op: aop.name.clone(), class: cost.class });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Incremental builder for [`MachineDesc`].
+///
+/// # Examples
+///
+/// ```
+/// use presage_machine::{MachineBuilder, UnitClass, UnitCost, BasicOp};
+///
+/// let mut b = MachineBuilder::new("toy");
+/// b.unit(UnitClass::Alu, 1);
+/// let add = b.atomic("add", vec![UnitCost::new(UnitClass::Alu, 1, 0)]);
+/// b.map_all_to(add); // map every basic op to `add` for a trivial model
+/// let machine = b.build().unwrap();
+/// assert_eq!(machine.latency_of(BasicOp::IAdd), 1);
+/// ```
+#[derive(Debug)]
+pub struct MachineBuilder {
+    name: String,
+    units: Vec<UnitPool>,
+    atomic_ops: Vec<AtomicOpDef>,
+    mapping: BTreeMap<BasicOp, Vec<AtomicOpId>>,
+    register_load_limit: u32,
+    supports_fma: bool,
+    cache: CacheParams,
+    backend: BackendFlags,
+}
+
+impl MachineBuilder {
+    /// Starts a description with the given machine name.
+    pub fn new(name: impl Into<String>) -> MachineBuilder {
+        MachineBuilder {
+            name: name.into(),
+            units: Vec::new(),
+            atomic_ops: Vec::new(),
+            mapping: BTreeMap::new(),
+            register_load_limit: 24,
+            supports_fma: false,
+            cache: CacheParams::default(),
+            backend: BackendFlags::default(),
+        }
+    }
+
+    /// Declares a pool of `count` units of `class`.
+    pub fn unit(&mut self, class: UnitClass, count: u8) -> &mut Self {
+        self.units.push(UnitPool::new(class, count));
+        self
+    }
+
+    /// Adds an atomic operation, returning its id for use in mappings.
+    pub fn atomic(&mut self, name: impl Into<String>, costs: Vec<UnitCost>) -> AtomicOpId {
+        let id = AtomicOpId(self.atomic_ops.len() as u16);
+        self.atomic_ops.push(AtomicOpDef::new(name, costs));
+        id
+    }
+
+    /// Maps a basic operation to a sequence of atomic operations.
+    pub fn map(&mut self, op: BasicOp, atoms: impl IntoIterator<Item = AtomicOpId>) -> &mut Self {
+        self.mapping.insert(op, atoms.into_iter().collect());
+        self
+    }
+
+    /// Maps every not-yet-mapped basic operation to the single atomic op
+    /// (useful for toy machines and tests).
+    pub fn map_all_to(&mut self, atom: AtomicOpId) -> &mut Self {
+        for op in BasicOp::ALL {
+            self.mapping.entry(op).or_insert_with(|| vec![atom]);
+        }
+        self
+    }
+
+    /// Sets the register-pressure spill threshold.
+    pub fn register_load_limit(&mut self, n: u32) -> &mut Self {
+        self.register_load_limit = n;
+        self
+    }
+
+    /// Declares FMA support.
+    pub fn supports_fma(&mut self, yes: bool) -> &mut Self {
+        self.supports_fma = yes;
+        self
+    }
+
+    /// Sets memory-hierarchy parameters.
+    pub fn cache(&mut self, cache: CacheParams) -> &mut Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the modeled back-end capabilities.
+    pub fn backend(&mut self, flags: BackendFlags) -> &mut Self {
+        self.backend = flags;
+        self
+    }
+
+    /// Validates and produces the machine description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if a basic op is unmapped, an atomic id
+    /// dangles, a cost references a missing unit, or a pool is empty or
+    /// duplicated.
+    pub fn build(&self) -> Result<MachineDesc, MachineError> {
+        let desc = MachineDesc {
+            name: self.name.clone(),
+            units: self.units.clone(),
+            atomic_ops: self.atomic_ops.clone(),
+            mapping: self.mapping.clone(),
+            register_load_limit: self.register_load_limit,
+            supports_fma: self.supports_fma,
+            cache: self.cache,
+            backend: self.backend,
+        };
+        validate(&desc)?;
+        Ok(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_builder() -> MachineBuilder {
+        let mut b = MachineBuilder::new("toy");
+        b.unit(UnitClass::Alu, 1);
+        let add = b.atomic("add", vec![UnitCost::new(UnitClass::Alu, 1, 0)]);
+        b.map_all_to(add);
+        b
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let m = toy_builder().build().unwrap();
+        assert_eq!(m.name(), "toy");
+        assert_eq!(m.unit_count(UnitClass::Alu), 1);
+        assert_eq!(m.unit_count(UnitClass::Fpu), 0);
+        assert_eq!(m.expand(BasicOp::IAdd).len(), 1);
+        assert_eq!(m.expand(BasicOp::Nop).len(), 0, "nop expands to nothing");
+    }
+
+    #[test]
+    fn unmapped_op_rejected() {
+        let mut b = MachineBuilder::new("bad");
+        b.unit(UnitClass::Alu, 1);
+        let add = b.atomic("add", vec![UnitCost::new(UnitClass::Alu, 1, 0)]);
+        b.map(BasicOp::IAdd, [add]);
+        match b.build() {
+            Err(MachineError::UnmappedOp(_)) => {}
+            other => panic!("expected UnmappedOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_atomic_rejected() {
+        let mut b = toy_builder();
+        b.map(BasicOp::IAdd, [AtomicOpId(99)]);
+        assert_eq!(b.build().unwrap_err(), MachineError::DanglingAtomicId(AtomicOpId(99)));
+    }
+
+    #[test]
+    fn missing_unit_rejected() {
+        let mut b = MachineBuilder::new("bad");
+        b.unit(UnitClass::Alu, 1);
+        let f = b.atomic("fadd", vec![UnitCost::new(UnitClass::Fpu, 1, 1)]);
+        b.map_all_to(f);
+        match b.build() {
+            Err(MachineError::MissingUnit { class, .. }) => assert_eq!(class, UnitClass::Fpu),
+            other => panic!("expected MissingUnit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let mut b = toy_builder();
+        b.unit(UnitClass::Fpu, 0);
+        assert_eq!(b.build().unwrap_err(), MachineError::EmptyPool(UnitClass::Fpu));
+    }
+
+    #[test]
+    fn duplicate_pool_rejected() {
+        let mut b = toy_builder();
+        b.unit(UnitClass::Alu, 2);
+        assert_eq!(b.build().unwrap_err(), MachineError::DuplicatePool(UnitClass::Alu));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = toy_builder().build().unwrap();
+        let json = m.to_json();
+        let back = MachineDesc::from_json(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn json_revalidates() {
+        let m = toy_builder().build().unwrap();
+        let json = m.to_json().replace("\"count\": 1", "\"count\": 0");
+        assert!(MachineDesc::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn latency_and_busy_queries() {
+        let mut b = MachineBuilder::new("m");
+        b.unit(UnitClass::Fpu, 1).unit(UnitClass::Fxu, 1);
+        let fadd = b.atomic("fadd", vec![UnitCost::new(UnitClass::Fpu, 1, 1)]);
+        let st = b.atomic(
+            "stfd",
+            vec![UnitCost::new(UnitClass::Fpu, 1, 1), UnitCost::new(UnitClass::Fxu, 1, 0)],
+        );
+        b.map_all_to(fadd);
+        b.map(BasicOp::StoreFloat, [st]);
+        let m = b.build().unwrap();
+        assert_eq!(m.latency_of(BasicOp::FAdd), 2);
+        assert_eq!(m.busy_of(BasicOp::FAdd), 1);
+        assert_eq!(m.busy_of(BasicOp::StoreFloat), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Superscalar machine descriptions for the Presage cost model.
+//!
+//! This crate is the *architecture-dependent* half of the paper's two-level
+//! translation (Wang, PLDI 1994 §2.2.1): a [`MachineDesc`] carries the
+//! functional-unit inventory (the "bins" of Figure 3), the *atomic
+//! operation table* with each operation's noncoverable/coverable costs, and
+//! the *atomic operation mapping* from language-independent [`BasicOp`]s.
+//! "Adding a new architecture to the cost model is a matter of defining the
+//! atomic operation mapping and the atomic operation cost table."
+//!
+//! Three machines ship predefined in [`machines`]: a POWER-like superscalar
+//! matching the paper's examples, a single-pipe scalar RISC, and a 4-wide
+//! superscalar. Descriptions serialize to JSON so new targets are data, not
+//! code.
+//!
+//! # Example
+//!
+//! ```
+//! use presage_machine::{machines, BasicOp};
+//!
+//! let m = machines::power_like();
+//! // The paper's example: FP add = 1 noncoverable + 1 coverable cycle.
+//! assert_eq!(m.latency_of(BasicOp::FAdd), 2);
+//! assert_eq!(m.busy_of(BasicOp::FAdd), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod desc;
+mod ops;
+mod units;
+
+pub mod machines;
+
+pub use cost::{AtomicOpDef, AtomicOpId, UnitCost};
+pub use desc::{BackendFlags, CacheParams, MachineBuilder, MachineDesc, MachineError};
+pub use ops::BasicOp;
+pub use units::{UnitClass, UnitPool};

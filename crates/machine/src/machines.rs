@@ -1,0 +1,357 @@
+//! Predefined machine descriptions.
+//!
+//! [`power_like`] follows the IBM POWER examples given in the paper
+//! (1+1-cycle FP add, multi-unit FP store, 3/5-cycle integer multiply,
+//! fused multiply-add). [`risc1`] is a single-pipe scalar RISC used to
+//! show the portability claim, and [`wide4`] is a wider superscalar used
+//! in ablations. All three are ordinary data: users can build their own
+//! with [`crate::MachineBuilder`] or load JSON.
+
+use crate::cost::UnitCost;
+use crate::desc::{MachineBuilder, MachineDesc};
+use crate::ops::BasicOp;
+use crate::units::UnitClass;
+
+/// A POWER/RS 6000-flavoured superscalar: FXU, FPU, BranchU, CR-LogicU and
+/// a load/store port — the five bins of the paper's Figure 3.
+///
+/// Cost highlights taken from the paper's text:
+/// - `fadd`: 1 noncoverable + 1 coverable cycle on the FPU;
+/// - `stfd` (FP store): FPU 2 cycles (1 coverable) **and** FXU 1 cycle;
+/// - integer multiply: 3 cycles for small multipliers, 5 in general;
+/// - fused multiply-add with the same pipeline shape as `fadd`.
+pub fn power_like() -> MachineDesc {
+    let mut b = MachineBuilder::new("power-like");
+    b.unit(UnitClass::Fxu, 1)
+        .unit(UnitClass::Fpu, 1)
+        .unit(UnitClass::Branch, 1)
+        .unit(UnitClass::CrLogic, 1)
+        .unit(UnitClass::LoadStore, 1)
+        .supports_fma(true)
+        .register_load_limit(28);
+
+    let fxu = |n, c| UnitCost::new(UnitClass::Fxu, n, c);
+    let fpu = |n, c| UnitCost::new(UnitClass::Fpu, n, c);
+    let bru = |n, c| UnitCost::new(UnitClass::Branch, n, c);
+    let cru = |n, c| UnitCost::new(UnitClass::CrLogic, n, c);
+    let lsu = |n, c| UnitCost::new(UnitClass::LoadStore, n, c);
+
+    let iadd = b.atomic("a", vec![fxu(1, 0)]);
+    let imul_s = b.atomic("muli.s", vec![fxu(3, 0)]);
+    let imul = b.atomic("muli", vec![fxu(5, 0)]);
+    let idiv = b.atomic("divi", vec![fxu(19, 0)]);
+    let ishift = b.atomic("sl", vec![fxu(1, 0)]);
+    let icmp = b.atomic("cmp", vec![fxu(1, 0), cru(1, 1)]);
+    let fadd = b.atomic("fa", vec![fpu(1, 1)]);
+    let fmul = b.atomic("fm", vec![fpu(1, 1)]);
+    let fma = b.atomic("fma", vec![fpu(1, 1)]);
+    let fdiv = b.atomic("fd", vec![fpu(19, 0)]);
+    let fsqrt = b.atomic("fsqrt", vec![fpu(27, 0)]);
+    let fneg = b.atomic("fneg", vec![fpu(1, 0)]);
+    let fcmp = b.atomic("fcmp", vec![fpu(1, 0), cru(1, 1)]);
+    // Loads: one FXU cycle for address generation plus the cache port; the
+    // loaded value is available after one further (coverable) cycle.
+    let load = b.atomic("l", vec![fxu(1, 0), lsu(1, 1)]);
+    let store = b.atomic("st", vec![fxu(1, 0), lsu(1, 0)]);
+    // The paper's FP store: FPU 1+1 and one integer-unit cycle.
+    let stfd = b.atomic("stfd", vec![fpu(1, 1), fxu(1, 0), lsu(1, 0)]);
+    let lfd = b.atomic("lfd", vec![fxu(1, 0), lsu(1, 1)]);
+    let br = b.atomic("b", vec![bru(1, 0)]);
+    let bc = b.atomic("bc", vec![bru(1, 0), cru(1, 0)]);
+    let call = b.atomic("bl", vec![bru(2, 0)]);
+    let cvt = b.atomic("fcvt", vec![fpu(1, 1)]);
+    let mov = b.atomic("mr", vec![fxu(1, 0)]);
+
+    b.map(BasicOp::IAdd, [iadd])
+        .map(BasicOp::ISub, [iadd])
+        .map(BasicOp::INeg, [iadd])
+        .map(BasicOp::IMulSmall, [imul_s])
+        .map(BasicOp::IMul, [imul])
+        .map(BasicOp::IDiv, [idiv])
+        .map(BasicOp::IShift, [ishift])
+        .map(BasicOp::ILogic, [ishift])
+        .map(BasicOp::ICmp, [icmp])
+        .map(BasicOp::FAdd, [fadd])
+        .map(BasicOp::FSub, [fadd])
+        .map(BasicOp::FMul, [fmul])
+        .map(BasicOp::FDiv, [fdiv])
+        .map(BasicOp::Fma, [fma])
+        .map(BasicOp::FNeg, [fneg])
+        .map(BasicOp::FAbs, [fneg])
+        .map(BasicOp::FCmp, [fcmp])
+        .map(BasicOp::FSqrt, [fsqrt])
+        .map(BasicOp::LoadInt, [load])
+        .map(BasicOp::StoreInt, [store])
+        .map(BasicOp::LoadFloat, [lfd])
+        .map(BasicOp::StoreFloat, [stfd])
+        .map(BasicOp::AddrCalc, [iadd])
+        .map(BasicOp::Branch, [br])
+        .map(BasicOp::BranchCond, [bc])
+        .map(BasicOp::Call, [call])
+        .map(BasicOp::Return, [br])
+        .map(BasicOp::Convert, [cvt])
+        .map(BasicOp::Move, [mov]);
+
+    b.build().expect("power_like is a valid machine description")
+}
+
+/// A single-pipe pipelined scalar RISC: every operation issues through one
+/// ALU, latencies appear as coverable cycles. Demonstrates retargeting the
+/// cost model by swapping tables only.
+pub fn risc1() -> MachineDesc {
+    let mut b = MachineBuilder::new("risc1");
+    b.unit(UnitClass::Alu, 1).register_load_limit(16);
+    let alu = |n, c| UnitCost::new(UnitClass::Alu, n, c);
+
+    let op1 = b.atomic("op1", vec![alu(1, 0)]);
+    let op2 = b.atomic("op2", vec![alu(1, 1)]);
+    let op3 = b.atomic("op3", vec![alu(1, 2)]);
+    let imul = b.atomic("mul", vec![alu(4, 0)]);
+    let idiv = b.atomic("div", vec![alu(20, 0)]);
+    let fdiv = b.atomic("fdiv", vec![alu(24, 0)]);
+    let fsqrt = b.atomic("fsqrt", vec![alu(30, 0)]);
+    // No FMA: a multiply-add costs a multiply plus an add.
+    b.map(BasicOp::IAdd, [op1])
+        .map(BasicOp::ISub, [op1])
+        .map(BasicOp::INeg, [op1])
+        .map(BasicOp::IMulSmall, [imul])
+        .map(BasicOp::IMul, [imul])
+        .map(BasicOp::IDiv, [idiv])
+        .map(BasicOp::IShift, [op1])
+        .map(BasicOp::ILogic, [op1])
+        .map(BasicOp::ICmp, [op1])
+        .map(BasicOp::FAdd, [op3])
+        .map(BasicOp::FSub, [op3])
+        .map(BasicOp::FMul, [op3])
+        .map(BasicOp::FDiv, [fdiv])
+        .map(BasicOp::Fma, [op3, op3])
+        .map(BasicOp::FNeg, [op1])
+        .map(BasicOp::FAbs, [op1])
+        .map(BasicOp::FCmp, [op2])
+        .map(BasicOp::FSqrt, [fsqrt])
+        .map(BasicOp::LoadInt, [op2])
+        .map(BasicOp::StoreInt, [op1])
+        .map(BasicOp::LoadFloat, [op2])
+        .map(BasicOp::StoreFloat, [op1])
+        .map(BasicOp::AddrCalc, [op1])
+        .map(BasicOp::Branch, [op2])
+        .map(BasicOp::BranchCond, [op2])
+        .map(BasicOp::Call, [op3])
+        .map(BasicOp::Return, [op2])
+        .map(BasicOp::Convert, [op2])
+        .map(BasicOp::Move, [op1]);
+
+    b.build().expect("risc1 is a valid machine description")
+}
+
+/// A 4-wide superscalar with duplicated FXU/FPU pipes and two memory ports,
+/// for ablation studies on unit parallelism.
+pub fn wide4() -> MachineDesc {
+    let mut b = MachineBuilder::new("wide4");
+    b.unit(UnitClass::Fxu, 2)
+        .unit(UnitClass::Fpu, 2)
+        .unit(UnitClass::Branch, 1)
+        .unit(UnitClass::CrLogic, 1)
+        .unit(UnitClass::LoadStore, 2)
+        .supports_fma(true)
+        .register_load_limit(32);
+
+    let fxu = |n, c| UnitCost::new(UnitClass::Fxu, n, c);
+    let fpu = |n, c| UnitCost::new(UnitClass::Fpu, n, c);
+    let bru = |n, c| UnitCost::new(UnitClass::Branch, n, c);
+    let cru = |n, c| UnitCost::new(UnitClass::CrLogic, n, c);
+    let lsu = |n, c| UnitCost::new(UnitClass::LoadStore, n, c);
+
+    let iadd = b.atomic("a", vec![fxu(1, 0)]);
+    let imul = b.atomic("muli", vec![fxu(2, 1)]);
+    let idiv = b.atomic("divi", vec![fxu(12, 0)]);
+    let icmp = b.atomic("cmp", vec![fxu(1, 0), cru(1, 0)]);
+    let fadd = b.atomic("fa", vec![fpu(1, 2)]);
+    let fma = b.atomic("fma", vec![fpu(1, 3)]);
+    let fdiv = b.atomic("fd", vec![fpu(14, 0)]);
+    let fsqrt = b.atomic("fsqrt", vec![fpu(20, 0)]);
+    let fsimple = b.atomic("fmr", vec![fpu(1, 0)]);
+    let load = b.atomic("l", vec![lsu(1, 2)]);
+    let store = b.atomic("st", vec![lsu(1, 0)]);
+    let br = b.atomic("b", vec![bru(1, 0)]);
+    let bc = b.atomic("bc", vec![bru(1, 0), cru(1, 0)]);
+
+    b.map(BasicOp::IAdd, [iadd])
+        .map(BasicOp::ISub, [iadd])
+        .map(BasicOp::INeg, [iadd])
+        .map(BasicOp::IMulSmall, [imul])
+        .map(BasicOp::IMul, [imul])
+        .map(BasicOp::IDiv, [idiv])
+        .map(BasicOp::IShift, [iadd])
+        .map(BasicOp::ILogic, [iadd])
+        .map(BasicOp::ICmp, [icmp])
+        .map(BasicOp::FAdd, [fadd])
+        .map(BasicOp::FSub, [fadd])
+        .map(BasicOp::FMul, [fadd])
+        .map(BasicOp::FDiv, [fdiv])
+        .map(BasicOp::Fma, [fma])
+        .map(BasicOp::FNeg, [fsimple])
+        .map(BasicOp::FAbs, [fsimple])
+        .map(BasicOp::FCmp, [fsimple])
+        .map(BasicOp::FSqrt, [fsqrt])
+        .map(BasicOp::LoadInt, [load])
+        .map(BasicOp::StoreInt, [store])
+        .map(BasicOp::LoadFloat, [load])
+        .map(BasicOp::StoreFloat, [store])
+        .map(BasicOp::AddrCalc, [iadd])
+        .map(BasicOp::Branch, [br])
+        .map(BasicOp::BranchCond, [bc])
+        .map(BasicOp::Call, [br])
+        .map(BasicOp::Return, [br])
+        .map(BasicOp::Convert, [fsimple])
+        .map(BasicOp::Move, [iadd]);
+
+    b.build().expect("wide4 is a valid machine description")
+}
+
+/// An aggressive 8-wide superscalar ("future machine"): quad FXU/FPU
+/// pipes, deep FP latency, four memory ports. On FMA-rich code the naive
+/// latency-sum model misses nearly an order of magnitude here — the
+/// paper's "off by a factor of ten" scenario.
+pub fn wide8() -> MachineDesc {
+    let mut b = MachineBuilder::new("wide8");
+    b.unit(UnitClass::Fxu, 4)
+        .unit(UnitClass::Fpu, 4)
+        .unit(UnitClass::Branch, 2)
+        .unit(UnitClass::CrLogic, 2)
+        .unit(UnitClass::LoadStore, 4)
+        .supports_fma(true)
+        .register_load_limit(64);
+
+    let fxu = |n, c| UnitCost::new(UnitClass::Fxu, n, c);
+    let fpu = |n, c| UnitCost::new(UnitClass::Fpu, n, c);
+    let bru = |n, c| UnitCost::new(UnitClass::Branch, n, c);
+    let cru = |n, c| UnitCost::new(UnitClass::CrLogic, n, c);
+    let lsu = |n, c| UnitCost::new(UnitClass::LoadStore, n, c);
+
+    let iadd = b.atomic("a", vec![fxu(1, 0)]);
+    let imul = b.atomic("muli", vec![fxu(1, 2)]);
+    let idiv = b.atomic("divi", vec![fxu(10, 0)]);
+    let icmp = b.atomic("cmp", vec![fxu(1, 0), cru(1, 0)]);
+    let fadd = b.atomic("fa", vec![fpu(1, 3)]);
+    let fma = b.atomic("fma", vec![fpu(1, 4)]);
+    let fdiv = b.atomic("fd", vec![fpu(12, 0)]);
+    let fsqrt = b.atomic("fsqrt", vec![fpu(16, 0)]);
+    let fsimple = b.atomic("fmr", vec![fpu(1, 0)]);
+    let load = b.atomic("l", vec![lsu(1, 3)]);
+    let store = b.atomic("st", vec![lsu(1, 0)]);
+    let br = b.atomic("b", vec![bru(1, 0)]);
+    let bc = b.atomic("bc", vec![bru(1, 0), cru(1, 0)]);
+
+    b.map(BasicOp::IAdd, [iadd])
+        .map(BasicOp::ISub, [iadd])
+        .map(BasicOp::INeg, [iadd])
+        .map(BasicOp::IMulSmall, [imul])
+        .map(BasicOp::IMul, [imul])
+        .map(BasicOp::IDiv, [idiv])
+        .map(BasicOp::IShift, [iadd])
+        .map(BasicOp::ILogic, [iadd])
+        .map(BasicOp::ICmp, [icmp])
+        .map(BasicOp::FAdd, [fadd])
+        .map(BasicOp::FSub, [fadd])
+        .map(BasicOp::FMul, [fadd])
+        .map(BasicOp::FDiv, [fdiv])
+        .map(BasicOp::Fma, [fma])
+        .map(BasicOp::FNeg, [fsimple])
+        .map(BasicOp::FAbs, [fsimple])
+        .map(BasicOp::FCmp, [fsimple])
+        .map(BasicOp::FSqrt, [fsqrt])
+        .map(BasicOp::LoadInt, [load])
+        .map(BasicOp::StoreInt, [store])
+        .map(BasicOp::LoadFloat, [load])
+        .map(BasicOp::StoreFloat, [store])
+        .map(BasicOp::AddrCalc, [iadd])
+        .map(BasicOp::Branch, [br])
+        .map(BasicOp::BranchCond, [bc])
+        .map(BasicOp::Call, [br])
+        .map(BasicOp::Return, [br])
+        .map(BasicOp::Convert, [fsimple])
+        .map(BasicOp::Move, [iadd]);
+
+    b.build().expect("wide8 is a valid machine description")
+}
+
+/// All predefined machines, by name.
+pub fn all() -> Vec<MachineDesc> {
+    vec![power_like(), risc1(), wide4(), wide8()]
+}
+
+/// Looks up a predefined machine by name.
+pub fn by_name(name: &str) -> Option<MachineDesc> {
+    all().into_iter().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_machines_validate() {
+        for m in all() {
+            assert!(!m.name().is_empty());
+            // Every basic op must expand with positive latency except
+            // pure-control conveniences.
+            for op in BasicOp::ALL {
+                assert!(!m.expand(op).is_empty(), "{} lacks {op}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn power_fadd_matches_paper() {
+        let m = power_like();
+        assert_eq!(m.latency_of(BasicOp::FAdd), 2, "1 noncoverable + 1 coverable");
+        assert_eq!(m.busy_of(BasicOp::FAdd), 1);
+    }
+
+    #[test]
+    fn power_fp_store_multi_unit() {
+        let m = power_like();
+        let ids = m.expand(BasicOp::StoreFloat);
+        let def = m.atomic(ids[0]);
+        assert!(def.uses(UnitClass::Fpu) && def.uses(UnitClass::Fxu));
+        assert_eq!(def.busy_on(UnitClass::Fpu), 1);
+        assert_eq!(def.latency(), 2);
+    }
+
+    #[test]
+    fn power_variable_latency_multiply() {
+        let m = power_like();
+        assert_eq!(m.latency_of(BasicOp::IMulSmall), 3);
+        assert_eq!(m.latency_of(BasicOp::IMul), 5);
+    }
+
+    #[test]
+    fn risc1_fma_decomposes() {
+        let m = risc1();
+        assert!(!m.supports_fma);
+        assert_eq!(m.expand(BasicOp::Fma).len(), 2, "mul + add on non-FMA machine");
+    }
+
+    #[test]
+    fn wide4_has_dual_pipes() {
+        let m = wide4();
+        assert_eq!(m.unit_count(UnitClass::Fxu), 2);
+        assert_eq!(m.unit_count(UnitClass::Fpu), 2);
+        assert_eq!(m.unit_count(UnitClass::LoadStore), 2);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("power-like").is_some());
+        assert!(by_name("risc1").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_power() {
+        let m = power_like();
+        let back = MachineDesc::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+}

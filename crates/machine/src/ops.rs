@@ -1,0 +1,213 @@
+//! Language-independent *basic operations* (paper §2.2.1).
+//!
+//! The first level of the paper's two-level translation maps high-level
+//! language expressions onto this fixed, type-specific vocabulary
+//! ("integer-add operation, floating-point multiply-add operation, etc.").
+//! The second level — the architecture-dependent *atomic operation mapping*
+//! — lives in [`crate::MachineDesc`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A type-specific, language- and architecture-independent operation.
+///
+/// Variable-time operations are split into several basic operations so the
+/// specialization mapping can pick per-case costs: e.g. the paper notes the
+/// RS 6000 integer multiply takes 3 cycles for multipliers in `[-128, 127]`
+/// and 5 cycles otherwise, represented here by [`BasicOp::IMulSmall`] vs
+/// [`BasicOp::IMul`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are self-describing opcode names
+pub enum BasicOp {
+    // Integer arithmetic.
+    IAdd,
+    ISub,
+    /// Integer multiply with a small (|x| ≤ 127) known multiplier.
+    IMulSmall,
+    IMul,
+    IDiv,
+    IShift,
+    ILogic,
+    ICmp,
+    INeg,
+    // Floating point.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// Fused multiply-add (the paper's "multiply-and-add" powerful instruction).
+    Fma,
+    FNeg,
+    FAbs,
+    FCmp,
+    FSqrt,
+    // Memory.
+    LoadInt,
+    StoreInt,
+    LoadFloat,
+    StoreFloat,
+    /// Address computation feeding a load/store.
+    AddrCalc,
+    // Control.
+    Branch,
+    BranchCond,
+    Call,
+    Return,
+    // Misc.
+    Convert,
+    Move,
+    Nop,
+}
+
+impl BasicOp {
+    /// Every basic operation; machine descriptions must map all of them.
+    pub const ALL: [BasicOp; 29] = [
+        BasicOp::IAdd,
+        BasicOp::ISub,
+        BasicOp::IMulSmall,
+        BasicOp::IMul,
+        BasicOp::IDiv,
+        BasicOp::IShift,
+        BasicOp::ILogic,
+        BasicOp::ICmp,
+        BasicOp::INeg,
+        BasicOp::FAdd,
+        BasicOp::FSub,
+        BasicOp::FMul,
+        BasicOp::FDiv,
+        BasicOp::Fma,
+        BasicOp::FNeg,
+        BasicOp::FAbs,
+        BasicOp::FCmp,
+        BasicOp::FSqrt,
+        BasicOp::LoadInt,
+        BasicOp::StoreInt,
+        BasicOp::LoadFloat,
+        BasicOp::StoreFloat,
+        BasicOp::AddrCalc,
+        BasicOp::Branch,
+        BasicOp::BranchCond,
+        BasicOp::Call,
+        BasicOp::Return,
+        BasicOp::Convert,
+        BasicOp::Move,
+    ];
+
+    /// Returns `true` for memory reads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, BasicOp::LoadInt | BasicOp::LoadFloat)
+    }
+
+    /// Returns `true` for memory writes.
+    pub fn is_store(&self) -> bool {
+        matches!(self, BasicOp::StoreInt | BasicOp::StoreFloat)
+    }
+
+    /// Returns `true` for memory accesses of either direction.
+    pub fn is_memory(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for floating-point computation (not FP memory ops).
+    pub fn is_float_arith(&self) -> bool {
+        matches!(
+            self,
+            BasicOp::FAdd
+                | BasicOp::FSub
+                | BasicOp::FMul
+                | BasicOp::FDiv
+                | BasicOp::Fma
+                | BasicOp::FNeg
+                | BasicOp::FAbs
+                | BasicOp::FCmp
+                | BasicOp::FSqrt
+        )
+    }
+
+    /// Returns `true` for control-transfer operations.
+    pub fn is_control(&self) -> bool {
+        matches!(self, BasicOp::Branch | BasicOp::BranchCond | BasicOp::Call | BasicOp::Return)
+    }
+}
+
+impl fmt::Display for BasicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BasicOp::IAdd => "iadd",
+            BasicOp::ISub => "isub",
+            BasicOp::IMulSmall => "imul.s",
+            BasicOp::IMul => "imul",
+            BasicOp::IDiv => "idiv",
+            BasicOp::IShift => "ishift",
+            BasicOp::ILogic => "ilogic",
+            BasicOp::ICmp => "icmp",
+            BasicOp::INeg => "ineg",
+            BasicOp::FAdd => "fadd",
+            BasicOp::FSub => "fsub",
+            BasicOp::FMul => "fmul",
+            BasicOp::FDiv => "fdiv",
+            BasicOp::Fma => "fma",
+            BasicOp::FNeg => "fneg",
+            BasicOp::FAbs => "fabs",
+            BasicOp::FCmp => "fcmp",
+            BasicOp::FSqrt => "fsqrt",
+            BasicOp::LoadInt => "load.i",
+            BasicOp::StoreInt => "store.i",
+            BasicOp::LoadFloat => "load.f",
+            BasicOp::StoreFloat => "store.f",
+            BasicOp::AddrCalc => "addr",
+            BasicOp::Branch => "br",
+            BasicOp::BranchCond => "br.cond",
+            BasicOp::Call => "call",
+            BasicOp::Return => "ret",
+            BasicOp::Convert => "cvt",
+            BasicOp::Move => "mov",
+            BasicOp::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_everything_but_nop() {
+        // Nop is intentionally excluded: it expands to no atomic operations.
+        assert!(!BasicOp::ALL.contains(&BasicOp::Nop));
+        assert_eq!(BasicOp::ALL.len(), 29);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(BasicOp::LoadFloat.is_load());
+        assert!(BasicOp::StoreInt.is_store());
+        assert!(BasicOp::LoadInt.is_memory());
+        assert!(!BasicOp::IAdd.is_memory());
+        assert!(BasicOp::Fma.is_float_arith());
+        assert!(!BasicOp::LoadFloat.is_float_arith());
+        assert!(BasicOp::BranchCond.is_control());
+        assert!(!BasicOp::FAdd.is_control());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<String> = BasicOp::ALL.iter().map(|o| o.to_string()).collect();
+        names.push(BasicOp::Nop.to_string());
+        names.sort();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn serde_as_map_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(BasicOp::Fma, 1u32);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BTreeMap<BasicOp, u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Functional units of a superscalar processor.
+//!
+//! The paper's cost model views the processor as "a two dimensional unit
+//! with multiple functional bins in one dimension and time slots in another
+//! dimension" (Figure 3). Each *pool* below becomes one or more bins; pools
+//! with `count > 1` model architectures "with multiple operation pipes"
+//! for which "more bins can be added".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The architectural class of a functional unit pool.
+///
+/// Classes mirror the bins in the paper's Figure 3 (FXU, FPU, BranchU,
+/// CR-LogicU, Load/StoreU) plus a generic ALU for simple scalar machines
+/// and a dispatch stage for modeling issue-width limits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum UnitClass {
+    /// Fixed-point (integer) unit — the paper's FXU.
+    Fxu,
+    /// Floating-point unit — the paper's FPU.
+    Fpu,
+    /// Branch unit.
+    Branch,
+    /// Condition-register / logic unit — the paper's CR-LogicU.
+    CrLogic,
+    /// Load/store (memory port) unit.
+    LoadStore,
+    /// Generic ALU for simple scalar machines.
+    Alu,
+    /// Instruction dispatch stage; one slot per instruction models the
+    /// machine's issue width.
+    Dispatch,
+}
+
+impl UnitClass {
+    /// All unit classes, for table-driven validation and display.
+    pub const ALL: [UnitClass; 7] = [
+        UnitClass::Fxu,
+        UnitClass::Fpu,
+        UnitClass::Branch,
+        UnitClass::CrLogic,
+        UnitClass::LoadStore,
+        UnitClass::Alu,
+        UnitClass::Dispatch,
+    ];
+
+    /// Short display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnitClass::Fxu => "FXU",
+            UnitClass::Fpu => "FPU",
+            UnitClass::Branch => "BranchU",
+            UnitClass::CrLogic => "CR-LogicU",
+            UnitClass::LoadStore => "Ld/StU",
+            UnitClass::Alu => "ALU",
+            UnitClass::Dispatch => "Dispatch",
+        }
+    }
+}
+
+impl fmt::Display for UnitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A pool of identical functional units.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct UnitPool {
+    /// The class served by this pool.
+    pub class: UnitClass,
+    /// Number of identical units (bins) in the pool; must be ≥ 1.
+    pub count: u8,
+}
+
+impl UnitPool {
+    /// A pool of `count` units of the given class.
+    pub fn new(class: UnitClass, count: u8) -> UnitPool {
+        UnitPool { class, count }
+    }
+}
+
+impl fmt::Display for UnitPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 1 {
+            write!(f, "{}", self.class)
+        } else {
+            write!(f, "{}×{}", self.class, self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = UnitClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), UnitClass::ALL.len());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(UnitPool::new(UnitClass::Fpu, 1).to_string(), "FPU");
+        assert_eq!(UnitPool::new(UnitClass::Fxu, 2).to_string(), "FXU×2");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pool = UnitPool::new(UnitClass::LoadStore, 2);
+        let json = serde_json::to_string(&pool).unwrap();
+        let back: UnitPool = serde_json::from_str(&json).unwrap();
+        assert_eq!(pool, back);
+    }
+}

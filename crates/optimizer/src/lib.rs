@@ -1,0 +1,45 @@
+//! Performance-guided program optimization (paper §3).
+//!
+//! The framework's consumer side: a catalog of [restructuring
+//! transformations](transforms), [what-if costing](whatif) that applies a
+//! transformation to a copy and symbolically compares the variants (§3.1),
+//! [A* search](search) over transformation sequences (§3.2), and
+//! [run-time test generation](rtt) from crossover points and sensitivity
+//! analysis (§3.4).
+//!
+//! # Example: does unrolling pay?
+//!
+//! ```
+//! use presage_core::predictor::Predictor;
+//! use presage_machine::machines;
+//! use presage_opt::{transforms::Transform, whatif::compare_transform};
+//!
+//! let predictor = Predictor::new(machines::power_like());
+//! let sub = presage_frontend::parse(
+//!     "subroutine s(a, n)
+//!        real a(n)
+//!        integer i, n
+//!        do i = 1, n
+//!          a(i) = a(i) * 2.0 + 1.0
+//!        end do
+//!      end").unwrap().units.remove(0);
+//! let (variant, cmp) = compare_transform(&sub, &[0], &Transform::Unroll(2), &predictor).unwrap();
+//! println!("C(unrolled) − C(original) = {}", cmp.difference);
+//! # let _ = variant;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod partition;
+pub mod profile;
+pub mod reorder;
+pub mod rtt;
+pub mod search;
+pub mod transforms;
+pub mod whatif;
+
+pub use profile::ProfileData;
+pub use search::{astar_search, SearchOptions, SearchResult, SearchStep};
+pub use transforms::{Transform, TransformError};
+pub use whatif::{compare_transform, loop_paths, transformed, WhatIfError};

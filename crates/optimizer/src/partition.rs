@@ -1,0 +1,269 @@
+//! Program-driven data-distribution choice.
+//!
+//! The paper cites Balasundaram–Fox–Kennedy–Kremer's distribution
+//! estimator as the kind of decision its framework subsumes: distribution
+//! costs become performance expressions, so block vs. cyclic is settled by
+//! the §3.1 symbolic comparison instead of guessed problem sizes. This
+//! module extracts the two features that drive the classic trade-off
+//! straight from the program text:
+//!
+//! - the **halo radius**: constant offsets on the distributed index in
+//!   array subscripts (stencils need neighbor data → communication);
+//! - **triangularity**: inner loop bounds depending on the distributed
+//!   index (block distributions then concentrate work on one processor).
+
+use presage_core::comm::{stencil_exchange_cost, triangular_max_load, CommParams, Distribution};
+use presage_core::predictor::Predictor;
+use presage_frontend::analysis::affine_form;
+use presage_frontend::{Expr, Stmt, Subroutine};
+use presage_symbolic::{Comparison, PerfExpr, Rational, Symbol};
+
+/// What the analyzer learned about a loop nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NestShape {
+    /// The distributed (outermost) loop variable.
+    pub outer_var: String,
+    /// Maximum |constant offset| applied to the distributed index in any
+    /// array subscript — the stencil halo radius.
+    pub halo_radius: u32,
+    /// Whether any inner loop bound depends on the distributed index.
+    pub triangular: bool,
+}
+
+/// Analyzes the first loop nest of a subroutine.
+///
+/// Returns `None` when the subroutine does not start with a `do` loop.
+pub fn nest_shape(sub: &Subroutine) -> Option<NestShape> {
+    let Stmt::Do { var, body, .. } = sub.body.iter().find(|s| matches!(s, Stmt::Do { .. }))? else {
+        return None;
+    };
+    let mut shape = NestShape { outer_var: var.clone(), halo_radius: 0, triangular: false };
+    scan(body, var, &mut shape);
+    Some(shape)
+}
+
+fn scan_expr_for_halo(e: &Expr, outer: &str, shape: &mut NestShape) {
+    e.walk(&mut |node| {
+        if let Expr::ArrayRef { indices, .. } = node {
+            for ix in indices {
+                if let Some(a) = affine_form(ix) {
+                    if a.coeff(outer) != 0 && a.constant != 0 {
+                        shape.halo_radius = shape.halo_radius.max(a.constant.unsigned_abs() as u32);
+                    }
+                }
+            }
+        }
+    });
+}
+
+fn scan(stmts: &[Stmt], outer: &str, shape: &mut NestShape) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                scan_expr_for_halo(target, outer, shape);
+                scan_expr_for_halo(value, outer, shape);
+            }
+            Stmt::Do { lb, ub, body, .. } => {
+                for bound in [lb, ub] {
+                    if bound.referenced_names().iter().any(|n| n == outer) {
+                        shape.triangular = true;
+                    }
+                }
+                scan(body, outer, shape);
+            }
+            Stmt::DoWhile { body, .. } => scan(body, outer, shape),
+            Stmt::If { cond, then_body, else_body, .. } => {
+                scan_expr_for_halo(cond, outer, shape);
+                scan(then_body, outer, shape);
+                scan(else_body, outer, shape);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    scan_expr_for_halo(a, outer, shape);
+                }
+            }
+            Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// Cost of running the nest under a distribution: per-processor compute
+/// (sequential cost over `P`, inflated by the block distribution's
+/// triangular imbalance) plus the halo-exchange communication.
+pub fn distribution_cost(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    params: &CommParams,
+    dist: Distribution,
+    size_sym: &Symbol,
+    size_range: (f64, f64),
+) -> Result<DistributionCost, crate::whatif::WhatIfError> {
+    let compute = crate::whatif::cost_of(sub, predictor)?;
+    let shape = nest_shape(sub).unwrap_or(NestShape {
+        outer_var: String::new(),
+        halo_radius: 0,
+        triangular: false,
+    });
+    let p = params.procs.max(1) as i128;
+
+    // Per-processor compute share.
+    let imbalance = match (shape.triangular, dist) {
+        // Block distribution of a triangular space: the widest rows land
+        // on one processor — (2P−1)/P of the mean.
+        (true, Distribution::Block) => Rational::new(2 * p - 1, p),
+        _ => Rational::ONE,
+    };
+    let parallel_compute = compute.scale(Rational::new(1, p) * imbalance);
+
+    let comm = if shape.halo_radius > 0 {
+        stencil_exchange_cost(params, dist, size_sym, shape.halo_radius, size_range)
+    } else {
+        PerfExpr::zero()
+    };
+    let total = parallel_compute.clone() + comm.clone();
+    Ok(DistributionCost { distribution: dist, shape, parallel_compute, comm, total })
+}
+
+/// One distribution's predicted cost breakdown.
+#[derive(Clone, Debug)]
+pub struct DistributionCost {
+    /// The distribution analyzed.
+    pub distribution: Distribution,
+    /// The nest features that drove the model.
+    pub shape: NestShape,
+    /// Per-processor compute share (imbalance-adjusted).
+    pub parallel_compute: PerfExpr,
+    /// Halo-exchange communication cost.
+    pub comm: PerfExpr,
+    /// Sum of the above.
+    pub total: PerfExpr,
+}
+
+/// Chooses between block and cyclic distribution for the subroutine's
+/// first nest by symbolic comparison; returns both costings and the
+/// comparison (`difference = C(block) − C(cyclic)`).
+pub fn choose_distribution(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    params: &CommParams,
+    size_sym: &Symbol,
+    size_range: (f64, f64),
+) -> Result<(DistributionCost, DistributionCost, Comparison), crate::whatif::WhatIfError> {
+    let block = distribution_cost(sub, predictor, params, Distribution::Block, size_sym, size_range)?;
+    let cyclic =
+        distribution_cost(sub, predictor, params, Distribution::Cyclic, size_sym, size_range)?;
+    let cmp = block.total.compare(&cyclic.total);
+    Ok((block, cyclic, cmp))
+}
+
+/// Reference on `triangular_max_load` for callers wanting the standalone
+/// load curves (re-exported convenience).
+pub use presage_core::comm::Distribution as Dist;
+#[doc(hidden)]
+pub fn _load_curves(params: &CommParams, n: &Symbol, range: (f64, f64)) -> (PerfExpr, PerfExpr) {
+    (
+        triangular_max_load(params, Distribution::Block, n, range),
+        triangular_max_load(params, Distribution::Cyclic, n, range),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+    use presage_symbolic::CompareOutcome;
+
+    fn sub(src: &str) -> Subroutine {
+        presage_frontend::parse(src).unwrap().units.remove(0)
+    }
+
+    const JACOBI: &str = "subroutine jacobi(a, b, n)
+       real a(n,n), b(n,n)
+       integer i, j, n
+       do j = 2, n-1
+         do i = 2, n-1
+           a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+         end do
+       end do
+     end";
+
+    const TRIANGULAR: &str = "subroutine tri(a, n)
+       real a(n,n)
+       integer i, j, n
+       do i = 1, n
+         do j = i, n
+           a(i,j) = a(i,j) * 0.5
+         end do
+       end do
+     end";
+
+    #[test]
+    fn jacobi_shape_detected() {
+        let shape = nest_shape(&sub(JACOBI)).unwrap();
+        assert_eq!(shape.outer_var, "j");
+        assert_eq!(shape.halo_radius, 1, "±1 stencil offsets");
+        assert!(!shape.triangular);
+    }
+
+    #[test]
+    fn triangular_shape_detected() {
+        let shape = nest_shape(&sub(TRIANGULAR)).unwrap();
+        assert_eq!(shape.outer_var, "i");
+        assert_eq!(shape.halo_radius, 0, "no neighbor offsets");
+        assert!(shape.triangular, "inner lb depends on i");
+    }
+
+    #[test]
+    fn jacobi_prefers_block() {
+        let predictor = Predictor::new(machines::power_like());
+        let n = Symbol::new("n");
+        let (block, cyclic, cmp) = choose_distribution(
+            &sub(JACOBI),
+            &predictor,
+            &CommParams::default(),
+            &n,
+            (256.0, 8192.0),
+        )
+        .unwrap();
+        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "block wins stencils");
+        assert!(!block.comm.poly().is_zero());
+        assert!(!cyclic.comm.poly().is_zero());
+    }
+
+    #[test]
+    fn triangular_prefers_cyclic() {
+        let predictor = Predictor::new(machines::power_like());
+        let n = Symbol::new("n");
+        let (_, _, cmp) = choose_distribution(
+            &sub(TRIANGULAR),
+            &predictor,
+            &CommParams::default(),
+            &n,
+            (256.0, 8192.0),
+        )
+        .unwrap();
+        assert_eq!(cmp.outcome, CompareOutcome::SecondCheaper, "cyclic balances: {}", cmp.difference);
+    }
+
+    #[test]
+    fn no_halo_means_no_comm() {
+        let predictor = Predictor::new(machines::power_like());
+        let n = Symbol::new("n");
+        let c = distribution_cost(
+            &sub(TRIANGULAR),
+            &predictor,
+            &CommParams::default(),
+            Distribution::Block,
+            &n,
+            (256.0, 8192.0),
+        )
+        .unwrap();
+        assert!(c.comm.poly().is_zero());
+        assert!(c.shape.triangular);
+    }
+
+    #[test]
+    fn straight_line_subroutine_has_no_nest() {
+        assert!(nest_shape(&sub("subroutine s(x)\nreal x\nx = 1.0\nend")).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Profiling support (paper §3.4).
+//!
+//! "Profiling can be used to eliminate some variables that result from
+//! unknown values in the control structures (such as the branching
+//! probabilities of conditional statements). This is useful when the
+//! program behavior is relatively independent of the input data."
+//!
+//! A [`ProfileData`] maps observed unknowns (loop trip counts, branch
+//! probabilities) to values; applying it to a performance expression binds
+//! exactly those unknowns, leaving everything else symbolic — profiling
+//! narrows, it never replaces, the symbolic representation.
+
+use presage_symbolic::{PerfExpr, Rational, Symbol, VarKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Observed run-time behavior to fold into predictions.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    observations: HashMap<String, f64>,
+}
+
+impl ProfileData {
+    /// An empty profile.
+    pub fn new() -> ProfileData {
+        ProfileData::default()
+    }
+
+    /// Records an observed value for a symbolic unknown (a loop bound
+    /// variable like `n`, or a probability symbol like `p$(x > 0.5)`).
+    pub fn observe(&mut self, symbol: impl Into<String>, value: f64) -> &mut Self {
+        self.observations.insert(symbol.into(), value);
+        self
+    }
+
+    /// Records a branch probability, clamped to `[0, 1]`.
+    pub fn observe_branch(&mut self, symbol: impl Into<String>, taken_fraction: f64) -> &mut Self {
+        self.observe(symbol, taken_fraction.clamp(0.0, 1.0))
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Returns `true` when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Binds every observed unknown in `expr`, returning the narrowed
+    /// expression. Observations for symbols the expression does not
+    /// mention are ignored; unknowns without observations stay symbolic.
+    pub fn apply(&self, expr: &PerfExpr) -> PerfExpr {
+        let mut out = expr.clone();
+        for (name, value) in &self.observations {
+            let sym = Symbol::new(name);
+            if !out.poly().contains_symbol(&sym) {
+                continue;
+            }
+            let rational = Rational::new((value * 1000.0).round() as i128, 1000);
+            if let Ok(bound) = out.bind(&sym, rational) {
+                out = bound;
+            }
+        }
+        out
+    }
+
+    /// The unknowns of `expr` not covered by this profile — what §3.4
+    /// would route to run-time tests instead.
+    pub fn uncovered(&self, expr: &PerfExpr) -> Vec<Symbol> {
+        expr.vars()
+            .keys()
+            .filter(|s| !self.observations.contains_key(s.name()))
+            .cloned()
+            .collect()
+    }
+
+    /// The branch-probability unknowns of `expr` this profile would
+    /// eliminate (the paper's primary profiling target).
+    pub fn eliminable_branch_probs(&self, expr: &PerfExpr) -> Vec<Symbol> {
+        expr.vars()
+            .iter()
+            .filter(|(s, i)| i.kind == VarKind::BranchProb && self.observations.contains_key(s.name()))
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for ProfileData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile ({} observations):", self.observations.len())?;
+        let mut keys: Vec<&String> = self.observations.keys().collect();
+        keys.sort();
+        for k in keys {
+            writeln!(f, "  {k} = {}", self.observations[k])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_symbolic::VarInfo;
+
+    fn expr_with_prob() -> PerfExpr {
+        let n = Symbol::new("n");
+        let p = Symbol::new("p$(x > 0.5)");
+        let body = PerfExpr::conditional(p, &PerfExpr::cycles(40), &PerfExpr::cycles(4));
+        body.repeat_symbolic(n, VarInfo::loop_bound(1.0, 1e6))
+    }
+
+    #[test]
+    fn binding_branch_probability() {
+        let e = expr_with_prob();
+        assert_eq!(e.vars().len(), 2);
+        let mut prof = ProfileData::new();
+        prof.observe_branch("p$(x > 0.5)", 0.25);
+        let narrowed = prof.apply(&e);
+        // p eliminated: 0.25·40 + 0.75·4 = 13 per iteration.
+        assert_eq!(narrowed.vars().len(), 1);
+        assert_eq!(narrowed.poly().to_string(), "13*n");
+    }
+
+    #[test]
+    fn binding_everything_makes_concrete() {
+        let e = expr_with_prob();
+        let mut prof = ProfileData::new();
+        prof.observe_branch("p$(x > 0.5)", 0.5).observe("n", 100.0);
+        let narrowed = prof.apply(&e);
+        assert!(narrowed.is_concrete());
+        assert_eq!(narrowed.concrete_cycles().unwrap(), Rational::from_int(2200));
+    }
+
+    #[test]
+    fn irrelevant_observations_ignored() {
+        let e = expr_with_prob();
+        let mut prof = ProfileData::new();
+        prof.observe("zz", 7.0);
+        assert_eq!(prof.apply(&e), e);
+    }
+
+    #[test]
+    fn clamping_probabilities() {
+        let mut prof = ProfileData::new();
+        prof.observe_branch("p", 3.0);
+        let p = Symbol::new("p");
+        let e = PerfExpr::var(p, VarInfo::branch_prob());
+        let narrowed = prof.apply(&e);
+        assert_eq!(narrowed.concrete_cycles().unwrap(), Rational::ONE);
+    }
+
+    #[test]
+    fn coverage_queries() {
+        let e = expr_with_prob();
+        let mut prof = ProfileData::new();
+        prof.observe_branch("p$(x > 0.5)", 0.3);
+        assert_eq!(prof.eliminable_branch_probs(&e).len(), 1);
+        let unc = prof.uncovered(&e);
+        assert_eq!(unc.len(), 1);
+        assert_eq!(unc[0].name(), "n");
+    }
+
+    #[test]
+    fn display_lists_observations() {
+        let mut prof = ProfileData::new();
+        prof.observe("n", 42.0);
+        assert!(prof.to_string().contains("n = 42"));
+        assert!(!prof.is_empty());
+        assert_eq!(prof.len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Statement-block ordering by cost-block shape (paper §2.4.2).
+//!
+//! "The shapes of the cost blocks can be used to decide the order of
+//! statement blocks" — adjacent blocks overlap where one block's top gaps
+//! meet the next block's bottom leads (Figure 9), so the order of
+//! independent statement blocks changes total cost. This module searches
+//! for the order with the best estimated combined cost.
+
+use presage_core::costblock::CostBlock;
+use presage_core::tetris::{place_block, PlaceOptions};
+use presage_machine::MachineDesc;
+use presage_translate::BlockIr;
+
+/// Result of an ordering search.
+#[derive(Clone, Debug)]
+pub struct Ordering {
+    /// Permutation of the input indices, best first-to-last.
+    pub order: Vec<usize>,
+    /// Estimated combined cost of that order (shape-based).
+    pub estimated_cost: u32,
+    /// Estimated cost of the original order, for comparison.
+    pub original_cost: u32,
+}
+
+impl Ordering {
+    /// Cycles saved by reordering (0 when the original order is best).
+    pub fn saving(&self) -> u32 {
+        self.original_cost.saturating_sub(self.estimated_cost)
+    }
+}
+
+/// Shape-based cost of running blocks in the given order: spans minus
+/// pairwise Figure 9 overlaps.
+pub fn sequence_cost(shapes: &[CostBlock], order: &[usize]) -> u32 {
+    let mut total = 0u32;
+    for (k, &i) in order.iter().enumerate() {
+        total += shapes[i].span();
+        if k > 0 {
+            let prev = &shapes[order[k - 1]];
+            total = total.saturating_sub(prev.estimate_overlap(&shapes[i]));
+        }
+    }
+    total
+}
+
+/// Finds the best order for a sequence of *independent* statement blocks.
+///
+/// Exhaustive for up to 6 blocks; greedy (best-next by pairwise overlap)
+/// beyond that. Legality (independence of the blocks) is the caller's
+/// responsibility, as everywhere in the paper's framework.
+pub fn best_order(machine: &MachineDesc, blocks: &[BlockIr], opts: PlaceOptions) -> Ordering {
+    let shapes: Vec<CostBlock> = blocks.iter().map(|b| place_block(machine, b, opts)).collect();
+    let identity: Vec<usize> = (0..blocks.len()).collect();
+    let original_cost = sequence_cost(&shapes, &identity);
+
+    if blocks.len() <= 1 {
+        return Ordering { order: identity, estimated_cost: original_cost, original_cost };
+    }
+
+    let best = if blocks.len() <= 6 {
+        let mut best_order = identity.clone();
+        let mut best_cost = original_cost;
+        permute(&mut identity.clone(), 0, &mut |perm| {
+            let c = sequence_cost(&shapes, perm);
+            if c < best_cost {
+                best_cost = c;
+                best_order = perm.to_vec();
+            }
+        });
+        (best_order, best_cost)
+    } else {
+        greedy_order(&shapes)
+    };
+
+    Ordering { order: best.0, estimated_cost: best.1, original_cost }
+}
+
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+fn greedy_order(shapes: &[CostBlock]) -> (Vec<usize>, u32) {
+    let n = shapes.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Start from the block with the largest span (most to hide behind).
+    remaining.sort_by_key(|&i| std::cmp::Reverse(shapes[i].span()));
+    let mut order = vec![remaining.remove(0)];
+    while !remaining.is_empty() {
+        let last = *order.last().unwrap();
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| shapes[last].estimate_overlap(&shapes[i]))
+            .unwrap();
+        order.push(remaining.remove(pos));
+    }
+    let cost = sequence_cost(shapes, &order);
+    (order, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::ValueDef;
+
+    /// FXU-early/FPU-late block.
+    fn int_then_float() -> BlockIr {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let mut v = x;
+        for _ in 0..3 {
+            v = b.emit(BasicOp::IAdd, vec![v, x]);
+        }
+        let mut f = b.emit(BasicOp::FAdd, vec![x, x]);
+        f = b.emit(BasicOp::FAdd, vec![f, f]);
+        let _ = f;
+        b
+    }
+
+    /// Pure FPU chain block.
+    fn float_chain() -> BlockIr {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let mut v = x;
+        for _ in 0..4 {
+            v = b.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        b
+    }
+
+    /// Pure FXU chain block.
+    fn int_chain() -> BlockIr {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let mut v = x;
+        for _ in 0..4 {
+            v = b.emit(BasicOp::IAdd, vec![v, x]);
+        }
+        b
+    }
+
+    #[test]
+    fn single_block_is_trivial() {
+        let m = machines::power_like();
+        let o = best_order(&m, &[float_chain()], PlaceOptions::default());
+        assert_eq!(o.order, vec![0]);
+        assert_eq!(o.saving(), 0);
+    }
+
+    #[test]
+    fn alternating_units_overlap() {
+        // FPU-chain followed by FXU-chain overlaps fully; the estimator
+        // must see that interleaving disjoint-unit blocks is free.
+        let m = machines::power_like();
+        let blocks = vec![float_chain(), int_chain()];
+        let o = best_order(&m, &blocks, PlaceOptions::default());
+        assert!(
+            o.estimated_cost < 16,
+            "disjoint units should overlap: cost {}",
+            o.estimated_cost
+        );
+    }
+
+    #[test]
+    fn best_order_never_worse_than_original() {
+        let m = machines::power_like();
+        let blocks = vec![int_then_float(), float_chain(), int_chain()];
+        let o = best_order(&m, &blocks, PlaceOptions::default());
+        assert!(o.estimated_cost <= o.original_cost);
+        // The order is a permutation.
+        let mut sorted = o.order.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_handles_many_blocks() {
+        let m = machines::power_like();
+        let blocks: Vec<BlockIr> = (0..9)
+            .map(|i| if i % 2 == 0 { float_chain() } else { int_chain() })
+            .collect();
+        let o = best_order(&m, &blocks, PlaceOptions::default());
+        assert_eq!(o.order.len(), 9);
+        assert!(o.estimated_cost <= o.original_cost);
+    }
+
+    #[test]
+    fn sequence_cost_subtracts_overlap() {
+        let m = machines::power_like();
+        let shapes = vec![
+            place_block(&m, &float_chain(), PlaceOptions::default()),
+            place_block(&m, &int_chain(), PlaceOptions::default()),
+        ];
+        let joined = sequence_cost(&shapes, &[0, 1]);
+        let separate = shapes[0].span() + shapes[1].span();
+        assert!(joined < separate);
+    }
+}

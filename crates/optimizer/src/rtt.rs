@@ -1,0 +1,221 @@
+//! Run-time test generation (paper §3.4).
+//!
+//! "Multiple branches of instructions guided by well-chosen run-time tests
+//! can be effective for programs whose performances depend on input data.
+//! ... After the performance expression is found for a program fragment,
+//! sensitivity analysis can be applied to find the top few variables that
+//! produce the most perturbations to the performance. Run-time tests can
+//! be formulated based on the most sensitive variables. Furthermore, the
+//! conditions on the performance expressions can be used to formulate the
+//! run-time tests."
+
+use presage_frontend::Subroutine;
+use presage_symbolic::sensitivity::{top_k, SensitivityOptions};
+use presage_symbolic::signs::Sign;
+use presage_symbolic::{Comparison, PerfExpr, Symbol};
+use std::fmt;
+
+/// Which variant wins on a region of the test variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Winner {
+    /// The first (e.g. transformed) variant is cheaper.
+    First,
+    /// The second (e.g. original) variant is cheaper.
+    Second,
+    /// The variants tie on this region.
+    Tie,
+}
+
+/// One region of the test variable's range with its winner.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Region {
+    /// Left endpoint.
+    pub lo: f64,
+    /// Right endpoint.
+    pub hi: f64,
+    /// Which variant to run here.
+    pub winner: Winner,
+}
+
+/// A plan for guarding two variants with run-time tests on one variable.
+#[derive(Clone, Debug)]
+pub struct MultiVersionPlan {
+    /// The tested variable.
+    pub variable: Symbol,
+    /// Regions in ascending order; adjacent regions have distinct winners.
+    pub regions: Vec<Region>,
+    /// Values of the variable where the winner flips (the test thresholds).
+    pub thresholds: Vec<f64>,
+}
+
+impl MultiVersionPlan {
+    /// Number of run-time comparisons needed (`thresholds.len()`); the
+    /// paper cautions that "usually only a few run-time tests can be
+    /// afforded".
+    pub fn test_count(&self) -> usize {
+        self.thresholds.len()
+    }
+}
+
+impl fmt::Display for MultiVersionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run-time tests on `{}`:", self.variable)?;
+        for r in &self.regions {
+            writeln!(
+                f,
+                "  [{:.1}, {:.1}] -> {}",
+                r.lo,
+                r.hi,
+                match r.winner {
+                    Winner::First => "variant A",
+                    Winner::Second => "variant B",
+                    Winner::Tie => "either",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a multi-version plan from a symbolic comparison whose difference
+/// is univariate (the [`Comparison::regions`] case). The comparison's
+/// `difference` is `C(first) − C(second)`: negative regions favor the
+/// first variant.
+///
+/// Returns `None` when the comparison has no univariate sign regions.
+pub fn plan_from_comparison(cmp: &Comparison) -> Option<MultiVersionPlan> {
+    let regions = cmp.regions.as_ref()?;
+    let symbols = cmp.difference.poly().symbols();
+    let variable = symbols.into_iter().next()?;
+    let mapped: Vec<Region> = regions
+        .iter()
+        .map(|r| Region {
+            lo: r.lo,
+            hi: r.hi,
+            winner: match r.sign {
+                Sign::Negative => Winner::First,
+                Sign::Positive => Winner::Second,
+                Sign::Zero => Winner::Tie,
+            },
+        })
+        .collect();
+    Some(MultiVersionPlan { variable, regions: mapped, thresholds: cmp.crossovers.clone() })
+}
+
+/// Ranks a fragment's unknowns by performance sensitivity and returns the
+/// top `k` as run-time-test candidates (§3.4's selection step).
+pub fn test_candidates(expr: &PerfExpr, k: usize) -> Vec<Symbol> {
+    top_k(expr, k, SensitivityOptions::default())
+        .into_iter()
+        .map(|s| s.symbol)
+        .collect()
+}
+
+/// Emits multi-versioned source: run-time tests on the plan's variable
+/// select between the two variants. The emitted text is parseable
+/// mini-Fortran (thresholds are rounded to integers, the common case for
+/// loop bounds).
+pub fn emit_multiversion(plan: &MultiVersionPlan, first: &Subroutine, second: &Subroutine) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let var = plan.variable.name();
+    let _ = writeln!(out, "! multi-version dispatch on {var}");
+    let _ = writeln!(out, "subroutine {}_dispatch({})", first.name, {
+        let mut ps = first.params.clone();
+        if !ps.contains(&var.to_string()) {
+            ps.push(var.to_string());
+        }
+        ps.join(", ")
+    });
+    let mut first_branch = true;
+    for r in &plan.regions {
+        let guard = if r.hi.is_finite() && (r.hi - r.hi.round()).abs() < 1e-6 {
+            format!("{var} .le. {}", r.hi.round() as i64)
+        } else {
+            format!("{var} .le. {}", r.hi)
+        };
+        let callee = match r.winner {
+            Winner::First => &first.name,
+            Winner::Second | Winner::Tie => &second.name,
+        };
+        if first_branch {
+            let _ = writeln!(out, "  if ({guard}) then");
+            first_branch = false;
+        } else if r.hi.is_finite() && plan.regions.last().map(|l| l.hi) != Some(r.hi) {
+            let _ = writeln!(out, "  else if ({guard}) then");
+        } else {
+            let _ = writeln!(out, "  else");
+        }
+        let _ = writeln!(out, "    call {}({})", callee, first.params.join(", "));
+    }
+    if !plan.regions.is_empty() {
+        let _ = writeln!(out, "  end if");
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_symbolic::{PerfExpr, VarInfo};
+
+    fn crossover_comparison() -> Comparison {
+        // A: 100 + 2n, B: 10n — A wins for n > 12.5.
+        let n = Symbol::new("n");
+        let info = VarInfo::loop_bound(1.0, 100.0);
+        let a = PerfExpr::cycles(2).repeat_symbolic(n.clone(), info) + PerfExpr::cycles(100);
+        let b = PerfExpr::cycles(10).repeat_symbolic(n, info);
+        a.compare(&b)
+    }
+
+    #[test]
+    fn plan_reflects_crossover() {
+        let plan = plan_from_comparison(&crossover_comparison()).unwrap();
+        assert_eq!(plan.variable.name(), "n");
+        assert_eq!(plan.test_count(), 1);
+        assert!((plan.thresholds[0] - 12.5).abs() < 1e-6);
+        assert_eq!(plan.regions.len(), 2);
+        // Below the crossover B (second) is cheaper; above, A (first).
+        assert_eq!(plan.regions[0].winner, Winner::Second);
+        assert_eq!(plan.regions[1].winner, Winner::First);
+    }
+
+    #[test]
+    fn no_regions_no_plan() {
+        let a = PerfExpr::cycles(5);
+        let b = PerfExpr::cycles(9);
+        assert!(plan_from_comparison(&a.compare(&b)).is_none());
+    }
+
+    #[test]
+    fn candidates_ranked_by_sensitivity() {
+        let n = Symbol::new("n");
+        let m = Symbol::new("m");
+        let e = PerfExpr::cycles(1000).repeat_symbolic(n.clone(), VarInfo::loop_bound(0.0, 100.0))
+            + PerfExpr::cycles(1).repeat_symbolic(m, VarInfo::loop_bound(0.0, 100.0));
+        let c = test_candidates(&e, 1);
+        assert_eq!(c, vec![n]);
+    }
+
+    #[test]
+    fn multiversion_emits_dispatch() {
+        let plan = plan_from_comparison(&crossover_comparison()).unwrap();
+        let fast = presage_frontend::parse(
+            "subroutine fast(a, n)\nreal a(n)\ninteger n\nreturn\nend",
+        )
+        .unwrap()
+        .units
+        .remove(0);
+        let slow = presage_frontend::parse(
+            "subroutine slow(a, n)\nreal a(n)\ninteger n\nreturn\nend",
+        )
+        .unwrap()
+        .units
+        .remove(0);
+        let text = emit_multiversion(&plan, &fast, &slow);
+        assert!(text.contains("if (n .le. "), "{text}");
+        assert!(text.contains("call slow"), "{text}");
+        assert!(text.contains("call fast"), "{text}");
+    }
+}

@@ -1,0 +1,540 @@
+//! Source-level restructuring transformations.
+//!
+//! The paper's optimizer chooses among restructuring transformations by
+//! comparing their symbolic cost expressions (§3). This module implements
+//! the classic catalog on the mini-Fortran AST: unrolling, interchange,
+//! tiling, fusion, and distribution. Transformations are purely
+//! structural; legality checking is the caller's concern (the cost model
+//! answers "is it faster", not "is it safe", exactly as in the paper).
+
+use presage_frontend::{BinOp, Expr, Intrinsic, Stmt};
+use std::fmt;
+
+/// A transformation request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Transform {
+    /// Unroll the loop by the factor (≥ 2). The remainder loop (at most
+    /// `factor − 1` iterations) is emitted guarded by a `min`-bounded tail.
+    Unroll(u32),
+    /// Swap a perfectly nested pair of loops (this loop and its only child).
+    Interchange,
+    /// Strip-mine the loop into tiles of the given size.
+    Tile(u32),
+    /// Fuse this loop with the following identical-header loop (apply to a
+    /// two-statement sequence).
+    Fuse,
+    /// Split a multi-statement loop body into one loop per statement.
+    Distribute,
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Unroll(k) => write!(f, "unroll({k})"),
+            Transform::Interchange => f.write_str("interchange"),
+            Transform::Tile(s) => write!(f, "tile({s})"),
+            Transform::Fuse => f.write_str("fuse"),
+            Transform::Distribute => f.write_str("distribute"),
+        }
+    }
+}
+
+/// Errors from transformation application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// Target statement is not a loop (or not the required shape).
+    NotApplicable(&'static str),
+    /// A parameter was out of range (e.g. unroll factor < 2).
+    BadParameter(&'static str),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotApplicable(m) => write!(f, "transformation not applicable: {m}"),
+            TransformError::BadParameter(m) => write!(f, "bad transformation parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Substitutes `var := replacement` in an expression.
+pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(n) if n == var => replacement.clone(),
+        Expr::Var(_) | Expr::IntLit(_) | Expr::RealLit(_) | Expr::LogicalLit(_) => e.clone(),
+        Expr::ArrayRef { name, indices } => Expr::ArrayRef {
+            name: name.clone(),
+            indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+        },
+        Expr::Unary { op, operand } => Expr::unary(*op, subst_var(operand, var, replacement)),
+        Expr::Binary { op, lhs, rhs } => Expr::binary(
+            *op,
+            subst_var(lhs, var, replacement),
+            subst_var(rhs, var, replacement),
+        ),
+        Expr::Intrinsic { func, args } => Expr::Intrinsic {
+            func: *func,
+            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+        },
+    }
+}
+
+fn subst_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
+    match s {
+        Stmt::Assign { target, value, span } => Stmt::Assign {
+            target: subst_var(target, var, replacement),
+            value: subst_var(value, var, replacement),
+            span: *span,
+        },
+        Stmt::Do { var: v, lb, ub, step, body, span } => Stmt::Do {
+            var: v.clone(),
+            lb: subst_var(lb, var, replacement),
+            ub: subst_var(ub, var, replacement),
+            step: step.as_ref().map(|s| subst_var(s, var, replacement)),
+            body: body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            span: *span,
+        },
+        Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+            cond: subst_var(cond, var, replacement),
+            then_body: then_body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            else_body: else_body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            span: *span,
+        },
+        Stmt::Call { name, args, span } => Stmt::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            span: *span,
+        },
+        Stmt::DoWhile { cond, body, span } => Stmt::DoWhile {
+            cond: subst_var(cond, var, replacement),
+            body: body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            span: *span,
+        },
+        Stmt::Return { span } => Stmt::Return { span: *span },
+    }
+}
+
+fn simplify_add(e: Expr) -> Expr {
+    // Fold `x + 0` and constant additions produced by unrolling offsets.
+    if let Expr::Binary { op: BinOp::Add, lhs, rhs } = &e {
+        if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
+            return Expr::IntLit(a + b);
+        }
+        if rhs.as_int() == Some(0) {
+            return (**lhs).clone();
+        }
+        if lhs.as_int() == Some(0) {
+            return (**rhs).clone();
+        }
+    }
+    e
+}
+
+/// Applies a transformation to the statement at `stmts[idx]` (plus the
+/// following statement for [`Transform::Fuse`]), replacing it in place.
+///
+/// # Errors
+///
+/// [`TransformError`] when the target shape or parameters do not fit.
+pub fn apply(stmts: &mut Vec<Stmt>, idx: usize, transform: &Transform) -> Result<(), TransformError> {
+    match transform {
+        Transform::Unroll(factor) => {
+            let new = unroll(get_loop(stmts, idx)?, *factor)?;
+            stmts.splice(idx..=idx, new);
+            Ok(())
+        }
+        Transform::Interchange => {
+            let new = interchange(get_loop(stmts, idx)?)?;
+            stmts[idx] = new;
+            Ok(())
+        }
+        Transform::Tile(size) => {
+            let new = tile(get_loop(stmts, idx)?, *size)?;
+            stmts[idx] = new;
+            Ok(())
+        }
+        Transform::Fuse => {
+            if idx + 1 >= stmts.len() {
+                return Err(TransformError::NotApplicable("fuse needs a following loop"));
+            }
+            let new = fuse(&stmts[idx], &stmts[idx + 1])?;
+            stmts.splice(idx..=idx + 1, [new]);
+            Ok(())
+        }
+        Transform::Distribute => {
+            let new = distribute(get_loop(stmts, idx)?)?;
+            stmts.splice(idx..=idx, new);
+            Ok(())
+        }
+    }
+}
+
+fn get_loop(stmts: &[Stmt], idx: usize) -> Result<&Stmt, TransformError> {
+    match stmts.get(idx) {
+        Some(s @ Stmt::Do { .. }) => Ok(s),
+        _ => Err(TransformError::NotApplicable("target is not a do-loop")),
+    }
+}
+
+/// Unrolls a loop by `factor`: main loop with step×factor and replicated,
+/// offset-substituted bodies, plus a tail loop for the remainder.
+pub fn unroll(stmt: &Stmt, factor: u32) -> Result<Vec<Stmt>, TransformError> {
+    if factor < 2 {
+        return Err(TransformError::BadParameter("unroll factor must be ≥ 2"));
+    }
+    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
+        return Err(TransformError::NotApplicable("unroll target is not a loop"));
+    };
+    let step_val = step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
+    let Some(step_val) = step_val else {
+        return Err(TransformError::NotApplicable("unroll needs a constant step"));
+    };
+
+    let mut new_body = Vec::new();
+    for k in 0..factor {
+        let offset = k as i64 * step_val;
+        let idx_expr = simplify_add(Expr::binary(
+            BinOp::Add,
+            Expr::Var(var.clone()),
+            Expr::IntLit(offset),
+        ));
+        for s in body {
+            new_body.push(subst_stmt(s, var, &idx_expr));
+        }
+    }
+    // Main loop covers iterations that fit whole groups; the upper bound
+    // shrinks so that var + (factor−1)·step stays within ub.
+    let shrink = (factor as i64 - 1) * step_val;
+    let main_ub = simplify_add(Expr::binary(BinOp::Add, ub.clone(), Expr::IntLit(-shrink)));
+    let main = Stmt::Do {
+        var: var.clone(),
+        lb: lb.clone(),
+        ub: main_ub,
+        step: Some(Expr::IntLit(step_val * factor as i64)),
+        body: new_body,
+        span: *span,
+    };
+    // Tail loop: at most factor−1 iterations. Without an integer-division
+    // form for the exact restart point, the tail conservatively re-checks
+    // the last factor−1 candidates with the original body, guarded on a
+    // max bound; cost-wise it contributes O(factor) iterations.
+    let tail_lb = Expr::Intrinsic {
+        func: Intrinsic::Max,
+        args: vec![
+            lb.clone(),
+            simplify_add(Expr::binary(BinOp::Add, ub.clone(), Expr::IntLit(-shrink + step_val))),
+        ],
+    };
+    let tail = Stmt::Do {
+        var: var.clone(),
+        lb: tail_lb,
+        ub: ub.clone(),
+        step: step.clone(),
+        body: body.clone(),
+        span: *span,
+    };
+    Ok(vec![main, tail])
+}
+
+/// Swaps this loop with its single nested loop.
+pub fn interchange(stmt: &Stmt) -> Result<Stmt, TransformError> {
+    let Stmt::Do { var: v1, lb: lb1, ub: ub1, step: s1, body, span } = stmt else {
+        return Err(TransformError::NotApplicable("interchange target is not a loop"));
+    };
+    let [Stmt::Do { var: v2, lb: lb2, ub: ub2, step: s2, body: inner, span: span2 }] = &body[..] else {
+        return Err(TransformError::NotApplicable("interchange needs a perfectly nested pair"));
+    };
+    // Triangular bounds referencing the outer variable cannot be swapped
+    // by a pure header exchange.
+    for e in [lb2, ub2] {
+        if e.referenced_names().contains(&v1.to_string()) {
+            return Err(TransformError::NotApplicable("inner bounds depend on the outer index"));
+        }
+    }
+    Ok(Stmt::Do {
+        var: v2.clone(),
+        lb: lb2.clone(),
+        ub: ub2.clone(),
+        step: s2.clone(),
+        body: vec![Stmt::Do {
+            var: v1.clone(),
+            lb: lb1.clone(),
+            ub: ub1.clone(),
+            step: s1.clone(),
+            body: inner.clone(),
+            span: *span,
+        }],
+        span: *span2,
+    })
+}
+
+/// Strip-mines a loop into tiles of `size`.
+pub fn tile(stmt: &Stmt, size: u32) -> Result<Stmt, TransformError> {
+    if size < 2 {
+        return Err(TransformError::BadParameter("tile size must be ≥ 2"));
+    }
+    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
+        return Err(TransformError::NotApplicable("tile target is not a loop"));
+    };
+    if step.is_some() && step.as_ref().and_then(|s| s.as_int()) != Some(1) {
+        return Err(TransformError::NotApplicable("tiling requires unit step"));
+    }
+    let tile_var = format!("{var}$t");
+    let inner_ub = Expr::Intrinsic {
+        func: Intrinsic::Min,
+        args: vec![
+            Expr::binary(
+                BinOp::Add,
+                Expr::Var(tile_var.clone()),
+                Expr::IntLit(size as i64 - 1),
+            ),
+            ub.clone(),
+        ],
+    };
+    Ok(Stmt::Do {
+        var: tile_var.clone(),
+        lb: lb.clone(),
+        ub: ub.clone(),
+        step: Some(Expr::IntLit(size as i64)),
+        body: vec![Stmt::Do {
+            var: var.clone(),
+            lb: Expr::Var(tile_var),
+            ub: inner_ub,
+            step: None,
+            body: body.clone(),
+            span: *span,
+        }],
+        span: *span,
+    })
+}
+
+/// Fuses two loops with identical headers into one.
+pub fn fuse(a: &Stmt, b: &Stmt) -> Result<Stmt, TransformError> {
+    let (Stmt::Do { var: v1, lb: lb1, ub: ub1, step: s1, body: b1, span },
+         Stmt::Do { var: v2, lb: lb2, ub: ub2, step: s2, body: b2, .. }) = (a, b)
+    else {
+        return Err(TransformError::NotApplicable("fuse needs two loops"));
+    };
+    if v1 != v2 || lb1 != lb2 || ub1 != ub2 || s1 != s2 {
+        return Err(TransformError::NotApplicable("fuse needs identical headers"));
+    }
+    let mut body = b1.clone();
+    body.extend(b2.iter().cloned());
+    Ok(Stmt::Do {
+        var: v1.clone(),
+        lb: lb1.clone(),
+        ub: ub1.clone(),
+        step: s1.clone(),
+        body,
+        span: *span,
+    })
+}
+
+/// Splits a loop with `k` body statements into `k` loops.
+pub fn distribute(stmt: &Stmt) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
+        return Err(TransformError::NotApplicable("distribute target is not a loop"));
+    };
+    if body.len() < 2 {
+        return Err(TransformError::NotApplicable("distribute needs ≥ 2 body statements"));
+    }
+    Ok(body
+        .iter()
+        .map(|s| Stmt::Do {
+            var: var.clone(),
+            lb: lb.clone(),
+            ub: ub.clone(),
+            step: step.clone(),
+            body: vec![s.clone()],
+            span: *span,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_frontend::parse;
+
+    fn loop_of(src: &str) -> Vec<Stmt> {
+        parse(src).unwrap().units.remove(0).body
+    }
+
+    const SAXPY: &str = "subroutine s(y, x, a, n)
+        real y(n), x(n), a
+        integer i, n
+        do i = 1, n
+          y(i) = y(i) + a * x(i)
+        end do
+      end";
+
+    #[test]
+    fn unroll_replicates_body() {
+        let mut body = loop_of(SAXPY);
+        apply(&mut body, 0, &Transform::Unroll(4)).unwrap();
+        assert_eq!(body.len(), 2, "main + tail");
+        let Stmt::Do { step, body: inner, ub, .. } = &body[0] else { panic!() };
+        assert_eq!(step.as_ref().unwrap().as_int(), Some(4));
+        assert_eq!(inner.len(), 4);
+        assert_eq!(ub.to_string(), "(n + -3)");
+        // Offsets 0..3 appear.
+        let text = body[0].to_string();
+        assert!(text.contains("y((i + 3))"), "{text}");
+        assert!(text.contains("y(i)"), "{text}");
+    }
+
+    #[test]
+    fn unroll_factor_one_rejected() {
+        let mut body = loop_of(SAXPY);
+        assert_eq!(
+            apply(&mut body, 0, &Transform::Unroll(1)),
+            Err(TransformError::BadParameter("unroll factor must be ≥ 2"))
+        );
+    }
+
+    #[test]
+    fn unrolled_source_reparses() {
+        let mut prog = parse(SAXPY).unwrap();
+        apply(&mut prog.units[0].body, 0, &Transform::Unroll(2)).unwrap();
+        let emitted = prog.units[0].to_string();
+        parse(&emitted).unwrap_or_else(|e| panic!("reparse failed: {e}\n{emitted}"));
+    }
+
+    const NEST: &str = "subroutine s(a, n, m)
+        real a(n,m)
+        integer i, j, n, m
+        do i = 1, n
+          do j = 1, m
+            a(i,j) = 0.0
+          end do
+        end do
+      end";
+
+    #[test]
+    fn interchange_swaps_headers() {
+        let mut body = loop_of(NEST);
+        apply(&mut body, 0, &Transform::Interchange).unwrap();
+        let Stmt::Do { var, body: inner, .. } = &body[0] else { panic!() };
+        assert_eq!(var, "j");
+        let Stmt::Do { var: v2, .. } = &inner[0] else { panic!() };
+        assert_eq!(v2, "i");
+    }
+
+    #[test]
+    fn interchange_rejects_triangular() {
+        let mut body = loop_of(
+            "subroutine s(a, n)
+               real a(n,n)
+               integer i, j, n
+               do i = 1, n
+                 do j = i, n
+                   a(i,j) = 0.0
+                 end do
+               end do
+             end",
+        );
+        assert!(matches!(
+            apply(&mut body, 0, &Transform::Interchange),
+            Err(TransformError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn interchange_rejects_imperfect_nest() {
+        let mut body = loop_of(
+            "subroutine s(a, n)
+               real a(n)
+               integer i, j, n
+               do i = 1, n
+                 a(i) = 0.0
+                 do j = 1, n
+                   a(j) = 1.0
+                 end do
+               end do
+             end",
+        );
+        assert!(apply(&mut body, 0, &Transform::Interchange).is_err());
+    }
+
+    #[test]
+    fn tile_strip_mines() {
+        let mut body = loop_of(SAXPY);
+        apply(&mut body, 0, &Transform::Tile(64)).unwrap();
+        let Stmt::Do { var, step, body: inner, .. } = &body[0] else { panic!() };
+        assert_eq!(var, "i$t");
+        assert_eq!(step.as_ref().unwrap().as_int(), Some(64));
+        let Stmt::Do { var: iv, ub, .. } = &inner[0] else { panic!() };
+        assert_eq!(iv, "i");
+        assert!(ub.to_string().starts_with("min("), "{ub}");
+    }
+
+    #[test]
+    fn fuse_concatenates_bodies() {
+        let mut body = loop_of(
+            "subroutine s(a, b, n)
+               real a(n), b(n)
+               integer i, n
+               do i = 1, n
+                 a(i) = 0.0
+               end do
+               do i = 1, n
+                 b(i) = 1.0
+               end do
+             end",
+        );
+        apply(&mut body, 0, &Transform::Fuse).unwrap();
+        assert_eq!(body.len(), 1);
+        let Stmt::Do { body: inner, .. } = &body[0] else { panic!() };
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    fn fuse_rejects_mismatched_headers() {
+        let mut body = loop_of(
+            "subroutine s(a, b, n, m)
+               real a(n), b(m)
+               integer i, n, m
+               do i = 1, n
+                 a(i) = 0.0
+               end do
+               do i = 1, m
+                 b(i) = 1.0
+               end do
+             end",
+        );
+        assert!(apply(&mut body, 0, &Transform::Fuse).is_err());
+    }
+
+    #[test]
+    fn distribute_splits() {
+        let mut body = loop_of(
+            "subroutine s(a, b, n)
+               real a(n), b(n)
+               integer i, n
+               do i = 1, n
+                 a(i) = 0.0
+                 b(i) = 1.0
+               end do
+             end",
+        );
+        apply(&mut body, 0, &Transform::Distribute).unwrap();
+        assert_eq!(body.len(), 2);
+        for s in &body {
+            let Stmt::Do { body: inner, .. } = s else { panic!() };
+            assert_eq!(inner.len(), 1);
+        }
+    }
+
+    #[test]
+    fn subst_var_in_nested_expr() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("i".into())] },
+            Expr::Var("i".into()),
+        );
+        let r = subst_var(&e, "i", &Expr::IntLit(7));
+        assert_eq!(r.to_string(), "(a(7) + 7)");
+    }
+}

@@ -1,0 +1,18 @@
+//! Reference simulator and baselines for the Presage predictor.
+//!
+//! The paper's Figure 7 compares the cost model against IBM xlf's
+//! per-instruction cycle counts. This crate plays that reference role with
+//! a cycle-accurate critical-path [list scheduler](scheduler) over the same
+//! atomic-operation streams (full dependence tracking, structural hazards,
+//! no cost-model approximations), and supplies the [naive](naive)
+//! operation-count model the paper warns "may be off by a factor of ten or
+//! more" on superscalar machines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod naive;
+pub mod scheduler;
+
+pub use naive::{naive_block_cost, naive_loop_cost, op_count_cost};
+pub use scheduler::{simulate_block, simulate_blocks, simulate_loop, SimResult};

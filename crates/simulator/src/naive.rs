@@ -1,0 +1,77 @@
+//! The conventional operation-count baseline.
+//!
+//! "If not applied carefully, a conventional cost estimation model may be
+//! off by a factor of ten or more!" — this module is that conventional
+//! model: the cost of a block is the sum of its operations' full latencies,
+//! ignoring functional-unit parallelism, pipelining, and overlap.
+
+use presage_machine::MachineDesc;
+use presage_translate::BlockIr;
+
+/// Sequential latency-sum cost of a block.
+pub fn naive_block_cost(machine: &MachineDesc, block: &BlockIr) -> u32 {
+    block
+        .ops
+        .iter()
+        .map(|op| {
+            machine
+                .expand(op.basic)
+                .iter()
+                .map(|id| machine.atomic(*id).latency())
+                .sum::<u32>()
+        })
+        .sum()
+}
+
+/// Naive loop cost: `iterations × per-iteration latency sum` (no overlap).
+pub fn naive_loop_cost(machine: &MachineDesc, body: &BlockIr, iterations: u32) -> u64 {
+    naive_block_cost(machine, body) as u64 * iterations as u64
+}
+
+/// An even cruder flat model: every operation costs one cycle (pure
+/// instruction counting). Included as the lower anchor in comparisons.
+pub fn op_count_cost(block: &BlockIr) -> u32 {
+    block.ops.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::{BlockIr, ValueDef};
+
+    fn independent(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            b.emit(BasicOp::FAdd, vec![x, x]);
+        }
+        b
+    }
+
+    #[test]
+    fn naive_sums_latencies() {
+        let m = machines::power_like();
+        assert_eq!(naive_block_cost(&m, &independent(5)), 10, "5 × latency 2");
+    }
+
+    #[test]
+    fn naive_ignores_parallelism() {
+        let m = machines::power_like();
+        let b = independent(16);
+        let naive = naive_block_cost(&m, &b);
+        let actual = crate::scheduler::simulate_block(&m, &b).makespan;
+        assert!(naive as f64 / actual as f64 >= 1.8, "naive {naive} vs sim {actual}");
+    }
+
+    #[test]
+    fn loop_cost_multiplies() {
+        let m = machines::power_like();
+        assert_eq!(naive_loop_cost(&m, &independent(2), 100), 400);
+    }
+
+    #[test]
+    fn op_count_counts() {
+        assert_eq!(op_count_cost(&independent(7)), 7);
+    }
+}

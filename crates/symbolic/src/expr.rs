@@ -1,0 +1,567 @@
+//! Performance expressions: polynomials plus metadata about the program
+//! unknowns they mention.
+//!
+//! A [`PerfExpr`] is the unit of currency of the whole framework (paper
+//! §2.4): straight-line costs enter as constants, loops multiply by symbolic
+//! iteration counts, conditionals blend branches with probability symbols,
+//! and transformation decisions compare two expressions symbolically
+//! (§3.1). The variable metadata carries each unknown's kind and known
+//! range so comparisons can often be decided without guessing.
+
+use crate::interval::Interval;
+use crate::signs::{sign_over_box_refined, sign_regions, SignRegion, SignVerdict};
+use crate::{Poly, Rational, Symbol};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// What a symbolic unknown stands for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum VarKind {
+    /// A loop bound or trip count (integer ≥ 0 unless a range says otherwise).
+    LoopBound,
+    /// A branching probability in `[0, 1]`.
+    BranchProb,
+    /// A general problem-size or machine parameter.
+    Param,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VarKind::LoopBound => "loop-bound",
+            VarKind::BranchProb => "branch-prob",
+            VarKind::Param => "param",
+        })
+    }
+}
+
+/// Metadata about one unknown.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VarInfo {
+    /// What the unknown represents.
+    pub kind: VarKind,
+    /// Known bounds for the unknown's value.
+    pub range: Interval,
+}
+
+impl VarInfo {
+    /// A loop bound known to lie in `[lo, hi]`.
+    pub fn loop_bound(lo: f64, hi: f64) -> VarInfo {
+        VarInfo { kind: VarKind::LoopBound, range: Interval::new(lo, hi) }
+    }
+
+    /// A branch probability (range `[0, 1]`).
+    pub fn branch_prob() -> VarInfo {
+        VarInfo { kind: VarKind::BranchProb, range: Interval::new(0.0, 1.0) }
+    }
+
+    /// A general parameter in `[lo, hi]`.
+    pub fn param(lo: f64, hi: f64) -> VarInfo {
+        VarInfo { kind: VarKind::Param, range: Interval::new(lo, hi) }
+    }
+}
+
+/// A symbolic performance expression: estimated cycles as a polynomial over
+/// program unknowns, with per-unknown kind/range metadata.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::{PerfExpr, VarInfo, Symbol};
+///
+/// let n = Symbol::new("n");
+/// // A loop executing a 12-cycle body n times plus 3 cycles of overhead.
+/// let body = PerfExpr::cycles(12);
+/// let cost = body.repeat_symbolic(n.clone(), VarInfo::loop_bound(1.0, 1e6)) + PerfExpr::cycles(3);
+/// assert_eq!(cost.poly().to_string(), "12*n + 3");
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PerfExpr {
+    poly: Poly,
+    vars: BTreeMap<Symbol, VarInfo>,
+}
+
+impl PerfExpr {
+    /// The zero-cost expression.
+    pub fn zero() -> PerfExpr {
+        PerfExpr::default()
+    }
+
+    /// A constant cycle count.
+    pub fn cycles(n: i64) -> PerfExpr {
+        PerfExpr { poly: Poly::from(n), vars: BTreeMap::new() }
+    }
+
+    /// A constant rational cycle count.
+    pub fn cycles_rational(r: Rational) -> PerfExpr {
+        PerfExpr { poly: Poly::constant(r), vars: BTreeMap::new() }
+    }
+
+    /// Wraps a polynomial with explicit variable metadata.
+    ///
+    /// Symbols of `poly` that are missing from `vars` get a default
+    /// `Param` kind with range `[0, 1e9]`.
+    pub fn from_poly(poly: Poly, vars: impl IntoIterator<Item = (Symbol, VarInfo)>) -> PerfExpr {
+        let mut map: BTreeMap<Symbol, VarInfo> = vars.into_iter().collect();
+        for sym in poly.symbols() {
+            map.entry(sym).or_insert_with(|| VarInfo::param(0.0, 1e9));
+        }
+        PerfExpr { poly, vars: map }
+    }
+
+    /// A bare unknown as an expression.
+    pub fn var(sym: Symbol, info: VarInfo) -> PerfExpr {
+        PerfExpr {
+            poly: Poly::var(sym.clone()),
+            vars: BTreeMap::from([(sym, info)]),
+        }
+    }
+
+    /// The underlying polynomial.
+    pub fn poly(&self) -> &Poly {
+        &self.poly
+    }
+
+    /// The variable metadata map.
+    pub fn vars(&self) -> &BTreeMap<Symbol, VarInfo> {
+        &self.vars
+    }
+
+    /// Returns `true` if the expression has no unknowns.
+    pub fn is_concrete(&self) -> bool {
+        self.poly.is_constant()
+    }
+
+    /// The exact value when concrete.
+    pub fn concrete_cycles(&self) -> Option<Rational> {
+        self.poly.constant_value()
+    }
+
+    /// Merges variable metadata, keeping the tighter range on conflicts.
+    fn merged_vars(&self, other: &PerfExpr) -> BTreeMap<Symbol, VarInfo> {
+        let mut out = self.vars.clone();
+        for (sym, info) in &other.vars {
+            out.entry(sym.clone())
+                .and_modify(|e| {
+                    if let Some(tight) = e.range.intersect(&info.range) {
+                        e.range = tight;
+                    }
+                })
+                .or_insert(*info);
+        }
+        out
+    }
+
+    fn prune_vars(mut self) -> PerfExpr {
+        let used = self.poly.symbols();
+        self.vars.retain(|s, _| used.contains(s));
+        self
+    }
+
+    /// Scales the expression by a rational factor (e.g. an issue-width
+    /// correction or a probability constant).
+    pub fn scale(&self, c: impl Into<Rational>) -> PerfExpr {
+        PerfExpr { poly: self.poly.scale(c), vars: self.vars.clone() }.prune_vars()
+    }
+
+    /// Multiplies by another expression (used for `count × body`).
+    pub fn mul(&self, other: &PerfExpr) -> PerfExpr {
+        PerfExpr {
+            poly: &self.poly * &other.poly,
+            vars: self.merged_vars(other),
+        }
+        .prune_vars()
+    }
+
+    /// Cost of repeating this expression a symbolic number of times:
+    /// `count_sym * self` (paper §2.4.1, the `Σ_{k∈Iter}` factor when the
+    /// body cost is iteration-independent).
+    pub fn repeat_symbolic(&self, count_sym: Symbol, info: VarInfo) -> PerfExpr {
+        self.mul(&PerfExpr::var(count_sym, info))
+    }
+
+    /// Cost of repeating this expression `count` times where the count is an
+    /// arbitrary expression such as `(ub − lb + 1)/step`.
+    pub fn repeat(&self, count: &PerfExpr) -> PerfExpr {
+        self.mul(count)
+    }
+
+    /// Combines branch costs for a conditional (paper §2.4.1):
+    /// `p * then + (1 − p) * else_`, where `p` is a fresh probability symbol.
+    pub fn conditional(prob_sym: Symbol, then_cost: &PerfExpr, else_cost: &PerfExpr) -> PerfExpr {
+        let p = PerfExpr::var(prob_sym, VarInfo::branch_prob());
+        let one_minus_p = PerfExpr::cycles(1) - p.clone();
+        p.mul(then_cost) + one_minus_p.mul(else_cost)
+    }
+
+    /// Substitutes an unknown with a polynomial (e.g. a discovered constant
+    /// or an expression in other unknowns). Metadata for the substituted
+    /// symbol is dropped; symbols introduced by `replacement` get `info`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::poly::SubstError`] for negative-power conflicts.
+    pub fn subst(
+        &self,
+        sym: &Symbol,
+        replacement: &Poly,
+        info: impl IntoIterator<Item = (Symbol, VarInfo)>,
+    ) -> Result<PerfExpr, crate::poly::SubstError> {
+        let poly = self.poly.subst(sym, replacement)?;
+        let mut vars = self.vars.clone();
+        vars.remove(sym);
+        for (s, i) in info {
+            vars.insert(s, i);
+        }
+        Ok(PerfExpr { poly, vars }.prune_vars())
+    }
+
+    /// Binds an unknown to a concrete value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::poly::SubstError`] (zero into a negative power).
+    pub fn bind(&self, sym: &Symbol, value: Rational) -> Result<PerfExpr, crate::poly::SubstError> {
+        self.subst(sym, &Poly::constant(value), [])
+    }
+
+    /// Evaluates numerically with explicit bindings; missing unknowns fall
+    /// back to the midpoint of their recorded range (this is the explicit,
+    /// *late* guess the paper allows once symbolic methods are exhausted).
+    pub fn eval_with_defaults(&self, bindings: &HashMap<Symbol, f64>) -> f64 {
+        let mut full = bindings.clone();
+        for (sym, info) in &self.vars {
+            full.entry(sym.clone()).or_insert_with(|| info.range.mid());
+        }
+        self.poly.eval_f64(&full).unwrap_or(f64::NAN)
+    }
+
+    /// The box of recorded variable ranges.
+    pub fn range_box(&self) -> HashMap<Symbol, Interval> {
+        self.vars.iter().map(|(s, i)| (s.clone(), i.range)).collect()
+    }
+
+    /// Bounds the expression's value over the recorded ranges.
+    pub fn value_bounds(&self) -> Option<Interval> {
+        Interval::eval_poly(&self.poly, &self.range_box())
+    }
+
+    /// Drops terms that are negligible over the recorded ranges (paper §3.1:
+    /// "change expressions to simpler expressions by dropping some terms",
+    /// e.g. `4x^4 + 2x^3 − 4x + 1/x^3 → 4x^4 + 2x^3 − 4x` for `x ∈ [3,100]`).
+    ///
+    /// A term is dropped when its maximum magnitude over the box is at most
+    /// `epsilon` times the largest guaranteed magnitude among all terms.
+    pub fn drop_negligible_terms(&self, epsilon: f64) -> PerfExpr {
+        let box_ = self.range_box();
+        // Largest guaranteed (minimum-over-box) magnitude of any term.
+        let mut dominant = 0.0f64;
+        let mut term_max: Vec<(crate::Monomial, f64)> = Vec::new();
+        for (mono, coeff) in self.poly.terms() {
+            let mut iv = Interval::point(coeff.to_f64());
+            for (sym, exp) in mono.factors() {
+                let Some(r) = box_.get(sym) else {
+                    return self.clone();
+                };
+                iv = iv * r.powi(exp);
+            }
+            let min_abs = if iv.contains_zero() { 0.0 } else { iv.lo().abs().min(iv.hi().abs()) };
+            let max_abs = iv.lo().abs().max(iv.hi().abs());
+            dominant = dominant.max(min_abs);
+            term_max.push((mono.clone(), max_abs));
+        }
+        if dominant == 0.0 {
+            return self.clone();
+        }
+        let threshold = epsilon * dominant;
+        let keep: std::collections::HashSet<crate::Monomial> = term_max
+            .into_iter()
+            .filter(|(_, max_abs)| *max_abs > threshold)
+            .map(|(m, _)| m)
+            .collect();
+        let poly = self.poly.filter_terms(|m, _| keep.contains(m));
+        PerfExpr { poly, vars: self.vars.clone() }.prune_vars()
+    }
+
+    /// Symbolically compares two cost expressions ("is `self` cheaper than
+    /// `other`?"), the decision procedure of §3.1.
+    ///
+    /// The difference `P = self − other` is analyzed:
+    /// 1. If `P` is constant, the answer is exact.
+    /// 2. If `P` is univariate, sign regions over the unknown's range are
+    ///    computed (Figure 10) and crossover points reported.
+    /// 3. Otherwise interval arithmetic over the merged range box gives a
+    ///    conservative verdict, refined by bisection.
+    pub fn compare(&self, other: &PerfExpr) -> Comparison {
+        let diff_poly = &self.poly - &other.poly;
+        let vars = self.merged_vars(other);
+        let diff = PerfExpr { poly: diff_poly, vars }.prune_vars();
+
+        if let Some(c) = diff.poly.constant_value() {
+            let outcome = match c.signum() {
+                s if s < 0 => CompareOutcome::FirstCheaper,
+                s if s > 0 => CompareOutcome::SecondCheaper,
+                _ => CompareOutcome::AlwaysEqual,
+            };
+            return Comparison { outcome, difference: diff, regions: None, crossovers: Vec::new() };
+        }
+
+        let syms: Vec<Symbol> = diff.poly.symbols().into_iter().collect();
+        if syms.len() == 1 {
+            let sym = &syms[0];
+            let range = diff.vars[sym].range;
+            if let Ok(regions) = sign_regions(&diff.poly, sym, range.lo(), range.hi()) {
+                let crossovers: Vec<f64> = regions
+                    .windows(2)
+                    .map(|w| w[0].hi)
+                    .filter(|b| *b > range.lo() && *b < range.hi())
+                    .collect();
+                let has_pos = regions.iter().any(|r| r.sign == crate::signs::Sign::Positive);
+                let has_neg = regions.iter().any(|r| r.sign == crate::signs::Sign::Negative);
+                let outcome = match (has_pos, has_neg) {
+                    (false, true) => CompareOutcome::FirstCheaper,
+                    (true, false) => CompareOutcome::SecondCheaper,
+                    (false, false) => CompareOutcome::AlwaysEqual,
+                    (true, true) => CompareOutcome::DependsOnUnknowns,
+                };
+                return Comparison { outcome, difference: diff, regions: Some(regions), crossovers };
+            }
+        }
+
+        let box_ = diff.range_box();
+        let outcome = match sign_over_box_refined(&diff.poly, &box_, 8) {
+            SignVerdict::AlwaysNegative | SignVerdict::NonPositive => CompareOutcome::FirstCheaper,
+            SignVerdict::AlwaysPositive | SignVerdict::NonNegative => CompareOutcome::SecondCheaper,
+            SignVerdict::AlwaysZero => CompareOutcome::AlwaysEqual,
+            SignVerdict::Unknown => CompareOutcome::Undetermined,
+        };
+        Comparison { outcome, difference: diff, regions: None, crossovers: Vec::new() }
+    }
+}
+
+/// Outcome of a symbolic cost comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompareOutcome {
+    /// `self` costs less over the entire range of the unknowns.
+    FirstCheaper,
+    /// `other` costs less over the entire range.
+    SecondCheaper,
+    /// Costs are identical.
+    AlwaysEqual,
+    /// The winner flips within the unknowns' ranges; see the sign regions.
+    /// This is the case that motivates run-time tests (§3.4).
+    DependsOnUnknowns,
+    /// The conservative analysis could not decide.
+    Undetermined,
+}
+
+impl fmt::Display for CompareOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompareOutcome::FirstCheaper => "first is cheaper",
+            CompareOutcome::SecondCheaper => "second is cheaper",
+            CompareOutcome::AlwaysEqual => "always equal",
+            CompareOutcome::DependsOnUnknowns => "depends on unknowns",
+            CompareOutcome::Undetermined => "undetermined",
+        })
+    }
+}
+
+/// Full result of [`PerfExpr::compare`].
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The decision.
+    pub outcome: CompareOutcome,
+    /// `self − other` with merged metadata.
+    pub difference: PerfExpr,
+    /// Sign regions of the difference when it is univariate.
+    pub regions: Option<Vec<SignRegion>>,
+    /// Values of the unknown where the winner flips.
+    pub crossovers: Vec<f64>,
+}
+
+impl std::ops::Add for PerfExpr {
+    type Output = PerfExpr;
+    fn add(self, rhs: PerfExpr) -> PerfExpr {
+        let vars = self.merged_vars(&rhs);
+        PerfExpr { poly: self.poly + rhs.poly, vars }.prune_vars()
+    }
+}
+
+impl std::ops::Sub for PerfExpr {
+    type Output = PerfExpr;
+    fn sub(self, rhs: PerfExpr) -> PerfExpr {
+        let vars = self.merged_vars(&rhs);
+        PerfExpr { poly: self.poly - rhs.poly, vars }.prune_vars()
+    }
+}
+
+impl std::ops::AddAssign for PerfExpr {
+    fn add_assign(&mut self, rhs: PerfExpr) {
+        *self = self.clone() + rhs;
+    }
+}
+
+impl std::iter::Sum for PerfExpr {
+    fn sum<I: Iterator<Item = PerfExpr>>(iter: I) -> PerfExpr {
+        let mut acc = PerfExpr::zero();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for PerfExpr {
+    /// `{}` prints the polynomial; `{:#}` appends the variable ranges.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.poly)?;
+        if !self.vars.is_empty() && f.alternate() {
+            write!(f, "  where ")?;
+            let mut first = true;
+            for (sym, info) in &self.vars {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{sym} ∈ {} ({})", info.range, info.kind)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n() -> Symbol {
+        Symbol::new("n")
+    }
+
+    #[test]
+    fn loop_aggregation_shape() {
+        // Paper §2.4.1: C(do) = C(lb)+C(ub)+C(step) + Σ C(B).
+        let overhead = PerfExpr::cycles(3);
+        let body = PerfExpr::cycles(12);
+        let total = body.repeat_symbolic(n(), VarInfo::loop_bound(1.0, 1e6)) + overhead;
+        assert_eq!(total.poly().to_string(), "12*n + 3");
+        assert!(!total.is_concrete());
+    }
+
+    #[test]
+    fn conditional_aggregation() {
+        // C(if) = p*C(Bt) + (1-p)*C(Bf); with C(cond) added by the caller.
+        let p = Symbol::new("p1");
+        let c = PerfExpr::conditional(p.clone(), &PerfExpr::cycles(10), &PerfExpr::cycles(4));
+        assert_eq!(c.poly().to_string(), "6*p1 + 4");
+        assert_eq!(c.vars()[&p].kind, VarKind::BranchProb);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let m = Symbol::new("m");
+        let body = PerfExpr::cycles(5);
+        let inner = body.repeat_symbolic(n(), VarInfo::loop_bound(1.0, 1e6));
+        let outer = inner.repeat_symbolic(m.clone(), VarInfo::loop_bound(1.0, 1e6));
+        assert_eq!(outer.poly().to_string(), "5*m*n");
+        assert_eq!(outer.vars().len(), 2);
+    }
+
+    #[test]
+    fn concrete_detection() {
+        let e = PerfExpr::cycles(7);
+        assert!(e.is_concrete());
+        assert_eq!(e.concrete_cycles(), Some(Rational::from_int(7)));
+    }
+
+    #[test]
+    fn bind_makes_concrete() {
+        let e = PerfExpr::cycles(2).repeat_symbolic(n(), VarInfo::loop_bound(0.0, 100.0));
+        let bound = e.bind(&n(), Rational::from_int(10)).unwrap();
+        assert_eq!(bound.concrete_cycles(), Some(Rational::from_int(20)));
+        assert!(bound.vars().is_empty(), "metadata pruned after binding");
+    }
+
+    #[test]
+    fn compare_constant() {
+        let a = PerfExpr::cycles(5);
+        let b = PerfExpr::cycles(9);
+        assert_eq!(a.compare(&b).outcome, CompareOutcome::FirstCheaper);
+        assert_eq!(b.compare(&a).outcome, CompareOutcome::SecondCheaper);
+        assert_eq!(a.compare(&a.clone()).outcome, CompareOutcome::AlwaysEqual);
+    }
+
+    #[test]
+    fn compare_univariate_dominated() {
+        // 10n vs 12n for n ≥ 1: first always cheaper.
+        let a = PerfExpr::cycles(10).repeat_symbolic(n(), VarInfo::loop_bound(1.0, 1e6));
+        let b = PerfExpr::cycles(12).repeat_symbolic(n(), VarInfo::loop_bound(1.0, 1e6));
+        assert_eq!(a.compare(&b).outcome, CompareOutcome::FirstCheaper);
+    }
+
+    #[test]
+    fn compare_with_crossover() {
+        // 100 + 2n vs 10n: crossover at n = 12.5 within [1, 100].
+        let info = VarInfo::loop_bound(1.0, 100.0);
+        let a = PerfExpr::cycles(2).repeat_symbolic(n(), info) + PerfExpr::cycles(100);
+        let b = PerfExpr::cycles(10).repeat_symbolic(n(), info);
+        let cmp = a.compare(&b);
+        assert_eq!(cmp.outcome, CompareOutcome::DependsOnUnknowns);
+        assert_eq!(cmp.crossovers.len(), 1);
+        assert!((cmp.crossovers[0] - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compare_multivariate_interval() {
+        // m*n + 1 vs m*n: second always cheaper regardless of m, n.
+        let m = Symbol::new("m");
+        let prod = PerfExpr::cycles(1)
+            .repeat_symbolic(n(), VarInfo::loop_bound(1.0, 1e3))
+            .repeat_symbolic(m, VarInfo::loop_bound(1.0, 1e3));
+        let a = prod.clone() + PerfExpr::cycles(1);
+        assert_eq!(a.compare(&prod).outcome, CompareOutcome::SecondCheaper);
+    }
+
+    #[test]
+    fn drop_negligible_paper_example() {
+        // 4x^4 + 2x^3 − 4x + x^-3 over x ∈ [3, 100] drops the x^-3 term.
+        let x = Symbol::new("x");
+        let poly = Poly::term(4, crate::Monomial::power(x.clone(), 4))
+            + Poly::term(2, crate::Monomial::power(x.clone(), 3))
+            + Poly::term(-4, crate::Monomial::var(x.clone()))
+            + Poly::term(1, crate::Monomial::power(x.clone(), -3));
+        let e = PerfExpr::from_poly(poly, [(x.clone(), VarInfo::param(3.0, 100.0))]);
+        let simplified = e.drop_negligible_terms(1e-3);
+        let expected = Poly::term(4, crate::Monomial::power(x.clone(), 4))
+            + Poly::term(2, crate::Monomial::power(x.clone(), 3))
+            + Poly::term(-4, crate::Monomial::var(x));
+        assert_eq!(simplified.poly(), &expected);
+    }
+
+    #[test]
+    fn eval_with_defaults_uses_midpoints() {
+        let e = PerfExpr::cycles(2).repeat_symbolic(n(), VarInfo::loop_bound(0.0, 10.0));
+        let v = e.eval_with_defaults(&HashMap::new());
+        assert!((v - 10.0).abs() < 1e-9, "midpoint 5 × 2 cycles");
+        let mut b = HashMap::new();
+        b.insert(n(), 3.0);
+        assert!((e.eval_with_defaults(&b) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_bounds() {
+        let e = PerfExpr::cycles(2).repeat_symbolic(n(), VarInfo::loop_bound(1.0, 4.0));
+        let iv = e.value_bounds().unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (2.0, 8.0));
+    }
+
+    #[test]
+    fn var_ranges_tighten_on_merge() {
+        let a = PerfExpr::var(n(), VarInfo::loop_bound(0.0, 100.0));
+        let b = PerfExpr::var(n(), VarInfo::loop_bound(10.0, 200.0));
+        let merged = a + b;
+        let r = merged.vars()[&n()].range;
+        assert_eq!((r.lo(), r.hi()), (10.0, 100.0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Closed-interval arithmetic over `f64`.
+//!
+//! Used to bound the value of a performance expression over a box of
+//! variable ranges (paper §3.1: "there are many situations where it is
+//! possible to determine whether the expression is positive or negative
+//! based on bounds on the variables"). The arithmetic is conservative:
+//! the true range is always contained in the computed interval.
+
+use crate::{Poly, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on the real line.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::Interval;
+///
+/// let a = Interval::new(1.0, 2.0);
+/// let b = Interval::new(-1.0, 3.0);
+/// assert_eq!(a + b, Interval::new(0.0, 5.0));
+/// assert_eq!(a * b, Interval::new(-2.0, 6.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval; `lo` and `hi` are reordered if needed.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// A degenerate single-point interval.
+    pub fn point(x: f64) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Returns `true` if `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Returns `true` if zero lies in the interval.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(0.0)
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Integer power, tight for even powers straddling zero.
+    pub fn powi(&self, n: i32) -> Interval {
+        if n == 0 {
+            return Interval::point(1.0);
+        }
+        if n < 0 {
+            // 1 / [lo,hi]^|n|; if the interval straddles zero the reciprocal
+            // is unbounded — return the whole line conservatively.
+            let p = self.powi(-n);
+            if p.contains_zero() {
+                return Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+            }
+            return Interval::new(1.0 / p.hi, 1.0 / p.lo);
+        }
+        let a = self.lo.powi(n);
+        let b = self.hi.powi(n);
+        if n % 2 == 0 && self.contains_zero() {
+            Interval::new(0.0, a.max(b))
+        } else {
+            Interval::new(a.min(b), a.max(b))
+        }
+    }
+
+    /// Evaluates `poly` over a box of variable intervals, conservatively.
+    ///
+    /// Returns `None` if a symbol of the polynomial has no interval binding.
+    pub fn eval_poly(poly: &Poly, box_: &HashMap<Symbol, Interval>) -> Option<Interval> {
+        let mut acc = Interval::point(0.0);
+        for (mono, coeff) in poly.terms() {
+            let mut term = Interval::point(coeff.to_f64());
+            for (sym, exp) in mono.factors() {
+                let iv = box_.get(sym)?;
+                term = term * iv.powi(exp);
+            }
+            acc = acc + term;
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval { lo, hi }
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_reorders() {
+        assert_eq!(Interval::new(3.0, 1.0), Interval::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 1.0);
+        assert_eq!(a + b, Interval::new(0.0, 3.0));
+        assert_eq!(a - b, Interval::new(0.0, 3.0));
+        assert_eq!(a * b, Interval::new(-2.0, 2.0));
+        assert_eq!(-a, Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn even_power_straddling_zero() {
+        let b = Interval::new(-2.0, 1.0);
+        assert_eq!(b.powi(2), Interval::new(0.0, 4.0));
+        assert_eq!(b.powi(3), Interval::new(-8.0, 1.0));
+    }
+
+    #[test]
+    fn negative_power() {
+        let a = Interval::new(2.0, 4.0);
+        assert_eq!(a.powi(-1), Interval::new(0.25, 0.5));
+        let b = Interval::new(-1.0, 1.0);
+        let r = b.powi(-1);
+        assert!(r.lo().is_infinite() && r.hi().is_infinite());
+    }
+
+    #[test]
+    fn intersect() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.intersect(&Interval::new(5.0, 6.0)), None);
+    }
+
+    #[test]
+    fn eval_poly_conservative() {
+        use crate::Poly;
+        let x = Symbol::new("x");
+        // x^2 - x over [0, 1] has true range [-1/4, 0]; interval arithmetic
+        // yields [-1, 1], which must contain it.
+        let p = &Poly::var(x.clone()) * &Poly::var(x.clone()) - Poly::var(x.clone());
+        let mut box_ = HashMap::new();
+        box_.insert(x, Interval::new(0.0, 1.0));
+        let iv = Interval::eval_poly(&p, &box_).unwrap();
+        assert!(iv.lo() <= -0.25 && iv.hi() >= 0.0);
+    }
+
+    #[test]
+    fn eval_poly_unbound_symbol() {
+        let p = Poly::var(Symbol::new("q"));
+        assert_eq!(Interval::eval_poly(&p, &HashMap::new()), None);
+    }
+}

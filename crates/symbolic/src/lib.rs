@@ -1,0 +1,59 @@
+//! Symbolic performance expressions for compile-time performance prediction.
+//!
+//! This crate implements the symbolic layer of Wang's PLDI 1994 framework
+//! (*Precise Compile-Time Performance Prediction for Superscalar-Based
+//! Computers*): aggregated costs of loops and conditionals are represented
+//! as multivariate Laurent polynomials over program unknowns, so the
+//! compiler can **delay or avoid guessing** unknown loop bounds and branch
+//! probabilities, and can **compare transformations symbolically**.
+//!
+//! # Layers
+//!
+//! - [`Rational`], [`Symbol`], [`Monomial`], [`Poly`]: exact polynomial
+//!   arithmetic.
+//! - [`Interval`] + [`signs`]: sign regions over ranges (paper Figure 10),
+//!   positive/negative-part measures and integrals, conservative
+//!   interval-arithmetic verdicts over multivariate boxes.
+//! - [`roots`]: closed-form real roots up to degree 4 (Cardano/Ferrari) with
+//!   a bisection fallback.
+//! - [`PerfExpr`]: polynomials tagged with per-unknown kind and range; loop
+//!   and conditional aggregation; symbolic comparison.
+//! - [`sensitivity`]: ranking unknowns by their performance impact (§3.4).
+//!
+//! # Example: choosing a transformation without guessing `n`
+//!
+//! ```
+//! use presage_symbolic::{PerfExpr, VarInfo, Symbol, CompareOutcome};
+//!
+//! let n = Symbol::new("n");
+//! let info = VarInfo::loop_bound(1.0, 1000.0);
+//! // Version A: 100-cycle setup + 2 cycles/iteration.
+//! let a = PerfExpr::cycles(2).repeat_symbolic(n.clone(), info) + PerfExpr::cycles(100);
+//! // Version B: no setup, 10 cycles/iteration.
+//! let b = PerfExpr::cycles(10).repeat_symbolic(n.clone(), info);
+//! let cmp = a.compare(&b);
+//! assert_eq!(cmp.outcome, CompareOutcome::DependsOnUnknowns);
+//! assert!((cmp.crossovers[0] - 12.5).abs() < 1e-6); // run-time test threshold
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod expr;
+mod interval;
+mod monomial;
+mod poly;
+mod rational;
+mod symbol;
+
+pub mod roots;
+pub mod sensitivity;
+pub mod signs;
+pub mod summation;
+
+pub use expr::{CompareOutcome, Comparison, PerfExpr, VarInfo, VarKind};
+pub use interval::Interval;
+pub use monomial::Monomial;
+pub use poly::{Poly, SubstError};
+pub use rational::Rational;
+pub use symbol::Symbol;

@@ -1,0 +1,323 @@
+//! Laurent monomials: products of symbol powers with integer (possibly
+//! negative) exponents.
+//!
+//! Negative exponents are required because aggregated cost expressions
+//! contain terms like `1/x^3` (paper §3.1's simplification example) and
+//! per-iteration divisions by symbolic step counts.
+
+use crate::symbol::Symbol;
+use crate::Rational;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A product of symbol powers, e.g. `n^2 * p^-1`.
+///
+/// The factor list is kept sorted by symbol with all exponents nonzero, so
+/// equal monomials are structurally equal.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::{Monomial, Symbol};
+///
+/// let n = Symbol::new("n");
+/// let m = Monomial::var(n.clone()).mul(&Monomial::power(n, 1));
+/// assert_eq!(m.to_string(), "n^2");
+/// assert_eq!(m.total_degree(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial {
+    /// Sorted by symbol; exponents never zero.
+    factors: Vec<(Symbol, i32)>,
+}
+
+impl Monomial {
+    /// The empty monomial (multiplicative identity, i.e. the constant 1).
+    pub fn one() -> Monomial {
+        Monomial { factors: Vec::new() }
+    }
+
+    /// A single variable to the first power.
+    pub fn var(sym: Symbol) -> Monomial {
+        Monomial::power(sym, 1)
+    }
+
+    /// A single variable raised to `exp` (which may be negative).
+    pub fn power(sym: Symbol, exp: i32) -> Monomial {
+        if exp == 0 {
+            Monomial::one()
+        } else {
+            Monomial { factors: vec![(sym, exp)] }
+        }
+    }
+
+    /// Builds a monomial from `(symbol, exponent)` pairs; zero exponents are
+    /// dropped and repeated symbols are combined.
+    pub fn from_pairs<I>(pairs: I) -> Monomial
+    where
+        I: IntoIterator<Item = (Symbol, i32)>,
+    {
+        let mut acc = Monomial::one();
+        for (sym, exp) in pairs {
+            acc = acc.mul(&Monomial::power(sym, exp));
+        }
+        acc
+    }
+
+    /// Returns `true` if this is the constant monomial 1.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Iterates over `(symbol, exponent)` factors in symbol order.
+    pub fn factors(&self) -> impl Iterator<Item = (&Symbol, i32)> {
+        self.factors.iter().map(|(s, e)| (s, *e))
+    }
+
+    /// The exponent of `sym` in this monomial (0 if absent).
+    pub fn exponent_of(&self, sym: &Symbol) -> i32 {
+        self.factors
+            .binary_search_by(|(s, _)| s.cmp(sym))
+            .map(|i| self.factors[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all exponents (Laurent total degree; may be negative).
+    pub fn total_degree(&self) -> i32 {
+        self.factors.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Returns `true` if any exponent is negative.
+    pub fn has_negative_exponent(&self) -> bool {
+        self.factors.iter().any(|(_, e)| *e < 0)
+    }
+
+    /// The set of symbols appearing in this monomial.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.factors.iter().map(|(s, _)| s)
+    }
+
+    /// Multiplies two monomials (merges factor lists, adding exponents).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            match self.factors[i].0.cmp(&other.factors[j].0) {
+                Ordering::Less => {
+                    out.push(self.factors[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.factors[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let e = self.factors[i].1 + other.factors[j].1;
+                    if e != 0 {
+                        out.push((self.factors[i].0.clone(), e));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&other.factors[j..]);
+        Monomial { factors: out }
+    }
+
+    /// Divides by `other` (exponent subtraction; always exact for Laurent
+    /// monomials).
+    pub fn div(&self, other: &Monomial) -> Monomial {
+        self.mul(&other.pow(-1))
+    }
+
+    /// Raises every exponent by the factor `exp`.
+    pub fn pow(&self, exp: i32) -> Monomial {
+        if exp == 0 {
+            return Monomial::one();
+        }
+        Monomial {
+            factors: self
+                .factors
+                .iter()
+                .map(|(s, e)| (s.clone(), e * exp))
+                .collect(),
+        }
+    }
+
+    /// Removes `sym` from the monomial, returning the removed exponent and
+    /// the remaining monomial.
+    pub fn split_symbol(&self, sym: &Symbol) -> (i32, Monomial) {
+        let exp = self.exponent_of(sym);
+        if exp == 0 {
+            return (0, self.clone());
+        }
+        let rest = Monomial {
+            factors: self
+                .factors
+                .iter()
+                .filter(|(s, _)| s != sym)
+                .cloned()
+                .collect(),
+        };
+        (exp, rest)
+    }
+
+    /// Evaluates with exact rational bindings.
+    ///
+    /// Returns `None` if a symbol is unbound or a zero value is raised to a
+    /// negative power.
+    pub fn eval(&self, bindings: &HashMap<Symbol, Rational>) -> Option<Rational> {
+        let mut acc = Rational::ONE;
+        for (sym, exp) in &self.factors {
+            let v = bindings.get(sym)?;
+            if v.is_zero() && *exp < 0 {
+                return None;
+            }
+            acc *= v.pow(*exp);
+        }
+        Some(acc)
+    }
+
+    /// Evaluates with floating-point bindings.
+    ///
+    /// Returns `None` if a symbol is unbound.
+    pub fn eval_f64(&self, bindings: &HashMap<Symbol, f64>) -> Option<f64> {
+        let mut acc = 1.0;
+        for (sym, exp) in &self.factors {
+            let v = bindings.get(sym)?;
+            acc *= v.powi(*exp);
+        }
+        Some(acc)
+    }
+}
+
+/// Graded-lexicographic ordering: higher total degree first inside [`crate::Poly`]
+/// displays, ties broken lexicographically by factors.
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Monomial) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Monomial) -> Ordering {
+        self.total_degree()
+            .cmp(&other.total_degree())
+            .then_with(|| self.factors.cmp(&other.factors))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return f.write_str("1");
+        }
+        let mut first = true;
+        for (sym, exp) in &self.factors {
+            if !first {
+                f.write_str("*")?;
+            }
+            first = false;
+            if *exp == 1 {
+                write!(f, "{sym}")?;
+            } else {
+                write!(f, "{sym}^{exp}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Monomial({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn one_is_empty() {
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::power(sym("x"), 0), Monomial::one());
+        assert_eq!(Monomial::one().to_string(), "1");
+    }
+
+    #[test]
+    fn mul_merges_sorted() {
+        let m = Monomial::var(sym("y")).mul(&Monomial::var(sym("x")));
+        assert_eq!(m.to_string(), "x*y");
+        let m2 = m.mul(&Monomial::power(sym("x"), 2));
+        assert_eq!(m2.to_string(), "x^3*y");
+    }
+
+    #[test]
+    fn mul_cancels_to_one() {
+        let m = Monomial::power(sym("x"), 2).mul(&Monomial::power(sym("x"), -2));
+        assert!(m.is_one());
+    }
+
+    #[test]
+    fn div_and_pow() {
+        let m = Monomial::power(sym("n"), 3).div(&Monomial::var(sym("n")));
+        assert_eq!(m, Monomial::power(sym("n"), 2));
+        assert_eq!(m.pow(-1), Monomial::power(sym("n"), -2));
+        assert_eq!(m.pow(0), Monomial::one());
+    }
+
+    #[test]
+    fn degree_and_negative_exponents() {
+        let m = Monomial::from_pairs([(sym("x"), 2), (sym("y"), -3)]);
+        assert_eq!(m.total_degree(), -1);
+        assert!(m.has_negative_exponent());
+        assert_eq!(m.exponent_of(&sym("y")), -3);
+        assert_eq!(m.exponent_of(&sym("z")), 0);
+    }
+
+    #[test]
+    fn split_symbol() {
+        let m = Monomial::from_pairs([(sym("x"), 2), (sym("y"), 1)]);
+        let (e, rest) = m.split_symbol(&sym("x"));
+        assert_eq!(e, 2);
+        assert_eq!(rest, Monomial::var(sym("y")));
+        let (e0, rest0) = m.split_symbol(&sym("z"));
+        assert_eq!(e0, 0);
+        assert_eq!(rest0, m);
+    }
+
+    #[test]
+    fn eval_rational() {
+        let m = Monomial::from_pairs([(sym("x"), 2), (sym("y"), -1)]);
+        let mut b = HashMap::new();
+        b.insert(sym("x"), Rational::from_int(3));
+        b.insert(sym("y"), Rational::from_int(2));
+        assert_eq!(m.eval(&b), Some(Rational::new(9, 2)));
+        b.insert(sym("y"), Rational::ZERO);
+        assert_eq!(m.eval(&b), None, "division by zero must be detected");
+    }
+
+    #[test]
+    fn eval_missing_binding() {
+        let m = Monomial::var(sym("q"));
+        assert_eq!(m.eval(&HashMap::new()), None);
+        assert_eq!(m.eval_f64(&HashMap::new()), None);
+    }
+
+    #[test]
+    fn grlex_order() {
+        let x2 = Monomial::power(sym("x"), 2);
+        let xy = Monomial::from_pairs([(sym("x"), 1), (sym("y"), 1)]);
+        let x = Monomial::var(sym("x"));
+        assert!(x < x2);
+        assert!(xy < x2, "same degree: higher power of the earlier symbol sorts later");
+    }
+}

@@ -1,0 +1,717 @@
+//! Multivariate Laurent polynomials with exact rational coefficients.
+//!
+//! This is the representation behind the paper's *performance expressions*:
+//! aggregated costs of loops and conditionals are polynomials in the
+//! program's unknowns (loop bounds, branch probabilities, problem sizes).
+//! Keeping them exact until a decision is forced is the paper's central
+//! "delay the guess" idea.
+
+use crate::monomial::Monomial;
+use crate::symbol::Symbol;
+use crate::Rational;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A multivariate Laurent polynomial with [`Rational`] coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::{Poly, Symbol};
+///
+/// let n = Poly::var(Symbol::new("n"));
+/// let cost = &(&n * &n) * &Poly::from(3) + &n * &Poly::from(2) + Poly::from(7);
+/// assert_eq!(cost.to_string(), "3*n^2 + 2*n + 7");
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Canonical form: monomial -> nonzero coefficient.
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Poly {
+        Poly::constant(Rational::ONE)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: impl Into<Rational>) -> Poly {
+        let c = c.into();
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(sym: Symbol) -> Poly {
+        Poly::term(Rational::ONE, Monomial::var(sym))
+    }
+
+    /// A single-term polynomial `coeff * mono`.
+    pub fn term(coeff: impl Into<Rational>, mono: Monomial) -> Poly {
+        let coeff = coeff.into();
+        let mut terms = BTreeMap::new();
+        if !coeff.is_zero() {
+            terms.insert(mono, coeff);
+        }
+        Poly { terms }
+    }
+
+    /// Builds a univariate polynomial from coefficients `c0 + c1*x + c2*x^2 + ...`.
+    pub fn from_coeffs(sym: &Symbol, coeffs: &[Rational]) -> Poly {
+        let mut p = Poly::zero();
+        for (i, c) in coeffs.iter().enumerate() {
+            p += Poly::term(*c, Monomial::power(sym.clone(), i as i32));
+        }
+        p
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the polynomial has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(|m| m.is_one())
+    }
+
+    /// The constant value, if [`Poly::is_constant`].
+    pub fn constant_value(&self) -> Option<Rational> {
+        if self.is_zero() {
+            Some(Rational::ZERO)
+        } else if self.is_constant() {
+            self.terms.get(&Monomial::one()).copied()
+        } else {
+            None
+        }
+    }
+
+    /// The coefficient of the constant (degree-0) term.
+    pub fn constant_term(&self) -> Rational {
+        self.terms.get(&Monomial::one()).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Number of (nonzero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in ascending grlex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, Rational)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+
+    /// The coefficient attached to `mono` (zero if absent).
+    pub fn coeff(&self, mono: &Monomial) -> Rational {
+        self.terms.get(mono).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// All symbols appearing in the polynomial.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for m in self.terms.keys() {
+            out.extend(m.symbols().cloned());
+        }
+        out
+    }
+
+    /// Returns `true` if `sym` occurs in the polynomial.
+    pub fn contains_symbol(&self, sym: &Symbol) -> bool {
+        self.terms.keys().any(|m| m.exponent_of(sym) != 0)
+    }
+
+    /// Returns `true` if any term has a negative exponent (a `1/x^k` term).
+    pub fn has_negative_exponents(&self) -> bool {
+        self.terms.keys().any(|m| m.has_negative_exponent())
+    }
+
+    /// Highest exponent of `sym` across terms (0 for absent symbols; may be
+    /// negative if `sym` appears only in denominators).
+    pub fn degree_in(&self, sym: &Symbol) -> i32 {
+        self.terms
+            .keys()
+            .map(|m| m.exponent_of(sym))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum total degree across terms (0 for the zero polynomial).
+    pub fn total_degree(&self) -> i32 {
+        self.terms
+            .keys()
+            .map(|m| m.total_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn insert_term(&mut self, mono: Monomial, coeff: Rational) {
+        if coeff.is_zero() {
+            return;
+        }
+        match self.terms.entry(mono) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = *e.get() + coeff;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: impl Into<Rational>) -> Poly {
+        let c = c.into();
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, v)| (m.clone(), *v * c)).collect(),
+        }
+    }
+
+    /// Raises the polynomial to a non-negative power.
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut acc = Poly::one();
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Substitutes `sym := replacement` throughout the polynomial.
+    ///
+    /// Negative powers of `sym` are supported when `replacement` is a single
+    /// nonzero term (a scaled monomial), which covers the cost-model use
+    /// cases (substituting numeric bounds or simple size parameters into
+    /// `1/x^k` terms). Otherwise terms with negative powers of `sym` are
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstError`] when a negative power of `sym` meets a
+    /// replacement that is zero or not a single term.
+    pub fn subst(&self, sym: &Symbol, replacement: &Poly) -> Result<Poly, SubstError> {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == 0 {
+                out.insert_term(rest, *coeff);
+            } else if exp > 0 {
+                let powed = replacement.pow(exp as u32);
+                let scaled = powed.scale(*coeff);
+                let shifted = &scaled * &Poly::term(Rational::ONE, rest);
+                out += shifted;
+            } else {
+                // Negative power: replacement must be invertible as a monomial.
+                let (rc, rm) = replacement
+                    .single_term()
+                    .ok_or_else(|| SubstError::new(sym, "replacement for a negative power must be a single nonzero term"))?;
+                if rc.is_zero() {
+                    return Err(SubstError::new(sym, "cannot substitute zero into a negative power"));
+                }
+                let inv = Poly::term(rc.pow(exp), rm.pow(exp));
+                let shifted = &inv.scale(*coeff) * &Poly::term(Rational::ONE, rest);
+                out += shifted;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Substitutes many symbols at once (applied left to right).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubstError`] from [`Poly::subst`].
+    pub fn subst_all(&self, bindings: &[(Symbol, Poly)]) -> Result<Poly, SubstError> {
+        let mut p = self.clone();
+        for (sym, rep) in bindings {
+            p = p.subst(sym, rep)?;
+        }
+        Ok(p)
+    }
+
+    /// If the polynomial is a single term, returns its coefficient and monomial.
+    pub fn single_term(&self) -> Option<(Rational, Monomial)> {
+        if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            Some((*c, m.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates with exact rational bindings; `None` when a symbol is
+    /// unbound or a zero value meets a negative exponent.
+    pub fn eval(&self, bindings: &HashMap<Symbol, Rational>) -> Option<Rational> {
+        let mut acc = Rational::ZERO;
+        for (mono, coeff) in &self.terms {
+            acc += *coeff * mono.eval(bindings)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates with floating-point bindings; `None` when a symbol is unbound.
+    pub fn eval_f64(&self, bindings: &HashMap<Symbol, f64>) -> Option<f64> {
+        let mut acc = 0.0;
+        for (mono, coeff) in &self.terms {
+            acc += coeff.to_f64() * mono.eval_f64(bindings)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates a univariate polynomial at `x` (unbound symbols other than
+    /// `sym` make this return `None`).
+    pub fn eval_univariate(&self, sym: &Symbol, x: f64) -> Option<f64> {
+        let mut b = HashMap::new();
+        b.insert(sym.clone(), x);
+        self.eval_f64(&b)
+    }
+
+    /// Partial derivative with respect to `sym`.
+    pub fn derivative(&self, sym: &Symbol) -> Poly {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == 0 {
+                continue;
+            }
+            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp - 1));
+            out.insert_term(new_mono, *coeff * Rational::from_int(exp as i64));
+        }
+        out
+    }
+
+    /// Antiderivative with respect to `sym` (constant of integration zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstError`] if any term has `sym^-1` (which would integrate
+    /// to a logarithm, outside the polynomial ring). Callers in the sign/area
+    /// machinery drop such terms first (paper §3.1 drops negligible `1/x^k`
+    /// terms explicitly).
+    pub fn antiderivative(&self, sym: &Symbol) -> Result<Poly, SubstError> {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == -1 {
+                return Err(SubstError::new(sym, "x^-1 integrates to a logarithm; drop the term first"));
+            }
+            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp + 1));
+            out.insert_term(new_mono, *coeff / Rational::from_int((exp + 1) as i64));
+        }
+        Ok(out)
+    }
+
+    /// Views the polynomial as univariate in `sym`: returns
+    /// `(exponent, coefficient-polynomial)` pairs sorted by ascending exponent.
+    pub fn as_univariate(&self, sym: &Symbol) -> Vec<(i32, Poly)> {
+        let mut by_exp: BTreeMap<i32, Poly> = BTreeMap::new();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            by_exp
+                .entry(exp)
+                .or_insert_with(Poly::zero)
+                .insert_term(rest, *coeff);
+        }
+        by_exp.into_iter().filter(|(_, p)| !p.is_zero()).collect()
+    }
+
+    /// Dense coefficient list `[c0, c1, ...]` when the polynomial is
+    /// univariate in `sym` with non-negative exponents; `None` otherwise.
+    pub fn univariate_coeffs(&self, sym: &Symbol) -> Option<Vec<Rational>> {
+        let parts = self.as_univariate(sym);
+        let max = parts.last().map(|(e, _)| *e).unwrap_or(0);
+        if parts.iter().any(|(e, _)| *e < 0) {
+            return None;
+        }
+        let mut coeffs = vec![Rational::ZERO; (max + 1) as usize];
+        for (e, p) in parts {
+            coeffs[e as usize] = p.constant_value()?;
+        }
+        Some(coeffs)
+    }
+
+    /// Applies `f` to every coefficient, dropping terms mapped to zero.
+    pub fn map_coeffs(&self, mut f: impl FnMut(&Monomial, Rational) -> Rational) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            out.insert_term(m.clone(), f(m, *c));
+        }
+        out
+    }
+
+    /// Retains only terms satisfying the predicate.
+    pub fn filter_terms(&self, mut keep: impl FnMut(&Monomial, Rational) -> bool) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            if keep(m, *c) {
+                out.insert_term(m.clone(), *c);
+            }
+        }
+        out
+    }
+}
+
+/// Error from [`Poly::subst`] or [`Poly::antiderivative`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstError {
+    symbol: String,
+    reason: &'static str,
+}
+
+impl SubstError {
+    fn new(sym: &Symbol, reason: &'static str) -> SubstError {
+        SubstError { symbol: sym.name().to_string(), reason }
+    }
+
+    /// The symbol that triggered the failure.
+    pub fn symbol(&self) -> &str {
+        &self.symbol
+    }
+}
+
+impl fmt::Display for SubstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "substitution failed for `{}`: {}", self.symbol, self.reason)
+    }
+}
+
+impl std::error::Error for SubstError {}
+
+impl From<i64> for Poly {
+    fn from(n: i64) -> Poly {
+        Poly::constant(Rational::from_int(n))
+    }
+}
+
+impl From<Rational> for Poly {
+    fn from(r: Rational) -> Poly {
+        Poly::constant(r)
+    }
+}
+
+impl From<Symbol> for Poly {
+    fn from(s: Symbol) -> Poly {
+        Poly::var(s)
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.insert_term(m.clone(), *c);
+        }
+        out
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl AddAssign for Poly {
+    fn add_assign(&mut self, rhs: Poly) {
+        for (m, c) in rhs.terms {
+            self.insert_term(m, c);
+        }
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.insert_term(m.clone(), -*c);
+        }
+        out
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        &self - &rhs
+    }
+}
+
+impl SubAssign for Poly {
+    fn sub_assign(&mut self, rhs: Poly) {
+        for (m, c) in rhs.terms {
+            self.insert_term(m, -c);
+        }
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                out.insert_term(ma.mul(mb), *ca * *cb);
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl MulAssign for Poly {
+    fn mul_assign(&mut self, rhs: Poly) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(Rational::from_int(-1))
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Highest-degree terms first reads naturally.
+        let mut first = true;
+        for (mono, coeff) in self.terms.iter().rev() {
+            if first {
+                if coeff.is_negative() {
+                    f.write_str("-")?;
+                }
+            } else if coeff.is_negative() {
+                f.write_str(" - ")?;
+            } else {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            let mag = coeff.abs();
+            if mono.is_one() {
+                write!(f, "{mag}")?;
+            } else if mag.is_one() {
+                write!(f, "{mono}")?;
+            } else {
+                write!(f, "{mag}*{mono}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Poly({self})")
+    }
+}
+
+impl std::iter::Sum for Poly {
+    fn sum<I: Iterator<Item = Poly>>(iter: I) -> Poly {
+        let mut acc = Poly::zero();
+        for p in iter {
+            acc += p;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn var(s: &str) -> Poly {
+        Poly::var(sym(s))
+    }
+
+    #[test]
+    fn constants_collapse() {
+        assert!(Poly::constant(Rational::ZERO).is_zero());
+        assert_eq!(Poly::from(3).constant_value(), Some(Rational::from_int(3)));
+        assert_eq!(Poly::zero().constant_value(), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn add_cancels() {
+        let p = var("x") - var("x");
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn mul_distributes() {
+        let p = (var("x") + Poly::from(1)) * (var("x") - Poly::from(1));
+        let expected = &var("x") * &var("x") - Poly::from(1);
+        assert_eq!(p, expected);
+        assert_eq!(p.to_string(), "x^2 - 1");
+    }
+
+    #[test]
+    fn display_ordering() {
+        let p = var("n").scale(2) + Poly::from(7) + (&var("n") * &var("n")).scale(3);
+        assert_eq!(p.to_string(), "3*n^2 + 2*n + 7");
+    }
+
+    #[test]
+    fn display_negative_leading() {
+        let p = -(&var("x") * &var("x")) + var("x");
+        assert_eq!(p.to_string(), "-x^2 + x");
+    }
+
+    #[test]
+    fn degree_queries() {
+        let p = &(&var("x") * &var("x")) * &var("y") + var("y");
+        assert_eq!(p.degree_in(&sym("x")), 2);
+        assert_eq!(p.degree_in(&sym("y")), 1);
+        assert_eq!(p.degree_in(&sym("z")), 0);
+        assert_eq!(p.total_degree(), 3);
+    }
+
+    #[test]
+    fn subst_positive_power() {
+        // (x^2 + x)[x := y + 1] = y^2 + 3y + 2
+        let p = &var("x") * &var("x") + var("x");
+        let r = p.subst(&sym("x"), &(var("y") + Poly::from(1))).unwrap();
+        assert_eq!(r.to_string(), "y^2 + 3*y + 2");
+    }
+
+    #[test]
+    fn subst_negative_power_with_monomial() {
+        // x^-2 [x := 2y] = (1/4) y^-2
+        let p = Poly::term(Rational::ONE, Monomial::power(sym("x"), -2));
+        let r = p.subst(&sym("x"), &var("y").scale(2)).unwrap();
+        assert_eq!(
+            r,
+            Poly::term(Rational::new(1, 4), Monomial::power(sym("y"), -2))
+        );
+    }
+
+    #[test]
+    fn subst_negative_power_rejects_sums() {
+        let p = Poly::term(Rational::ONE, Monomial::power(sym("x"), -1));
+        let err = p.subst(&sym("x"), &(var("y") + Poly::from(1))).unwrap_err();
+        assert_eq!(err.symbol(), "x");
+    }
+
+    #[test]
+    fn subst_negative_power_rejects_zero() {
+        let p = Poly::term(Rational::ONE, Monomial::power(sym("x"), -1));
+        assert!(p.subst(&sym("x"), &Poly::zero()).is_err());
+    }
+
+    #[test]
+    fn eval_exact() {
+        let p = (&var("x") * &var("x")).scale(4) + var("x").scale(2) + Poly::from(1);
+        let mut b = HashMap::new();
+        b.insert(sym("x"), Rational::new(1, 2));
+        assert_eq!(p.eval(&b), Some(Rational::from_int(3)));
+    }
+
+    #[test]
+    fn derivative_basic() {
+        // d/dx (4x^4 + 2x^3 - 4x + 1/x^3) = 16x^3 + 6x^2 - 4 - 3x^-4
+        let x = sym("x");
+        let p = Poly::term(4, Monomial::power(x.clone(), 4))
+            + Poly::term(2, Monomial::power(x.clone(), 3))
+            + Poly::term(-4, Monomial::var(x.clone()))
+            + Poly::term(1, Monomial::power(x.clone(), -3));
+        let d = p.derivative(&x);
+        let expected = Poly::term(16, Monomial::power(x.clone(), 3))
+            + Poly::term(6, Monomial::power(x.clone(), 2))
+            + Poly::from(-4)
+            + Poly::term(-3, Monomial::power(x.clone(), -4));
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn antiderivative_roundtrip() {
+        let x = sym("x");
+        let p = Poly::term(3, Monomial::power(x.clone(), 2)) + Poly::from(5);
+        let ad = p.antiderivative(&x).unwrap();
+        assert_eq!(ad.derivative(&x), p);
+    }
+
+    #[test]
+    fn antiderivative_rejects_log_terms() {
+        let x = sym("x");
+        let p = Poly::term(1, Monomial::power(x.clone(), -1));
+        assert!(p.antiderivative(&x).is_err());
+    }
+
+    #[test]
+    fn univariate_views() {
+        let p = &(&var("x") * &var("x")) * &var("y") + var("x").scale(2) + Poly::from(9);
+        let parts = p.as_univariate(&sym("x"));
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], (0, Poly::from(9)));
+        assert_eq!(parts[1], (1, Poly::from(2)));
+        assert_eq!(parts[2], (2, var("y")));
+
+        let q = (&var("x") * &var("x")).scale(4) + var("x") + Poly::from(7);
+        assert_eq!(
+            q.univariate_coeffs(&sym("x")),
+            Some(vec![
+                Rational::from_int(7),
+                Rational::from_int(1),
+                Rational::from_int(4)
+            ])
+        );
+        assert_eq!(p.univariate_coeffs(&sym("x")), None, "coefficient contains y");
+    }
+
+    #[test]
+    fn symbols_set() {
+        let p = &var("a") * &var("b") + var("c");
+        let syms: Vec<String> = p.symbols().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(syms, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Poly = (0..4).map(|i| var("x").scale(i as i64)).sum();
+        assert_eq!(total, var("x").scale(6));
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        assert_eq!(var("x").pow(0), Poly::one());
+        assert_eq!(var("x").pow(3).to_string(), "x^3");
+    }
+}

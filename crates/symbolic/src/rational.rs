@@ -1,0 +1,359 @@
+//! Exact rational arithmetic used for polynomial coefficients.
+//!
+//! Performance expressions aggregate cycle counts scaled by iteration-count
+//! divisors and branch probabilities, so coefficients must stay exact:
+//! floating point would re-introduce exactly the compounding error the
+//! paper's symbolic representation is designed to avoid.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) == 1`.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::Rational;
+///
+/// let half = Rational::new(1, 2);
+/// let third = Rational::new(1, 3);
+/// assert_eq!(half + third, Rational::new(5, 6));
+/// assert_eq!((half * third).to_string(), "1/6");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational from a numerator and denominator, reducing to
+    /// lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use presage_symbolic::Rational;
+    /// assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+    /// assert_eq!(Rational::new(1, -2), Rational::new(-1, 2));
+    /// ```
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational denominator must be nonzero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(n: i64) -> Rational {
+        Rational { num: n as i128, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if this rational is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Sign of the value: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "cannot invert zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Raises to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { *self };
+        let mut acc = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            acc = acc * base;
+        }
+        acc
+    }
+
+    /// Converts to the nearest `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Rounds towards negative infinity to an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Rounds towards positive infinity to an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>) -> Rational {
+        let num = num.expect("rational arithmetic overflowed i128");
+        let den = den.expect("rational arithmetic overflowed i128");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce by gcd of denominators first to keep magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rational::checked(
+            self.num
+                .checked_mul(lhs_scale)
+                .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b))),
+            self.den.checked_mul(lhs_scale),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rational::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // den > 0 for both sides, so cross-multiplication preserves order.
+        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflowed");
+        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflowed");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_on_construction() {
+        assert_eq!(Rational::new(4, 8), Rational::new(1, 2));
+        assert_eq!(Rational::new(-4, 8), Rational::new(-1, 2));
+        assert_eq!(Rational::new(4, -8), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        let a = Rational::new(2, 3);
+        assert_eq!(a.pow(2), Rational::new(4, 9));
+        assert_eq!(a.pow(-1), Rational::new(3, 2));
+        assert_eq!(a.pow(0), Rational::ONE);
+        assert_eq!(a.recip(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 2) > Rational::from_int(3));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+        assert_eq!(Rational::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-5, 4).to_string(), "-5/4");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((Rational::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! Real-root finding for univariate polynomials.
+//!
+//! The paper (§3.1) relies on the fact that performance differences of loop
+//! transformations are usually univariate polynomials of degree ≤ 4, for
+//! which closed-form roots exist. We implement the closed forms
+//! (linear/quadratic/Cardano/Ferrari) with a Newton polish, and fall back to
+//! recursive critical-point bisection for higher degrees so callers never
+//! hit a hard degree wall.
+
+/// Relative tolerance used when deduplicating and polishing roots.
+const EPS: f64 = 1e-9;
+
+/// Evaluates a dense ascending-coefficient polynomial at `x` (Horner).
+pub fn horner(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+fn derivative_coeffs(coeffs: &[f64]) -> Vec<f64> {
+    coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &c)| c * i as f64)
+        .collect()
+}
+
+fn newton_polish(coeffs: &[f64], mut x: f64) -> f64 {
+    let d = derivative_coeffs(coeffs);
+    for _ in 0..40 {
+        let fx = horner(coeffs, x);
+        let dx = horner(&d, x);
+        if dx.abs() < 1e-300 {
+            break;
+        }
+        let step = fx / dx;
+        x -= step;
+        if step.abs() <= EPS * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+fn trim_leading_zeros(coeffs: &[f64]) -> &[f64] {
+    let mut n = coeffs.len();
+    // Scale-aware zero test for the leading coefficient.
+    let scale = coeffs.iter().fold(0.0f64, |a, c| a.max(c.abs())).max(1.0);
+    while n > 0 && coeffs[n - 1].abs() <= 1e-14 * scale {
+        n -= 1;
+    }
+    &coeffs[..n]
+}
+
+fn dedupe_sorted(mut roots: Vec<f64>) -> Vec<f64> {
+    roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    roots.dedup_by(|a, b| (*a - *b).abs() <= 1e-7 * (1.0 + a.abs().max(b.abs())));
+    roots
+}
+
+fn roots_quadratic(c: f64, b: f64, a: f64) -> Vec<f64> {
+    // a x^2 + b x + c
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    if disc == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    // Numerically stable form avoiding cancellation.
+    let q = -0.5 * (b + b.signum() * disc.sqrt());
+    let mut out = vec![q / a];
+    if q.abs() > 0.0 {
+        out.push(c / q);
+    } else {
+        out.push(0.0);
+    }
+    out
+}
+
+fn roots_cubic(d: f64, c: f64, b: f64, a: f64) -> Vec<f64> {
+    // a x^3 + b x^2 + c x + d = 0 -> depressed t^3 + p t + q with x = t - b/3a
+    let b = b / a;
+    let c = c / a;
+    let d = d / a;
+    let shift = b / 3.0;
+    let p = c - b * b / 3.0;
+    let q = 2.0 * b * b * b / 27.0 - b * c / 3.0 + d;
+    let disc = q * q / 4.0 + p * p * p / 27.0;
+    let mut roots = Vec::new();
+    if disc > 1e-13 * (1.0 + q * q + p.abs().powi(3)) {
+        // One real root (Cardano).
+        let sq = disc.sqrt();
+        let u = (-q / 2.0 + sq).cbrt();
+        let v = (-q / 2.0 - sq).cbrt();
+        roots.push(u + v - shift);
+    } else if disc.abs() <= 1e-13 * (1.0 + q * q + p.abs().powi(3)) {
+        if p.abs() < 1e-13 {
+            roots.push(-shift); // triple root
+        } else {
+            roots.push(3.0 * q / p - shift);
+            roots.push(-3.0 * q / (2.0 * p) - shift);
+        }
+    } else {
+        // Three real roots (trigonometric method).
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let theta = (3.0 * q / (p * m)).clamp(-1.0, 1.0).acos() / 3.0;
+        for k in 0..3 {
+            roots.push(m * (theta - 2.0 * std::f64::consts::PI * k as f64 / 3.0).cos() - shift);
+        }
+    }
+    roots
+}
+
+fn roots_quartic(e: f64, d: f64, c: f64, b: f64, a: f64) -> Vec<f64> {
+    // a x^4 + b x^3 + c x^2 + d x + e = 0; depressed y^4 + p y^2 + q y + r
+    let b = b / a;
+    let c = c / a;
+    let d = d / a;
+    let e = e / a;
+    let shift = b / 4.0;
+    let p = c - 3.0 * b * b / 8.0;
+    let q = d - b * c / 2.0 + b * b * b / 8.0;
+    let r = e - b * d / 4.0 + b * b * c / 16.0 - 3.0 * b * b * b * b / 256.0;
+
+    let mut roots = Vec::new();
+    if q.abs() < 1e-12 * (1.0 + p.abs() + r.abs()) {
+        // Biquadratic: y^4 + p y^2 + r = 0.
+        for z in roots_quadratic(r, p, 1.0) {
+            if z >= -1e-12 {
+                let s = z.max(0.0).sqrt();
+                roots.push(s - shift);
+                roots.push(-s - shift);
+            }
+        }
+        return dedupe_sorted(roots);
+    }
+
+    // Ferrari: resolvent cubic 8m^3 + 8pm^2 + (2p^2-8r)m - q^2 = 0.
+    let res = roots_cubic(-q * q, 2.0 * p * p - 8.0 * r, 8.0 * p, 8.0);
+    let m = res
+        .into_iter()
+        .filter(|&m| m > 1e-14)
+        .fold(f64::NAN, |acc, m| if acc.is_nan() || m > acc { m } else { acc });
+    if m.is_nan() {
+        return Vec::new();
+    }
+    let sqrt2m = (2.0 * m).sqrt();
+    // y^2 ± sqrt(2m) y + (p/2 + m ∓ q/(2 sqrt(2m))) = 0
+    let c1 = p / 2.0 + m - q / (2.0 * sqrt2m);
+    let c2 = p / 2.0 + m + q / (2.0 * sqrt2m);
+    for y in roots_quadratic(c1, sqrt2m, 1.0) {
+        roots.push(y - shift);
+    }
+    for y in roots_quadratic(c2, -sqrt2m, 1.0) {
+        roots.push(y - shift);
+    }
+    roots
+}
+
+/// Roots for degree ≥ 5 via critical points of the derivative plus bisection
+/// on the sign-alternating segments.
+fn roots_high_degree(coeffs: &[f64]) -> Vec<f64> {
+    let deriv = derivative_coeffs(coeffs);
+    let mut crits = real_roots(&deriv);
+    // Cauchy bound on root magnitude.
+    let lead = *coeffs.last().unwrap();
+    let bound = 1.0
+        + coeffs[..coeffs.len() - 1]
+            .iter()
+            .map(|c| (c / lead).abs())
+            .fold(0.0, f64::max);
+    crits.insert(0, -bound);
+    crits.push(bound);
+    crits = dedupe_sorted(crits);
+
+    let mut roots = Vec::new();
+    for w in crits.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let (flo, fhi) = (horner(coeffs, lo), horner(coeffs, hi));
+        if flo == 0.0 {
+            roots.push(lo);
+        }
+        if flo * fhi < 0.0 {
+            // Bisection: monotone between consecutive critical points.
+            let (mut a, mut b) = (lo, hi);
+            for _ in 0..200 {
+                let mid = 0.5 * (a + b);
+                let fm = horner(coeffs, mid);
+                if fm == 0.0 || (b - a) < EPS * (1.0 + mid.abs()) {
+                    break;
+                }
+                if flo * fm < 0.0 {
+                    b = mid;
+                } else {
+                    a = mid;
+                }
+            }
+            roots.push(0.5 * (a + b));
+        }
+    }
+    if horner(coeffs, *crits.last().unwrap()) == 0.0 {
+        roots.push(*crits.last().unwrap());
+    }
+    roots
+}
+
+/// All distinct real roots of the dense ascending-coefficient polynomial
+/// `coeffs[0] + coeffs[1] x + ...`, sorted ascending.
+///
+/// Degrees ≤ 4 use closed forms (the paper's "simple to find the roots ...
+/// for polynomials of up to degree of 4"); higher degrees fall back to
+/// derivative-guided bisection. The constant zero polynomial returns no
+/// roots (the caller should treat it as identically zero).
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::roots::real_roots;
+///
+/// // x^2 - 3x + 2 = (x-1)(x-2)
+/// let r = real_roots(&[2.0, -3.0, 1.0]);
+/// assert_eq!(r.len(), 2);
+/// assert!((r[0] - 1.0).abs() < 1e-9 && (r[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn real_roots(coeffs: &[f64]) -> Vec<f64> {
+    let coeffs = trim_leading_zeros(coeffs);
+    let raw: Vec<f64> = match coeffs.len() {
+        0 | 1 => Vec::new(),
+        2 => vec![-coeffs[0] / coeffs[1]],
+        3 => roots_quadratic(coeffs[0], coeffs[1], coeffs[2]),
+        4 => roots_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]),
+        5 => roots_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]),
+        _ => roots_high_degree(coeffs),
+    };
+    let polished: Vec<f64> = raw
+        .into_iter()
+        .map(|r| newton_polish(coeffs, r))
+        .filter(|r| {
+            let scale = coeffs.iter().fold(0.0f64, |a, c| a.max(c.abs()));
+            horner(coeffs, *r).abs() <= 1e-5 * scale * (1.0 + r.abs()).powi(coeffs.len() as i32 - 1)
+        })
+        .collect();
+    dedupe_sorted(polished)
+}
+
+/// Real roots restricted to the closed interval `[lo, hi]`.
+pub fn real_roots_in(coeffs: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    real_roots(coeffs)
+        .into_iter()
+        .filter(|r| *r >= lo - EPS && *r <= hi + EPS)
+        .map(|r| r.clamp(lo, hi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roots(coeffs: &[f64], expected: &[f64]) {
+        let r = real_roots(coeffs);
+        assert_eq!(r.len(), expected.len(), "roots {r:?} vs expected {expected:?}");
+        for (a, b) in r.iter().zip(expected) {
+            assert!((a - b).abs() < 1e-6, "root {a} != {b} in {r:?}");
+        }
+    }
+
+    #[test]
+    fn constant_and_zero() {
+        assert!(real_roots(&[5.0]).is_empty());
+        assert!(real_roots(&[]).is_empty());
+        assert!(real_roots(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn linear() {
+        assert_roots(&[-6.0, 2.0], &[3.0]);
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        assert_roots(&[2.0, -3.0, 1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(real_roots(&[1.0, 0.0, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        assert_roots(&[1.0, -2.0, 1.0], &[1.0]);
+    }
+
+    #[test]
+    fn cubic_three_roots() {
+        // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        assert_roots(&[-6.0, 11.0, -6.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cubic_one_root() {
+        // x^3 + x + 1 has a single real root near -0.6823
+        let r = real_roots(&[1.0, 1.0, 0.0, 1.0]);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] + 0.682_327_8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x-2)^3
+        assert_roots(&[-8.0, 12.0, -6.0, 1.0], &[2.0]);
+    }
+
+    #[test]
+    fn quartic_four_roots() {
+        // (x+2)(x+1)(x-1)(x-2) = x^4 - 5x^2 + 4
+        assert_roots(&[4.0, 0.0, -5.0, 0.0, 1.0], &[-2.0, -1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn quartic_general() {
+        // (x-1)(x-2)(x-3)(x-4) = x^4 -10x^3 +35x^2 -50x +24
+        assert_roots(&[24.0, -50.0, 35.0, -10.0, 1.0], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn quartic_no_real_roots() {
+        // x^4 + 1
+        assert!(real_roots(&[1.0, 0.0, 0.0, 0.0, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn quintic_fallback() {
+        // (x)(x-1)(x+1)(x-2)(x+2) = x^5 - 5x^3 + 4x
+        assert_roots(&[0.0, 4.0, 0.0, -5.0, 0.0, 1.0], &[-2.0, -1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn degree_six_fallback() {
+        // (x^2-1)(x^2-4)(x^2-9) = x^6 -14x^4 +49x^2 -36
+        assert_roots(
+            &[-36.0, 0.0, 49.0, 0.0, -14.0, 0.0, 1.0],
+            &[-3.0, -2.0, -1.0, 1.0, 2.0, 3.0],
+        );
+    }
+
+    #[test]
+    fn roots_in_range() {
+        let r = real_roots_in(&[-6.0, 11.0, -6.0, 1.0], 1.5, 3.5);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 2.0).abs() < 1e-9 && (r[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_cubic_example_shape() {
+        // Figure 10: y = a x^3 + b x^2 + c x + d with a > 0 can have negative
+        // regions between roots; verify we can locate them.
+        // y = (x+1)(x-2)(x-5) = x^3 -6x^2 +3x +10
+        let r = real_roots(&[10.0, 3.0, -6.0, 1.0]);
+        assert_eq!(r.len(), 3);
+        assert!(horner(&[10.0, 3.0, -6.0, 1.0], 3.0) < 0.0);
+        assert!(horner(&[10.0, 3.0, -6.0, 1.0], 6.0) > 0.0);
+    }
+
+    #[test]
+    fn large_coefficient_scale() {
+        // 1e6 (x-1)(x-2)
+        assert_roots(&[2.0e6, -3.0e6, 1.0e6], &[1.0, 2.0]);
+    }
+}

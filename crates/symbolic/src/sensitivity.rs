@@ -1,0 +1,158 @@
+//! Sensitivity analysis of performance expressions (paper §3.4).
+//!
+//! "After the performance expression is found for a program fragment,
+//! sensitivity analysis can be applied to find the top few variables that
+//! produce the most perturbations to the performance." Those variables are
+//! the best candidates for run-time tests or profiling.
+
+use crate::{PerfExpr, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sensitivity of the expression to one unknown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sensitivity {
+    /// The unknown.
+    pub symbol: Symbol,
+    /// Absolute perturbation: `|f(x + δ·w) − f(x − δ·w)| / 2` at the range
+    /// midpoint, where `w` is the range width.
+    pub absolute: f64,
+    /// `absolute` normalized by `|f(midpoint)|` (0 when the base value is 0).
+    pub relative: f64,
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: Δ={:.4} ({:.2}%)", self.symbol, self.absolute, self.relative * 100.0)
+    }
+}
+
+/// Options for [`analyze`].
+#[derive(Clone, Copy, Debug)]
+pub struct SensitivityOptions {
+    /// Fraction of each variable's range used as the perturbation step.
+    pub delta_fraction: f64,
+}
+
+impl Default for SensitivityOptions {
+    fn default() -> Self {
+        SensitivityOptions { delta_fraction: 0.05 }
+    }
+}
+
+/// Ranks the unknowns of `expr` by how strongly small perturbations around
+/// the range midpoints change the predicted cost. Result is sorted by
+/// descending absolute sensitivity.
+///
+/// Variables are perturbed one at a time (the paper's "varies the values of
+/// the variables for small amounts and measures the resulting
+/// perturbations").
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::{PerfExpr, Symbol, VarInfo};
+/// use presage_symbolic::sensitivity::{analyze, SensitivityOptions};
+///
+/// let n = Symbol::new("n");
+/// let p = Symbol::new("p");
+/// // 1000·n dominates 2·p.
+/// let e = PerfExpr::cycles(1000).repeat_symbolic(n.clone(), VarInfo::loop_bound(1.0, 100.0))
+///     + PerfExpr::cycles(2).repeat_symbolic(p.clone(), VarInfo::loop_bound(1.0, 100.0));
+/// let ranked = analyze(&e, SensitivityOptions::default());
+/// assert_eq!(ranked[0].symbol, n);
+/// ```
+pub fn analyze(expr: &PerfExpr, opts: SensitivityOptions) -> Vec<Sensitivity> {
+    let midpoints: HashMap<Symbol, f64> = expr
+        .vars()
+        .iter()
+        .map(|(s, i)| (s.clone(), i.range.mid()))
+        .collect();
+    let base = expr.eval_with_defaults(&midpoints);
+
+    let mut out: Vec<Sensitivity> = expr
+        .vars()
+        .iter()
+        .map(|(sym, info)| {
+            let step = (info.range.width() * opts.delta_fraction).max(f64::MIN_POSITIVE);
+            let mut up = midpoints.clone();
+            up.insert(sym.clone(), (info.range.mid() + step).min(info.range.hi()));
+            let mut down = midpoints.clone();
+            down.insert(sym.clone(), (info.range.mid() - step).max(info.range.lo()));
+            let fu = expr.eval_with_defaults(&up);
+            let fd = expr.eval_with_defaults(&down);
+            let absolute = (fu - fd).abs() / 2.0;
+            let relative = if base.abs() > 0.0 { absolute / base.abs() } else { 0.0 };
+            Sensitivity { symbol: sym.clone(), absolute, relative }
+        })
+        .collect();
+    out.sort_by(|a, b| b.absolute.partial_cmp(&a.absolute).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Returns the `k` most sensitive unknowns (paper: run-time tests are
+/// formulated on "the top few variables").
+pub fn top_k(expr: &PerfExpr, k: usize, opts: SensitivityOptions) -> Vec<Sensitivity> {
+    let mut all = analyze(expr, opts);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarInfo;
+
+    #[test]
+    fn dominant_variable_ranks_first() {
+        let n = Symbol::new("n");
+        let m = Symbol::new("m");
+        let e = PerfExpr::cycles(500).repeat_symbolic(n.clone(), VarInfo::loop_bound(0.0, 10.0))
+            + PerfExpr::cycles(1).repeat_symbolic(m.clone(), VarInfo::loop_bound(0.0, 10.0));
+        let ranked = analyze(&e, SensitivityOptions::default());
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].symbol, n);
+        assert!(ranked[0].absolute > ranked[1].absolute * 100.0);
+    }
+
+    #[test]
+    fn range_width_matters() {
+        // Same coefficient, but q's range is 100× wider: q is more sensitive.
+        let p = Symbol::new("p");
+        let q = Symbol::new("q");
+        let e = PerfExpr::cycles(1).repeat_symbolic(p.clone(), VarInfo::loop_bound(0.0, 1.0))
+            + PerfExpr::cycles(1).repeat_symbolic(q.clone(), VarInfo::loop_bound(0.0, 100.0));
+        let ranked = analyze(&e, SensitivityOptions::default());
+        assert_eq!(ranked[0].symbol, q);
+    }
+
+    #[test]
+    fn concrete_expression_has_no_sensitivities() {
+        assert!(analyze(&PerfExpr::cycles(5), SensitivityOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let syms: Vec<Symbol> = (0..5).map(|i| Symbol::new(format!("v{i}"))).collect();
+        let mut e = PerfExpr::zero();
+        for (i, s) in syms.iter().enumerate() {
+            e += PerfExpr::cycles((i as i64 + 1) * 10)
+                .repeat_symbolic(s.clone(), VarInfo::loop_bound(0.0, 10.0));
+        }
+        let top = top_k(&e, 2, SensitivityOptions::default());
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].symbol, syms[4]);
+        assert_eq!(top[1].symbol, syms[3]);
+    }
+
+    #[test]
+    fn nonlinear_sensitivity_at_midpoint() {
+        // f = n^2 over [0, 10]: derivative at midpoint 5 is 10, so a ±0.5
+        // perturbation gives |f(5.5)-f(4.5)|/2 = 5.
+        let n = Symbol::new("n");
+        let e = PerfExpr::var(n.clone(), VarInfo::loop_bound(0.0, 10.0));
+        let sq = e.mul(&e.clone());
+        let ranked = analyze(&sq, SensitivityOptions::default());
+        assert!((ranked[0].absolute - 5.0).abs() < 1e-9);
+    }
+}

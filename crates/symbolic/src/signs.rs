@@ -1,0 +1,508 @@
+//! Sign analysis of performance expressions over bounded ranges.
+//!
+//! This implements §3.1 of the paper: given `P = C(f) − C(g)`, determine the
+//! regions of the unknown's range where `P` is positive or negative (Figure
+//! 10), measure those regions, and integrate `P+`/`P−` as comparison
+//! metrics. For multivariate expressions, a conservative interval-arithmetic
+//! verdict over a box of variable bounds is provided.
+
+use crate::interval::Interval;
+use crate::roots::{horner, real_roots_in};
+use crate::{Poly, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sign of an expression on a region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative throughout the region.
+    Negative,
+    /// Identically zero throughout the region.
+    Zero,
+    /// Strictly positive throughout the region.
+    Positive,
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Negative => "-",
+            Sign::Zero => "0",
+            Sign::Positive => "+",
+        })
+    }
+}
+
+/// A maximal subinterval of the analyzed range on which the expression keeps
+/// one sign.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SignRegion {
+    /// Left endpoint.
+    pub lo: f64,
+    /// Right endpoint.
+    pub hi: f64,
+    /// Sign of the expression on `(lo, hi)`.
+    pub sign: Sign,
+}
+
+impl SignRegion {
+    /// Width of the region.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl fmt::Display for SignRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}]: {}", self.lo, self.hi, self.sign)
+    }
+}
+
+/// Errors from sign analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignError {
+    /// The expression mentions symbols other than the analyzed one.
+    NotUnivariate(Vec<String>),
+    /// The range contains `x = 0` but the expression has `x^-k` terms
+    /// (a pole inside the range).
+    PoleInRange,
+    /// The range is empty (`lo > hi`).
+    EmptyRange,
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::NotUnivariate(extra) => {
+                write!(f, "expression is not univariate; extra symbols: {}", extra.join(", "))
+            }
+            SignError::PoleInRange => f.write_str("expression has a pole (x^-k term) inside the range"),
+            SignError::EmptyRange => f.write_str("empty analysis range"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// Returns the univariate dense coefficients of `poly` in `sym` after
+/// clearing negative exponents by `x^shift`, i.e. `poly = q(x) / x^shift`.
+fn cleared_coeffs(poly: &Poly, sym: &Symbol) -> Result<(Vec<f64>, i32), SignError> {
+    let extra: Vec<String> = poly
+        .symbols()
+        .into_iter()
+        .filter(|s| s != sym)
+        .map(|s| s.name().to_string())
+        .collect();
+    if !extra.is_empty() {
+        return Err(SignError::NotUnivariate(extra));
+    }
+    let parts = poly.as_univariate(sym);
+    let min_exp = parts.first().map(|(e, _)| *e).unwrap_or(0).min(0);
+    let shift = -min_exp;
+    let max_exp = parts.last().map(|(e, _)| *e).unwrap_or(0);
+    let mut coeffs = vec![0.0; (max_exp + shift + 1) as usize];
+    for (e, p) in &parts {
+        // `p` is constant because no other symbols exist.
+        coeffs[(e + shift) as usize] = p.constant_value().expect("univariate coefficient").to_f64();
+    }
+    Ok((coeffs, shift))
+}
+
+/// Computes the sign regions of a univariate `poly` in `sym` over `[lo, hi]`
+/// (Figure 10 of the paper).
+///
+/// Laurent terms (`x^-k`) are supported as long as the range does not
+/// contain the pole at zero.
+///
+/// # Errors
+///
+/// - [`SignError::NotUnivariate`] if other symbols appear;
+/// - [`SignError::PoleInRange`] if `0 ∈ [lo, hi]` while `x^-k` terms exist;
+/// - [`SignError::EmptyRange`] if `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::{Poly, Symbol, signs::{sign_regions, Sign}};
+///
+/// let x = Symbol::new("x");
+/// // (x-1)(x-3) is negative between the roots.
+/// let p = (Poly::var(x.clone()) - Poly::from(1)) * (Poly::var(x.clone()) - Poly::from(3));
+/// let regions = sign_regions(&p, &x, 0.0, 4.0).unwrap();
+/// assert_eq!(regions.len(), 3);
+/// assert_eq!(regions[1].sign, Sign::Negative);
+/// ```
+pub fn sign_regions(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<Vec<SignRegion>, SignError> {
+    if lo > hi {
+        return Err(SignError::EmptyRange);
+    }
+    let (coeffs, shift) = cleared_coeffs(poly, sym)?;
+    if shift > 0 && lo <= 0.0 && hi >= 0.0 {
+        return Err(SignError::PoleInRange);
+    }
+    if coeffs.iter().all(|c| c.abs() == 0.0) {
+        return Ok(vec![SignRegion { lo, hi, sign: Sign::Zero }]);
+    }
+
+    let mut breakpoints = vec![lo];
+    breakpoints.extend(real_roots_in(&coeffs, lo, hi));
+    breakpoints.push(hi);
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + a.abs()));
+
+    let eval = |x: f64| -> f64 { horner(&coeffs, x) / x.powi(shift) };
+
+    let mut regions: Vec<SignRegion> = Vec::new();
+    for w in breakpoints.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b - a <= 0.0 {
+            continue;
+        }
+        let v = eval(0.5 * (a + b));
+        let sign = if v > 0.0 {
+            Sign::Positive
+        } else if v < 0.0 {
+            Sign::Negative
+        } else {
+            Sign::Zero
+        };
+        match regions.last_mut() {
+            Some(last) if last.sign == sign => last.hi = b,
+            _ => regions.push(SignRegion { lo: a, hi: b, sign }),
+        }
+    }
+    if regions.is_empty() {
+        // Degenerate point range.
+        let v = eval(lo);
+        let sign = if v > 0.0 {
+            Sign::Positive
+        } else if v < 0.0 {
+            Sign::Negative
+        } else {
+            Sign::Zero
+        };
+        regions.push(SignRegion { lo, hi, sign });
+    }
+    Ok(regions)
+}
+
+/// Total width of the regions where the expression is positive / negative.
+///
+/// The paper proposes "size of the area where P+ and P− are nonzero" as one
+/// comparison metric between transformations.
+///
+/// # Errors
+///
+/// Same conditions as [`sign_regions`].
+pub fn sign_measures(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<(f64, f64), SignError> {
+    let regions = sign_regions(poly, sym, lo, hi)?;
+    let mut pos = 0.0;
+    let mut neg = 0.0;
+    for r in regions {
+        match r.sign {
+            Sign::Positive => pos += r.width(),
+            Sign::Negative => neg += r.width(),
+            Sign::Zero => {}
+        }
+    }
+    Ok((pos, neg))
+}
+
+/// Definite integral of a univariate `poly` in `sym` over `[lo, hi]`.
+///
+/// `x^-1` terms integrate to `ln|x|`; other Laurent terms use the power
+/// rule. Poles inside the range are rejected.
+///
+/// # Errors
+///
+/// Same conditions as [`sign_regions`].
+pub fn integrate(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<f64, SignError> {
+    if lo > hi {
+        return Err(SignError::EmptyRange);
+    }
+    let extra: Vec<String> = poly
+        .symbols()
+        .into_iter()
+        .filter(|s| s != sym)
+        .map(|s| s.name().to_string())
+        .collect();
+    if !extra.is_empty() {
+        return Err(SignError::NotUnivariate(extra));
+    }
+    let parts = poly.as_univariate(sym);
+    if parts.iter().any(|(e, _)| *e < 0) && lo <= 0.0 && hi >= 0.0 {
+        return Err(SignError::PoleInRange);
+    }
+    let mut total = 0.0;
+    for (e, p) in parts {
+        let c = p.constant_value().expect("univariate coefficient").to_f64();
+        total += if e == -1 {
+            c * (hi.abs().ln() - lo.abs().ln())
+        } else {
+            let k = (e + 1) as f64;
+            c * (hi.powi(e + 1) - lo.powi(e + 1)) / k
+        };
+    }
+    Ok(total)
+}
+
+/// Integrals of the positive part `P+` and negative part `P−` over the range
+/// (the paper's "integral values of P+ and P−" comparison metric). The
+/// negative-part integral is returned as a non-negative magnitude.
+///
+/// # Errors
+///
+/// Same conditions as [`sign_regions`].
+pub fn signed_areas(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<(f64, f64), SignError> {
+    let regions = sign_regions(poly, sym, lo, hi)?;
+    let mut pos = 0.0;
+    let mut neg = 0.0;
+    for r in regions {
+        match r.sign {
+            Sign::Positive => pos += integrate(poly, sym, r.lo, r.hi)?,
+            Sign::Negative => neg -= integrate(poly, sym, r.lo, r.hi)?,
+            Sign::Zero => {}
+        }
+    }
+    Ok((pos, neg))
+}
+
+/// Verdict of a conservative multivariate sign query over a box of variable
+/// ranges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SignVerdict {
+    /// Provably `> 0` everywhere in the box.
+    AlwaysPositive,
+    /// Provably `≥ 0` everywhere in the box (zero possible).
+    NonNegative,
+    /// Provably `< 0` everywhere in the box.
+    AlwaysNegative,
+    /// Provably `≤ 0` everywhere in the box (zero possible).
+    NonPositive,
+    /// Identically zero.
+    AlwaysZero,
+    /// The interval bound straddles zero: undetermined.
+    Unknown,
+}
+
+impl fmt::Display for SignVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignVerdict::AlwaysPositive => "always positive",
+            SignVerdict::NonNegative => "non-negative",
+            SignVerdict::AlwaysNegative => "always negative",
+            SignVerdict::NonPositive => "non-positive",
+            SignVerdict::AlwaysZero => "always zero",
+            SignVerdict::Unknown => "unknown",
+        })
+    }
+}
+
+/// Determines the sign of `poly` over a box of per-variable bounds using
+/// interval arithmetic. Conservative: `Unknown` never lies, but a definite
+/// verdict may be missed when intervals over-approximate.
+///
+/// Unbound symbols yield `Unknown`.
+pub fn sign_over_box(poly: &Poly, box_: &HashMap<Symbol, Interval>) -> SignVerdict {
+    if poly.is_zero() {
+        return SignVerdict::AlwaysZero;
+    }
+    match Interval::eval_poly(poly, box_) {
+        None => SignVerdict::Unknown,
+        Some(iv) => {
+            if iv.lo() > 0.0 {
+                SignVerdict::AlwaysPositive
+            } else if iv.hi() < 0.0 {
+                SignVerdict::AlwaysNegative
+            } else if iv.lo() == 0.0 && iv.hi() == 0.0 {
+                SignVerdict::AlwaysZero
+            } else if iv.lo() == 0.0 {
+                SignVerdict::NonNegative
+            } else if iv.hi() == 0.0 {
+                SignVerdict::NonPositive
+            } else {
+                SignVerdict::Unknown
+            }
+        }
+    }
+}
+
+/// Recursively bisects the box to sharpen [`sign_over_box`] verdicts; `depth`
+/// limits the number of splits (the work is `O(2^depth)` in the worst case).
+///
+/// Returns a definite verdict if every leaf box agrees; otherwise `Unknown`.
+pub fn sign_over_box_refined(poly: &Poly, box_: &HashMap<Symbol, Interval>, depth: u32) -> SignVerdict {
+    let v = sign_over_box(poly, box_);
+    if v != SignVerdict::Unknown || depth == 0 {
+        return v;
+    }
+    // Split the widest interval.
+    let widest = box_
+        .iter()
+        .max_by(|a, b| a.1.width().partial_cmp(&b.1.width()).unwrap())
+        .map(|(s, _)| s.clone());
+    let Some(sym) = widest else { return SignVerdict::Unknown };
+    let iv = box_[&sym];
+    if iv.width() <= 1e-9 {
+        return SignVerdict::Unknown;
+    }
+    let mut left = box_.clone();
+    left.insert(sym.clone(), Interval::new(iv.lo(), iv.mid()));
+    let mut right = box_.clone();
+    right.insert(sym, Interval::new(iv.mid(), iv.hi()));
+    let vl = sign_over_box_refined(poly, &left, depth - 1);
+    let vr = sign_over_box_refined(poly, &right, depth - 1);
+    combine_verdicts(vl, vr)
+}
+
+fn combine_verdicts(a: SignVerdict, b: SignVerdict) -> SignVerdict {
+    use SignVerdict::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (AlwaysPositive, NonNegative) | (NonNegative, AlwaysPositive) => NonNegative,
+        (AlwaysNegative, NonPositive) | (NonPositive, AlwaysNegative) => NonPositive,
+        (AlwaysZero, NonNegative) | (NonNegative, AlwaysZero) => NonNegative,
+        (AlwaysZero, NonPositive) | (NonPositive, AlwaysZero) => NonPositive,
+        (AlwaysZero, AlwaysPositive) | (AlwaysPositive, AlwaysZero) => NonNegative,
+        (AlwaysZero, AlwaysNegative) | (AlwaysNegative, AlwaysZero) => NonPositive,
+        _ => Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rational;
+
+    fn x() -> Symbol {
+        Symbol::new("x")
+    }
+
+    fn xp() -> Poly {
+        Poly::var(x())
+    }
+
+    #[test]
+    fn cubic_fig10_regions() {
+        // Figure 10: cubic with a > 0, negative regions below roots.
+        // (x+1)(x-2)(x-5): negative on (-inf,-1) and (2,5).
+        let p = (xp() + Poly::from(1)) * (xp() - Poly::from(2)) * (xp() - Poly::from(5));
+        let regions = sign_regions(&p, &x(), -3.0, 7.0).unwrap();
+        let signs: Vec<Sign> = regions.iter().map(|r| r.sign).collect();
+        assert_eq!(signs, [Sign::Negative, Sign::Positive, Sign::Negative, Sign::Positive]);
+        assert!((regions[0].hi + 1.0).abs() < 1e-6);
+        assert!((regions[2].lo - 2.0).abs() < 1e-6);
+        assert!((regions[2].hi - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn always_positive() {
+        let p = &xp() * &xp() + Poly::from(1);
+        let regions = sign_regions(&p, &x(), -10.0, 10.0).unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].sign, Sign::Positive);
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let regions = sign_regions(&Poly::zero(), &x(), 0.0, 1.0).unwrap();
+        assert_eq!(regions, vec![SignRegion { lo: 0.0, hi: 1.0, sign: Sign::Zero }]);
+    }
+
+    #[test]
+    fn laurent_ok_when_pole_outside() {
+        // 1/x^2 - 1 on [0.5, 2]: positive below 1, negative above.
+        let p = Poly::term(Rational::ONE, crate::Monomial::power(x(), -2)) - Poly::from(1);
+        let regions = sign_regions(&p, &x(), 0.5, 2.0).unwrap();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].sign, Sign::Positive);
+        assert_eq!(regions[1].sign, Sign::Negative);
+        assert!((regions[0].hi - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn laurent_pole_in_range_rejected() {
+        let p = Poly::term(Rational::ONE, crate::Monomial::power(x(), -1));
+        assert_eq!(sign_regions(&p, &x(), -1.0, 1.0), Err(SignError::PoleInRange));
+    }
+
+    #[test]
+    fn not_univariate_rejected() {
+        let p = xp() + Poly::var(Symbol::new("y"));
+        match sign_regions(&p, &x(), 0.0, 1.0) {
+            Err(SignError::NotUnivariate(extra)) => assert_eq!(extra, ["y"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        assert_eq!(sign_regions(&xp(), &x(), 2.0, 1.0), Err(SignError::EmptyRange));
+    }
+
+    #[test]
+    fn measures() {
+        // (x-1)(x-3) on [0,4]: negative width 2, positive width 2.
+        let p = (xp() - Poly::from(1)) * (xp() - Poly::from(3));
+        let (pos, neg) = sign_measures(&p, &x(), 0.0, 4.0).unwrap();
+        assert!((pos - 2.0).abs() < 1e-6);
+        assert!((neg - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrate_polynomial() {
+        // ∫_0^2 3x^2 dx = 8
+        let p = (&xp() * &xp()).scale(3);
+        assert!((integrate(&p, &x(), 0.0, 2.0).unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_log_term() {
+        // ∫_1^e 1/x dx = 1
+        let p = Poly::term(Rational::ONE, crate::Monomial::power(x(), -1));
+        let v = integrate(&p, &x(), 1.0, std::f64::consts::E).unwrap();
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_areas_split() {
+        // x on [-1, 2]: P+ area = 2, P- area = 1/2.
+        let (pos, neg) = signed_areas(&xp(), &x(), -1.0, 2.0).unwrap();
+        assert!((pos - 2.0).abs() < 1e-9);
+        assert!((neg - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_verdicts() {
+        let n = Symbol::new("n");
+        let p = Poly::var(n.clone()) - Poly::from(2); // n - 2
+        let mut box_ = HashMap::new();
+        box_.insert(n.clone(), Interval::new(3.0, 10.0));
+        assert_eq!(sign_over_box(&p, &box_), SignVerdict::AlwaysPositive);
+        box_.insert(n.clone(), Interval::new(0.0, 1.0));
+        assert_eq!(sign_over_box(&p, &box_), SignVerdict::AlwaysNegative);
+        box_.insert(n, Interval::new(0.0, 10.0));
+        assert_eq!(sign_over_box(&p, &box_), SignVerdict::Unknown);
+    }
+
+    #[test]
+    fn box_refinement_sharpens() {
+        // x^2 - x + 1 > 0 everywhere, but naive intervals on [0, 2] give
+        // [0,4] - [0,2] + 1 = [-1, 5]: unknown. Bisection resolves it.
+        let p = &xp() * &xp() - xp() + Poly::from(1);
+        let mut box_ = HashMap::new();
+        box_.insert(x(), Interval::new(0.0, 2.0));
+        assert_eq!(sign_over_box(&p, &box_), SignVerdict::Unknown);
+        // Bisection tightens the bound enough to certify non-negativity
+        // (interval endpoints touch zero exactly at the split point x = 1).
+        assert_eq!(sign_over_box_refined(&p, &box_, 6), SignVerdict::NonNegative);
+    }
+
+    #[test]
+    fn unbound_symbol_is_unknown() {
+        let p = Poly::var(Symbol::new("q"));
+        assert_eq!(sign_over_box(&p, &HashMap::new()), SignVerdict::Unknown);
+    }
+}

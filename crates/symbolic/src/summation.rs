@@ -1,0 +1,162 @@
+//! Closed-form summation of polynomials over an index variable.
+//!
+//! Triangular and trapezoidal loop nests make an inner loop's cost depend
+//! on the outer index (`do j = i, n` runs `n − i + 1` times). Aggregating
+//! the outer loop then needs `Σ_{i=lb}^{ub} p(i)` in closed form —
+//! Faulhaber's formulas — rather than a count×body product. Degrees up to
+//! 4 are supported, matching the rest of the framework's closed-form
+//! budget.
+
+use crate::{Poly, Rational, Symbol};
+
+/// `Σ_{t=0}^{m} t^k` as a polynomial in `m`, for `k ≤ 4`.
+///
+/// Returns `None` for larger exponents.
+pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
+    let m1 = m + &Poly::one();
+    Some(match k {
+        0 => m1,
+        1 => (m * &m1).scale(Rational::new(1, 2)),
+        2 => {
+            let two_m1 = m.scale(2) + Poly::one();
+            (&(m * &m1) * &two_m1).scale(Rational::new(1, 6))
+        }
+        3 => {
+            let s1 = (m * &m1).scale(Rational::new(1, 2));
+            &s1 * &s1
+        }
+        4 => {
+            // m(m+1)(2m+1)(3m² + 3m − 1)/30
+            let two_m1 = m.scale(2) + Poly::one();
+            let q = (m * m).scale(3) + m.scale(3) - Poly::one();
+            (&(&(m * &m1) * &two_m1) * &q).scale(Rational::new(1, 30))
+        }
+        _ => return None,
+    })
+}
+
+/// `Σ_{var=0}^{m} p(var)`: sums a polynomial over an index running from 0
+/// to `m` (inclusive), eliminating `var`.
+///
+/// Returns `None` when `p` has `var`-degree above 4 or negative powers of
+/// `var` (no closed polynomial form).
+pub fn sum_over(p: &Poly, var: &Symbol, m: &Poly) -> Option<Poly> {
+    let mut total = Poly::zero();
+    for (exp, coeff) in p.as_univariate(var) {
+        if exp < 0 {
+            return None;
+        }
+        let s = sum_powers(m, exp as u32)?;
+        total += &coeff * &s;
+    }
+    Some(total)
+}
+
+/// `Σ_{var=lb}^{ub} p(var)` with unit step: substitutes `var := lb + t`
+/// and sums `t` from 0 to `ub − lb`.
+///
+/// Returns `None` under the same conditions as [`sum_over`], or when the
+/// substitution fails.
+pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
+    let t = Symbol::new("$sum_t");
+    let replacement = lb + &Poly::var(t.clone());
+    let shifted = p.subst(var, &replacement).ok()?;
+    let m = ub - lb;
+    sum_over(&shifted, &t, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn n() -> Symbol {
+        Symbol::new("n")
+    }
+
+    fn eval_at(p: &Poly, pairs: &[(&str, i64)]) -> Rational {
+        let b: HashMap<Symbol, Rational> = pairs
+            .iter()
+            .map(|(s, v)| (Symbol::new(*s), Rational::from_int(*v)))
+            .collect();
+        p.eval(&b).unwrap()
+    }
+
+    #[test]
+    fn power_sum_formulas_match_brute_force() {
+        for k in 0..=4u32 {
+            let m = Poly::var(n());
+            let formula = sum_powers(&m, k).unwrap();
+            for mv in 0i64..=12 {
+                let brute: i64 = (0..=mv).map(|t| t.pow(k)).sum();
+                assert_eq!(
+                    eval_at(&formula, &[("n", mv)]),
+                    Rational::from_int(brute),
+                    "k={k}, m={mv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_five_unsupported() {
+        assert!(sum_powers(&Poly::var(n()), 5).is_none());
+        let p = Poly::var(Symbol::new("i")).pow(5);
+        assert!(sum_over(&p, &Symbol::new("i"), &Poly::var(n())).is_none());
+    }
+
+    #[test]
+    fn negative_powers_unsupported() {
+        let i = Symbol::new("i");
+        let p = Poly::term(Rational::ONE, crate::Monomial::power(i.clone(), -1));
+        assert!(sum_over(&p, &i, &Poly::var(n())).is_none());
+    }
+
+    #[test]
+    fn sum_over_mixed_polynomial() {
+        // Σ_{i=0}^{m} (3i² + 2i + 1) checked against brute force.
+        let i = Symbol::new("i");
+        let p = Poly::var(i.clone()).pow(2).scale(3) + Poly::var(i.clone()).scale(2) + Poly::one();
+        let s = sum_over(&p, &i, &Poly::var(n())).unwrap();
+        for mv in 0i64..=10 {
+            let brute: i64 = (0..=mv).map(|t| 3 * t * t + 2 * t + 1).sum();
+            assert_eq!(eval_at(&s, &[("n", mv)]), Rational::from_int(brute));
+        }
+    }
+
+    #[test]
+    fn sum_range_triangular() {
+        // Σ_{i=1}^{n} (n − i + 1) = n(n+1)/2 — the triangular nest count.
+        let i = Symbol::new("i");
+        let p = Poly::var(n()) - Poly::var(i.clone()) + Poly::one();
+        let s = sum_range(&p, &i, &Poly::one(), &Poly::var(n())).unwrap();
+        let expected = (&Poly::var(n()) * &(Poly::var(n()) + Poly::one())).scale(Rational::new(1, 2));
+        assert_eq!(s, expected, "{s}");
+    }
+
+    #[test]
+    fn sum_range_keeps_other_symbols() {
+        // Σ_{i=1}^{m} (c·i) = c·m(m+1)/2 with c symbolic.
+        let i = Symbol::new("i");
+        let c = Poly::var(Symbol::new("c"));
+        let p = &c * &Poly::var(i.clone());
+        let m = Poly::var(Symbol::new("m"));
+        let s = sum_range(&p, &i, &Poly::one(), &m).unwrap();
+        for (mv, expect) in [(1i64, 1), (4, 10), (10, 55)] {
+            assert_eq!(
+                eval_at(&s, &[("m", mv), ("c", 7)]),
+                Rational::from_int(7 * expect),
+                "m={mv}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_body_reduces_to_count() {
+        // Σ_{i=lb}^{ub} 5 = 5(ub − lb + 1).
+        let i = Symbol::new("i");
+        let s = sum_range(&Poly::from(5), &i, &Poly::from(3), &Poly::var(n())).unwrap();
+        let expected = (Poly::var(n()) - Poly::from(2)).scale(5);
+        assert_eq!(s, expected);
+    }
+}

@@ -1,0 +1,306 @@
+//! Low-level operation streams produced by the instruction translation
+//! module.
+//!
+//! A [`BlockIr`] is the unit the cost model consumes: a straight-line list
+//! of [`Op`]s over [`BasicOp`]s, with SSA-style value dependences and
+//! explicit memory-ordering edges. The placement algorithm (the paper's
+//! "Tetris" model) and the reference simulator both schedule these streams.
+
+use presage_frontend::Expr;
+use presage_machine::BasicOp;
+use std::fmt;
+
+/// Index of an operation within its block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Index of a value within its block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// How a value comes into existence.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValueDef {
+    /// An integer immediate (free: folded into the consuming instruction).
+    IntConst(i64),
+    /// A floating constant (materialized by a constant-pool load elsewhere).
+    RealConst(f64),
+    /// A value already in a register on block entry (incoming scalar,
+    /// hoisted invariant, or loop induction variable).
+    External(String),
+    /// Produced by an operation of this block.
+    Op(OpId),
+}
+
+impl ValueDef {
+    /// Returns `true` if the value is available at block entry (time 0).
+    pub fn is_entry(&self) -> bool {
+        !matches!(self, ValueDef::Op(_))
+    }
+}
+
+/// A reference to array memory, kept for dependence disambiguation and the
+/// memory cost model.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemRef {
+    /// The array name.
+    pub array: String,
+    /// Subscript expressions (source-level, innermost first).
+    pub subscripts: Vec<Expr>,
+}
+
+impl MemRef {
+    /// A canonical textual key for CSE and dependence tests.
+    pub fn key(&self) -> String {
+        use std::fmt::Write;
+        let mut s = self.array.clone();
+        for sub in &self.subscripts {
+            let _ = write!(s, "[{sub}]");
+        }
+        s
+    }
+}
+
+/// One low-level operation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Op {
+    /// The basic (machine-independent) operation.
+    pub basic: BasicOp,
+    /// Value arguments (flow dependences).
+    pub args: Vec<ValueId>,
+    /// Produced value, if any.
+    pub result: Option<ValueId>,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Additional ordering edges (memory dependences).
+    pub extra_deps: Vec<OpId>,
+    /// Callee name for [`BasicOp::Call`] ops.
+    pub callee: Option<String>,
+}
+
+impl Op {
+    /// A pure computational op.
+    pub fn compute(basic: BasicOp, args: Vec<ValueId>, result: ValueId) -> Op {
+        Op { basic, args, result: Some(result), mem: None, extra_deps: Vec::new(), callee: None }
+    }
+}
+
+/// A straight-line block of operations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BlockIr {
+    /// Value definitions, indexed by [`ValueId`].
+    pub values: Vec<ValueDef>,
+    /// Operations in original program order.
+    pub ops: Vec<Op>,
+}
+
+impl BlockIr {
+    /// An empty block.
+    pub fn new() -> BlockIr {
+        BlockIr::default()
+    }
+
+    /// Returns `true` if the block contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Registers a new value definition.
+    pub fn add_value(&mut self, def: ValueDef) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(def);
+        id
+    }
+
+    /// Appends an operation, wiring its `result` value if present.
+    pub fn push_op(&mut self, op: Op) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        if let Some(v) = op.result {
+            // Keep the value table consistent even for pre-allocated values.
+            if let Some(slot) = self.values.get_mut(v.0 as usize) {
+                *slot = ValueDef::Op(id);
+            }
+        }
+        self.ops.push(op);
+        id
+    }
+
+    /// Emits an op that produces a fresh value, returning that value.
+    pub fn emit(&mut self, basic: BasicOp, args: Vec<ValueId>) -> ValueId {
+        let v = self.add_value(ValueDef::External(String::new()));
+        self.push_op(Op::compute(basic, args, v));
+        v
+    }
+
+    /// The definition of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this block.
+    pub fn value(&self, id: ValueId) -> &ValueDef {
+        &self.values[id.0 as usize]
+    }
+
+    /// The op producing `value`, if it is block-local.
+    pub fn producer(&self, value: ValueId) -> Option<OpId> {
+        match self.value(value) {
+            ValueDef::Op(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// All predecessor ops of `op` (flow args + memory edges).
+    pub fn deps_of(&self, op: &Op) -> Vec<OpId> {
+        let mut out: Vec<OpId> = op
+            .args
+            .iter()
+            .filter_map(|v| self.producer(*v))
+            .collect();
+        out.extend(op.extra_deps.iter().copied());
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Counts operations of each basic kind.
+    pub fn op_histogram(&self) -> std::collections::BTreeMap<BasicOp, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for op in &self.ops {
+            *h.entry(op.basic).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// All memory references in the block (loads and stores).
+    pub fn mem_refs(&self) -> impl Iterator<Item = (&Op, &MemRef)> {
+        self.ops.iter().filter_map(|o| o.mem.as_ref().map(|m| (o, m)))
+    }
+}
+
+impl fmt::Display for BlockIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            write!(f, "%{i:<3} {}", op.basic)?;
+            if let Some(m) = &op.mem {
+                write!(f, " {}", m.key())?;
+            }
+            if let Some(c) = &op.callee {
+                write!(f, " @{c}")?;
+            }
+            if !op.args.is_empty() {
+                write!(f, " (")?;
+                for (j, a) in op.args.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+            }
+            if let Some(r) = op.result {
+                write!(f, " -> {r}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_deps() {
+        let mut b = BlockIr::new();
+        let c1 = b.add_value(ValueDef::IntConst(1));
+        let x = b.add_value(ValueDef::External("x".into()));
+        let sum = b.emit(BasicOp::IAdd, vec![c1, x]);
+        let dbl = b.emit(BasicOp::IAdd, vec![sum, sum]);
+        assert_eq!(b.len(), 2);
+        let dbl_op = b.producer(dbl).unwrap();
+        assert_eq!(b.deps_of(&b.ops[dbl_op.0 as usize]), vec![b.producer(sum).unwrap()]);
+        // The first op has no block-local deps.
+        assert!(b.deps_of(&b.ops[0]).is_empty());
+    }
+
+    #[test]
+    fn entry_values() {
+        assert!(ValueDef::IntConst(3).is_entry());
+        assert!(ValueDef::External("n".into()).is_entry());
+        assert!(!ValueDef::Op(OpId(0)).is_entry());
+    }
+
+    #[test]
+    fn extra_deps_merge() {
+        let mut b = BlockIr::new();
+        let v = b.add_value(ValueDef::IntConst(0));
+        let st = b.push_op(Op {
+            basic: BasicOp::StoreInt,
+            args: vec![v],
+            result: None,
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![],
+            callee: None,
+        });
+        let ld_v = b.add_value(ValueDef::External(String::new()));
+        b.push_op(Op {
+            basic: BasicOp::LoadInt,
+            args: vec![],
+            result: Some(ld_v),
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![st],
+            callee: None,
+        });
+        assert_eq!(b.deps_of(&b.ops[1]), vec![st]);
+    }
+
+    #[test]
+    fn histogram() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::FMul, vec![x, x]);
+        let h = b.op_histogram();
+        assert_eq!(h[&BasicOp::FAdd], 2);
+        assert_eq!(h[&BasicOp::FMul], 1);
+    }
+
+    #[test]
+    fn memref_key() {
+        use presage_frontend::Expr;
+        let m = MemRef {
+            array: "a".into(),
+            subscripts: vec![Expr::Var("i".into()), Expr::IntLit(2)],
+        };
+        assert_eq!(m.key(), "a[i][2]");
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::FAdd, vec![x, x]);
+        let text = b.to_string();
+        assert!(text.contains("fadd"));
+        assert!(text.contains("v1"));
+    }
+}

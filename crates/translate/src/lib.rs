@@ -1,0 +1,29 @@
+//! Instruction translation for the Presage performance predictor.
+//!
+//! Implements the paper's two-level translation (Wang, PLDI 1994, §2.2):
+//! the *operation specialization mapping* (language-dependent,
+//! architecture-independent) turns mini-Fortran expressions into
+//! [`presage_machine::BasicOp`] streams, and the machine's *atomic
+//! operation mapping* costs them later. The translator imitates the
+//! back-end optimizations that would otherwise distort source-level
+//! estimates: CSE, loop-invariant code motion (one-time vs. per-iteration
+//! bins), FMA fusion, sum-reduction register allocation, strength-reduced
+//! addressing, a register-pressure spill heuristic, and dead-code
+//! elimination.
+//!
+//! The output is a [`ProgramIr`] tree mirroring the source control
+//! structure, whose straight-line [`BlockIr`] leaves feed the placement
+//! cost model and the reference simulator.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ir;
+mod program;
+mod translate;
+
+pub mod passes;
+
+pub use ir::{BlockIr, MemRef, Op, OpId, ValueDef, ValueId};
+pub use program::{IfIr, IrNode, LoopIr, ProgramIr};
+pub use translate::{translate, TranslateError};

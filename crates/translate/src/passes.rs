@@ -1,0 +1,214 @@
+//! Block-level cleanup passes imitating the back end (paper §2.2.2).
+//!
+//! CSE and LICM happen during translation (hash-consing and preheader
+//! hoisting); this module holds the passes that run on finished blocks.
+
+use crate::ir::{BlockIr, OpId, ValueDef, ValueId};
+use presage_machine::BasicOp;
+
+/// Returns `true` for operations whose effect is observable even if their
+/// result value is unused.
+fn has_side_effect(basic: BasicOp) -> bool {
+    basic.is_store() || basic.is_control() || matches!(basic, BasicOp::Call)
+}
+
+/// Dead-code elimination: removes operations whose results are never used
+/// and that have no side effects, compacting ids.
+///
+/// The translator can produce dead code when FMA fusion orphans an operand
+/// chain or an address computation becomes redundant.
+pub fn dce(block: BlockIr) -> BlockIr {
+    dce_with_live(block, &[])
+}
+
+/// [`dce`] with an explicit set of block-escaping values: results held in
+/// scalar registers or hoisted-invariant slots that later blocks consume.
+pub fn dce_with_live(block: BlockIr, live_out: &[ValueId]) -> BlockIr {
+    let n = block.ops.len();
+    let mut live = vec![false; n];
+    let mut work: Vec<OpId> = Vec::new();
+    for (i, op) in block.ops.iter().enumerate() {
+        if has_side_effect(op.basic) {
+            live[i] = true;
+            work.push(OpId(i as u32));
+        }
+    }
+    for v in live_out {
+        if let Some(op) = block.producer(*v) {
+            if !live[op.0 as usize] {
+                live[op.0 as usize] = true;
+                work.push(op);
+            }
+        }
+    }
+    while let Some(id) = work.pop() {
+        for dep in block.deps_of(&block.ops[id.0 as usize]) {
+            if !live[dep.0 as usize] {
+                live[dep.0 as usize] = true;
+                work.push(dep);
+            }
+        }
+    }
+    if live.iter().all(|l| *l) {
+        return block;
+    }
+
+    // Rebuild with compact op ids; values are kept (cheap) but orphaned
+    // results lose their producer link.
+    let mut op_map: Vec<Option<OpId>> = vec![None; n];
+    let mut new_ops = Vec::new();
+    for (i, op) in block.ops.iter().enumerate() {
+        if live[i] {
+            op_map[i] = Some(OpId(new_ops.len() as u32));
+            new_ops.push(op.clone());
+        }
+    }
+    for op in &mut new_ops {
+        op.extra_deps = op
+            .extra_deps
+            .iter()
+            .filter_map(|d| op_map[d.0 as usize])
+            .collect();
+    }
+    let mut values = block.values.clone();
+    for (vi, def) in values.iter_mut().enumerate() {
+        if let ValueDef::Op(old) = def {
+            match op_map[old.0 as usize] {
+                Some(new) => *def = ValueDef::Op(new),
+                None => *def = ValueDef::External(format!("dead v{vi}")),
+            }
+        }
+    }
+    // Fix result links: each surviving op's result must point back to it.
+    let rebuilt = BlockIr { values, ops: new_ops };
+    debug_assert!(rebuilt.ops.iter().all(|op| {
+        op.result
+            .map(|r| matches!(rebuilt.value(r), ValueDef::Op(_) | ValueDef::External(_)))
+            .unwrap_or(true)
+    }));
+    rebuilt
+}
+
+/// Counts how many result values are never consumed inside the block
+/// (diagnostic helper for tests and the optimizer).
+pub fn unused_results(block: &BlockIr) -> usize {
+    let mut used = vec![false; block.values.len()];
+    for op in &block.ops {
+        for a in &op.args {
+            used[a.0 as usize] = true;
+        }
+    }
+    block
+        .ops
+        .iter()
+        .filter(|op| {
+            op.result
+                .map(|ValueId(v)| !used[v as usize] && !has_side_effect(op.basic))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{MemRef, Op};
+
+    #[test]
+    fn dce_removes_unused_chain() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let dead1 = b.emit(BasicOp::FAdd, vec![x, x]);
+        let _dead2 = b.emit(BasicOp::FMul, vec![dead1, x]);
+        let live = b.emit(BasicOp::FAdd, vec![x, x]);
+        let addr = b.emit(BasicOp::AddrCalc, vec![]);
+        b.push_op(Op {
+            basic: BasicOp::StoreFloat,
+            args: vec![live, addr],
+            result: None,
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![],
+            callee: None,
+        });
+        let out = dce(b);
+        // dead1 and dead2 removed; live add + addr + store survive. Note:
+        // `live` is the same expression as dead1 but CSE is not this pass's
+        // job, so it stays.
+        assert_eq!(out.len(), 3);
+        assert!(out.ops.iter().all(|o| o.basic != BasicOp::FMul));
+    }
+
+    #[test]
+    fn dce_keeps_fully_live_block_intact() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let s = b.emit(BasicOp::FAdd, vec![x, x]);
+        let addr = b.emit(BasicOp::AddrCalc, vec![]);
+        b.push_op(Op {
+            basic: BasicOp::StoreFloat,
+            args: vec![s, addr],
+            result: None,
+            mem: None,
+            extra_deps: vec![],
+            callee: None,
+        });
+        let before = b.clone();
+        assert_eq!(dce(b), before);
+    }
+
+    #[test]
+    fn dce_preserves_calls_and_branches() {
+        let mut b = BlockIr::new();
+        let r = b.add_value(ValueDef::External("r".into()));
+        b.push_op(Op {
+            basic: BasicOp::Call,
+            args: vec![],
+            result: Some(r),
+            mem: None,
+            extra_deps: vec![],
+            callee: Some("f".into()),
+        });
+        let c = b.emit(BasicOp::ICmp, vec![r, r]);
+        b.emit(BasicOp::BranchCond, vec![c]);
+        let out = dce(b);
+        assert_eq!(out.len(), 3, "call, cmp feeding branch, and branch all live");
+    }
+
+    #[test]
+    fn dce_remaps_extra_deps() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let _dead = b.emit(BasicOp::FAdd, vec![x, x]);
+        let addr = b.emit(BasicOp::AddrCalc, vec![]);
+        let st1 = b.push_op(Op {
+            basic: BasicOp::StoreFloat,
+            args: vec![x, addr],
+            result: None,
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![],
+            callee: None,
+        });
+        b.push_op(Op {
+            basic: BasicOp::StoreFloat,
+            args: vec![x, addr],
+            result: None,
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![st1],
+            callee: None,
+        });
+        let out = dce(b);
+        assert_eq!(out.len(), 3);
+        let last = out.ops.last().unwrap();
+        assert_eq!(last.extra_deps.len(), 1);
+        // The remapped dep must point at the first store's new position.
+        assert_eq!(out.ops[last.extra_deps[0].0 as usize].basic, BasicOp::StoreFloat);
+    }
+
+    #[test]
+    fn unused_results_counts() {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::FAdd, vec![x, x]);
+        assert_eq!(unused_results(&b), 1);
+    }
+}

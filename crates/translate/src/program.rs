@@ -1,0 +1,199 @@
+//! Structured operation tree mirroring the source control flow.
+//!
+//! The cost aggregation model (paper §2.4) walks this tree: straight-line
+//! [`BlockIr`]s are costed by the placement algorithm, loops multiply their
+//! body cost by a symbolic trip count, and conditionals blend branch costs
+//! by probability.
+
+use crate::ir::BlockIr;
+use presage_frontend::Expr;
+use std::fmt;
+
+/// A translated subroutine.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProgramIr {
+    /// Subroutine name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<String>,
+    /// Top-level nodes.
+    pub root: Vec<IrNode>,
+}
+
+/// A node of the structured tree.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrNode {
+    /// Straight-line code.
+    Block(BlockIr),
+    /// A counted `do` loop.
+    Loop(Box<LoopIr>),
+    /// A two-way conditional.
+    If(Box<IfIr>),
+}
+
+/// A counted loop with the blocks the paper's model distinguishes:
+/// one-time cost (preheader: bounds evaluation + hoisted invariants +
+/// pre-loaded reduction cells), per-iteration control cost, the body, and
+/// one-time exit cost (postheader: reduction store-back).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopIr {
+    /// Control variable name.
+    pub var: String,
+    /// Lower bound (source expression, for symbolic trip counts).
+    pub lb: Expr,
+    /// Upper bound.
+    pub ub: Expr,
+    /// Step (`None` means 1).
+    pub step: Option<Expr>,
+    /// One-time entry block ("Two functional bins are used to count the
+    /// one-time and iterative costs separately", §2.2.2).
+    pub preheader: BlockIr,
+    /// Per-iteration loop control (increment, compare, conditional branch).
+    pub control: BlockIr,
+    /// Loop body.
+    pub body: Vec<IrNode>,
+    /// One-time exit block.
+    pub postheader: BlockIr,
+}
+
+/// A conditional with its condition-evaluation block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IfIr {
+    /// Condition evaluation + compare + branch operations.
+    pub cond_block: BlockIr,
+    /// The source condition (used for probability inference, §3.3.2).
+    pub cond: Expr,
+    /// Then-branch nodes.
+    pub then_nodes: Vec<IrNode>,
+    /// Else-branch nodes (possibly empty).
+    pub else_nodes: Vec<IrNode>,
+}
+
+impl IrNode {
+    /// Total number of operations in this subtree (all blocks).
+    pub fn op_count(&self) -> usize {
+        match self {
+            IrNode::Block(b) => b.len(),
+            IrNode::Loop(l) => {
+                l.preheader.len()
+                    + l.control.len()
+                    + l.postheader.len()
+                    + l.body.iter().map(IrNode::op_count).sum::<usize>()
+            }
+            IrNode::If(i) => {
+                i.cond_block.len()
+                    + i.then_nodes.iter().map(IrNode::op_count).sum::<usize>()
+                    + i.else_nodes.iter().map(IrNode::op_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth-first visit of every block in the subtree.
+    pub fn visit_blocks<'a>(&'a self, f: &mut impl FnMut(&'a BlockIr)) {
+        match self {
+            IrNode::Block(b) => f(b),
+            IrNode::Loop(l) => {
+                f(&l.preheader);
+                f(&l.control);
+                for n in &l.body {
+                    n.visit_blocks(f);
+                }
+                f(&l.postheader);
+            }
+            IrNode::If(i) => {
+                f(&i.cond_block);
+                for n in &i.then_nodes {
+                    n.visit_blocks(f);
+                }
+                for n in &i.else_nodes {
+                    n.visit_blocks(f);
+                }
+            }
+        }
+    }
+}
+
+impl ProgramIr {
+    /// Total operation count over all nodes.
+    pub fn op_count(&self) -> usize {
+        self.root.iter().map(IrNode::op_count).sum()
+    }
+
+    /// Finds the innermost loop body block of the first perfect loop nest —
+    /// the "innermost basic block" the paper's Figure 7 reports on.
+    pub fn innermost_block(&self) -> Option<&BlockIr> {
+        fn descend(nodes: &[IrNode]) -> Option<&BlockIr> {
+            for n in nodes {
+                match n {
+                    IrNode::Loop(l) => {
+                        if let Some(b) = descend(&l.body) {
+                            return Some(b);
+                        }
+                    }
+                    IrNode::Block(b) if !b.is_empty() => return Some(b),
+                    _ => {}
+                }
+            }
+            None
+        }
+        // Prefer blocks inside loops; fall back to any top-level block.
+        fn deepest(nodes: &[IrNode]) -> Option<&BlockIr> {
+            for n in nodes {
+                if let IrNode::Loop(l) = n {
+                    if let Some(b) = deepest(&l.body) {
+                        return Some(b);
+                    }
+                    return descend(&l.body);
+                }
+            }
+            None
+        }
+        deepest(&self.root).or_else(|| descend(&self.root))
+    }
+}
+
+impl fmt::Display for ProgramIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "subroutine {}:", self.name)?;
+        fn node(f: &mut fmt::Formatter<'_>, n: &IrNode, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match n {
+                IrNode::Block(b) => writeln!(f, "{pad}block[{} ops]", b.len()),
+                IrNode::Loop(l) => {
+                    writeln!(
+                        f,
+                        "{pad}loop {} = {}, {}{} [pre {} | ctl {} | post {}]",
+                        l.var,
+                        l.lb,
+                        l.ub,
+                        l.step.as_ref().map(|s| format!(", {s}")).unwrap_or_default(),
+                        l.preheader.len(),
+                        l.control.len(),
+                        l.postheader.len()
+                    )?;
+                    for c in &l.body {
+                        node(f, c, depth + 1)?;
+                    }
+                    Ok(())
+                }
+                IrNode::If(i) => {
+                    writeln!(f, "{pad}if {} [cond {} ops]", i.cond, i.cond_block.len())?;
+                    for c in &i.then_nodes {
+                        node(f, c, depth + 1)?;
+                    }
+                    if !i.else_nodes.is_empty() {
+                        writeln!(f, "{pad}else")?;
+                        for c in &i.else_nodes {
+                            node(f, c, depth + 1)?;
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+        for n in &self.root {
+            node(f, n, 1)?;
+        }
+        Ok(())
+    }
+}

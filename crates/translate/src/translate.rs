@@ -1,0 +1,1032 @@
+//! The instruction translation module (paper §2.2).
+//!
+//! Converts mini-Fortran statements into streams of [`BasicOp`]s while
+//! *imitating the compiler back-end* so that source-level cost estimates
+//! match the code that will eventually be generated: common-subexpression
+//! elimination (hash-consing on canonical source keys), loop-invariant code
+//! motion into loop preheaders, multiply-add fusion, sum-reduction
+//! register allocation, strength-reduced addressing, the
+//! store-after-N-loads register-pressure heuristic, and dead-code
+//! elimination (in [`crate::passes`]).
+//!
+//! Scalars are modeled as register-resident (the paper's xlf reference
+//! keeps named scalars in registers in hot code); array accesses emit
+//! address arithmetic plus load/store operations with conservative memory
+//! dependence edges.
+
+use crate::ir::{BlockIr, MemRef, Op, OpId, ValueDef, ValueId};
+use crate::program::{IfIr, IrNode, LoopIr, ProgramIr};
+use presage_frontend::analysis::{affine_form, assigned_names, is_invariant};
+use presage_frontend::sema::{type_of_expr, SymbolTable};
+use presage_frontend::{BaseType, BinOp, Expr, Intrinsic, Span, Stmt, Subroutine, UnOp};
+use presage_machine::{BasicOp, MachineDesc};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors from translation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TranslateError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translate error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a (semantically checked) subroutine into a structured
+/// operation tree for the given machine.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] for expressions the model cannot cost (none
+/// in the supported language today; the error channel guards future
+/// extensions).
+///
+/// # Examples
+///
+/// ```
+/// use presage_frontend::{parse, sema};
+/// use presage_machine::machines;
+/// use presage_translate::translate;
+///
+/// let prog = parse(
+///     "subroutine axpy(y, x, a, n)
+///        real y(n), x(n), a
+///        integer i, n
+///        do i = 1, n
+///          y(i) = y(i) + a * x(i)
+///        end do
+///      end",
+/// ).unwrap();
+/// let sub = &prog.units[0];
+/// let symbols = sema::analyze(sub).unwrap();
+/// let ir = translate(sub, &symbols, &machines::power_like()).unwrap();
+/// // The loop body fuses the multiply-add into a single FMA.
+/// let inner = ir.innermost_block().unwrap();
+/// assert!(inner.ops.iter().any(|o| o.basic == presage_machine::BasicOp::Fma));
+/// ```
+pub fn translate(
+    sub: &Subroutine,
+    symbols: &SymbolTable,
+    machine: &MachineDesc,
+) -> Result<ProgramIr, TranslateError> {
+    let ctx = Ctx { machine, symbols };
+    let root = ctx.nodes(&sub.body, None)?;
+    Ok(ProgramIr { name: sub.name.clone(), params: sub.params.clone(), root })
+}
+
+/// Shared translation context.
+struct Ctx<'a> {
+    machine: &'a MachineDesc,
+    symbols: &'a SymbolTable,
+}
+
+/// Per-loop environment: what the enclosing loop hoisted or
+/// scalar-replaced, so body blocks treat those values as register-resident.
+#[derive(Clone, Default, Debug)]
+struct LoopEnv {
+    #[allow(dead_code)] // kept for diagnostics and future passes
+    var: String,
+    #[allow(dead_code)]
+    assigned: HashSet<String>,
+    /// Canonical expr key -> hoisted register name.
+    hoisted: HashMap<String, String>,
+    /// Array-ref key -> accumulator register name (reduction recognition).
+    replaced: HashMap<String, String>,
+}
+
+impl<'a> Ctx<'a> {
+    fn nodes(&self, stmts: &[Stmt], env: Option<&LoopEnv>) -> Result<Vec<IrNode>, TranslateError> {
+        let mut out = Vec::new();
+        let mut builder: Option<BlockBuilder<'_>> = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. } => {
+                    let b = builder.get_or_insert_with(|| BlockBuilder::new(self, env.cloned()));
+                    b.stmt(stmt)?;
+                }
+                Stmt::Do { var, lb, ub, step, body, .. } => {
+                    if let Some(b) = builder.take() {
+                        out.push(IrNode::Block(b.finish()));
+                    }
+                    out.push(IrNode::Loop(Box::new(self.build_loop(var, lb, ub, step.as_ref(), body)?)));
+                }
+                Stmt::DoWhile { cond, body, span } => {
+                    if let Some(b) = builder.take() {
+                        out.push(IrNode::Block(b.finish()));
+                    }
+                    out.push(IrNode::Loop(Box::new(self.build_while_loop(cond, body, *span)?)));
+                }
+                Stmt::If { cond, then_body, else_body, span } => {
+                    if let Some(b) = builder.take() {
+                        out.push(IrNode::Block(b.finish()));
+                    }
+                    let mut cb = BlockBuilder::new(self, env.cloned());
+                    let cv = cb.expr(cond, *span)?;
+                    cb.block.emit(BasicOp::BranchCond, vec![cv.0]);
+                    out.push(IrNode::If(Box::new(IfIr {
+                        cond_block: cb.finish(),
+                        cond: cond.clone(),
+                        then_nodes: self.nodes(then_body, env)?,
+                        else_nodes: self.nodes(else_body, env)?,
+                    })));
+                }
+            }
+        }
+        if let Some(b) = builder.take() {
+            out.push(IrNode::Block(b.finish()));
+        }
+        Ok(out)
+    }
+
+    fn build_loop(
+        &self,
+        var: &str,
+        lb: &Expr,
+        ub: &Expr,
+        step: Option<&Expr>,
+        body: &[Stmt],
+    ) -> Result<LoopIr, TranslateError> {
+        let mut assigned = assigned_names(body);
+        assigned.insert(var.to_string());
+
+        let mut env = LoopEnv {
+            var: var.to_string(),
+            assigned: assigned.clone(),
+            hoisted: HashMap::new(),
+            replaced: HashMap::new(),
+        };
+
+        // Preheader: bound expressions are evaluated once (C(lb)+C(ub)+C(step)).
+        let mut pre = BlockBuilder::new(self, None);
+        let span = Span::default();
+        pre.expr(lb, span)?;
+        pre.expr(ub, span)?;
+        if let Some(s) = step {
+            pre.expr(s, span)?;
+        }
+
+        // Loop-invariant code motion: hoist maximal invariant subexpressions.
+        if self.machine.backend.licm {
+            let mut candidates = Vec::new();
+            collect_invariant_subexprs(body, var, &assigned, &mut candidates);
+            for e in candidates {
+                let key = e.to_string();
+                if !env.hoisted.contains_key(&key) {
+                    let name = format!("h${}", env.hoisted.len());
+                    pre.expr(&e, span)?;
+                    env.hoisted.insert(key, name);
+                }
+            }
+        }
+
+        // Sum-reduction recognition: array cells updated with
+        // loop-invariant subscripts live in a register across the loop;
+        // "all but one store instruction can be eliminated" (§2.2.2).
+        let mut post = BlockBuilder::new(self, None);
+        if self.machine.backend.reduction_recognition {
+            for cell in reduction_cells(body, var, &assigned, self.symbols) {
+                let key = cell.key();
+                if !env.replaced.contains_key(&key) {
+                    let name = format!("r${}", env.replaced.len());
+                    // One-time load before the loop, one-time store after.
+                    pre.load_ref(&cell, span)?;
+                    post.store_ref(&cell, None, span)?;
+                    env.replaced.insert(key, name);
+                }
+            }
+        }
+
+        // Per-iteration control: increment, compare against the bound,
+        // conditional branch back.
+        let mut control = BlockIr::new();
+        let iv = control.add_value(ValueDef::External(var.to_string()));
+        let one = control.add_value(ValueDef::IntConst(1));
+        let next = control.emit(BasicOp::IAdd, vec![iv, one]);
+        let ubv = control.add_value(ValueDef::External("ub".to_string()));
+        let cmp = control.emit(BasicOp::ICmp, vec![next, ubv]);
+        control.emit(BasicOp::BranchCond, vec![cmp]);
+
+        let body_nodes = self.nodes(body, Some(&env))?;
+
+        Ok(LoopIr {
+            var: var.to_string(),
+            lb: lb.clone(),
+            ub: ub.clone(),
+            step: step.cloned(),
+            preheader: pre.finish(),
+            control,
+            body: body_nodes,
+            postheader: post.finish(),
+        })
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// Builds a `do while` loop: no induction variable, a synthetic
+    /// unknown trip count (the aggregator mints `trip$while…`), and the
+    /// condition re-evaluated in the per-iteration control block.
+    fn build_while_loop(&self, cond: &Expr, body: &[Stmt], span: Span) -> Result<LoopIr, TranslateError> {
+        let assigned = assigned_names(body);
+        // The loop "variable" is a synthetic name no source identifier can
+        // collide with (source identifiers cannot contain `$`).
+        let var = format!("while${}:{}", span.line, span.col);
+
+        let mut env = LoopEnv {
+            var: var.clone(),
+            assigned: assigned.clone(),
+            hoisted: HashMap::new(),
+            replaced: HashMap::new(),
+        };
+
+        let mut pre = BlockBuilder::new(self, None);
+        if self.machine.backend.licm {
+            let mut candidates = Vec::new();
+            // The condition re-evaluates each iteration: hoist its
+            // invariant pieces too.
+            scan_invariant_expr(cond, &var, &assigned, &mut candidates);
+            collect_invariant_subexprs(body, &var, &assigned, &mut candidates);
+            for e in candidates {
+                let key = e.to_string();
+                if !env.hoisted.contains_key(&key) {
+                    let name = format!("h${}", env.hoisted.len());
+                    pre.expr(&e, span)?;
+                    env.hoisted.insert(key, name);
+                }
+            }
+        }
+
+        // Per-iteration control: evaluate the condition and branch.
+        let mut control_builder = BlockBuilder::new(self, Some(env.clone()));
+        let cv = control_builder.expr(cond, span)?;
+        control_builder.block.emit(BasicOp::BranchCond, vec![cv.0]);
+        let control = control_builder.finish();
+
+        let body_nodes = self.nodes(body, Some(&env))?;
+
+        // Bounds are unknowable: mark them with a non-polynomial sentinel
+        // (the condition expression itself) so the aggregator falls back
+        // to a fresh trip-count symbol.
+        Ok(LoopIr {
+            var,
+            lb: cond.clone(),
+            ub: cond.clone(),
+            step: None,
+            preheader: pre.finish(),
+            control,
+            body: body_nodes,
+            postheader: BlockIr::new(),
+        })
+    }
+}
+
+/// Collects maximal invariant, non-trivial subexpressions of the loop body
+/// (stopping at nested loops, which get their own environments).
+fn collect_invariant_subexprs(stmts: &[Stmt], var: &str, assigned: &HashSet<String>, out: &mut Vec<Expr>) {
+    let scan_expr = scan_invariant_expr;
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                if let Expr::ArrayRef { indices, .. } = target {
+                    for i in indices {
+                        scan_expr(i, var, assigned, out);
+                    }
+                }
+                scan_expr(value, var, assigned, out);
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                scan_expr(cond, var, assigned, out);
+                collect_invariant_subexprs(then_body, var, assigned, out);
+                collect_invariant_subexprs(else_body, var, assigned, out);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    scan_expr(a, var, assigned, out);
+                }
+            }
+            // Nested loops manage their own invariants.
+            Stmt::Do { .. } | Stmt::DoWhile { .. } | Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// Records maximal invariant, non-trivial subexpressions of one
+/// expression (shared by loop bodies and `do while` conditions).
+fn scan_invariant_expr(e: &Expr, var: &str, assigned: &HashSet<String>, out: &mut Vec<Expr>) {
+    if is_nontrivial(e) && is_invariant(e, var, assigned) {
+        out.push(e.clone());
+        return; // maximal: do not descend
+    }
+    match e {
+        Expr::Unary { operand, .. } => scan_invariant_expr(operand, var, assigned, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            scan_invariant_expr(lhs, var, assigned, out);
+            scan_invariant_expr(rhs, var, assigned, out);
+        }
+        Expr::ArrayRef { indices, .. } => {
+            for i in indices {
+                scan_invariant_expr(i, var, assigned, out);
+            }
+        }
+        Expr::Intrinsic { args, .. } => {
+            for a in args {
+                scan_invariant_expr(a, var, assigned, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Returns `true` if `name` occurs in `key` as a whole identifier.
+fn mentions_ident(key: &str, name: &str) -> bool {
+    let bytes = key.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = 0;
+    while let Some(pos) = key[start..].find(name) {
+        let i = start + pos;
+        let before_ok = i == 0 || !is_word(bytes[i - 1]);
+        let after = i + name.len();
+        let after_ok = after >= bytes.len() || !is_word(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = i + 1;
+    }
+    false
+}
+
+/// An expression worth a register: more than a literal or bare variable.
+fn is_nontrivial(e: &Expr) -> bool {
+    matches!(e, Expr::Binary { .. } | Expr::Intrinsic { .. } | Expr::ArrayRef { .. } | Expr::Unary { .. })
+}
+
+/// Finds array references of the form `A(inv…) = A(inv…) op e` whose
+/// subscripts are invariant in the loop — reduction/accumulator cells.
+fn reduction_cells(
+    stmts: &[Stmt],
+    var: &str,
+    assigned: &HashSet<String>,
+    symbols: &SymbolTable,
+) -> Vec<MemRef> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if let Stmt::Assign { target: Expr::ArrayRef { name, indices }, value, .. } = s {
+            let subs_invariant = indices.iter().all(|ix| {
+                // The subscript must not involve the loop variable or
+                // anything assigned in the loop (other than via the array).
+                let mut inv = true;
+                ix.walk(&mut |e| {
+                    if let Expr::Var(n) = e {
+                        if n == var || assigned.contains(n) {
+                            inv = false;
+                        }
+                    }
+                });
+                inv
+            });
+            if !subs_invariant {
+                continue;
+            }
+            // The RHS must read the same cell (a genuine update).
+            let key = MemRef { array: name.clone(), subscripts: indices.clone() }.key();
+            let mut reads_cell = false;
+            value.walk(&mut |e| {
+                if let Expr::ArrayRef { name: n2, indices: ix2 } = e {
+                    let k2 = MemRef { array: n2.clone(), subscripts: ix2.clone() }.key();
+                    if k2 == key {
+                        reads_cell = true;
+                    }
+                }
+            });
+            if reads_cell && symbols.is_array(name) {
+                out.push(MemRef { array: name.clone(), subscripts: indices.clone() });
+            }
+        }
+    }
+    out
+}
+
+/// Builds one straight-line [`BlockIr`].
+struct BlockBuilder<'a> {
+    ctx: &'a Ctx<'a>,
+    block: BlockIr,
+    /// Register-resident scalar values.
+    scalars: HashMap<String, ValueId>,
+    /// Canonical expression key -> value (CSE hash-consing).
+    cse: HashMap<String, ValueId>,
+    int_consts: HashMap<i64, ValueId>,
+    real_consts: HashMap<u64, ValueId>,
+    /// Last store op per array (for load-after-store edges).
+    last_store: HashMap<String, (OpId, MemRef)>,
+    /// Loads since the last store per array (anti edges).
+    loads_since_store: HashMap<String, Vec<OpId>>,
+    /// Loads issued, for the register-pressure heuristic.
+    load_count: u32,
+    env: Option<LoopEnv>,
+}
+
+impl<'a> BlockBuilder<'a> {
+    fn new(ctx: &'a Ctx<'a>, env: Option<LoopEnv>) -> BlockBuilder<'a> {
+        BlockBuilder {
+            ctx,
+            block: BlockIr::new(),
+            scalars: HashMap::new(),
+            cse: HashMap::new(),
+            int_consts: HashMap::new(),
+            real_consts: HashMap::new(),
+            last_store: HashMap::new(),
+            loads_since_store: HashMap::new(),
+            load_count: 0,
+            env,
+        }
+    }
+
+    fn finish(self) -> BlockIr {
+        if self.ctx.machine.backend.dce {
+            // Values that escape the block — scalar registers and CSE'd
+            // expressions (hoisted invariants, pre-loaded reduction cells) —
+            // stay live across blocks.
+            let mut live_out: Vec<ValueId> = self.scalars.values().copied().collect();
+            live_out.extend(self.cse.values().copied());
+            live_out.sort();
+            live_out.dedup();
+            crate::passes::dce_with_live(self.block, &live_out)
+        } else {
+            self.block
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>, span: Span) -> Result<T, TranslateError> {
+        Err(TranslateError { message: msg.into(), span })
+    }
+
+    fn ty(&self, e: &Expr, span: Span) -> Result<BaseType, TranslateError> {
+        type_of_expr(e, self.ctx.symbols)
+            .map_err(|fe| TranslateError { message: fe.message, span })
+    }
+
+    fn int_const(&mut self, n: i64) -> ValueId {
+        let block = &mut self.block;
+        *self
+            .int_consts
+            .entry(n)
+            .or_insert_with(|| block.add_value(ValueDef::IntConst(n)))
+    }
+
+    fn real_const(&mut self, x: f64) -> ValueId {
+        if let Some(v) = self.real_consts.get(&x.to_bits()) {
+            return *v;
+        }
+        let v = self.block.add_value(ValueDef::RealConst(x));
+        // Inside a loop body the back end keeps pool constants in registers
+        // across iterations, so the per-iteration cost is zero; in
+        // straight-line code the constant costs one pool load.
+        let result = if self.env.is_some() {
+            v
+        } else {
+            self.block.emit(BasicOp::LoadFloat, vec![v])
+        };
+        self.real_consts.insert(x.to_bits(), result);
+        result
+    }
+
+    fn external(&mut self, name: &str) -> ValueId {
+        if let Some(v) = self.scalars.get(name) {
+            return *v;
+        }
+        let v = self.block.add_value(ValueDef::External(name.to_string()));
+        self.scalars.insert(name.to_string(), v);
+        v
+    }
+
+    // --- statements ----------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), TranslateError> {
+        match stmt {
+            Stmt::Assign { target, value, span } => match target {
+                Expr::Var(name) => {
+                    let (v, _) = self.expr(value, *span)?;
+                    // Register write: the scalar's current value changes.
+                    self.scalars.insert(name.clone(), v);
+                    // CSE entries mentioning the scalar are stale.
+                    self.cse.retain(|k, _| !mentions_ident(k, name));
+                    Ok(())
+                }
+                Expr::ArrayRef { name, indices } => {
+                    let (v, vty) = self.expr(value, *span)?;
+                    let target_ty = self.ty(target, *span)?;
+                    let v = self.convert(v, vty, target_ty);
+                    let mref = MemRef { array: name.clone(), subscripts: indices.clone() };
+                    self.store_ref(&mref, Some(v), *span)?;
+                    Ok(())
+                }
+                other => self.err(format!("unsupported assignment target `{other}`"), *span),
+            },
+            Stmt::Call { name, args, span } => {
+                let mut argvals = Vec::new();
+                for a in args {
+                    match a {
+                        // Arrays pass by reference: one address computation.
+                        Expr::Var(n) if self.ctx.symbols.is_array(n) => {
+                            argvals.push(self.block.emit(BasicOp::AddrCalc, vec![]));
+                            let _ = n;
+                        }
+                        _ => {
+                            let (v, _) = self.expr(a, *span)?;
+                            argvals.push(v);
+                        }
+                    }
+                }
+                let res = self.block.add_value(ValueDef::External(format!("call${name}")));
+                self.block.push_op(Op {
+                    basic: BasicOp::Call,
+                    args: argvals,
+                    result: Some(res),
+                    mem: None,
+                    extra_deps: Vec::new(),
+                    callee: Some(name.clone()),
+                });
+                Ok(())
+            }
+            Stmt::Return { .. } => {
+                self.block.emit(BasicOp::Return, vec![]);
+                Ok(())
+            }
+            other => self.err("control statement inside straight-line builder", other.span()),
+        }
+    }
+
+    // --- memory --------------------------------------------------------------
+
+    /// Computes the address value for an array reference.
+    fn address(&mut self, mref: &MemRef, span: Span) -> Result<ValueId, TranslateError> {
+        let key = format!("&{}", mref.key());
+        if let Some(v) = self.cse.get(&key) {
+            return Ok(*v);
+        }
+        let all_affine = mref.subscripts.iter().all(|s| affine_form(s).is_some());
+        let v = if self.ctx.machine.backend.strength_reduction && all_affine {
+            // Update-form addressing: induction-variable strength reduction
+            // turns the whole subscript polynomial into one address update.
+            self.block.emit(BasicOp::AddrCalc, vec![])
+        } else {
+            // Column-major: off = (s1-1) + (s2-1)*d1 + (s3-1)*d1*d2 + ...
+            let dims = self
+                .ctx
+                .symbols
+                .lookup(&mref.array)
+                .map(|i| i.dims.clone())
+                .unwrap_or_default();
+            let one = self.int_const(1);
+            let mut acc: Option<ValueId> = None;
+            let mut extent_prod: Option<ValueId> = None;
+            for (k, sub) in mref.subscripts.iter().enumerate() {
+                let (sv, _) = self.expr(sub, span)?;
+                let shifted = self.block.emit(BasicOp::ISub, vec![sv, one]);
+                let term = match extent_prod {
+                    None => shifted,
+                    Some(ep) => self.block.emit(BasicOp::IMul, vec![shifted, ep]),
+                };
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => self.block.emit(BasicOp::IAdd, vec![a, term]),
+                });
+                // Maintain the running extent product for the next dim.
+                if k + 1 < mref.subscripts.len() {
+                    let extent = match dims.get(k) {
+                        Some(d) => self.expr(d, span)?.0,
+                        None => self.int_const(1),
+                    };
+                    extent_prod = Some(match extent_prod {
+                        None => extent,
+                        Some(ep) => self.block.emit(BasicOp::IMul, vec![ep, extent]),
+                    });
+                }
+            }
+            let off = acc.unwrap_or(one);
+            self.block.emit(BasicOp::AddrCalc, vec![off])
+        };
+        self.cse.insert(key, v);
+        Ok(v)
+    }
+
+    fn elem_type(&self, array: &str) -> BaseType {
+        self.ctx
+            .symbols
+            .lookup(array)
+            .map(|i| i.ty)
+            .unwrap_or(BaseType::Real)
+    }
+
+    /// Returns `true` when two refs to the same array provably touch
+    /// different elements (affine forms with equal coefficients, different
+    /// constants).
+    fn provably_disjoint(a: &MemRef, b: &MemRef) -> bool {
+        if a.array != b.array || a.subscripts.len() != b.subscripts.len() {
+            return false;
+        }
+        let mut any_differs = false;
+        for (sa, sb) in a.subscripts.iter().zip(&b.subscripts) {
+            match (affine_form(sa), affine_form(sb)) {
+                (Some(fa), Some(fb)) => {
+                    if fa.terms == fb.terms {
+                        if fa.constant != fb.constant {
+                            any_differs = true;
+                        }
+                    } else {
+                        return false; // different shapes: cannot prove
+                    }
+                }
+                _ => return false,
+            }
+        }
+        any_differs
+    }
+
+    fn load_ref(&mut self, mref: &MemRef, span: Span) -> Result<ValueId, TranslateError> {
+        // Reduction cells live in registers inside the loop body.
+        if let Some(env) = &self.env {
+            if let Some(reg) = env.replaced.get(&mref.key()) {
+                let reg = reg.clone();
+                return Ok(self.external(&reg));
+            }
+        }
+        let key = format!("ld {}", mref.key());
+        if self.ctx.machine.backend.cse {
+            if let Some(v) = self.cse.get(&key) {
+                return Ok(*v);
+            }
+        }
+        let addr = self.address(mref, span)?;
+        let basic = match self.elem_type(&mref.array) {
+            BaseType::Real => BasicOp::LoadFloat,
+            _ => BasicOp::LoadInt,
+        };
+        let result = self.block.add_value(ValueDef::External(String::new()));
+        let mut extra = Vec::new();
+        if let Some((st, smref)) = self.last_store.get(&mref.array) {
+            if !Self::provably_disjoint(mref, smref) {
+                extra.push(*st);
+            }
+        }
+        let op = self.block.push_op(Op {
+            basic,
+            args: vec![addr],
+            result: Some(result),
+            mem: Some(mref.clone()),
+            extra_deps: extra,
+            callee: None,
+        });
+        self.loads_since_store.entry(mref.array.clone()).or_default().push(op);
+        self.cse.insert(key, result);
+        self.spill_heuristic();
+        Ok(result)
+    }
+
+    fn store_ref(&mut self, mref: &MemRef, value: Option<ValueId>, span: Span) -> Result<(), TranslateError> {
+        // Reduction cells: the store is deferred to the postheader.
+        if let Some(env) = &self.env {
+            if let Some(reg) = env.replaced.get(&mref.key()) {
+                if let Some(v) = value {
+                    let reg = reg.clone();
+                    self.scalars.insert(reg, v);
+                }
+                return Ok(());
+            }
+        }
+        let addr = self.address(mref, span)?;
+        let basic = match self.elem_type(&mref.array) {
+            BaseType::Real => BasicOp::StoreFloat,
+            _ => BasicOp::StoreInt,
+        };
+        let mut args = vec![addr];
+        let v = match value {
+            Some(v) => v,
+            // Store-back of a register cell with unknown value (postheader).
+            None => self.block.add_value(ValueDef::External(format!("acc {}", mref.key()))),
+        };
+        args.insert(0, v);
+        let mut extra = Vec::new();
+        if let Some((st, _)) = self.last_store.get(&mref.array) {
+            extra.push(*st); // output dependence
+        }
+        if let Some(loads) = self.loads_since_store.get(&mref.array) {
+            extra.extend(loads.iter().copied()); // anti dependences
+        }
+        let op = self.block.push_op(Op {
+            basic,
+            args,
+            result: None,
+            mem: Some(mref.clone()),
+            extra_deps: extra,
+            callee: None,
+        });
+        self.last_store.insert(mref.array.clone(), (op, mref.clone()));
+        self.loads_since_store.remove(&mref.array);
+        // A store kills CSE'd loads of possibly-aliased elements; the
+        // just-stored value forwards to later loads of the same element.
+        let arr = mref.array.clone();
+        self.cse
+            .retain(|k, _| !(k.starts_with("ld ") && k[3..].starts_with(arr.as_str())));
+        if let Some(v) = value {
+            self.cse.insert(format!("ld {}", mref.key()), v);
+        }
+        self.spill_heuristic();
+        Ok(())
+    }
+
+    /// The paper's register-pressure heuristic: after N outstanding loads,
+    /// charge one spill store.
+    fn spill_heuristic(&mut self) {
+        self.load_count += 1;
+        let limit = self.ctx.machine.register_load_limit.max(1);
+        if self.load_count % limit == 0 {
+            // A spill store: costs a store operation but touches no
+            // user-visible array (mem = None keeps it out of the cache model).
+            let v = self.block.add_value(ValueDef::External("spill".to_string()));
+            self.block.push_op(Op {
+                basic: BasicOp::StoreFloat,
+                args: vec![v],
+                result: None,
+                mem: None,
+                extra_deps: Vec::new(),
+                callee: None,
+            });
+        }
+    }
+
+    // --- expressions ----------------------------------------------------------
+
+    fn convert(&mut self, v: ValueId, from: BaseType, to: BaseType) -> ValueId {
+        if from == to || from == BaseType::Logical || to == BaseType::Logical {
+            return v;
+        }
+        self.block.emit(BasicOp::Convert, vec![v])
+    }
+
+    fn expr(&mut self, e: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+        // Hoisted invariants are register-resident in loop bodies.
+        if let Some(env) = &self.env {
+            if let Some(name) = env.hoisted.get(&e.to_string()) {
+                let name = name.clone();
+                let ty = self.ty(e, span)?;
+                return Ok((self.external(&name), ty));
+            }
+        }
+        let key = e.to_string();
+        if self.ctx.machine.backend.cse && is_nontrivial(e) {
+            if let Some(v) = self.cse.get(&key) {
+                let ty = self.ty(e, span)?;
+                return Ok((*v, ty));
+            }
+        }
+        let (v, ty) = self.expr_uncached(e, span)?;
+        if self.ctx.machine.backend.cse && is_nontrivial(e) {
+            self.cse.insert(key, v);
+        }
+        Ok((v, ty))
+    }
+
+    fn expr_uncached(&mut self, e: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+        match e {
+            Expr::IntLit(n) => Ok((self.int_const(*n), BaseType::Integer)),
+            Expr::RealLit(x) => Ok((self.real_const(*x), BaseType::Real)),
+            Expr::LogicalLit(b) => Ok((self.int_const(*b as i64), BaseType::Logical)),
+            Expr::Var(name) => {
+                let ty = self.ty(e, span)?;
+                Ok((self.external(name), ty))
+            }
+            Expr::ArrayRef { name, indices } => {
+                let mref = MemRef { array: name.clone(), subscripts: indices.clone() };
+                let v = self.load_ref(&mref, span)?;
+                Ok((v, self.elem_type(name)))
+            }
+            Expr::Unary { op, operand } => {
+                let (v, ty) = self.expr(operand, span)?;
+                match op {
+                    UnOp::Neg => {
+                        let basic = if ty == BaseType::Real { BasicOp::FNeg } else { BasicOp::INeg };
+                        Ok((self.block.emit(basic, vec![v]), ty))
+                    }
+                    UnOp::Not => Ok((self.block.emit(BasicOp::ILogic, vec![v]), BaseType::Logical)),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, span),
+            Expr::Intrinsic { func, args } => self.intrinsic(*func, args, span),
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+        // Multiply-add fusion (paper: "architecture specific operations such
+        // as the multiply-and-add ... are recognized by the compiler").
+        if matches!(op, BinOp::Add | BinOp::Sub)
+            && self.ctx.machine.supports_fma
+            && self.ctx.machine.backend.fma_fusion
+        {
+            let result_ty = self.ty(&Expr::binary(op, lhs.clone(), rhs.clone()), span)?;
+            if result_ty == BaseType::Real {
+                // a*b + c, c + a*b, or a*b - c.
+                let try_fuse = |mul: &Expr, other: &Expr, this: &mut Self| -> Option<Result<(ValueId, BaseType), TranslateError>> {
+                    if let Expr::Binary { op: BinOp::Mul, lhs: ma, rhs: mb } = mul {
+                        Some((|| {
+                            let (a, aty) = this.expr(ma, span)?;
+                            let a = this.convert(a, aty, BaseType::Real);
+                            let (b, bty) = this.expr(mb, span)?;
+                            let b = this.convert(b, bty, BaseType::Real);
+                            let (c, cty) = this.expr(other, span)?;
+                            let c = this.convert(c, cty, BaseType::Real);
+                            Ok((this.block.emit(BasicOp::Fma, vec![a, b, c]), BaseType::Real))
+                        })())
+                    } else {
+                        None
+                    }
+                };
+                if let Some(r) = try_fuse(lhs, rhs, self) {
+                    return r;
+                }
+                if op == BinOp::Add {
+                    if let Some(r) = try_fuse(rhs, lhs, self) {
+                        return r;
+                    }
+                }
+            }
+        }
+
+        if op == BinOp::Pow {
+            return self.power(lhs, rhs, span);
+        }
+
+        let (mut lv, lty) = self.expr(lhs, span)?;
+        let (mut rv, rty) = self.expr(rhs, span)?;
+
+        if op.is_logical() {
+            let v = self.block.emit(BasicOp::ILogic, vec![lv, rv]);
+            return Ok((v, BaseType::Logical));
+        }
+        if op.is_relational() {
+            let cmp = if lty == BaseType::Real || rty == BaseType::Real {
+                lv = self.convert(lv, lty, BaseType::Real);
+                rv = self.convert(rv, rty, BaseType::Real);
+                BasicOp::FCmp
+            } else {
+                BasicOp::ICmp
+            };
+            return Ok((self.block.emit(cmp, vec![lv, rv]), BaseType::Logical));
+        }
+
+        let result_ty = if lty == BaseType::Integer && rty == BaseType::Integer {
+            BaseType::Integer
+        } else {
+            BaseType::Real
+        };
+        lv = self.convert(lv, lty, result_ty);
+        rv = self.convert(rv, rty, result_ty);
+
+        let basic = match (op, result_ty) {
+            (BinOp::Add, BaseType::Integer) => BasicOp::IAdd,
+            (BinOp::Sub, BaseType::Integer) => BasicOp::ISub,
+            (BinOp::Mul, BaseType::Integer) => {
+                // Variable-time multiply: small known constants are cheap
+                // (the paper's 3-vs-5-cycle RS 6000 example).
+                let small = lhs.as_int().map(|n| n.abs() <= 127).unwrap_or(false)
+                    || rhs.as_int().map(|n| n.abs() <= 127).unwrap_or(false);
+                if small {
+                    BasicOp::IMulSmall
+                } else {
+                    BasicOp::IMul
+                }
+            }
+            (BinOp::Div, BaseType::Integer) => {
+                if rhs.as_int().map(|n| n > 0 && n.count_ones() == 1).unwrap_or(false) {
+                    BasicOp::IShift // divide by power of two
+                } else {
+                    BasicOp::IDiv
+                }
+            }
+            (BinOp::Add, _) => BasicOp::FAdd,
+            (BinOp::Sub, _) => BasicOp::FSub,
+            (BinOp::Mul, _) => BasicOp::FMul,
+            (BinOp::Div, _) => BasicOp::FDiv,
+            (other, _) => return self.err(format!("unhandled operator `{other}`"), span),
+        };
+        Ok((self.block.emit(basic, vec![lv, rv]), result_ty))
+    }
+
+    fn power(&mut self, base: &Expr, exp: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+        let (bv, bty) = self.expr(base, span)?;
+        if let Some(n) = exp.as_int() {
+            if (2..=8).contains(&n) {
+                // Repeated squaring: x**2 = 1 mul, x**3 = 2, x**4 = 2, ...
+                let mul = if bty == BaseType::Real { BasicOp::FMul } else { BasicOp::IMul };
+                let mut have: u32 = 1;
+                let mut acc = bv;
+                // Square while the doubled power still fits under n.
+                while (have * 2) as i64 <= n {
+                    acc = self.block.emit(mul, vec![acc, acc]);
+                    have *= 2;
+                }
+                let mut rem = n as u32 - have;
+                let mut result = acc;
+                let mut factor = bv;
+                while rem > 0 {
+                    result = self.block.emit(mul, vec![result, factor]);
+                    rem -= 1;
+                    factor = bv;
+                }
+                return Ok((result, bty));
+            }
+        }
+        // General power: library call.
+        let (ev, _) = self.expr(exp, span)?;
+        let res = self.block.add_value(ValueDef::External("pow".to_string()));
+        self.block.push_op(Op {
+            basic: BasicOp::Call,
+            args: vec![bv, ev],
+            result: Some(res),
+            mem: None,
+            extra_deps: Vec::new(),
+            callee: Some("pow".to_string()),
+        });
+        Ok((res, BaseType::Real))
+    }
+
+    fn intrinsic(&mut self, func: Intrinsic, args: &[Expr], span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+        match func {
+            Intrinsic::Sqrt => {
+                let (v, ty) = self.expr(&args[0], span)?;
+                let v = self.convert(v, ty, BaseType::Real);
+                Ok((self.block.emit(BasicOp::FSqrt, vec![v]), BaseType::Real))
+            }
+            Intrinsic::Abs => {
+                let (v, ty) = self.expr(&args[0], span)?;
+                let basic = if ty == BaseType::Real { BasicOp::FAbs } else { BasicOp::ILogic };
+                Ok((self.block.emit(basic, vec![v]), ty))
+            }
+            Intrinsic::Max | Intrinsic::Min => {
+                // (n-1) compare+select pairs.
+                let (mut acc, mut ty) = self.expr(&args[0], span)?;
+                for a in &args[1..] {
+                    let (v, vty) = self.expr(a, span)?;
+                    let rty = if ty == BaseType::Real || vty == BaseType::Real {
+                        BaseType::Real
+                    } else {
+                        BaseType::Integer
+                    };
+                    let accc = self.convert(acc, ty, rty);
+                    let vc = self.convert(v, vty, rty);
+                    let cmp = if rty == BaseType::Real { BasicOp::FCmp } else { BasicOp::ICmp };
+                    let c = self.block.emit(cmp, vec![accc, vc]);
+                    acc = self.block.emit(BasicOp::Move, vec![c, accc, vc]);
+                    ty = rty;
+                }
+                Ok((acc, ty))
+            }
+            Intrinsic::Mod => {
+                let (a, aty) = self.expr(&args[0], span)?;
+                let (b, bty) = self.expr(&args[1], span)?;
+                if aty == BaseType::Integer && bty == BaseType::Integer {
+                    // a - (a/b)*b
+                    let q = self.block.emit(BasicOp::IDiv, vec![a, b]);
+                    let p = self.block.emit(BasicOp::IMul, vec![q, b]);
+                    Ok((self.block.emit(BasicOp::ISub, vec![a, p]), BaseType::Integer))
+                } else {
+                    let af = self.convert(a, aty, BaseType::Real);
+                    let bf = self.convert(b, bty, BaseType::Real);
+                    let q = self.block.emit(BasicOp::FDiv, vec![af, bf]);
+                    let t = self.block.emit(BasicOp::Convert, vec![q]);
+                    let p = self.block.emit(BasicOp::FMul, vec![t, bf]);
+                    Ok((self.block.emit(BasicOp::FSub, vec![af, p]), BaseType::Real))
+                }
+            }
+            Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => {
+                let (v, ty) = self.expr(&args[0], span)?;
+                let v = self.convert(v, ty, BaseType::Real);
+                let res = self.block.add_value(ValueDef::External(func.name().to_string()));
+                self.block.push_op(Op {
+                    basic: BasicOp::Call,
+                    args: vec![v],
+                    result: Some(res),
+                    mem: None,
+                    extra_deps: Vec::new(),
+                    callee: Some(func.name().to_string()),
+                });
+                Ok((res, BaseType::Real))
+            }
+            Intrinsic::Int => {
+                let (v, ty) = self.expr(&args[0], span)?;
+                Ok((self.convert(v, ty, BaseType::Integer), BaseType::Integer))
+            }
+            Intrinsic::Real => {
+                let (v, ty) = self.expr(&args[0], span)?;
+                Ok((self.convert(v, ty, BaseType::Real), BaseType::Real))
+            }
+        }
+    }
+}

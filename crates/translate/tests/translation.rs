@@ -1,0 +1,533 @@
+//! End-to-end tests of the instruction translation module: source text in,
+//! operation streams out, with each back-end imitation verified.
+
+use presage_frontend::{parse, sema};
+use presage_machine::{machines, BackendFlags, BasicOp, MachineDesc};
+use presage_translate::{translate, BlockIr, IrNode, ProgramIr};
+
+fn build(src: &str, machine: &MachineDesc) -> ProgramIr {
+    let prog = parse(src).expect("parse");
+    let sub = &prog.units[0];
+    let symbols = sema::analyze(sub).expect("sema");
+    translate(sub, &symbols, machine).expect("translate")
+}
+
+fn count_ops(block: &BlockIr, basic: BasicOp) -> usize {
+    block.ops.iter().filter(|o| o.basic == basic).count()
+}
+
+fn power_no_backend_opts() -> MachineDesc {
+    let mut m = machines::power_like();
+    m.backend = BackendFlags {
+        cse: false,
+        licm: false,
+        dce: false,
+        fma_fusion: false,
+        reduction_recognition: false,
+        strength_reduction: false,
+    };
+    m
+}
+
+#[test]
+fn axpy_inner_block_is_one_fma() {
+    let ir = build(
+        "subroutine axpy(y, x, a, n)
+           real y(n), x(n), a
+           integer i, n
+           do i = 1, n
+             y(i) = y(i) + a * x(i)
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::Fma), 1);
+    assert_eq!(count_ops(inner, BasicOp::FMul), 0, "multiply fused away");
+    assert_eq!(count_ops(inner, BasicOp::FAdd), 0, "add fused away");
+    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 2, "loads of y(i) and x(i)... wait a is hoisted");
+}
+
+#[test]
+fn fma_disabled_machine_splits() {
+    let ir = build(
+        "subroutine axpy(y, x, a, n)
+           real y(n), x(n), a
+           integer i, n
+           do i = 1, n
+             y(i) = y(i) + a * x(i)
+           end do
+         end",
+        &machines::risc1(),
+    );
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::Fma), 0);
+    assert_eq!(count_ops(inner, BasicOp::FMul), 1);
+    assert_eq!(count_ops(inner, BasicOp::FAdd), 1);
+}
+
+#[test]
+fn cse_shares_repeated_subexpression() {
+    let ir = build(
+        "subroutine s(a, b, n)
+           real a(n), b(n)
+           integer n
+           a(1) = b(1) * b(2) + b(1) * b(2)
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!("expected block") };
+    // b(1)*b(2) translated once; the outer add reuses it. With FMA fusion
+    // the expression becomes fma(b1, b2, t) where t = b1*b2 CSE'd... the
+    // fusion path recomputes operands via CSE, so exactly one FMul/Fma pair
+    // of the four conceptual multiplies remains.
+    let mults = count_ops(block, BasicOp::FMul) + count_ops(block, BasicOp::Fma);
+    assert!(mults <= 2, "CSE failed: {block}");
+    assert_eq!(count_ops(block, BasicOp::LoadFloat), 2, "b(1), b(2) loaded once each");
+}
+
+#[test]
+fn cse_off_recomputes() {
+    let ir = build(
+        "subroutine s(a, b, n)
+           real a(n), b(n)
+           integer n
+           a(1) = b(1) * b(2) + b(1) * b(2)
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(count_ops(block, BasicOp::FMul), 2);
+    assert_eq!(count_ops(block, BasicOp::LoadFloat), 4, "every use reloads");
+}
+
+#[test]
+fn store_forwards_to_subsequent_load() {
+    let ir = build(
+        "subroutine s(a, n)
+           real a(n)
+           integer n
+           a(1) = 2.0
+           a(2) = a(1) + 1.0
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    // a(1) was just stored; the load is forwarded from the register.
+    assert_eq!(
+        count_ops(block, BasicOp::LoadFloat),
+        2,
+        "constant-pool loads only (2.0 and 1.0): {block}"
+    );
+    assert_eq!(count_ops(block, BasicOp::StoreFloat), 2);
+}
+
+#[test]
+fn licm_hoists_invariant_expression() {
+    let src = "subroutine s(a, x, y, n)
+       real a(n), x, y
+       integer i, n
+       do i = 1, n
+         a(i) = a(i) * (x + y)
+       end do
+     end";
+    let ir = build(src, &machines::power_like());
+    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    // (x + y) computed once in the preheader.
+    assert_eq!(count_ops(&l.preheader, BasicOp::FAdd), 1);
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::FAdd), 0, "no per-iteration add: {inner}");
+
+    // With LICM off, the add runs every iteration.
+    let ir2 = build(src, &power_no_backend_opts());
+    let inner2 = ir2.innermost_block().unwrap();
+    assert_eq!(count_ops(inner2, BasicOp::FAdd), 1);
+}
+
+#[test]
+fn reduction_keeps_accumulator_in_register() {
+    // Dot-product kernel: s-like accumulator is c(i) with k-invariant
+    // subscripts — the paper's sum-reduction case.
+    let src = "subroutine dot(c, a, b, n, i)
+       real c(n), a(n), b(n)
+       integer k, n, i
+       do k = 1, n
+         c(i) = c(i) + a(k) * b(k)
+       end do
+     end";
+    let ir = build(src, &machines::power_like());
+    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(
+        count_ops(inner, BasicOp::StoreFloat),
+        0,
+        "store sunk out of the loop: {inner}"
+    );
+    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 2, "only a(k), b(k) loaded");
+    assert_eq!(count_ops(&l.postheader, BasicOp::StoreFloat), 1, "one store after the loop");
+    assert_eq!(count_ops(&l.preheader, BasicOp::LoadFloat), 1, "one load before the loop");
+
+    // Disabled: load+store of c(i) every iteration.
+    let ir2 = build(src, &power_no_backend_opts());
+    let inner2 = ir2.innermost_block().unwrap();
+    assert_eq!(count_ops(inner2, BasicOp::StoreFloat), 1);
+}
+
+#[test]
+fn strength_reduction_collapses_addressing() {
+    let src = "subroutine s(a, n)
+       real a(n,n)
+       integer i, j, n
+       do i = 1, n
+         do j = 1, n
+           a(i,j) = 0.0
+         end do
+       end do
+     end";
+    let ir = build(src, &machines::power_like());
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::AddrCalc), 1);
+    assert_eq!(count_ops(inner, BasicOp::IMul), 0, "no per-iteration multiply: {inner}");
+
+    let ir2 = build(src, &power_no_backend_opts());
+    let inner2 = ir2.innermost_block().unwrap();
+    // (i-1) + (j-1)*n: two subtracts, one multiply, one add, one addrcalc.
+    assert_eq!(count_ops(inner2, BasicOp::IMul), 1);
+    assert_eq!(count_ops(inner2, BasicOp::ISub), 2);
+}
+
+#[test]
+fn small_constant_multiply_specializes() {
+    let ir = build(
+        "subroutine s(k, n)
+           integer k, n
+           k = n * 4
+           k = k * n
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(count_ops(block, BasicOp::IMulSmall), 1, "n*4 is a small multiply");
+    assert_eq!(count_ops(block, BasicOp::IMul), 1, "k*n is general");
+}
+
+#[test]
+fn power_of_two_division_becomes_shift() {
+    let ir = build(
+        "subroutine s(k, n)
+           integer k, n
+           k = n / 8
+           k = k / 3
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(count_ops(block, BasicOp::IShift), 1);
+    assert_eq!(count_ops(block, BasicOp::IDiv), 1);
+}
+
+#[test]
+fn integer_power_unrolls_to_multiplies() {
+    let ir = build(
+        "subroutine s(x, y)
+           real x, y
+           y = x ** 2
+           y = y + x ** 4
+           y = y + x ** 7
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    // x**2: 1, x**4: 2, x**7: 2 squarings (x4) + 3 multiplies = 5 → total 8.
+    assert_eq!(count_ops(block, BasicOp::FMul), 8, "{block}");
+    assert_eq!(count_ops(block, BasicOp::Call), 0);
+}
+
+#[test]
+fn general_power_calls_library() {
+    let ir = build(
+        "subroutine s(x, y, p)
+           real x, y, p
+           y = x ** p
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let call = block.ops.iter().find(|o| o.basic == BasicOp::Call).expect("pow call");
+    assert_eq!(call.callee.as_deref(), Some("pow"));
+}
+
+#[test]
+fn intrinsics_translate() {
+    let ir = build(
+        "subroutine s(x, y, i, j)
+           real x, y
+           integer i, j
+           y = sqrt(x) + abs(x)
+           i = mod(i, j)
+           y = max(x, y, 2.0)
+           y = sin(x)
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(count_ops(block, BasicOp::FSqrt), 1);
+    assert_eq!(count_ops(block, BasicOp::FAbs), 1);
+    assert_eq!(count_ops(block, BasicOp::IDiv), 1, "integer mod lowers through divide");
+    assert_eq!(count_ops(block, BasicOp::FCmp), 2, "3-way max = two compare/selects");
+    let sin = block.ops.iter().find(|o| o.callee.as_deref() == Some("sin"));
+    assert!(sin.is_some());
+}
+
+#[test]
+fn conditional_structure_and_branch() {
+    let ir = build(
+        "subroutine s(a, n, k)
+           real a(n)
+           integer i, n, k
+           do i = 1, n
+             if (i .le. k) then
+               a(i) = 0.0
+             else
+               a(i) = 1.0
+             end if
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let IrNode::If(iff) = &l.body[0] else { panic!("expected If inside loop") };
+    assert_eq!(count_ops(&iff.cond_block, BasicOp::ICmp), 1);
+    assert_eq!(count_ops(&iff.cond_block, BasicOp::BranchCond), 1);
+    assert_eq!(iff.then_nodes.len(), 1);
+    assert_eq!(iff.else_nodes.len(), 1);
+}
+
+#[test]
+fn loop_control_costs_three_ops() {
+    let ir = build(
+        "subroutine s(a, n)
+           real a(n)
+           integer i, n
+           do i = 1, n
+             a(i) = 0.0
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    assert_eq!(l.control.len(), 3, "increment, compare, branch");
+    assert_eq!(count_ops(&l.control, BasicOp::IAdd), 1);
+    assert_eq!(count_ops(&l.control, BasicOp::ICmp), 1);
+    assert_eq!(count_ops(&l.control, BasicOp::BranchCond), 1);
+}
+
+#[test]
+fn spill_heuristic_inserts_stores() {
+    // 32 distinct loads in one block on a machine with a limit of 28
+    // forces at least one spill store.
+    let mut body = String::new();
+    for i in 1..=32 {
+        body.push_str(&format!("s = s + b({i})\n"));
+    }
+    let src = format!(
+        "subroutine s(b, s, n)\nreal b(n), s\ninteger n\n{body}end"
+    );
+    let ir = build(&src, &machines::power_like());
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let spills = block
+        .ops
+        .iter()
+        .filter(|o| o.basic == BasicOp::StoreFloat && o.mem.is_none())
+        .count();
+    assert!(spills >= 1, "expected a spill store after 28 loads");
+}
+
+#[test]
+fn matmul_4x4_unrolled_has_16_fmas() {
+    // The paper's Matmul row: blocked and unrolled 4×4 — 16 FMAs in the
+    // innermost basic block.
+    let mut body = String::new();
+    for i in 0..4 {
+        for j in 0..4 {
+            body.push_str(&format!(
+                "c(i+{i},j+{j}) = c(i+{i},j+{j}) + a(i+{i},k) * b(k,j+{j})\n"
+            ));
+        }
+    }
+    let src = format!(
+        "subroutine mm(a, b, c, n, i, j)
+           real a(n,n), b(n,n), c(n,n)
+           integer i, j, k, n
+           do k = 1, n
+             {body}
+           end do
+         end"
+    );
+    let ir = build(&src, &machines::power_like());
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::Fma), 16, "{inner}");
+    // All 16 c-cells are reduction cells: no c loads/stores per iteration.
+    assert_eq!(count_ops(inner, BasicOp::StoreFloat), 0);
+    // a(i..i+3, k) and b(k, j..j+3): 8 loads per iteration.
+    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 8);
+}
+
+#[test]
+fn memory_dependences_order_store_load() {
+    let ir = build(
+        "subroutine s(a, b, n, i, j)
+           real a(n), b(n)
+           integer n, i, j
+           a(i) = b(1)
+           b(j) = a(j) + 1.0
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    // The load of a(j) must carry a dependence edge on the store to a(i)
+    // (subscripts not provably distinct).
+    let load_aj = block
+        .ops
+        .iter()
+        .find(|o| o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[j]"))
+        .expect("load of a(j)");
+    assert!(!load_aj.extra_deps.is_empty(), "missing store->load edge");
+}
+
+#[test]
+fn provably_disjoint_accesses_skip_dependence() {
+    let ir = build(
+        "subroutine s(a, n, i)
+           real a(n)
+           integer n, i
+           a(i) = 1.0
+           x = a(i+1)
+         end",
+        &power_no_backend_opts(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let load = block
+        .ops
+        .iter()
+        .find(|o| o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[(i + 1)]"))
+        .expect("load of a(i+1)");
+    assert!(load.extra_deps.is_empty(), "a(i) and a(i+1) are provably disjoint");
+}
+
+#[test]
+fn op_count_and_display() {
+    let ir = build(
+        "subroutine s(a, n)
+           real a(n)
+           integer i, n
+           do i = 1, n
+             a(i) = 0.0
+           end do
+         end",
+        &machines::power_like(),
+    );
+    assert!(ir.op_count() > 0);
+    let text = ir.to_string();
+    assert!(text.contains("loop i"));
+    assert!(text.contains("subroutine s"));
+}
+
+#[test]
+fn jacobi_inner_block_shape() {
+    let ir = build(
+        "subroutine jacobi(a, b, n)
+           real a(n,n), b(n,n)
+           integer i, j, n
+           do j = 2, n-1
+             do i = 2, n-1
+               a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+             end do
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let inner = ir.innermost_block().unwrap();
+    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 4, "four stencil loads");
+    assert_eq!(count_ops(inner, BasicOp::FAdd), 3);
+    assert_eq!(count_ops(inner, BasicOp::FMul), 1, "scale by 0.25");
+    assert_eq!(count_ops(inner, BasicOp::StoreFloat), 1);
+}
+
+#[test]
+fn scalar_reassignment_invalidates_cse() {
+    // `x + 1.0` must be recomputed after x changes; and a scalar named `i`
+    // must not nuke unrelated CSE entries by substring accident.
+    let ir = build(
+        "subroutine s(a, b, n)
+           real a(n), b(n), x, y, z
+           integer n
+           x = b(1)
+           y = x + 1.0
+           x = b(2)
+           z = x + 1.0
+           a(1) = y + z
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(
+        count_ops(block, BasicOp::FAdd),
+        3,
+        "x+1 twice (different x) plus y+z: {block}"
+    );
+}
+
+#[test]
+fn cse_survives_unrelated_assignment() {
+    // Assigning `q` must not invalidate `b(1) * b(2)`.
+    let ir = build(
+        "subroutine s(a, b, n)
+           real a(n), b(n), q
+           integer n
+           a(1) = b(1) * b(2)
+           q = 5.0
+           a(2) = b(1) * b(2)
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    assert_eq!(count_ops(block, BasicOp::FMul), 1, "shared product: {block}");
+}
+
+#[test]
+fn while_loop_translates_to_loop_node() {
+    let ir = build(
+        "subroutine s(x, eps)
+           real x, eps
+           do while (x .gt. eps)
+             x = x * 0.5
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Loop(l) = &ir.root[0] else { panic!("expected Loop, got {:?}", ir.root[0]) };
+    assert!(l.var.starts_with("while$"));
+    // Control block evaluates the condition: compare + branch.
+    assert_eq!(count_ops(&l.control, BasicOp::FCmp), 1);
+    assert_eq!(count_ops(&l.control, BasicOp::BranchCond), 1);
+    assert!(l.postheader.is_empty());
+}
+
+#[test]
+fn while_loop_hoists_invariants() {
+    let ir = build(
+        "subroutine s(x, u, v)
+           real x, u, v
+           do while (x .gt. u + v)
+             x = x * 0.5
+           end do
+         end",
+        &machines::power_like(),
+    );
+    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    // u + v is invariant: computed once in the preheader, not per
+    // iteration in the control block.
+    assert_eq!(count_ops(&l.preheader, BasicOp::FAdd), 1, "{}", l.preheader);
+    assert_eq!(count_ops(&l.control, BasicOp::FAdd), 0, "{}", l.control);
+}

@@ -1,0 +1,18 @@
+subroutine daxpy(y, x, a, n)
+  real y(n), x(n), a
+  integer i, n
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end
+
+subroutine daxpy_unrolled(y, x, a, n)
+  real y(n), x(n), a
+  integer i, n
+  do i = 1, n - 3, 4
+    y(i) = y(i) + a * x(i)
+    y(i+1) = y(i+1) + a * x(i+1)
+    y(i+2) = y(i+2) + a * x(i+2)
+    y(i+3) = y(i+3) + a * x(i+3)
+  end do
+end

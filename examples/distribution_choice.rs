@@ -1,0 +1,73 @@
+//! Choosing a data distribution straight from program text.
+//!
+//! The paper cites Balasundaram et al.'s distribution-choice problem and
+//! plugs a parameterized message-passing model into the same symbolic
+//! expressions as the instruction model: block vs. cyclic is settled by
+//! the §3.1 comparison machinery — without guessing `n`. The analyzer
+//! reads the halo radius and triangularity out of the loop nest itself.
+//!
+//! Run with `cargo run --example distribution_choice`.
+
+use presage::core::comm::CommParams;
+use presage::core::predictor::Predictor;
+use presage::machine::machines;
+use presage::opt::partition::choose_distribution;
+use presage::symbolic::{CompareOutcome, Symbol};
+
+const JACOBI: &str = "subroutine jacobi(a, b, n)
+   real a(n,n), b(n,n)
+   integer i, j, n
+   do j = 2, n-1
+     do i = 2, n-1
+       a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+     end do
+   end do
+ end";
+
+const TRIANGULAR: &str = "subroutine tri(a, n)
+   real a(n,n)
+   integer i, j, n
+   do i = 1, n
+     do j = i, n
+       a(i,j) = a(i,j) * 0.5
+     end do
+   end do
+ end";
+
+fn study(label: &str, src: &str) {
+    let sub = presage::frontend::parse(src).expect("valid").units.remove(0);
+    let predictor = Predictor::new(machines::power_like());
+    let params = CommParams::default();
+    let n = Symbol::new("n");
+    let (block, cyclic, cmp) =
+        choose_distribution(&sub, &predictor, &params, &n, (256.0, 8192.0)).expect("analyzes");
+
+    println!("=== {label} ===");
+    println!(
+        "  nest shape: outer `{}`, halo radius {}, triangular: {}",
+        block.shape.outer_var, block.shape.halo_radius, block.shape.triangular
+    );
+    println!("  C_block (n) = {}", block.total);
+    println!("  C_cyclic(n) = {}", cyclic.total);
+    let verdict = match cmp.outcome {
+        CompareOutcome::FirstCheaper => "BLOCK wins for every n in range",
+        CompareOutcome::SecondCheaper => "CYCLIC wins for every n in range",
+        CompareOutcome::AlwaysEqual => "tie",
+        CompareOutcome::DependsOnUnknowns => "depends on n (run-time test material)",
+        CompareOutcome::Undetermined => "undetermined",
+    };
+    println!("  → {verdict}\n");
+}
+
+fn main() {
+    println!(
+        "P = {} processors, α = {}, β = {} (cycles)\n",
+        CommParams::default().procs,
+        CommParams::default().alpha,
+        CommParams::default().beta
+    );
+    study("Jacobi sweep (halo exchange dominates)", JACOBI);
+    study("triangular update (load balance dominates)", TRIANGULAR);
+    println!("no value of n was ever guessed: both verdicts held symbolically");
+    println!("over the whole range — the paper's central claim in action.");
+}

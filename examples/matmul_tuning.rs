@@ -1,0 +1,72 @@
+//! Choosing matmul transformations with symbolic comparison (paper §3.1).
+//!
+//! The compiler wants to know: does unrolling the inner loop pay? Does
+//! tiling pay once the memory model is on? Instead of guessing `n`, the
+//! framework compares whole performance expressions.
+//!
+//! Run with `cargo run --example matmul_tuning`.
+
+use presage::core::predictor::{Predictor, PredictorOptions};
+use presage::machine::machines;
+use presage::opt::transforms::Transform;
+use presage::opt::whatif::{compare_transform, cost_of};
+use presage::symbolic::CompareOutcome;
+
+const MATMUL: &str = "subroutine matmul(a, b, c, n)
+   real a(n,n), b(n,n), c(n,n)
+   integer i, j, k, n
+   do j = 1, n
+     do i = 1, n
+       do k = 1, n
+         c(i,j) = c(i,j) + a(i,k) * b(k,j)
+       end do
+     end do
+   end do
+ end";
+
+fn main() {
+    let sub = presage::frontend::parse(MATMUL).expect("valid").units.remove(0);
+
+    // Pure compute model first.
+    let predictor = Predictor::new(machines::power_like());
+    let base = cost_of(&sub, &predictor).expect("predicts");
+    println!("matmul on {}:", predictor.machine().name());
+    println!("  C(original)     = {base}");
+
+    for (label, path, t) in [
+        ("unroll k by 2  ", vec![0usize, 0, 0], Transform::Unroll(2)),
+        ("unroll k by 4  ", vec![0, 0, 0], Transform::Unroll(4)),
+        ("interchange i,k", vec![0, 0], Transform::Interchange),
+    ] {
+        match compare_transform(&sub, &path, &t, &predictor) {
+            Ok((_, cmp)) => {
+                let verdict = match cmp.outcome {
+                    CompareOutcome::FirstCheaper => "WINS for all n",
+                    CompareOutcome::SecondCheaper => "loses for all n",
+                    CompareOutcome::AlwaysEqual => "no change",
+                    CompareOutcome::DependsOnUnknowns => "depends on n",
+                    CompareOutcome::Undetermined => "undetermined",
+                };
+                println!("  {label}: {verdict}   (Δ = {})", cmp.difference);
+            }
+            Err(e) => println!("  {label}: not applicable ({e})"),
+        }
+    }
+
+    // With the memory model, tiling becomes interesting: the untiled inner
+    // nest streams b(k,j) column-by-column while a(i,k) loses reuse once a
+    // row no longer fits in cache.
+    let mut opts = PredictorOptions::default();
+    opts.include_memory = true;
+    opts.aggregate.var_ranges.insert("n".into(), (512.0, 2048.0));
+    let mem_predictor = Predictor::with_options(machines::power_like(), opts);
+    let base_mem = cost_of(&sub, &mem_predictor).expect("predicts");
+    println!("\nwith the §2.3 memory model (n ∈ [512, 2048]):");
+    println!("  C(original)     = {base_mem}");
+    match compare_transform(&sub, &[0, 0, 0], &Transform::Tile(32), &mem_predictor) {
+        Ok((_, cmp)) => {
+            println!("  tile k by 32    : {}   (Δ = {})", cmp.outcome, cmp.difference);
+        }
+        Err(e) => println!("  tile k by 32: {e}"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: predict the cost of a kernel at compile time.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use presage::core::predictor::Predictor;
+use presage::core::render::render_cost_block;
+use presage::core::{place_block, PlaceOptions};
+use presage::machine::machines;
+use presage::symbolic::Symbol;
+use std::collections::HashMap;
+
+const DAXPY: &str = "subroutine daxpy(y, x, a, n)
+   real y(n), x(n), a
+   integer i, n
+   do i = 1, n
+     y(i) = y(i) + a * x(i)
+   end do
+ end";
+
+fn main() {
+    let machine = machines::power_like();
+    let predictor = Predictor::new(machine.clone());
+
+    // One call gives a symbolic performance expression over the unknowns.
+    let prediction = &predictor.predict_source(DAXPY).expect("valid program")[0];
+    println!("kernel: daxpy");
+    println!("predicted cost: C(n) = {} cycles\n", prediction.total);
+
+    // Unknowns stay symbolic until *we* decide to bind them.
+    let n = Symbol::new("n");
+    for size in [10u32, 1_000, 1_000_000] {
+        let mut bindings = HashMap::new();
+        bindings.insert(n.clone(), size as f64);
+        let cycles = prediction.total.eval_with_defaults(&bindings);
+        println!("  n = {size:>9}: {cycles:>12.0} cycles");
+    }
+
+    // Inspect the innermost basic block's cost block (paper Figure 8).
+    let inner = prediction.ir.innermost_block().expect("loop body");
+    let cb = place_block(&machine, inner, PlaceOptions::default());
+    println!("\ninnermost basic block on {}:", machine.name());
+    print!("{}", render_cost_block(&cb));
+    println!(
+        "\ncritical unit: {:?}, occupancy {:.0}%, suggested unroll ≈ {}",
+        cb.critical_unit().expect("nonempty block"),
+        cb.critical_ratio() * 100.0,
+        cb.suggested_unroll()
+    );
+}

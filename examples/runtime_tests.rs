@@ -1,0 +1,66 @@
+//! Run-time test generation from symbolic crossovers (paper §3.4).
+//!
+//! Two variants of a kernel trade places depending on an unknown `n`:
+//! instead of guessing, the framework finds the exact crossover, ranks the
+//! unknowns by sensitivity, and emits a multi-version dispatcher.
+//!
+//! Run with `cargo run --example runtime_tests`.
+
+use presage::core::predictor::{Predictor, PredictorOptions};
+use presage::machine::machines;
+use presage::opt::rtt::{emit_multiversion, plan_from_comparison, test_candidates};
+use presage::symbolic::sensitivity::{analyze, SensitivityOptions};
+
+/// Variant A: compute with a per-call setup loop (cheap per element).
+const VARIANT_A: &str = "subroutine smooth_fast(a, w, n)
+   real a(n), w(64)
+   integer i, n
+   do i = 1, 64
+     w(i) = 0.015625
+   end do
+   do i = 1, n
+     a(i) = a(i) * 0.5
+   end do
+ end";
+
+/// Variant B: no setup, heavier per-element work.
+const VARIANT_B: &str = "subroutine smooth_slow(a, w, n)
+   real a(n), w(64)
+   integer i, n
+   do i = 1, n
+     a(i) = a(i) * 0.5 + a(i) / 8.0 - a(i) / 16.0
+   end do
+ end";
+
+fn main() {
+    let mut opts = PredictorOptions::default();
+    opts.aggregate.var_ranges.insert("n".into(), (1.0, 400.0));
+    let predictor = Predictor::with_options(machines::power_like(), opts);
+
+    let a = &predictor.predict_source(VARIANT_A).expect("A")[0];
+    let b = &predictor.predict_source(VARIANT_B).expect("B")[0];
+    println!("C(fast) = {}", a.total);
+    println!("C(slow) = {}", b.total);
+
+    let cmp = a.total.compare(&b.total);
+    println!("\nsymbolic comparison: {}", cmp.outcome);
+    for x in &cmp.crossovers {
+        println!("  crossover at n = {x:.1}");
+    }
+
+    if let Some(plan) = plan_from_comparison(&cmp) {
+        println!("\n{plan}");
+        let sub_a = presage::frontend::parse(VARIANT_A).unwrap().units.remove(0);
+        let sub_b = presage::frontend::parse(VARIANT_B).unwrap().units.remove(0);
+        println!("generated dispatcher:\n{}", emit_multiversion(&plan, &sub_a, &sub_b));
+    } else {
+        println!("\none variant dominates: no run-time test needed");
+    }
+
+    // Sensitivity analysis picks which unknowns deserve tests at all.
+    println!("sensitivity ranking for the fast variant:");
+    for s in analyze(&a.total, SensitivityOptions::default()) {
+        println!("  {s}");
+    }
+    println!("\ntop test candidate: {:?}", test_candidates(&a.total, 1));
+}

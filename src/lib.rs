@@ -1,0 +1,49 @@
+//! # Presage
+//!
+//! A full implementation of Wang, *Precise Compile-Time Performance
+//! Prediction for Superscalar-Based Computers* (PLDI 1994): a portable,
+//! architecture-parameterized cost model for straight-line code on
+//! superscalar processors, symbolic aggregation of loop and conditional
+//! costs into polynomial performance expressions, symbolic comparison for
+//! transformation decisions, and performance-guided program optimization.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! - [`symbolic`]: polynomials, performance expressions, sign analysis,
+//!   sensitivity.
+//! - [`machine`]: machine descriptions (functional units, atomic operation
+//!   cost tables).
+//! - [`frontend`]: the mini-Fortran front end.
+//! - [`translate`]: two-level instruction translation with back-end
+//!   imitation.
+//! - [`core`]: the Tetris placement model, cost blocks, aggregation,
+//!   memory/communication models, incremental update, and the
+//!   [`Predictor`](core::predictor::Predictor) facade.
+//! - [`sim`]: the reference cycle-accurate scheduler and naive baselines.
+//! - [`opt`]: transformations, what-if costing, A* search, run-time tests.
+//!
+//! # Quick start
+//!
+//! ```
+//! use presage::core::predictor::Predictor;
+//! use presage::machine::machines;
+//!
+//! let predictor = Predictor::new(machines::power_like());
+//! let pred = &predictor.predict_source(
+//!     "subroutine daxpy(y, x, a, n)
+//!        real y(n), x(n), a
+//!        integer i, n
+//!        do i = 1, n
+//!          y(i) = y(i) + a * x(i)
+//!        end do
+//!      end").unwrap()[0];
+//! println!("C(daxpy) = {} cycles", pred.total);
+//! ```
+
+pub use presage_core as core;
+pub use presage_frontend as frontend;
+pub use presage_machine as machine;
+pub use presage_opt as opt;
+pub use presage_sim as sim;
+pub use presage_symbolic as symbolic;
+pub use presage_translate as translate;

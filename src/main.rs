@@ -1,0 +1,230 @@
+//! `presage` — command-line interface to the performance predictor.
+//!
+//! ```text
+//! presage machines
+//! presage predict  <file.f> [--machine M] [--memory] [--interprocedural] [--at var=value]...
+//! presage compare  <file.f> <subA> <subB> [--machine M] [--at var=value]...
+//! presage listing  <file.f> [--machine M]
+//! presage search   <file.f> [--machine M] [--at var=value]... [--depth N] [--expansions N]
+//! ```
+//!
+//! `--machine` accepts a predefined name (`power-like`, `risc1`, `wide4`)
+//! or a path to a JSON machine description.
+
+use presage::core::predictor::{Predictor, PredictorOptions};
+use presage::core::render::{render_cost_block, render_listing};
+use presage::core::tetris::{PlaceOptions, Placer};
+use presage::machine::{machines, MachineDesc};
+use presage::opt::rtt::plan_from_comparison;
+use presage::opt::search::{astar_search, SearchOptions};
+use presage::symbolic::Symbol;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("presage: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  presage machines
+  presage predict  <file.f> [--machine M] [--memory] [--interprocedural] [--at var=value]...
+  presage compare  <file.f> <subA> <subB> [--machine M] [--at var=value]...
+  presage listing  <file.f> [--machine M]
+  presage search   <file.f> [--machine M] [--at var=value]... [--depth N] [--expansions N]";
+
+struct Cli {
+    positional: Vec<String>,
+    machine: MachineDesc,
+    memory: bool,
+    interprocedural: bool,
+    at: HashMap<String, f64>,
+    depth: usize,
+    expansions: usize,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        positional: Vec::new(),
+        machine: machines::power_like(),
+        memory: false,
+        interprocedural: false,
+        at: HashMap::new(),
+        depth: 3,
+        expansions: 64,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                cli.machine = match machines::by_name(v) {
+                    Some(m) => m,
+                    None => {
+                        let text = std::fs::read_to_string(v)
+                            .map_err(|e| format!("machine `{v}`: not predefined and not readable ({e})"))?;
+                        MachineDesc::from_json(&text).map_err(|e| format!("machine `{v}`: {e}"))?
+                    }
+                };
+            }
+            "--memory" => cli.memory = true,
+            "--interprocedural" => cli.interprocedural = true,
+            "--at" => {
+                let v = it.next().ok_or("--at needs var=value")?;
+                let (name, value) = v.split_once('=').ok_or("--at expects var=value")?;
+                let value: f64 = value.parse().map_err(|_| format!("bad value in --at {v}"))?;
+                cli.at.insert(name.to_string(), value);
+            }
+            "--depth" => {
+                cli.depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--depth needs an integer")?;
+            }
+            "--expansions" => {
+                cli.expansions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--expansions needs an integer")?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => cli.positional.push(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn predictor_of(cli: &Cli) -> Predictor {
+    let mut opts = PredictorOptions::default();
+    opts.include_memory = cli.memory;
+    for (k, v) in &cli.at {
+        opts.aggregate.var_ranges.insert(k.clone(), (*v, *v));
+    }
+    Predictor::with_options(cli.machine.clone(), opts)
+}
+
+fn bindings_of(cli: &Cli) -> HashMap<Symbol, f64> {
+    cli.at.iter().map(|(k, v)| (Symbol::new(k), *v)).collect()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let cli = parse_cli(&args[1..])?;
+
+    match cmd.as_str() {
+        "machines" => {
+            for m in machines::all() {
+                println!("{m}");
+            }
+            Ok(())
+        }
+        "predict" => {
+            let src = read_source(&cli, 0)?;
+            let predictor = predictor_of(&cli);
+            let preds = if cli.interprocedural {
+                predictor.predict_source_interprocedural(&src)
+            } else {
+                predictor.predict_source(&src)
+            }
+            .map_err(|e| e.to_string())?;
+            let bindings = bindings_of(&cli);
+            for p in &preds {
+                println!("{}: C = {} cycles", p.name, p.total);
+                if !p.total.is_concrete() {
+                    let v = p.total.eval_with_defaults(&bindings);
+                    if !cli.at.is_empty() {
+                        println!("    at {:?}: {v:.0} cycles", cli.at);
+                    }
+                }
+                if let Some(mc) = &p.memory {
+                    println!("    memory stalls: {}", mc.cycles);
+                }
+            }
+            Ok(())
+        }
+        "compare" => {
+            if cli.positional.len() < 3 {
+                return Err("compare needs <file> <subA> <subB>".into());
+            }
+            let src = read_source(&cli, 0)?;
+            let predictor = predictor_of(&cli);
+            let preds = predictor.predict_source(&src).map_err(|e| e.to_string())?;
+            let find = |name: &str| {
+                preds
+                    .iter()
+                    .find(|p| p.name == name)
+                    .ok_or_else(|| format!("no subroutine `{name}` in file"))
+            };
+            let a = find(&cli.positional[1])?;
+            let b = find(&cli.positional[2])?;
+            println!("C({}) = {}", a.name, a.total);
+            println!("C({}) = {}", b.name, b.total);
+            let cmp = a.total.compare(&b.total);
+            println!("verdict: {}", cmp.outcome);
+            println!("difference: {}", cmp.difference);
+            for x in &cmp.crossovers {
+                println!("crossover at {x:.3}");
+            }
+            if let Some(plan) = plan_from_comparison(&cmp) {
+                if plan.test_count() > 0 {
+                    println!("{plan}");
+                }
+            }
+            Ok(())
+        }
+        "listing" => {
+            let src = read_source(&cli, 0)?;
+            let predictor = predictor_of(&cli);
+            let preds = predictor.predict_source(&src).map_err(|e| e.to_string())?;
+            let p = preds.first().ok_or("no subroutines in file")?;
+            let block = p
+                .ir
+                .innermost_block()
+                .ok_or("no straight-line code to list")?;
+            let mut placer = Placer::new(&cli.machine, PlaceOptions::default());
+            let sched = placer.drop_block_detailed(block);
+            println!("{}: innermost basic block on {}", p.name, cli.machine.name());
+            print!("{}", render_listing(block, &sched, &cli.machine));
+            println!("\n{}", render_cost_block(&placer.cost_block()));
+            Ok(())
+        }
+        "search" => {
+            let src = read_source(&cli, 0)?;
+            let program = presage::frontend::parse(&src).map_err(|e| e.to_string())?;
+            let sub = program.units.first().ok_or("no subroutines in file")?;
+            let predictor = predictor_of(&cli);
+            let mut opts = SearchOptions::default();
+            opts.max_depth = cli.depth;
+            opts.max_expansions = cli.expansions;
+            opts.eval_point = cli.at.clone();
+            let r = astar_search(sub, &predictor, &opts);
+            println!("original: {:.0} cycles", r.original_cost);
+            println!("best    : {:.0} cycles ({:.2}×)", r.best_cost, r.speedup());
+            for s in &r.sequence {
+                println!("  {} at {:?}", s.transform, s.path);
+            }
+            if !r.sequence.is_empty() {
+                println!("\n{}", r.best);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_source(cli: &Cli, idx: usize) -> Result<String, String> {
+    let path = cli
+        .positional
+        .get(idx)
+        .ok_or("missing input file argument")?;
+    std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))
+}

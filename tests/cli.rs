@@ -1,0 +1,124 @@
+//! End-to-end tests of the `presage` command-line tool.
+
+use std::process::Command;
+
+const DAXPY: &str = "subroutine daxpy(y, x, a, n)
+  real y(n), x(n), a
+  integer i, n
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end
+
+subroutine zero(y, n)
+  real y(n)
+  integer i, n
+  do i = 1, n
+    y(i) = 0.0
+  end do
+end
+";
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("presage-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn presage(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_presage"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn machines_lists_predefined() {
+    let (stdout, _, ok) = presage(&["machines"]);
+    assert!(ok);
+    for name in ["power-like", "risc1", "wide4"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn predict_reports_symbolic_cost() {
+    let f = write_temp("daxpy.f", DAXPY);
+    let (stdout, _, ok) = presage(&["predict", f.to_str().unwrap(), "--at", "n=1000"]);
+    assert!(ok);
+    assert!(stdout.contains("daxpy: C = 7*n cycles"), "{stdout}");
+    assert!(stdout.contains("7000 cycles"), "{stdout}");
+    assert!(stdout.contains("zero: C ="), "{stdout}");
+}
+
+#[test]
+fn predict_on_alternate_machine() {
+    let f = write_temp("daxpy2.f", DAXPY);
+    let (stdout, _, ok) = presage(&["predict", f.to_str().unwrap(), "--machine", "risc1"]);
+    assert!(ok);
+    assert!(stdout.contains("daxpy: C ="), "{stdout}");
+}
+
+#[test]
+fn compare_gives_verdict() {
+    let f = write_temp("daxpy3.f", DAXPY);
+    let (stdout, _, ok) = presage(&["compare", f.to_str().unwrap(), "zero", "daxpy"]);
+    assert!(ok);
+    assert!(stdout.contains("verdict: first is cheaper"), "{stdout}");
+}
+
+#[test]
+fn listing_shows_cycles() {
+    let f = write_temp("daxpy4.f", DAXPY);
+    let (stdout, _, ok) = presage(&["listing", f.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("fma"), "{stdout}");
+    assert!(stdout.contains("total:"), "{stdout}");
+}
+
+#[test]
+fn search_improves_daxpy() {
+    let f = write_temp("daxpy5.f", DAXPY);
+    let (stdout, _, ok) = presage(&[
+        "search",
+        f.to_str().unwrap(),
+        "--at",
+        "n=10000",
+        "--depth",
+        "1",
+        "--expansions",
+        "6",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("original:"), "{stdout}");
+    assert!(stdout.contains("best"), "{stdout}");
+}
+
+#[test]
+fn bad_file_reports_error() {
+    let (_, stderr, ok) = presage(&["predict", "/nonexistent/x.f"]);
+    assert!(!ok);
+    assert!(stderr.contains("reading"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_reports_usage() {
+    let (_, stderr, ok) = presage(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_surface_with_position() {
+    let f = write_temp("bad.f", "subroutine s(\nend");
+    let (_, stderr, ok) = presage(&["predict", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}

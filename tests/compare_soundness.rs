@@ -1,0 +1,141 @@
+//! Soundness of the §3.1 symbolic comparison: whenever `compare` issues a
+//! definite verdict, dense numeric sampling over the unknowns' ranges must
+//! agree. A verdict that sampling contradicts would send the optimizer the
+//! wrong way — the one failure mode the paper's framework cannot afford.
+
+use presage::symbolic::{CompareOutcome, Monomial, PerfExpr, Poly, Rational, Symbol, VarInfo};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random cost-shaped expression: non-negative combinations of n, n²,
+/// and a constant over a positive range (performance expressions are
+/// cycle counts, so the interesting inputs are cost-like).
+fn cost_expr() -> impl Strategy<Value = PerfExpr> {
+    (0i64..=30, 0i64..=30, 0i64..=200, 1u8..=3).prop_map(|(c2, c1, c0, range)| {
+        let n = Symbol::new("n");
+        let hi = match range {
+            1 => 10.0,
+            2 => 1000.0,
+            _ => 100000.0,
+        };
+        let poly = Poly::term(Rational::from_int(c2), Monomial::power(n.clone(), 2))
+            + Poly::term(Rational::from_int(c1), Monomial::var(n.clone()))
+            + Poly::from(c0);
+        PerfExpr::from_poly(poly, [(n, VarInfo::loop_bound(1.0, hi))])
+    })
+}
+
+fn sample_signs(diff: &PerfExpr) -> (bool, bool) {
+    let n = Symbol::new("n");
+    let info = diff.vars().get(&n).copied();
+    let (lo, hi) = info
+        .map(|i| (i.range.lo(), i.range.hi()))
+        .unwrap_or((1.0, 1.0));
+    let mut any_pos = false;
+    let mut any_neg = false;
+    for k in 0..=100 {
+        let x = lo + (hi - lo) * k as f64 / 100.0;
+        let mut b = HashMap::new();
+        b.insert(n.clone(), x);
+        let v = diff.eval_with_defaults(&b);
+        if v > 1e-9 {
+            any_pos = true;
+        }
+        if v < -1e-9 {
+            any_neg = true;
+        }
+    }
+    (any_pos, any_neg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn verdicts_agree_with_sampling(a in cost_expr(), b in cost_expr()) {
+        let cmp = a.compare(&b);
+        let (any_pos, any_neg) = sample_signs(&cmp.difference);
+        match cmp.outcome {
+            CompareOutcome::FirstCheaper => {
+                // diff = a − b must never be positive on the range.
+                prop_assert!(!any_pos, "FirstCheaper but diff positive somewhere: {}", cmp.difference);
+            }
+            CompareOutcome::SecondCheaper => {
+                prop_assert!(!any_neg, "SecondCheaper but diff negative somewhere: {}", cmp.difference);
+            }
+            CompareOutcome::AlwaysEqual => {
+                prop_assert!(!any_pos && !any_neg, "AlwaysEqual but diff nonzero: {}", cmp.difference);
+            }
+            CompareOutcome::DependsOnUnknowns => {
+                // The winner flips: evaluating at each reported sign
+                // region's midpoint must find both signs (uniform sampling
+                // can miss narrow regions like (5, 6) in (n−5)(n−6)).
+                let n = Symbol::new("n");
+                let regions = cmp.regions.as_ref().expect("univariate case has regions");
+                let mut pos = false;
+                let mut neg = false;
+                for r in regions {
+                    let mut bnd = HashMap::new();
+                    bnd.insert(n.clone(), 0.5 * (r.lo + r.hi));
+                    let v = cmp.difference.eval_with_defaults(&bnd);
+                    if v > 1e-9 { pos = true; }
+                    if v < -1e-9 { neg = true; }
+                }
+                prop_assert!(pos && neg, "DependsOnUnknowns but single-signed: {}", cmp.difference);
+            }
+            CompareOutcome::Undetermined => {
+                // Conservative fallback — allowed, never wrong.
+            }
+        }
+    }
+
+    #[test]
+    fn crossovers_are_sign_changes(a in cost_expr(), b in cost_expr()) {
+        let cmp = a.compare(&b);
+        let n = Symbol::new("n");
+        for x in &cmp.crossovers {
+            let eps = 1e-3 * (1.0 + x.abs());
+            let mut lo_b = HashMap::new();
+            lo_b.insert(n.clone(), x - eps);
+            let mut hi_b = HashMap::new();
+            hi_b.insert(n.clone(), x + eps);
+            let v_lo = cmp.difference.eval_with_defaults(&lo_b);
+            let v_hi = cmp.difference.eval_with_defaults(&hi_b);
+            // At a genuine crossover, values straddle or touch zero.
+            prop_assert!(
+                v_lo.signum() != v_hi.signum() || v_lo.abs() < 1.0 || v_hi.abs() < 1.0,
+                "crossover {x} not a sign change: {v_lo} vs {v_hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric(a in cost_expr(), b in cost_expr()) {
+        let ab = a.compare(&b).outcome;
+        let ba = b.compare(&a).outcome;
+        let expected = match ab {
+            CompareOutcome::FirstCheaper => CompareOutcome::SecondCheaper,
+            CompareOutcome::SecondCheaper => CompareOutcome::FirstCheaper,
+            other => other,
+        };
+        prop_assert_eq!(ba, expected);
+    }
+
+    #[test]
+    fn drop_negligible_preserves_value_within_epsilon(a in cost_expr()) {
+        let simplified = a.drop_negligible_terms(1e-4);
+        let n = Symbol::new("n");
+        let info = a.vars().get(&n).copied();
+        let (lo, hi) = info.map(|i| (i.range.lo(), i.range.hi())).unwrap_or((1.0, 1.0));
+        for k in 0..=20 {
+            let x = lo + (hi - lo) * k as f64 / 20.0;
+            let mut bnd = HashMap::new();
+            bnd.insert(n.clone(), x);
+            let v0 = a.eval_with_defaults(&bnd);
+            let v1 = simplified.eval_with_defaults(&bnd);
+            // Dropping ε-negligible terms moves the value by at most a
+            // small relative amount.
+            prop_assert!((v0 - v1).abs() <= 1e-2 * (1.0 + v0.abs()), "{v0} vs {v1} at {x}");
+        }
+    }
+}

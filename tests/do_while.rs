@@ -1,0 +1,137 @@
+//! `do while` support: the statically unknowable trip count becomes a
+//! fresh symbolic unknown — the purest case of the paper's "delay the
+//! guess" principle.
+
+use presage::core::predictor::Predictor;
+use presage::frontend::{parse, Stmt};
+use presage::machine::machines;
+use presage::opt::profile::ProfileData;
+
+const NEWTON: &str = "subroutine newton(x, eps)
+   real x, eps, err
+   integer iters
+   err = 1.0
+   do while (err .gt. eps)
+     x = x - (x * x - 2.0) / (2.0 * x)
+     err = abs(x * x - 2.0)
+     iters = iters + 1
+   end do
+ end";
+
+#[test]
+fn parses_do_while() {
+    let p = parse(NEWTON).unwrap();
+    let body = &p.units[0].body;
+    assert!(matches!(body[1], Stmt::DoWhile { .. }));
+}
+
+#[test]
+fn display_roundtrips() {
+    let p1 = parse(NEWTON).unwrap();
+    let emitted = p1.units[0].to_string();
+    let p2 = parse(&emitted).expect("re-parses");
+    assert_eq!(emitted, p2.units[0].to_string());
+}
+
+#[test]
+fn rejects_non_logical_condition() {
+    let err = Predictor::new(machines::power_like())
+        .predict_source("subroutine s(n)\ninteger n\ndo while (n)\nn = n - 1\nend do\nend")
+        .unwrap_err();
+    assert!(err.to_string().contains("logical"), "{err}");
+}
+
+#[test]
+fn cost_is_linear_in_fresh_trip_symbol() {
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor.predict_source(NEWTON).unwrap()[0];
+    assert!(!pred.total.is_concrete());
+    let trip = pred
+        .total
+        .vars()
+        .keys()
+        .find(|s| s.name().starts_with("trip$"))
+        .expect("fresh trip-count unknown")
+        .clone();
+    assert_eq!(pred.total.poly().degree_in(&trip), 1, "{}", pred.total);
+}
+
+#[test]
+fn profiling_eliminates_the_trip_count() {
+    // §3.4: an observed average iteration count makes the cost concrete.
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor.predict_source(NEWTON).unwrap()[0];
+    let trip = pred
+        .total
+        .vars()
+        .keys()
+        .find(|s| s.name().starts_with("trip$"))
+        .unwrap()
+        .clone();
+    let mut prof = ProfileData::new();
+    prof.observe(trip.name(), 6.0); // Newton converges in ~6 iterations
+    let narrowed = prof.apply(&pred.total);
+    assert!(narrowed.is_concrete(), "{narrowed}");
+    assert!(narrowed.concrete_cycles().unwrap().to_f64() > 0.0);
+}
+
+#[test]
+fn while_loop_condition_charged_per_iteration() {
+    // A heavier condition must show up in the trip coefficient.
+    let light = "subroutine s(x, eps)
+       real x, eps
+       do while (x .gt. eps)
+         x = x * 0.5
+       end do
+     end";
+    let heavy = "subroutine s(x, eps)
+       real x, eps
+       do while (sqrt(x * x + 1.0) .gt. eps)
+         x = x * 0.5
+       end do
+     end";
+    let predictor = Predictor::new(machines::power_like());
+    let coeff = |src: &str| {
+        let pred = &predictor.predict_source(src).unwrap()[0];
+        let trip = pred
+            .total
+            .vars()
+            .keys()
+            .find(|s| s.name().starts_with("trip$"))
+            .unwrap()
+            .clone();
+        pred.total
+            .poly()
+            .as_univariate(&trip)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap()
+            .to_f64()
+    };
+    assert!(coeff(heavy) > coeff(light) + 5.0, "sqrt-condition per-iteration cost");
+}
+
+#[test]
+fn nested_while_inside_do() {
+    let src = "subroutine s(a, n, eps)
+       real a(n), eps, x
+       integer i, n
+       do i = 1, n
+         x = a(i)
+         do while (x .gt. eps)
+           x = x * 0.5
+         end do
+         a(i) = x
+       end do
+     end";
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor.predict_source(src).unwrap()[0];
+    let poly = pred.total.poly();
+    // n × trip cross term: the while body runs trip times per outer iter.
+    let has_cross = poly.terms().any(|(mono, _)| {
+        mono.factors().count() == 2 && mono.symbols().any(|s| s.name().starts_with("trip$"))
+    });
+    assert!(has_cross, "{}", pred.total);
+}

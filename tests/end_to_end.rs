@@ -1,0 +1,299 @@
+//! Cross-crate integration: the full pipeline from source text to
+//! symbolic decisions, exercising the paper's §3 workflows end to end.
+
+use presage::core::aggregate::AggregateOptions;
+use presage::core::incremental::CostTree;
+use presage::core::predictor::{Predictor, PredictorOptions};
+use presage::machine::machines;
+use presage::opt::rtt::plan_from_comparison;
+use presage::opt::search::{astar_search, SearchOptions};
+use presage::opt::transforms::Transform;
+use presage::opt::whatif::compare_transform;
+use presage::symbolic::{CompareOutcome, Symbol};
+use std::collections::HashMap;
+
+const TRIAD: &str = "subroutine triad(a, b, c, s, n)
+   real a(n), b(n), c(n), s
+   integer i, n
+   do i = 1, n
+     a(i) = b(i) + s * c(i)
+   end do
+ end";
+
+#[test]
+fn prediction_is_symbolic_and_evaluates() {
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor.predict_source(TRIAD).unwrap()[0];
+    assert!(!pred.total.is_concrete());
+    let n = Symbol::new("n");
+    assert_eq!(pred.total.poly().degree_in(&n), 1, "streaming kernel is linear in n");
+
+    let mut b = HashMap::new();
+    b.insert(n, 1000.0);
+    let at_1k = pred.total.eval_with_defaults(&b);
+    assert!(at_1k > 1000.0 && at_1k < 100_000.0, "plausible cycle count: {at_1k}");
+}
+
+#[test]
+fn predictions_scale_across_machines() {
+    // risc1 (scalar) must predict slower than power-like, which must be
+    // slower than wide4, for the same FP-heavy kernel.
+    let n = Symbol::new("n");
+    let mut at = HashMap::new();
+    at.insert(n, 10_000.0);
+    let eval = |m: presage::machine::MachineDesc| {
+        Predictor::new(m).predict_source(TRIAD).unwrap()[0]
+            .total
+            .eval_with_defaults(&at)
+    };
+    let scalar = eval(machines::risc1());
+    let power = eval(machines::power_like());
+    let wide = eval(machines::wide4());
+    assert!(scalar > power, "scalar {scalar} vs superscalar {power}");
+    assert!(power > wide, "1-wide {power} vs 4-wide {wide}");
+}
+
+#[test]
+fn transformation_decision_workflow() {
+    // §3.1: symbolic what-if on a nest where interchange is clearly bad
+    // (it breaks stride-1 access? — in the compute-only model it changes
+    // steady state little; distribute splits a fused pair).
+    let fused = presage::frontend::parse(
+        "subroutine s(a, b, n)
+           real a(n), b(n)
+           integer i, n
+           do i = 1, n
+             a(i) = a(i) * 2.0
+             b(i) = b(i) * 3.0
+           end do
+         end",
+    )
+    .unwrap()
+    .units
+    .remove(0);
+    let predictor = Predictor::new(machines::power_like());
+    let (variant, cmp) = compare_transform(&fused, &[0], &Transform::Distribute, &predictor).unwrap();
+    // Splitting doubles the loop-control work: distribution should not win.
+    assert!(
+        matches!(cmp.outcome, CompareOutcome::SecondCheaper | CompareOutcome::AlwaysEqual),
+        "distribute outcome {:?} (Δ = {})",
+        cmp.outcome,
+        cmp.difference
+    );
+    assert_ne!(variant.to_string(), fused.to_string());
+}
+
+#[test]
+fn runtime_test_workflow_produces_thresholds() {
+    // Two library-style variants with a genuine crossover in n.
+    let mut opts = PredictorOptions::default();
+    opts.aggregate.var_ranges.insert("n".into(), (1.0, 1000.0));
+    let p = Predictor::with_options(machines::power_like(), opts);
+    let with_setup = &p
+        .predict_source(
+            "subroutine f(a, w, n)
+               real a(n), w(32)
+               integer i, n
+               do i = 1, 32
+                 w(i) = 0.5
+               end do
+               do i = 1, n
+                 a(i) = a(i) * 0.5
+               end do
+             end",
+        )
+        .unwrap()[0];
+    let heavy_body = &p
+        .predict_source(
+            "subroutine g(a, n)
+               real a(n)
+               integer i, n
+               do i = 1, n
+                 a(i) = a(i) / 3.0
+               end do
+             end",
+        )
+        .unwrap()[0];
+    let cmp = with_setup.total.compare(&heavy_body.total);
+    assert_eq!(cmp.outcome, CompareOutcome::DependsOnUnknowns);
+    let plan = plan_from_comparison(&cmp).expect("crossover yields a plan");
+    assert_eq!(plan.variable.name(), "n");
+    assert_eq!(plan.test_count(), 1);
+    assert!(plan.thresholds[0] > 1.0 && plan.thresholds[0] < 1000.0);
+}
+
+#[test]
+fn incremental_tree_agrees_with_predictor() {
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor.predict_source(TRIAD).unwrap()[0];
+    let tree = CostTree::build(&pred.ir, predictor.machine(), None, AggregateOptions::default());
+    assert_eq!(tree.total(), &pred.compute);
+}
+
+#[test]
+fn search_workflow_improves_or_preserves() {
+    let sub = presage::frontend::parse(
+        "subroutine s(a, b, n)
+           real a(n), b(n)
+           integer i, n
+           do i = 1, n
+             a(i) = 0.0
+           end do
+           do i = 1, n
+             b(i) = 0.0
+           end do
+         end",
+    )
+    .unwrap()
+    .units
+    .remove(0);
+    let predictor = Predictor::new(machines::power_like());
+    let mut opts = SearchOptions::default();
+    opts.max_expansions = 16;
+    opts.eval_point.insert("n".into(), 10_000.0);
+    let r = astar_search(&sub, &predictor, &opts);
+    assert!(r.best_cost <= r.original_cost);
+    // Fusing the two loops saves one loop's control overhead: the search
+    // should find at least that.
+    assert!(
+        r.speedup() > 1.05,
+        "expected fusion win, got {:.3}× ({} -> {})",
+        r.speedup(),
+        r.original_cost,
+        r.best_cost
+    );
+}
+
+#[test]
+fn memory_model_changes_blocking_decision() {
+    // Compute-only: tiling the k loop looks like pure overhead. With the
+    // memory model and large n, tiling must look strictly better than it
+    // does without (the relative Δ improves).
+    let sub = presage::frontend::parse(
+        "subroutine mm(a, b, c, n)
+           real a(n,n), b(n,n), c(n,n)
+           integer i, j, k, n
+           do j = 1, n
+             do i = 1, n
+               do k = 1, n
+                 c(i,j) = c(i,j) + a(i,k) * b(k,j)
+               end do
+             end do
+           end do
+         end",
+    )
+    .unwrap()
+    .units
+    .remove(0);
+
+    let n = Symbol::new("n");
+    let mut at = HashMap::new();
+    at.insert(n, 1024.0);
+
+    let compute_only = Predictor::new(machines::power_like());
+    let mut mem_opts = PredictorOptions::default();
+    mem_opts.include_memory = true;
+    mem_opts.aggregate.var_ranges.insert("n".into(), (1024.0, 1024.0));
+    let with_memory = Predictor::with_options(machines::power_like(), mem_opts);
+
+    let ratio = |p: &Predictor| {
+        let base = p.predict_subroutine(&sub).unwrap().total.eval_with_defaults(&at);
+        let tiled = presage::opt::transformed(&sub, &[0, 0, 0], &Transform::Tile(32)).unwrap();
+        let tiled_cost = p.predict_subroutine(&tiled).unwrap().total.eval_with_defaults(&at);
+        tiled_cost / base
+    };
+    let r_compute = ratio(&compute_only);
+    let r_memory = ratio(&with_memory);
+    assert!(
+        r_memory < r_compute,
+        "memory model should favor tiling: compute ratio {r_compute:.3}, memory ratio {r_memory:.3}"
+    );
+    assert!(r_memory < 1.0, "tiling should win outright with memory costs: {r_memory:.3}");
+}
+
+#[test]
+fn library_table_flows_through_prediction() {
+    use presage::core::library::LibraryCostTable;
+    use presage::symbolic::{PerfExpr, Poly, VarInfo};
+    let mut lib = LibraryCostTable::new();
+    let m = Symbol::new("m");
+    lib.insert(
+        "dgemv",
+        vec!["m".into()],
+        PerfExpr::from_poly(
+            (&Poly::var(m.clone()) * &Poly::var(m.clone())).scale(2),
+            [(m.clone(), VarInfo::param(1.0, 1e5))],
+        ),
+    );
+    let mut opts = PredictorOptions::default();
+    opts.library = Some(lib);
+    let p = Predictor::with_options(machines::power_like(), opts);
+    let pred = &p
+        .predict_source(
+            "subroutine s(a, n, k)
+               real a(n)
+               integer i, n, k
+               do i = 1, k
+                 call dgemv(a, n)
+               end do
+             end",
+        )
+        .unwrap()[0];
+    // k calls, each 2m²: the total must contain a k·m² term.
+    let poly = pred.total.poly();
+    assert_eq!(poly.degree_in(&m), 2);
+    assert_eq!(poly.degree_in(&Symbol::new("k")), 1);
+}
+
+#[test]
+fn triangular_nest_sums_in_closed_form() {
+    // do i = 1, n { do j = i, n }: the inner trip count (n − i + 1) must be
+    // summed over i — Σ = n(n+1)/2 — not multiplied by n, and no stray `i`
+    // may survive in the expression.
+    let predictor = Predictor::new(machines::power_like());
+    let pred = &predictor
+        .predict_source(
+            "subroutine tri(a, n)
+               real a(n,n)
+               integer i, j, n
+               do i = 1, n
+                 do j = i, n
+                   a(i,j) = a(i,j) * 0.5
+                 end do
+               end do
+             end",
+        )
+        .unwrap()[0];
+    let n = Symbol::new("n");
+    let i = Symbol::new("i");
+    assert!(!pred.total.poly().contains_symbol(&i), "loop index summed away: {}", pred.total);
+    assert_eq!(pred.total.poly().degree_in(&n), 2);
+
+    // The n² coefficient must be half the per-iteration cost: compare the
+    // triangular nest against the full rectangular nest.
+    let full = &predictor
+        .predict_source(
+            "subroutine rect(a, n)
+               real a(n,n)
+               integer i, j, n
+               do i = 1, n
+                 do j = 1, n
+                   a(i,j) = a(i,j) * 0.5
+                 end do
+               end do
+             end",
+        )
+        .unwrap()[0];
+    let lead = |e: &presage::symbolic::PerfExpr| {
+        e.poly()
+            .as_univariate(&n)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap()
+            .to_f64()
+    };
+    let ratio = lead(&full.total) / lead(&pred.total);
+    assert!((ratio - 2.0).abs() < 0.05, "triangular is half the square: {ratio}");
+}

@@ -1,0 +1,139 @@
+//! The headline result (paper Figure 7): the Tetris cost model predicts
+//! straight-line superscalar cost within a few percent of a detailed
+//! reference, while the conventional operation-count model is far off —
+//! worst on the FMA-rich Matmul block and on wider machines.
+
+use presage::core::tetris::PlaceOptions;
+use presage::machine::machines;
+use presage_bench::tables::fig7_rows;
+
+#[test]
+fn tetris_model_tracks_reference_on_power_like() {
+    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert!(
+            r.error_pct().abs() <= 12.0,
+            "{}: predicted {} vs reference {} ({:+.1}%)",
+            r.name,
+            r.predicted,
+            r.reference,
+            r.error_pct()
+        );
+    }
+    let mean: f64 = rows.iter().map(|r| r.error_pct().abs()).sum::<f64>() / rows.len() as f64;
+    assert!(mean <= 5.0, "mean |error| {mean:.2}% too high");
+}
+
+#[test]
+fn tetris_model_tracks_reference_on_all_machines() {
+    for machine in machines::all() {
+        let rows = fig7_rows(&machine, PlaceOptions::default());
+        for r in &rows {
+            assert!(
+                r.error_pct().abs() <= 15.0,
+                "{} on {}: {:+.1}%",
+                r.name,
+                machine.name(),
+                r.error_pct()
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_model_overestimates_superscalar_kernels() {
+    // The paper: "a conventional cost estimation model may be off by a
+    // factor of ten or more". On the 1-FPU power-like machine the worst
+    // factor is ~2×; on the 4-wide machine the Matmul block reaches 6×.
+    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+    let matmul = rows.iter().find(|r| r.name == "Matmul").unwrap();
+    assert!(
+        matmul.naive_factor() >= 1.8,
+        "naive factor {:.2} too small on power-like",
+        matmul.naive_factor()
+    );
+
+    let wide = fig7_rows(&machines::wide4(), PlaceOptions::default());
+    let matmul_wide = wide.iter().find(|r| r.name == "Matmul").unwrap();
+    assert!(
+        matmul_wide.naive_factor() >= 4.0,
+        "naive factor {:.2} too small on wide4",
+        matmul_wide.naive_factor()
+    );
+    // And the tetris model stays accurate where the naive model explodes.
+    assert!(matmul_wide.error_pct().abs() <= 10.0);
+}
+
+#[test]
+fn naive_model_never_underestimates_reference() {
+    for machine in machines::all() {
+        for r in fig7_rows(&machine, PlaceOptions::default()) {
+            assert!(
+                r.naive >= r.reference,
+                "{} on {}: naive {} < reference {}",
+                r.name,
+                machine.name(),
+                r.naive,
+                r.reference
+            );
+        }
+    }
+}
+
+#[test]
+fn focus_span_trades_accuracy_monotonically_at_extremes() {
+    // A focus span of 1 must be no more accurate than the unbounded search.
+    let machine = machines::power_like();
+    let tight = fig7_rows(&machine, PlaceOptions::with_focus_span(1));
+    let free = fig7_rows(&machine, PlaceOptions::default());
+    let err = |rows: &[presage_bench::tables::Fig7Row]| {
+        rows.iter().map(|r| r.error_pct().abs()).sum::<f64>() / rows.len() as f64
+    };
+    assert!(
+        err(&tight) >= err(&free) - 1e-9,
+        "tight {:.2}% vs free {:.2}%",
+        err(&tight),
+        err(&free)
+    );
+}
+
+#[test]
+fn imitation_ablation_shape() {
+    // §2.2.2: translating without back-end imitation seriously distorts
+    // source-level estimates — beyond 10× on the reduction-heavy Matmul.
+    use presage::core::tetris::place_block;
+    use presage::frontend::{parse, sema};
+    use presage::machine::BackendFlags;
+    use presage::sim::simulate_block;
+    use presage::translate::translate;
+
+    let imitating = machines::power_like();
+    let mut oblivious = machines::power_like();
+    oblivious.backend = BackendFlags {
+        cse: false,
+        licm: false,
+        dce: false,
+        fma_fusion: false,
+        reduction_recognition: false,
+        strength_reduction: false,
+    };
+    let prog = parse(presage_bench::kernels::MATMUL).unwrap();
+    let symbols = sema::analyze(&prog.units[0]).unwrap();
+
+    let opt_ir = translate(&prog.units[0], &symbols, &imitating).unwrap();
+    let reference = simulate_block(&imitating, opt_ir.innermost_block().unwrap()).makespan;
+
+    let naive_ir = translate(&prog.units[0], &symbols, &oblivious).unwrap();
+    let distorted = place_block(
+        &imitating,
+        naive_ir.innermost_block().unwrap(),
+        PlaceOptions::default(),
+    )
+    .completion;
+
+    assert!(
+        distorted as f64 / reference as f64 >= 5.0,
+        "imitation-oblivious estimate should be severely distorted: {distorted} vs {reference}"
+    );
+}

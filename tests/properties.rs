@@ -1,0 +1,347 @@
+//! Property-based tests on the framework's core invariants.
+
+use presage::core::slots::{BlockList, FlatSlots};
+use presage::core::tetris::{place_block, PlaceOptions};
+use presage::machine::{machines, BasicOp};
+use presage::sim::{naive_block_cost, simulate_block};
+use presage::symbolic::roots::{horner, real_roots};
+use presage::symbolic::signs::{sign_regions, Sign};
+use presage::symbolic::{Monomial, Poly, Rational, Symbol};
+use presage::translate::{BlockIr, ValueDef};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------- rational arithmetic ------------------------------------------
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (-1000i128..1000, 1i128..200).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in rational(), b in rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in rational(), b in rational()) {
+        if (a.to_f64() - b.to_f64()).abs() > 1e-9 {
+            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+        }
+    }
+
+    #[test]
+    fn rational_recip_roundtrip(a in rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+}
+
+// ---------- polynomial algebra --------------------------------------------
+
+/// Random small polynomial over {n, m} with integer coefficients.
+fn poly() -> impl Strategy<Value = Poly> {
+    proptest::collection::vec((-20i64..=20, 0u32..3, 0u32..3), 0..6).prop_map(|terms| {
+        let n = Symbol::new("n");
+        let m = Symbol::new("m");
+        let mut p = Poly::zero();
+        for (c, en, em) in terms {
+            let mono = Monomial::from_pairs([(n.clone(), en as i32), (m.clone(), em as i32)]);
+            p += Poly::term(Rational::from_int(c), mono);
+        }
+        p
+    })
+}
+
+fn bindings(nv: i64, mv: i64) -> HashMap<Symbol, Rational> {
+    let mut b = HashMap::new();
+    b.insert(Symbol::new("n"), Rational::from_int(nv));
+    b.insert(Symbol::new("m"), Rational::from_int(mv));
+    b
+}
+
+proptest! {
+    #[test]
+    fn poly_add_evaluates_pointwise(p in poly(), q in poly(), nv in -50i64..50, mv in -50i64..50) {
+        let b = bindings(nv, mv);
+        let lhs = (&p + &q).eval(&b).unwrap();
+        let rhs = p.eval(&b).unwrap() + q.eval(&b).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn poly_mul_evaluates_pointwise(p in poly(), q in poly(), nv in -20i64..20, mv in -20i64..20) {
+        let b = bindings(nv, mv);
+        let lhs = (&p * &q).eval(&b).unwrap();
+        let rhs = p.eval(&b).unwrap() * q.eval(&b).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn poly_sub_self_is_zero(p in poly()) {
+        prop_assert!((&p - &p).is_zero());
+    }
+
+    #[test]
+    fn poly_subst_then_eval_commutes(p in poly(), k in -10i64..10, nv in -10i64..10, mv in -10i64..10) {
+        // p[n := m + k] evaluated == p evaluated with n = m + k.
+        let n = Symbol::new("n");
+        let rep = Poly::var(Symbol::new("m")) + Poly::from(k);
+        let substituted = p.subst(&n, &rep).unwrap();
+        let b = bindings(nv, mv);
+        let direct = {
+            let mut b2 = bindings(mv + k, mv);
+            b2.insert(Symbol::new("m"), Rational::from_int(mv));
+            p.eval(&b2).unwrap()
+        };
+        prop_assert_eq!(substituted.eval(&b).unwrap(), direct);
+    }
+
+    #[test]
+    fn poly_derivative_of_sum(p in poly(), q in poly()) {
+        let n = Symbol::new("n");
+        prop_assert_eq!((&p + &q).derivative(&n), &p.derivative(&n) + &q.derivative(&n));
+    }
+
+    #[test]
+    fn poly_antiderivative_inverts_derivative(p in poly()) {
+        let n = Symbol::new("n");
+        let ad = p.antiderivative(&n).unwrap();
+        prop_assert_eq!(ad.derivative(&n), p);
+    }
+}
+
+// ---------- root finding ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn roots_from_factored_polynomials(mut rs in proptest::collection::vec(-8i32..8, 1..5)) {
+        rs.sort();
+        rs.dedup();
+        // Build Π (x − r) as dense coefficients.
+        let mut coeffs = vec![1.0f64];
+        for &r in &rs {
+            let mut next = vec![0.0; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] -= c * r as f64;
+            }
+            coeffs = next;
+        }
+        let found = real_roots(&coeffs);
+        prop_assert_eq!(found.len(), rs.len(), "{:?} vs {:?}", found, rs);
+        for (f, r) in found.iter().zip(&rs) {
+            prop_assert!((f - *r as f64).abs() < 1e-6, "{} vs {}", f, r);
+        }
+    }
+
+    #[test]
+    fn all_reported_roots_are_roots(coeffs in proptest::collection::vec(-50f64..50.0, 1..6)) {
+        let scale = coeffs.iter().fold(1.0f64, |a, c| a.max(c.abs()));
+        for r in real_roots(&coeffs) {
+            let v = horner(&coeffs, r);
+            prop_assert!(v.abs() <= 1e-4 * scale * (1.0 + r.abs()).powi(coeffs.len() as i32), "P({r}) = {v}");
+        }
+    }
+}
+
+// ---------- sign regions ----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sign_regions_match_sampling(coeffs in proptest::collection::vec(-10f64..10.0, 1..5)) {
+        let x = Symbol::new("x");
+        let p = coeffs.iter().enumerate().fold(Poly::zero(), |acc, (i, &c)| {
+            acc + Poly::term(
+                Rational::new((c * 16.0).round() as i128, 16),
+                Monomial::power(x.clone(), i as i32),
+            )
+        });
+        let regions = sign_regions(&p, &x, -5.0, 5.0).unwrap();
+        // Regions tile the range.
+        prop_assert!((regions.first().unwrap().lo - -5.0).abs() < 1e-9);
+        prop_assert!((regions.last().unwrap().hi - 5.0).abs() < 1e-9);
+        for w in regions.windows(2) {
+            prop_assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+        }
+        // Sampling agrees with the reported sign away from boundaries.
+        for r in &regions {
+            if r.hi - r.lo < 1e-3 {
+                continue;
+            }
+            let mid = 0.5 * (r.lo + r.hi);
+            let v = p.eval_univariate(&x, mid).unwrap();
+            match r.sign {
+                Sign::Positive => prop_assert!(v > -1e-9, "{v} at {mid}"),
+                Sign::Negative => prop_assert!(v < 1e-9, "{v} at {mid}"),
+                Sign::Zero => prop_assert!(v.abs() < 1e-6, "{v} at {mid}"),
+            }
+        }
+    }
+}
+
+// ---------- slot lists -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn blocklist_equals_flat_bitmap(ops in proptest::collection::vec((0usize..128, 1usize..6), 1..100)) {
+        let mut list = BlockList::new();
+        let mut flat = FlatSlots::new();
+        for (from, len) in ops {
+            let a = list.find_fit(from, len);
+            let b = flat.find_fit(from, len);
+            prop_assert_eq!(a, b, "find_fit({}, {})", from, len);
+            list.fill(a, len);
+            flat.fill(b, len);
+        }
+    }
+
+    #[test]
+    fn blocklist_runs_alternate_and_cover(ops in proptest::collection::vec((0usize..64, 1usize..5), 1..40)) {
+        let mut list = BlockList::new();
+        let mut total = 0;
+        for (from, len) in ops {
+            let t = list.find_fit(from, len);
+            list.fill(t, len);
+            total += len;
+        }
+        prop_assert_eq!(list.busy(), total);
+        let runs: Vec<_> = list.runs().collect();
+        // Runs abut and alternate.
+        let mut pos = 0;
+        let mut last_filled = None;
+        for (start, len, filled) in runs {
+            prop_assert_eq!(start, pos);
+            prop_assert!(len > 0);
+            if let Some(lf) = last_filled {
+                prop_assert_ne!(lf, filled, "adjacent runs must alternate");
+            }
+            last_filled = Some(filled);
+            pos = start + len;
+        }
+    }
+}
+
+// ---------- placement vs. simulator vs. naive --------------------------------
+
+/// Random operation stream generator.
+fn op_stream() -> impl Strategy<Value = BlockIr> {
+    proptest::collection::vec((0usize..7, proptest::bool::ANY), 1..40).prop_map(|ops| {
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let mut prev = x;
+        for (kind, dep) in ops {
+            let basic = [
+                BasicOp::FAdd,
+                BasicOp::FMul,
+                BasicOp::Fma,
+                BasicOp::IAdd,
+                BasicOp::LoadFloat,
+                BasicOp::IMul,
+                BasicOp::FDiv,
+            ][kind];
+            let args = if dep { vec![prev, x] } else { vec![x, x] };
+            prev = b.emit(basic, args);
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_upper_bounds_everything(block in op_stream()) {
+        for machine in [machines::power_like(), machines::risc1(), machines::wide4()] {
+            let naive = naive_block_cost(&machine, &block);
+            let sim = simulate_block(&machine, &block).makespan;
+            let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
+            prop_assert!(sim <= naive, "sim {} > naive {} on {}", sim, naive, machine.name());
+            prop_assert!(placed <= naive, "placed {} > naive {} on {}", placed, naive, machine.name());
+        }
+    }
+
+    #[test]
+    fn placement_respects_critical_path(block in op_stream()) {
+        // Completion can never beat the dependence-chain lower bound.
+        let machine = machines::power_like();
+        let mut chain_bound = vec![0u32; block.ops.len()];
+        for (i, op) in block.ops.iter().enumerate() {
+            let ready = block
+                .deps_of(op)
+                .into_iter()
+                .map(|d| chain_bound[d.0 as usize])
+                .max()
+                .unwrap_or(0);
+            let lat: u32 = machine
+                .expand(op.basic)
+                .iter()
+                .map(|id| machine.atomic(*id).latency())
+                .sum();
+            chain_bound[i] = ready + lat;
+        }
+        let bound = chain_bound.iter().copied().max().unwrap_or(0);
+        let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
+        prop_assert!(placed >= bound, "placed {} < critical path {}", placed, bound);
+        let sim = simulate_block(&machine, &block).makespan;
+        prop_assert!(sim >= bound, "sim {} < critical path {}", sim, bound);
+    }
+
+    #[test]
+    fn prediction_tracks_simulator_within_factor(block in op_stream()) {
+        // Random adversarial streams (e.g. unpipelined divides stacked in
+        // program order) can diverge more than real compiler output — the
+        // Figure 7 suite stays within a few percent — but greedy placement
+        // and the priority scheduler must remain the same order of
+        // magnitude on anything.
+        let machine = machines::power_like();
+        let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
+        let sim = simulate_block(&machine, &block).makespan.max(1);
+        let ratio = placed as f64 / sim as f64;
+        prop_assert!((0.4..=2.0).contains(&ratio), "placed {placed} vs sim {sim}");
+    }
+
+    #[test]
+    fn focus_span_never_improves_on_unbounded(block in op_stream()) {
+        let machine = machines::power_like();
+        let free = place_block(&machine, &block, PlaceOptions::default()).completion;
+        let tight = place_block(&machine, &block, PlaceOptions::with_focus_span(1)).completion;
+        prop_assert!(tight >= free, "tight {} < free {}", tight, free);
+    }
+}
+
+// ---------- end-to-end prediction sanity --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_loops_predict_linear_cost(stmts in 1usize..4, mul in proptest::bool::ANY) {
+        let mut body = String::new();
+        for k in 0..stmts {
+            if mul {
+                body.push_str(&format!("a(i) = a(i) * b(i) + {k}.0\n"));
+            } else {
+                body.push_str(&format!("a(i) = a(i) + b(i) + {k}.0\n"));
+            }
+        }
+        let src = format!(
+            "subroutine s(a, b, n)\nreal a(n), b(n)\ninteger i, n\ndo i = 1, n\n{body}end do\nend"
+        );
+        let predictor = presage::core::predictor::Predictor::new(machines::power_like());
+        let pred = &predictor.predict_source(&src).unwrap()[0];
+        let n = Symbol::new("n");
+        prop_assert_eq!(pred.total.poly().degree_in(&n), 1);
+        // Per-iteration coefficient grows with statement count and is
+        // bounded by the naive per-iteration cost.
+        let coeff = pred.total.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        prop_assert!(coeff.to_f64() > 0.0);
+        prop_assert!(coeff.to_f64() < 100.0 * stmts as f64);
+    }
+}
