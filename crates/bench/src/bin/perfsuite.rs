@@ -1,0 +1,328 @@
+//! In-tree performance suite: throughput of the predictor itself.
+//!
+//! Tools in this lineage treat predictor throughput as a first-class
+//! metric; `perfsuite` measures the three hot paths this repo optimizes —
+//! Tetris placement, end-to-end prediction, and the A* transformation
+//! search — against the preserved seed algorithm, and writes the numbers
+//! to `BENCH_placement.json`. No external dependencies: timing is
+//! `std::time::Instant`, output is the hand-rolled JSON writer.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfsuite [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs a fast sanity pass (no thresholds, tiny workloads) for
+//! CI; the full run enforces the targets (≥3× placement ops/sec on wide8,
+//! ≥2× A* wall-time) and exits nonzero when missed.
+
+use presage_bench::kernels::{self, figure7};
+use presage_core::reference::NaivePlacer;
+use presage_core::tetris::{PlaceOptions, Placer, PreparedBlock};
+use presage_core::Predictor;
+use presage_machine::json::Json;
+use presage_machine::{machines, MachineDesc};
+use presage_opt::{astar_search_cached, PredictionCache, SearchOptions};
+use presage_translate::BlockIr;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+struct Config {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config { smoke: false, out: "BENCH_placement.json".to_string() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" => match args.next() {
+                Some(path) => cfg.out = path,
+                None => {
+                    eprintln!("--out takes a path; see --help");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: perfsuite [--smoke] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// The placement workload: every Figure 7 innermost block, re-dropped to
+/// model loop-overlap probing (`overlap::steady_state`'s access pattern),
+/// under the paper's bounded focus span.
+const DROPS_PER_BLOCK: u32 = 16;
+const FOCUS_SPAN: u32 = 64;
+
+fn placement_blocks(machine: &MachineDesc) -> Vec<BlockIr> {
+    figure7()
+        .iter()
+        .map(|k| kernels::innermost_block(k.source, machine))
+        .collect()
+}
+
+/// Runs `work` repeatedly until `budget` elapses, returning the measured
+/// throughput denominator: (units of work done, elapsed seconds).
+fn time_until<F: FnMut() -> u64>(budget: Duration, mut work: F) -> (u64, f64) {
+    let start = Instant::now();
+    let mut done = 0u64;
+    loop {
+        done += work();
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return (done, elapsed.as_secs_f64());
+        }
+    }
+}
+
+fn placement_round(machine: &MachineDesc, blocks: &[BlockIr], naive: bool) -> u64 {
+    let opts = PlaceOptions::with_focus_span(FOCUS_SPAN);
+    let mut ops = 0u64;
+    if naive {
+        let mut p = NaivePlacer::new(machine, opts);
+        for b in blocks {
+            p.clear();
+            for _ in 0..DROPS_PER_BLOCK {
+                black_box(p.drop_block(b));
+            }
+            ops += p.ops_placed();
+        }
+    } else {
+        let mut p = Placer::new(machine, opts);
+        for b in blocks {
+            // Dependence analysis is per block, not per drop — the
+            // optimized overlap prober works exactly like this.
+            let prepared = PreparedBlock::new(b);
+            p.clear();
+            for _ in 0..DROPS_PER_BLOCK {
+                black_box(p.drop_prepared(&prepared));
+            }
+            ops += p.ops_placed();
+        }
+    }
+    ops
+}
+
+struct PlacementRow {
+    machine: String,
+    naive_ops_per_sec: f64,
+    opt_ops_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench_placement(budget: Duration) -> Vec<PlacementRow> {
+    let mut rows = Vec::new();
+    for machine in machines::all() {
+        let blocks = placement_blocks(&machine);
+        // Warm up both paths once so first-touch allocation is off-clock.
+        placement_round(&machine, &blocks, true);
+        placement_round(&machine, &blocks, false);
+        let (naive_ops, naive_s) =
+            time_until(budget, || placement_round(&machine, &blocks, true));
+        let (opt_ops, opt_s) =
+            time_until(budget, || placement_round(&machine, &blocks, false));
+        let naive_rate = naive_ops as f64 / naive_s;
+        let opt_rate = opt_ops as f64 / opt_s;
+        rows.push(PlacementRow {
+            machine: machine.name().to_string(),
+            naive_ops_per_sec: naive_rate,
+            opt_ops_per_sec: opt_rate,
+            speedup: opt_rate / naive_rate,
+        });
+    }
+    rows
+}
+
+fn bench_prediction(budget: Duration) -> f64 {
+    let predictor = Predictor::new(machines::wide8());
+    let suite = figure7();
+    predictor.predict_source(suite[0].source).expect("kernel predicts");
+    let (preds, secs) = time_until(budget, || {
+        let mut n = 0u64;
+        for k in &suite {
+            let p = predictor.predict_source(k.source).expect("kernel predicts");
+            black_box(&p);
+            n += p.len() as u64;
+        }
+        n
+    });
+    preds as f64 / secs
+}
+
+/// The restructuring workload of §3.2: the same programs searched at
+/// several evaluation points, as a compiler would while restructuring.
+/// Seed behavior re-predicts every candidate from scratch each time
+/// (fresh cache per search); the optimized path shares one memo table.
+struct AstarResult {
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn bench_astar(smoke: bool) -> AstarResult {
+    let predictor = Predictor::new(machines::wide8());
+    let sources = [kernels::MATMUL, kernels::JACOBI, kernels::F4];
+    let subs: Vec<_> = sources
+        .iter()
+        .map(|s| presage_frontend::parse(s).expect("kernel parses").units.remove(0))
+        .collect();
+    let eval_points: &[f64] = if smoke { &[64.0, 256.0] } else { &[64.0, 128.0, 256.0, 512.0] };
+    let max_expansions = if smoke { 4 } else { 12 };
+    let opts_at = |n: f64| SearchOptions {
+        max_expansions,
+        max_depth: 2,
+        eval_point: HashMap::from([("n".to_string(), n)]),
+        ..Default::default()
+    };
+
+    // Seed mode: every search pays full prediction (fresh cache).
+    let start = Instant::now();
+    for sub in &subs {
+        for &n in eval_points {
+            let fresh = PredictionCache::new();
+            black_box(astar_search_cached(sub, &predictor, &opts_at(n), &fresh));
+        }
+    }
+    let uncached = start.elapsed();
+
+    // Optimized mode: one cache across the whole restructuring session.
+    let shared = PredictionCache::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let start = Instant::now();
+    for sub in &subs {
+        for &n in eval_points {
+            let r = astar_search_cached(sub, &predictor, &opts_at(n), &shared);
+            hits += r.cache_hits;
+            misses += r.cache_misses;
+            black_box(&r);
+        }
+    }
+    let cached = start.elapsed();
+
+    AstarResult {
+        uncached_ms: uncached.as_secs_f64() * 1e3,
+        cached_ms: cached.as_secs_f64() * 1e3,
+        speedup: uncached.as_secs_f64() / cached.as_secs_f64(),
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn main() {
+    let cfg = parse_args();
+    let budget = if cfg.smoke { Duration::from_millis(30) } else { Duration::from_millis(500) };
+
+    eprintln!("perfsuite: placement ({} mode)", if cfg.smoke { "smoke" } else { "full" });
+    let placement = bench_placement(budget);
+    for row in &placement {
+        eprintln!(
+            "  {:>10}: naive {:>12.0} ops/s, optimized {:>12.0} ops/s  ({:.2}x)",
+            row.machine, row.naive_ops_per_sec, row.opt_ops_per_sec, row.speedup
+        );
+    }
+
+    eprintln!("perfsuite: end-to-end prediction");
+    let preds_per_sec = bench_prediction(budget);
+    eprintln!("  wide8: {preds_per_sec:.0} predictions/s over the Figure 7 suite");
+
+    eprintln!("perfsuite: A* restructuring session");
+    let astar = bench_astar(cfg.smoke);
+    eprintln!(
+        "  uncached {:.1} ms, shared-cache {:.1} ms  ({:.2}x), {} hits / {} misses",
+        astar.uncached_ms, astar.cached_ms, astar.speedup, astar.cache_hits, astar.cache_misses
+    );
+
+    let wide8_speedup = placement
+        .iter()
+        .find(|r| r.machine == "wide8")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("presage-perfsuite-v1".into())),
+        ("mode".into(), Json::Str(if cfg.smoke { "smoke" } else { "full" }.into())),
+        (
+            "placement".into(),
+            Json::Arr(
+                placement
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(r.machine.clone())),
+                            ("naive_ops_per_sec".into(), Json::Num(r.naive_ops_per_sec.round())),
+                            ("opt_ops_per_sec".into(), Json::Num(r.opt_ops_per_sec.round())),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "prediction".into(),
+            Json::Obj(vec![
+                ("machine".into(), Json::Str("wide8".into())),
+                ("predictions_per_sec".into(), Json::Num(preds_per_sec.round())),
+            ]),
+        ),
+        (
+            "astar".into(),
+            Json::Obj(vec![
+                ("uncached_ms".into(), Json::Num(round2(astar.uncached_ms))),
+                ("cached_ms".into(), Json::Num(round2(astar.cached_ms))),
+                ("speedup".into(), Json::Num(round2(astar.speedup))),
+                ("cache_hits".into(), Json::Num(astar.cache_hits as f64)),
+                ("cache_misses".into(), Json::Num(astar.cache_misses as f64)),
+            ]),
+        ),
+        (
+            "targets".into(),
+            Json::Obj(vec![
+                ("placement_wide8_min".into(), Json::Num(3.0)),
+                ("astar_min".into(), Json::Num(2.0)),
+            ]),
+        ),
+    ]);
+    if let Err(err) = std::fs::write(&cfg.out, report.to_string_pretty() + "\n") {
+        eprintln!("perfsuite: cannot write {}: {err}", cfg.out);
+        std::process::exit(1);
+    }
+    eprintln!("perfsuite: wrote {}", cfg.out);
+
+    if !cfg.smoke {
+        let mut failed = false;
+        if wide8_speedup < 3.0 {
+            eprintln!("FAIL: placement speedup on wide8 is {wide8_speedup:.2}x (target 3x)");
+            failed = true;
+        }
+        if astar.speedup < 2.0 {
+            eprintln!("FAIL: A* session speedup is {:.2}x (target 2x)", astar.speedup);
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perfsuite: targets met (placement wide8 {wide8_speedup:.2}x >= 3x, A* {:.2}x >= 2x)",
+            astar.speedup
+        );
+    }
+}

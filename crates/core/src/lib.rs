@@ -53,10 +53,11 @@ pub mod library;
 pub mod memory;
 pub mod overlap;
 pub mod predictor;
+pub mod reference;
 pub mod render;
 pub mod slots;
 pub mod tetris;
 
 pub use costblock::CostBlock;
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
-pub use tetris::{place_block, PlaceOptions, Placer};
+pub use tetris::{place_block, PlaceOptions, Placer, PreparedBlock};

@@ -5,7 +5,7 @@
 //! basic block into the functional bins multiple times."
 
 use crate::costblock::CostBlock;
-use crate::tetris::{place_block, PlaceOptions, Placer};
+use crate::tetris::{place_block, PlaceOptions, Placer, PreparedBlock};
 use presage_machine::MachineDesc;
 use presage_translate::BlockIr;
 
@@ -41,11 +41,12 @@ impl SteadyState {
 /// Panics if `probes < 2`.
 pub fn steady_state(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions, probes: u32) -> SteadyState {
     assert!(probes >= 2, "need at least two probe iterations");
+    let prepared = PreparedBlock::new(body);
     let mut placer = Placer::new(machine, opts);
-    let c1 = placer.drop_block(body);
+    let c1 = placer.drop_prepared(&prepared);
     let mut ck = c1;
     for _ in 1..probes {
-        ck = placer.drop_block(body);
+        ck = placer.drop_prepared(&prepared);
     }
     let per_iteration = if body.is_empty() {
         0.0
@@ -72,19 +73,20 @@ pub fn shape_estimate(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions)
 /// cycles per *original* iteration at each factor.
 pub fn unroll_profile(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions, max_factor: u32) -> Vec<(u32, f64)> {
     let mut out = Vec::new();
+    let prepared = PreparedBlock::new(body);
     for factor in 1..=max_factor {
         // Unrolling approximated by concatenated bodies: drop `factor`
         // copies per "iteration" probe.
         let mut placer = Placer::new(machine, opts);
         let mut c_first = 0;
         for _ in 0..factor {
-            c_first = placer.drop_block(body);
+            c_first = placer.drop_prepared(&prepared);
         }
         let probes = 6;
         let mut ck = c_first;
         for _ in 1..probes {
             for _ in 0..factor {
-                ck = placer.drop_block(body);
+                ck = placer.drop_prepared(&prepared);
             }
         }
         let per_group = (ck - c_first) as f64 / (probes - 1) as f64;

@@ -1,0 +1,216 @@
+//! The seed placement algorithm, preserved verbatim as a reference oracle.
+//!
+//! [`NaivePlacer`] is the original (pre-optimization) implementation of the
+//! §2.1 Tetris placement: it allocates a fresh dependence `Vec` per op,
+//! clones every atomic-op definition out of the machine table, rescans all
+//! bins for the highest occupied slot on every placement, re-advances every
+//! bin's focus floor on every atomic, and grows every instance of a unit
+//! pool while probing for the best fit. It is kept — unoptimized, and
+//! algorithmically identical to the seed — for two purposes:
+//!
+//! 1. the differential test suite proves the optimized [`crate::tetris::Placer`]
+//!    produces bit-identical [`DropSchedule`]s on every kernel × machine;
+//! 2. the `perfsuite` benchmark harness measures the optimized hot path
+//!    against this baseline, so speedup claims are reproducible in-tree.
+//!
+//! Do not "fix" or speed up this module: its value is that it does not
+//! change.
+
+use crate::costblock::{CostBlock, UnitUsage};
+use crate::slots::BlockList;
+use crate::tetris::{DropSchedule, OpTime, PlaceOptions};
+use presage_machine::{MachineDesc, UnitClass};
+use presage_translate::BlockIr;
+
+struct Bin {
+    class: UnitClass,
+    instance: u8,
+    list: BlockList,
+}
+
+/// The seed placement engine: same semantics as [`crate::tetris::Placer`],
+/// original constant factors.
+pub struct NaivePlacer<'m> {
+    machine: &'m MachineDesc,
+    opts: PlaceOptions,
+    bins: Vec<Bin>,
+    max_completion: u32,
+    ops_placed: u64,
+}
+
+impl<'m> NaivePlacer<'m> {
+    /// Creates empty bins for the machine's functional units.
+    pub fn new(machine: &'m MachineDesc, opts: PlaceOptions) -> NaivePlacer<'m> {
+        let mut bins = Vec::new();
+        for pool in machine.units() {
+            for inst in 0..pool.count {
+                bins.push(Bin { class: pool.class, instance: inst, list: BlockList::new() });
+            }
+        }
+        NaivePlacer { machine, opts, bins, max_completion: 0, ops_placed: 0 }
+    }
+
+    /// Flushes all bins.
+    pub fn clear(&mut self) {
+        for b in &mut self.bins {
+            b.list.clear();
+        }
+        self.max_completion = 0;
+        self.ops_placed = 0;
+    }
+
+    /// Total operations placed since the last clear.
+    pub fn ops_placed(&self) -> u64 {
+        self.ops_placed
+    }
+
+    /// One past the highest occupied slot across all bins (full rescan —
+    /// the seed behavior).
+    fn highest(&self) -> u32 {
+        self.bins
+            .iter()
+            .filter_map(|b| b.list.highest_filled())
+            .map(|h| h as u32 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn floor(&self) -> u32 {
+        match self.opts.focus_span {
+            None => 0,
+            Some(span) => self.highest().saturating_sub(span),
+        }
+    }
+
+    /// Drops one straight-line block, returning the completion time.
+    pub fn drop_block(&mut self, block: &BlockIr) -> u32 {
+        self.drop_block_detailed(block).completion
+    }
+
+    /// Seed placement loop: per-op dependence `Vec`, per-atomic clone.
+    pub fn drop_block_detailed(&mut self, block: &BlockIr) -> DropSchedule {
+        let mut per_op: Vec<OpTime> = Vec::with_capacity(block.ops.len());
+        let mut finish = vec![0u32; block.ops.len()];
+        let mut completion = self.max_completion;
+        for (i, op) in block.ops.iter().enumerate() {
+            let ready = block
+                .deps_of(op)
+                .into_iter()
+                .map(|d| finish[d.0 as usize])
+                .max()
+                .unwrap_or(0);
+            let mut t_done = ready;
+            let mut first_issue = None;
+            for atomic_id in self.machine.expand(op.basic) {
+                let atomic = self.machine.atomic(*atomic_id).clone();
+                if atomic.costs.is_empty() {
+                    continue;
+                }
+                let t = self.place_atomic(&atomic, t_done);
+                first_issue.get_or_insert(t);
+                t_done = t + atomic.latency();
+            }
+            finish[i] = t_done;
+            per_op.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+            completion = completion.max(t_done);
+            self.ops_placed += 1;
+        }
+        self.max_completion = completion;
+        DropSchedule { completion, per_op }
+    }
+
+    fn place_atomic(&mut self, atomic: &presage_machine::AtomicOpDef, ready: u32) -> u32 {
+        let floor = self.floor();
+        if self.opts.focus_span.is_some() && floor > 0 {
+            for bin in &mut self.bins {
+                bin.list.advance_min_position(floor as usize);
+            }
+        }
+        let mut t = ready.max(floor);
+        'fixpoint: loop {
+            let mut picks: Vec<(usize, u32)> = Vec::with_capacity(atomic.costs.len());
+            for comp in &atomic.costs {
+                if comp.noncoverable == 0 {
+                    continue;
+                }
+                let (idx, fit) = self.best_fit(comp.class, t, comp.noncoverable);
+                if fit > t {
+                    t = fit;
+                    continue 'fixpoint;
+                }
+                picks.push((idx, comp.noncoverable));
+            }
+            for (idx, len) in picks {
+                self.bins[idx].list.fill(t as usize, len as usize);
+            }
+            return t;
+        }
+    }
+
+    /// Seed best-fit: mutating `find_fit` on every instance, growing the
+    /// losing bins' capacity too.
+    fn best_fit(&mut self, class: UnitClass, from: u32, len: u32) -> (usize, u32) {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, bin) in self.bins.iter_mut().enumerate() {
+            if bin.class != class {
+                continue;
+            }
+            let fit = bin.list.find_fit(from as usize, len as usize) as u32;
+            if best.map_or(true, |(_, bf)| fit < bf) {
+                best = Some((i, fit));
+            }
+        }
+        best.unwrap_or_else(|| panic!("machine has no unit of class {class}"))
+    }
+
+    /// Snapshot of the current bins as a [`CostBlock`].
+    pub fn cost_block(&self) -> CostBlock {
+        let units = self
+            .bins
+            .iter()
+            .map(|b| UnitUsage {
+                class: b.class,
+                instance: b.instance,
+                bottom: b.list.lowest_filled().unwrap_or(0) as u32,
+                top: b.list.highest_filled().map(|h| h as u32 + 1).unwrap_or(0),
+                busy: b.list.busy() as u32,
+            })
+            .collect();
+        CostBlock { units, completion: self.max_completion }
+    }
+}
+
+/// One-shot seed placement of a single block with fresh bins.
+pub fn naive_place(machine: &MachineDesc, block: &BlockIr, opts: PlaceOptions) -> CostBlock {
+    let mut p = NaivePlacer::new(machine, opts);
+    p.drop_block(block);
+    p.cost_block()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::ValueDef;
+
+    #[test]
+    fn naive_matches_seed_expectations() {
+        // The exact values the seed test suite pinned.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..8 {
+            b.emit(BasicOp::FAdd, vec![x, x]);
+        }
+        let mut p = NaivePlacer::new(&m, PlaceOptions::default());
+        assert_eq!(p.drop_block(&b), 9);
+
+        let mut c = BlockIr::new();
+        let mut v = c.add_value(ValueDef::External("x".into()));
+        for _ in 0..8 {
+            v = c.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        let mut p2 = NaivePlacer::new(&m, PlaceOptions::default());
+        assert_eq!(p2.drop_block(&c), 16);
+    }
+}

@@ -153,6 +153,42 @@ impl BlockList {
         start
     }
 
+    /// Read-only twin of [`BlockList::find_fit`]: returns the slot
+    /// `find_fit(from, len)` would return, without growing the list.
+    ///
+    /// The two agree because capacity never influences the answer: an
+    /// empty run that reaches the end of the array is logically unbounded
+    /// (`find_fit` would extend it before scanning), so it accepts any
+    /// request, and the append fallback `max(highest, from)` needs no
+    /// storage to compute. This lets the placement engine probe every
+    /// instance of a unit pool and grow only the winner — probing used to
+    /// call `find_fit` on all instances, permanently inflating the losing
+    /// bins' capacity to the high-water mark of the whole pool.
+    pub fn probe_fit(&self, from: usize, len: usize) -> usize {
+        assert!(len > 0, "cannot place a zero-length run");
+        if from >= self.highest {
+            // Everything at or above `highest` is empty and unbounded:
+            // the common place-at-the-top query answers in O(1).
+            return from;
+        }
+        let cap = self.slots.len();
+        let mut i = if from >= self.hint { self.hint } else { 0 };
+        while i < cap {
+            let run = self.slots[i];
+            debug_assert!(run != 0, "corrupt run encoding at {i}");
+            let l = run.unsigned_abs() as usize;
+            let end = i + l;
+            if run < 0 && end > from {
+                let start = i.max(from);
+                if end == cap || end - start >= len {
+                    return start;
+                }
+            }
+            i = end;
+        }
+        self.highest.max(from)
+    }
+
     /// Marks `[start, start + len)` as filled.
     ///
     /// # Panics
@@ -499,6 +535,89 @@ mod tests {
             f.fill(tf, len);
         }
         assert_eq!(a.highest_filled().map(|h| h + 1).unwrap_or(0), f.highest());
+    }
+
+    #[test]
+    fn probe_fit_agrees_with_find_fit() {
+        // probe_fit must return exactly find_fit's answer (including the
+        // growth cases) without mutating the list.
+        let mut b = BlockList::new();
+        let mut seed = 0x243F6A8885A308D3u64;
+        for step in 0..500 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let from = (seed >> 33) as usize % 200;
+            let len = 1 + (seed >> 13) as usize % 7;
+            let probed = b.probe_fit(from, len);
+            let snapshot = b.clone();
+            let found = b.find_fit(from, len);
+            assert_eq!(probed, found, "step {step}: from={from} len={len}");
+            // find_fit may grow capacity but must not change occupancy.
+            assert_eq!(snapshot.busy(), b.busy());
+            b.fill(found, len);
+        }
+    }
+
+    #[test]
+    fn probe_fit_does_not_grow() {
+        let mut b = BlockList::new();
+        b.fill(0, 4);
+        let cap = b.slots.len();
+        // A request far beyond capacity answers correctly without growth.
+        assert_eq!(b.probe_fit(1000, 8), 1000);
+        assert_eq!(b.probe_fit(0, 1000), 4, "trailing empty run is unbounded");
+        assert_eq!(b.slots.len(), cap);
+    }
+
+    #[test]
+    fn find_fit_inside_filled_run_at_hint_boundary() {
+        // The hint may sit on a *filled* run after advance_min_position
+        // lands inside one; queries from inside that run must step over it.
+        let mut b = BlockList::new();
+        b.fill(0, 6);
+        b.fill(8, 4);
+        b.advance_min_position(2); // hint = run start 0 (filled)
+        assert_eq!(b.find_fit(2, 2), 6, "gap between the runs");
+        assert_eq!(b.probe_fit(2, 2), 6);
+        assert_eq!(b.find_fit(2, 3), 12, "gap too small, go past the top");
+    }
+
+    #[test]
+    fn backward_merge_keeps_hint_valid_after_advance() {
+        let mut b = BlockList::new();
+        b.fill(0, 8);
+        b.fill(12, 4); // runs: #8@0 .4@8 #4@12 .-@16
+        b.advance_min_position(16); // hint on the trailing empty run at 16
+        // Fill at 16: merges backward into the filled run at 12, swallowing
+        // the boundary cell the hint pointed at.
+        b.fill(16, 2);
+        // The hint must still name a run start; all queries stay correct.
+        assert_eq!(b.find_fit(16, 1), 18);
+        assert_eq!(b.probe_fit(16, 1), 18);
+        b.fill(18, 1);
+        assert_eq!(b.busy(), 15);
+    }
+
+    #[test]
+    fn trailing_run_merges_across_ensure_capacity() {
+        let mut b = BlockList::new();
+        // Leave a trailing empty run, then grow far beyond capacity: the
+        // new region must merge with the old trailing empty run, keeping
+        // the run encoding consistent at the old boundary.
+        b.fill(0, 60); // trailing empty [60, 64)
+        let t = b.find_fit(60, 300); // forces growth well past 64
+        assert_eq!(t, 60, "old trailing empty extends seamlessly");
+        b.fill(t, 300);
+        assert_eq!(b.busy(), 360);
+        let runs: Vec<_> = b.runs().collect();
+        assert_eq!(runs, vec![(0, 360, true)]);
+        // Growth when the array ends in a *filled* run appends a fresh
+        // empty run instead of merging.
+        let mut c = BlockList::new();
+        let cap = c.slots.len();
+        c.fill(0, cap); // entirely filled
+        assert_eq!(c.find_fit(0, 4), cap);
+        c.fill(cap, 4);
+        assert_eq!(c.busy(), cap + 4);
     }
 
     #[test]

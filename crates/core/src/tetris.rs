@@ -11,8 +11,8 @@
 
 use crate::costblock::{CostBlock, UnitUsage};
 use crate::slots::BlockList;
-use presage_machine::{MachineDesc, UnitClass};
-use presage_translate::BlockIr;
+use presage_machine::{AtomicOpId, BasicOp, MachineDesc, UnitClass};
+use presage_translate::{BlockIr, DepCsr};
 
 /// Options controlling placement.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -74,6 +74,26 @@ pub struct Placer<'m> {
     bins: Vec<Bin>,
     max_completion: u32,
     ops_placed: u64,
+    /// One past the highest occupied slot across all bins, maintained
+    /// incrementally on every fill (the seed rescanned every bin per
+    /// atomic operation).
+    highest: u32,
+    /// The focus floor the bins were last advanced to; bins are only
+    /// re-advanced when the floor actually moves.
+    advanced_floor: u32,
+    /// Scratch: `(bin index, run length)` picks of the current fixpoint
+    /// round, reused across all `place_atomic` calls.
+    picks: Vec<(usize, u32)>,
+    /// Scratch: dependence adjacency of the block being dropped.
+    deps: DepCsr,
+    /// Scratch: per-op finish times of the block being dropped.
+    finish: Vec<u32>,
+    /// Flat atomic-operation mapping, indexed by [`BasicOp`] discriminant:
+    /// `exp_offsets[op]` bounds `op`'s slice of `exp_ids`. Built once per
+    /// placer so the per-op expansion lookup is two array reads instead of
+    /// an ordered-map probe.
+    exp_offsets: Vec<(u32, u32)>,
+    exp_ids: Vec<AtomicOpId>,
 }
 
 impl std::fmt::Debug for Placer<'_> {
@@ -97,7 +117,34 @@ impl<'m> Placer<'m> {
                 bins.push(Bin { class: pool.class, instance: inst, list: BlockList::new() });
             }
         }
-        Placer { machine, opts, bins, max_completion: 0, ops_placed: 0 }
+        let table_len = BasicOp::ALL
+            .into_iter()
+            .chain([BasicOp::Nop])
+            .map(|op| op as usize)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut exp_offsets = vec![(0u32, 0u32); table_len];
+        let mut exp_ids = Vec::new();
+        for op in BasicOp::ALL.into_iter().chain([BasicOp::Nop]) {
+            let start = exp_ids.len() as u32;
+            exp_ids.extend_from_slice(machine.expand(op));
+            exp_offsets[op as usize] = (start, exp_ids.len() as u32);
+        }
+        Placer {
+            machine,
+            opts,
+            bins,
+            max_completion: 0,
+            ops_placed: 0,
+            highest: 0,
+            advanced_floor: 0,
+            picks: Vec::new(),
+            deps: DepCsr::new(),
+            finish: Vec::new(),
+            exp_offsets,
+            exp_ids,
+        }
     }
 
     /// The machine being modeled.
@@ -113,6 +160,8 @@ impl<'m> Placer<'m> {
         }
         self.max_completion = 0;
         self.ops_placed = 0;
+        self.highest = 0;
+        self.advanced_floor = 0;
     }
 
     /// Total operations placed since the last clear.
@@ -120,21 +169,14 @@ impl<'m> Placer<'m> {
         self.ops_placed
     }
 
-    /// One past the highest occupied slot across all bins.
-    fn highest(&self) -> u32 {
-        self.bins
-            .iter()
-            .filter_map(|b| b.list.highest_filled())
-            .map(|h| h as u32 + 1)
-            .max()
-            .unwrap_or(0)
-    }
-
     /// The lowest searchable slot under the focus-span policy.
+    ///
+    /// `self.highest` is maintained incrementally on every fill, so this is
+    /// O(1) — the seed rescanned every bin here, once per atomic operation.
     fn floor(&self) -> u32 {
         match self.opts.focus_span {
             None => 0,
-            Some(span) => self.highest().saturating_sub(span),
+            Some(span) => self.highest.saturating_sub(span),
         }
     }
 
@@ -142,7 +184,11 @@ impl<'m> Placer<'m> {
     /// completion time of its last result (measured from slot 0 of the
     /// whole placement history).
     pub fn drop_block(&mut self, block: &BlockIr) -> u32 {
-        self.drop_block_detailed(block).completion
+        let mut deps = std::mem::take(&mut self.deps);
+        deps.rebuild(block);
+        let completion = self.drop_ops(block, &deps, None);
+        self.deps = deps;
+        completion
     }
 
     /// Like [`Placer::drop_block`], but also returns each operation's
@@ -150,33 +196,64 @@ impl<'m> Placer<'m> {
     /// listing the paper used as its reference format.
     pub fn drop_block_detailed(&mut self, block: &BlockIr) -> DropSchedule {
         let mut per_op: Vec<OpTime> = Vec::with_capacity(block.ops.len());
-        let mut finish = vec![0u32; block.ops.len()];
+        let mut deps = std::mem::take(&mut self.deps);
+        deps.rebuild(block);
+        let completion = self.drop_ops(block, &deps, Some(&mut per_op));
+        self.deps = deps;
+        DropSchedule { completion, per_op }
+    }
+
+    /// Drops a [`PreparedBlock`], skipping dependence analysis entirely —
+    /// the fast path for repeated drops of one block (loop-overlap
+    /// probing, §2.2.2).
+    pub fn drop_prepared(&mut self, prepared: &PreparedBlock<'_>) -> u32 {
+        self.drop_ops(prepared.block, &prepared.deps, None)
+    }
+
+    /// The placement loop shared by all drop entry points: no per-op
+    /// allocation, dependences read from the prebuilt CSR.
+    fn drop_ops(
+        &mut self,
+        block: &BlockIr,
+        deps: &DepCsr,
+        mut per_op: Option<&mut Vec<OpTime>>,
+    ) -> u32 {
+        debug_assert_eq!(deps.len(), block.ops.len(), "adjacency matches the block");
+        self.finish.clear();
+        self.finish.resize(block.ops.len(), 0);
+        // Copying the machine reference out of `self` detaches its
+        // lifetime from the `&mut self` placement calls below, so atomics
+        // are borrowed from the table instead of cloned per use.
+        let machine = self.machine;
         let mut completion = self.max_completion;
         for (i, op) in block.ops.iter().enumerate() {
-            let ready = block
-                .deps_of(op)
-                .into_iter()
-                .map(|d| finish[d.0 as usize])
+            let ready = deps
+                .deps(i)
+                .iter()
+                .map(|d| self.finish[d.0 as usize])
                 .max()
                 .unwrap_or(0);
             let mut t_done = ready;
             let mut first_issue = None;
-            for atomic_id in self.machine.expand(op.basic) {
-                let atomic = self.machine.atomic(*atomic_id).clone();
+            let (exp_start, exp_end) = self.exp_offsets[op.basic as usize];
+            for k in exp_start..exp_end {
+                let atomic = machine.atomic(self.exp_ids[k as usize]);
                 if atomic.costs.is_empty() {
                     continue;
                 }
-                let t = self.place_atomic(&atomic, t_done);
+                let t = self.place_atomic(atomic, t_done);
                 first_issue.get_or_insert(t);
                 t_done = t + atomic.latency();
             }
-            finish[i] = t_done;
-            per_op.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+            self.finish[i] = t_done;
+            if let Some(rec) = per_op.as_deref_mut() {
+                rec.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+            }
             completion = completion.max(t_done);
             self.ops_placed += 1;
         }
         self.max_completion = completion;
-        DropSchedule { completion, per_op }
+        completion
     }
 
     /// Finds the lowest slot ≥ `ready` (and ≥ the focus floor) where every
@@ -191,16 +268,37 @@ impl<'m> Placer<'m> {
             "atomic ops use each unit class at most once"
         );
         let floor = self.floor();
-        if self.opts.focus_span.is_some() && floor > 0 {
+        if floor > self.advanced_floor {
             // The focus-span floor is monotone: let every bin skip the
-            // frozen prefix, keeping placement amortized linear.
+            // frozen prefix, keeping placement amortized linear. Skipped
+            // entirely while the floor sits still (the seed re-walked every
+            // bin's hint on every atomic).
             for bin in &mut self.bins {
                 bin.list.advance_min_position(floor as usize);
             }
+            self.advanced_floor = floor;
         }
         let mut t = ready.max(floor);
+        // Fast path: at most one slot-occupying component (the common
+        // case). The fixpoint is immediate — a component's best fit is
+        // stable under re-probing from itself (fits are monotone in the
+        // start position, so the winning bin re-answers its own fit and
+        // no other bin can undercut it), so the general loop's extra
+        // verification round is skipped.
+        let mut occupying = atomic.costs.iter().filter(|c| c.noncoverable > 0);
+        let first = occupying.next();
+        if occupying.next().is_none() {
+            if let Some(comp) = first {
+                let (idx, fit) = self.best_fit(comp.class, t, comp.noncoverable);
+                self.bins[idx].list.fill(fit as usize, comp.noncoverable as usize);
+                self.highest = self.highest.max(fit + comp.noncoverable);
+                t = fit;
+            }
+            return t;
+        }
+        let mut picks = std::mem::take(&mut self.picks);
         'fixpoint: loop {
-            let mut picks: Vec<(usize, u32)> = Vec::with_capacity(atomic.costs.len());
+            picks.clear();
             for comp in &atomic.costs {
                 if comp.noncoverable == 0 {
                     continue;
@@ -212,21 +310,28 @@ impl<'m> Placer<'m> {
                 }
                 picks.push((idx, comp.noncoverable));
             }
-            for (idx, len) in picks {
+            for &(idx, len) in &picks {
                 self.bins[idx].list.fill(t as usize, len as usize);
+                self.highest = self.highest.max(t + len);
             }
-            return t;
+            break;
         }
+        self.picks = picks;
+        t
     }
 
     /// The earliest fit at or after `from` across the instances of a pool.
-    fn best_fit(&mut self, class: UnitClass, from: u32, len: u32) -> (usize, u32) {
+    ///
+    /// Probes read-only: only the winning bin is grown (by the `fill` that
+    /// follows), where the seed's `find_fit` probe inflated every losing
+    /// instance's capacity to the pool-wide high-water mark.
+    fn best_fit(&self, class: UnitClass, from: u32, len: u32) -> (usize, u32) {
         let mut best: Option<(usize, u32)> = None;
-        for (i, bin) in self.bins.iter_mut().enumerate() {
+        for (i, bin) in self.bins.iter().enumerate() {
             if bin.class != class {
                 continue;
             }
-            let fit = bin.list.find_fit(from as usize, len as usize) as u32;
+            let fit = bin.list.probe_fit(from as usize, len as usize) as u32;
             if best.map_or(true, |(_, bf)| fit < bf) {
                 best = Some((i, fit));
             }
@@ -275,6 +380,32 @@ pub struct DropSchedule {
     pub completion: u32,
     /// Index-aligned issue/finish times for the block's operations.
     pub per_op: Vec<OpTime>,
+}
+
+/// A block paired with its precomputed dependence adjacency.
+///
+/// Dependence analysis is a per-block property, not a per-drop one:
+/// callers that re-drop the same block many times (loop-overlap probing,
+/// unroll profiling) prepare once and use [`Placer::drop_prepared`] so the
+/// CSR is never rebuilt inside the probe loop.
+#[derive(Debug)]
+pub struct PreparedBlock<'b> {
+    block: &'b BlockIr,
+    deps: DepCsr,
+}
+
+impl<'b> PreparedBlock<'b> {
+    /// Analyzes `block`'s dependences once.
+    pub fn new(block: &'b BlockIr) -> PreparedBlock<'b> {
+        let mut deps = DepCsr::new();
+        deps.rebuild(block);
+        PreparedBlock { block, deps }
+    }
+
+    /// The underlying block.
+    pub fn block(&self) -> &BlockIr {
+        self.block
+    }
 }
 
 /// One-shot placement of a single block with fresh bins.

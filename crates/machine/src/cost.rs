@@ -6,12 +6,12 @@
 //! when the next operation that does not depend on the result of the
 //! current operation can be started."
 
+use crate::json::Json;
 use crate::units::UnitClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an atomic operation in a machine's atomic-operation table.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct AtomicOpId(pub u16);
 
 impl fmt::Display for AtomicOpId {
@@ -26,7 +26,7 @@ impl fmt::Display for AtomicOpId {
 /// the FPU: it busies the unit for one cycle, and a *dependent* operation
 /// must additionally wait out the coverable cycle, while an independent
 /// operation may issue immediately after the noncoverable cycle.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct UnitCost {
     /// Which unit class is occupied.
     pub class: UnitClass,
@@ -57,7 +57,7 @@ impl fmt::Display for UnitCost {
 /// An atomic operation: "specific low level instructions supported by the
 /// processor architecture", each with costs on one or more functional units
 /// ("an operation can have costs on multiple functional units").
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AtomicOpDef {
     /// Mnemonic for diagnostics and rendering.
     pub name: String,
@@ -95,6 +95,71 @@ impl AtomicOpDef {
     /// Returns `true` if the operation occupies the given unit class.
     pub fn uses(&self, class: UnitClass) -> bool {
         self.costs.iter().any(|c| c.class == class)
+    }
+}
+
+impl UnitCost {
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("class".into(), Json::Str(self.class.variant_name().into())),
+            ("noncoverable".into(), Json::Num(self.noncoverable as f64)),
+            ("coverable".into(), Json::Num(self.coverable as f64)),
+        ])
+    }
+
+    /// Deserializes from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<UnitCost, String> {
+        let class_name = v
+            .get("class")
+            .and_then(Json::as_str)
+            .ok_or("unit cost missing `class`")?;
+        let class = UnitClass::from_variant_name(class_name)
+            .ok_or_else(|| format!("unknown unit class `{class_name}`"))?;
+        let noncoverable = v
+            .get("noncoverable")
+            .and_then(Json::as_u64)
+            .ok_or("unit cost missing `noncoverable`")? as u32;
+        let coverable = v
+            .get("coverable")
+            .and_then(Json::as_u64)
+            .ok_or("unit cost missing `coverable`")? as u32;
+        Ok(UnitCost { class, noncoverable, coverable })
+    }
+}
+
+impl AtomicOpDef {
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("costs".into(), Json::Arr(self.costs.iter().map(UnitCost::to_json).collect())),
+        ])
+    }
+
+    /// Deserializes from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<AtomicOpDef, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("atomic op missing `name`")?
+            .to_string();
+        let costs = v
+            .get("costs")
+            .and_then(Json::as_arr)
+            .ok_or("atomic op missing `costs`")?
+            .iter()
+            .map(UnitCost::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AtomicOpDef { name, costs })
     }
 }
 
@@ -158,10 +223,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use crate::json::Json;
         let op = fstore();
-        let json = serde_json::to_string(&op).unwrap();
-        let back: AtomicOpDef = serde_json::from_str(&json).unwrap();
+        let json = op.to_json().to_string_pretty();
+        let back = AtomicOpDef::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(op, back);
     }
 }

@@ -4,18 +4,19 @@
 //! "Adding a new architecture to the cost model is a matter of defining the
 //! atomic operation mapping and the atomic operation cost table" (§2.2.1).
 //! A [`MachineDesc`] bundles exactly those two tables with the functional
-//! unit inventory and memory-hierarchy parameters, and is fully
-//! serde-serializable so descriptions can be shipped as data files.
+//! unit inventory and memory-hierarchy parameters, and serializes to JSON
+//! (via the in-tree [`crate::json`] module) so descriptions can be shipped
+//! as data files.
 
 use crate::cost::{AtomicOpDef, AtomicOpId, UnitCost};
+use crate::json::Json;
 use crate::ops::BasicOp;
 use crate::units::{UnitClass, UnitPool};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Memory-hierarchy parameters used by the memory access cost model (§2.3).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CacheParams {
     /// Cache line size in bytes.
     pub line_bytes: u64,
@@ -48,7 +49,7 @@ impl Default for CacheParams {
 /// Back-end optimization capabilities of the compiler being modeled
 /// (§2.2.2: "flags representing the optimization capabilities of the
 /// back-end are defined and used for tuning the cost model").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BackendFlags {
     /// Back end performs common-subexpression elimination.
     pub cse: bool,
@@ -78,7 +79,7 @@ impl Default for BackendFlags {
 }
 
 /// A complete machine description.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MachineDesc {
     name: String,
     units: Vec<UnitPool>,
@@ -154,9 +155,55 @@ impl MachineDesc {
         self.expand(op).iter().map(|id| self.atomic(*id).total_busy()).sum()
     }
 
-    /// Serializes the description to pretty JSON.
+    /// Serializes the description to pretty JSON (the same layout the
+    /// shipped `machines/*.json` files use).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("machine descriptions are always serializable")
+        let units = self
+            .units
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("class".into(), Json::Str(p.class.variant_name().into())),
+                    ("count".into(), Json::Num(p.count as f64)),
+                ])
+            })
+            .collect();
+        let atomic_ops = self.atomic_ops.iter().map(AtomicOpDef::to_json).collect();
+        let mapping = self
+            .mapping
+            .iter()
+            .map(|(op, ids)| {
+                let arr = ids.iter().map(|id| Json::Num(id.0 as f64)).collect();
+                (op.variant_name().to_string(), Json::Arr(arr))
+            })
+            .collect();
+        let cache = Json::Obj(vec![
+            ("line_bytes".into(), Json::Num(self.cache.line_bytes as f64)),
+            ("size_bytes".into(), Json::Num(self.cache.size_bytes as f64)),
+            ("miss_penalty".into(), Json::Num(self.cache.miss_penalty as f64)),
+            ("page_bytes".into(), Json::Num(self.cache.page_bytes as f64)),
+            ("tlb_entries".into(), Json::Num(self.cache.tlb_entries as f64)),
+            ("tlb_penalty".into(), Json::Num(self.cache.tlb_penalty as f64)),
+        ]);
+        let backend = Json::Obj(vec![
+            ("cse".into(), Json::Bool(self.backend.cse)),
+            ("licm".into(), Json::Bool(self.backend.licm)),
+            ("dce".into(), Json::Bool(self.backend.dce)),
+            ("fma_fusion".into(), Json::Bool(self.backend.fma_fusion)),
+            ("reduction_recognition".into(), Json::Bool(self.backend.reduction_recognition)),
+            ("strength_reduction".into(), Json::Bool(self.backend.strength_reduction)),
+        ]);
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("units".into(), Json::Arr(units)),
+            ("atomic_ops".into(), Json::Arr(atomic_ops)),
+            ("mapping".into(), Json::Obj(mapping)),
+            ("register_load_limit".into(), Json::Num(self.register_load_limit as f64)),
+            ("supports_fma".into(), Json::Bool(self.supports_fma)),
+            ("cache".into(), cache),
+            ("backend".into(), backend),
+        ])
+        .to_string_pretty()
     }
 
     /// Loads a description from JSON, revalidating invariants.
@@ -166,11 +213,114 @@ impl MachineDesc {
     /// Returns [`MachineError`] for malformed JSON or descriptions that
     /// violate the builder's invariants.
     pub fn from_json(json: &str) -> Result<MachineDesc, MachineError> {
-        let desc: MachineDesc =
-            serde_json::from_str(json).map_err(|e| MachineError::Parse(e.to_string()))?;
+        let desc = parse_desc(json).map_err(MachineError::Parse)?;
         validate(&desc)?;
         Ok(desc)
     }
+}
+
+fn parse_desc(json: &str) -> Result<MachineDesc, String> {
+    let root = Json::parse(json)?;
+    let name = root
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("machine missing `name`")?
+        .to_string();
+    let units = root
+        .get("units")
+        .and_then(Json::as_arr)
+        .ok_or("machine missing `units`")?
+        .iter()
+        .map(|u| {
+            let class_name =
+                u.get("class").and_then(Json::as_str).ok_or("unit pool missing `class`")?;
+            let class = UnitClass::from_variant_name(class_name)
+                .ok_or_else(|| format!("unknown unit class `{class_name}`"))?;
+            let count =
+                u.get("count").and_then(Json::as_u64).ok_or("unit pool missing `count`")?;
+            if count > u8::MAX as u64 {
+                return Err(format!("unit count {count} out of range"));
+            }
+            Ok(UnitPool::new(class, count as u8))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let atomic_ops = root
+        .get("atomic_ops")
+        .and_then(Json::as_arr)
+        .ok_or("machine missing `atomic_ops`")?
+        .iter()
+        .map(AtomicOpDef::from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut mapping = BTreeMap::new();
+    for (key, ids) in root
+        .get("mapping")
+        .and_then(Json::as_obj)
+        .ok_or("machine missing `mapping`")?
+    {
+        let op = BasicOp::from_variant_name(key)
+            .ok_or_else(|| format!("unknown basic op `{key}` in mapping"))?;
+        let ids = ids
+            .as_arr()
+            .ok_or_else(|| format!("mapping for `{key}` is not an array"))?
+            .iter()
+            .map(|id| {
+                let n = id.as_u64().ok_or_else(|| format!("bad atomic id for `{key}`"))?;
+                if n > u16::MAX as u64 {
+                    return Err(format!("atomic id {n} out of range"));
+                }
+                Ok(AtomicOpId(n as u16))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        mapping.insert(op, ids);
+    }
+    let register_load_limit = root
+        .get("register_load_limit")
+        .and_then(Json::as_u64)
+        .ok_or("machine missing `register_load_limit`")? as u32;
+    let supports_fma = root
+        .get("supports_fma")
+        .and_then(Json::as_bool)
+        .ok_or("machine missing `supports_fma`")?;
+    let cache_obj = root.get("cache").ok_or("machine missing `cache`")?;
+    let cache_field = |field: &str| -> Result<u64, String> {
+        cache_obj
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cache missing `{field}`"))
+    };
+    let cache = CacheParams {
+        line_bytes: cache_field("line_bytes")?,
+        size_bytes: cache_field("size_bytes")?,
+        miss_penalty: cache_field("miss_penalty")? as u32,
+        page_bytes: cache_field("page_bytes")?,
+        tlb_entries: cache_field("tlb_entries")? as u32,
+        tlb_penalty: cache_field("tlb_penalty")? as u32,
+    };
+    let backend_obj = root.get("backend").ok_or("machine missing `backend`")?;
+    let backend_field = |field: &str| -> Result<bool, String> {
+        backend_obj
+            .get(field)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("backend missing `{field}`"))
+    };
+    let backend = BackendFlags {
+        cse: backend_field("cse")?,
+        licm: backend_field("licm")?,
+        dce: backend_field("dce")?,
+        fma_fusion: backend_field("fma_fusion")?,
+        reduction_recognition: backend_field("reduction_recognition")?,
+        strength_reduction: backend_field("strength_reduction")?,
+    };
+    Ok(MachineDesc {
+        name,
+        units,
+        atomic_ops,
+        mapping,
+        register_load_limit,
+        supports_fma,
+        cache,
+        backend,
+    })
 }
 
 impl fmt::Display for MachineDesc {

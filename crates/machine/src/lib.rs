@@ -32,6 +32,7 @@ mod desc;
 mod ops;
 mod units;
 
+pub mod json;
 pub mod machines;
 
 pub use cost::{AtomicOpDef, AtomicOpId, UnitCost};

@@ -6,7 +6,6 @@
 //! The second level — the architecture-dependent *atomic operation mapping*
 //! — lives in [`crate::MachineDesc`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A type-specific, language- and architecture-independent operation.
@@ -16,7 +15,7 @@ use std::fmt;
 /// RS 6000 integer multiply takes 3 cycles for multipliers in `[-128, 127]`
 /// and 5 cycles otherwise, represented here by [`BasicOp::IMulSmall`] vs
 /// [`BasicOp::IMul`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[allow(missing_docs)] // variant names are self-describing opcode names
 pub enum BasicOp {
     // Integer arithmetic.
@@ -92,6 +91,51 @@ impl BasicOp {
         BasicOp::Convert,
         BasicOp::Move,
     ];
+
+    /// The stable identifier used in JSON machine descriptions (the Rust
+    /// variant name, e.g. `"IMulSmall"`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            BasicOp::IAdd => "IAdd",
+            BasicOp::ISub => "ISub",
+            BasicOp::IMulSmall => "IMulSmall",
+            BasicOp::IMul => "IMul",
+            BasicOp::IDiv => "IDiv",
+            BasicOp::IShift => "IShift",
+            BasicOp::ILogic => "ILogic",
+            BasicOp::ICmp => "ICmp",
+            BasicOp::INeg => "INeg",
+            BasicOp::FAdd => "FAdd",
+            BasicOp::FSub => "FSub",
+            BasicOp::FMul => "FMul",
+            BasicOp::FDiv => "FDiv",
+            BasicOp::Fma => "Fma",
+            BasicOp::FNeg => "FNeg",
+            BasicOp::FAbs => "FAbs",
+            BasicOp::FCmp => "FCmp",
+            BasicOp::FSqrt => "FSqrt",
+            BasicOp::LoadInt => "LoadInt",
+            BasicOp::StoreInt => "StoreInt",
+            BasicOp::LoadFloat => "LoadFloat",
+            BasicOp::StoreFloat => "StoreFloat",
+            BasicOp::AddrCalc => "AddrCalc",
+            BasicOp::Branch => "Branch",
+            BasicOp::BranchCond => "BranchCond",
+            BasicOp::Call => "Call",
+            BasicOp::Return => "Return",
+            BasicOp::Convert => "Convert",
+            BasicOp::Move => "Move",
+            BasicOp::Nop => "Nop",
+        }
+    }
+
+    /// Inverse of [`BasicOp::variant_name`], for JSON loading.
+    pub fn from_variant_name(name: &str) -> Option<BasicOp> {
+        if name == "Nop" {
+            return Some(BasicOp::Nop);
+        }
+        BasicOp::ALL.into_iter().find(|op| op.variant_name() == name)
+    }
 
     /// Returns `true` for memory reads.
     pub fn is_load(&self) -> bool {
@@ -202,12 +246,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_as_map_key() {
-        use std::collections::BTreeMap;
-        let mut m = BTreeMap::new();
-        m.insert(BasicOp::Fma, 1u32);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: BTreeMap<BasicOp, u32> = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
+    fn variant_names_roundtrip() {
+        for op in BasicOp::ALL.into_iter().chain([BasicOp::Nop]) {
+            assert_eq!(BasicOp::from_variant_name(op.variant_name()), Some(op));
+        }
+        assert_eq!(BasicOp::from_variant_name("iadd"), None, "display names are distinct");
     }
 }

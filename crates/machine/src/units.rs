@@ -6,7 +6,6 @@
 //! with `count > 1` model architectures "with multiple operation pipes"
 //! for which "more bins can be added".
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The architectural class of a functional unit pool.
@@ -14,7 +13,7 @@ use std::fmt;
 /// Classes mirror the bins in the paper's Figure 3 (FXU, FPU, BranchU,
 /// CR-LogicU, Load/StoreU) plus a generic ALU for simple scalar machines
 /// and a dispatch stage for modeling issue-width limits.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum UnitClass {
     /// Fixed-point (integer) unit — the paper's FXU.
     Fxu,
@@ -45,6 +44,25 @@ impl UnitClass {
         UnitClass::Dispatch,
     ];
 
+    /// The stable identifier used in JSON machine descriptions (the Rust
+    /// variant name, e.g. `"LoadStore"`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            UnitClass::Fxu => "Fxu",
+            UnitClass::Fpu => "Fpu",
+            UnitClass::Branch => "Branch",
+            UnitClass::CrLogic => "CrLogic",
+            UnitClass::LoadStore => "LoadStore",
+            UnitClass::Alu => "Alu",
+            UnitClass::Dispatch => "Dispatch",
+        }
+    }
+
+    /// Inverse of [`UnitClass::variant_name`], for JSON loading.
+    pub fn from_variant_name(name: &str) -> Option<UnitClass> {
+        UnitClass::ALL.into_iter().find(|c| c.variant_name() == name)
+    }
+
     /// Short display name matching the paper's figure labels.
     pub fn label(&self) -> &'static str {
         match self {
@@ -66,7 +84,7 @@ impl fmt::Display for UnitClass {
 }
 
 /// A pool of identical functional units.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct UnitPool {
     /// The class served by this pool.
     pub class: UnitClass,
@@ -110,10 +128,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let pool = UnitPool::new(UnitClass::LoadStore, 2);
-        let json = serde_json::to_string(&pool).unwrap();
-        let back: UnitPool = serde_json::from_str(&json).unwrap();
-        assert_eq!(pool, back);
+    fn variant_names_roundtrip() {
+        for c in UnitClass::ALL {
+            assert_eq!(UnitClass::from_variant_name(c.variant_name()), Some(c));
+        }
+        assert_eq!(UnitClass::from_variant_name("NoSuchUnit"), None);
     }
 }

@@ -1,0 +1,132 @@
+//! Memoized prediction for the transformation search (§3.2).
+//!
+//! The A* search canonicalizes every program variant by its re-emitted
+//! source text (the same key its closed set uses). Prediction is a pure
+//! function of that text and the machine, so the cost of a variant can be
+//! memoized: within one search, transpositions — different transformation
+//! sequences reaching the same program — hit the cache, and across
+//! searches (the paper's "call repeatedly during restructuring" workload)
+//! the entire frontier of a re-run is served without re-prediction.
+//!
+//! The cached value is the *symbolic* [`PerfExpr`], which is independent
+//! of the evaluation point, so one cache is sound across searches that
+//! evaluate the unknowns at different points.
+
+use crate::whatif::cost_of;
+use presage_core::predictor::Predictor;
+use presage_frontend::Subroutine;
+use presage_symbolic::PerfExpr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe memo table from canonicalized variant source to its
+/// predicted symbolic cost.
+///
+/// Failed predictions are cached as `None` so the search never re-predicts
+/// a variant it has already rejected. Interior mutability keeps the table
+/// shareable across the parallel candidate-evaluation workers.
+#[derive(Debug, Default)]
+pub struct PredictionCache {
+    map: Mutex<HashMap<String, Option<PerfExpr>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    /// An empty cache.
+    pub fn new() -> PredictionCache {
+        PredictionCache::default()
+    }
+
+    /// Predicts `sub` under `key`, serving a memoized result when one
+    /// exists. Returns `None` when prediction fails (also memoized).
+    ///
+    /// The prediction itself runs outside the table lock, so concurrent
+    /// workers only serialize on the lookup and the final insert.
+    pub fn cost_of(
+        &self,
+        key: &str,
+        sub: &Subroutine,
+        predictor: &Predictor,
+    ) -> Option<PerfExpr> {
+        if let Some(cached) = self.map.lock().unwrap().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let expr = cost_of(sub, predictor).ok();
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key.to_owned(), expr.clone());
+        expr
+    }
+
+    /// Number of lookups served from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to predict.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct variants memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Returns `true` if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all memoized predictions and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+
+    fn sub(src: &str) -> Subroutine {
+        presage_frontend::parse(src).unwrap().units.remove(0)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = PredictionCache::new();
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+        );
+        let key = s.to_string();
+        let first = cache.cost_of(&key, &s, &predictor).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.cost_of(&key, &s, &predictor).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache = PredictionCache::new();
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(
+            "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+        );
+        let key = s.to_string();
+        cache.cost_of(&key, &s, &predictor);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod partition;
 pub mod profile;
 pub mod reorder;
@@ -39,7 +40,8 @@ pub mod search;
 pub mod transforms;
 pub mod whatif;
 
+pub use cache::PredictionCache;
 pub use profile::ProfileData;
-pub use search::{astar_search, SearchOptions, SearchResult, SearchStep};
+pub use search::{astar_search, astar_search_cached, SearchOptions, SearchResult, SearchStep};
 pub use transforms::{Transform, TransformError};
 pub use whatif::{compare_transform, loop_paths, transformed, WhatIfError};

@@ -11,8 +11,9 @@
 //! unit parallelism — which no transformation sequence can beat, making
 //! the search A*-admissible.
 
+use crate::cache::PredictionCache;
 use crate::transforms::Transform;
-use crate::whatif::{cost_of, loop_paths, transformed};
+use crate::whatif::{loop_paths, transformed};
 use presage_core::predictor::Predictor;
 use presage_frontend::Subroutine;
 use presage_symbolic::PerfExpr;
@@ -35,6 +36,12 @@ pub struct SearchOptions {
     /// Evaluation point overrides (variable name → value); unknowns not
     /// listed evaluate at their range midpoints.
     pub eval_point: HashMap<String, f64>,
+    /// Worker threads for candidate evaluation: each expansion's unseen
+    /// successor variants are predicted concurrently. `1` evaluates
+    /// inline; results are deterministic for any value (candidates are
+    /// generated, deduplicated, and merged in move order — only the pure
+    /// predictions run concurrently).
+    pub workers: usize,
 }
 
 impl Default for SearchOptions {
@@ -46,6 +53,7 @@ impl Default for SearchOptions {
             max_expansions: 64,
             max_depth: 3,
             eval_point: HashMap::new(),
+            workers: 1,
         }
     }
 }
@@ -78,6 +86,10 @@ pub struct SearchResult {
     pub expansions: usize,
     /// Candidate variants evaluated.
     pub evaluated: usize,
+    /// Candidate predictions served from the memo table.
+    pub cache_hits: u64,
+    /// Candidate predictions computed from scratch.
+    pub cache_misses: u64,
 }
 
 impl SearchResult {
@@ -134,8 +146,32 @@ fn resource_floor(cost: f64) -> f64 {
 }
 
 /// Runs the A* search from `sub`, returning the cheapest variant found.
+///
+/// Uses a search-private memo table; use [`astar_search_cached`] to share
+/// one [`PredictionCache`] across repeated searches.
 pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOptions) -> SearchResult {
-    let original_expr = cost_of(sub, predictor).expect("original program must predict");
+    astar_search_cached(sub, predictor, opts, &PredictionCache::new())
+}
+
+/// Runs the A* search with a caller-owned [`PredictionCache`].
+///
+/// The cache key is the variant's re-emitted source and the cached value
+/// is its symbolic cost, so the table is sound across searches with
+/// different [`SearchOptions::eval_point`]s — the restructuring workload
+/// the paper targets ("call repeatedly during restructuring") re-predicts
+/// nothing it has already costed.
+pub fn astar_search_cached(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    opts: &SearchOptions,
+    cache: &PredictionCache,
+) -> SearchResult {
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let original_key = sub.to_string();
+    let original_expr = cache
+        .cost_of(&original_key, sub, predictor)
+        .expect("original program must predict");
     let original_cost = evaluate(&original_expr, opts);
 
     let mut open = BinaryHeap::new();
@@ -151,6 +187,8 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
         sequence: Vec::new(),
         expansions: 0,
         evaluated: 0,
+        cache_hits: 0,
+        cache_misses: 0,
     };
 
     open.push(Node {
@@ -158,7 +196,7 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
         sub: sub.clone(),
         sequence: Vec::new(),
     });
-    closed.insert(sub.to_string());
+    closed.insert(original_key);
 
     while let Some(node) = open.pop() {
         if expansions >= opts.max_expansions {
@@ -184,15 +222,21 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
             }
         }
 
-        for (path, t) in moves {
-            let Ok(variant) = transformed(&node.sub, &path, &t) else {
-                continue;
-            };
-            let key = variant.to_string();
-            if !closed.insert(key) {
-                continue;
-            }
-            let Ok(expr) = cost_of(&variant, predictor) else {
+        // Apply transformations and deduplicate serially (cheap and
+        // order-sensitive), then predict the surviving unseen variants —
+        // the expensive pure step — concurrently.
+        let candidates: Vec<(Vec<usize>, Transform, Subroutine, String)> = moves
+            .into_iter()
+            .filter_map(|(path, t)| {
+                let variant = transformed(&node.sub, &path, &t).ok()?;
+                let key = variant.to_string();
+                closed.insert(key.clone()).then_some((path, t, variant, key))
+            })
+            .collect();
+        let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
+
+        for ((path, t, variant, _), expr) in candidates.into_iter().zip(exprs) {
+            let Some(expr) = expr else {
                 continue;
             };
             evaluated += 1;
@@ -211,7 +255,39 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
 
     best.expansions = expansions;
     best.evaluated = evaluated;
+    best.cache_hits = cache.hits() - hits_before;
+    best.cache_misses = cache.misses() - misses_before;
     best
+}
+
+/// Predicts each candidate's cost, fanning out over `workers` scoped
+/// threads when it pays. Results come back in candidate order regardless
+/// of worker count, so the search stays deterministic.
+fn evaluate_candidates(
+    candidates: &[(Vec<usize>, Transform, Subroutine, String)],
+    predictor: &Predictor,
+    cache: &PredictionCache,
+    workers: usize,
+) -> Vec<Option<PerfExpr>> {
+    let workers = workers.max(1).min(candidates.len());
+    if workers <= 1 {
+        return candidates
+            .iter()
+            .map(|(_, _, variant, key)| cache.cost_of(key, variant, predictor))
+            .collect();
+    }
+    let mut out: Vec<Option<PerfExpr>> = vec![None; candidates.len()];
+    let chunk = candidates.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (results, work) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, (_, _, variant, key)) in results.iter_mut().zip(work) {
+                    *slot = cache.cost_of(key, variant, predictor);
+                }
+            });
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -285,6 +361,62 @@ mod tests {
         for step in &r.sequence {
             assert!(step.cost.is_finite());
         }
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_cache() {
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(
+            "subroutine s(a, n)
+               real a(n,n)
+               integer i, j, n
+               do i = 1, n
+                 do j = 1, n
+                   a(i,j) = a(i,j) * 2.0 + 1.0
+                 end do
+               end do
+             end",
+        );
+        let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+        let cache = PredictionCache::new();
+        let first = astar_search_cached(&s, &predictor, &opts, &cache);
+        assert_eq!(first.cache_hits, 0, "fresh cache cannot hit");
+        assert!(first.cache_misses > 0);
+        // Same search again: every prediction is memoized. A different
+        // eval point is still sound — the cached PerfExpr is symbolic.
+        let opts2 = SearchOptions {
+            eval_point: HashMap::from([("n".to_string(), 512.0)]),
+            ..opts.clone()
+        };
+        let second = astar_search_cached(&s, &predictor, &opts2, &cache);
+        assert_eq!(second.cache_misses, 0, "rerun must not re-predict");
+        assert!(second.cache_hits >= first.cache_misses);
+        assert_eq!(second.best.to_string(), first.best.to_string());
+    }
+
+    #[test]
+    fn workers_do_not_change_the_answer() {
+        let predictor = Predictor::new(machines::wide4());
+        let s = sub(
+            "subroutine s(a, b, n)
+               real a(n,n), b(n,n)
+               integer i, j, n
+               do i = 1, n
+                 do j = 1, n
+                   a(i,j) = b(i,j) + a(i,j) * 3.0
+                 end do
+               end do
+             end",
+        );
+        let serial_opts =
+            SearchOptions { max_expansions: 10, max_depth: 2, workers: 1, ..Default::default() };
+        let parallel_opts = SearchOptions { workers: 4, ..serial_opts.clone() };
+        let serial = astar_search(&s, &predictor, &serial_opts);
+        let parallel = astar_search(&s, &predictor, &parallel_opts);
+        assert_eq!(serial.best_cost, parallel.best_cost);
+        assert_eq!(serial.best.to_string(), parallel.best.to_string());
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.expansions, parallel.expansions);
     }
 
     #[test]

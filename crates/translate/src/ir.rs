@@ -179,6 +179,17 @@ impl BlockIr {
         out
     }
 
+    /// Builds the block's dependence adjacency in CSR form.
+    ///
+    /// Convenience for [`DepCsr::rebuild`] with a fresh structure; callers
+    /// on a hot path should hold a [`DepCsr`] and rebuild it in place to
+    /// reuse its allocations.
+    pub fn dep_csr(&self) -> DepCsr {
+        let mut csr = DepCsr::new();
+        csr.rebuild(self);
+        csr
+    }
+
     /// Counts operations of each basic kind.
     pub fn op_histogram(&self) -> std::collections::BTreeMap<BasicOp, usize> {
         let mut h = std::collections::BTreeMap::new();
@@ -191,6 +202,79 @@ impl BlockIr {
     /// All memory references in the block (loads and stores).
     pub fn mem_refs(&self) -> impl Iterator<Item = (&Op, &MemRef)> {
         self.ops.iter().filter_map(|o| o.mem.as_ref().map(|m| (o, m)))
+    }
+}
+
+/// Dependence adjacency of a [`BlockIr`] in compressed sparse row form.
+///
+/// [`BlockIr::deps_of`] allocates a fresh `Vec` per query, which dominates
+/// the placement engine's per-op cost on large blocks. `DepCsr` packs every
+/// op's predecessor list into two flat arrays — `offsets[i]..offsets[i+1]`
+/// indexes op `i`'s slice of `edges` — so a whole block's dependences are
+/// computed with two allocations total, and a long-lived instance reuses
+/// even those across [`DepCsr::rebuild`] calls.
+///
+/// Each op's edge slice is sorted and deduplicated, exactly matching the
+/// `Vec` that [`BlockIr::deps_of`] returns for the same op.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DepCsr {
+    /// `offsets[i]..offsets[i+1]` bounds op `i`'s slice of `edges`.
+    offsets: Vec<u32>,
+    /// Concatenated predecessor lists, each sorted and deduplicated.
+    edges: Vec<OpId>,
+}
+
+impl DepCsr {
+    /// An empty adjacency (zero ops).
+    pub fn new() -> DepCsr {
+        DepCsr { offsets: vec![0], edges: Vec::new() }
+    }
+
+    /// Recomputes the adjacency for `block`, reusing existing storage.
+    pub fn rebuild(&mut self, block: &BlockIr) {
+        self.offsets.clear();
+        self.edges.clear();
+        self.offsets.reserve(block.ops.len() + 1);
+        self.offsets.push(0);
+        for op in &block.ops {
+            let mark = self.edges.len();
+            for v in &op.args {
+                if let Some(p) = block.producer(*v) {
+                    self.edges.push(p);
+                }
+            }
+            self.edges.extend(op.extra_deps.iter().copied());
+            self.edges[mark..].sort_unstable();
+            // Dedup the tail in place.
+            let mut w = mark;
+            for r in mark..self.edges.len() {
+                if w == mark || self.edges[r] != self.edges[w - 1] {
+                    self.edges[w] = self.edges[r];
+                    w += 1;
+                }
+            }
+            self.edges.truncate(w);
+            self.offsets.push(self.edges.len() as u32);
+        }
+    }
+
+    /// Number of ops covered by the adjacency.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the adjacency covers no ops.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Predecessors of op `i`, sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the block last rebuilt.
+    pub fn deps(&self, i: usize) -> &[OpId] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 }
 
@@ -292,6 +376,45 @@ mod tests {
             subscripts: vec![Expr::Var("i".into()), Expr::IntLit(2)],
         };
         assert_eq!(m.key(), "a[i][2]");
+    }
+
+    #[test]
+    fn dep_csr_matches_deps_of() {
+        let mut b = BlockIr::new();
+        let c1 = b.add_value(ValueDef::IntConst(1));
+        let x = b.add_value(ValueDef::External("x".into()));
+        let sum = b.emit(BasicOp::IAdd, vec![c1, x]);
+        let dbl = b.emit(BasicOp::IAdd, vec![sum, sum]);
+        let st = b.push_op(Op {
+            basic: BasicOp::StoreInt,
+            args: vec![dbl],
+            result: None,
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![OpId(0)],
+            callee: None,
+        });
+        let ld_v = b.add_value(ValueDef::External(String::new()));
+        b.push_op(Op {
+            basic: BasicOp::LoadInt,
+            args: vec![],
+            result: Some(ld_v),
+            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            extra_deps: vec![st, st],
+            callee: None,
+        });
+        let csr = b.dep_csr();
+        assert_eq!(csr.len(), b.len());
+        for (i, op) in b.ops.iter().enumerate() {
+            assert_eq!(csr.deps(i), b.deps_of(op).as_slice(), "op {i}");
+        }
+        // Rebuild in place on a different block reuses storage correctly.
+        let mut b2 = BlockIr::new();
+        let y = b2.add_value(ValueDef::External("y".into()));
+        b2.emit(BasicOp::FAdd, vec![y, y]);
+        let mut csr2 = csr.clone();
+        csr2.rebuild(&b2);
+        assert_eq!(csr2.len(), 1);
+        assert!(csr2.deps(0).is_empty());
     }
 
     #[test]

@@ -24,6 +24,6 @@ mod translate;
 
 pub mod passes;
 
-pub use ir::{BlockIr, MemRef, Op, OpId, ValueDef, ValueId};
+pub use ir::{BlockIr, DepCsr, MemRef, Op, OpId, ValueDef, ValueId};
 pub use program::{IfIr, IrNode, LoopIr, ProgramIr};
 pub use translate::{translate, TranslateError};

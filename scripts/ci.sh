@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Offline CI for presage: tier-1 build + tests with warnings denied, then
+# a perfsuite smoke pass. No network access is required or attempted —
+# the workspace has no external dependencies.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== workspace: build + test (all crates, warnings denied)"
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "== perfsuite --smoke"
+cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+echo "ci: all checks passed"

@@ -2,27 +2,48 @@
 //! definite verdict, dense numeric sampling over the unknowns' ranges must
 //! agree. A verdict that sampling contradicts would send the optimizer the
 //! wrong way — the one failure mode the paper's framework cannot afford.
+//!
+//! Formerly proptest-based; rewritten on an in-tree splitmix64 generator so
+//! the suite builds with no external dependencies (the build environment is
+//! offline).
 
 use presage::symbolic::{CompareOutcome, Monomial, PerfExpr, Poly, Rational, Symbol, VarInfo};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Splitmix64: tiny, high-quality, dependency-free PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A random cost-shaped expression: non-negative combinations of n, n²,
 /// and a constant over a positive range (performance expressions are
 /// cycle counts, so the interesting inputs are cost-like).
-fn cost_expr() -> impl Strategy<Value = PerfExpr> {
-    (0i64..=30, 0i64..=30, 0i64..=200, 1u8..=3).prop_map(|(c2, c1, c0, range)| {
-        let n = Symbol::new("n");
-        let hi = match range {
-            1 => 10.0,
-            2 => 1000.0,
-            _ => 100000.0,
-        };
-        let poly = Poly::term(Rational::from_int(c2), Monomial::power(n.clone(), 2))
-            + Poly::term(Rational::from_int(c1), Monomial::var(n.clone()))
-            + Poly::from(c0);
-        PerfExpr::from_poly(poly, [(n, VarInfo::loop_bound(1.0, hi))])
-    })
+fn cost_expr(rng: &mut Rng) -> PerfExpr {
+    let c2 = rng.below(31) as i64;
+    let c1 = rng.below(31) as i64;
+    let c0 = rng.below(201) as i64;
+    let n = Symbol::new("n");
+    let hi = match rng.below(3) {
+        0 => 10.0,
+        1 => 1000.0,
+        _ => 100000.0,
+    };
+    let poly = Poly::term(Rational::from_int(c2), Monomial::power(n.clone(), 2))
+        + Poly::term(Rational::from_int(c1), Monomial::var(n.clone()))
+        + Poly::from(c0);
+    PerfExpr::from_poly(poly, [(n, VarInfo::loop_bound(1.0, hi))])
 }
 
 fn sample_signs(diff: &PerfExpr) -> (bool, bool) {
@@ -48,23 +69,24 @@ fn sample_signs(diff: &PerfExpr) -> (bool, bool) {
     (any_pos, any_neg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn verdicts_agree_with_sampling(a in cost_expr(), b in cost_expr()) {
+#[test]
+fn verdicts_agree_with_sampling() {
+    let mut rng = Rng(0xC0DE_0001);
+    for _ in 0..256 {
+        let a = cost_expr(&mut rng);
+        let b = cost_expr(&mut rng);
         let cmp = a.compare(&b);
         let (any_pos, any_neg) = sample_signs(&cmp.difference);
         match cmp.outcome {
             CompareOutcome::FirstCheaper => {
                 // diff = a − b must never be positive on the range.
-                prop_assert!(!any_pos, "FirstCheaper but diff positive somewhere: {}", cmp.difference);
+                assert!(!any_pos, "FirstCheaper but diff positive somewhere: {}", cmp.difference);
             }
             CompareOutcome::SecondCheaper => {
-                prop_assert!(!any_neg, "SecondCheaper but diff negative somewhere: {}", cmp.difference);
+                assert!(!any_neg, "SecondCheaper but diff negative somewhere: {}", cmp.difference);
             }
             CompareOutcome::AlwaysEqual => {
-                prop_assert!(!any_pos && !any_neg, "AlwaysEqual but diff nonzero: {}", cmp.difference);
+                assert!(!any_pos && !any_neg, "AlwaysEqual but diff nonzero: {}", cmp.difference);
             }
             CompareOutcome::DependsOnUnknowns => {
                 // The winner flips: evaluating at each reported sign
@@ -78,19 +100,28 @@ proptest! {
                     let mut bnd = HashMap::new();
                     bnd.insert(n.clone(), 0.5 * (r.lo + r.hi));
                     let v = cmp.difference.eval_with_defaults(&bnd);
-                    if v > 1e-9 { pos = true; }
-                    if v < -1e-9 { neg = true; }
+                    if v > 1e-9 {
+                        pos = true;
+                    }
+                    if v < -1e-9 {
+                        neg = true;
+                    }
                 }
-                prop_assert!(pos && neg, "DependsOnUnknowns but single-signed: {}", cmp.difference);
+                assert!(pos && neg, "DependsOnUnknowns but single-signed: {}", cmp.difference);
             }
             CompareOutcome::Undetermined => {
                 // Conservative fallback — allowed, never wrong.
             }
         }
     }
+}
 
-    #[test]
-    fn crossovers_are_sign_changes(a in cost_expr(), b in cost_expr()) {
+#[test]
+fn crossovers_are_sign_changes() {
+    let mut rng = Rng(0xC0DE_0002);
+    for _ in 0..256 {
+        let a = cost_expr(&mut rng);
+        let b = cost_expr(&mut rng);
         let cmp = a.compare(&b);
         let n = Symbol::new("n");
         for x in &cmp.crossovers {
@@ -102,15 +133,20 @@ proptest! {
             let v_lo = cmp.difference.eval_with_defaults(&lo_b);
             let v_hi = cmp.difference.eval_with_defaults(&hi_b);
             // At a genuine crossover, values straddle or touch zero.
-            prop_assert!(
+            assert!(
                 v_lo.signum() != v_hi.signum() || v_lo.abs() < 1.0 || v_hi.abs() < 1.0,
                 "crossover {x} not a sign change: {v_lo} vs {v_hi}"
             );
         }
     }
+}
 
-    #[test]
-    fn comparison_is_antisymmetric(a in cost_expr(), b in cost_expr()) {
+#[test]
+fn comparison_is_antisymmetric() {
+    let mut rng = Rng(0xC0DE_0003);
+    for _ in 0..256 {
+        let a = cost_expr(&mut rng);
+        let b = cost_expr(&mut rng);
         let ab = a.compare(&b).outcome;
         let ba = b.compare(&a).outcome;
         let expected = match ab {
@@ -118,11 +154,15 @@ proptest! {
             CompareOutcome::SecondCheaper => CompareOutcome::FirstCheaper,
             other => other,
         };
-        prop_assert_eq!(ba, expected);
+        assert_eq!(ba, expected);
     }
+}
 
-    #[test]
-    fn drop_negligible_preserves_value_within_epsilon(a in cost_expr()) {
+#[test]
+fn drop_negligible_preserves_value_within_epsilon() {
+    let mut rng = Rng(0xC0DE_0004);
+    for _ in 0..256 {
+        let a = cost_expr(&mut rng);
         let simplified = a.drop_negligible_terms(1e-4);
         let n = Symbol::new("n");
         let info = a.vars().get(&n).copied();
@@ -135,7 +175,7 @@ proptest! {
             let v1 = simplified.eval_with_defaults(&bnd);
             // Dropping ε-negligible terms moves the value by at most a
             // small relative amount.
-            prop_assert!((v0 - v1).abs() <= 1e-2 * (1.0 + v0.abs()), "{v0} vs {v1} at {x}");
+            assert!((v0 - v1).abs() <= 1e-2 * (1.0 + v0.abs()), "{v0} vs {v1} at {x}");
         }
     }
 }

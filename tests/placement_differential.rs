@@ -1,0 +1,113 @@
+//! Differential proof that the optimized placement engine is
+//! schedule-identical to the preserved seed algorithm.
+//!
+//! The optimized [`Placer`](presage::core::tetris::Placer) replaces the
+//! seed's per-op dependence vectors, per-atomic clones, full-bin rescans,
+//! and capacity-growing probes with CSR adjacency, borrows, incremental
+//! bookkeeping, and read-only probes. None of that may change a single
+//! predicted cycle: every kernel of the Figure 7 suite, on every shipped
+//! machine description, across repeated drops and focus spans, must yield
+//! bit-identical [`DropSchedule`]s.
+
+use presage::core::reference::NaivePlacer;
+use presage::core::tetris::{PlaceOptions, Placer, PreparedBlock};
+use presage::machine::MachineDesc;
+use presage_bench::kernels::{figure7, innermost_block};
+
+/// All four shipped machine-description files, loaded from JSON (not the
+/// builtins) so the differential covers the parse path too.
+fn shipped_machines() -> Vec<MachineDesc> {
+    [
+        include_str!("../machines/power-like.json"),
+        include_str!("../machines/risc1.json"),
+        include_str!("../machines/wide4.json"),
+        include_str!("../machines/wide8.json"),
+    ]
+    .into_iter()
+    .map(|src| MachineDesc::from_json(src).expect("shipped description validates"))
+    .collect()
+}
+
+const FOCUS_OPTIONS: [Option<u32>; 3] = [None, Some(4), Some(64)];
+const DROPS: usize = 4;
+
+#[test]
+fn optimized_placer_is_schedule_identical_to_seed() {
+    for machine in shipped_machines() {
+        for kernel in figure7() {
+            let block = innermost_block(kernel.source, &machine);
+            for focus in FOCUS_OPTIONS {
+                let opts = PlaceOptions { focus_span: focus };
+                let mut seed = NaivePlacer::new(&machine, opts);
+                let mut opt = Placer::new(&machine, opts);
+                for drop in 0..DROPS {
+                    let want = seed.drop_block_detailed(&block);
+                    let got = opt.drop_block_detailed(&block);
+                    assert_eq!(
+                        want, got,
+                        "schedule diverged: {} on {} (focus {focus:?}, drop {drop})",
+                        kernel.name,
+                        machine.name()
+                    );
+                }
+                assert_eq!(
+                    seed.cost_block(),
+                    opt.cost_block(),
+                    "cost block diverged: {} on {} (focus {focus:?})",
+                    kernel.name,
+                    machine.name()
+                );
+                assert_eq!(seed.ops_placed(), opt.ops_placed());
+            }
+        }
+    }
+}
+
+#[test]
+fn prepared_drops_match_unprepared_drops() {
+    // drop_prepared is the same placement with dependence analysis
+    // hoisted; it must agree with drop_block exactly.
+    for machine in shipped_machines() {
+        for kernel in figure7() {
+            let block = innermost_block(kernel.source, &machine);
+            let prepared = PreparedBlock::new(&block);
+            let opts = PlaceOptions::with_focus_span(64);
+            let mut by_block = Placer::new(&machine, opts);
+            let mut by_prepared = Placer::new(&machine, opts);
+            for _ in 0..DROPS {
+                assert_eq!(
+                    by_block.drop_block(&block),
+                    by_prepared.drop_prepared(&prepared),
+                    "{} on {}",
+                    kernel.name,
+                    machine.name()
+                );
+            }
+            assert_eq!(by_block.cost_block(), by_prepared.cost_block());
+        }
+    }
+}
+
+#[test]
+fn clear_then_redrop_matches_seed() {
+    // The incremental `highest`/floor bookkeeping must reset correctly:
+    // interleave clears with drops and compare against the seed.
+    for machine in shipped_machines() {
+        let block = innermost_block(presage_bench::kernels::MATMUL, &machine);
+        let opts = PlaceOptions::with_focus_span(16);
+        let mut seed = NaivePlacer::new(&machine, opts);
+        let mut opt = Placer::new(&machine, opts);
+        for round in 0..3 {
+            for _ in 0..2 {
+                assert_eq!(
+                    seed.drop_block_detailed(&block),
+                    opt.drop_block_detailed(&block),
+                    "round {round} on {}",
+                    machine.name()
+                );
+            }
+            seed.clear();
+            opt.clear();
+        }
+    }
+}

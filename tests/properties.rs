@@ -1,4 +1,9 @@
-//! Property-based tests on the framework's core invariants.
+//! Randomized property tests on the framework's core invariants.
+//!
+//! Formerly proptest-based; rewritten on an in-tree splitmix64 generator so
+//! the suite builds with no external dependencies (the build environment is
+//! offline). Each test draws a fixed number of cases from a fixed seed, so
+//! failures reproduce exactly.
 
 use presage::core::slots::{BlockList, FlatSlots};
 use presage::core::tetris::{place_block, PlaceOptions};
@@ -8,55 +13,101 @@ use presage::symbolic::roots::{horner, real_roots};
 use presage::symbolic::signs::{sign_regions, Sign};
 use presage::symbolic::{Monomial, Poly, Rational, Symbol};
 use presage::translate::{BlockIr, ValueDef};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Splitmix64: tiny, high-quality, dependency-free PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 // ---------- rational arithmetic ------------------------------------------
 
-fn rational() -> impl Strategy<Value = Rational> {
-    (-1000i128..1000, 1i128..200).prop_map(|(n, d)| Rational::new(n, d))
+fn rational(rng: &mut Rng) -> Rational {
+    Rational::new(rng.range(-1000, 1000) as i128, rng.range(1, 200) as i128)
 }
 
-proptest! {
-    #[test]
-    fn rational_add_commutes(a in rational(), b in rational()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn rational_add_commutes() {
+    let mut rng = Rng(1);
+    for _ in 0..256 {
+        let (a, b) = (rational(&mut rng), rational(&mut rng));
+        assert_eq!(a + b, b + a);
     }
+}
 
-    #[test]
-    fn rational_mul_distributes(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+#[test]
+fn rational_mul_distributes() {
+    let mut rng = Rng(2);
+    for _ in 0..256 {
+        let (a, b, c) = (rational(&mut rng), rational(&mut rng), rational(&mut rng));
+        assert_eq!(a * (b + c), a * b + a * c);
     }
+}
 
-    #[test]
-    fn rational_ordering_consistent_with_f64(a in rational(), b in rational()) {
+#[test]
+fn rational_ordering_consistent_with_f64() {
+    let mut rng = Rng(3);
+    for _ in 0..256 {
+        let (a, b) = (rational(&mut rng), rational(&mut rng));
         if (a.to_f64() - b.to_f64()).abs() > 1e-9 {
-            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+            assert_eq!(a < b, a.to_f64() < b.to_f64());
         }
     }
+}
 
-    #[test]
-    fn rational_recip_roundtrip(a in rational()) {
-        prop_assume!(!a.is_zero());
-        prop_assert_eq!(a.recip().recip(), a);
-        prop_assert_eq!(a * a.recip(), Rational::ONE);
+#[test]
+fn rational_recip_roundtrip() {
+    let mut rng = Rng(4);
+    for _ in 0..256 {
+        let a = rational(&mut rng);
+        if a.is_zero() {
+            continue;
+        }
+        assert_eq!(a.recip().recip(), a);
+        assert_eq!(a * a.recip(), Rational::ONE);
     }
 }
 
 // ---------- polynomial algebra --------------------------------------------
 
 /// Random small polynomial over {n, m} with integer coefficients.
-fn poly() -> impl Strategy<Value = Poly> {
-    proptest::collection::vec((-20i64..=20, 0u32..3, 0u32..3), 0..6).prop_map(|terms| {
-        let n = Symbol::new("n");
-        let m = Symbol::new("m");
-        let mut p = Poly::zero();
-        for (c, en, em) in terms {
-            let mono = Monomial::from_pairs([(n.clone(), en as i32), (m.clone(), em as i32)]);
-            p += Poly::term(Rational::from_int(c), mono);
-        }
-        p
-    })
+fn poly(rng: &mut Rng) -> Poly {
+    let n = Symbol::new("n");
+    let m = Symbol::new("m");
+    let mut p = Poly::zero();
+    for _ in 0..rng.below(6) {
+        let c = rng.range(-20, 21);
+        let en = rng.below(3) as i32;
+        let em = rng.below(3) as i32;
+        let mono = Monomial::from_pairs([(n.clone(), en), (m.clone(), em)]);
+        p += Poly::term(Rational::from_int(c), mono);
+    }
+    p
 }
 
 fn bindings(nv: i64, mv: i64) -> HashMap<Symbol, Rational> {
@@ -66,30 +117,46 @@ fn bindings(nv: i64, mv: i64) -> HashMap<Symbol, Rational> {
     b
 }
 
-proptest! {
-    #[test]
-    fn poly_add_evaluates_pointwise(p in poly(), q in poly(), nv in -50i64..50, mv in -50i64..50) {
-        let b = bindings(nv, mv);
+#[test]
+fn poly_add_evaluates_pointwise() {
+    let mut rng = Rng(5);
+    for _ in 0..128 {
+        let (p, q) = (poly(&mut rng), poly(&mut rng));
+        let b = bindings(rng.range(-50, 50), rng.range(-50, 50));
         let lhs = (&p + &q).eval(&b).unwrap();
         let rhs = p.eval(&b).unwrap() + q.eval(&b).unwrap();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn poly_mul_evaluates_pointwise(p in poly(), q in poly(), nv in -20i64..20, mv in -20i64..20) {
-        let b = bindings(nv, mv);
+#[test]
+fn poly_mul_evaluates_pointwise() {
+    let mut rng = Rng(6);
+    for _ in 0..128 {
+        let (p, q) = (poly(&mut rng), poly(&mut rng));
+        let b = bindings(rng.range(-20, 20), rng.range(-20, 20));
         let lhs = (&p * &q).eval(&b).unwrap();
         let rhs = p.eval(&b).unwrap() * q.eval(&b).unwrap();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn poly_sub_self_is_zero(p in poly()) {
-        prop_assert!((&p - &p).is_zero());
+#[test]
+fn poly_sub_self_is_zero() {
+    let mut rng = Rng(7);
+    for _ in 0..128 {
+        let p = poly(&mut rng);
+        assert!((&p - &p).is_zero());
     }
+}
 
-    #[test]
-    fn poly_subst_then_eval_commutes(p in poly(), k in -10i64..10, nv in -10i64..10, mv in -10i64..10) {
+#[test]
+fn poly_subst_then_eval_commutes() {
+    let mut rng = Rng(8);
+    for _ in 0..128 {
+        let p = poly(&mut rng);
+        let k = rng.range(-10, 10);
+        let (nv, mv) = (rng.range(-10, 10), rng.range(-10, 10));
         // p[n := m + k] evaluated == p evaluated with n = m + k.
         let n = Symbol::new("n");
         let rep = Poly::var(Symbol::new("m")) + Poly::from(k);
@@ -100,28 +167,38 @@ proptest! {
             b2.insert(Symbol::new("m"), Rational::from_int(mv));
             p.eval(&b2).unwrap()
         };
-        prop_assert_eq!(substituted.eval(&b).unwrap(), direct);
+        assert_eq!(substituted.eval(&b).unwrap(), direct);
     }
+}
 
-    #[test]
-    fn poly_derivative_of_sum(p in poly(), q in poly()) {
+#[test]
+fn poly_derivative_of_sum() {
+    let mut rng = Rng(9);
+    for _ in 0..128 {
+        let (p, q) = (poly(&mut rng), poly(&mut rng));
         let n = Symbol::new("n");
-        prop_assert_eq!((&p + &q).derivative(&n), &p.derivative(&n) + &q.derivative(&n));
+        assert_eq!((&p + &q).derivative(&n), &p.derivative(&n) + &q.derivative(&n));
     }
+}
 
-    #[test]
-    fn poly_antiderivative_inverts_derivative(p in poly()) {
+#[test]
+fn poly_antiderivative_inverts_derivative() {
+    let mut rng = Rng(10);
+    for _ in 0..128 {
+        let p = poly(&mut rng);
         let n = Symbol::new("n");
         let ad = p.antiderivative(&n).unwrap();
-        prop_assert_eq!(ad.derivative(&n), p);
+        assert_eq!(ad.derivative(&n), p);
     }
 }
 
 // ---------- root finding ---------------------------------------------------
 
-proptest! {
-    #[test]
-    fn roots_from_factored_polynomials(mut rs in proptest::collection::vec(-8i32..8, 1..5)) {
+#[test]
+fn roots_from_factored_polynomials() {
+    let mut rng = Rng(11);
+    for _ in 0..128 {
+        let mut rs: Vec<i32> = (0..1 + rng.below(4)).map(|_| rng.range(-8, 8) as i32).collect();
         rs.sort();
         rs.dedup();
         // Build Π (x − r) as dense coefficients.
@@ -135,29 +212,40 @@ proptest! {
             coeffs = next;
         }
         let found = real_roots(&coeffs);
-        prop_assert_eq!(found.len(), rs.len(), "{:?} vs {:?}", found, rs);
+        assert_eq!(found.len(), rs.len(), "{found:?} vs {rs:?}");
         for (f, r) in found.iter().zip(&rs) {
-            prop_assert!((f - *r as f64).abs() < 1e-6, "{} vs {}", f, r);
+            assert!((f - *r as f64).abs() < 1e-6, "{f} vs {r}");
         }
     }
+}
 
-    #[test]
-    fn all_reported_roots_are_roots(coeffs in proptest::collection::vec(-50f64..50.0, 1..6)) {
+#[test]
+fn all_reported_roots_are_roots() {
+    let mut rng = Rng(12);
+    for _ in 0..128 {
+        let coeffs: Vec<f64> =
+            (0..1 + rng.below(5)).map(|_| rng.f64_in(-50.0, 50.0)).collect();
         let scale = coeffs.iter().fold(1.0f64, |a, c| a.max(c.abs()));
         for r in real_roots(&coeffs) {
             let v = horner(&coeffs, r);
-            prop_assert!(v.abs() <= 1e-4 * scale * (1.0 + r.abs()).powi(coeffs.len() as i32), "P({r}) = {v}");
+            assert!(
+                v.abs() <= 1e-4 * scale * (1.0 + r.abs()).powi(coeffs.len() as i32),
+                "P({r}) = {v}"
+            );
         }
     }
 }
 
 // ---------- sign regions ----------------------------------------------------
 
-proptest! {
-    #[test]
-    fn sign_regions_match_sampling(coeffs in proptest::collection::vec(-10f64..10.0, 1..5)) {
+#[test]
+fn sign_regions_match_sampling() {
+    let mut rng = Rng(13);
+    for _ in 0..128 {
         let x = Symbol::new("x");
-        let p = coeffs.iter().enumerate().fold(Poly::zero(), |acc, (i, &c)| {
+        let ncoef = 1 + rng.below(4);
+        let p = (0..ncoef).fold(Poly::zero(), |acc, i| {
+            let c = rng.f64_in(-10.0, 10.0);
             acc + Poly::term(
                 Rational::new((c * 16.0).round() as i128, 16),
                 Monomial::power(x.clone(), i as i32),
@@ -165,10 +253,10 @@ proptest! {
         });
         let regions = sign_regions(&p, &x, -5.0, 5.0).unwrap();
         // Regions tile the range.
-        prop_assert!((regions.first().unwrap().lo - -5.0).abs() < 1e-9);
-        prop_assert!((regions.last().unwrap().hi - 5.0).abs() < 1e-9);
+        assert!((regions.first().unwrap().lo - -5.0).abs() < 1e-9);
+        assert!((regions.last().unwrap().hi - 5.0).abs() < 1e-9);
         for w in regions.windows(2) {
-            prop_assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+            assert!((w[0].hi - w[1].lo).abs() < 1e-9);
         }
         // Sampling agrees with the reported sign away from boundaries.
         for r in &regions {
@@ -178,9 +266,9 @@ proptest! {
             let mid = 0.5 * (r.lo + r.hi);
             let v = p.eval_univariate(&x, mid).unwrap();
             match r.sign {
-                Sign::Positive => prop_assert!(v > -1e-9, "{v} at {mid}"),
-                Sign::Negative => prop_assert!(v < 1e-9, "{v} at {mid}"),
-                Sign::Zero => prop_assert!(v.abs() < 1e-6, "{v} at {mid}"),
+                Sign::Positive => assert!(v > -1e-9, "{v} at {mid}"),
+                Sign::Negative => assert!(v < 1e-9, "{v} at {mid}"),
+                Sign::Zero => assert!(v.abs() < 1e-6, "{v} at {mid}"),
             }
         }
     }
@@ -188,39 +276,47 @@ proptest! {
 
 // ---------- slot lists -------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn blocklist_equals_flat_bitmap(ops in proptest::collection::vec((0usize..128, 1usize..6), 1..100)) {
+#[test]
+fn blocklist_equals_flat_bitmap() {
+    let mut rng = Rng(14);
+    for _ in 0..64 {
         let mut list = BlockList::new();
         let mut flat = FlatSlots::new();
-        for (from, len) in ops {
+        for _ in 0..1 + rng.below(99) {
+            let from = rng.below(128) as usize;
+            let len = 1 + rng.below(5) as usize;
             let a = list.find_fit(from, len);
             let b = flat.find_fit(from, len);
-            prop_assert_eq!(a, b, "find_fit({}, {})", from, len);
+            assert_eq!(a, b, "find_fit({from}, {len})");
             list.fill(a, len);
             flat.fill(b, len);
         }
     }
+}
 
-    #[test]
-    fn blocklist_runs_alternate_and_cover(ops in proptest::collection::vec((0usize..64, 1usize..5), 1..40)) {
+#[test]
+fn blocklist_runs_alternate_and_cover() {
+    let mut rng = Rng(15);
+    for _ in 0..64 {
         let mut list = BlockList::new();
         let mut total = 0;
-        for (from, len) in ops {
+        for _ in 0..1 + rng.below(39) {
+            let from = rng.below(64) as usize;
+            let len = 1 + rng.below(4) as usize;
             let t = list.find_fit(from, len);
             list.fill(t, len);
             total += len;
         }
-        prop_assert_eq!(list.busy(), total);
+        assert_eq!(list.busy(), total);
         let runs: Vec<_> = list.runs().collect();
         // Runs abut and alternate.
         let mut pos = 0;
         let mut last_filled = None;
         for (start, len, filled) in runs {
-            prop_assert_eq!(start, pos);
-            prop_assert!(len > 0);
+            assert_eq!(start, pos);
+            assert!(len > 0);
             if let Some(lf) = last_filled {
-                prop_assert_ne!(lf, filled, "adjacent runs must alternate");
+                assert_ne!(lf, filled, "adjacent runs must alternate");
             }
             last_filled = Some(filled);
             pos = start + len;
@@ -231,44 +327,46 @@ proptest! {
 // ---------- placement vs. simulator vs. naive --------------------------------
 
 /// Random operation stream generator.
-fn op_stream() -> impl Strategy<Value = BlockIr> {
-    proptest::collection::vec((0usize..7, proptest::bool::ANY), 1..40).prop_map(|ops| {
-        let mut b = BlockIr::new();
-        let x = b.add_value(ValueDef::External("x".into()));
-        let mut prev = x;
-        for (kind, dep) in ops {
-            let basic = [
-                BasicOp::FAdd,
-                BasicOp::FMul,
-                BasicOp::Fma,
-                BasicOp::IAdd,
-                BasicOp::LoadFloat,
-                BasicOp::IMul,
-                BasicOp::FDiv,
-            ][kind];
-            let args = if dep { vec![prev, x] } else { vec![x, x] };
-            prev = b.emit(basic, args);
-        }
-        b
-    })
+fn op_stream(rng: &mut Rng) -> BlockIr {
+    let mut b = BlockIr::new();
+    let x = b.add_value(ValueDef::External("x".into()));
+    let mut prev = x;
+    for _ in 0..1 + rng.below(39) {
+        let basic = [
+            BasicOp::FAdd,
+            BasicOp::FMul,
+            BasicOp::Fma,
+            BasicOp::IAdd,
+            BasicOp::LoadFloat,
+            BasicOp::IMul,
+            BasicOp::FDiv,
+        ][rng.below(7) as usize];
+        let args = if rng.flip() { vec![prev, x] } else { vec![x, x] };
+        prev = b.emit(basic, args);
+    }
+    b
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn naive_upper_bounds_everything(block in op_stream()) {
+#[test]
+fn naive_upper_bounds_everything() {
+    let mut rng = Rng(16);
+    for _ in 0..64 {
+        let block = op_stream(&mut rng);
         for machine in [machines::power_like(), machines::risc1(), machines::wide4()] {
             let naive = naive_block_cost(&machine, &block);
             let sim = simulate_block(&machine, &block).makespan;
             let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
-            prop_assert!(sim <= naive, "sim {} > naive {} on {}", sim, naive, machine.name());
-            prop_assert!(placed <= naive, "placed {} > naive {} on {}", placed, naive, machine.name());
+            assert!(sim <= naive, "sim {} > naive {} on {}", sim, naive, machine.name());
+            assert!(placed <= naive, "placed {} > naive {} on {}", placed, naive, machine.name());
         }
     }
+}
 
-    #[test]
-    fn placement_respects_critical_path(block in op_stream()) {
+#[test]
+fn placement_respects_critical_path() {
+    let mut rng = Rng(17);
+    for _ in 0..64 {
+        let block = op_stream(&mut rng);
         // Completion can never beat the dependence-chain lower bound.
         let machine = machines::power_like();
         let mut chain_bound = vec![0u32; block.ops.len()];
@@ -288,13 +386,17 @@ proptest! {
         }
         let bound = chain_bound.iter().copied().max().unwrap_or(0);
         let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
-        prop_assert!(placed >= bound, "placed {} < critical path {}", placed, bound);
+        assert!(placed >= bound, "placed {placed} < critical path {bound}");
         let sim = simulate_block(&machine, &block).makespan;
-        prop_assert!(sim >= bound, "sim {} < critical path {}", sim, bound);
+        assert!(sim >= bound, "sim {sim} < critical path {bound}");
     }
+}
 
-    #[test]
-    fn prediction_tracks_simulator_within_factor(block in op_stream()) {
+#[test]
+fn prediction_tracks_simulator_within_factor() {
+    let mut rng = Rng(18);
+    for _ in 0..64 {
+        let block = op_stream(&mut rng);
         // Random adversarial streams (e.g. unpipelined divides stacked in
         // program order) can diverge more than real compiler output — the
         // Figure 7 suite stays within a few percent — but greedy placement
@@ -304,25 +406,30 @@ proptest! {
         let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
         let sim = simulate_block(&machine, &block).makespan.max(1);
         let ratio = placed as f64 / sim as f64;
-        prop_assert!((0.4..=2.0).contains(&ratio), "placed {placed} vs sim {sim}");
+        assert!((0.4..=2.0).contains(&ratio), "placed {placed} vs sim {sim}");
     }
+}
 
-    #[test]
-    fn focus_span_never_improves_on_unbounded(block in op_stream()) {
+#[test]
+fn focus_span_never_improves_on_unbounded() {
+    let mut rng = Rng(19);
+    for _ in 0..64 {
+        let block = op_stream(&mut rng);
         let machine = machines::power_like();
         let free = place_block(&machine, &block, PlaceOptions::default()).completion;
         let tight = place_block(&machine, &block, PlaceOptions::with_focus_span(1)).completion;
-        prop_assert!(tight >= free, "tight {} < free {}", tight, free);
+        assert!(tight >= free, "tight {tight} < free {free}");
     }
 }
 
 // ---------- end-to-end prediction sanity --------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_loops_predict_linear_cost(stmts in 1usize..4, mul in proptest::bool::ANY) {
+#[test]
+fn generated_loops_predict_linear_cost() {
+    let mut rng = Rng(20);
+    for _ in 0..24 {
+        let stmts = 1 + rng.below(3) as usize;
+        let mul = rng.flip();
         let mut body = String::new();
         for k in 0..stmts {
             if mul {
@@ -337,11 +444,12 @@ proptest! {
         let predictor = presage::core::predictor::Predictor::new(machines::power_like());
         let pred = &predictor.predict_source(&src).unwrap()[0];
         let n = Symbol::new("n");
-        prop_assert_eq!(pred.total.poly().degree_in(&n), 1);
+        assert_eq!(pred.total.poly().degree_in(&n), 1);
         // Per-iteration coefficient grows with statement count and is
         // bounded by the naive per-iteration cost.
-        let coeff = pred.total.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
-        prop_assert!(coeff.to_f64() > 0.0);
-        prop_assert!(coeff.to_f64() < 100.0 * stmts as f64);
+        let coeff =
+            pred.total.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        assert!(coeff.to_f64() > 0.0);
+        assert!(coeff.to_f64() < 100.0 * stmts as f64);
     }
 }
