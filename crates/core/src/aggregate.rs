@@ -13,8 +13,11 @@ use crate::tetris::{place_block, PlaceOptions};
 use presage_frontend::{BinOp, Expr, Intrinsic, UnOp};
 use presage_machine::MachineDesc;
 use presage_symbolic::{PerfExpr, Poly, Rational, Symbol, VarInfo};
-use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr};
+use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr, ValueDef};
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 /// Options controlling aggregation.
 #[derive(Clone, Debug)]
@@ -103,6 +106,264 @@ pub(crate) struct Aggregator<'a> {
     pub(crate) opts: &'a AggregateOptions,
 }
 
+const SCHED_MEMO_CAP: usize = 1 << 12;
+
+/// Per-thread memo of placement results keyed by block *content*.
+///
+/// The paper's workload calls the predictor "repeatedly during
+/// restructuring": transformation variants share most of their basic
+/// blocks, and within one variant the loop-overlap prober re-places the
+/// same block at every probe. Placement is deterministic in
+/// `(machine, options, block)`, so its completion/span/steady-state
+/// results are memoized here, keyed by a 128-bit content hash of those
+/// inputs ([`fold128`] — a collision needs both independently mixed
+/// 64-bit halves to agree). The reference path
+/// ([`crate::refagg::reference_aggregate`]) deliberately bypasses this
+/// memo: it is the seed pipeline the benchmarks compare against.
+struct SchedMemo {
+    /// Per-thread random seed for the content hash.
+    seed: u64,
+    /// Reusable key-encoding buffer.
+    buf: Vec<u8>,
+    /// `content → (completion, span)` for straight-line placement.
+    place: HashMap<u128, (u32, u32)>,
+    /// `content → per_iteration` for loop steady-state probing.
+    steady: HashMap<u128, f64>,
+}
+
+thread_local! {
+    static SCHED_MEMO: RefCell<SchedMemo> = RefCell::new(SchedMemo {
+        seed: {
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(0);
+            h.finish()
+        },
+        buf: Vec::new(),
+        place: HashMap::new(),
+        steady: HashMap::new(),
+    });
+}
+
+fn encode_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an unambiguous byte encoding of a subscript expression
+/// (structural walk — `Expr` has no `Hash` impl, and `Display` formatting
+/// is far too slow for a key that is recomputed on every lookup).
+fn encode_expr(buf: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::IntLit(n) => {
+            buf.push(0);
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        Expr::RealLit(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Expr::LogicalLit(b) => {
+            buf.push(2);
+            buf.push(*b as u8);
+        }
+        Expr::Var(name) => {
+            buf.push(3);
+            encode_str(buf, name);
+        }
+        Expr::ArrayRef { name, indices } => {
+            buf.push(4);
+            encode_str(buf, name);
+            buf.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+            for i in indices {
+                encode_expr(buf, i);
+            }
+        }
+        Expr::Unary { op, operand } => {
+            buf.push(5);
+            buf.push(*op as u8);
+            encode_expr(buf, operand);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            buf.push(6);
+            buf.push(*op as u8);
+            encode_expr(buf, lhs);
+            encode_expr(buf, rhs);
+        }
+        Expr::Intrinsic { func, args } => {
+            buf.push(7);
+            buf.push(*func as u8);
+            buf.extend_from_slice(&(args.len() as u32).to_le_bytes());
+            for a in args {
+                encode_expr(buf, a);
+            }
+        }
+    }
+}
+
+/// Appends an unambiguous byte encoding of one block to the key buffer.
+fn encode_block(buf: &mut Vec<u8>, block: &BlockIr) {
+    buf.extend_from_slice(&(block.values.len() as u32).to_le_bytes());
+    for v in &block.values {
+        match v {
+            ValueDef::IntConst(i) => {
+                buf.push(0);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            ValueDef::RealConst(x) => {
+                buf.push(1);
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            ValueDef::External(s) => {
+                buf.push(2);
+                encode_str(buf, s);
+            }
+            ValueDef::Op(id) => {
+                buf.push(3);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+            }
+        }
+    }
+    buf.extend_from_slice(&(block.ops.len() as u32).to_le_bytes());
+    for op in &block.ops {
+        buf.extend_from_slice(&(op.basic as u32).to_le_bytes());
+        buf.extend_from_slice(&(op.args.len() as u32).to_le_bytes());
+        for a in &op.args {
+            buf.extend_from_slice(&a.0.to_le_bytes());
+        }
+        match op.result {
+            None => buf.push(0),
+            Some(r) => {
+                buf.push(1);
+                buf.extend_from_slice(&r.0.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(op.extra_deps.len() as u32).to_le_bytes());
+        for d in &op.extra_deps {
+            buf.extend_from_slice(&d.0.to_le_bytes());
+        }
+        match &op.callee {
+            None => buf.push(0),
+            Some(c) => {
+                buf.push(1);
+                encode_str(buf, c);
+            }
+        }
+        match &op.mem {
+            None => buf.push(0),
+            Some(m) => {
+                buf.push(1);
+                encode_str(buf, &m.array);
+                buf.extend_from_slice(&(m.subscripts.len() as u32).to_le_bytes());
+                for sub in &m.subscripts {
+                    encode_expr(buf, sub);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes the full memo key into `memo.buf` and folds it into the
+/// 128-bit content key.
+fn sched_key(
+    memo: &mut SchedMemo,
+    machine: &MachineDesc,
+    opts: PlaceOptions,
+    probes: u32,
+    blocks: &[&BlockIr],
+) -> u128 {
+    let mut buf = std::mem::take(&mut memo.buf);
+    buf.clear();
+    buf.extend_from_slice(machine.name().as_bytes());
+    buf.push(0);
+    match opts.focus_span {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&probes.to_le_bytes());
+    for b in blocks {
+        encode_block(&mut buf, b);
+    }
+    let key = fold128(&buf, memo.seed);
+    memo.buf = buf;
+    key
+}
+
+/// One-pass two-lane multiply-fold over the key bytes, producing the
+/// 128-bit content key. The lanes use independent odd multipliers plus a
+/// per-thread random seed, so a collision needs both 64-bit halves to
+/// agree; inputs are compiler IR, not attacker-controlled, so seeded
+/// SipHash strength is not required — key-hashing speed is, because the
+/// key is recomputed on every memo lookup.
+fn fold128(bytes: &[u8], seed: u64) -> u128 {
+    const P1: u64 = 0x9e37_79b9_7f4a_7c15;
+    const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    let mut a = seed ^ P1;
+    let mut b = seed.rotate_left(32) ^ P2;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+        a = (a ^ v).wrapping_mul(P1).rotate_left(29);
+        b = (b ^ v.rotate_left(17)).wrapping_mul(P2).rotate_left(31);
+    }
+    let mut tail = bytes.len() as u64;
+    for (i, &x) in chunks.remainder().iter().enumerate() {
+        tail ^= (x as u64) << (8 * i + 3);
+    }
+    a = (a ^ tail).wrapping_mul(P1);
+    b = (b ^ tail).wrapping_mul(P2);
+    a ^= a >> 31;
+    b ^= b >> 29;
+    ((a as u128) << 64) | b as u128
+}
+
+/// Memoized [`place_block`]: returns `(completion, span)`.
+fn memo_place(machine: &MachineDesc, opts: PlaceOptions, block: &BlockIr) -> (u32, u32) {
+    SCHED_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        let key = sched_key(&mut m, machine, opts, 0, &[block]);
+        if let Some(&v) = m.place.get(&key) {
+            return v;
+        }
+        let cb = place_block(machine, block, opts);
+        let v = (cb.completion, cb.span());
+        if m.place.len() >= SCHED_MEMO_CAP {
+            m.place.clear();
+        }
+        m.place.insert(key, v);
+        v
+    })
+}
+
+/// Memoized per-iteration steady-state cost of `body` followed by the
+/// loop `control` block. Keyed on the *pair*, so the merged probe block
+/// is only materialized on a miss.
+fn memo_steady(
+    machine: &MachineDesc,
+    opts: PlaceOptions,
+    probes: u32,
+    body: &BlockIr,
+    control: &BlockIr,
+) -> f64 {
+    SCHED_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        let key = sched_key(&mut m, machine, opts, probes, &[body, control]);
+        if let Some(&v) = m.steady.get(&key) {
+            return v;
+        }
+        let mut merged = body.clone();
+        append_block(&mut merged, control);
+        let v = steady_state(machine, &merged, opts, probes).per_iteration;
+        if m.steady.len() >= SCHED_MEMO_CAP {
+            m.steady.clear();
+        }
+        m.steady.insert(key, v);
+        v
+    })
+}
+
 impl Aggregator<'_> {
     pub(crate) fn var_info(&self, name: &str) -> VarInfo {
         let (lo, hi) = self
@@ -148,8 +409,8 @@ impl Aggregator<'_> {
         if block.is_empty() {
             return PerfExpr::zero();
         }
-        let cb = place_block(self.machine, block, self.opts.place);
-        let mut cost = PerfExpr::cycles(cb.completion as i64);
+        let (completion, _) = memo_place(self.machine, self.opts.place, block);
+        let mut cost = PerfExpr::cycles(completion as i64);
         cost += self.call_costs(block);
         cost
     }
@@ -182,18 +443,22 @@ impl Aggregator<'_> {
         ctx.push(LoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly.clone() });
         let per_iter: PerfExpr = match &l.body[..] {
             [IrNode::Block(b)] if self.opts.steady_probes >= 2 => {
-                let mut merged = b.clone();
-                append_block(&mut merged, &l.control);
-                let ss = steady_state(self.machine, &merged, self.opts.place, self.opts.steady_probes);
+                let per_iter = memo_steady(
+                    self.machine,
+                    self.opts.place,
+                    self.opts.steady_probes,
+                    b,
+                    &l.control,
+                );
                 // Library-call expressions are charged per iteration on top
                 // of the placed instruction stream.
-                PerfExpr::cycles_rational(approx_rational(ss.per_iteration)) + self.call_costs(b)
+                PerfExpr::cycles_rational(approx_rational(per_iter)) + self.call_costs(b)
             }
             _ => {
                 let body = self.nodes(&l.body, ctx);
                 // Compound body: charge the control block standalone.
-                let control_cost = place_block(self.machine, &l.control, self.opts.place);
-                body + PerfExpr::cycles(control_cost.span() as i64)
+                let (_, span) = memo_place(self.machine, self.opts.place, &l.control);
+                body + PerfExpr::cycles(span as i64)
             }
         };
         let frame = ctx.pop().expect("frame pushed above");

@@ -53,6 +53,7 @@ pub mod library;
 pub mod memory;
 pub mod overlap;
 pub mod predictor;
+pub mod refagg;
 pub mod reference;
 pub mod render;
 pub mod slots;

@@ -156,6 +156,42 @@ impl Predictor {
         Ok(self.predict_ir(sub.name.clone(), ir))
     }
 
+    /// Predicts one parsed subroutine, returning only the total cost
+    /// expression.
+    ///
+    /// This is the prediction-engine hot path: unlike
+    /// [`Predictor::predict_subroutine`] it assembles no [`Prediction`]
+    /// (no IR retained, no expression clones), so it is what the
+    /// transformation search and the `perfsuite` throughput benchmark
+    /// call in their inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns semantic or translation errors.
+    pub fn predict_subroutine_cost(&self, sub: &Subroutine) -> Result<PerfExpr, PredictError> {
+        let symbols = sema::analyze(sub)?;
+        let ir = translate(sub, &symbols, &self.machine)?;
+        Ok(self.predict_cost(&ir))
+    }
+
+    /// Total cost expression of an already-translated program: aggregation
+    /// plus the memory model when enabled, without building a
+    /// [`Prediction`].
+    pub fn predict_cost(&self, ir: &ProgramIr) -> PerfExpr {
+        let compute = aggregate(
+            ir,
+            &self.machine,
+            self.options.library.as_ref(),
+            &self.options.aggregate,
+        );
+        if self.options.include_memory {
+            let mc = memory_cost(ir, &self.machine.cache, &self.options.aggregate);
+            compute + mc.cycles
+        } else {
+            compute
+        }
+    }
+
     /// Predicts an already-translated program.
     pub fn predict_ir(&self, name: String, ir: ProgramIr) -> Prediction {
         let compute = aggregate(

@@ -82,7 +82,7 @@ pub fn transformed(sub: &Subroutine, path: &[usize], t: &Transform) -> Result<Su
 ///
 /// Propagates prediction failures.
 pub fn cost_of(sub: &Subroutine, predictor: &Predictor) -> Result<PerfExpr, WhatIfError> {
-    Ok(predictor.predict_subroutine(sub)?.total)
+    Ok(predictor.predict_subroutine_cost(sub)?)
 }
 
 /// Applies the transformation and symbolically compares the variant

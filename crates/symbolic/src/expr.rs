@@ -103,9 +103,11 @@ impl PerfExpr {
     /// `Param` kind with range `[0, 1e9]`.
     pub fn from_poly(poly: Poly, vars: impl IntoIterator<Item = (Symbol, VarInfo)>) -> PerfExpr {
         let mut map: BTreeMap<Symbol, VarInfo> = vars.into_iter().collect();
-        for sym in poly.symbols() {
-            map.entry(sym).or_insert_with(|| VarInfo::param(0.0, 1e9));
-        }
+        poly.for_each_symbol(|sym| {
+            if !map.contains_key(sym) {
+                map.insert(sym.clone(), VarInfo::param(0.0, 1e9));
+            }
+        });
         PerfExpr { poly, vars: map }
     }
 
@@ -153,8 +155,22 @@ impl PerfExpr {
     }
 
     fn prune_vars(mut self) -> PerfExpr {
-        let used = self.poly.symbols();
-        self.vars.retain(|s, _| used.contains(s));
+        if self.vars.is_empty() {
+            return self;
+        }
+        // Interned symbol ids avoid the `BTreeSet<Symbol>` build (and its
+        // per-symbol `Arc` churn) that made this the hot spot of `+`/`mul`.
+        let used = self.poly.symbol_ids();
+        if used.len() == self.vars.len()
+            && self
+                .vars
+                .keys()
+                .all(|s| used.binary_search(&crate::intern::sym_id(s)).is_ok())
+        {
+            return self;
+        }
+        self.vars
+            .retain(|s, _| used.binary_search(&crate::intern::sym_id(s)).is_ok());
         self
     }
 
@@ -166,11 +182,14 @@ impl PerfExpr {
 
     /// Multiplies by another expression (used for `count × body`).
     pub fn mul(&self, other: &PerfExpr) -> PerfExpr {
-        PerfExpr {
-            poly: &self.poly * &other.poly,
-            vars: self.merged_vars(other),
-        }
-        .prune_vars()
+        let vars = if other.vars.is_empty() {
+            self.vars.clone()
+        } else if self.vars.is_empty() {
+            other.vars.clone()
+        } else {
+            self.merged_vars(other)
+        };
+        PerfExpr { poly: &self.poly * &other.poly, vars }.prune_vars()
     }
 
     /// Cost of repeating this expression a symbolic number of times:
@@ -383,6 +402,15 @@ pub struct Comparison {
 impl std::ops::Add for PerfExpr {
     type Output = PerfExpr;
     fn add(self, rhs: PerfExpr) -> PerfExpr {
+        // Adding a concrete cost (the common case in block aggregation) can
+        // only touch the constant term: metadata and symbol set are
+        // unchanged, so both the merge and the prune pass are skipped.
+        if rhs.vars.is_empty() && rhs.poly.is_constant() {
+            return PerfExpr { poly: self.poly + rhs.poly, vars: self.vars };
+        }
+        if self.vars.is_empty() && self.poly.is_constant() {
+            return PerfExpr { poly: self.poly + rhs.poly, vars: rhs.vars };
+        }
         let vars = self.merged_vars(&rhs);
         PerfExpr { poly: self.poly + rhs.poly, vars }.prune_vars()
     }
@@ -391,6 +419,9 @@ impl std::ops::Add for PerfExpr {
 impl std::ops::Sub for PerfExpr {
     type Output = PerfExpr;
     fn sub(self, rhs: PerfExpr) -> PerfExpr {
+        if rhs.vars.is_empty() && rhs.poly.is_constant() {
+            return PerfExpr { poly: self.poly - rhs.poly, vars: self.vars };
+        }
         let vars = self.merged_vars(&rhs);
         PerfExpr { poly: self.poly - rhs.poly, vars }.prune_vars()
     }

@@ -1,0 +1,438 @@
+//! Hash-consed symbol and monomial tables behind the optimized [`crate::Poly`].
+//!
+//! Every distinct monomial is interned exactly once and identified by a
+//! [`MonoId`]; id equality is structural equality, so polynomial arithmetic
+//! reduces to merging sorted `u32` runs instead of cloning and re-comparing
+//! `Vec<(Symbol, i32)>` factor lists. The tables are append-only:
+//!
+//! - A process-wide table (`OnceLock<RwLock<Global>>`) assigns ids. It is
+//!   touched only the first time any thread encounters a symbol or monomial.
+//! - Each thread keeps a mirror of the global table plus its own memo
+//!   caches (monomial products, `split_symbol` results) and a scratch-buffer
+//!   pool for merge-based polynomial ops. Ids are never invalidated, so
+//!   mirrors only ever grow a missing tail; steady-state operation is
+//!   entirely lock-free.
+//!
+//! Factor lists with at most two variables — the overwhelmingly common case
+//! in loop-nest cost expressions — are stored inline in the table entry;
+//! larger ones spill to a leaked slice. Entries also leak their canonical
+//! [`Monomial`] so `Poly::terms()` can keep handing out `&Monomial` without
+//! ownership gymnastics; the leak is bounded by the number of distinct
+//! monomials ever created, which is tiny for this workload.
+
+use crate::monomial::Monomial;
+use crate::symbol::Symbol;
+use crate::Rational;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Interned symbol id: index into the symbol table.
+pub(crate) type SymId = u32;
+/// Interned monomial id: index into the monomial table.
+pub(crate) type MonoId = u32;
+
+/// The constant monomial `1` is always entry 0, so a polynomial's constant
+/// term (if present) is always the first element of its id-sorted term list.
+pub(crate) const MONO_ONE: MonoId = 0;
+
+/// Memo caches are cleared (not evicted) past this size; the workloads here
+/// never approach it, it only guards against pathological inputs.
+const CACHE_CAP: usize = 1 << 14;
+
+/// Packed factor list: `(SymId, exponent)` pairs sorted by `SymId`, with
+/// inline storage for the ≤2-variable case.
+#[derive(Clone, Copy)]
+pub(crate) enum Factors {
+    /// Up to two factors stored in the entry itself.
+    Inline { len: u8, fac: [(SymId, i32); 2] },
+    /// Larger factor lists, interned once and leaked.
+    Spill(&'static [(SymId, i32)]),
+}
+
+impl Factors {
+    pub(crate) fn as_slice(&self) -> &[(SymId, i32)] {
+        match self {
+            Factors::Inline { len, fac } => &fac[..*len as usize],
+            Factors::Spill(s) => s,
+        }
+    }
+
+    fn from_slice(fs: &[(SymId, i32)]) -> Factors {
+        if fs.len() <= 2 {
+            let mut fac = [(0, 0); 2];
+            fac[..fs.len()].copy_from_slice(fs);
+            Factors::Inline { len: fs.len() as u8, fac }
+        } else {
+            Factors::Spill(Box::leak(fs.to_vec().into_boxed_slice()))
+        }
+    }
+}
+
+/// One monomial-table entry. `Copy` so thread mirrors share the leaked data.
+#[derive(Clone, Copy)]
+pub(crate) struct MonoEntry {
+    /// The canonical (name-sorted) monomial, leaked for `&'static` access.
+    pub(crate) mono: &'static Monomial,
+    /// Id-sorted factor list used by the arithmetic fast paths.
+    pub(crate) factors: Factors,
+    /// Laurent total degree (sum of exponents).
+    pub(crate) degree: i32,
+    /// Whether any exponent is negative.
+    pub(crate) has_neg: bool,
+}
+
+struct Global {
+    syms: Vec<Symbol>,
+    sym_ids: HashMap<Symbol, SymId>,
+    monos: Vec<MonoEntry>,
+    mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
+}
+
+impl Global {
+    fn new() -> Global {
+        let one: &'static Monomial = Box::leak(Box::new(Monomial::one()));
+        let entry = MonoEntry {
+            mono: one,
+            factors: Factors::from_slice(&[]),
+            degree: 0,
+            has_neg: false,
+        };
+        Global {
+            syms: Vec::new(),
+            sym_ids: HashMap::new(),
+            monos: vec![entry],
+            mono_ids: HashMap::from([(Vec::new().into_boxed_slice(), MONO_ONE)]),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<RwLock<Global>> = OnceLock::new();
+
+fn global() -> &'static RwLock<Global> {
+    GLOBAL.get_or_init(|| RwLock::new(Global::new()))
+}
+
+#[derive(Default)]
+struct Local {
+    syms: Vec<Symbol>,
+    sym_ids: HashMap<Symbol, SymId>,
+    monos: Vec<MonoEntry>,
+    mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
+    mul_cache: HashMap<(MonoId, MonoId), MonoId>,
+    split_cache: HashMap<(MonoId, SymId), (i32, MonoId)>,
+    scratch: Vec<Vec<(MonoId, Rational)>>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::default());
+}
+
+/// Copies the global tail this mirror is missing. Ids are append-only, so
+/// existing local entries are never touched.
+fn sync(l: &mut Local, g: &Global) {
+    for i in l.syms.len()..g.syms.len() {
+        let s = g.syms[i].clone();
+        l.sym_ids.insert(s.clone(), i as SymId);
+        l.syms.push(s);
+    }
+    for i in l.monos.len()..g.monos.len() {
+        let e = g.monos[i];
+        l.mono_ids
+            .insert(e.factors.as_slice().to_vec().into_boxed_slice(), i as MonoId);
+        l.monos.push(e);
+    }
+}
+
+/// Makes sure ids up to and including `id` are present in the mirror
+/// (a `Poly` built on another thread can carry ids this thread has not seen).
+fn ensure_mono(l: &mut Local, id: MonoId) {
+    if (id as usize) >= l.monos.len() {
+        let g = global().read().unwrap_or_else(|e| e.into_inner());
+        sync(l, &g);
+    }
+}
+
+fn sym_id_in(l: &mut Local, sym: &Symbol) -> SymId {
+    if let Some(&id) = l.sym_ids.get(sym) {
+        return id;
+    }
+    {
+        let g = global().read().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = g.sym_ids.get(sym) {
+            sync(l, &g);
+            return id;
+        }
+    }
+    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = g.sym_ids.get(sym) {
+        sync(l, &g);
+        return id;
+    }
+    let id = g.syms.len() as SymId;
+    g.syms.push(sym.clone());
+    g.sym_ids.insert(sym.clone(), id);
+    sync(l, &g);
+    id
+}
+
+/// Interns an id-sorted, zero-free factor list.
+fn intern_factors_in(l: &mut Local, fs: &[(SymId, i32)]) -> MonoId {
+    if fs.is_empty() {
+        return MONO_ONE;
+    }
+    if let Some(&id) = l.mono_ids.get(fs) {
+        return id;
+    }
+    {
+        let g = global().read().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = g.mono_ids.get(fs) {
+            sync(l, &g);
+            return id;
+        }
+    }
+    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = g.mono_ids.get(fs) {
+        sync(l, &g);
+        return id;
+    }
+    let pairs: Vec<(Symbol, i32)> = fs
+        .iter()
+        .map(|&(sid, exp)| (g.syms[sid as usize].clone(), exp))
+        .collect();
+    let mono: &'static Monomial = Box::leak(Box::new(Monomial::from_pairs(pairs)));
+    let entry = MonoEntry {
+        mono,
+        factors: Factors::from_slice(fs),
+        degree: fs.iter().map(|&(_, e)| e).sum(),
+        has_neg: fs.iter().any(|&(_, e)| e < 0),
+    };
+    let id = g.monos.len() as MonoId;
+    g.monos.push(entry);
+    g.mono_ids.insert(fs.to_vec().into_boxed_slice(), id);
+    sync(l, &g);
+    id
+}
+
+fn mono_mul_in(l: &mut Local, a: MonoId, b: MonoId) -> MonoId {
+    if a == MONO_ONE {
+        return b;
+    }
+    if b == MONO_ONE {
+        return a;
+    }
+    if let Some(&id) = l.mul_cache.get(&(a, b)) {
+        return id;
+    }
+    ensure_mono(l, a.max(b));
+    let fa = l.monos[a as usize].factors;
+    let fb = l.monos[b as usize].factors;
+    let (sa, sb) = (fa.as_slice(), fb.as_slice());
+    let mut out: Vec<(SymId, i32)> = Vec::with_capacity(sa.len() + sb.len());
+    let (mut i, mut j) = (0, 0);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].0.cmp(&sb[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(sa[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(sb[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let e = sa[i].1 + sb[j].1;
+                if e != 0 {
+                    out.push((sa[i].0, e));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&sa[i..]);
+    out.extend_from_slice(&sb[j..]);
+    let id = intern_factors_in(l, &out);
+    if l.mul_cache.len() >= CACHE_CAP {
+        l.mul_cache.clear();
+    }
+    l.mul_cache.insert((a, b), id);
+    id
+}
+
+fn mono_split_in(l: &mut Local, id: MonoId, sid: SymId) -> (i32, MonoId) {
+    if id == MONO_ONE {
+        return (0, MONO_ONE);
+    }
+    if let Some(&r) = l.split_cache.get(&(id, sid)) {
+        return r;
+    }
+    ensure_mono(l, id);
+    let factors = l.monos[id as usize].factors;
+    let fs = factors.as_slice();
+    let r = match fs.iter().position(|&(s, _)| s == sid) {
+        None => (0, id),
+        Some(pos) => {
+            let exp = fs[pos].1;
+            let mut rest: Vec<(SymId, i32)> = Vec::with_capacity(fs.len() - 1);
+            rest.extend_from_slice(&fs[..pos]);
+            rest.extend_from_slice(&fs[pos + 1..]);
+            (exp, intern_factors_in(l, &rest))
+        }
+    };
+    if l.split_cache.len() >= CACHE_CAP {
+        l.split_cache.clear();
+    }
+    l.split_cache.insert((id, sid), r);
+    r
+}
+
+// ---- public (crate) surface -------------------------------------------------
+
+pub(crate) fn sym_id(sym: &Symbol) -> SymId {
+    LOCAL.with(|l| sym_id_in(&mut l.borrow_mut(), sym))
+}
+
+/// The canonical interned monomial for `id`.
+pub(crate) fn mono(id: MonoId) -> &'static Monomial {
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        ensure_mono(l, id);
+        l.monos[id as usize].mono
+    })
+}
+
+/// A copy of the full table entry (factors, degree, negativity flag).
+pub(crate) fn mono_entry(id: MonoId) -> MonoEntry {
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        ensure_mono(l, id);
+        l.monos[id as usize]
+    })
+}
+
+/// Interns an API-level monomial (name-sorted factors → id-sorted key).
+pub(crate) fn intern_mono(m: &Monomial) -> MonoId {
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        let mut fs: Vec<(SymId, i32)> = m.factors().map(|(s, e)| (sym_id_in(l, s), e)).collect();
+        fs.sort_unstable_by_key(|&(s, _)| s);
+        intern_factors_in(l, &fs)
+    })
+}
+
+/// `sym^exp` as an interned id (`MONO_ONE` when `exp == 0`).
+pub(crate) fn mono_power(sym: &Symbol, exp: i32) -> MonoId {
+    if exp == 0 {
+        return MONO_ONE;
+    }
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        let sid = sym_id_in(l, sym);
+        intern_factors_in(l, &[(sid, exp)])
+    })
+}
+
+/// Product of two interned monomials (memoized per thread).
+pub(crate) fn mono_mul(a: MonoId, b: MonoId) -> MonoId {
+    LOCAL.with(|l| mono_mul_in(&mut l.borrow_mut(), a, b))
+}
+
+/// Raises every exponent by `exp` (id order is preserved, so no re-sort).
+pub(crate) fn mono_pow(id: MonoId, exp: i32) -> MonoId {
+    if exp == 0 || id == MONO_ONE {
+        return if exp == 0 { MONO_ONE } else { id };
+    }
+    if exp == 1 {
+        return id;
+    }
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        ensure_mono(l, id);
+        let factors = l.monos[id as usize].factors;
+        let fs: Vec<(SymId, i32)> = factors.as_slice().iter().map(|&(s, e)| (s, e * exp)).collect();
+        intern_factors_in(l, &fs)
+    })
+}
+
+/// Removes `sym` from the monomial: `(removed exponent, remaining id)`,
+/// memoized per thread — the backbone of `subst`/`derivative`/`as_univariate`.
+pub(crate) fn mono_split(id: MonoId, sid: SymId) -> (i32, MonoId) {
+    LOCAL.with(|l| mono_split_in(&mut l.borrow_mut(), id, sid))
+}
+
+/// Grabs a reusable term buffer from the thread-local pool.
+pub(crate) fn take_scratch() -> Vec<(MonoId, Rational)> {
+    LOCAL
+        .with(|l| l.borrow_mut().scratch.pop())
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
+/// Returns a term buffer to the pool for reuse.
+pub(crate) fn put_scratch(v: Vec<(MonoId, Rational)>) {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.scratch.len() < 8 {
+            l.scratch.push(v);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::new(n)
+    }
+
+    #[test]
+    fn ids_are_structural_identity() {
+        let a = intern_mono(&Monomial::from_pairs([(s("x"), 2), (s("y"), 1)]));
+        let b = intern_mono(&Monomial::from_pairs([(s("y"), 1), (s("x"), 2)]));
+        assert_eq!(a, b);
+        assert_ne!(a, intern_mono(&Monomial::var(s("x"))));
+        assert_eq!(intern_mono(&Monomial::one()), MONO_ONE);
+    }
+
+    #[test]
+    fn mul_merges_and_cancels() {
+        let x2 = mono_power(&s("x"), 2);
+        let xinv2 = mono_power(&s("x"), -2);
+        assert_eq!(mono_mul(x2, xinv2), MONO_ONE);
+        let y = mono_power(&s("y"), 1);
+        let xy = mono_mul(mono_power(&s("x"), 1), y);
+        assert_eq!(mono(xy).to_string(), "x*y");
+        assert_eq!(mono_entry(xy).degree, 2);
+    }
+
+    #[test]
+    fn split_round_trips() {
+        let m = intern_mono(&Monomial::from_pairs([(s("x"), 3), (s("y"), -1)]));
+        let sid = sym_id(&s("x"));
+        let (e, rest) = mono_split(m, sid);
+        assert_eq!(e, 3);
+        assert_eq!(mono(rest).to_string(), "y^-1");
+        assert_eq!(mono_mul(rest, mono_power(&s("x"), 3)), m);
+    }
+
+    #[test]
+    fn cross_thread_ids_resolve() {
+        let id = std::thread::spawn(|| intern_mono(&Monomial::from_pairs([(s("tq"), 5)])))
+            .join()
+            .unwrap();
+        assert_eq!(mono(id).to_string(), "tq^5");
+    }
+
+    #[test]
+    fn pow_scales_exponents() {
+        let m = intern_mono(&Monomial::from_pairs([(s("a"), 1), (s("b"), 2)]));
+        let m2 = mono_pow(m, 2);
+        assert_eq!(mono(m2).to_string(), "a^2*b^4");
+        assert_eq!(mono_pow(m, 0), MONO_ONE);
+    }
+}

@@ -40,12 +40,14 @@
 #![warn(missing_debug_implementations)]
 
 mod expr;
+mod intern;
 mod interval;
 mod monomial;
 mod poly;
 mod rational;
 mod symbol;
 
+pub mod reference;
 pub mod roots;
 pub mod sensitivity;
 pub mod signs;

@@ -5,10 +5,21 @@
 //! program's unknowns (loop bounds, branch probabilities, problem sizes).
 //! Keeping them exact until a decision is forced is the paper's central
 //! "delay the guess" idea.
+//!
+//! Representation: terms are a flat `Vec<(MonoId, Rational)>` sorted by
+//! interned monomial id (see [`crate::intern`]'s module docs), so `add` is a
+//! sorted merge of `u32` runs, `mul` is a scratch-buffer product + sort +
+//! coalesce, and structural queries read packed factor lists instead of
+//! walking `BTreeMap` nodes. `substitute` and `pow` are memoized per thread,
+//! keyed on the interned form. The seed `BTreeMap<Monomial, Rational>`
+//! implementation is preserved verbatim in [`crate::reference`] and the
+//! differential suite proves both produce identical canonical forms.
 
+use crate::intern::{self, MonoId, MONO_ONE};
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
 use crate::Rational;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -24,16 +35,89 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 /// let cost = &(&n * &n) * &Poly::from(3) + &n * &Poly::from(2) + Poly::from(7);
 /// assert_eq!(cost.to_string(), "3*n^2 + 2*n + 7");
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Poly {
-    /// Canonical form: monomial -> nonzero coefficient.
-    terms: BTreeMap<Monomial, Rational>,
+    /// Canonical form: sorted by interned monomial id, coefficients nonzero.
+    /// `MONO_ONE` is id 0, so the constant term (if any) is always first.
+    terms: Vec<(MonoId, Rational)>,
+}
+
+const MEMO_CAP: usize = 1 << 13;
+
+thread_local! {
+    /// `(base, exp) -> base^exp` for exponents ≥ 2.
+    static POW_MEMO: RefCell<HashMap<(Poly, u32), Poly>> = RefCell::new(HashMap::new());
+    /// `(poly, symbol id, replacement) -> substituted` — aggregation re-runs
+    /// the same handful of substitutions (loop shifts, steady-state probes)
+    /// constantly, so this is the single highest-value cache in the engine.
+    static SUBST_MEMO: RefCell<HashMap<(Poly, u32, Poly), Result<Poly, SubstError>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Merges two id-sorted term runs; `negate_b` subtracts instead of adding.
+fn merge_terms(
+    a: &[(MonoId, Rational)],
+    b: &[(MonoId, Rational)],
+    negate_b: bool,
+    out: &mut Vec<(MonoId, Rational)>,
+) {
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let (m, c) = b[j];
+                out.push((m, if negate_b { -c } else { c }));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let c = if negate_b { a[i].1 - b[j].1 } else { a[i].1 + b[j].1 };
+                if !c.is_zero() {
+                    out.push((a[i].0, c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    if negate_b {
+        out.extend(b[j..].iter().map(|&(m, c)| (m, -c)));
+    } else {
+        out.extend_from_slice(&b[j..]);
+    }
+}
+
+/// Sorts a scratch product buffer by id and coalesces equal monomials.
+fn coalesce(scratch: &mut Vec<(MonoId, Rational)>) -> Vec<(MonoId, Rational)> {
+    scratch.sort_unstable_by_key(|&(id, _)| id);
+    let mut out: Vec<(MonoId, Rational)> = Vec::with_capacity(scratch.len());
+    for &(id, c) in scratch.iter() {
+        match out.last_mut() {
+            Some(last) if last.0 == id => {
+                last.1 += c;
+                if last.1.is_zero() {
+                    out.pop();
+                }
+            }
+            _ => {
+                if !c.is_zero() {
+                    out.push((id, c));
+                }
+            }
+        }
+    }
+    out
 }
 
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Poly {
-        Poly { terms: BTreeMap::new() }
+        Poly { terms: Vec::new() }
     }
 
     /// The constant polynomial 1.
@@ -44,35 +128,45 @@ impl Poly {
     /// A constant polynomial.
     pub fn constant(c: impl Into<Rational>) -> Poly {
         let c = c.into();
-        let mut terms = BTreeMap::new();
-        if !c.is_zero() {
-            terms.insert(Monomial::one(), c);
+        if c.is_zero() {
+            Poly::zero()
+        } else {
+            Poly { terms: vec![(MONO_ONE, c)] }
         }
-        Poly { terms }
     }
 
     /// The polynomial consisting of a single variable.
     pub fn var(sym: Symbol) -> Poly {
-        Poly::term(Rational::ONE, Monomial::var(sym))
+        Poly { terms: vec![(intern::mono_power(&sym, 1), Rational::ONE)] }
     }
 
     /// A single-term polynomial `coeff * mono`.
     pub fn term(coeff: impl Into<Rational>, mono: Monomial) -> Poly {
         let coeff = coeff.into();
-        let mut terms = BTreeMap::new();
-        if !coeff.is_zero() {
-            terms.insert(mono, coeff);
+        if coeff.is_zero() {
+            Poly::zero()
+        } else {
+            Poly { terms: vec![(intern::intern_mono(&mono), coeff)] }
         }
-        Poly { terms }
+    }
+
+    fn from_id(id: MonoId, coeff: Rational) -> Poly {
+        if coeff.is_zero() {
+            Poly::zero()
+        } else {
+            Poly { terms: vec![(id, coeff)] }
+        }
     }
 
     /// Builds a univariate polynomial from coefficients `c0 + c1*x + c2*x^2 + ...`.
     pub fn from_coeffs(sym: &Symbol, coeffs: &[Rational]) -> Poly {
-        let mut p = Poly::zero();
+        let mut scratch: Vec<(MonoId, Rational)> = Vec::with_capacity(coeffs.len());
         for (i, c) in coeffs.iter().enumerate() {
-            p += Poly::term(*c, Monomial::power(sym.clone(), i as i32));
+            if !c.is_zero() {
+                scratch.push((intern::mono_power(sym, i as i32), *c));
+            }
         }
-        p
+        Poly { terms: coalesce(&mut scratch) }
     }
 
     /// Returns `true` if this is the zero polynomial.
@@ -82,23 +176,28 @@ impl Poly {
 
     /// Returns `true` if the polynomial has no variables.
     pub fn is_constant(&self) -> bool {
-        self.terms.keys().all(|m| m.is_one())
+        match self.terms.len() {
+            0 => true,
+            1 => self.terms[0].0 == MONO_ONE,
+            _ => false,
+        }
     }
 
     /// The constant value, if [`Poly::is_constant`].
     pub fn constant_value(&self) -> Option<Rational> {
-        if self.is_zero() {
-            Some(Rational::ZERO)
-        } else if self.is_constant() {
-            self.terms.get(&Monomial::one()).copied()
-        } else {
-            None
+        match self.terms.len() {
+            0 => Some(Rational::ZERO),
+            1 if self.terms[0].0 == MONO_ONE => Some(self.terms[0].1),
+            _ => None,
         }
     }
 
     /// The coefficient of the constant (degree-0) term.
     pub fn constant_term(&self) -> Rational {
-        self.terms.get(&Monomial::one()).copied().unwrap_or(Rational::ZERO)
+        match self.terms.first() {
+            Some(&(MONO_ONE, c)) => c,
+            _ => Rational::ZERO,
+        }
     }
 
     /// Number of (nonzero) terms.
@@ -106,41 +205,98 @@ impl Poly {
         self.terms.len()
     }
 
-    /// Iterates over `(monomial, coefficient)` pairs in ascending grlex order.
+    /// Iterates over `(monomial, coefficient)` pairs in a deterministic
+    /// internal order (interned-id order, *not* grlex — [`fmt::Display`]
+    /// sorts grlex for human-readable output).
     pub fn terms(&self) -> impl Iterator<Item = (&Monomial, Rational)> {
-        self.terms.iter().map(|(m, c)| (m, *c))
+        self.terms.iter().map(|&(id, c)| {
+            let m: &Monomial = intern::mono(id);
+            (m, c)
+        })
     }
 
     /// The coefficient attached to `mono` (zero if absent).
     pub fn coeff(&self, mono: &Monomial) -> Rational {
-        self.terms.get(mono).copied().unwrap_or(Rational::ZERO)
+        let id = intern::intern_mono(mono);
+        self.terms
+            .binary_search_by_key(&id, |&(m, _)| m)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(Rational::ZERO)
     }
 
     /// All symbols appearing in the polynomial.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
         let mut out = BTreeSet::new();
-        for m in self.terms.keys() {
-            out.extend(m.symbols().cloned());
+        for &(id, _) in &self.terms {
+            out.extend(intern::mono(id).symbols().cloned());
         }
+        out
+    }
+
+    /// Visits every symbol occurrence (with repeats across terms) without
+    /// materializing a set — the allocation-free walk behind
+    /// [`crate::PerfExpr::from_poly`]'s completeness check.
+    pub(crate) fn for_each_symbol(&self, mut f: impl FnMut(&Symbol)) {
+        for &(id, _) in &self.terms {
+            for s in intern::mono(id).symbols() {
+                f(s);
+            }
+        }
+    }
+
+    /// Sorted, deduplicated interned symbol ids — the allocation-light
+    /// alternative to [`Poly::symbols`] for the hot metadata-pruning path.
+    pub(crate) fn symbol_ids(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &(id, _) in &self.terms {
+            for &(s, _) in intern::mono_entry(id).factors.as_slice() {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort_unstable();
         out
     }
 
     /// Returns `true` if `sym` occurs in the polynomial.
     pub fn contains_symbol(&self, sym: &Symbol) -> bool {
-        self.terms.keys().any(|m| m.exponent_of(sym) != 0)
+        if self.terms.is_empty() {
+            return false;
+        }
+        let sid = intern::sym_id(sym);
+        self.terms.iter().any(|&(id, _)| {
+            intern::mono_entry(id)
+                .factors
+                .as_slice()
+                .iter()
+                .any(|&(s, _)| s == sid)
+        })
     }
 
     /// Returns `true` if any term has a negative exponent (a `1/x^k` term).
     pub fn has_negative_exponents(&self) -> bool {
-        self.terms.keys().any(|m| m.has_negative_exponent())
+        self.terms.iter().any(|&(id, _)| intern::mono_entry(id).has_neg)
     }
 
     /// Highest exponent of `sym` across terms (0 for absent symbols; may be
     /// negative if `sym` appears only in denominators).
     pub fn degree_in(&self, sym: &Symbol) -> i32 {
+        if self.terms.is_empty() {
+            return 0;
+        }
+        let sid = intern::sym_id(sym);
         self.terms
-            .keys()
-            .map(|m| m.exponent_of(sym))
+            .iter()
+            .map(|&(id, _)| {
+                intern::mono_entry(id)
+                    .factors
+                    .as_slice()
+                    .iter()
+                    .find(|&&(s, _)| s == sid)
+                    .map(|&(_, e)| e)
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap_or(0)
     }
@@ -148,29 +304,47 @@ impl Poly {
     /// Maximum total degree across terms (0 for the zero polynomial).
     pub fn total_degree(&self) -> i32 {
         self.terms
-            .keys()
-            .map(|m| m.total_degree())
+            .iter()
+            .map(|&(id, _)| intern::mono_entry(id).degree)
             .max()
             .unwrap_or(0)
     }
 
-    fn insert_term(&mut self, mono: Monomial, coeff: Rational) {
+    fn insert_id(&mut self, id: MonoId, coeff: Rational) {
         if coeff.is_zero() {
             return;
         }
-        match self.terms.entry(mono) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(coeff);
-            }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let sum = *e.get() + coeff;
-                if sum.is_zero() {
-                    e.remove();
-                } else {
-                    *e.get_mut() = sum;
+        match self.terms.binary_search_by_key(&id, |&(m, _)| m) {
+            Ok(i) => {
+                self.terms[i].1 += coeff;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
                 }
             }
+            Err(i) => self.terms.insert(i, (id, coeff)),
         }
+    }
+
+    /// Merges `rhs` into `self` in place through a pooled scratch buffer —
+    /// the zero-allocation steady state of `+=`-heavy aggregation loops.
+    fn merge_in(&mut self, rhs: &Poly, negate: bool) {
+        if rhs.terms.is_empty() {
+            return;
+        }
+        if self.terms.is_empty() {
+            self.terms.clear();
+            if negate {
+                self.terms.extend(rhs.terms.iter().map(|&(m, c)| (m, -c)));
+            } else {
+                self.terms.extend_from_slice(&rhs.terms);
+            }
+            return;
+        }
+        let mut scratch = intern::take_scratch();
+        merge_terms(&self.terms, &rhs.terms, negate, &mut scratch);
+        self.terms.clear();
+        self.terms.extend_from_slice(&scratch);
+        intern::put_scratch(scratch);
     }
 
     /// Multiplies by a scalar.
@@ -179,17 +353,35 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly {
-            terms: self.terms.iter().map(|(m, v)| (m.clone(), *v * c)).collect(),
-        }
+        Poly { terms: self.terms.iter().map(|&(m, v)| (m, v * c)).collect() }
     }
 
-    /// Raises the polynomial to a non-negative power.
+    /// Raises the polynomial to a non-negative power (memoized per thread
+    /// for exponents ≥ 2).
     pub fn pow(&self, exp: u32) -> Poly {
-        let mut acc = Poly::one();
-        for _ in 0..exp {
+        match exp {
+            0 => return Poly::one(),
+            1 => return self.clone(),
+            _ => {}
+        }
+        if let Some(c) = self.constant_value() {
+            return Poly::constant(c.pow(exp as i32));
+        }
+        let key = (self.clone(), exp);
+        if let Some(hit) = POW_MEMO.with(|m| m.borrow().get(&key).cloned()) {
+            return hit;
+        }
+        let mut acc = self.clone();
+        for _ in 1..exp {
             acc = &acc * self;
         }
+        POW_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= MEMO_CAP {
+                m.clear();
+            }
+            m.insert(key, acc.clone());
+        });
         acc
     }
 
@@ -201,35 +393,77 @@ impl Poly {
     /// `1/x^k` terms). Otherwise terms with negative powers of `sym` are
     /// rejected.
     ///
+    /// Results are memoized per thread, keyed on the interned forms of all
+    /// three inputs.
+    ///
     /// # Errors
     ///
     /// Returns [`SubstError`] when a negative power of `sym` meets a
     /// replacement that is zero or not a single term.
     pub fn subst(&self, sym: &Symbol, replacement: &Poly) -> Result<Poly, SubstError> {
+        if !self.contains_symbol(sym) {
+            return Ok(self.clone());
+        }
+        let sid = intern::sym_id(sym);
+        let key = (self.clone(), sid, replacement.clone());
+        if let Some(hit) = SUBST_MEMO.with(|m| m.borrow().get(&key).cloned()) {
+            return hit;
+        }
+        let result = self.subst_uncached(sym, sid, replacement);
+        SUBST_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= MEMO_CAP {
+                m.clear();
+            }
+            m.insert(key, result.clone());
+        });
+        result
+    }
+
+    fn subst_uncached(
+        &self,
+        sym: &Symbol,
+        sid: u32,
+        replacement: &Poly,
+    ) -> Result<Poly, SubstError> {
         let mut out = Poly::zero();
-        for (mono, coeff) in &self.terms {
-            let (exp, rest) = mono.split_symbol(sym);
+        for &(id, coeff) in &self.terms {
+            let (exp, rest) = intern::mono_split(id, sid);
             if exp == 0 {
-                out.insert_term(rest, *coeff);
+                out.insert_id(rest, coeff);
             } else if exp > 0 {
                 let powed = replacement.pow(exp as u32);
-                let scaled = powed.scale(*coeff);
-                let shifted = &scaled * &Poly::term(Rational::ONE, rest);
-                out += shifted;
+                let shifted = powed.scale(coeff).mul_mono(rest);
+                out.merge_in(&shifted, false);
             } else {
                 // Negative power: replacement must be invertible as a monomial.
-                let (rc, rm) = replacement
-                    .single_term()
-                    .ok_or_else(|| SubstError::new(sym, "replacement for a negative power must be a single nonzero term"))?;
+                let (rc, rm) = replacement.single_term_id().ok_or_else(|| {
+                    SubstError::new(sym, "replacement for a negative power must be a single nonzero term")
+                })?;
                 if rc.is_zero() {
                     return Err(SubstError::new(sym, "cannot substitute zero into a negative power"));
                 }
-                let inv = Poly::term(rc.pow(exp), rm.pow(exp));
-                let shifted = &inv.scale(*coeff) * &Poly::term(Rational::ONE, rest);
-                out += shifted;
+                let inv = Poly::from_id(intern::mono_pow(rm, exp), rc.pow(exp)).scale(coeff);
+                let shifted = inv.mul_mono(rest);
+                out.merge_in(&shifted, false);
             }
         }
         Ok(out)
+    }
+
+    /// Multiplies every term by the interned monomial `id`. Ids are not
+    /// order-compatible with monomial products, so the result re-coalesces.
+    fn mul_mono(&self, id: MonoId) -> Poly {
+        if id == MONO_ONE || self.terms.is_empty() {
+            return self.clone();
+        }
+        let mut scratch = intern::take_scratch();
+        for &(m, c) in &self.terms {
+            scratch.push((intern::mono_mul(m, id), c));
+        }
+        let terms = coalesce(&mut scratch);
+        intern::put_scratch(scratch);
+        Poly { terms }
     }
 
     /// Substitutes many symbols at once (applied left to right).
@@ -248,8 +482,17 @@ impl Poly {
     /// If the polynomial is a single term, returns its coefficient and monomial.
     pub fn single_term(&self) -> Option<(Rational, Monomial)> {
         if self.terms.len() == 1 {
-            let (m, c) = self.terms.iter().next().unwrap();
-            Some((*c, m.clone()))
+            let (id, c) = self.terms[0];
+            Some((c, intern::mono(id).clone()))
+        } else {
+            None
+        }
+    }
+
+    fn single_term_id(&self) -> Option<(Rational, MonoId)> {
+        if self.terms.len() == 1 {
+            let (id, c) = self.terms[0];
+            Some((c, id))
         } else {
             None
         }
@@ -259,8 +502,8 @@ impl Poly {
     /// unbound or a zero value meets a negative exponent.
     pub fn eval(&self, bindings: &HashMap<Symbol, Rational>) -> Option<Rational> {
         let mut acc = Rational::ZERO;
-        for (mono, coeff) in &self.terms {
-            acc += *coeff * mono.eval(bindings)?;
+        for &(id, coeff) in &self.terms {
+            acc += coeff * intern::mono(id).eval(bindings)?;
         }
         Some(acc)
     }
@@ -268,8 +511,8 @@ impl Poly {
     /// Evaluates with floating-point bindings; `None` when a symbol is unbound.
     pub fn eval_f64(&self, bindings: &HashMap<Symbol, f64>) -> Option<f64> {
         let mut acc = 0.0;
-        for (mono, coeff) in &self.terms {
-            acc += coeff.to_f64() * mono.eval_f64(bindings)?;
+        for &(id, coeff) in &self.terms {
+            acc += coeff.to_f64() * intern::mono(id).eval_f64(bindings)?;
         }
         Some(acc)
     }
@@ -284,14 +527,18 @@ impl Poly {
 
     /// Partial derivative with respect to `sym`.
     pub fn derivative(&self, sym: &Symbol) -> Poly {
+        if self.terms.is_empty() {
+            return Poly::zero();
+        }
+        let sid = intern::sym_id(sym);
         let mut out = Poly::zero();
-        for (mono, coeff) in &self.terms {
-            let (exp, rest) = mono.split_symbol(sym);
+        for &(id, coeff) in &self.terms {
+            let (exp, rest) = intern::mono_split(id, sid);
             if exp == 0 {
                 continue;
             }
-            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp - 1));
-            out.insert_term(new_mono, *coeff * Rational::from_int(exp as i64));
+            let new_mono = intern::mono_mul(rest, intern::mono_power(sym, exp - 1));
+            out.insert_id(new_mono, coeff * Rational::from_int(exp as i64));
         }
         out
     }
@@ -305,14 +552,15 @@ impl Poly {
     /// machinery drop such terms first (paper §3.1 drops negligible `1/x^k`
     /// terms explicitly).
     pub fn antiderivative(&self, sym: &Symbol) -> Result<Poly, SubstError> {
+        let sid = intern::sym_id(sym);
         let mut out = Poly::zero();
-        for (mono, coeff) in &self.terms {
-            let (exp, rest) = mono.split_symbol(sym);
+        for &(id, coeff) in &self.terms {
+            let (exp, rest) = intern::mono_split(id, sid);
             if exp == -1 {
                 return Err(SubstError::new(sym, "x^-1 integrates to a logarithm; drop the term first"));
             }
-            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp + 1));
-            out.insert_term(new_mono, *coeff / Rational::from_int((exp + 1) as i64));
+            let new_mono = intern::mono_mul(rest, intern::mono_power(sym, exp + 1));
+            out.insert_id(new_mono, coeff / Rational::from_int((exp + 1) as i64));
         }
         Ok(out)
     }
@@ -320,13 +568,14 @@ impl Poly {
     /// Views the polynomial as univariate in `sym`: returns
     /// `(exponent, coefficient-polynomial)` pairs sorted by ascending exponent.
     pub fn as_univariate(&self, sym: &Symbol) -> Vec<(i32, Poly)> {
+        if self.terms.is_empty() {
+            return Vec::new();
+        }
+        let sid = intern::sym_id(sym);
         let mut by_exp: BTreeMap<i32, Poly> = BTreeMap::new();
-        for (mono, coeff) in &self.terms {
-            let (exp, rest) = mono.split_symbol(sym);
-            by_exp
-                .entry(exp)
-                .or_insert_with(Poly::zero)
-                .insert_term(rest, *coeff);
+        for &(id, coeff) in &self.terms {
+            let (exp, rest) = intern::mono_split(id, sid);
+            by_exp.entry(exp).or_insert_with(Poly::zero).insert_id(rest, coeff);
         }
         by_exp.into_iter().filter(|(_, p)| !p.is_zero()).collect()
     }
@@ -348,22 +597,26 @@ impl Poly {
 
     /// Applies `f` to every coefficient, dropping terms mapped to zero.
     pub fn map_coeffs(&self, mut f: impl FnMut(&Monomial, Rational) -> Rational) -> Poly {
-        let mut out = Poly::zero();
-        for (m, c) in &self.terms {
-            out.insert_term(m.clone(), f(m, *c));
-        }
-        out
+        let terms = self
+            .terms
+            .iter()
+            .filter_map(|&(id, c)| {
+                let c = f(intern::mono(id), c);
+                if c.is_zero() { None } else { Some((id, c)) }
+            })
+            .collect();
+        Poly { terms }
     }
 
     /// Retains only terms satisfying the predicate.
     pub fn filter_terms(&self, mut keep: impl FnMut(&Monomial, Rational) -> bool) -> Poly {
-        let mut out = Poly::zero();
-        for (m, c) in &self.terms {
-            if keep(m, *c) {
-                out.insert_term(m.clone(), *c);
-            }
-        }
-        out
+        let terms = self
+            .terms
+            .iter()
+            .filter(|&&(id, c)| keep(intern::mono(id), c))
+            .copied()
+            .collect();
+        Poly { terms }
     }
 }
 
@@ -375,7 +628,7 @@ pub struct SubstError {
 }
 
 impl SubstError {
-    fn new(sym: &Symbol, reason: &'static str) -> SubstError {
+    pub(crate) fn new(sym: &Symbol, reason: &'static str) -> SubstError {
         SubstError { symbol: sym.name().to_string(), reason }
     }
 
@@ -414,65 +667,79 @@ impl From<Symbol> for Poly {
 impl Add for &Poly {
     type Output = Poly;
     fn add(self, rhs: &Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.insert_term(m.clone(), *c);
+        if rhs.terms.is_empty() {
+            return self.clone();
         }
-        out
+        if self.terms.is_empty() {
+            return rhs.clone();
+        }
+        let mut out = Vec::new();
+        merge_terms(&self.terms, &rhs.terms, false, &mut out);
+        Poly { terms: out }
     }
 }
 
 impl Add for Poly {
     type Output = Poly;
-    fn add(self, rhs: Poly) -> Poly {
-        &self + &rhs
+    fn add(mut self, rhs: Poly) -> Poly {
+        self.merge_in(&rhs, false);
+        self
     }
 }
 
 impl AddAssign for Poly {
     fn add_assign(&mut self, rhs: Poly) {
-        for (m, c) in rhs.terms {
-            self.insert_term(m, c);
-        }
+        self.merge_in(&rhs, false);
     }
 }
 
 impl Sub for &Poly {
     type Output = Poly;
     fn sub(self, rhs: &Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.insert_term(m.clone(), -*c);
+        if rhs.terms.is_empty() {
+            return self.clone();
         }
-        out
+        let mut out = Vec::new();
+        merge_terms(&self.terms, &rhs.terms, true, &mut out);
+        Poly { terms: out }
     }
 }
 
 impl Sub for Poly {
     type Output = Poly;
-    fn sub(self, rhs: Poly) -> Poly {
-        &self - &rhs
+    fn sub(mut self, rhs: Poly) -> Poly {
+        self.merge_in(&rhs, true);
+        self
     }
 }
 
 impl SubAssign for Poly {
     fn sub_assign(&mut self, rhs: Poly) {
-        for (m, c) in rhs.terms {
-            self.insert_term(m, -c);
-        }
+        self.merge_in(&rhs, true);
     }
 }
 
 impl Mul for &Poly {
     type Output = Poly;
     fn mul(self, rhs: &Poly) -> Poly {
-        let mut out = Poly::zero();
-        for (ma, ca) in &self.terms {
-            for (mb, cb) in &rhs.terms {
-                out.insert_term(ma.mul(mb), *ca * *cb);
+        if self.terms.is_empty() || rhs.terms.is_empty() {
+            return Poly::zero();
+        }
+        if let Some(c) = self.constant_value() {
+            return rhs.scale(c);
+        }
+        if let Some(c) = rhs.constant_value() {
+            return self.scale(c);
+        }
+        let mut scratch = intern::take_scratch();
+        for &(ma, ca) in &self.terms {
+            for &(mb, cb) in &rhs.terms {
+                scratch.push((intern::mono_mul(ma, mb), ca * cb));
             }
         }
-        out
+        let terms = coalesce(&mut scratch);
+        intern::put_scratch(scratch);
+        Poly { terms }
     }
 }
 
@@ -508,9 +775,13 @@ impl fmt::Display for Poly {
         if self.is_zero() {
             return f.write_str("0");
         }
-        // Highest-degree terms first reads naturally.
+        // Highest-degree terms first reads naturally: sort descending grlex
+        // at format time (display is cold; arithmetic order is id order).
+        let mut view: Vec<(&Monomial, Rational)> =
+            self.terms.iter().map(|&(id, c)| (intern::mono(id), c)).collect();
+        view.sort_unstable_by(|a, b| b.0.cmp(a.0));
         let mut first = true;
-        for (mono, coeff) in self.terms.iter().rev() {
+        for (mono, coeff) in view {
             if first {
                 if coeff.is_negative() {
                     f.write_str("-")?;
@@ -637,6 +908,16 @@ mod tests {
     }
 
     #[test]
+    fn subst_memo_hits_stay_correct() {
+        let p = &var("x") * &var("x") + var("x").scale(3);
+        let rep = var("y") + Poly::from(2);
+        let first = p.subst(&sym("x"), &rep).unwrap();
+        let second = p.subst(&sym("x"), &rep).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.to_string(), "y^2 + 7*y + 10");
+    }
+
+    #[test]
     fn eval_exact() {
         let p = (&var("x") * &var("x")).scale(4) + var("x").scale(2) + Poly::from(1);
         let mut b = HashMap::new();
@@ -713,5 +994,14 @@ mod tests {
     fn pow_zero_is_one() {
         assert_eq!(var("x").pow(0), Poly::one());
         assert_eq!(var("x").pow(3).to_string(), "x^3");
+    }
+
+    #[test]
+    fn constant_term_is_first_in_storage() {
+        // MONO_ONE is id 0, so binary ops must keep it in front.
+        let p = var("z") + Poly::from(5);
+        assert_eq!(p.constant_term(), Rational::from_int(5));
+        let q = p - var("z");
+        assert_eq!(q.constant_value(), Some(Rational::from_int(5)));
     }
 }

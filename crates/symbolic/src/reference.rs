@@ -1,0 +1,817 @@
+//! The seed symbolic engine, preserved verbatim as a reference oracle.
+//!
+//! This module is the pre-interning implementation of the symbolic layer:
+//! [`Poly`] stores its terms in a `BTreeMap<Monomial, Rational>` and every
+//! operation allocates fresh monomials, exactly as the seed did. It exists
+//! for the same reason `presage_core::reference::NaivePlacer` does — the
+//! optimized engine in [`crate::Poly`] must be provably a pure
+//! representation change, so the differential suite
+//! (`tests/symbolic_differential.rs`) drives identical workloads through
+//! both engines and asserts canonical equality, and `perfsuite` measures
+//! end-to-end prediction throughput against a reference-backed aggregation
+//! path built on these types.
+//!
+//! Do not "improve" this module: its value is fidelity to the seed, not
+//! speed. Only the decision procedures (`compare`, sign analysis) are
+//! omitted — they consume canonical polynomials and are shared by both
+//! engines unchanged.
+
+use crate::monomial::Monomial;
+use crate::poly::SubstError;
+use crate::symbol::Symbol;
+use crate::{Interval, Rational, VarInfo};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The seed multivariate Laurent polynomial: `BTreeMap<Monomial, Rational>`.
+///
+/// # Examples
+///
+/// ```
+/// use presage_symbolic::reference::Poly;
+/// use presage_symbolic::Symbol;
+///
+/// let n = Poly::var(Symbol::new("n"));
+/// let cost = &(&n * &n) * &Poly::from(3) + &n * &Poly::from(2) + Poly::from(7);
+/// assert_eq!(cost.to_string(), "3*n^2 + 2*n + 7");
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Canonical form: monomial -> nonzero coefficient.
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Poly {
+        Poly::constant(Rational::ONE)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: impl Into<Rational>) -> Poly {
+        let c = c.into();
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(sym: Symbol) -> Poly {
+        Poly::term(Rational::ONE, Monomial::var(sym))
+    }
+
+    /// A single-term polynomial `coeff * mono`.
+    pub fn term(coeff: impl Into<Rational>, mono: Monomial) -> Poly {
+        let coeff = coeff.into();
+        let mut terms = BTreeMap::new();
+        if !coeff.is_zero() {
+            terms.insert(mono, coeff);
+        }
+        Poly { terms }
+    }
+
+    /// Builds a univariate polynomial from coefficients `c0 + c1*x + c2*x^2 + ...`.
+    pub fn from_coeffs(sym: &Symbol, coeffs: &[Rational]) -> Poly {
+        let mut p = Poly::zero();
+        for (i, c) in coeffs.iter().enumerate() {
+            p += Poly::term(*c, Monomial::power(sym.clone(), i as i32));
+        }
+        p
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the polynomial has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(|m| m.is_one())
+    }
+
+    /// The constant value, if [`Poly::is_constant`].
+    pub fn constant_value(&self) -> Option<Rational> {
+        if self.is_zero() {
+            Some(Rational::ZERO)
+        } else if self.is_constant() {
+            self.terms.get(&Monomial::one()).copied()
+        } else {
+            None
+        }
+    }
+
+    /// The coefficient of the constant (degree-0) term.
+    pub fn constant_term(&self) -> Rational {
+        self.terms.get(&Monomial::one()).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Number of (nonzero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in ascending grlex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, Rational)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+
+    /// The coefficient attached to `mono` (zero if absent).
+    pub fn coeff(&self, mono: &Monomial) -> Rational {
+        self.terms.get(mono).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// All symbols appearing in the polynomial.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for m in self.terms.keys() {
+            out.extend(m.symbols().cloned());
+        }
+        out
+    }
+
+    /// Returns `true` if `sym` occurs in the polynomial.
+    pub fn contains_symbol(&self, sym: &Symbol) -> bool {
+        self.terms.keys().any(|m| m.exponent_of(sym) != 0)
+    }
+
+    /// Returns `true` if any term has a negative exponent (a `1/x^k` term).
+    pub fn has_negative_exponents(&self) -> bool {
+        self.terms.keys().any(|m| m.has_negative_exponent())
+    }
+
+    /// Highest exponent of `sym` across terms (0 for absent symbols; may be
+    /// negative if `sym` appears only in denominators).
+    pub fn degree_in(&self, sym: &Symbol) -> i32 {
+        self.terms
+            .keys()
+            .map(|m| m.exponent_of(sym))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum total degree across terms (0 for the zero polynomial).
+    pub fn total_degree(&self) -> i32 {
+        self.terms
+            .keys()
+            .map(|m| m.total_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn insert_term(&mut self, mono: Monomial, coeff: Rational) {
+        if coeff.is_zero() {
+            return;
+        }
+        match self.terms.entry(mono) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = *e.get() + coeff;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: impl Into<Rational>) -> Poly {
+        let c = c.into();
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, v)| (m.clone(), *v * c)).collect(),
+        }
+    }
+
+    /// Raises the polynomial to a non-negative power.
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut acc = Poly::one();
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Substitutes `sym := replacement` throughout the polynomial.
+    ///
+    /// Negative powers of `sym` are supported when `replacement` is a single
+    /// nonzero term (a scaled monomial); otherwise such terms are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstError`] when a negative power of `sym` meets a
+    /// replacement that is zero or not a single term.
+    pub fn subst(&self, sym: &Symbol, replacement: &Poly) -> Result<Poly, SubstError> {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == 0 {
+                out.insert_term(rest, *coeff);
+            } else if exp > 0 {
+                let powed = replacement.pow(exp as u32);
+                let scaled = powed.scale(*coeff);
+                let shifted = &scaled * &Poly::term(Rational::ONE, rest);
+                out += shifted;
+            } else {
+                // Negative power: replacement must be invertible as a monomial.
+                let (rc, rm) = replacement
+                    .single_term()
+                    .ok_or_else(|| SubstError::new(sym, "replacement for a negative power must be a single nonzero term"))?;
+                if rc.is_zero() {
+                    return Err(SubstError::new(sym, "cannot substitute zero into a negative power"));
+                }
+                let inv = Poly::term(rc.pow(exp), rm.pow(exp));
+                let shifted = &inv.scale(*coeff) * &Poly::term(Rational::ONE, rest);
+                out += shifted;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Substitutes many symbols at once (applied left to right).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubstError`] from [`Poly::subst`].
+    pub fn subst_all(&self, bindings: &[(Symbol, Poly)]) -> Result<Poly, SubstError> {
+        let mut p = self.clone();
+        for (sym, rep) in bindings {
+            p = p.subst(sym, rep)?;
+        }
+        Ok(p)
+    }
+
+    /// If the polynomial is a single term, returns its coefficient and monomial.
+    pub fn single_term(&self) -> Option<(Rational, Monomial)> {
+        if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            Some((*c, m.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates with exact rational bindings; `None` when a symbol is
+    /// unbound or a zero value meets a negative exponent.
+    pub fn eval(&self, bindings: &HashMap<Symbol, Rational>) -> Option<Rational> {
+        let mut acc = Rational::ZERO;
+        for (mono, coeff) in &self.terms {
+            acc += *coeff * mono.eval(bindings)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates with floating-point bindings; `None` when a symbol is unbound.
+    pub fn eval_f64(&self, bindings: &HashMap<Symbol, f64>) -> Option<f64> {
+        let mut acc = 0.0;
+        for (mono, coeff) in &self.terms {
+            acc += coeff.to_f64() * mono.eval_f64(bindings)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates a univariate polynomial at `x`.
+    pub fn eval_univariate(&self, sym: &Symbol, x: f64) -> Option<f64> {
+        let mut b = HashMap::new();
+        b.insert(sym.clone(), x);
+        self.eval_f64(&b)
+    }
+
+    /// Partial derivative with respect to `sym`.
+    pub fn derivative(&self, sym: &Symbol) -> Poly {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == 0 {
+                continue;
+            }
+            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp - 1));
+            out.insert_term(new_mono, *coeff * Rational::from_int(exp as i64));
+        }
+        out
+    }
+
+    /// Antiderivative with respect to `sym` (constant of integration zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstError`] if any term has `sym^-1`.
+    pub fn antiderivative(&self, sym: &Symbol) -> Result<Poly, SubstError> {
+        let mut out = Poly::zero();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            if exp == -1 {
+                return Err(SubstError::new(sym, "x^-1 integrates to a logarithm; drop the term first"));
+            }
+            let new_mono = rest.mul(&Monomial::power(sym.clone(), exp + 1));
+            out.insert_term(new_mono, *coeff / Rational::from_int((exp + 1) as i64));
+        }
+        Ok(out)
+    }
+
+    /// Views the polynomial as univariate in `sym`: returns
+    /// `(exponent, coefficient-polynomial)` pairs sorted by ascending exponent.
+    pub fn as_univariate(&self, sym: &Symbol) -> Vec<(i32, Poly)> {
+        let mut by_exp: BTreeMap<i32, Poly> = BTreeMap::new();
+        for (mono, coeff) in &self.terms {
+            let (exp, rest) = mono.split_symbol(sym);
+            by_exp
+                .entry(exp)
+                .or_insert_with(Poly::zero)
+                .insert_term(rest, *coeff);
+        }
+        by_exp.into_iter().filter(|(_, p)| !p.is_zero()).collect()
+    }
+
+    /// Converts this reference polynomial into the optimized interned
+    /// representation (used by the differential suite and `perfsuite`).
+    pub fn to_optimized(&self) -> crate::Poly {
+        let mut out = crate::Poly::zero();
+        for (m, c) in self.terms() {
+            out += crate::Poly::term(c, m.clone());
+        }
+        out
+    }
+
+    /// Builds a reference polynomial from the optimized representation.
+    pub fn from_optimized(p: &crate::Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in p.terms() {
+            out.insert_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// Dense coefficient list `[c0, c1, ...]` when the polynomial is
+    /// univariate in `sym` with non-negative exponents; `None` otherwise.
+    pub fn univariate_coeffs(&self, sym: &Symbol) -> Option<Vec<Rational>> {
+        let parts = self.as_univariate(sym);
+        let max = parts.last().map(|(e, _)| *e).unwrap_or(0);
+        if parts.iter().any(|(e, _)| *e < 0) {
+            return None;
+        }
+        let mut coeffs = vec![Rational::ZERO; (max + 1) as usize];
+        for (e, p) in parts {
+            coeffs[e as usize] = p.constant_value()?;
+        }
+        Some(coeffs)
+    }
+}
+
+impl From<i64> for Poly {
+    fn from(n: i64) -> Poly {
+        Poly::constant(Rational::from_int(n))
+    }
+}
+
+impl From<Rational> for Poly {
+    fn from(r: Rational) -> Poly {
+        Poly::constant(r)
+    }
+}
+
+impl From<Symbol> for Poly {
+    fn from(s: Symbol) -> Poly {
+        Poly::var(s)
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.insert_term(m.clone(), *c);
+        }
+        out
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl AddAssign for Poly {
+    fn add_assign(&mut self, rhs: Poly) {
+        for (m, c) in rhs.terms {
+            self.insert_term(m, c);
+        }
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.insert_term(m.clone(), -*c);
+        }
+        out
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        &self - &rhs
+    }
+}
+
+impl SubAssign for Poly {
+    fn sub_assign(&mut self, rhs: Poly) {
+        for (m, c) in rhs.terms {
+            self.insert_term(m, -c);
+        }
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                out.insert_term(ma.mul(mb), *ca * *cb);
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl MulAssign for Poly {
+    fn mul_assign(&mut self, rhs: Poly) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(Rational::from_int(-1))
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Highest-degree terms first reads naturally.
+        let mut first = true;
+        for (mono, coeff) in self.terms.iter().rev() {
+            if first {
+                if coeff.is_negative() {
+                    f.write_str("-")?;
+                }
+            } else if coeff.is_negative() {
+                f.write_str(" - ")?;
+            } else {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            let mag = coeff.abs();
+            if mono.is_one() {
+                write!(f, "{mag}")?;
+            } else if mag.is_one() {
+                write!(f, "{mono}")?;
+            } else {
+                write!(f, "{mag}*{mono}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RefPoly({self})")
+    }
+}
+
+impl std::iter::Sum for Poly {
+    fn sum<I: Iterator<Item = Poly>>(iter: I) -> Poly {
+        let mut acc = Poly::zero();
+        for p in iter {
+            acc += p;
+        }
+        acc
+    }
+}
+
+/// Seed closed-form summation over the reference polynomial type
+/// (Faulhaber's formulas, degrees up to 4), preserved verbatim.
+pub mod summation {
+    use super::Poly;
+    use crate::{Rational, Symbol};
+
+    /// `Σ_{t=0}^{m} t^k` as a polynomial in `m`, for `k ≤ 4`.
+    pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
+        let m1 = m + &Poly::one();
+        Some(match k {
+            0 => m1,
+            1 => (m * &m1).scale(Rational::new(1, 2)),
+            2 => {
+                let two_m1 = m.scale(2) + Poly::one();
+                (&(m * &m1) * &two_m1).scale(Rational::new(1, 6))
+            }
+            3 => {
+                let s1 = (m * &m1).scale(Rational::new(1, 2));
+                &s1 * &s1
+            }
+            4 => {
+                // m(m+1)(2m+1)(3m² + 3m − 1)/30
+                let two_m1 = m.scale(2) + Poly::one();
+                let q = (m * m).scale(3) + m.scale(3) - Poly::one();
+                (&(&(m * &m1) * &two_m1) * &q).scale(Rational::new(1, 30))
+            }
+            _ => return None,
+        })
+    }
+
+    /// `Σ_{var=0}^{m} p(var)`: sums a polynomial over an index running
+    /// from 0 to `m` (inclusive), eliminating `var`.
+    pub fn sum_over(p: &Poly, var: &Symbol, m: &Poly) -> Option<Poly> {
+        let mut total = Poly::zero();
+        for (exp, coeff) in p.as_univariate(var) {
+            if exp < 0 {
+                return None;
+            }
+            let s = sum_powers(m, exp as u32)?;
+            total += &coeff * &s;
+        }
+        Some(total)
+    }
+
+    /// `Σ_{var=lb}^{ub} p(var)` with unit step.
+    pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
+        let t = Symbol::new("$sum_t");
+        let replacement = lb + &Poly::var(t.clone());
+        let shifted = p.subst(var, &replacement).ok()?;
+        let m = ub - lb;
+        sum_over(&shifted, &t, &m)
+    }
+}
+
+/// The seed performance expression: a reference [`Poly`] plus per-unknown
+/// metadata, exactly as the seed `PerfExpr` aggregated costs. Only the
+/// construction/aggregation surface is preserved — the comparison and
+/// simplification decision procedures operate on canonical polynomials and
+/// are shared with the optimized engine.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PerfExpr {
+    poly: Poly,
+    vars: BTreeMap<Symbol, VarInfo>,
+}
+
+impl PerfExpr {
+    /// The zero-cost expression.
+    pub fn zero() -> PerfExpr {
+        PerfExpr::default()
+    }
+
+    /// A constant cycle count.
+    pub fn cycles(n: i64) -> PerfExpr {
+        PerfExpr { poly: Poly::from(n), vars: BTreeMap::new() }
+    }
+
+    /// A constant rational cycle count.
+    pub fn cycles_rational(r: Rational) -> PerfExpr {
+        PerfExpr { poly: Poly::constant(r), vars: BTreeMap::new() }
+    }
+
+    /// Wraps a polynomial with explicit variable metadata; symbols missing
+    /// from `vars` get a default `Param` kind with range `[0, 1e9]`.
+    pub fn from_poly(poly: Poly, vars: impl IntoIterator<Item = (Symbol, VarInfo)>) -> PerfExpr {
+        let mut map: BTreeMap<Symbol, VarInfo> = vars.into_iter().collect();
+        for sym in poly.symbols() {
+            map.entry(sym).or_insert_with(|| VarInfo::param(0.0, 1e9));
+        }
+        PerfExpr { poly, vars: map }
+    }
+
+    /// A bare unknown as an expression.
+    pub fn var(sym: Symbol, info: VarInfo) -> PerfExpr {
+        PerfExpr {
+            poly: Poly::var(sym.clone()),
+            vars: BTreeMap::from([(sym, info)]),
+        }
+    }
+
+    /// The underlying polynomial.
+    pub fn poly(&self) -> &Poly {
+        &self.poly
+    }
+
+    /// The variable metadata map.
+    pub fn vars(&self) -> &BTreeMap<Symbol, VarInfo> {
+        &self.vars
+    }
+
+    /// Returns `true` if the expression has no unknowns.
+    pub fn is_concrete(&self) -> bool {
+        self.poly.is_constant()
+    }
+
+    /// The exact value when concrete.
+    pub fn concrete_cycles(&self) -> Option<Rational> {
+        self.poly.constant_value()
+    }
+
+    /// Merges variable metadata, keeping the tighter range on conflicts.
+    fn merged_vars(&self, other: &PerfExpr) -> BTreeMap<Symbol, VarInfo> {
+        let mut out = self.vars.clone();
+        for (sym, info) in &other.vars {
+            out.entry(sym.clone())
+                .and_modify(|e| {
+                    if let Some(tight) = e.range.intersect(&info.range) {
+                        e.range = tight;
+                    }
+                })
+                .or_insert(*info);
+        }
+        out
+    }
+
+    fn prune_vars(mut self) -> PerfExpr {
+        let used = self.poly.symbols();
+        self.vars.retain(|s, _| used.contains(s));
+        self
+    }
+
+    /// Scales the expression by a rational factor.
+    pub fn scale(&self, c: impl Into<Rational>) -> PerfExpr {
+        PerfExpr { poly: self.poly.scale(c), vars: self.vars.clone() }.prune_vars()
+    }
+
+    /// Multiplies by another expression (used for `count × body`).
+    pub fn mul(&self, other: &PerfExpr) -> PerfExpr {
+        PerfExpr {
+            poly: &self.poly * &other.poly,
+            vars: self.merged_vars(other),
+        }
+        .prune_vars()
+    }
+
+    /// Cost of repeating this expression a symbolic number of times.
+    pub fn repeat_symbolic(&self, count_sym: Symbol, info: VarInfo) -> PerfExpr {
+        self.mul(&PerfExpr::var(count_sym, info))
+    }
+
+    /// Cost of repeating this expression `count` times.
+    pub fn repeat(&self, count: &PerfExpr) -> PerfExpr {
+        self.mul(count)
+    }
+
+    /// Combines branch costs for a conditional:
+    /// `p * then + (1 − p) * else_` with `p` a fresh probability symbol.
+    pub fn conditional(prob_sym: Symbol, then_cost: &PerfExpr, else_cost: &PerfExpr) -> PerfExpr {
+        let p = PerfExpr::var(prob_sym, VarInfo::branch_prob());
+        let one_minus_p = PerfExpr::cycles(1) - p.clone();
+        p.mul(then_cost) + one_minus_p.mul(else_cost)
+    }
+
+    /// Evaluates numerically with explicit bindings; missing unknowns fall
+    /// back to the midpoint of their recorded range.
+    pub fn eval_with_defaults(&self, bindings: &HashMap<Symbol, f64>) -> f64 {
+        let mut full = bindings.clone();
+        for (sym, info) in &self.vars {
+            full.entry(sym.clone()).or_insert_with(|| info.range.mid());
+        }
+        self.poly.eval_f64(&full).unwrap_or(f64::NAN)
+    }
+
+    /// The box of recorded variable ranges.
+    pub fn range_box(&self) -> HashMap<Symbol, Interval> {
+        self.vars.iter().map(|(s, i)| (s.clone(), i.range)).collect()
+    }
+}
+
+impl Add for PerfExpr {
+    type Output = PerfExpr;
+    fn add(self, rhs: PerfExpr) -> PerfExpr {
+        let vars = self.merged_vars(&rhs);
+        PerfExpr { poly: self.poly + rhs.poly, vars }.prune_vars()
+    }
+}
+
+impl Sub for PerfExpr {
+    type Output = PerfExpr;
+    fn sub(self, rhs: PerfExpr) -> PerfExpr {
+        let vars = self.merged_vars(&rhs);
+        PerfExpr { poly: self.poly - rhs.poly, vars }.prune_vars()
+    }
+}
+
+impl AddAssign for PerfExpr {
+    fn add_assign(&mut self, rhs: PerfExpr) {
+        *self = self.clone() + rhs;
+    }
+}
+
+impl std::iter::Sum for PerfExpr {
+    fn sum<I: Iterator<Item = PerfExpr>>(iter: I) -> PerfExpr {
+        let mut acc = PerfExpr::zero();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for PerfExpr {
+    /// `{}` prints the polynomial; `{:#}` appends the variable ranges.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.poly)?;
+        if !self.vars.is_empty() && f.alternate() {
+            write!(f, "  where ")?;
+            let mut first = true;
+            for (sym, info) in &self.vars {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{sym} ∈ {} ({})", info.range, info.kind)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn var(s: &str) -> Poly {
+        Poly::var(sym(s))
+    }
+
+    #[test]
+    fn seed_semantics_preserved() {
+        // A spot-check distilled from the seed test suite: canonical
+        // cancellation, display ordering, substitution, summation.
+        assert!((var("x") - var("x")).is_zero());
+        let p = (var("x") + Poly::from(1)) * (var("x") - Poly::from(1));
+        assert_eq!(p.to_string(), "x^2 - 1");
+        let q = var("n").scale(2) + Poly::from(7) + (&var("n") * &var("n")).scale(3);
+        assert_eq!(q.to_string(), "3*n^2 + 2*n + 7");
+        let r = (&var("x") * &var("x") + var("x"))
+            .subst(&sym("x"), &(var("y") + Poly::from(1)))
+            .unwrap();
+        assert_eq!(r.to_string(), "y^2 + 3*y + 2");
+    }
+
+    #[test]
+    fn seed_summation_preserved() {
+        // Σ_{i=1}^{n} (n − i + 1) = n(n+1)/2.
+        let i = sym("i");
+        let p = var("n") - Poly::var(i.clone()) + Poly::one();
+        let s = summation::sum_range(&p, &i, &Poly::one(), &var("n")).unwrap();
+        let expected = (&var("n") * &(var("n") + Poly::one())).scale(Rational::new(1, 2));
+        assert_eq!(s, expected, "{s}");
+    }
+
+    #[test]
+    fn seed_perf_expr_preserved() {
+        let n = sym("n");
+        let body = PerfExpr::cycles(12);
+        let total = body.repeat_symbolic(n.clone(), VarInfo::loop_bound(1.0, 1e6)) + PerfExpr::cycles(3);
+        assert_eq!(total.poly().to_string(), "12*n + 3");
+        let p = sym("p1");
+        let c = PerfExpr::conditional(p.clone(), &PerfExpr::cycles(10), &PerfExpr::cycles(4));
+        assert_eq!(c.poly().to_string(), "6*p1 + 4");
+    }
+}

@@ -8,11 +8,47 @@
 //! budget.
 
 use crate::{Poly, Rational, Symbol};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
-/// `Σ_{t=0}^{m} t^k` as a polynomial in `m`, for `k ≤ 4`.
+const MEMO_CAP: usize = 1 << 12;
+
+thread_local! {
+    /// `(m, k) -> Σ_{t=0}^{m} t^k` — Faulhaber expansion memo.
+    static POWERS_MEMO: RefCell<HashMap<(Poly, u32), Option<Poly>>> = RefCell::new(HashMap::new());
+    /// `(p, var id, lb, ub) -> Σ_{var=lb}^{ub} p(var)` — aggregation asks for
+    /// the same triangular-nest sums on every prediction, keyed on interned
+    /// forms so a hit costs one hash and one clone.
+    static RANGE_MEMO: RefCell<HashMap<(Poly, u32, Poly, Poly), Option<Poly>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn memoize<K: std::hash::Hash + Eq, F: FnOnce() -> Option<Poly>>(
+    cache: &RefCell<HashMap<K, Option<Poly>>>,
+    key: K,
+    compute: F,
+) -> Option<Poly> {
+    if let Some(hit) = cache.borrow().get(&key) {
+        return hit.clone();
+    }
+    let value = compute();
+    let mut cache = cache.borrow_mut();
+    if cache.len() >= MEMO_CAP {
+        cache.clear();
+    }
+    cache.insert(key, value.clone());
+    value
+}
+
+/// `Σ_{t=0}^{m} t^k` as a polynomial in `m`, for `k ≤ 4` (memoized per
+/// thread).
 ///
 /// Returns `None` for larger exponents.
 pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
+    POWERS_MEMO.with(|cache| memoize(cache, (m.clone(), k), || sum_powers_uncached(m, k)))
+}
+
+fn sum_powers_uncached(m: &Poly, k: u32) -> Option<Poly> {
     let m1 = m + &Poly::one();
     Some(match k {
         0 => m1,
@@ -53,11 +89,19 @@ pub fn sum_over(p: &Poly, var: &Symbol, m: &Poly) -> Option<Poly> {
 }
 
 /// `Σ_{var=lb}^{ub} p(var)` with unit step: substitutes `var := lb + t`
-/// and sums `t` from 0 to `ub − lb`.
+/// and sums `t` from 0 to `ub − lb`. Memoized per thread on the interned
+/// forms of all four inputs.
 ///
 /// Returns `None` under the same conditions as [`sum_over`], or when the
 /// substitution fails.
 pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
+    RANGE_MEMO.with(|cache| {
+        let key = (p.clone(), crate::intern::sym_id(var), lb.clone(), ub.clone());
+        memoize(cache, key, || sum_range_uncached(p, var, lb, ub))
+    })
+}
+
+fn sum_range_uncached(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
     let t = Symbol::new("$sum_t");
     let replacement = lb + &Poly::var(t.clone());
     let shifted = p.subst(var, &replacement).ok()?;

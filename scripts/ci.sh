@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Offline CI for presage: tier-1 build + tests with warnings denied, then
-# a perfsuite smoke pass. No network access is required or attempted —
-# the workspace has no external dependencies.
+# a perfsuite smoke pass (placement, end-to-end prediction, and the
+# symbolic engine micro-benchmark on reduced budgets). No network access
+# is required or attempted — the workspace has no external dependencies.
 #
 # Usage: scripts/ci.sh
 set -eu
@@ -20,7 +21,7 @@ echo "== workspace: build + test (all crates, warnings denied)"
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "== perfsuite --smoke"
+echo "== perfsuite --smoke (placement + prediction + symbolic microbench)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json
 rm -f BENCH_smoke.json
 

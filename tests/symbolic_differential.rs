@@ -1,0 +1,329 @@
+//! Differential proof that the hash-consed symbolic engine is
+//! operation-for-operation identical to the preserved seed engine.
+//!
+//! The optimized [`Poly`](presage::symbolic::Poly) replaces the seed's
+//! per-monomial `BTreeMap`s with interned monomial ids, flat sorted term
+//! vectors, and memoized `pow`/`subst`/summation. None of that may change
+//! a single canonical form: a seeded random workload of
+//! add/sub/mul/scale/pow/substitute/summation chains, degree-≤4
+//! root/sign analyses, the full Figure 7 aggregation suite on every
+//! shipped machine, and the [`PredictionCache`] key scheme must all agree
+//! exactly between the two engines — same `Display` strings, same exact
+//! rational evaluations.
+
+use std::collections::HashMap;
+
+use presage::core::aggregate::{aggregate, AggregateOptions};
+use presage::core::predictor::Predictor;
+use presage::core::refagg::reference_aggregate;
+use presage::frontend::parse;
+use presage::machine::MachineDesc;
+use presage::opt::cache::PredictionCache;
+use presage::symbolic::{reference, roots, signs, summation, Poly, Rational, Symbol};
+use presage_bench::kernels::{self, figure7};
+
+/// All four shipped machine-description files, loaded from JSON so the
+/// differential covers exactly what users run.
+fn shipped_machines() -> Vec<MachineDesc> {
+    [
+        include_str!("../machines/power-like.json"),
+        include_str!("../machines/risc1.json"),
+        include_str!("../machines/wide4.json"),
+        include_str!("../machines/wide8.json"),
+    ]
+    .into_iter()
+    .map(|src| MachineDesc::from_json(src).expect("shipped description validates"))
+    .collect()
+}
+
+/// Deterministic xorshift64 generator — no external RNG dependency, and
+/// fixed literal seeds keep every run identical.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    fn rational(&mut self) -> Rational {
+        let mut num = self.int(-9, 9);
+        if num == 0 {
+            num = 1;
+        }
+        Rational::new(num as i128, self.int(1, 5) as i128)
+    }
+}
+
+const SYMS: [&str; 4] = ["x", "y", "z", "n"];
+
+/// The same polynomial carried through both engines in lock-step.
+#[derive(Clone)]
+struct Pair {
+    fast: Poly,
+    slow: reference::Poly,
+}
+
+impl Pair {
+    fn constant(c: Rational) -> Pair {
+        Pair { fast: Poly::constant(c), slow: reference::Poly::constant(c) }
+    }
+
+    fn var(name: &str) -> Pair {
+        Pair {
+            fast: Poly::var(Symbol::new(name)),
+            slow: reference::Poly::var(Symbol::new(name)),
+        }
+    }
+
+    /// Asserts the two representations are indistinguishable: identical
+    /// canonical `Display` form, and lossless conversion in both
+    /// directions.
+    fn check(self, ctx: &str) -> Pair {
+        assert_eq!(
+            self.fast.to_string(),
+            self.slow.to_string(),
+            "canonical form diverged after {ctx}"
+        );
+        assert_eq!(
+            self.slow.to_optimized(),
+            self.fast,
+            "reference→optimized conversion diverged after {ctx}"
+        );
+        assert_eq!(
+            reference::Poly::from_optimized(&self.fast).to_string(),
+            self.slow.to_string(),
+            "optimized→reference conversion diverged after {ctx}"
+        );
+        self
+    }
+}
+
+/// Exact rational evaluation at a random nonzero point must agree.
+fn check_eval(pair: &Pair, rng: &mut Rng, ctx: &str) {
+    let mut fast_bind = HashMap::new();
+    let mut slow_bind = HashMap::new();
+    for name in SYMS {
+        let v = rng.rational();
+        fast_bind.insert(Symbol::new(name), v);
+        slow_bind.insert(Symbol::new(name), v);
+    }
+    assert_eq!(
+        pair.fast.eval(&fast_bind),
+        pair.slow.eval(&slow_bind),
+        "exact evaluation diverged on {ctx}"
+    );
+}
+
+#[test]
+fn random_operation_chains_are_canonically_identical() {
+    for seed in [0xC0FFEE_u64, 0xDECAFBAD, 0x5EED5EED, 1994] {
+        let mut rng = Rng::new(seed);
+        let mut pool: Vec<Pair> = SYMS.iter().map(|s| Pair::var(s)).collect();
+        pool.push(Pair::constant(Rational::new(1, 1)));
+
+        for step in 0..250 {
+            let a = pool[rng.below(pool.len() as u64) as usize].clone();
+            let b = pool[rng.below(pool.len() as u64) as usize].clone();
+            let ctx = format!("seed {seed:#x} step {step}");
+            let next = match rng.below(7) {
+                0 => Pair { fast: &a.fast + &b.fast, slow: &a.slow + &b.slow },
+                1 => Pair { fast: &a.fast - &b.fast, slow: &a.slow - &b.slow },
+                2 if a.fast.total_degree() + b.fast.total_degree() <= 6 => {
+                    Pair { fast: &a.fast * &b.fast, slow: &a.slow * &b.slow }
+                }
+                3 => {
+                    let c = rng.rational();
+                    Pair { fast: a.fast.scale(c), slow: a.slow.scale(c) }
+                }
+                4 if a.fast.total_degree() <= 3 => {
+                    let exp = rng.below(3) as u32;
+                    Pair { fast: a.fast.pow(exp), slow: a.slow.pow(exp) }
+                }
+                5 => {
+                    // Substitute a random symbol by a linear form; the
+                    // workload never builds negative exponents, so both
+                    // engines must accept.
+                    let sym = Symbol::new(SYMS[rng.below(SYMS.len() as u64) as usize]);
+                    let lin = Pair::var(SYMS[rng.below(SYMS.len() as u64) as usize]);
+                    let shift = Pair::constant(rng.rational());
+                    let repl = Pair {
+                        fast: &lin.fast + &shift.fast,
+                        slow: &lin.slow + &shift.slow,
+                    };
+                    let fast = a.fast.subst(&sym, &repl.fast).expect("no negative exponents");
+                    let slow = a.slow.subst(&sym, &repl.slow).expect("no negative exponents");
+                    Pair { fast, slow }
+                }
+                6 if a.fast.total_degree() <= 4 => {
+                    // Closed-form summation over a loop variable with a
+                    // polynomial upper bound, exactly as loop aggregation
+                    // uses it.
+                    let i = Symbol::new("i");
+                    let lb_f = Poly::one();
+                    let lb_s = reference::Poly::one();
+                    let ub = if rng.below(2) == 0 {
+                        Pair::var("n")
+                    } else {
+                        b.clone()
+                    };
+                    if ub.fast.total_degree() > 2 {
+                        continue;
+                    }
+                    let fast = summation::sum_range(&a.fast, &i, &lb_f, &ub.fast);
+                    let slow = reference::summation::sum_range(&a.slow, &i, &lb_s, &ub.slow);
+                    assert_eq!(
+                        fast.is_some(),
+                        slow.is_some(),
+                        "summation feasibility diverged at {ctx}"
+                    );
+                    match (fast, slow) {
+                        (Some(fast), Some(slow)) => Pair { fast, slow },
+                        _ => continue,
+                    }
+                }
+                _ => continue,
+            };
+            let next = next.check(&ctx);
+            check_eval(&next, &mut rng, &ctx);
+
+            // Derived quantities the aggregator relies on must agree too.
+            assert_eq!(next.fast.num_terms(), next.slow.num_terms(), "{ctx}");
+            assert_eq!(next.fast.total_degree(), next.slow.total_degree(), "{ctx}");
+            assert_eq!(next.fast.constant_term(), next.slow.constant_term(), "{ctx}");
+            assert_eq!(next.fast.symbols(), next.slow.symbols(), "{ctx}");
+            for name in SYMS {
+                let sym = Symbol::new(name);
+                assert_eq!(
+                    next.fast.degree_in(&sym),
+                    next.slow.degree_in(&sym),
+                    "degree_in({name}) diverged at {ctx}"
+                );
+            }
+
+            let slot = rng.below(pool.len() as u64) as usize;
+            if pool.len() < 48 && rng.below(2) == 0 {
+                pool.push(next);
+            } else {
+                pool[slot] = next;
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_four_roots_and_signs_agree() {
+    let mut rng = Rng::new(0xD1FF5);
+    let x = Symbol::new("x");
+    for case in 0..200 {
+        let len = rng.int(2, 5) as usize;
+        let mut coeffs: Vec<Rational> = (0..len).map(|_| rng.rational()).collect();
+        if rng.below(3) == 0 {
+            coeffs[0] = Rational::ZERO;
+        }
+        let fast = Poly::from_coeffs(&x, &coeffs);
+        let slow = reference::Poly::from_coeffs(&x, &coeffs);
+        let pair = Pair { fast, slow }.check(&format!("from_coeffs case {case}"));
+
+        // Univariate coefficient extraction feeds the root finder; both
+        // engines must hand it the same dense vector.
+        let fast_cs = pair.fast.univariate_coeffs(&x);
+        let slow_cs = pair.slow.univariate_coeffs(&x);
+        assert_eq!(fast_cs, slow_cs, "univariate coeffs diverged (case {case})");
+
+        if let Some(cs) = fast_cs {
+            let as_f64: Vec<f64> = cs.iter().map(|c| c.to_f64()).collect();
+            let via_fast = roots::real_roots(&as_f64);
+            let via_slow: Vec<f64> = pair
+                .slow
+                .univariate_coeffs(&x)
+                .map(|cs| roots::real_roots(&cs.iter().map(|c| c.to_f64()).collect::<Vec<_>>()))
+                .unwrap_or_default();
+            assert_eq!(via_fast, via_slow, "real roots diverged (case {case})");
+        }
+
+        // Sign regions over a symmetric window: the converted reference
+        // polynomial must drive the sign machinery to the same verdicts.
+        let via_fast = signs::sign_regions(&pair.fast, &x, -4.0, 4.0);
+        let via_slow = signs::sign_regions(&pair.slow.to_optimized(), &x, -4.0, 4.0);
+        match (via_fast, via_slow) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "sign regions diverged (case {case})"),
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "sign feasibility diverged (case {case})"),
+        }
+    }
+}
+
+#[test]
+fn figure7_aggregation_is_engine_identical() {
+    let opts = AggregateOptions::default();
+    for machine in shipped_machines() {
+        for kernel in figure7() {
+            let ir = kernels::translate_kernel(kernel.source, &machine);
+            let slow = reference_aggregate(&ir, &machine, &opts);
+            let fast = aggregate(&ir, &machine, None, &opts);
+            assert_eq!(
+                slow.to_string(),
+                fast.to_string(),
+                "aggregate expression diverged: {} on {}",
+                kernel.name,
+                machine.name()
+            );
+            assert_eq!(
+                slow.poly().to_string(),
+                fast.poly().to_string(),
+                "aggregate polynomial diverged: {} on {}",
+                kernel.name,
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn prediction_cache_keys_are_engine_independent() {
+    let machine = shipped_machines().remove(0);
+    let predictor = Predictor::new(machine);
+    let cache = PredictionCache::new();
+
+    for kernel in figure7().iter().take(3) {
+        let program = parse(kernel.source).expect("kernel parses");
+        let sub = &program.units[0];
+        // The cache key is the canonicalized source text — a property of
+        // the program alone, never of the symbolic representation.
+        let key = sub.to_string();
+
+        let first = cache.cost_of(&key, sub, &predictor).expect("kernel predicts");
+        let again = cache.cost_of(&key, sub, &predictor).expect("kernel predicts");
+        assert_eq!(first.to_string(), again.to_string());
+
+        let fresh = predictor
+            .predict_subroutine_cost(sub)
+            .expect("kernel predicts");
+        assert_eq!(
+            first.to_string(),
+            fresh.to_string(),
+            "cached cost diverged from direct prediction for {}",
+            kernel.name
+        );
+    }
+
+    assert_eq!(cache.len(), 3, "one entry per distinct canonical source");
+    assert_eq!(cache.hits(), 3);
+    assert_eq!(cache.misses(), 3);
+}
