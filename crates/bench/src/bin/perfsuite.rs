@@ -1,12 +1,12 @@
 //! In-tree performance suite: throughput of the predictor itself.
 //!
 //! Tools in this lineage treat predictor throughput as a first-class
-//! metric; `perfsuite` measures the four hot paths this repo optimizes —
+//! metric; `perfsuite` measures the five hot paths this repo optimizes —
 //! Tetris placement, end-to-end prediction throughput, the symbolic
-//! engine, and the A* transformation search — against the preserved seed
-//! implementations, and writes the numbers to `BENCH_placement.json`. No
-//! external dependencies: timing is `std::time::Instant`, output is the
-//! hand-rolled JSON writer.
+//! engine, the translation cache, and the A* transformation search —
+//! against the preserved seed implementations, and writes the numbers to
+//! `BENCH_placement.json`. No external dependencies: timing is
+//! `std::time::Instant`, output is the hand-rolled JSON writer.
 //!
 //! Usage:
 //!
@@ -16,8 +16,9 @@
 //!
 //! `--smoke` runs a fast sanity pass (no thresholds, tiny workloads) for
 //! CI; the full run enforces the targets (≥3× placement ops/sec on wide8,
-//! ≥5× predictions/sec on wide8, ≥2× A* wall-time) and exits nonzero when
-//! missed.
+//! ≥5× predictions/sec on wide8, ≥1.5× source-level predictions/sec on
+//! wide8 with a warmed translation cache, ≥2× A* wall-time) and exits
+//! nonzero when missed.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -36,9 +37,11 @@ use presage_core::Predictor;
 use presage_machine::json::Json;
 use presage_machine::{machines, MachineDesc};
 use presage_opt::{astar_search_cached, PredictionCache, SearchOptions};
+use presage_core::TranslationCache;
 use presage_symbolic::Symbol;
 use presage_translate::{BlockIr, ProgramIr};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -210,6 +213,55 @@ fn bench_prediction(budget: Duration) -> Vec<PredictionRow> {
             ref_preds_per_sec: ref_rate,
             opt_preds_per_sec: opt_rate,
             speedup: opt_rate / ref_rate,
+        });
+    }
+    rows
+}
+
+/// Translation micro-benchmark: source-level prediction throughput
+/// ([`Predictor::predict_source`] over the Figure 7 suite) with and
+/// without a warmed [`TranslationCache`]. Both sides parse the source
+/// each round — the cache keys on the canonical AST hash, so a hit skips
+/// exactly sema + translation + interning, which is what this measures.
+struct TranslationRow {
+    machine: String,
+    uncached_preds_per_sec: f64,
+    cached_preds_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench_translation(budget: Duration) -> Vec<TranslationRow> {
+    let mut rows = Vec::new();
+    for machine in machines::all() {
+        let uncached = Predictor::new(machine.clone());
+        let cached = Predictor::new(machine.clone())
+            .with_translation_cache(Arc::new(TranslationCache::new()));
+        let sources: Vec<&str> = figure7().iter().map(|k| k.source).collect();
+        // Warm both predictors; the cached one's warm-up round populates
+        // the translation cache, so the timed rounds are all hits.
+        for src in &sources {
+            black_box(uncached.predict_source(src).expect("kernel predicts"));
+            black_box(cached.predict_source(src).expect("kernel predicts"));
+        }
+        let (cold_n, cold_s) = time_until(budget, || {
+            for src in &sources {
+                black_box(uncached.predict_source(src).expect("kernel predicts"));
+            }
+            sources.len() as u64
+        });
+        let (warm_n, warm_s) = time_until(budget, || {
+            for src in &sources {
+                black_box(cached.predict_source(src).expect("kernel predicts"));
+            }
+            sources.len() as u64
+        });
+        let cold_rate = cold_n as f64 / cold_s;
+        let warm_rate = warm_n as f64 / warm_s;
+        rows.push(TranslationRow {
+            machine: machine.name().to_string(),
+            uncached_preds_per_sec: cold_rate,
+            cached_preds_per_sec: warm_rate,
+            speedup: warm_rate / cold_rate,
         });
     }
     rows
@@ -390,6 +442,7 @@ fn round2(x: f64) -> f64 {
 
 const PLACEMENT_WIDE8_MIN: f64 = 3.0;
 const PREDICTION_WIDE8_MIN: f64 = 5.0;
+const TRANSLATION_WIDE8_MIN: f64 = 1.5;
 const ASTAR_MIN: f64 = 2.0;
 
 fn main() {
@@ -414,6 +467,15 @@ fn main() {
         eprintln!(
             "  {:>10}: naive {:>12.0} ops/s, optimized {:>12.0} ops/s  ({:.2}x)",
             row.machine, row.naive_ops_per_sec, row.opt_ops_per_sec, row.speedup
+        );
+    }
+
+    eprintln!("perfsuite: translation cache (predict_source, Figure 7 suite)");
+    let translation = bench_translation(budget);
+    for row in &translation {
+        eprintln!(
+            "  {:>10}: uncached {:>9.0} preds/s, warmed cache {:>9.0} preds/s  ({:.2}x)",
+            row.machine, row.uncached_preds_per_sec, row.cached_preds_per_sec, row.speedup
         );
     }
 
@@ -443,9 +505,14 @@ fn main() {
         .find(|r| r.machine == "wide8")
         .map(|r| r.speedup)
         .unwrap_or(0.0);
+    let wide8_translation = translation
+        .iter()
+        .find(|r| r.machine == "wide8")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-perfsuite-v2".into())),
+        ("schema".into(), Json::Str("presage-perfsuite-v3".into())),
         ("mode".into(), Json::Str(if cfg.smoke { "smoke" } else { "full" }.into())),
         (
             "placement".into(),
@@ -473,6 +540,28 @@ fn main() {
                             ("machine".into(), Json::Str(r.machine.clone())),
                             ("ref_preds_per_sec".into(), Json::Num(r.ref_preds_per_sec.round())),
                             ("opt_preds_per_sec".into(), Json::Num(r.opt_preds_per_sec.round())),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "translation".into(),
+            Json::Arr(
+                translation
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(r.machine.clone())),
+                            (
+                                "uncached_preds_per_sec".into(),
+                                Json::Num(r.uncached_preds_per_sec.round()),
+                            ),
+                            (
+                                "cached_preds_per_sec".into(),
+                                Json::Num(r.cached_preds_per_sec.round()),
+                            ),
                             ("speedup".into(), Json::Num(round2(r.speedup))),
                         ])
                     })
@@ -510,6 +599,7 @@ fn main() {
             Json::Obj(vec![
                 ("placement_wide8_min".into(), Json::Num(PLACEMENT_WIDE8_MIN)),
                 ("prediction_wide8_min".into(), Json::Num(PREDICTION_WIDE8_MIN)),
+                ("translation_wide8_min".into(), Json::Num(TRANSLATION_WIDE8_MIN)),
                 ("astar_min".into(), Json::Num(ASTAR_MIN)),
             ]),
         ),
@@ -534,6 +624,12 @@ fn main() {
             );
             failed = true;
         }
+        if wide8_translation < TRANSLATION_WIDE8_MIN {
+            eprintln!(
+                "FAIL: warmed-cache predict_source speedup on wide8 is {wide8_translation:.2}x (target {TRANSLATION_WIDE8_MIN}x)"
+            );
+            failed = true;
+        }
         if astar.speedup < ASTAR_MIN {
             eprintln!("FAIL: A* session speedup is {:.2}x (target {ASTAR_MIN}x)", astar.speedup);
             failed = true;
@@ -542,7 +638,7 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "perfsuite: targets met (placement wide8 {wide8_speedup:.2}x >= {PLACEMENT_WIDE8_MIN}x, prediction wide8 {wide8_prediction:.2}x >= {PREDICTION_WIDE8_MIN}x, A* {:.2}x >= {ASTAR_MIN}x)",
+            "perfsuite: targets met (placement wide8 {wide8_speedup:.2}x >= {PLACEMENT_WIDE8_MIN}x, prediction wide8 {wide8_prediction:.2}x >= {PREDICTION_WIDE8_MIN}x, translation wide8 {wide8_translation:.2}x >= {TRANSLATION_WIDE8_MIN}x, A* {:.2}x >= {ASTAR_MIN}x)",
             astar.speedup
         );
     }

@@ -10,10 +10,11 @@
 use crate::library::LibraryCostTable;
 use crate::overlap::steady_state;
 use crate::tetris::{place_block, PlaceOptions};
+use presage_frontend::fold::fold128;
 use presage_frontend::{BinOp, Expr, Intrinsic, UnOp};
 use presage_machine::MachineDesc;
 use presage_symbolic::{PerfExpr, Poly, Rational, Symbol, VarInfo};
-use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr, ValueDef};
+use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr};
 use std::cell::RefCell;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -144,126 +145,16 @@ thread_local! {
     });
 }
 
-fn encode_str(buf: &mut Vec<u8>, s: &str) {
-    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-    buf.extend_from_slice(s.as_bytes());
-}
-
-/// Appends an unambiguous byte encoding of a subscript expression
-/// (structural walk — `Expr` has no `Hash` impl, and `Display` formatting
-/// is far too slow for a key that is recomputed on every lookup).
-fn encode_expr(buf: &mut Vec<u8>, e: &Expr) {
-    match e {
-        Expr::IntLit(n) => {
-            buf.push(0);
-            buf.extend_from_slice(&n.to_le_bytes());
-        }
-        Expr::RealLit(x) => {
-            buf.push(1);
-            buf.extend_from_slice(&x.to_bits().to_le_bytes());
-        }
-        Expr::LogicalLit(b) => {
-            buf.push(2);
-            buf.push(*b as u8);
-        }
-        Expr::Var(name) => {
-            buf.push(3);
-            encode_str(buf, name);
-        }
-        Expr::ArrayRef { name, indices } => {
-            buf.push(4);
-            encode_str(buf, name);
-            buf.extend_from_slice(&(indices.len() as u32).to_le_bytes());
-            for i in indices {
-                encode_expr(buf, i);
-            }
-        }
-        Expr::Unary { op, operand } => {
-            buf.push(5);
-            buf.push(*op as u8);
-            encode_expr(buf, operand);
-        }
-        Expr::Binary { op, lhs, rhs } => {
-            buf.push(6);
-            buf.push(*op as u8);
-            encode_expr(buf, lhs);
-            encode_expr(buf, rhs);
-        }
-        Expr::Intrinsic { func, args } => {
-            buf.push(7);
-            buf.push(*func as u8);
-            buf.extend_from_slice(&(args.len() as u32).to_le_bytes());
-            for a in args {
-                encode_expr(buf, a);
-            }
-        }
-    }
-}
-
-/// Appends an unambiguous byte encoding of one block to the key buffer.
-fn encode_block(buf: &mut Vec<u8>, block: &BlockIr) {
-    buf.extend_from_slice(&(block.values.len() as u32).to_le_bytes());
-    for v in &block.values {
-        match v {
-            ValueDef::IntConst(i) => {
-                buf.push(0);
-                buf.extend_from_slice(&i.to_le_bytes());
-            }
-            ValueDef::RealConst(x) => {
-                buf.push(1);
-                buf.extend_from_slice(&x.to_bits().to_le_bytes());
-            }
-            ValueDef::External(s) => {
-                buf.push(2);
-                encode_str(buf, s);
-            }
-            ValueDef::Op(id) => {
-                buf.push(3);
-                buf.extend_from_slice(&id.0.to_le_bytes());
-            }
-        }
-    }
-    buf.extend_from_slice(&(block.ops.len() as u32).to_le_bytes());
-    for op in &block.ops {
-        buf.extend_from_slice(&(op.basic as u32).to_le_bytes());
-        buf.extend_from_slice(&(op.args.len() as u32).to_le_bytes());
-        for a in &op.args {
-            buf.extend_from_slice(&a.0.to_le_bytes());
-        }
-        match op.result {
-            None => buf.push(0),
-            Some(r) => {
-                buf.push(1);
-                buf.extend_from_slice(&r.0.to_le_bytes());
-            }
-        }
-        buf.extend_from_slice(&(op.extra_deps.len() as u32).to_le_bytes());
-        for d in &op.extra_deps {
-            buf.extend_from_slice(&d.0.to_le_bytes());
-        }
-        match &op.callee {
-            None => buf.push(0),
-            Some(c) => {
-                buf.push(1);
-                encode_str(buf, c);
-            }
-        }
-        match &op.mem {
-            None => buf.push(0),
-            Some(m) => {
-                buf.push(1);
-                encode_str(buf, &m.array);
-                buf.extend_from_slice(&(m.subscripts.len() as u32).to_le_bytes());
-                for sub in &m.subscripts {
-                    encode_expr(buf, sub);
-                }
-            }
-        }
-    }
-}
-
 /// Encodes the full memo key into `memo.buf` and folds it into the
-/// 128-bit content key.
+/// 128-bit content key ([`fold128`], shared with the front end's AST
+/// hashing).
+///
+/// Blocks interned by the translation arena
+/// ([`presage_translate::intern`]) contribute only their 4-byte
+/// [`presage_translate::BlockId`] — an id compare is a content compare,
+/// so the key is O(1) in block size. Un-interned blocks (hand-built in
+/// tests, or past the arena cap) fall back to the full content encoding;
+/// a tag byte keeps the two key spaces disjoint.
 fn sched_key(
     memo: &mut SchedMemo,
     machine: &MachineDesc,
@@ -284,39 +175,20 @@ fn sched_key(
     }
     buf.extend_from_slice(&probes.to_le_bytes());
     for b in blocks {
-        encode_block(&mut buf, b);
+        match b.interned_id() {
+            Some(id) => {
+                buf.push(1);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+            }
+            None => {
+                buf.push(0);
+                b.encode_content(&mut buf);
+            }
+        }
     }
     let key = fold128(&buf, memo.seed);
     memo.buf = buf;
     key
-}
-
-/// One-pass two-lane multiply-fold over the key bytes, producing the
-/// 128-bit content key. The lanes use independent odd multipliers plus a
-/// per-thread random seed, so a collision needs both 64-bit halves to
-/// agree; inputs are compiler IR, not attacker-controlled, so seeded
-/// SipHash strength is not required — key-hashing speed is, because the
-/// key is recomputed on every memo lookup.
-fn fold128(bytes: &[u8], seed: u64) -> u128 {
-    const P1: u64 = 0x9e37_79b9_7f4a_7c15;
-    const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
-    let mut a = seed ^ P1;
-    let mut b = seed.rotate_left(32) ^ P2;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        let v = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
-        a = (a ^ v).wrapping_mul(P1).rotate_left(29);
-        b = (b ^ v.rotate_left(17)).wrapping_mul(P2).rotate_left(31);
-    }
-    let mut tail = bytes.len() as u64;
-    for (i, &x) in chunks.remainder().iter().enumerate() {
-        tail ^= (x as u64) << (8 * i + 3);
-    }
-    a = (a ^ tail).wrapping_mul(P1);
-    b = (b ^ tail).wrapping_mul(P2);
-    a ^= a >> 31;
-    b ^= b >> 29;
-    ((a as u128) << 64) | b as u128
 }
 
 /// Memoized [`place_block`]: returns `(completion, span)`.

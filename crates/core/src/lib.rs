@@ -58,7 +58,9 @@ pub mod reference;
 pub mod render;
 pub mod slots;
 pub mod tetris;
+pub mod transcache;
 
 pub use costblock::CostBlock;
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
 pub use tetris::{place_block, PlaceOptions, Placer, PreparedBlock};
+pub use transcache::TranslationCache;

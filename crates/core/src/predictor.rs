@@ -9,11 +9,13 @@ use crate::aggregate::{aggregate, AggregateOptions};
 use crate::incremental::CostTree;
 use crate::library::LibraryCostTable;
 use crate::memory::{memory_cost, MemoryCost};
+use crate::transcache::TranslationCache;
 use presage_frontend::{parse, sema, FrontendError, Subroutine};
 use presage_machine::MachineDesc;
 use presage_symbolic::PerfExpr;
 use presage_translate::{translate, ProgramIr, TranslateError};
 use std::fmt;
+use std::sync::Arc;
 
 /// Predictor configuration.
 #[derive(Clone, Debug, Default)]
@@ -108,17 +110,37 @@ impl fmt::Display for Prediction {
 pub struct Predictor {
     machine: MachineDesc,
     options: PredictorOptions,
+    /// Shared translation memo; `None` is the uncached reference path
+    /// (sema + translate on every call), which the differential tests pin
+    /// the cached path against.
+    translation: Option<Arc<TranslationCache>>,
 }
 
 impl Predictor {
     /// A predictor with default options (no memory model, no library).
     pub fn new(machine: MachineDesc) -> Predictor {
-        Predictor { machine, options: PredictorOptions::default() }
+        Predictor { machine, options: PredictorOptions::default(), translation: None }
     }
 
     /// A predictor with explicit options.
     pub fn with_options(machine: MachineDesc, options: PredictorOptions) -> Predictor {
-        Predictor { machine, options }
+        Predictor { machine, options, translation: None }
+    }
+
+    /// Attaches a shared [`TranslationCache`]: every subsequent
+    /// source-level prediction keys its sema + translation work by
+    /// canonical AST hash and reuses prior translations — across repeated
+    /// calls, across subroutines sharing a shape, and (because the cache
+    /// key includes the machine) across predictors for different targets
+    /// sharing the same `Arc`.
+    pub fn with_translation_cache(mut self, cache: Arc<TranslationCache>) -> Predictor {
+        self.translation = Some(cache);
+        self
+    }
+
+    /// The attached translation cache, if any.
+    pub fn translation_cache(&self) -> Option<&Arc<TranslationCache>> {
+        self.translation.as_ref()
     }
 
     /// The target machine.
@@ -129,6 +151,19 @@ impl Predictor {
     /// The active options.
     pub fn options(&self) -> &PredictorOptions {
         &self.options
+    }
+
+    /// Sema + translation for one subroutine, through the shared
+    /// [`TranslationCache`] when one is attached and from scratch (the
+    /// reference path) otherwise.
+    fn translated(&self, sub: &Subroutine) -> Result<Arc<ProgramIr>, PredictError> {
+        match &self.translation {
+            Some(cache) => cache.translated(sub, &self.machine),
+            None => {
+                let symbols = sema::analyze(sub)?;
+                Ok(Arc::new(translate(sub, &symbols, &self.machine)?))
+            }
+        }
     }
 
     /// Parses, checks, translates, and predicts every subroutine in `src`.
@@ -151,9 +186,8 @@ impl Predictor {
     ///
     /// Returns semantic or translation errors.
     pub fn predict_subroutine(&self, sub: &Subroutine) -> Result<Prediction, PredictError> {
-        let symbols = sema::analyze(sub)?;
-        let ir = translate(sub, &symbols, &self.machine)?;
-        Ok(self.predict_ir(sub.name.clone(), ir))
+        let ir = self.translated(sub)?;
+        Ok(self.predict_ir(sub.name.clone(), (*ir).clone()))
     }
 
     /// Predicts one parsed subroutine, returning only the total cost
@@ -169,8 +203,7 @@ impl Predictor {
     ///
     /// Returns semantic or translation errors.
     pub fn predict_subroutine_cost(&self, sub: &Subroutine) -> Result<PerfExpr, PredictError> {
-        let symbols = sema::analyze(sub)?;
-        let ir = translate(sub, &symbols, &self.machine)?;
+        let ir = self.translated(sub)?;
         Ok(self.predict_cost(&ir))
     }
 
@@ -232,8 +265,8 @@ impl Predictor {
         let mut library = self.options.library.clone().unwrap_or_default();
         let mut out = Vec::new();
         for sub in &program.units {
-            let symbols = sema::analyze(sub)?;
-            let ir = translate(sub, &symbols, &self.machine)?;
+            let ir = self.translated(sub)?;
+            let ir = (*ir).clone();
             let compute = aggregate(&ir, &self.machine, Some(&library), &self.options.aggregate);
             let memory = self
                 .options

@@ -377,6 +377,10 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::IntLit(n) => write!(f, "{n}"),
+            // A whole-valued real must keep its decimal point: `2.0`
+            // re-emitted as `2` would re-parse as an integer literal,
+            // changing the canonical AST (and its structural hash).
+            Expr::RealLit(x) if x.fract() == 0.0 && x.is_finite() => write!(f, "{x:.1}"),
             Expr::RealLit(x) => write!(f, "{x}"),
             Expr::LogicalLit(b) => f.write_str(if *b { ".true." } else { ".false." }),
             Expr::Var(n) => f.write_str(n),

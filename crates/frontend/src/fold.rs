@@ -1,0 +1,241 @@
+//! Content hashing of the AST: a span-insensitive structural fold.
+//!
+//! Two consumers key memo tables by program *shape*: the scheduling memo
+//! in `presage-core` (block content → placement results) and the
+//! translation cache (canonical AST → translated `ProgramIr`). Both use
+//! the same primitive — [`fold128`], a one-pass two-lane multiply-fold —
+//! over an unambiguous byte encoding of the structure. The AST encoding
+//! here deliberately skips [`crate::span::Span`]s, so re-parsed or
+//! re-emitted copies of the same program hash identically: the hash is a
+//! canonical identity for "the same program text modulo formatting".
+
+use crate::ast::{Decl, Expr, Stmt, Subroutine};
+
+/// Seed for canonical AST hashes.
+///
+/// Deliberately fixed (unlike the per-thread seeded scheduling-memo keys):
+/// translation-cache keys are shared across threads and across
+/// [`std::sync::Arc`]-held caches, so every producer must derive the same
+/// key for the same program. Inputs are compiler ASTs, not
+/// attacker-controlled data, so a public seed costs nothing.
+pub const AST_SEED: u64 = 0x5741_4e47_3934_u64; // "WANG94"
+
+/// One-pass two-lane multiply-fold over the key bytes, producing a
+/// 128-bit content key. The lanes use independent odd multipliers plus the
+/// caller's seed, so a collision needs both independently mixed 64-bit
+/// halves to agree; inputs are compiler IR, not attacker-controlled, so
+/// seeded SipHash strength is not required — key-hashing speed is, because
+/// memo keys are recomputed on every lookup.
+pub fn fold128(bytes: &[u8], seed: u64) -> u128 {
+    const P1: u64 = 0x9e37_79b9_7f4a_7c15;
+    const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    let mut a = seed ^ P1;
+    let mut b = seed.rotate_left(32) ^ P2;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+        a = (a ^ v).wrapping_mul(P1).rotate_left(29);
+        b = (b ^ v.rotate_left(17)).wrapping_mul(P2).rotate_left(31);
+    }
+    let mut tail = bytes.len() as u64;
+    for (i, &x) in chunks.remainder().iter().enumerate() {
+        tail ^= (x as u64) << (8 * i + 3);
+    }
+    a = (a ^ tail).wrapping_mul(P1);
+    b = (b ^ tail).wrapping_mul(P2);
+    a ^= a >> 31;
+    b ^= b >> 29;
+    ((a as u128) << 64) | b as u128
+}
+
+/// Appends a length-prefixed string to the key buffer.
+pub fn encode_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an unambiguous byte encoding of an expression (structural
+/// walk — `Expr` has no `Hash` impl, and `Display` formatting is far too
+/// slow for a key that is recomputed on every lookup).
+pub fn encode_expr(buf: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::IntLit(n) => {
+            buf.push(0);
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        Expr::RealLit(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Expr::LogicalLit(b) => {
+            buf.push(2);
+            buf.push(*b as u8);
+        }
+        Expr::Var(name) => {
+            buf.push(3);
+            encode_str(buf, name);
+        }
+        Expr::ArrayRef { name, indices } => {
+            buf.push(4);
+            encode_str(buf, name);
+            buf.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+            for i in indices {
+                encode_expr(buf, i);
+            }
+        }
+        Expr::Unary { op, operand } => {
+            buf.push(5);
+            buf.push(*op as u8);
+            encode_expr(buf, operand);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            buf.push(6);
+            buf.push(*op as u8);
+            encode_expr(buf, lhs);
+            encode_expr(buf, rhs);
+        }
+        Expr::Intrinsic { func, args } => {
+            buf.push(7);
+            buf.push(*func as u8);
+            buf.extend_from_slice(&(args.len() as u32).to_le_bytes());
+            for a in args {
+                encode_expr(buf, a);
+            }
+        }
+    }
+}
+
+fn encode_stmts(buf: &mut Vec<u8>, stmts: &[Stmt]) {
+    buf.extend_from_slice(&(stmts.len() as u32).to_le_bytes());
+    for s in stmts {
+        encode_stmt(buf, s);
+    }
+}
+
+/// Appends a span-insensitive encoding of one statement.
+fn encode_stmt(buf: &mut Vec<u8>, s: &Stmt) {
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            buf.push(0);
+            encode_expr(buf, target);
+            encode_expr(buf, value);
+        }
+        Stmt::Do { var, lb, ub, step, body, .. } => {
+            buf.push(1);
+            encode_str(buf, var);
+            encode_expr(buf, lb);
+            encode_expr(buf, ub);
+            match step {
+                None => buf.push(0),
+                Some(e) => {
+                    buf.push(1);
+                    encode_expr(buf, e);
+                }
+            }
+            encode_stmts(buf, body);
+        }
+        Stmt::DoWhile { cond, body, .. } => {
+            buf.push(2);
+            encode_expr(buf, cond);
+            encode_stmts(buf, body);
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            buf.push(3);
+            encode_expr(buf, cond);
+            encode_stmts(buf, then_body);
+            encode_stmts(buf, else_body);
+        }
+        Stmt::Call { name, args, .. } => {
+            buf.push(4);
+            encode_str(buf, name);
+            buf.extend_from_slice(&(args.len() as u32).to_le_bytes());
+            for a in args {
+                encode_expr(buf, a);
+            }
+        }
+        Stmt::Return { .. } => buf.push(5),
+    }
+}
+
+fn encode_decl(buf: &mut Vec<u8>, d: &Decl) {
+    buf.push(d.ty as u8);
+    buf.extend_from_slice(&(d.vars.len() as u32).to_le_bytes());
+    for v in &d.vars {
+        encode_str(buf, &v.name);
+        buf.extend_from_slice(&(v.dims.len() as u32).to_le_bytes());
+        for e in &v.dims {
+            encode_expr(buf, e);
+        }
+    }
+}
+
+/// Appends the span-insensitive encoding of a whole subroutine.
+pub fn encode_subroutine(buf: &mut Vec<u8>, sub: &Subroutine) {
+    encode_str(buf, &sub.name);
+    buf.extend_from_slice(&(sub.params.len() as u32).to_le_bytes());
+    for p in &sub.params {
+        encode_str(buf, p);
+    }
+    buf.extend_from_slice(&(sub.decls.len() as u32).to_le_bytes());
+    for d in &sub.decls {
+        encode_decl(buf, d);
+    }
+    encode_stmts(buf, &sub.body);
+}
+
+/// Canonical 128-bit structural hash of a subroutine: every AST node and
+/// name contributes, no [`crate::span::Span`] does. Parsing the same text
+/// twice — or re-parsing a re-emission that reproduces the same AST —
+/// yields the same hash.
+pub fn subroutine_hash(sub: &Subroutine) -> u128 {
+    let mut buf = Vec::with_capacity(256);
+    encode_subroutine(&mut buf, sub);
+    fold128(&buf, AST_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const NEST: &str = "subroutine s(a, n)
+        real a(n,n)
+        integer i, j, n
+        do i = 1, n
+          do j = 1, n
+            a(i,j) = a(i,j) * 2.0 + 1.0
+          end do
+        end do
+      end";
+
+    #[test]
+    fn hash_is_span_insensitive() {
+        let a = parse(NEST).unwrap().units.remove(0);
+        // Different whitespace/layout, same structure.
+        let reformatted = a.to_string();
+        let b = parse(&reformatted).unwrap().units.remove(0);
+        assert_ne!(a.body[0].span(), b.body[0].span(), "spans differ across layouts");
+        assert_eq!(subroutine_hash(&a), subroutine_hash(&b));
+    }
+
+    #[test]
+    fn hash_distinguishes_structure() {
+        let a = parse(NEST).unwrap().units.remove(0);
+        let mut changed = a.clone();
+        // Rename the subroutine: different program, different hash.
+        changed.name = "t".into();
+        assert_ne!(subroutine_hash(&a), subroutine_hash(&changed));
+        // Change a literal deep in the body.
+        let other = parse(&NEST.replace("2.0", "3.0")).unwrap().units.remove(0);
+        assert_ne!(subroutine_hash(&a), subroutine_hash(&other));
+    }
+
+    #[test]
+    fn fold128_mixes_tail_bytes() {
+        assert_ne!(fold128(b"abc", 0), fold128(b"abd", 0));
+        assert_ne!(fold128(b"", 0), fold128(b"\0", 0));
+        assert_ne!(fold128(b"12345678", 0), fold128(b"123456789", 0));
+        // Seed participates.
+        assert_ne!(fold128(b"abc", 0), fold128(b"abc", 1));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod diag;
+pub mod fold;
 pub mod sema;
 pub mod span;
 

@@ -646,7 +646,7 @@ mod tests {
         let p = parse_ok(&wrap("a(1,1) = b(1,1) + c(1,1) * 2.0"));
         match &p.units[0].body[0] {
             Stmt::Assign { value, .. } => {
-                assert_eq!(value.to_string(), "(b(1,1) + (c(1,1) * 2))");
+                assert_eq!(value.to_string(), "(b(1,1) + (c(1,1) * 2.0))");
             }
             _ => panic!(),
         }

@@ -1,16 +1,20 @@
 //! Memoized prediction for the transformation search (§3.2).
 //!
-//! The A* search canonicalizes every program variant by its re-emitted
-//! source text (the same key its closed set uses). Prediction is a pure
-//! function of that text and the machine, so the cost of a variant can be
-//! memoized: within one search, transpositions — different transformation
-//! sequences reaching the same program — hit the cache, and across
-//! searches (the paper's "call repeatedly during restructuring" workload)
-//! the entire frontier of a re-run is served without re-prediction.
+//! The A* search canonicalizes every program variant by
+//! [`crate::canon::canonical_key`] — the structural hash of its
+//! re-emitted, re-parsed source, the same identity its closed set uses.
+//! Prediction is a pure function of that identity and the machine, so
+//! the cost of a variant can be memoized: within one search,
+//! transpositions — different transformation sequences reaching the same
+//! program — hit the cache, and across searches (the paper's "call
+//! repeatedly during restructuring" workload) the entire frontier of a
+//! re-run is served without re-prediction.
 //!
 //! The cached value is the *symbolic* [`PerfExpr`], which is independent
 //! of the evaluation point, so one cache is sound across searches that
-//! evaluate the unknowns at different points.
+//! evaluate the unknowns at different points. Keys are 16-byte content
+//! hashes, not variant source strings: lookups neither allocate nor
+//! compare O(|src|) text.
 
 use crate::whatif::cost_of;
 use presage_core::predictor::Predictor;
@@ -20,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A thread-safe memo table from canonicalized variant source to its
+/// A thread-safe memo table from a variant's canonical key to its
 /// predicted symbolic cost.
 ///
 /// Failed predictions are cached as `None` so the search never re-predicts
@@ -28,7 +32,7 @@ use std::sync::Mutex;
 /// shareable across the parallel candidate-evaluation workers.
 #[derive(Debug, Default)]
 pub struct PredictionCache {
-    map: Mutex<HashMap<String, Option<PerfExpr>>>,
+    map: Mutex<HashMap<u128, Option<PerfExpr>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -39,27 +43,25 @@ impl PredictionCache {
         PredictionCache::default()
     }
 
-    /// Predicts `sub` under `key`, serving a memoized result when one
-    /// exists. Returns `None` when prediction fails (also memoized).
+    /// Predicts `sub` under `key` (its [`crate::canon::canonical_key`]),
+    /// serving a memoized result when one exists. Returns `None` when
+    /// prediction fails (also memoized).
     ///
     /// The prediction itself runs outside the table lock, so concurrent
     /// workers only serialize on the lookup and the final insert.
     pub fn cost_of(
         &self,
-        key: &str,
+        key: u128,
         sub: &Subroutine,
         predictor: &Predictor,
     ) -> Option<PerfExpr> {
-        if let Some(cached) = self.map.lock().unwrap().get(key) {
+        if let Some(cached) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let expr = cost_of(sub, predictor).ok();
-        self.map
-            .lock()
-            .unwrap()
-            .insert(key.to_owned(), expr.clone());
+        self.map.lock().unwrap().insert(key, expr.clone());
         expr
     }
 
@@ -94,10 +96,11 @@ impl PredictionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canon::{canonical_key, parse_subroutine};
     use presage_machine::machines;
 
     fn sub(src: &str) -> Subroutine {
-        presage_frontend::parse(src).unwrap().units.remove(0)
+        parse_subroutine(src).unwrap()
     }
 
     #[test]
@@ -107,10 +110,10 @@ mod tests {
         let s = sub(
             "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
         );
-        let key = s.to_string();
-        let first = cache.cost_of(&key, &s, &predictor).unwrap();
+        let key = canonical_key(&s).unwrap();
+        let first = cache.cost_of(key, &s, &predictor).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        let second = cache.cost_of(&key, &s, &predictor).unwrap();
+        let second = cache.cost_of(key, &s, &predictor).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(first, second);
         assert_eq!(cache.len(), 1);
@@ -123,8 +126,8 @@ mod tests {
         let s = sub(
             "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
         );
-        let key = s.to_string();
-        cache.cost_of(&key, &s, &predictor);
+        let key = canonical_key(&s).unwrap();
+        cache.cost_of(key, &s, &predictor);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));

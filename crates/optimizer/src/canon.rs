@@ -1,0 +1,113 @@
+//! Canonical identity of program variants — the one place the search,
+//! the what-if comparator, and the prediction cache derive their keys.
+//!
+//! The A* search canonicalizes every variant by re-emitting its source
+//! and re-parsing it: re-emission normalizes formatting, and re-parsing
+//! normalizes AST shapes that print identically (so different
+//! transformation sequences reaching the same program — transpositions —
+//! collapse to one state). The canonical *key* is the span-insensitive
+//! structural hash of the re-parsed AST
+//! ([`presage_frontend::fold::subroutine_hash`]): a 16-byte value that
+//! the closed set and the caches compare in O(1), instead of the O(|src|)
+//! string keys this module replaces.
+//!
+//! Historically each call site had its own copy of this helper, and each
+//! copy called `parse(..).unwrap()` — a transformation emitting
+//! unparsable source panicked the whole search. [`canonical_key`]
+//! propagates the error instead; the search skips and counts such
+//! variants ([`crate::search::SearchResult::rejected_variants`]), and the
+//! what-if comparator reports [`crate::whatif::WhatIfError::Canonicalize`].
+
+use presage_frontend::diag::{FrontendError, Phase};
+use presage_frontend::fold::subroutine_hash;
+use presage_frontend::{parse, Span, Subroutine};
+
+/// Parses `src` and returns its first subroutine — the shared helper
+/// behind every "source text in, one variant out" path (tests included).
+///
+/// # Errors
+///
+/// Any front-end error; also an error when the source parses but contains
+/// no subroutine.
+pub fn parse_subroutine(src: &str) -> Result<Subroutine, FrontendError> {
+    let mut program = parse(src)?;
+    if program.units.is_empty() {
+        return Err(FrontendError::new(Phase::Parse, "no subroutine in source", Span::default()));
+    }
+    Ok(program.units.remove(0))
+}
+
+/// The canonical 128-bit key of a program variant: re-emit, re-parse,
+/// hash the span-insensitive structure of the result.
+///
+/// Two variants share a key exactly when their canonical re-emissions
+/// coincide — the same equivalence the search's closed set has always
+/// used, now without materializing the string as the key.
+///
+/// # Errors
+///
+/// Returns the front-end error when the variant's re-emitted source does
+/// not parse (a transformation produced an unrepresentable program). The
+/// variant is invalid and must be rejected, not predicted.
+pub fn canonical_key(sub: &Subroutine) -> Result<u128, FrontendError> {
+    let canonical = parse_subroutine(&sub.to_string())?;
+    Ok(subroutine_hash(&canonical))
+}
+
+/// Test fixture: a structurally valid AST whose re-emission is not
+/// parsable (the assignment target "variable" is keyword soup), modeling
+/// a transformation that emits unrepresentable source. Shared by the
+/// search/what-if negative tests.
+#[cfg(test)]
+pub(crate) fn malformed_variant() -> Subroutine {
+    use presage_frontend::{Expr, Stmt};
+    let mut sub = parse_subroutine(
+        "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+    )
+    .unwrap();
+    sub.body.push(Stmt::Assign {
+        target: Expr::Var("end do".into()),
+        value: Expr::IntLit(0),
+        span: Span::default(),
+    });
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEST: &str = "subroutine s(a, n)
+        real a(n,n)
+        integer i, j, n
+        do i = 1, n
+          do j = 1, n
+            a(i,j) = a(i,j) * 2.0 + 1.0
+          end do
+        end do
+      end";
+
+    #[test]
+    fn key_is_layout_insensitive() {
+        let a = parse_subroutine(NEST).unwrap();
+        let b = parse_subroutine(&a.to_string()).unwrap();
+        assert_eq!(canonical_key(&a).unwrap(), canonical_key(&b).unwrap());
+    }
+
+    #[test]
+    fn key_distinguishes_programs() {
+        let a = parse_subroutine(NEST).unwrap();
+        let b = parse_subroutine(&NEST.replace("2.0", "4.0")).unwrap();
+        assert_ne!(canonical_key(&a).unwrap(), canonical_key(&b).unwrap());
+    }
+
+    #[test]
+    fn malformed_variant_is_an_error_not_a_panic() {
+        assert!(canonical_key(&malformed_variant()).is_err());
+    }
+
+    #[test]
+    fn empty_source_is_an_error() {
+        assert!(parse_subroutine("").is_err());
+    }
+}

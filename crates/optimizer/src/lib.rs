@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod canon;
 pub mod partition;
 pub mod profile;
 pub mod reorder;
@@ -41,6 +42,7 @@ pub mod transforms;
 pub mod whatif;
 
 pub use cache::PredictionCache;
+pub use canon::{canonical_key, parse_subroutine};
 pub use profile::ProfileData;
 pub use search::{astar_search, astar_search_cached, SearchOptions, SearchResult, SearchStep};
 pub use transforms::{Transform, TransformError};

@@ -4,17 +4,25 @@
 //! graph search algorithms, such as the A* algorithm, to choose program
 //! transformation sequence systematically."
 //!
-//! States are program variants (canonicalized by re-emitted source); moves
-//! are `(loop path, transformation)` pairs; the objective is the predicted
+//! States are program variants, identified by their
+//! [canonical key](crate::canon::canonical_key) — the span-insensitive
+//! structural hash of the re-emitted, re-parsed source; moves are
+//! `(loop path, transformation)` pairs; the objective is the predicted
 //! cost evaluated over the unknowns' ranges. The heuristic is the
 //! machine's resource lower bound — total noncoverable work divided by
 //! unit parallelism — which no transformation sequence can beat, making
 //! the search A*-admissible.
+//!
+//! A variant whose re-emitted source does not parse (a transformation
+//! produced an unrepresentable program) is skipped and counted in
+//! [`SearchResult::rejected_variants`]; it never aborts the search.
 
 use crate::cache::PredictionCache;
+use crate::canon;
 use crate::transforms::Transform;
 use crate::whatif::{loop_paths, transformed};
 use presage_core::predictor::Predictor;
+use presage_frontend::fold::subroutine_hash;
 use presage_frontend::Subroutine;
 use presage_symbolic::PerfExpr;
 use std::cmp::Ordering;
@@ -90,6 +98,10 @@ pub struct SearchResult {
     pub cache_hits: u64,
     /// Candidate predictions computed from scratch.
     pub cache_misses: u64,
+    /// Candidate variants discarded because their re-emitted source did
+    /// not parse (the transformation produced an unrepresentable
+    /// program).
+    pub rejected_variants: usize,
 }
 
 impl SearchResult {
@@ -155,11 +167,11 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
 
 /// Runs the A* search with a caller-owned [`PredictionCache`].
 ///
-/// The cache key is the variant's re-emitted source and the cached value
-/// is its symbolic cost, so the table is sound across searches with
-/// different [`SearchOptions::eval_point`]s — the restructuring workload
-/// the paper targets ("call repeatedly during restructuring") re-predicts
-/// nothing it has already costed.
+/// The cache key is the variant's [canonical key](canon::canonical_key)
+/// and the cached value is its symbolic cost, so the table is sound
+/// across searches with different [`SearchOptions::eval_point`]s — the
+/// restructuring workload the paper targets ("call repeatedly during
+/// restructuring") re-predicts nothing it has already costed.
 pub fn astar_search_cached(
     sub: &Subroutine,
     predictor: &Predictor,
@@ -168,16 +180,20 @@ pub fn astar_search_cached(
 ) -> SearchResult {
     let hits_before = cache.hits();
     let misses_before = cache.misses();
-    let original_key = sub.to_string();
+    // A root that does not canonicalize still searches (its key falls
+    // back to the raw structural hash); only *derived* variants are
+    // rejected on canonicalization failure.
+    let original_key = canon::canonical_key(sub).unwrap_or_else(|_| subroutine_hash(sub));
     let original_expr = cache
-        .cost_of(&original_key, sub, predictor)
+        .cost_of(original_key, sub, predictor)
         .expect("original program must predict");
     let original_cost = evaluate(&original_expr, opts);
 
     let mut open = BinaryHeap::new();
-    let mut closed: HashSet<String> = HashSet::new();
+    let mut closed: HashSet<u128> = HashSet::new();
     let mut evaluated = 0usize;
     let mut expansions = 0usize;
+    let mut rejected = 0usize;
 
     let mut best = SearchResult {
         best: sub.clone(),
@@ -189,6 +205,7 @@ pub fn astar_search_cached(
         evaluated: 0,
         cache_hits: 0,
         cache_misses: 0,
+        rejected_variants: 0,
     };
 
     open.push(Node {
@@ -225,12 +242,18 @@ pub fn astar_search_cached(
         // Apply transformations and deduplicate serially (cheap and
         // order-sensitive), then predict the surviving unseen variants —
         // the expensive pure step — concurrently.
-        let candidates: Vec<(Vec<usize>, Transform, Subroutine, String)> = moves
+        let candidates: Vec<(Vec<usize>, Transform, Subroutine, u128)> = moves
             .into_iter()
             .filter_map(|(path, t)| {
                 let variant = transformed(&node.sub, &path, &t).ok()?;
-                let key = variant.to_string();
-                closed.insert(key.clone()).then_some((path, t, variant, key))
+                let key = match canon::canonical_key(&variant) {
+                    Ok(key) => key,
+                    Err(_) => {
+                        rejected += 1;
+                        return None;
+                    }
+                };
+                closed.insert(key).then_some((path, t, variant, key))
             })
             .collect();
         let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
@@ -257,6 +280,7 @@ pub fn astar_search_cached(
     best.evaluated = evaluated;
     best.cache_hits = cache.hits() - hits_before;
     best.cache_misses = cache.misses() - misses_before;
+    best.rejected_variants = rejected;
     best
 }
 
@@ -264,7 +288,7 @@ pub fn astar_search_cached(
 /// threads when it pays. Results come back in candidate order regardless
 /// of worker count, so the search stays deterministic.
 fn evaluate_candidates(
-    candidates: &[(Vec<usize>, Transform, Subroutine, String)],
+    candidates: &[(Vec<usize>, Transform, Subroutine, u128)],
     predictor: &Predictor,
     cache: &PredictionCache,
     workers: usize,
@@ -273,7 +297,7 @@ fn evaluate_candidates(
     if workers <= 1 {
         return candidates
             .iter()
-            .map(|(_, _, variant, key)| cache.cost_of(key, variant, predictor))
+            .map(|(_, _, variant, key)| cache.cost_of(*key, variant, predictor))
             .collect();
     }
     let mut out: Vec<Option<PerfExpr>> = vec![None; candidates.len()];
@@ -282,7 +306,7 @@ fn evaluate_candidates(
         for (results, work) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
             scope.spawn(move || {
                 for (slot, (_, _, variant, key)) in results.iter_mut().zip(work) {
-                    *slot = cache.cost_of(key, variant, predictor);
+                    *slot = cache.cost_of(*key, variant, predictor);
                 }
             });
         }
@@ -296,7 +320,7 @@ mod tests {
     use presage_machine::machines;
 
     fn sub(src: &str) -> Subroutine {
-        presage_frontend::parse(src).unwrap().units.remove(0)
+        canon::parse_subroutine(src).unwrap()
     }
 
     #[test]
@@ -417,6 +441,21 @@ mod tests {
         assert_eq!(serial.best.to_string(), parallel.best.to_string());
         assert_eq!(serial.evaluated, parallel.evaluated);
         assert_eq!(serial.expansions, parallel.expansions);
+    }
+
+    #[test]
+    fn malformed_variants_are_rejected_not_fatal() {
+        // Every variant derived from this root inherits a statement whose
+        // re-emission does not parse; each must be counted and skipped,
+        // and the search must still return the (predictable) original.
+        let predictor = Predictor::new(machines::power_like());
+        let s = canon::malformed_variant();
+        let opts = SearchOptions { max_expansions: 4, max_depth: 2, ..Default::default() };
+        let r = astar_search(&s, &predictor, &opts);
+        assert!(r.rejected_variants > 0, "variants should have been rejected");
+        assert!(r.sequence.is_empty(), "no unrepresentable variant may win");
+        assert_eq!(r.best.to_string(), s.to_string());
+        assert_eq!(r.best_cost, r.original_cost);
     }
 
     #[test]

@@ -270,6 +270,47 @@ pub fn interchange(stmt: &Stmt) -> Result<Stmt, TransformError> {
     })
 }
 
+/// Whether `name` occurs anywhere in the expression.
+fn expr_uses(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Var(n) => n == name,
+        Expr::ArrayRef { name: n, indices } => {
+            n == name || indices.iter().any(|i| expr_uses(i, name))
+        }
+        Expr::Unary { operand, .. } => expr_uses(operand, name),
+        Expr::Binary { lhs, rhs, .. } => expr_uses(lhs, name) || expr_uses(rhs, name),
+        Expr::Intrinsic { args, .. } => args.iter().any(|a| expr_uses(a, name)),
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::LogicalLit(_) => false,
+    }
+}
+
+/// Whether `name` occurs anywhere in the statement (as a variable, array,
+/// loop control variable, or callee).
+fn stmt_uses(stmt: &Stmt, name: &str) -> bool {
+    match stmt {
+        Stmt::Assign { target, value, .. } => expr_uses(target, name) || expr_uses(value, name),
+        Stmt::Do { var, lb, ub, step, body, .. } => {
+            var == name
+                || expr_uses(lb, name)
+                || expr_uses(ub, name)
+                || step.as_ref().is_some_and(|s| expr_uses(s, name))
+                || body.iter().any(|s| stmt_uses(s, name))
+        }
+        Stmt::DoWhile { cond, body, .. } => {
+            expr_uses(cond, name) || body.iter().any(|s| stmt_uses(s, name))
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            expr_uses(cond, name)
+                || then_body.iter().any(|s| stmt_uses(s, name))
+                || else_body.iter().any(|s| stmt_uses(s, name))
+        }
+        Stmt::Call { name: callee, args, .. } => {
+            callee == name || args.iter().any(|a| expr_uses(a, name))
+        }
+        Stmt::Return { .. } => false,
+    }
+}
+
 /// Strip-mines a loop into tiles of `size`.
 pub fn tile(stmt: &Stmt, size: u32) -> Result<Stmt, TransformError> {
     if size < 2 {
@@ -281,7 +322,15 @@ pub fn tile(stmt: &Stmt, size: u32) -> Result<Stmt, TransformError> {
     if step.is_some() && step.as_ref().and_then(|s| s.as_int()) != Some(1) {
         return Err(TransformError::NotApplicable("tiling requires unit step"));
     }
-    let tile_var = format!("{var}$t");
+    // The tile-index variable must be a lexable identifier (the variant's
+    // re-emitted source is re-parsed for canonicalization) and must not
+    // capture a name the loop already uses; append underscores until
+    // fresh. Keeping `var` as the prefix preserves its implicit type, so
+    // the tile index stays an integer whenever the loop index is.
+    let mut tile_var = format!("{var}_t");
+    while stmt_uses(stmt, &tile_var) {
+        tile_var.push('_');
+    }
     let inner_ub = Expr::Intrinsic {
         func: Intrinsic::Min,
         args: vec![
@@ -463,7 +512,7 @@ mod tests {
         let mut body = loop_of(SAXPY);
         apply(&mut body, 0, &Transform::Tile(64)).unwrap();
         let Stmt::Do { var, step, body: inner, .. } = &body[0] else { panic!() };
-        assert_eq!(var, "i$t");
+        assert_eq!(var, "i_t");
         assert_eq!(step.as_ref().unwrap().as_int(), Some(64));
         let Stmt::Do { var: iv, ub, .. } = &inner[0] else { panic!() };
         assert_eq!(iv, "i");

@@ -7,6 +7,7 @@
 
 use crate::transforms::{apply, Transform, TransformError};
 use presage_core::predictor::{PredictError, Predictor};
+use presage_frontend::diag::FrontendError;
 use presage_frontend::{Stmt, Subroutine};
 use presage_symbolic::{Comparison, PerfExpr};
 use std::fmt;
@@ -20,6 +21,10 @@ pub enum WhatIfError {
     Predict(PredictError),
     /// The statement path did not resolve to a loop body.
     BadPath,
+    /// The transformed program's re-emitted source does not parse: the
+    /// transformation produced an unrepresentable variant, which must be
+    /// rejected rather than costed.
+    Canonicalize(FrontendError),
 }
 
 impl fmt::Display for WhatIfError {
@@ -28,6 +33,9 @@ impl fmt::Display for WhatIfError {
             WhatIfError::Transform(e) => write!(f, "{e}"),
             WhatIfError::Predict(e) => write!(f, "{e}"),
             WhatIfError::BadPath => f.write_str("statement path does not resolve"),
+            WhatIfError::Canonicalize(e) => {
+                write!(f, "variant does not canonicalize: {e}")
+            }
         }
     }
 }
@@ -43,6 +51,12 @@ impl From<TransformError> for WhatIfError {
 impl From<PredictError> for WhatIfError {
     fn from(e: PredictError) -> Self {
         WhatIfError::Predict(e)
+    }
+}
+
+impl From<FrontendError> for WhatIfError {
+    fn from(e: FrontendError) -> Self {
+        WhatIfError::Canonicalize(e)
     }
 }
 
@@ -93,7 +107,9 @@ pub fn cost_of(sub: &Subroutine, predictor: &Predictor) -> Result<PerfExpr, What
 ///
 /// # Errors
 ///
-/// Any [`WhatIfError`].
+/// Any [`WhatIfError`]; in particular [`WhatIfError::Canonicalize`] when
+/// the variant's re-emitted source does not parse (the variant is not a
+/// representable program, so comparing its cost would be meaningless).
 pub fn compare_transform(
     sub: &Subroutine,
     path: &[usize],
@@ -101,6 +117,7 @@ pub fn compare_transform(
     predictor: &Predictor,
 ) -> Result<(Subroutine, Comparison), WhatIfError> {
     let variant = transformed(sub, path, t)?;
+    crate::canon::canonical_key(&variant)?;
     let before = cost_of(sub, predictor)?;
     let after = cost_of(&variant, predictor)?;
     Ok((variant, after.compare(&before)))
@@ -141,7 +158,7 @@ mod tests {
     use presage_symbolic::CompareOutcome;
 
     fn sub(src: &str) -> Subroutine {
-        presage_frontend::parse(src).unwrap().units.remove(0)
+        crate::canon::parse_subroutine(src).unwrap()
     }
 
     const NEST: &str = "subroutine s(a, n)
@@ -181,6 +198,19 @@ mod tests {
             transformed(&s, &[], &Transform::Unroll(2)),
             Err(WhatIfError::BadPath)
         ));
+    }
+
+    #[test]
+    fn unrepresentable_variant_is_an_error_not_a_panic() {
+        // The original carries a statement whose re-emission does not
+        // parse; any variant derived from it inherits it, so the
+        // comparator must reject the variant instead of costing it.
+        let predictor = Predictor::new(machines::power_like());
+        let s = crate::canon::malformed_variant();
+        let path = loop_paths(&s).into_iter().next().expect("fixture has a loop");
+        let err = compare_transform(&s, &path, &Transform::Unroll(2), &predictor)
+            .expect_err("malformed variant must be rejected");
+        assert!(matches!(err, WhatIfError::Canonicalize(_)), "{err}");
     }
 
     #[test]

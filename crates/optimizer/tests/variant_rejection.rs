@@ -1,0 +1,77 @@
+//! Regression tests for the de-panicked canonicalization path: a program
+//! variant whose re-emitted source does not parse used to panic the whole
+//! search (`parse(..).unwrap()` in the canonicalization helpers). It must
+//! now be rejected — counted in `SearchResult::rejected_variants`, or
+//! reported as `WhatIfError::Canonicalize` — while the search and the
+//! what-if comparator keep running.
+
+use presage_core::Predictor;
+use presage_frontend::{Expr, Span, Stmt, Subroutine};
+use presage_machine::machines;
+use presage_opt::whatif::loop_paths;
+use presage_opt::{
+    astar_search, compare_transform, parse_subroutine, SearchOptions, Transform, WhatIfError,
+};
+
+/// A structurally valid AST whose re-emission is not parsable: the
+/// appended assignment's target prints as `end do = 0`, which closes the
+/// enclosing block early. Models a transformation emitting an
+/// unrepresentable program.
+fn malformed() -> Subroutine {
+    let mut sub = parse_subroutine(
+        "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
+    )
+    .unwrap();
+    sub.body.push(Stmt::Assign {
+        target: Expr::Var("end do".into()),
+        value: Expr::IntLit(0),
+        span: Span::default(),
+    });
+    sub
+}
+
+#[test]
+fn search_survives_malformed_variants_and_counts_them() {
+    let predictor = Predictor::new(machines::wide4());
+    let s = malformed();
+    let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+    // Every derived variant inherits the unparsable statement; before the
+    // fix this call panicked inside canonicalization.
+    let r = astar_search(&s, &predictor, &opts);
+    assert!(r.rejected_variants > 0, "malformed variants must be counted");
+    assert!(r.sequence.is_empty(), "no unrepresentable variant may be selected");
+    assert_eq!(r.best.to_string(), s.to_string(), "search falls back to the original");
+    assert!(r.best_cost.is_finite());
+    assert_eq!(r.evaluated, 0, "rejected variants are never predicted");
+}
+
+#[test]
+fn whatif_reports_canonicalization_errors() {
+    let predictor = Predictor::new(machines::power_like());
+    let s = malformed();
+    let path = loop_paths(&s).into_iter().next().expect("fixture has a loop");
+    let err = compare_transform(&s, &path, &Transform::Unroll(2), &predictor)
+        .expect_err("unrepresentable variant must be rejected");
+    assert!(matches!(err, WhatIfError::Canonicalize(_)), "got {err}");
+}
+
+#[test]
+fn well_formed_searches_reject_nothing() {
+    let predictor = Predictor::new(machines::power_like());
+    let s = parse_subroutine(
+        "subroutine s(a, n)
+           real a(n,n)
+           integer i, j, n
+           do i = 1, n
+             do j = 1, n
+               a(i,j) = a(i,j) * 2.0 + 1.0
+             end do
+           end do
+         end",
+    )
+    .unwrap();
+    let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+    let r = astar_search(&s, &predictor, &opts);
+    assert_eq!(r.rejected_variants, 0);
+    assert!(r.evaluated > 0);
+}

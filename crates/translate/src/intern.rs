@@ -1,0 +1,156 @@
+//! Process-wide hash-consing of [`BlockIr`]s into an id-keyed arena.
+//!
+//! Downstream memo tables (the scheduling memo in `presage-core`) key on
+//! block content. Before interning, every lookup re-encoded the whole
+//! block — O(block) per lookup *even on hits*. Interning assigns each
+//! distinct block content a stable [`BlockId`] once, at translation time,
+//! so those keys collapse to an id compare: two blocks with the same id
+//! are guaranteed content-identical, and two content-identical blocks
+//! interned here receive the same id.
+//!
+//! The arena is deliberately global (not per-thread): translated
+//! [`ProgramIr`]s flow between threads — the parallel A* workers and the
+//! shared translation cache both hand blocks across thread boundaries —
+//! so ids must mean the same thing everywhere. Interning happens once per
+//! translation (then the translation cache reuses the product), so the
+//! lock is far off any hot path.
+//!
+//! Blocks mutated after interning drop their id automatically
+//! ([`BlockIr`] clears it in every `&mut self` method), and the arena is
+//! capacity-bounded: past [`INTERN_CAP`] distinct blocks, new content
+//! simply stays un-interned and downstream keys fall back to full content
+//! encoding. Nothing is ever evicted, so an id can never be reused for
+//! different content.
+
+use crate::ir::{BlockId, BlockIr};
+use crate::program::ProgramIr;
+use presage_frontend::fold::fold128;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum number of distinct blocks the arena will hold. Past this,
+/// [`intern_block`] returns `None` and callers key by content instead —
+/// a throughput cliff, not a correctness one.
+pub const INTERN_CAP: usize = 1 << 16;
+
+/// Fixed seed for the arena's content addressing. Must be identical for
+/// every producer (the arena is process-global), hence not per-thread.
+const CONTENT_SEED: u64 = 0x424c_4f43_4b49_52_u64; // "BLOCKIR"
+
+struct Arena {
+    /// Content hash → candidate ids (collision bucket; full equality
+    /// check resolves).
+    buckets: HashMap<u128, Vec<BlockId>>,
+    /// The interned blocks, indexed by [`BlockId`].
+    blocks: Vec<BlockIr>,
+}
+
+fn arena() -> &'static Mutex<Arena> {
+    static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
+    ARENA.get_or_init(|| Mutex::new(Arena { buckets: HashMap::new(), blocks: Vec::new() }))
+}
+
+/// Interns one block: returns its arena id, assigning a fresh one if the
+/// content has not been seen before. The id is also recorded on the block
+/// itself ([`BlockIr::interned_id`]) so later consumers skip the arena
+/// entirely. Returns `None` only when the arena is at [`INTERN_CAP`] and
+/// the content is new.
+pub fn intern_block(block: &mut BlockIr) -> Option<BlockId> {
+    if let Some(id) = block.interned_id() {
+        return Some(id);
+    }
+    let mut buf = Vec::with_capacity(64 + 16 * block.len());
+    block.encode_content(&mut buf);
+    let key = fold128(&buf, CONTENT_SEED);
+    let mut arena = arena().lock().expect("intern arena lock");
+    if let Some(ids) = arena.buckets.get(&key) {
+        for &id in ids {
+            if arena.blocks[id.0 as usize] == *block {
+                block.set_interned(id);
+                return Some(id);
+            }
+        }
+    }
+    if arena.blocks.len() >= INTERN_CAP {
+        return None;
+    }
+    let id = BlockId(arena.blocks.len() as u32);
+    block.set_interned(id);
+    arena.blocks.push(block.clone());
+    arena.buckets.entry(key).or_default().push(id);
+    Some(id)
+}
+
+/// Interns every block of a translated program in place (preheaders,
+/// control blocks, bodies, postheaders, condition blocks — everything the
+/// aggregator will key memo lookups on). Called by
+/// [`crate::translate`] on every successful translation.
+pub fn intern_program(ir: &mut ProgramIr) {
+    ir.visit_blocks_mut(&mut |b| {
+        intern_block(b);
+    });
+}
+
+/// Number of distinct blocks currently interned (diagnostics/tests).
+pub fn interned_blocks() -> usize {
+    arena().lock().expect("intern arena lock").blocks.len()
+}
+
+/// A copy of the interned block for `id`, if the id is live.
+pub fn lookup(id: BlockId) -> Option<BlockIr> {
+    arena().lock().expect("intern arena lock").blocks.get(id.0 as usize).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::BasicOp;
+
+    fn sample(k: i64) -> BlockIr {
+        let mut b = BlockIr::new();
+        let c = b.add_value(crate::ir::ValueDef::IntConst(k));
+        let x = b.add_value(crate::ir::ValueDef::External("x".into()));
+        b.emit(BasicOp::IAdd, vec![c, x]);
+        b
+    }
+
+    #[test]
+    fn equal_content_same_id() {
+        let mut a = sample(7001);
+        let mut b = sample(7001);
+        let ia = intern_block(&mut a).unwrap();
+        let ib = intern_block(&mut b).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(a.interned_id(), Some(ia));
+        assert_eq!(lookup(ia).unwrap(), a);
+    }
+
+    #[test]
+    fn distinct_content_distinct_id() {
+        let mut a = sample(7002);
+        let mut b = sample(7003);
+        assert_ne!(intern_block(&mut a).unwrap(), intern_block(&mut b).unwrap());
+    }
+
+    #[test]
+    fn mutation_drops_id() {
+        let mut a = sample(7004);
+        let id = intern_block(&mut a).unwrap();
+        let v = a.add_value(crate::ir::ValueDef::IntConst(1));
+        assert_eq!(a.interned_id(), None, "mutation must clear the id");
+        a.emit(BasicOp::IAdd, vec![v, v]);
+        let id2 = intern_block(&mut a).unwrap();
+        assert_ne!(id, id2);
+        // The original content is still reachable under its old id.
+        assert_eq!(lookup(id).unwrap(), sample(7004));
+    }
+
+    #[test]
+    fn reintern_is_idempotent() {
+        let mut a = sample(7005);
+        let before = intern_block(&mut a).unwrap();
+        let count = interned_blocks();
+        assert_eq!(intern_block(&mut a).unwrap(), before);
+        assert_eq!(interned_blocks(), count, "re-interning allocates nothing");
+    }
+}

@@ -6,9 +6,25 @@
 //! explicit memory-ordering edges. The placement algorithm (the paper's
 //! "Tetris" model) and the reference simulator both schedule these streams.
 
+use presage_frontend::fold::{encode_expr, encode_str};
 use presage_frontend::Expr;
 use presage_machine::BasicOp;
 use std::fmt;
+
+/// Identity of an interned block in the process-wide arena (see
+/// [`crate::intern`]).
+///
+/// Two blocks carry the same `BlockId` if and only if they have identical
+/// content, so downstream memo tables can key on the id — an O(1)
+/// compare — instead of rehashing the whole block on every lookup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
 
 /// Index of an operation within its block.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -98,12 +114,22 @@ impl Op {
 }
 
 /// A straight-line block of operations.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BlockIr {
     /// Value definitions, indexed by [`ValueId`].
     pub values: Vec<ValueDef>,
     /// Operations in original program order.
     pub ops: Vec<Op>,
+    /// Arena id from [`crate::intern`], cleared on any mutation so a
+    /// stale id can never outlive the content it names. Excluded from
+    /// equality: two blocks are the same block by content alone.
+    pub(crate) interned: Option<BlockId>,
+}
+
+impl PartialEq for BlockIr {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values && self.ops == other.ops
+    }
 }
 
 impl BlockIr {
@@ -122,8 +148,19 @@ impl BlockIr {
         self.ops.len()
     }
 
+    /// The interned arena id, if this block has been interned (see
+    /// [`crate::intern::intern_block`]) and not mutated since.
+    pub fn interned_id(&self) -> Option<BlockId> {
+        self.interned
+    }
+
+    pub(crate) fn set_interned(&mut self, id: BlockId) {
+        self.interned = Some(id);
+    }
+
     /// Registers a new value definition.
     pub fn add_value(&mut self, def: ValueDef) -> ValueId {
+        self.interned = None;
         let id = ValueId(self.values.len() as u32);
         self.values.push(def);
         id
@@ -131,6 +168,7 @@ impl BlockIr {
 
     /// Appends an operation, wiring its `result` value if present.
     pub fn push_op(&mut self, op: Op) -> OpId {
+        self.interned = None;
         let id = OpId(self.ops.len() as u32);
         if let Some(v) = op.result {
             // Keep the value table consistent even for pre-allocated values.
@@ -202,6 +240,72 @@ impl BlockIr {
     /// All memory references in the block (loads and stores).
     pub fn mem_refs(&self) -> impl Iterator<Item = (&Op, &MemRef)> {
         self.ops.iter().filter_map(|o| o.mem.as_ref().map(|m| (o, m)))
+    }
+
+    /// Appends an unambiguous byte encoding of the block's content
+    /// (values, ops, memory refs, callees — everything [`PartialEq`]
+    /// compares) to `buf`. This is the canonical serialization behind
+    /// both the interner's content addressing and the scheduling memo's
+    /// fallback keys for un-interned blocks.
+    pub fn encode_content(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
+        for v in &self.values {
+            match v {
+                ValueDef::IntConst(i) => {
+                    buf.push(0);
+                    buf.extend_from_slice(&i.to_le_bytes());
+                }
+                ValueDef::RealConst(x) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+                ValueDef::External(s) => {
+                    buf.push(2);
+                    encode_str(buf, s);
+                }
+                ValueDef::Op(id) => {
+                    buf.push(3);
+                    buf.extend_from_slice(&id.0.to_le_bytes());
+                }
+            }
+        }
+        buf.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            buf.extend_from_slice(&(op.basic as u32).to_le_bytes());
+            buf.extend_from_slice(&(op.args.len() as u32).to_le_bytes());
+            for a in &op.args {
+                buf.extend_from_slice(&a.0.to_le_bytes());
+            }
+            match op.result {
+                None => buf.push(0),
+                Some(r) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&r.0.to_le_bytes());
+                }
+            }
+            buf.extend_from_slice(&(op.extra_deps.len() as u32).to_le_bytes());
+            for d in &op.extra_deps {
+                buf.extend_from_slice(&d.0.to_le_bytes());
+            }
+            match &op.callee {
+                None => buf.push(0),
+                Some(c) => {
+                    buf.push(1);
+                    encode_str(buf, c);
+                }
+            }
+            match &op.mem {
+                None => buf.push(0),
+                Some(m) => {
+                    buf.push(1);
+                    encode_str(buf, &m.array);
+                    buf.extend_from_slice(&(m.subscripts.len() as u32).to_le_bytes());
+                    for sub in &m.subscripts {
+                        encode_expr(buf, sub);
+                    }
+                }
+            }
+        }
     }
 }
 

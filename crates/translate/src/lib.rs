@@ -22,8 +22,9 @@ mod ir;
 mod program;
 mod translate;
 
+pub mod intern;
 pub mod passes;
 
-pub use ir::{BlockIr, DepCsr, MemRef, Op, OpId, ValueDef, ValueId};
+pub use ir::{BlockId, BlockIr, DepCsr, MemRef, Op, OpId, ValueDef, ValueId};
 pub use program::{IfIr, IrNode, LoopIr, ProgramIr};
 pub use translate::{translate, TranslateError};

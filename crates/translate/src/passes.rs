@@ -80,7 +80,7 @@ pub fn dce_with_live(block: BlockIr, live_out: &[ValueId]) -> BlockIr {
         }
     }
     // Fix result links: each surviving op's result must point back to it.
-    let rebuilt = BlockIr { values, ops: new_ops };
+    let rebuilt = BlockIr { values, ops: new_ops, interned: None };
     debug_assert!(rebuilt.ops.iter().all(|op| {
         op.result
             .map(|r| matches!(rebuilt.value(r), ValueDef::Op(_) | ValueDef::External(_)))

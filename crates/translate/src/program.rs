@@ -88,6 +88,31 @@ impl IrNode {
         }
     }
 
+    /// Depth-first mutable visit of every block in the subtree (same
+    /// order as [`IrNode::visit_blocks`]).
+    pub fn visit_blocks_mut(&mut self, f: &mut impl FnMut(&mut BlockIr)) {
+        match self {
+            IrNode::Block(b) => f(b),
+            IrNode::Loop(l) => {
+                f(&mut l.preheader);
+                f(&mut l.control);
+                for n in &mut l.body {
+                    n.visit_blocks_mut(f);
+                }
+                f(&mut l.postheader);
+            }
+            IrNode::If(i) => {
+                f(&mut i.cond_block);
+                for n in &mut i.then_nodes {
+                    n.visit_blocks_mut(f);
+                }
+                for n in &mut i.else_nodes {
+                    n.visit_blocks_mut(f);
+                }
+            }
+        }
+    }
+
     /// Depth-first visit of every block in the subtree.
     pub fn visit_blocks<'a>(&'a self, f: &mut impl FnMut(&'a BlockIr)) {
         match self {
@@ -117,6 +142,13 @@ impl ProgramIr {
     /// Total operation count over all nodes.
     pub fn op_count(&self) -> usize {
         self.root.iter().map(IrNode::op_count).sum()
+    }
+
+    /// Depth-first mutable visit of every block in the program.
+    pub fn visit_blocks_mut(&mut self, f: &mut impl FnMut(&mut BlockIr)) {
+        for n in &mut self.root {
+            n.visit_blocks_mut(f);
+        }
     }
 
     /// Finds the innermost loop body block of the first perfect loop nest —

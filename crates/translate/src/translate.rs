@@ -79,7 +79,12 @@ pub fn translate(
 ) -> Result<ProgramIr, TranslateError> {
     let ctx = Ctx { machine, symbols };
     let root = ctx.nodes(&sub.body, None)?;
-    Ok(ProgramIr { name: sub.name.clone(), params: sub.params.clone(), root })
+    let mut ir = ProgramIr { name: sub.name.clone(), params: sub.params.clone(), root };
+    // Hash-cons every block into the process-wide arena so downstream
+    // memo keys (scheduling memo, steady-state prober) become id compares
+    // instead of per-lookup content rehashes.
+    crate::intern::intern_program(&mut ir);
+    Ok(ir)
 }
 
 /// Shared translation context.

@@ -21,7 +21,13 @@ echo "== workspace: build + test (all crates, warnings denied)"
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "== perfsuite --smoke (placement + prediction + symbolic microbench)"
+echo "== translation cache: differential proof against the uncached oracle"
+cargo test -q -p presage-core --test translation_cache
+
+echo "== canonicalization: malformed variants are rejected, not panics"
+cargo test -q -p presage-opt --test variant_rejection
+
+echo "== perfsuite --smoke (placement + prediction + translation + symbolic microbench)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json
 rm -f BENCH_smoke.json
 

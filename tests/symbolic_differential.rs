@@ -304,12 +304,12 @@ fn prediction_cache_keys_are_engine_independent() {
     for kernel in figure7().iter().take(3) {
         let program = parse(kernel.source).expect("kernel parses");
         let sub = &program.units[0];
-        // The cache key is the canonicalized source text — a property of
+        // The cache key is the canonical structural hash — a property of
         // the program alone, never of the symbolic representation.
-        let key = sub.to_string();
+        let key = presage_opt::canonical_key(sub).expect("kernel canonicalizes");
 
-        let first = cache.cost_of(&key, sub, &predictor).expect("kernel predicts");
-        let again = cache.cost_of(&key, sub, &predictor).expect("kernel predicts");
+        let first = cache.cost_of(key, sub, &predictor).expect("kernel predicts");
+        let again = cache.cost_of(key, sub, &predictor).expect("kernel predicts");
         assert_eq!(first.to_string(), again.to_string());
 
         let fresh = predictor
