@@ -1,20 +1,44 @@
 //! E1 — regenerates the paper's Figure 7: straight-line prediction
 //! accuracy for the kernel suite, per machine.
 //!
+//! Reference cycle counts come from the persisted baseline store
+//! (`BENCH_sim_baselines.json`): unchanged (kernel, machine) pairs are
+//! served from the store without re-simulation, and only the misses run —
+//! in parallel — through the event-driven simulator. Delete the store (or
+//! edit a kernel/machine) to force a cold run.
+//!
 //! Run with `cargo run -p presage-bench --bin fig7_table`.
 
-use presage_bench::tables::{fig7_rows, render_fig7};
+use presage_bench::tables::{fig7_rows_baselined, render_fig7};
 use presage_core::tetris::PlaceOptions;
 use presage_machine::machines;
+use presage_sim::batch::default_workers;
+use presage_sim::BaselineStore;
+use std::path::Path;
 
 fn main() {
+    let baseline_path = Path::new("BENCH_sim_baselines.json");
+    let mut store = BaselineStore::load(baseline_path);
+    let workers = default_workers();
     for machine in machines::all() {
-        let rows = fig7_rows(&machine, PlaceOptions::default());
+        let rows = match fig7_rows_baselined(&machine, PlaceOptions::default(), &mut store, workers)
+        {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", machine.name());
+                continue;
+            }
+        };
         println!("{}", render_fig7(&rows, machine.name()));
         let max_err = rows.iter().map(|r| r.error_pct().abs()).fold(0.0, f64::max);
         let worst_naive = rows.iter().map(|r| r.naive_factor()).fold(0.0, f64::max);
         println!(
             "max |error| = {max_err:.1}%   worst naive overestimate = {worst_naive:.2}×\n"
         );
+    }
+    let (hits, misses) = store.stats();
+    println!("simulator baselines: {hits} served from store, {misses} simulated fresh");
+    if let Err(e) = store.save(baseline_path) {
+        eprintln!("could not persist {}: {e}", baseline_path.display());
     }
 }

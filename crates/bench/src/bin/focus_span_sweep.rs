@@ -18,10 +18,17 @@ fn main() {
         .into_iter()
         .map(|k| (k.name, innermost_block(k.source, &machine)))
         .collect();
-    let references: Vec<u32> = blocks
+    let references: Vec<u32> = match blocks
         .iter()
-        .map(|(_, b)| simulate_block(&machine, b).makespan)
-        .collect();
+        .map(|(_, b)| simulate_block(&machine, b).map(|r| r.makespan))
+        .collect::<Result<_, _>>()
+    {
+        Ok(refs) => refs,
+        Err(e) => {
+            eprintln!("reference simulation failed: {e}");
+            return;
+        }
+    };
 
     println!("focus-span sweep on {} ({} kernels)", machine.name(), blocks.len());
     println!("{:>10} {:>12} {:>12} {:>14}", "span", "mean |err|%", "max |err|%", "time/block µs");

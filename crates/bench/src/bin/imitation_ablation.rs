@@ -43,7 +43,13 @@ fn main() {
 
         let opt_ir = translate(&prog.units[0], &symbols, &imitating).expect("translate");
         let opt_block = opt_ir.innermost_block().expect("block");
-        let reference = simulate_block(&imitating, opt_block).makespan;
+        let reference = match simulate_block(&imitating, opt_block) {
+            Ok(r) => r.makespan,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", k.name);
+                continue;
+            }
+        };
         let predicted = place_block(&imitating, opt_block, PlaceOptions::default()).completion;
 
         let naive_ir = translate(&prog.units[0], &symbols, &oblivious).expect("translate");

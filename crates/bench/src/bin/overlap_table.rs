@@ -3,15 +3,22 @@
 //! the shape-matching estimate, and (c) no-overlap back-to-back execution,
 //! all against the reference simulator.
 //!
+//! Loop measurements are served from the persisted baseline store
+//! (`BENCH_sim_baselines.json`) when the (kernel, machine) pair is
+//! unchanged; only misses re-simulate.
+//!
 //! Run with `cargo run -p presage-bench --bin overlap_table`.
 
 use presage_bench::kernels::{figure7, innermost_block};
 use presage_core::overlap::{shape_estimate, steady_state, unroll_profile};
 use presage_core::tetris::PlaceOptions;
 use presage_machine::machines;
-use presage_sim::simulate_loop;
+use presage_sim::BaselineStore;
+use std::path::Path;
 
 fn main() {
+    let baseline_path = Path::new("BENCH_sim_baselines.json");
+    let mut store = BaselineStore::load(baseline_path);
     let machine = machines::power_like();
     println!("steady-state cycles per iteration on {}", machine.name());
     println!(
@@ -22,7 +29,13 @@ fn main() {
         let block = innermost_block(k.source, &machine);
         let ss = steady_state(&machine, &block, PlaceOptions::default(), 8);
         let shape = shape_estimate(&machine, &block, PlaceOptions::default());
-        let (_, sim) = simulate_loop(&machine, &block, 8);
+        let sim = match store.loop_cycles(&machine, &block, 8) {
+            Ok((_, steady)) => steady,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", k.name);
+                continue;
+            }
+        };
         println!(
             "{:<8} {:>10.2} {:>10.2} {:>10} {:>10.2}",
             k.name, ss.per_iteration, shape, ss.first_iteration, sim
@@ -58,4 +71,9 @@ fn main() {
     println!("\nnote: with a tight span, unrolling without interleaving does not");
     println!("recover the overlap — placement follows program order, so the");
     println!("model correctly charges un-scheduled unrolled code.");
+    let (hits, misses) = store.stats();
+    println!("\nsimulator baselines: {hits} served from store, {misses} simulated fresh");
+    if let Err(e) = store.save(baseline_path) {
+        eprintln!("could not persist {}: {e}", baseline_path.display());
+    }
 }

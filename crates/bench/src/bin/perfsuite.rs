@@ -1,12 +1,13 @@
 //! In-tree performance suite: throughput of the predictor itself.
 //!
 //! Tools in this lineage treat predictor throughput as a first-class
-//! metric; `perfsuite` measures the five hot paths this repo optimizes —
+//! metric; `perfsuite` measures the six hot paths this repo optimizes —
 //! Tetris placement, end-to-end prediction throughput, the symbolic
-//! engine, the translation cache, and the A* transformation search —
-//! against the preserved seed implementations, and writes the numbers to
-//! `BENCH_placement.json`. No external dependencies: timing is
-//! `std::time::Instant`, output is the hand-rolled JSON writer.
+//! engine, the translation cache, the A* transformation search, and the
+//! event-driven reference simulator — against the preserved seed
+//! implementations, and writes the numbers to `BENCH_placement.json`. No
+//! external dependencies: timing is `std::time::Instant`, output is the
+//! hand-rolled JSON writer.
 //!
 //! Usage:
 //!
@@ -17,8 +18,9 @@
 //! `--smoke` runs a fast sanity pass (no thresholds, tiny workloads) for
 //! CI; the full run enforces the targets (≥3× placement ops/sec on wide8,
 //! ≥5× predictions/sec on wide8, ≥1.5× source-level predictions/sec on
-//! wide8 with a warmed translation cache, ≥2× A* wall-time) and exits
-//! nonzero when missed.
+//! wide8 with a warmed translation cache, ≥2× A* wall-time, ≥4×
+//! event-driven simulator sims/sec vs the cycle-driven reference on
+//! wide8) and exits nonzero when missed.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -402,30 +404,44 @@ fn bench_astar(smoke: bool) -> AstarResult {
         ..Default::default()
     };
 
-    // Seed mode: every search pays full prediction (fresh cache).
-    let start = Instant::now();
-    for sub in &subs {
-        for &n in eval_points {
-            let fresh = PredictionCache::new();
-            black_box(astar_search_cached(sub, &predictor, &opts_at(n), &fresh));
-        }
-    }
-    let uncached = start.elapsed();
+    // Both modes run as best-of-3 sessions: single-shot timings on a
+    // loaded box jitter enough to flip the enforced floor, and the
+    // minimum is the standard noise-robust estimator.
+    const REPS: usize = 3;
 
-    // Optimized mode: one cache across the whole restructuring session.
-    let shared = PredictionCache::new();
+    // Seed mode: every search pays full prediction (fresh cache).
+    let mut uncached = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for sub in &subs {
+            for &n in eval_points {
+                let fresh = PredictionCache::new();
+                black_box(astar_search_cached(sub, &predictor, &opts_at(n), &fresh));
+            }
+        }
+        uncached = uncached.min(start.elapsed());
+    }
+
+    // Optimized mode: one cache across the whole restructuring session
+    // (a fresh session per rep; hit/miss counts are deterministic).
     let mut hits = 0u64;
     let mut misses = 0u64;
-    let start = Instant::now();
-    for sub in &subs {
-        for &n in eval_points {
-            let r = astar_search_cached(sub, &predictor, &opts_at(n), &shared);
-            hits += r.cache_hits;
-            misses += r.cache_misses;
-            black_box(&r);
+    let mut cached = Duration::MAX;
+    for _ in 0..REPS {
+        let shared = PredictionCache::new();
+        hits = 0;
+        misses = 0;
+        let start = Instant::now();
+        for sub in &subs {
+            for &n in eval_points {
+                let r = astar_search_cached(sub, &predictor, &opts_at(n), &shared);
+                hits += r.cache_hits;
+                misses += r.cache_misses;
+                black_box(&r);
+            }
         }
+        cached = cached.min(start.elapsed());
     }
-    let cached = start.elapsed();
 
     AstarResult {
         uncached_ms: uncached.as_secs_f64() * 1e3,
@@ -436,6 +452,107 @@ fn bench_astar(smoke: bool) -> AstarResult {
     }
 }
 
+/// Simulator micro-benchmark: the event-driven engine vs the retained
+/// cycle-driven reference on the workloads where the bench tables spend
+/// their simulator wall clock — the overlap/unroll tables' long
+/// overlapped loop streams (every Figure 7 innermost block as a 64-copy
+/// stream, the deepest shape `unroll_profile` probes) and the efficiency
+/// table's big mixed block with unpipelined divides, 4-way overlapped. Per-cycle scanning is
+/// quadratic in stream length; the event engine is what keeps these
+/// tables cheap. Both engines share the micro expansion, so the ratio
+/// isolates exactly the scheduling algorithm.
+struct SimulatorRow {
+    machine: String,
+    ref_sims_per_sec: f64,
+    event_sims_per_sec: f64,
+    speedup: f64,
+}
+
+// 64 overlapped copies matches the deepest stream the unroll sweeps
+// build (unroll factor 8 × 8 overlapped iterations); the big block gets
+// a modest 4-way overlap, as a body that size would in the overlap table.
+const LOOP_COPIES: usize = 64;
+const BIG_BLOCK_COPIES: usize = 4;
+const BIG_BLOCK_OPS: usize = 512;
+
+/// A big mixed block in the efficiency table's mold — dependence chains,
+/// shared inputs, and a sprinkling of unpipelined divides.
+fn big_mixed_block() -> BlockIr {
+    use presage_machine::BasicOp::*;
+    use presage_translate::ValueDef;
+    let mut b = BlockIr::new();
+    let x = b.add_value(ValueDef::External("x".into()));
+    let mut prev = x;
+    for i in 0..BIG_BLOCK_OPS {
+        let basic = match i % 7 {
+            0 => FAdd,
+            1 => FMul,
+            2 => IAdd,
+            3 => Fma,
+            4 => LoadFloat,
+            5 => FDiv,
+            _ => IMul,
+        };
+        let args = if i % 3 == 0 { vec![prev, x] } else { vec![x, x] };
+        prev = b.emit(basic, args);
+    }
+    b
+}
+
+fn bench_simulator(budget: Duration) -> Vec<SimulatorRow> {
+    use presage_sim::{reference, scheduler};
+    let mut rows = Vec::new();
+    let big = big_mixed_block();
+    for machine in machines::all() {
+        let blocks = placement_blocks(&machine);
+        let sims_per_round = (blocks.len() + 1) as u64;
+        let event_round = || {
+            for b in &blocks {
+                let copies: Vec<&BlockIr> = std::iter::repeat(b).take(LOOP_COPIES).collect();
+                black_box(
+                    scheduler::simulate_blocks(&machine, copies.iter().copied())
+                        .expect("converges"),
+                );
+            }
+            let big_copies: Vec<&BlockIr> = std::iter::repeat(&big).take(BIG_BLOCK_COPIES).collect();
+            black_box(
+                scheduler::simulate_blocks(&machine, big_copies.iter().copied())
+                    .expect("converges"),
+            );
+            sims_per_round
+        };
+        let ref_round = || {
+            for b in &blocks {
+                let copies: Vec<&BlockIr> = std::iter::repeat(b).take(LOOP_COPIES).collect();
+                black_box(
+                    reference::simulate_blocks(&machine, copies.iter().copied())
+                        .expect("converges"),
+                );
+            }
+            let big_copies: Vec<&BlockIr> = std::iter::repeat(&big).take(BIG_BLOCK_COPIES).collect();
+            black_box(
+                reference::simulate_blocks(&machine, big_copies.iter().copied())
+                    .expect("converges"),
+            );
+            sims_per_round
+        };
+        // Warm both engines once so first-touch allocation is off-clock.
+        event_round();
+        ref_round();
+        let (event_n, event_s) = time_until(budget, event_round);
+        let (ref_n, ref_s) = time_until(budget, ref_round);
+        let ref_rate = ref_n as f64 / ref_s;
+        let event_rate = event_n as f64 / event_s;
+        rows.push(SimulatorRow {
+            machine: machine.name().to_string(),
+            ref_sims_per_sec: ref_rate,
+            event_sims_per_sec: event_rate,
+            speedup: event_rate / ref_rate,
+        });
+    }
+    rows
+}
+
 fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
@@ -444,6 +561,7 @@ const PLACEMENT_WIDE8_MIN: f64 = 3.0;
 const PREDICTION_WIDE8_MIN: f64 = 5.0;
 const TRANSLATION_WIDE8_MIN: f64 = 1.5;
 const ASTAR_MIN: f64 = 2.0;
+const SIM_WIDE8_MIN: f64 = 4.0;
 
 fn main() {
     let cfg = parse_args();
@@ -488,6 +606,15 @@ fn main() {
         );
     }
 
+    eprintln!("perfsuite: simulator (event-driven vs cycle-driven, Figure 7 suite)");
+    let simulator = bench_simulator(budget);
+    for row in &simulator {
+        eprintln!(
+            "  {:>10}: reference {:>9.0} sims/s, event-driven {:>9.0} sims/s  ({:.2}x)",
+            row.machine, row.ref_sims_per_sec, row.event_sims_per_sec, row.speedup
+        );
+    }
+
     eprintln!("perfsuite: A* restructuring session");
     let astar = bench_astar(cfg.smoke);
     eprintln!(
@@ -510,9 +637,14 @@ fn main() {
         .find(|r| r.machine == "wide8")
         .map(|r| r.speedup)
         .unwrap_or(0.0);
+    let wide8_simulator = simulator
+        .iter()
+        .find(|r| r.machine == "wide8")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-perfsuite-v3".into())),
+        ("schema".into(), Json::Str("presage-perfsuite-v4".into())),
         ("mode".into(), Json::Str(if cfg.smoke { "smoke" } else { "full" }.into())),
         (
             "placement".into(),
@@ -585,6 +717,25 @@ fn main() {
             ),
         ),
         (
+            "simulator".into(),
+            Json::Arr(
+                simulator
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(r.machine.clone())),
+                            ("ref_sims_per_sec".into(), Json::Num(r.ref_sims_per_sec.round())),
+                            (
+                                "event_sims_per_sec".into(),
+                                Json::Num(r.event_sims_per_sec.round()),
+                            ),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "astar".into(),
             Json::Obj(vec![
                 ("uncached_ms".into(), Json::Num(round2(astar.uncached_ms))),
@@ -601,6 +752,7 @@ fn main() {
                 ("prediction_wide8_min".into(), Json::Num(PREDICTION_WIDE8_MIN)),
                 ("translation_wide8_min".into(), Json::Num(TRANSLATION_WIDE8_MIN)),
                 ("astar_min".into(), Json::Num(ASTAR_MIN)),
+                ("simulator_wide8_min".into(), Json::Num(SIM_WIDE8_MIN)),
             ]),
         ),
     ]);
@@ -634,11 +786,17 @@ fn main() {
             eprintln!("FAIL: A* session speedup is {:.2}x (target {ASTAR_MIN}x)", astar.speedup);
             failed = true;
         }
+        if wide8_simulator < SIM_WIDE8_MIN {
+            eprintln!(
+                "FAIL: event-driven simulator speedup on wide8 is {wide8_simulator:.2}x (target {SIM_WIDE8_MIN}x)"
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         eprintln!(
-            "perfsuite: targets met (placement wide8 {wide8_speedup:.2}x >= {PLACEMENT_WIDE8_MIN}x, prediction wide8 {wide8_prediction:.2}x >= {PREDICTION_WIDE8_MIN}x, translation wide8 {wide8_translation:.2}x >= {TRANSLATION_WIDE8_MIN}x, A* {:.2}x >= {ASTAR_MIN}x)",
+            "perfsuite: targets met (placement wide8 {wide8_speedup:.2}x >= {PLACEMENT_WIDE8_MIN}x, prediction wide8 {wide8_prediction:.2}x >= {PREDICTION_WIDE8_MIN}x, translation wide8 {wide8_translation:.2}x >= {TRANSLATION_WIDE8_MIN}x, A* {:.2}x >= {ASTAR_MIN}x, simulator wide8 {wide8_simulator:.2}x >= {SIM_WIDE8_MIN}x)",
             astar.speedup
         );
     }

@@ -3,7 +3,8 @@
 use crate::kernels::{figure7, innermost_block};
 use presage_core::tetris::{place_block, PlaceOptions};
 use presage_machine::MachineDesc;
-use presage_sim::{naive_block_cost, simulate_block};
+use presage_sim::batch::simulate_batch;
+use presage_sim::{naive_block_cost, BaselineStore, SimError};
 
 /// One row of the Figure 7 accuracy table.
 #[derive(Clone, Debug)]
@@ -38,18 +39,61 @@ impl Fig7Row {
     }
 }
 
-/// Computes the Figure 7 table for a machine.
-pub fn fig7_rows(machine: &MachineDesc, opts: PlaceOptions) -> Vec<Fig7Row> {
-    figure7()
-        .into_iter()
-        .map(|k| {
-            let block = innermost_block(k.source, machine);
-            let predicted = place_block(machine, &block, opts).completion;
-            let reference = simulate_block(machine, &block).makespan;
-            let naive = naive_block_cost(machine, &block);
-            Fig7Row { name: k.name, ops: block.len(), predicted, reference, naive }
-        })
-        .collect()
+/// Computes the Figure 7 table for a machine, simulating every kernel.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if any kernel's reference simulation fails to
+/// converge.
+pub fn fig7_rows(machine: &MachineDesc, opts: PlaceOptions) -> Result<Vec<Fig7Row>, SimError> {
+    fig7_rows_baselined(machine, opts, &mut BaselineStore::new(), 1)
+}
+
+/// Computes the Figure 7 table for a machine, serving reference cycle
+/// counts from `store` where present and simulating only the misses —
+/// fanned out over `workers` scoped threads. Fresh results are recorded
+/// back into `store` so a subsequent save warms the next run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if any missing kernel's reference simulation
+/// fails to converge.
+pub fn fig7_rows_baselined(
+    machine: &MachineDesc,
+    opts: PlaceOptions,
+    store: &mut BaselineStore,
+    workers: usize,
+) -> Result<Vec<Fig7Row>, SimError> {
+    let kernels = figure7();
+    let blocks: Vec<_> = kernels.iter().map(|k| innermost_block(k.source, machine)).collect();
+
+    // Partition into baseline hits and misses, then simulate only the
+    // misses (in parallel) and record them for the next run.
+    let cached: Vec<Option<u32>> =
+        blocks.iter().map(|block| store.get_block(machine, block)).collect();
+    let miss_jobs: Vec<(&MachineDesc, &presage_translate::BlockIr)> = blocks
+        .iter()
+        .zip(&cached)
+        .filter(|(_, c)| c.is_none())
+        .map(|(block, _)| (machine, block))
+        .collect();
+    let mut fresh = simulate_batch(&miss_jobs, workers).into_iter();
+
+    let mut rows = Vec::with_capacity(kernels.len());
+    for ((k, block), cached) in kernels.iter().zip(&blocks).zip(cached) {
+        let reference = match cached {
+            Some(ms) => ms,
+            None => {
+                let ms = fresh.next().expect("one batch result per miss")?.makespan;
+                store.record_block(machine, block, ms);
+                ms
+            }
+        };
+        let predicted = place_block(machine, block, opts).completion;
+        let naive = naive_block_cost(machine, block);
+        rows.push(Fig7Row { name: k.name, ops: block.len(), predicted, reference, naive });
+    }
+    Ok(rows)
 }
 
 /// Formats rows as an aligned text table.
@@ -85,7 +129,7 @@ mod tests {
 
     #[test]
     fn fig7_rows_complete() {
-        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default()).unwrap();
         assert_eq!(rows.len(), 10);
         for r in &rows {
             assert!(r.predicted > 0, "{}", r.name);
@@ -96,10 +140,27 @@ mod tests {
 
     #[test]
     fn render_contains_all_rows() {
-        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+        let rows = fig7_rows(&machines::power_like(), PlaceOptions::default()).unwrap();
         let text = render_fig7(&rows, "power-like");
         for r in &rows {
             assert!(text.contains(r.name));
+        }
+    }
+
+    #[test]
+    fn warm_baseline_skips_simulation_and_matches_cold() {
+        let m = machines::power_like();
+        let opts = PlaceOptions::default();
+        let mut store = BaselineStore::new();
+        let cold = fig7_rows_baselined(&m, opts, &mut store, 4).unwrap();
+        let (_, cold_misses) = store.stats();
+        assert_eq!(cold_misses, 10, "cold run misses every kernel");
+        let warm = fig7_rows_baselined(&m, opts, &mut store, 4).unwrap();
+        let (hits, misses) = store.stats();
+        assert_eq!(hits, 10, "warm run serves every kernel from the store");
+        assert_eq!(misses, cold_misses, "warm run simulates nothing new");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!((c.reference, c.predicted, c.naive), (w.reference, w.predicted, w.naive));
         }
     }
 }

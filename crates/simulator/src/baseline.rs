@@ -1,0 +1,387 @@
+//! Persisted simulator baselines keyed by block content.
+//!
+//! The bench tables (`fig7_table`, `overlap_table`, `efficiency_table`)
+//! re-simulate the same fixed kernel suite on every run even though the
+//! kernels and machine descriptions rarely change between runs. This
+//! store persists `(machine, block) -> cycles` results to
+//! `BENCH_sim_baselines.json` so a warm run skips simulation entirely for
+//! unchanged pairs.
+//!
+//! Keys mirror the `TranslationCache` derivation: a [`fold128`] content
+//! hash over the machine name, a mode tag (`"block"` or `"loopN"`), and
+//! the block's canonical content encoding
+//! ([`BlockIr::encode_content`]) — so:
+//!
+//! - editing a kernel or a machine description changes the key and the
+//!   stale entry is simply never looked up again;
+//! - there is no invalidation story to get wrong: keys are content
+//!   hashes and values are the deterministic simulator outputs.
+//!
+//! The store deliberately persists only the scalar measurements the
+//! tables consume (block makespan; loop first/total makespans), not full
+//! per-op issue traces — anything richer re-simulates.
+
+use crate::scheduler::{SimError, SimResult};
+use presage_frontend::fold::{encode_str, fold128};
+use presage_machine::json::Json;
+use presage_machine::MachineDesc;
+use presage_translate::BlockIr;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Schema tag written to (and required from) the JSON artifact.
+pub const BASELINE_SCHEMA: &str = "presage-sim-baselines-v1";
+
+/// Seed for baseline keys — distinct from `AST_SEED` so simulator
+/// baselines and translation-cache keys live in unrelated hash families.
+const SIM_SEED: u64 = 0x5349_4d42_4153_u64; // "SIMBAS"
+
+/// One persisted measurement.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Entry {
+    /// Straight-line block makespan.
+    Block { makespan: u32 },
+    /// Overlapped-loop measurement: first-iteration and `iterations`-copy
+    /// total makespans (steady-state cycles/iteration is derived).
+    Loop { first: u32, total: u32, iterations: u32 },
+}
+
+/// A load/record/save store of simulator baselines with hit/miss
+/// accounting.
+#[derive(Debug, Default)]
+pub struct BaselineStore {
+    map: HashMap<u128, Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+fn key(machine: &MachineDesc, mode: &str, block: &BlockIr) -> u128 {
+    let mut buf = Vec::with_capacity(256);
+    encode_str(&mut buf, machine.name());
+    encode_str(&mut buf, mode);
+    block.encode_content(&mut buf);
+    fold128(&buf, SIM_SEED)
+}
+
+impl BaselineStore {
+    /// An empty store.
+    pub fn new() -> BaselineStore {
+        BaselineStore::default()
+    }
+
+    /// Loads the store from `path`. A missing file, a parse failure, or a
+    /// schema mismatch all yield an empty store — baselines are a cache,
+    /// never a correctness input.
+    pub fn load(path: &Path) -> BaselineStore {
+        let mut store = BaselineStore::new();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return store;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return store;
+        };
+        if doc.get("schema").and_then(Json::as_str) != Some(BASELINE_SCHEMA) {
+            return store;
+        }
+        let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+            return store;
+        };
+        for e in entries {
+            let Some(k) = e.get("key").and_then(Json::as_str) else { continue };
+            let Ok(k) = u128::from_str_radix(k, 16) else { continue };
+            let entry = match e.get("mode").and_then(Json::as_str) {
+                Some("block") => match e.get("makespan").and_then(Json::as_u64) {
+                    Some(ms) => Entry::Block { makespan: ms as u32 },
+                    None => continue,
+                },
+                Some("loop") => {
+                    let (Some(first), Some(total), Some(iters)) = (
+                        e.get("first").and_then(Json::as_u64),
+                        e.get("total").and_then(Json::as_u64),
+                        e.get("iterations").and_then(Json::as_u64),
+                    ) else {
+                        continue;
+                    };
+                    Entry::Loop {
+                        first: first as u32,
+                        total: total as u32,
+                        iterations: iters as u32,
+                    }
+                }
+                _ => continue,
+            };
+            store.map.insert(k, entry);
+        }
+        store
+    }
+
+    /// Looks up a straight-line block makespan.
+    pub fn get_block(&mut self, machine: &MachineDesc, block: &BlockIr) -> Option<u32> {
+        match self.map.get(&key(machine, "block", block)) {
+            Some(Entry::Block { makespan }) => {
+                self.hits += 1;
+                Some(*makespan)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a straight-line block makespan.
+    pub fn record_block(&mut self, machine: &MachineDesc, block: &BlockIr, makespan: u32) {
+        self.map.insert(key(machine, "block", block), Entry::Block { makespan });
+    }
+
+    /// Looks up an overlapped-loop measurement, returning
+    /// `(first_iteration_makespan, steady_cycles_per_iteration)` exactly
+    /// as [`crate::simulate_loop`] would.
+    pub fn get_loop(
+        &mut self,
+        machine: &MachineDesc,
+        body: &BlockIr,
+        iterations: u32,
+    ) -> Option<(u32, f64)> {
+        let mode = format!("loop{iterations}");
+        match self.map.get(&key(machine, &mode, body)) {
+            Some(Entry::Loop { first, total, iterations: it }) if *it == iterations => {
+                self.hits += 1;
+                let steady = (*total - *first) as f64 / (iterations - 1) as f64;
+                Some((*first, steady))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records an overlapped-loop measurement from its raw first/total
+    /// makespans (the exact integers, so the derived steady-state value
+    /// round-trips bit-identically).
+    pub fn record_loop(
+        &mut self,
+        machine: &MachineDesc,
+        body: &BlockIr,
+        iterations: u32,
+        first: u32,
+        total: u32,
+    ) {
+        let mode = format!("loop{iterations}");
+        self.map.insert(key(machine, &mode, body), Entry::Loop { first, total, iterations });
+    }
+
+    /// Simulates `block` on `machine`, serving the makespan from the
+    /// store when present and recording it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying simulation on a miss.
+    pub fn block_makespan(
+        &mut self,
+        machine: &MachineDesc,
+        block: &BlockIr,
+        sim: impl FnOnce(&MachineDesc, &BlockIr) -> Result<SimResult, SimError>,
+    ) -> Result<u32, SimError> {
+        if let Some(ms) = self.get_block(machine, block) {
+            return Ok(ms);
+        }
+        let ms = sim(machine, block)?.makespan;
+        self.record_block(machine, block, ms);
+        Ok(ms)
+    }
+
+    /// Measures `iterations` overlapped copies of `body` on `machine`
+    /// exactly as [`crate::simulate_loop`] does, serving the result from
+    /// the store when present and recording the raw first/total makespans
+    /// on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying simulation on a miss.
+    pub fn loop_cycles(
+        &mut self,
+        machine: &MachineDesc,
+        body: &BlockIr,
+        iterations: u32,
+    ) -> Result<(u32, f64), SimError> {
+        if let Some(r) = self.get_loop(machine, body, iterations) {
+            return Ok(r);
+        }
+        let first = crate::scheduler::simulate_block(machine, body)?.makespan;
+        let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
+        let total =
+            crate::scheduler::simulate_blocks(machine, copies.iter().copied())?.makespan;
+        self.record_loop(machine, body, iterations, first, total);
+        let steady = (total - first) as f64 / (iterations - 1) as f64;
+        Ok((first, steady))
+    }
+
+    /// Number of persisted entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are persisted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` lookup counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Serializes the store (sorted by key for byte-stable output).
+    pub fn to_json(&self) -> Json {
+        let mut keys: Vec<&u128> = self.map.keys().collect();
+        keys.sort_unstable();
+        let entries: Vec<Json> = keys
+            .into_iter()
+            .map(|k| {
+                let mut obj = vec![("key".to_string(), Json::Str(format!("{k:032x}")))];
+                match &self.map[k] {
+                    Entry::Block { makespan } => {
+                        obj.push(("mode".to_string(), Json::Str("block".into())));
+                        obj.push(("makespan".to_string(), Json::Num(f64::from(*makespan))));
+                    }
+                    Entry::Loop { first, total, iterations } => {
+                        obj.push(("mode".to_string(), Json::Str("loop".into())));
+                        obj.push(("first".to_string(), Json::Num(f64::from(*first))));
+                        obj.push(("total".to_string(), Json::Num(f64::from(*total))));
+                        obj.push((
+                            "iterations".to_string(),
+                            Json::Num(f64::from(*iterations)),
+                        ));
+                    }
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(BASELINE_SCHEMA.into())),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+    }
+
+    /// Writes the store to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::simulate_block;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::ValueDef;
+
+    fn chain(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let mut v = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            v = b.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        b
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let m = machines::power_like();
+        let w = machines::wide8();
+        let b3 = chain(3);
+        let b5 = chain(5);
+        let mut store = BaselineStore::new();
+        store.record_block(&m, &b3, 6);
+        store.record_block(&w, &b3, 6);
+        store.record_loop(&m, &b5, 8, 10, 80);
+        let text = store.to_json().to_string_pretty();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BASELINE_SCHEMA));
+
+        let dir = std::env::temp_dir().join("presage-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        store.save(&path).unwrap();
+        let mut loaded = BaselineStore::load(&path);
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.get_block(&m, &b3), Some(6));
+        assert_eq!(loaded.get_block(&w, &b3), Some(6));
+        assert_eq!(loaded.get_loop(&m, &b5, 8), Some((10, 10.0)));
+        assert_eq!(loaded.stats(), (3, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn keys_distinguish_machine_mode_and_content() {
+        let m = machines::power_like();
+        let w = machines::wide8();
+        let b = chain(4);
+        let mut store = BaselineStore::new();
+        store.record_block(&m, &b, 8);
+        // Different machine, different mode, different content: all miss.
+        assert_eq!(store.get_block(&w, &b), None);
+        assert_eq!(store.get_loop(&m, &b, 8), None);
+        assert_eq!(store.get_block(&m, &chain(5)), None);
+        assert_eq!(store.get_block(&m, &b), Some(8));
+        assert_eq!(store.stats(), (1, 3));
+    }
+
+    #[test]
+    fn loop_iteration_count_is_part_of_the_key() {
+        let m = machines::power_like();
+        let b = chain(2);
+        let mut store = BaselineStore::new();
+        store.record_loop(&m, &b, 8, 4, 32);
+        assert_eq!(store.get_loop(&m, &b, 16), None);
+        assert_eq!(store.get_loop(&m, &b, 8), Some((4, 4.0)));
+    }
+
+    #[test]
+    fn block_makespan_records_on_miss_and_serves_on_hit() {
+        let m = machines::power_like();
+        let b = chain(5);
+        let mut store = BaselineStore::new();
+        let cold = store.block_makespan(&m, &b, simulate_block).unwrap();
+        assert_eq!(cold, simulate_block(&m, &b).unwrap().makespan);
+        // Warm hit must not re-simulate: feed a sim that would panic.
+        let warm = store
+            .block_makespan(&m, &b, |_, _| panic!("warm lookup must not simulate"))
+            .unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(store.stats(), (1, 1));
+    }
+
+    #[test]
+    fn loop_cycles_matches_simulate_loop_and_round_trips() {
+        let m = machines::power_like();
+        let b = chain(4);
+        let mut store = BaselineStore::new();
+        let cold = store.loop_cycles(&m, &b, 8).unwrap();
+        assert_eq!(cold, crate::scheduler::simulate_loop(&m, &b, 8).unwrap());
+        let warm = store.loop_cycles(&m, &b, 8).unwrap();
+        assert_eq!(warm, cold, "served measurement is bit-identical");
+        assert_eq!(store.stats(), (1, 1));
+    }
+
+    #[test]
+    fn missing_or_corrupt_file_loads_empty() {
+        let dir = std::env::temp_dir().join("presage-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(BaselineStore::load(&dir.join("no-such-file.json")).is_empty());
+        let bad = dir.join("corrupt.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        assert!(BaselineStore::load(&bad).is_empty());
+        let wrong = dir.join("wrong-schema.json");
+        std::fs::write(&wrong, "{\"schema\": \"other\", \"entries\": []}").unwrap();
+        assert!(BaselineStore::load(&wrong).is_empty());
+        std::fs::remove_file(&bad).unwrap();
+        std::fs::remove_file(&wrong).unwrap();
+    }
+}

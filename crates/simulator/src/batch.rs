@@ -1,0 +1,114 @@
+//! Batched + parallel simulation across `(machine, block)` pairs.
+//!
+//! The bench tables simulate every Figure 7 kernel on every machine —
+//! independent jobs that the table bins used to run strictly
+//! sequentially. This module fans a job list out over scoped threads with
+//! the same chunking pattern as the optimizer's parallel A* candidate
+//! evaluation (`optimizer::search::evaluate_candidates`): results come
+//! back in job order regardless of worker count, so callers stay
+//! deterministic, and `workers <= 1` degenerates to the sequential loop
+//! with no thread overhead.
+
+use crate::scheduler::{simulate_block, simulate_loop, SimError, SimResult};
+use presage_machine::MachineDesc;
+use presage_translate::BlockIr;
+
+/// A sensible worker count for simulation fan-out: the machine's
+/// available parallelism, or 1 when it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `job` over `jobs` on `workers` scoped threads, preserving order.
+fn fan_out<J: Sync, R: Send>(
+    jobs: &[J],
+    workers: usize,
+    job: impl Fn(&J) -> R + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(&job).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    let chunk = jobs.len().div_ceil(workers);
+    let job = &job;
+    std::thread::scope(|scope| {
+        for (results, work) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, j) in results.iter_mut().zip(work) {
+                    *slot = Some(job(j));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every chunk slot is filled")).collect()
+}
+
+/// Simulates each `(machine, block)` pair with the event-driven engine,
+/// fanning out over `workers` scoped threads. Results are index-aligned
+/// with `jobs`; a non-convergent job yields its own `Err` without
+/// disturbing the others.
+pub fn simulate_batch(
+    jobs: &[(&MachineDesc, &BlockIr)],
+    workers: usize,
+) -> Vec<Result<SimResult, SimError>> {
+    fan_out(jobs, workers, |(machine, block)| simulate_block(machine, block))
+}
+
+/// Simulates each `(machine, body, iterations)` loop job — see
+/// [`simulate_loop`] — fanning out over `workers` scoped threads.
+/// Results are index-aligned with `jobs`.
+pub fn simulate_loop_batch(
+    jobs: &[(&MachineDesc, &BlockIr, u32)],
+    workers: usize,
+) -> Vec<Result<(u32, f64), SimError>> {
+    fan_out(jobs, workers, |(machine, body, iterations)| {
+        simulate_loop(machine, body, *iterations)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::ValueDef;
+
+    fn chain(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let mut v = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            v = b.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        b
+    }
+
+    #[test]
+    fn batch_matches_sequential_any_worker_count() {
+        let ms = machines::all();
+        let blocks: Vec<BlockIr> = (1..=6).map(chain).collect();
+        let jobs: Vec<(&MachineDesc, &BlockIr)> =
+            ms.iter().flat_map(|m| blocks.iter().map(move |b| (m, b))).collect();
+        let sequential = simulate_batch(&jobs, 1);
+        for workers in [2, 4, 17] {
+            assert_eq!(simulate_batch(&jobs, workers), sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn loop_batch_matches_direct_calls() {
+        let m = machines::power_like();
+        let bodies: Vec<BlockIr> = (1..=4).map(chain).collect();
+        let jobs: Vec<(&MachineDesc, &BlockIr, u32)> =
+            bodies.iter().map(|b| (&m, b, 8)).collect();
+        let batched = simulate_loop_batch(&jobs, 3);
+        for (job, got) in jobs.iter().zip(&batched) {
+            assert_eq!(*got, simulate_loop(job.0, job.1, job.2));
+        }
+    }
+
+    #[test]
+    fn empty_job_list() {
+        assert!(simulate_batch(&[], 8).is_empty());
+    }
+}

@@ -2,17 +2,53 @@
 //!
 //! The paper's Figure 7 compares the cost model against IBM xlf's
 //! per-instruction cycle counts. This crate plays that reference role with
-//! a cycle-accurate critical-path [list scheduler](scheduler) over the same
+//! a cycle-accurate critical-path list scheduler over the same
 //! atomic-operation streams (full dependence tracking, structural hazards,
 //! no cost-model approximations), and supplies the [naive](naive)
 //! operation-count model the paper warns "may be off by a factor of ten or
 //! more" on superscalar machines.
+//!
+//! Two scheduling engines compute the same function:
+//!
+//! - [`scheduler`] — the production **event-driven** engine: a ready
+//!   priority queue keyed by critical-path priority, per-unit-instance
+//!   next-free times, and a clock that jumps straight to the next
+//!   completion/free event (an unpipelined 19-cycle divide costs one
+//!   event, not 19 full scans);
+//! - [`reference`] — the retained **cycle-driven** oracle (the repo's
+//!   established pattern from `core::reference` and
+//!   `symbolic::reference`), scanning every pending micro every cycle
+//!   against `Vec<bool>` busy bitmaps. `tests/differential.rs` proves the
+//!   two agree bit-for-bit on makespan, per-op issue cycles, and per-class
+//!   busy counts across all shipped machines.
+//!
+//! Around the engines sit [`batch`] (scoped-thread fan-out over
+//! `(machine, block)` jobs) and [`baseline`] (content-hash-keyed
+//! persisted results so the bench tables skip re-simulating unchanged
+//! kernels).
+//!
+//! # No issue-width limit (deliberate)
+//!
+//! The reference model bounds issue only by dependences and functional-unit
+//! availability — there is no per-cycle decode/issue-width cap. This
+//! mirrors the paper's machine model, where ports on functional units are
+//! the structural resource and the [machine descriptions](presage_machine)
+//! encode capacity as unit-instance counts; a front-end width would be a
+//! second resource axis the paper's tables never parameterize. Machines
+//! whose realizable issue rate is narrower than their unit mix must encode
+//! that in unit counts (as `risc1` does with its single shared `Alu`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
+pub mod batch;
+mod micro;
 pub mod naive;
+pub mod reference;
 pub mod scheduler;
 
+pub use baseline::BaselineStore;
+pub use batch::{simulate_batch, simulate_loop_batch};
 pub use naive::{naive_block_cost, naive_loop_cost, op_count_cost};
-pub use scheduler::{simulate_block, simulate_blocks, simulate_loop, SimResult};
+pub use scheduler::{simulate_block, simulate_blocks, simulate_loop, SimError, SimResult};

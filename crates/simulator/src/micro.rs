@@ -1,0 +1,267 @@
+//! Shared micro-operation expansion for both scheduling engines.
+//!
+//! The event-driven scheduler ([`crate::scheduler`]) and the retained
+//! cycle-driven reference ([`crate::reference`]) consume the same stream
+//! of micro-operations; this module is the single place that turns
+//! [`BlockIr`] operations into that stream, so an expansion bug cannot
+//! hide as an engine-vs-engine difference in the differential tests.
+//!
+//! Expansion rules:
+//!
+//! - every atomic operation with a non-empty cost vector becomes one
+//!   micro-operation; atomics with empty costs (and basic ops that expand
+//!   to no atomics at all, e.g. `Nop`) produce nothing;
+//! - micros of one operation are chained in expansion order (micro *k+1*
+//!   depends on micro *k*);
+//! - the first micro of an operation depends on the *finish set* of every
+//!   producer operation. An operation that produced no micros contributes
+//!   its own finish set transitively, so a dependence chain through a
+//!   zero-cost operation is preserved instead of silently dropped (the
+//!   pre-rewrite scheduler filtered such producers out, letting dependents
+//!   issue before their transitive producers).
+//!
+//! The expanded stream is stored flat (CSR offsets into shared cost and
+//! dependence arrays, parallel scalar columns) rather than as a vector of
+//! per-micro structs: both engines walk it linearly in their hot loops,
+//! and the N-copy streams `simulate_loop` builds replicate a block by
+//! appending slices with shifted indices — no per-copy re-walk of the
+//! machine tables and no per-micro allocations.
+
+use crate::scheduler::{SimError, SimResult};
+use presage_machine::{MachineDesc, UnitClass};
+use presage_translate::BlockIr;
+use std::collections::HashMap;
+
+/// One schedulable micro-operation, used only during per-block expansion
+/// before flattening into a [`MicroStream`].
+struct Micro {
+    /// `(class, noncoverable, coverable)` per functional-unit component.
+    costs: Vec<(UnitClass, u32, u32)>,
+    /// Result latency (max `noncoverable + coverable` over components).
+    latency: u32,
+    /// Indices of micros that must finish before this one may issue
+    /// (sorted, deduplicated, always pointing at earlier micros).
+    deps: Vec<usize>,
+    /// Critical-path priority (longest latency chain to any sink).
+    priority: u32,
+    /// Which source op this belongs to. The op's *first* micro records
+    /// the op's issue cycle; later micros of the same op never overwrite
+    /// it.
+    source_op: usize,
+}
+
+/// A fully expanded multi-block operation stream in flat CSR form, ready
+/// for scheduling. All columns are index-aligned by micro.
+pub(crate) struct MicroStream {
+    /// Number of micros in the stream.
+    pub n: usize,
+    /// Total number of source operations across all blocks (the length of
+    /// [`SimResult::issue_cycles`]).
+    pub n_ops: usize,
+    /// CSR offsets into `costs` (length `n + 1`).
+    pub costs_off: Vec<u32>,
+    /// Flattened `(class, noncoverable, coverable)` components.
+    pub costs: Vec<(UnitClass, u32, u32)>,
+    /// CSR offsets into `deps` (length `n + 1`).
+    pub deps_off: Vec<u32>,
+    /// Flattened dependence edges (always pointing at earlier micros).
+    pub deps: Vec<u32>,
+    /// Result latency per micro.
+    pub latency: Vec<u32>,
+    /// Critical-path priority per micro.
+    pub priority: Vec<u32>,
+    /// Source operation per micro.
+    pub source_op: Vec<u32>,
+}
+
+impl MicroStream {
+    pub(crate) fn costs_of(&self, i: usize) -> &[(UnitClass, u32, u32)] {
+        &self.costs[self.costs_off[i] as usize..self.costs_off[i + 1] as usize]
+    }
+
+    pub(crate) fn deps_of(&self, i: usize) -> &[u32] {
+        &self.deps[self.deps_off[i] as usize..self.deps_off[i + 1] as usize]
+    }
+}
+
+/// Expands one block into `micros`, threading dependences through
+/// operations whose entire expansion has empty costs.
+fn expand_block(machine: &MachineDesc, block: &BlockIr, micros: &mut Vec<Micro>) {
+    // finish_of_op[i]: the micro indices a dependent of op i must wait on.
+    // One element for ops with micros; the (transitively resolved) union
+    // of the producers' finish sets for micro-less ops.
+    let mut finish_of_op: Vec<Vec<usize>> = Vec::with_capacity(block.ops.len());
+    for (i, op) in block.ops.iter().enumerate() {
+        let mut dep_micros: Vec<usize> = Vec::new();
+        for d in block.deps_of(op) {
+            let d = d.0 as usize;
+            // Dependences must point at earlier ops; a forward edge cannot
+            // be scheduled and is dropped (translated blocks never contain
+            // one — see the crate docs).
+            debug_assert!(d < i, "forward dependence edge {d} -> {i}");
+            if let Some(fs) = finish_of_op.get(d) {
+                dep_micros.extend_from_slice(fs);
+            }
+        }
+        dep_micros.sort_unstable();
+        dep_micros.dedup();
+        let mut last: Option<usize> = None;
+        for atomic_id in machine.expand(op.basic) {
+            let atomic = machine.atomic(*atomic_id);
+            if atomic.costs.is_empty() {
+                continue;
+            }
+            let deps = match last {
+                None => dep_micros.clone(),
+                Some(l) => vec![l],
+            };
+            micros.push(Micro {
+                costs: atomic
+                    .costs
+                    .iter()
+                    .map(|c| (c.class, c.noncoverable, c.coverable))
+                    .collect(),
+                latency: atomic.latency(),
+                deps,
+                priority: 0,
+                source_op: i,
+            });
+            last = Some(micros.len() - 1);
+        }
+        finish_of_op.push(match last {
+            Some(l) => vec![l],
+            None => dep_micros,
+        });
+    }
+}
+
+/// One expanded block in flat form, ready to be replicated into a stream.
+struct FlatBlock {
+    n_ops: usize,
+    n: usize,
+    costs_off: Vec<u32>,
+    costs: Vec<(UnitClass, u32, u32)>,
+    deps_off: Vec<u32>,
+    deps: Vec<u32>,
+    latency: Vec<u32>,
+    priority: Vec<u32>,
+    source_op: Vec<u32>,
+}
+
+fn flatten_block(machine: &MachineDesc, block: &BlockIr) -> FlatBlock {
+    let mut micros: Vec<Micro> = Vec::new();
+    expand_block(machine, block, &mut micros);
+
+    // Critical-path priorities: reverse topological accumulation (deps
+    // always point at earlier micros, so reverse index order suffices).
+    let mut priority = vec![0u32; micros.len()];
+    for i in (0..micros.len()).rev() {
+        let p = priority[i] + micros[i].latency;
+        for &d in &micros[i].deps {
+            if priority[d] < p {
+                priority[d] = p;
+            }
+        }
+    }
+    for (m, p) in micros.iter_mut().zip(&priority) {
+        m.priority = *p;
+    }
+
+    let mut flat = FlatBlock {
+        n_ops: block.ops.len(),
+        n: micros.len(),
+        costs_off: Vec::with_capacity(micros.len() + 1),
+        costs: Vec::new(),
+        deps_off: Vec::with_capacity(micros.len() + 1),
+        deps: Vec::new(),
+        latency: Vec::with_capacity(micros.len()),
+        priority: Vec::with_capacity(micros.len()),
+        source_op: Vec::with_capacity(micros.len()),
+    };
+    flat.costs_off.push(0);
+    flat.deps_off.push(0);
+    for m in &micros {
+        flat.costs.extend_from_slice(&m.costs);
+        flat.costs_off.push(flat.costs.len() as u32);
+        flat.deps.extend(m.deps.iter().map(|&d| d as u32));
+        flat.deps_off.push(flat.deps.len() as u32);
+        flat.latency.push(m.latency);
+        flat.priority.push(m.priority);
+        flat.source_op.push(m.source_op as u32);
+    }
+    flat
+}
+
+/// Expands a sequence of blocks as one stream with **independent**
+/// inter-block dependences (each block's deps are internal) and computes
+/// critical-path priorities.
+///
+/// Because inter-block dependences never exist, a block's expansion —
+/// including its priorities — is position-independent: repeated blocks
+/// (the N-copy streams `simulate_loop` builds) are expanded once and
+/// replicated with shifted indices instead of re-walked per copy.
+pub(crate) fn expand_blocks<'a>(
+    machine: &MachineDesc,
+    blocks: impl IntoIterator<Item = &'a BlockIr>,
+) -> MicroStream {
+    // Tiny pointer-keyed expansion cache; streams rarely contain more
+    // than a handful of distinct blocks.
+    let mut cache: Vec<(*const BlockIr, FlatBlock)> = Vec::new();
+    let mut out = MicroStream {
+        n: 0,
+        n_ops: 0,
+        costs_off: vec![0],
+        costs: Vec::new(),
+        deps_off: vec![0],
+        deps: Vec::new(),
+        latency: Vec::new(),
+        priority: Vec::new(),
+        source_op: Vec::new(),
+    };
+    for block in blocks {
+        let ptr = block as *const BlockIr;
+        if !cache.iter().any(|(p, _)| *p == ptr) {
+            cache.push((ptr, flatten_block(machine, block)));
+        }
+        let flat = &cache.iter().find(|(p, _)| *p == ptr).expect("just inserted").1;
+        let micro_base = out.n as u32;
+        let cost_base = out.costs.len() as u32;
+        let dep_base = out.deps.len() as u32;
+        let op_base = out.n_ops as u32;
+        out.costs.extend_from_slice(&flat.costs);
+        out.costs_off.extend(flat.costs_off[1..].iter().map(|o| o + cost_base));
+        out.deps.extend(flat.deps.iter().map(|d| d + micro_base));
+        out.deps_off.extend(flat.deps_off[1..].iter().map(|o| o + dep_base));
+        out.latency.extend_from_slice(&flat.latency);
+        out.priority.extend_from_slice(&flat.priority);
+        out.source_op.extend(flat.source_op.iter().map(|s| s + op_base));
+        out.n += flat.n;
+        out.n_ops += flat.n_ops;
+    }
+    out
+}
+
+/// Accumulates per-class busy cycles into the map a [`SimResult`] carries.
+pub(crate) fn busy_map(per_class: &[(UnitClass, u32)]) -> HashMap<UnitClass, u32> {
+    let mut out = HashMap::new();
+    for &(class, busy) in per_class {
+        if busy > 0 {
+            *out.entry(class).or_insert(0) += busy;
+        }
+    }
+    out
+}
+
+/// Shared steady-state loop measurement over any block simulator.
+pub(crate) fn loop_measurement(
+    body: &BlockIr,
+    iterations: u32,
+    mut sim: impl FnMut(&[&BlockIr]) -> Result<SimResult, SimError>,
+) -> Result<(u32, f64), SimError> {
+    assert!(iterations >= 2, "need at least two iterations");
+    let first = sim(&[body])?.makespan;
+    let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
+    let total = sim(&copies)?.makespan;
+    let steady = (total - first) as f64 / (iterations - 1) as f64;
+    Ok((first, steady))
+}

@@ -1,0 +1,235 @@
+//! Retained cycle-driven list scheduler — the oracle for
+//! [`crate::scheduler`].
+//!
+//! This is the original reference engine (the repo's established oracle
+//! pattern, like `core::reference::NaivePlacer` and `symbolic::reference`):
+//! at each cycle every ready micro-operation is considered in
+//! critical-path priority order and issued if all its functional-unit
+//! components are free, with per-instance `Vec<bool>` busy bitmaps and the
+//! clock advancing one cycle at a time. The event-driven engine must
+//! produce bit-identical makespans, issue cycles, and per-class busy
+//! counts (see `tests/differential.rs`); anything this engine computes in
+//! O(cycles × micros × unit-instances), the event-driven engine computes
+//! by jumping between completion/free events.
+//!
+//! Both engines share the micro-operation expansion in `crate::micro`
+//! (including the dependence-threading fix for zero-cost operations), so
+//! the differential test isolates exactly the scheduling algorithms.
+
+use crate::micro::{busy_map, expand_blocks, loop_measurement};
+use crate::scheduler::{SimError, SimResult};
+use presage_machine::{MachineDesc, UnitClass};
+use presage_translate::BlockIr;
+
+/// Cycle budget before the reference declares non-convergence. Generous:
+/// every well-formed stream retires at least one micro every
+/// `max_latency × micros` cycles.
+const CYCLE_CAP: u32 = 10_000_000;
+
+/// Free/busy timeline per unit instance.
+struct Timeline {
+    class: UnitClass,
+    busy: Vec<bool>,
+}
+
+impl Timeline {
+    fn is_free(&self, start: u32, len: u32) -> bool {
+        (start..start + len).all(|t| !self.busy.get(t as usize).copied().unwrap_or(false))
+    }
+
+    fn reserve(&mut self, start: u32, len: u32) {
+        let end = (start + len) as usize;
+        if self.busy.len() < end {
+            self.busy.resize(end.max(self.busy.len() * 2), false);
+        }
+        for t in start..start + len {
+            self.busy[t as usize] = true;
+        }
+    }
+}
+
+/// Simulates one straight-line block with the cycle-driven engine.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if the stream is not fully issued
+/// within the cycle budget.
+pub fn simulate_block(machine: &MachineDesc, block: &BlockIr) -> Result<SimResult, SimError> {
+    simulate_blocks(machine, std::iter::once(block))
+}
+
+/// Simulates a sequence of blocks as one stream with **independent**
+/// inter-block dependences, cycle by cycle. See
+/// [`crate::scheduler::simulate_blocks`] for the stream semantics.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if the stream is not fully issued
+/// within the cycle budget.
+pub fn simulate_blocks<'a>(
+    machine: &MachineDesc,
+    blocks: impl IntoIterator<Item = &'a BlockIr>,
+) -> Result<SimResult, SimError> {
+    let stream = expand_blocks(machine, blocks);
+    let n = stream.n;
+
+    let mut timelines: Vec<Timeline> = Vec::new();
+    for pool in machine.units() {
+        for _ in 0..pool.count {
+            timelines.push(Timeline { class: pool.class, busy: Vec::new() });
+        }
+    }
+
+    let mut finish = vec![u32::MAX; n];
+    let mut issued = vec![false; n];
+    let mut issue_of_op: Vec<Option<u32>> = vec![None; stream.n_ops];
+    let mut remaining = n;
+    let mut cycle: u32 = 0;
+    let mut makespan = 0;
+    // Static scan order: priority descending, stream position ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| stream.priority[*b].cmp(&stream.priority[*a]).then(a.cmp(b)));
+
+    while remaining > 0 {
+        for &i in &order {
+            if issued[i] {
+                continue;
+            }
+            // Ready: all deps finished by this cycle.
+            let ready = stream
+                .deps_of(i)
+                .iter()
+                .all(|&d| finish[d as usize] != u32::MAX && finish[d as usize] <= cycle);
+            if !ready {
+                continue;
+            }
+            // Structural: each component needs a free instance now.
+            let mut picks: Vec<(usize, u32)> = Vec::new();
+            let ok = stream.costs_of(i).iter().all(|&(class, noncov, _)| {
+                if noncov == 0 {
+                    return true;
+                }
+                match timelines.iter().enumerate().find(|(ti, t)| {
+                    t.class == class
+                        && t.is_free(cycle, noncov)
+                        && !picks.iter().any(|(pi, _)| pi == ti)
+                }) {
+                    Some((ti, _)) => {
+                        picks.push((ti, noncov));
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            for (ti, len) in picks {
+                timelines[ti].reserve(cycle, len);
+            }
+            issued[i] = true;
+            finish[i] = cycle + stream.latency[i];
+            makespan = makespan.max(finish[i]);
+            let op = stream.source_op[i] as usize;
+            if issue_of_op[op].is_none() {
+                issue_of_op[op] = Some(cycle);
+            }
+            remaining -= 1;
+        }
+        cycle += 1;
+        if cycle >= CYCLE_CAP {
+            return Err(SimError::NonConvergence { remaining });
+        }
+    }
+
+    let per_class: Vec<(UnitClass, u32)> = timelines
+        .iter()
+        .map(|t| (t.class, t.busy.iter().filter(|b| **b).count() as u32))
+        .collect();
+    Ok(SimResult { makespan, issue_cycles: issue_of_op, unit_busy: busy_map(&per_class) })
+}
+
+/// Simulates `iterations` overlapped copies of a loop body and reports
+/// `(first_iteration_makespan, steady_cycles_per_iteration)`.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if either stream is not fully
+/// issued within the cycle budget.
+///
+/// # Panics
+///
+/// Panics if `iterations < 2`.
+pub fn simulate_loop(
+    machine: &MachineDesc,
+    body: &BlockIr,
+    iterations: u32,
+) -> Result<(u32, f64), SimError> {
+    loop_measurement(body, iterations, |blocks| simulate_blocks(machine, blocks.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::{machines, BasicOp};
+    use presage_translate::ValueDef;
+
+    fn chain(n: usize) -> BlockIr {
+        let mut b = BlockIr::new();
+        let mut v = b.add_value(ValueDef::External("x".into()));
+        for _ in 0..n {
+            v = b.emit(BasicOp::FAdd, vec![v, v]);
+        }
+        b
+    }
+
+    #[test]
+    fn chain_pays_full_latency() {
+        let m = machines::power_like();
+        let r = simulate_block(&m, &chain(5)).unwrap();
+        assert_eq!(r.makespan, 10, "5 × latency-2 adds");
+    }
+
+    #[test]
+    fn issue_cycles_are_first_micro() {
+        // On risc1 an FMA decomposes into two chained micros; the op's
+        // issue cycle is the first micro's, not the last's.
+        let m = machines::risc1();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::Fma, vec![x, x, x]);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0)]);
+        assert_eq!(r.makespan, 6, "two chained 1+2 micros");
+    }
+
+    #[test]
+    fn dependence_threads_through_zero_cost_op() {
+        // Regression (PR 4): a producer whose entire expansion has empty
+        // costs used to vanish from its dependents' dep sets, letting
+        // them issue at cycle 0 before their transitive producers.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let a = b.emit(BasicOp::FAdd, vec![x, x]);
+        let n = b.emit(BasicOp::Nop, vec![a]);
+        b.emit(BasicOp::FAdd, vec![n, n]);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0), None, Some(2)]);
+        assert_eq!(r.makespan, 4);
+    }
+
+    #[test]
+    fn chained_zero_cost_ops_thread_transitively() {
+        // fadd -> nop -> nop -> fadd still pays the producer's latency.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let a = b.emit(BasicOp::FAdd, vec![x, x]);
+        let n1 = b.emit(BasicOp::Nop, vec![a]);
+        let n2 = b.emit(BasicOp::Nop, vec![n1]);
+        b.emit(BasicOp::FAdd, vec![n2, n2]);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0), None, None, Some(2)]);
+    }
+}

@@ -1,102 +1,142 @@
-//! Reference cycle-accurate list scheduler.
+//! Event-driven cycle-accurate list scheduler.
 //!
-//! Plays the role of the paper's trusted reference (IBM xlf's per-
-//! instruction cycle counts): a detailed critical-path list scheduler over
-//! the same atomic-operation streams, with full dependence tracking and
-//! structural hazards, and none of the cost model's approximations (no
-//! focus span, no greedy lowest-slot placement). Scheduling is
-//! cycle-driven: at each cycle every ready operation is considered in
-//! critical-path priority order and issued if all its functional-unit
-//! components are free.
+//! Semantically identical to the retained cycle-driven reference
+//! ([`crate::reference`], the repo's oracle for this engine — see the
+//! differential tests), but time never advances one cycle at a time.
+//! Instead:
+//!
+//! - micros whose dependences have all finished sit in a **ready queue**
+//!   ordered by critical-path priority (ties broken by stream position,
+//!   exactly the reference's static scan order);
+//! - every functional-unit instance is a single **next-free time** rather
+//!   than a `Vec<bool>` bitmap — reservations always begin at the current
+//!   event time, so each instance's busy intervals collapse to their
+//!   maximum end point;
+//! - the clock jumps straight to the next **event**: a dependence finish
+//!   or a unit-instance release. An unpipelined 19-cycle divide costs one
+//!   event, not 19 full rescans of the pending stream.
+//!
+//! Equivalence with the per-cycle scan rests on two facts. First, a pass
+//! at event time `t` replays the reference's cycle-`t` scan verbatim
+//! (same order, same readiness test, same structural-hazard test), so a
+//! pass at a time where the reference issues nothing is a no-op. Second,
+//! between events nothing a micro is waiting for can change: readiness
+//! flips only at a dependence finish, and unit availability — monotone in
+//! time, because every reserved interval starts in the past — flips only
+//! at a reservation end; both are always in the event queue.
 
+use crate::micro::{busy_map, expand_blocks, loop_measurement};
 use presage_machine::{MachineDesc, UnitClass};
 use presage_translate::BlockIr;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 
 /// Result of simulating an operation stream.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SimResult {
     /// Cycle at which the last result becomes available.
     pub makespan: u32,
-    /// Issue cycle of each operation (index-aligned with the input ops).
-    pub issue_cycles: Vec<u32>,
+    /// Issue cycle of each operation (index-aligned with the input ops),
+    /// taken from the operation's *first* micro. `None` for operations
+    /// whose entire expansion has empty costs — they occupy no unit and
+    /// never issue, which is distinct from a real cycle-0 issue.
+    pub issue_cycles: Vec<Option<u32>>,
     /// Busy cycles per unit class.
     pub unit_busy: HashMap<UnitClass, u32>,
 }
 
-/// One schedulable micro-operation (an atomic op instance).
-struct Micro {
-    costs: Vec<(UnitClass, u32, u32)>, // (class, noncoverable, coverable)
-    latency: u32,
-    deps: Vec<usize>,
-    /// Critical-path priority (longest latency chain to any sink).
-    priority: u32,
-    /// Which source op this belongs to (last micro holds the result).
-    source_op: usize,
+/// A simulation that could not run to completion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The scheduler could not retire every micro-operation: either the
+    /// cycle budget ran out (cycle-driven reference) or the event queue
+    /// drained with work outstanding (event-driven engine, e.g. a
+    /// malformed dependence cycle). Carries the number of micros left.
+    NonConvergence {
+        /// Micro-operations still unissued when the engine gave up.
+        remaining: usize,
+    },
 }
 
-/// Free/busy timeline per unit instance.
-struct Timeline {
-    class: UnitClass,
-    busy: Vec<bool>,
-}
-
-impl Timeline {
-    fn is_free(&self, start: u32, len: u32) -> bool {
-        (start..start + len).all(|t| !self.busy.get(t as usize).copied().unwrap_or(false))
-    }
-
-    fn reserve(&mut self, start: u32, len: u32) {
-        let end = (start + len) as usize;
-        if self.busy.len() < end {
-            self.busy.resize(end.max(self.busy.len() * 2), false);
-        }
-        for t in start..start + len {
-            self.busy[t as usize] = true;
-        }
-    }
-}
-
-/// Expands a block into micro-operations with dependence edges.
-fn expand(machine: &MachineDesc, block: &BlockIr, micros: &mut Vec<Micro>, op_finish_micro: &mut Vec<usize>) {
-    const NO_MICRO: usize = usize::MAX;
-    let base: Vec<usize> = Vec::new();
-    let _ = base;
-    for (i, op) in block.ops.iter().enumerate() {
-        let dep_micros: Vec<usize> = block
-            .deps_of(op)
-            .into_iter()
-            .map(|d| op_finish_micro[d.0 as usize])
-            .filter(|m| *m != NO_MICRO)
-            .collect();
-        let expansion = machine.expand(op.basic);
-        let mut last = NO_MICRO;
-        for (k, atomic_id) in expansion.iter().enumerate() {
-            let atomic = machine.atomic(*atomic_id);
-            if atomic.costs.is_empty() {
-                continue;
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NonConvergence { remaining } => {
+                write!(f, "simulator failed to converge ({remaining} micro-ops unissued)")
             }
-            let deps = if last == NO_MICRO { dep_micros.clone() } else { vec![last] };
-            micros.push(Micro {
-                costs: atomic
-                    .costs
-                    .iter()
-                    .map(|c| (c.class, c.noncoverable, c.coverable))
-                    .collect(),
-                latency: atomic.latency(),
-                deps,
-                priority: 0,
-                source_op: i,
-            });
-            last = micros.len() - 1;
-            let _ = k;
         }
-        op_finish_micro.push(last);
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Ready-queue key: critical-path priority descending, then stream
+/// position ascending — the reference's static scan order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    priority: u32,
+    index: std::cmp::Reverse<usize>,
+}
+
+impl ReadyKey {
+    fn new(priority: u32, i: usize) -> ReadyKey {
+        ReadyKey { priority, index: std::cmp::Reverse(i) }
+    }
+}
+
+/// Per-class pools of unit-instance next-free times.
+struct Units {
+    /// `(class, next_free per instance, busy cycles accumulated)`.
+    pools: Vec<(UnitClass, Vec<u32>, u32)>,
+}
+
+impl Units {
+    fn new(machine: &MachineDesc) -> Units {
+        Units {
+            pools: machine
+                .units()
+                .iter()
+                .map(|p| (p.class, vec![0u32; p.count as usize], 0u32))
+                .collect(),
+        }
+    }
+
+    /// The pool index backing `class`, if the machine has one.
+    fn pool_of(&self, class: UnitClass) -> Option<usize> {
+        self.pools.iter().position(|(c, _, _)| *c == class)
+    }
+
+    /// Finds a free instance in pool `pi` at time `now`, skipping
+    /// instances already picked for another component of the same micro.
+    fn find_free_in(&self, pi: usize, now: u32, picks: &[(usize, usize, u32)]) -> Option<usize> {
+        let frees = &self.pools[pi].1;
+        for (ui, free) in frees.iter().enumerate() {
+            if *free <= now && !picks.iter().any(|&(p, u, _)| p == pi && u == ui) {
+                return Some(ui);
+            }
+        }
+        None
+    }
+
+    fn reserve(&mut self, pool: usize, unit: usize, now: u32, len: u32) {
+        let (_, frees, busy) = &mut self.pools[pool];
+        debug_assert!(frees[unit] <= now);
+        frees[unit] = now + len;
+        *busy += len;
+    }
+
+    fn busy_per_class(&self) -> Vec<(UnitClass, u32)> {
+        self.pools.iter().map(|(c, _, b)| (*c, *b)).collect()
     }
 }
 
 /// Simulates one straight-line block.
-pub fn simulate_block(machine: &MachineDesc, block: &BlockIr) -> SimResult {
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if the stream cannot be fully
+/// scheduled (only possible for malformed dependence structures).
+pub fn simulate_block(machine: &MachineDesc, block: &BlockIr) -> Result<SimResult, SimError> {
     simulate_blocks(machine, std::iter::once(block))
 }
 
@@ -104,133 +144,240 @@ pub fn simulate_block(machine: &MachineDesc, block: &BlockIr) -> SimResult {
 /// inter-block dependences (each block's deps are internal), modeling
 /// fully overlapped loop iterations; use it with `n` copies of a loop body
 /// to measure steady-state iteration cost.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if the stream cannot be fully
+/// scheduled.
 pub fn simulate_blocks<'a>(
     machine: &MachineDesc,
     blocks: impl IntoIterator<Item = &'a BlockIr>,
-) -> SimResult {
-    const NO_MICRO: usize = usize::MAX;
-    let mut micros: Vec<Micro> = Vec::new();
-    let mut issue_of_op: Vec<u32> = Vec::new();
-    let mut block_op_offsets: Vec<(usize, usize)> = Vec::new(); // (op offset, micro count before)
+) -> Result<SimResult, SimError> {
+    let stream = expand_blocks(machine, blocks);
+    let n = stream.n;
 
-    for block in blocks {
-        let mut op_finish: Vec<usize> = Vec::new();
-        let before = micros.len();
-        // Shift: expand records op indices local to the block; remap below.
-        expand(machine, block, &mut micros, &mut op_finish);
-        for m in &mut micros[before..] {
-            m.source_op += issue_of_op.len();
+    // Reverse adjacency (dependents of each micro) in CSR form.
+    let mut succ_off = vec![0u32; n + 1];
+    for &d in &stream.deps {
+        succ_off[d as usize + 1] += 1;
+    }
+    for i in 0..n {
+        succ_off[i + 1] += succ_off[i];
+    }
+    let mut succ = vec![0u32; succ_off[n] as usize];
+    let mut cursor = succ_off.clone();
+    for i in 0..n {
+        for &d in stream.deps_of(i) {
+            succ[cursor[d as usize] as usize] = i as u32;
+            cursor[d as usize] += 1;
         }
-        block_op_offsets.push((issue_of_op.len(), before));
-        issue_of_op.extend(std::iter::repeat(0).take(block.ops.len()));
-        let _ = op_finish;
     }
 
-    // Critical-path priorities: reverse topological accumulation.
-    let mut priority = vec![0u32; micros.len()];
-    for i in (0..micros.len()).rev() {
-        let p = priority[i] + micros[i].latency;
-        for &d in &micros[i].deps {
-            if d != NO_MICRO {
-                priority[d] = priority[d].max(p);
+    let mut unmet: Vec<u32> =
+        (0..n).map(|i| stream.deps_off[i + 1] - stream.deps_off[i]).collect();
+    let mut ready: BinaryHeap<ReadyKey> = BinaryHeap::new();
+    for (i, &u) in unmet.iter().enumerate() {
+        if u == 0 {
+            ready.push(ReadyKey::new(stream.priority[i], i));
+        }
+    }
+
+    // Event queues: dependence finishes promote dependents; pass times are
+    // the moments a cycle scan can make progress (all finish times plus
+    // all reservation ends).
+    let mut finish_events: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut pass_times: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+    pass_times.push(std::cmp::Reverse(0));
+
+    let mut units = Units::new(machine);
+    let n_pools = units.pools.len();
+    // Unit requirements per micro, pre-resolved to pool indices (CSR):
+    // `(pool, noncoverable length)` per component that actually occupies
+    // an instance; `u32::MAX` marks a class no pool backs. Resolving once
+    // keeps class→pool lookups out of every issue attempt.
+    let mut req_off = vec![0u32; n + 1];
+    let mut req: Vec<(u32, u32)> = Vec::with_capacity(stream.costs.len());
+    for i in 0..n {
+        for &(class, noncov, _) in stream.costs_of(i) {
+            if noncov > 0 {
+                let pi = units.pool_of(class).map_or(u32::MAX, |p| p as u32);
+                req.push((pi, noncov));
             }
         }
+        req_off[i + 1] = req.len() as u32;
     }
-    for (m, p) in micros.iter_mut().zip(&priority) {
-        m.priority = *p;
-    }
-
-    // Unit timelines.
-    let mut timelines: Vec<Timeline> = Vec::new();
-    for pool in machine.units() {
-        for _ in 0..pool.count {
-            timelines.push(Timeline { class: pool.class, busy: Vec::new() });
-        }
-    }
-
-    let n = micros.len();
-    let mut finish = vec![u32::MAX; n];
-    let mut issued = vec![false; n];
+    let mut issue_of_op: Vec<Option<u32>> = vec![None; stream.n_ops];
+    let mut makespan = 0u32;
     let mut remaining = n;
-    let mut cycle: u32 = 0;
-    let mut makespan = 0;
-    // Order micros by priority for the per-cycle scan.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|a, b| micros[*b].priority.cmp(&micros[*a].priority).then(a.cmp(b)));
+    let mut picks: Vec<(usize, usize, u32)> = Vec::new();
+    // Structurally stalled micros park in the queue of the pool that
+    // refused them and are reconsidered only at passes where that pool has
+    // an instance free — a micro blocked on the divider is not re-scanned
+    // at every event in between. (The reference re-scans it every cycle;
+    // every one of those scans fails, so skipping them is a no-op.)
+    let mut waiting: Vec<BinaryHeap<ReadyKey>> =
+        (0..n_pools).map(|_| BinaryHeap::new()).collect();
+    // (pool, key) pairs parked during the current pass, distributed into
+    // `waiting` only at pass end so one pass attempts each micro at most
+    // once — exactly the reference's single scan per cycle.
+    let mut parked: Vec<(usize, ReadyKey)> = Vec::new();
+    let mut free_count = vec![0u32; n_pools];
 
     while remaining > 0 {
-        for &i in &order {
-            if issued[i] {
-                continue;
+        let Some(std::cmp::Reverse(now)) = pass_times.pop() else {
+            return Err(SimError::NonConvergence { remaining });
+        };
+        while pass_times.peek() == Some(&std::cmp::Reverse(now)) {
+            pass_times.pop();
+        }
+
+        // Promote micros whose last dependence finished by `now`.
+        while let Some(&std::cmp::Reverse((t, i))) = finish_events.peek() {
+            if t > now {
+                break;
             }
-            let m = &micros[i];
-            // Ready: all deps finished by this cycle.
-            let ready = m.deps.iter().all(|&d| finish[d] != u32::MAX && finish[d] <= cycle);
-            if !ready {
-                continue;
-            }
-            // Structural: each component needs a free instance now.
-            let mut picks: Vec<(usize, u32)> = Vec::new();
-            let ok = m.costs.iter().all(|&(class, noncov, _)| {
-                if noncov == 0 {
-                    return true;
+            finish_events.pop();
+            let i = i as usize;
+            for &s in &succ[succ_off[i] as usize..succ_off[i + 1] as usize] {
+                let s = s as usize;
+                unmet[s] -= 1;
+                if unmet[s] == 0 {
+                    ready.push(ReadyKey::new(stream.priority[s], s));
                 }
-                match timelines
-                    .iter()
-                    .enumerate()
-                    .find(|(ti, t)| {
-                        t.class == class
-                            && t.is_free(cycle, noncov)
-                            && !picks.iter().any(|(pi, _)| pi == ti)
-                    }) {
-                    Some((ti, _)) => {
-                        picks.push((ti, noncov));
+            }
+        }
+
+        for (pi, (_, frees, _)) in units.pools.iter().enumerate() {
+            free_count[pi] = frees.iter().filter(|f| **f <= now).count() as u32;
+        }
+
+        // One scan in static priority order — exactly the reference's
+        // cycle-`now` pass restricted to micros that could issue: the
+        // ready queue plus every waiting queue whose pool has an instance
+        // free. Candidates are taken highest-key-first across the queues,
+        // so attempt order matches the reference's static scan; waiting
+        // queues of pools with nothing free are skipped wholesale, since
+        // every one of their micros would fail its structural test.
+        parked.clear();
+        loop {
+            let mut best: Option<(ReadyKey, usize)> = ready.peek().map(|&k| (k, n_pools));
+            for (pi, heap) in waiting.iter().enumerate() {
+                if free_count[pi] > 0 {
+                    if let Some(&k) = heap.peek() {
+                        if best.is_none_or(|(b, _)| k > b) {
+                            best = Some((k, pi));
+                        }
+                    }
+                }
+            }
+            let Some((key, src)) = best else { break };
+            if src == n_pools {
+                ready.pop();
+            } else {
+                waiting[src].pop();
+            }
+            let i = key.index.0;
+            let reqs = &req[req_off[i] as usize..req_off[i + 1] as usize];
+            // Fast path: some component's pool has nothing free — park
+            // there without probing instances.
+            if let Some(&(pi, _)) =
+                reqs.iter().find(|&&(pi, _)| pi != u32::MAX && free_count[pi as usize] == 0)
+            {
+                parked.push((pi as usize, key));
+                continue;
+            }
+            picks.clear();
+            let mut blocking_pool = None;
+            let fits = reqs.iter().all(|&(pi, len)| {
+                if pi == u32::MAX {
+                    // A class no pool backs can never issue.
+                    return false;
+                }
+                match units.find_free_in(pi as usize, now, &picks) {
+                    Some(ui) => {
+                        picks.push((pi as usize, ui, len));
                         true
                     }
-                    None => false,
+                    None => {
+                        blocking_pool = Some(pi as usize);
+                        false
+                    }
                 }
             });
-            if !ok {
+            if !fits {
+                if let Some(pi) = blocking_pool {
+                    parked.push((pi, key));
+                }
+                // A class no pool backs can never issue: leave the micro
+                // unqueued, and the drained event queue reports
+                // non-convergence with it still counted in `remaining`.
                 continue;
             }
-            for (ti, len) in picks {
-                timelines[ti].reserve(cycle, len);
+            for &(pi, ui, len) in &picks {
+                units.reserve(pi, ui, now, len);
+                free_count[pi] -= 1;
+                pass_times.push(std::cmp::Reverse(now + len));
             }
-            issued[i] = true;
-            finish[i] = cycle + micros[i].latency;
-            makespan = makespan.max(finish[i]);
-            issue_of_op[micros[i].source_op] = cycle;
+            let finish = now + stream.latency[i];
+            if makespan < finish {
+                makespan = finish;
+            }
+            let op = stream.source_op[i] as usize;
+            if issue_of_op[op].is_none() {
+                issue_of_op[op] = Some(now);
+            }
             remaining -= 1;
+            if stream.latency[i] == 0 {
+                // Immediate finish: dependents become ready mid-pass, just
+                // as the reference's live readiness test would see them.
+                for &s in &succ[succ_off[i] as usize..succ_off[i + 1] as usize] {
+                    let s = s as usize;
+                    unmet[s] -= 1;
+                    if unmet[s] == 0 {
+                        ready.push(ReadyKey::new(stream.priority[s], s));
+                    }
+                }
+            } else {
+                finish_events.push(std::cmp::Reverse((finish, i as u32)));
+                pass_times.push(std::cmp::Reverse(finish));
+            }
         }
-        cycle += 1;
-        // Safety valve against scheduling bugs.
-        assert!(cycle < 10_000_000, "simulator failed to converge");
+        for (pi, key) in parked.drain(..) {
+            waiting[pi].push(key);
+        }
     }
 
-    let mut unit_busy: HashMap<UnitClass, u32> = HashMap::new();
-    for t in &timelines {
-        let busy = t.busy.iter().filter(|b| **b).count() as u32;
-        *unit_busy.entry(t.class).or_insert(0) += busy;
-    }
-    SimResult { makespan, issue_cycles: issue_of_op, unit_busy }
+    Ok(SimResult {
+        makespan,
+        issue_cycles: issue_of_op,
+        unit_busy: busy_map(&units.busy_per_class()),
+    })
 }
 
 /// Simulates `iterations` overlapped copies of a loop body and reports
 /// `(first_iteration_makespan, steady_cycles_per_iteration)`.
-pub fn simulate_loop(machine: &MachineDesc, body: &BlockIr, iterations: u32) -> (u32, f64) {
-    assert!(iterations >= 2, "need at least two iterations");
-    let first = simulate_block(machine, body).makespan;
-    let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
-    let total = simulate_blocks(machine, copies.iter().copied()).makespan;
-    let steady = (total - first) as f64 / (iterations - 1) as f64;
-    (first, steady)
+///
+/// # Errors
+///
+/// Returns [`SimError::NonConvergence`] if either stream cannot be fully
+/// scheduled.
+///
+/// # Panics
+///
+/// Panics if `iterations < 2`.
+pub fn simulate_loop(
+    machine: &MachineDesc,
+    body: &BlockIr,
+    iterations: u32,
+) -> Result<(u32, f64), SimError> {
+    loop_measurement(body, iterations, |blocks| simulate_blocks(machine, blocks.iter().copied()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use presage_machine::{machines, BasicOp};
-    use presage_translate::{BlockIr, ValueDef};
+    use presage_translate::ValueDef;
 
     fn chain(n: usize) -> BlockIr {
         let mut b = BlockIr::new();
@@ -253,29 +400,29 @@ mod tests {
     #[test]
     fn chain_pays_full_latency() {
         let m = machines::power_like();
-        let r = simulate_block(&m, &chain(5));
+        let r = simulate_block(&m, &chain(5)).unwrap();
         assert_eq!(r.makespan, 10, "5 × latency-2 adds");
     }
 
     #[test]
     fn independent_ops_pipeline() {
         let m = machines::power_like();
-        let r = simulate_block(&m, &independent(5));
+        let r = simulate_block(&m, &independent(5)).unwrap();
         assert_eq!(r.makespan, 6, "issue 1/cycle + final latency");
-        assert_eq!(r.unit_busy[&presage_machine::UnitClass::Fpu], 5);
+        assert_eq!(r.unit_busy[&UnitClass::Fpu], 5);
     }
 
     #[test]
     fn issue_cycles_respect_dependences() {
         let m = machines::power_like();
-        let r = simulate_block(&m, &chain(3));
-        assert_eq!(r.issue_cycles, vec![0, 2, 4]);
+        let r = simulate_block(&m, &chain(3)).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0), Some(2), Some(4)]);
     }
 
     #[test]
     fn wide_machine_dual_issues() {
         let m = machines::wide4();
-        let r = simulate_block(&m, &independent(8));
+        let r = simulate_block(&m, &independent(8)).unwrap();
         // Two FPU pipes: last pair issues at cycle 3, plus fadd latency 3.
         assert_eq!(r.makespan, 6);
     }
@@ -289,8 +436,9 @@ mod tests {
         let x = b.add_value(ValueDef::External("x".into()));
         b.emit(BasicOp::FDiv, vec![x, x]);
         b.emit(BasicOp::FDiv, vec![x, x]);
-        let r = simulate_block(&m, &b);
+        let r = simulate_block(&m, &b).unwrap();
         assert_eq!(r.makespan, 38);
+        assert_eq!(r.issue_cycles, vec![Some(0), Some(19)]);
     }
 
     #[test]
@@ -309,15 +457,15 @@ mod tests {
                 callee: None,
             });
         }
-        let r = simulate_block(&m, &b);
-        assert_eq!(r.unit_busy[&presage_machine::UnitClass::Fpu], 3);
-        assert_eq!(r.unit_busy[&presage_machine::UnitClass::Fxu], 3);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.unit_busy[&UnitClass::Fpu], 3);
+        assert_eq!(r.unit_busy[&UnitClass::Fxu], 3);
     }
 
     #[test]
     fn loop_steady_state() {
         let m = machines::power_like();
-        let (first, steady) = simulate_loop(&m, &chain(2), 8);
+        let (first, steady) = simulate_loop(&m, &chain(2), 8).unwrap();
         assert_eq!(first, 4);
         // Iterations are independent: the FPU issues 2 adds per iteration.
         assert!(steady <= 2.5, "got {steady}");
@@ -326,15 +474,42 @@ mod tests {
     #[test]
     fn empty_block() {
         let m = machines::power_like();
-        let r = simulate_block(&m, &BlockIr::new());
+        let r = simulate_block(&m, &BlockIr::new()).unwrap();
         assert_eq!(r.makespan, 0);
+        assert!(r.issue_cycles.is_empty());
     }
 
     #[test]
     fn risc1_serializes_everything() {
         let m = machines::risc1();
-        let r = simulate_block(&m, &independent(5));
+        let r = simulate_block(&m, &independent(5)).unwrap();
         // One ALU, 1-cycle issue, 3-cycle latency: 5 issues + tail.
         assert_eq!(r.makespan, 7);
+    }
+
+    #[test]
+    fn microless_op_has_no_issue_cycle() {
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        b.emit(BasicOp::FAdd, vec![x, x]);
+        b.emit(BasicOp::Nop, vec![]);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn dependence_threads_through_zero_cost_op() {
+        // fadd -> nop -> fadd: the trailing add must wait out the first
+        // add's latency even though its direct producer has no micros.
+        let m = machines::power_like();
+        let mut b = BlockIr::new();
+        let x = b.add_value(ValueDef::External("x".into()));
+        let a = b.emit(BasicOp::FAdd, vec![x, x]);
+        let n = b.emit(BasicOp::Nop, vec![a]);
+        b.emit(BasicOp::FAdd, vec![n, n]);
+        let r = simulate_block(&m, &b).unwrap();
+        assert_eq!(r.issue_cycles, vec![Some(0), None, Some(2)]);
+        assert_eq!(r.makespan, 4);
     }
 }

@@ -27,7 +27,10 @@ cargo test -q -p presage-core --test translation_cache
 echo "== canonicalization: malformed variants are rejected, not panics"
 cargo test -q -p presage-opt --test variant_rejection
 
-echo "== perfsuite --smoke (placement + prediction + translation + symbolic microbench)"
+echo "== simulator: event-driven engine differential proof vs cycle-driven oracle"
+cargo test -q -p presage-sim --test differential
+
+echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json
 rm -f BENCH_smoke.json
 

@@ -9,7 +9,7 @@ use presage_bench::tables::fig7_rows;
 
 #[test]
 fn tetris_model_tracks_reference_on_power_like() {
-    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default()).unwrap();
     assert_eq!(rows.len(), 10);
     for r in &rows {
         assert!(
@@ -28,7 +28,7 @@ fn tetris_model_tracks_reference_on_power_like() {
 #[test]
 fn tetris_model_tracks_reference_on_all_machines() {
     for machine in machines::all() {
-        let rows = fig7_rows(&machine, PlaceOptions::default());
+        let rows = fig7_rows(&machine, PlaceOptions::default()).unwrap();
         for r in &rows {
             assert!(
                 r.error_pct().abs() <= 15.0,
@@ -46,7 +46,7 @@ fn naive_model_overestimates_superscalar_kernels() {
     // The paper: "a conventional cost estimation model may be off by a
     // factor of ten or more". On the 1-FPU power-like machine the worst
     // factor is ~2×; on the 4-wide machine the Matmul block reaches 6×.
-    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default());
+    let rows = fig7_rows(&machines::power_like(), PlaceOptions::default()).unwrap();
     let matmul = rows.iter().find(|r| r.name == "Matmul").unwrap();
     assert!(
         matmul.naive_factor() >= 1.8,
@@ -54,7 +54,7 @@ fn naive_model_overestimates_superscalar_kernels() {
         matmul.naive_factor()
     );
 
-    let wide = fig7_rows(&machines::wide4(), PlaceOptions::default());
+    let wide = fig7_rows(&machines::wide4(), PlaceOptions::default()).unwrap();
     let matmul_wide = wide.iter().find(|r| r.name == "Matmul").unwrap();
     assert!(
         matmul_wide.naive_factor() >= 4.0,
@@ -68,7 +68,7 @@ fn naive_model_overestimates_superscalar_kernels() {
 #[test]
 fn naive_model_never_underestimates_reference() {
     for machine in machines::all() {
-        for r in fig7_rows(&machine, PlaceOptions::default()) {
+        for r in fig7_rows(&machine, PlaceOptions::default()).unwrap() {
             assert!(
                 r.naive >= r.reference,
                 "{} on {}: naive {} < reference {}",
@@ -85,8 +85,8 @@ fn naive_model_never_underestimates_reference() {
 fn focus_span_trades_accuracy_monotonically_at_extremes() {
     // A focus span of 1 must be no more accurate than the unbounded search.
     let machine = machines::power_like();
-    let tight = fig7_rows(&machine, PlaceOptions::with_focus_span(1));
-    let free = fig7_rows(&machine, PlaceOptions::default());
+    let tight = fig7_rows(&machine, PlaceOptions::with_focus_span(1)).unwrap();
+    let free = fig7_rows(&machine, PlaceOptions::default()).unwrap();
     let err = |rows: &[presage_bench::tables::Fig7Row]| {
         rows.iter().map(|r| r.error_pct().abs()).sum::<f64>() / rows.len() as f64
     };
@@ -122,7 +122,7 @@ fn imitation_ablation_shape() {
     let symbols = sema::analyze(&prog.units[0]).unwrap();
 
     let opt_ir = translate(&prog.units[0], &symbols, &imitating).unwrap();
-    let reference = simulate_block(&imitating, opt_ir.innermost_block().unwrap()).makespan;
+    let reference = simulate_block(&imitating, opt_ir.innermost_block().unwrap()).unwrap().makespan;
 
     let naive_ir = translate(&prog.units[0], &symbols, &oblivious).unwrap();
     let distorted = place_block(

@@ -354,7 +354,7 @@ fn naive_upper_bounds_everything() {
         let block = op_stream(&mut rng);
         for machine in [machines::power_like(), machines::risc1(), machines::wide4()] {
             let naive = naive_block_cost(&machine, &block);
-            let sim = simulate_block(&machine, &block).makespan;
+            let sim = simulate_block(&machine, &block).unwrap().makespan;
             let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
             assert!(sim <= naive, "sim {} > naive {} on {}", sim, naive, machine.name());
             assert!(placed <= naive, "placed {} > naive {} on {}", placed, naive, machine.name());
@@ -387,7 +387,7 @@ fn placement_respects_critical_path() {
         let bound = chain_bound.iter().copied().max().unwrap_or(0);
         let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
         assert!(placed >= bound, "placed {placed} < critical path {bound}");
-        let sim = simulate_block(&machine, &block).makespan;
+        let sim = simulate_block(&machine, &block).unwrap().makespan;
         assert!(sim >= bound, "sim {sim} < critical path {bound}");
     }
 }
@@ -404,7 +404,7 @@ fn prediction_tracks_simulator_within_factor() {
         // magnitude on anything.
         let machine = machines::power_like();
         let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
-        let sim = simulate_block(&machine, &block).makespan.max(1);
+        let sim = simulate_block(&machine, &block).unwrap().makespan.max(1);
         let ratio = placed as f64 / sim as f64;
         assert!((0.4..=2.0).contains(&ratio), "placed {placed} vs sim {sim}");
     }
