@@ -55,11 +55,15 @@ fn exhaustive(predictor: &Predictor, sub: &presage_frontend::Subroutine, n: f64)
     let mut best = eval(predictor, sub, n);
     let mut evaluated = 0;
     for (p1, t1) in moves(sub) {
-        let Ok(v1) = transformed(sub, &p1, &t1) else { continue };
+        let Ok(v1) = transformed(sub, &p1, &t1) else {
+            continue;
+        };
         evaluated += 1;
         best = best.min(eval(predictor, &v1, n));
         for (p2, t2) in moves(&v1) {
-            let Ok(v2) = transformed(&v1, &p2, &t2) else { continue };
+            let Ok(v2) = transformed(&v1, &p2, &t2) else {
+                continue;
+            };
             evaluated += 1;
             best = best.min(eval(predictor, &v2, n));
         }
@@ -68,7 +72,10 @@ fn exhaustive(predictor: &Predictor, sub: &presage_frontend::Subroutine, n: f64)
 }
 
 fn main() {
-    let sub = presage_frontend::parse(KERNEL).expect("valid").units.remove(0);
+    let sub = presage_frontend::parse(KERNEL)
+        .expect("valid")
+        .units
+        .remove(0);
     let predictor = Predictor::new(machines::power_like());
     let n = 1000.0;
 
@@ -88,7 +95,10 @@ fn main() {
         astar.best_cost,
         astar.speedup()
     );
-    println!("exhaustive best ({} evals): {:>12.0}", exhaustive_evals, exhaustive_best);
+    println!(
+        "exhaustive best ({} evals): {:>12.0}",
+        exhaustive_evals, exhaustive_best
+    );
     let gap = (astar.best_cost - exhaustive_best) / exhaustive_best * 100.0;
     println!("gap to optimum            : {gap:>11.1}%");
     println!("\nA* sequence:");

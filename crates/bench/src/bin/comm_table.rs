@@ -19,7 +19,10 @@ fn main() {
         "machine: P = {}, α = {} cycles/message, β = {} cycles/byte",
         params.procs, params.alpha, params.beta
     );
-    println!("one message of 1 KiB costs {} cycles\n", message_cost(&params, 1024.0));
+    println!(
+        "one message of 1 KiB costs {} cycles\n",
+        message_cost(&params, 1024.0)
+    );
 
     println!("2-D stencil halo exchange, per sweep (symbolic in n):");
     for (label, dist) in [
@@ -31,7 +34,10 @@ fn main() {
         println!("  {label:<10} C(n) = {c}");
     }
     println!("\nevaluated:");
-    println!("{:>8} {:>14} {:>14} {:>10}", "n", "block", "cyclic", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "n", "block", "cyclic", "ratio"
+    );
     for nv in [256.0, 1024.0, 4096.0] {
         let mut b = HashMap::new();
         b.insert(n.clone(), nv);
@@ -39,11 +45,17 @@ fn main() {
             .eval_with_defaults(&b);
         let cyclic = stencil_exchange_cost(&params, Distribution::Cyclic, &n, 1, range)
             .eval_with_defaults(&b);
-        println!("{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.1}×", cyclic / block);
+        println!(
+            "{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.1}×",
+            cyclic / block
+        );
     }
 
     println!("\ntriangular iteration space, max per-processor load:");
-    println!("{:>8} {:>14} {:>14} {:>10}", "n", "block", "cyclic", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "n", "block", "cyclic", "ratio"
+    );
     for nv in [256.0, 1024.0, 4096.0] {
         let mut b = HashMap::new();
         b.insert(n.clone(), nv);
@@ -51,7 +63,10 @@ fn main() {
             triangular_max_load(&params, Distribution::Block, &n, range).eval_with_defaults(&b);
         let cyclic =
             triangular_max_load(&params, Distribution::Cyclic, &n, range).eval_with_defaults(&b);
-        println!("{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.2}×", block / cyclic);
+        println!(
+            "{nv:>8} {block:>14.0} {cyclic:>14.0} {:>9.2}×",
+            block / cyclic
+        );
     }
     println!("\nblock wins stencils (surface-to-volume); cyclic wins triangular");
     println!("load balance — the symbolic comparison picks per program.");

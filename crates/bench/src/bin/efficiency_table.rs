@@ -28,7 +28,11 @@ fn synthetic_block(n: usize) -> BlockIr {
             3 => Fma,
             _ => LoadFloat,
         };
-        let args = if i % 3 == 0 { vec![prev, x] } else { vec![x, x] };
+        let args = if i % 3 == 0 {
+            vec![prev, x]
+        } else {
+            vec![x, x]
+        };
         prev = b.emit(basic, args);
     }
     b
@@ -54,7 +58,11 @@ fn main() {
         let reps = (100_000 / n).max(3);
         let t0 = Instant::now();
         for _ in 0..reps {
-            std::hint::black_box(place_block(&machine, &block, PlaceOptions::with_focus_span(32)));
+            std::hint::black_box(place_block(
+                &machine,
+                &block,
+                PlaceOptions::with_focus_span(32),
+            ));
         }
         let us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
         println!("{n:>8} {us:>14.1} {:>12.4}", us / n as f64);
@@ -79,19 +87,27 @@ fn main() {
         }
     }
     let sim_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
-    println!("  placement {place_us:.0} µs, simulator {sim_us:.0} µs ({:.1}× slower)", sim_us / place_us);
+    println!(
+        "  placement {place_us:.0} µs, simulator {sim_us:.0} µs ({:.1}× slower)",
+        sim_us / place_us
+    );
 
     // One warm-baseline lookup of the same block, to show what the tables
     // pay on unchanged kernels.
     let mut store = presage_sim::BaselineStore::new();
-    store.block_makespan(&machine, &block, simulate_block).expect("converges");
+    store
+        .block_makespan(&machine, &block, simulate_block)
+        .expect("converges");
     let t0 = Instant::now();
     for _ in 0..reps {
         std::hint::black_box(store.block_makespan(&machine, &block, simulate_block))
             .expect("served from store");
     }
     let warm_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
-    println!("  warm baseline lookup {warm_us:.1} µs ({:.0}× cheaper than simulating)", sim_us / warm_us);
+    println!(
+        "  warm baseline lookup {warm_us:.1} µs ({:.0}× cheaper than simulating)",
+        sim_us / warm_us
+    );
 
     println!("\nend-to-end prediction time vs. program size:");
     println!("{:>8} {:>14}", "loops", "time µs");
@@ -130,5 +146,8 @@ fn main() {
         std::hint::black_box(tree.replace(&[0], replacement.clone()));
     }
     let update_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
-    println!("  full build {build_us:.0} µs, incremental replace {update_us:.0} µs ({:.0}× cheaper)", build_us / update_us);
+    println!(
+        "  full build {build_us:.0} µs, incremental replace {update_us:.0} µs ({:.0}× cheaper)",
+        build_us / update_us
+    );
 }

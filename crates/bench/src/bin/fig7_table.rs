@@ -32,9 +32,7 @@ fn main() {
         println!("{}", render_fig7(&rows, machine.name()));
         let max_err = rows.iter().map(|r| r.error_pct().abs()).fold(0.0, f64::max);
         let worst_naive = rows.iter().map(|r| r.naive_factor()).fold(0.0, f64::max);
-        println!(
-            "max |error| = {max_err:.1}%   worst naive overestimate = {worst_naive:.2}×\n"
-        );
+        println!("max |error| = {max_err:.1}%   worst naive overestimate = {worst_naive:.2}×\n");
     }
     let (hits, misses) = store.stats();
     println!("simulator baselines: {hits} served from store, {misses} simulated fresh");

@@ -30,8 +30,15 @@ fn main() {
         }
     };
 
-    println!("focus-span sweep on {} ({} kernels)", machine.name(), blocks.len());
-    println!("{:>10} {:>12} {:>12} {:>14}", "span", "mean |err|%", "max |err|%", "time/block µs");
+    println!(
+        "focus-span sweep on {} ({} kernels)",
+        machine.name(),
+        blocks.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "span", "mean |err|%", "max |err|%", "time/block µs"
+    );
     let spans: Vec<Option<u32>> = vec![
         Some(1),
         Some(2),

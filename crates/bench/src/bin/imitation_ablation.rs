@@ -30,7 +30,10 @@ fn main() {
         strength_reduction: false,
     };
 
-    println!("back-end imitation ablation on {} (innermost blocks)", imitating.name());
+    println!(
+        "back-end imitation ablation on {} (innermost blocks)",
+        imitating.name()
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "kernel", "reference", "imitating", "oblivious", "imit err %", "obliv err %"

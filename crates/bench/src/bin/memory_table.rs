@@ -90,14 +90,23 @@ fn main() {
     let col = lines_at(COL_SCAN, 2048.0, &[]);
     let row = lines_at(ROW_SCAN, 2048.0, &[]);
     println!("  stride-1 scan a(i,j): {col:>14.0} line fills");
-    println!("  strided  scan a(j,i): {row:>14.0} line fills ({:.1}× worse)", row / col);
+    println!(
+        "  strided  scan a(j,i): {row:>14.0} line fills ({:.1}× worse)",
+        row / col
+    );
 
     println!("\nmatmul line fills vs n (blocked 32×32 vs untiled):");
-    println!("{:>8} {:>16} {:>16} {:>8}", "n", "untiled", "tiled(32)", "ratio");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "n", "untiled", "tiled(32)", "ratio"
+    );
     for n in [64.0, 128.0, 256.0, 512.0, 1024.0] {
         let untiled = lines_at(MATMUL, n, &[]);
         let tiled = lines_at(MATMUL_TILED, n, &[]);
-        println!("{n:>8} {untiled:>16.0} {tiled:>16.0} {:>8.2}", untiled / tiled);
+        println!(
+            "{n:>8} {untiled:>16.0} {tiled:>16.0} {:>8.2}",
+            untiled / tiled
+        );
     }
     println!("\nonce a row of the working set no longer fits in cache, the");
     println!("untiled version loses reuse and the tiled version wins — the");

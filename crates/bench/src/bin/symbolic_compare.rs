@@ -67,7 +67,11 @@ fn transformation_comparison() {
     ] {
         match compare_transform(&sub, &path, &t, &predictor) {
             Ok((_, cmp)) => {
-                print!("  {label:<12}: {:<22} Δ = {}", cmp.outcome.to_string(), cmp.difference);
+                print!(
+                    "  {label:<12}: {:<22} Δ = {}",
+                    cmp.outcome.to_string(),
+                    cmp.difference
+                );
                 if !cmp.crossovers.is_empty() {
                     print!("   crossovers at n = {:?}", cmp.crossovers);
                 }

@@ -134,16 +134,46 @@ pub const RB: &str = "subroutine redblack(a, n)
 /// The full Figure 7 row set, in the paper's order.
 pub fn figure7() -> Vec<Kernel> {
     vec![
-        Kernel { name: "F1", source: F1 },
-        Kernel { name: "F2", source: F2 },
-        Kernel { name: "F3", source: F3 },
-        Kernel { name: "F4", source: F4 },
-        Kernel { name: "F5", source: F5 },
-        Kernel { name: "F6", source: F6 },
-        Kernel { name: "F7", source: F7 },
-        Kernel { name: "Matmul", source: MATMUL },
-        Kernel { name: "Jacobi", source: JACOBI },
-        Kernel { name: "RB", source: RB },
+        Kernel {
+            name: "F1",
+            source: F1,
+        },
+        Kernel {
+            name: "F2",
+            source: F2,
+        },
+        Kernel {
+            name: "F3",
+            source: F3,
+        },
+        Kernel {
+            name: "F4",
+            source: F4,
+        },
+        Kernel {
+            name: "F5",
+            source: F5,
+        },
+        Kernel {
+            name: "F6",
+            source: F6,
+        },
+        Kernel {
+            name: "F7",
+            source: F7,
+        },
+        Kernel {
+            name: "Matmul",
+            source: MATMUL,
+        },
+        Kernel {
+            name: "Jacobi",
+            source: JACOBI,
+        },
+        Kernel {
+            name: "RB",
+            source: RB,
+        },
     ]
 }
 

@@ -65,12 +65,17 @@ pub fn fig7_rows_baselined(
     workers: usize,
 ) -> Result<Vec<Fig7Row>, SimError> {
     let kernels = figure7();
-    let blocks: Vec<_> = kernels.iter().map(|k| innermost_block(k.source, machine)).collect();
+    let blocks: Vec<_> = kernels
+        .iter()
+        .map(|k| innermost_block(k.source, machine))
+        .collect();
 
     // Partition into baseline hits and misses, then simulate only the
     // misses (in parallel) and record them for the next run.
-    let cached: Vec<Option<u32>> =
-        blocks.iter().map(|block| store.get_block(machine, block)).collect();
+    let cached: Vec<Option<u32>> = blocks
+        .iter()
+        .map(|block| store.get_block(machine, block))
+        .collect();
     let miss_jobs: Vec<(&MachineDesc, &presage_translate::BlockIr)> = blocks
         .iter()
         .zip(&cached)
@@ -91,7 +96,13 @@ pub fn fig7_rows_baselined(
         };
         let predicted = place_block(machine, block, opts).completion;
         let naive = naive_block_cost(machine, block);
-        rows.push(Fig7Row { name: k.name, ops: block.len(), predicted, reference, naive });
+        rows.push(Fig7Row {
+            name: k.name,
+            ops: block.len(),
+            predicted,
+            reference,
+            naive,
+        });
     }
     Ok(rows)
 }
@@ -100,7 +111,10 @@ pub fn fig7_rows_baselined(
 pub fn render_fig7(rows: &[Fig7Row], machine_name: &str) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 7 — straight-line prediction accuracy on {machine_name}");
+    let _ = writeln!(
+        out,
+        "Figure 7 — straight-line prediction accuracy on {machine_name}"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>5} {:>10} {:>10} {:>8} {:>10} {:>8}",
@@ -134,7 +148,11 @@ mod tests {
         for r in &rows {
             assert!(r.predicted > 0, "{}", r.name);
             assert!(r.reference > 0, "{}", r.name);
-            assert!(r.naive >= r.reference, "naive never beats the scheduler: {}", r.name);
+            assert!(
+                r.naive >= r.reference,
+                "naive never beats the scheduler: {}",
+                r.name
+            );
         }
     }
 
@@ -160,7 +178,10 @@ mod tests {
         assert_eq!(hits, 10, "warm run serves every kernel from the store");
         assert_eq!(misses, cold_misses, "warm run simulates nothing new");
         for (c, w) in cold.iter().zip(&warm) {
-            assert_eq!((c.reference, c.predicted, c.naive), (w.reference, w.predicted, w.naive));
+            assert_eq!(
+                (c.reference, c.predicted, c.naive),
+                (w.reference, w.predicted, w.naive)
+            );
         }
     }
 }

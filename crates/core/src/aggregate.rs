@@ -88,7 +88,11 @@ pub fn aggregate(
     library: Option<&LibraryCostTable>,
     opts: &AggregateOptions,
 ) -> PerfExpr {
-    let agg = Aggregator { machine, library, opts };
+    let agg = Aggregator {
+        machine,
+        library,
+        opts,
+    };
     let mut ctx = Vec::new();
     agg.nodes(&ir.root, &mut ctx)
 }
@@ -133,6 +137,19 @@ struct SchedMemo {
 }
 
 thread_local! {
+    /// Fresh-probability symbols keyed by condition content: the `p$<cond>`
+    /// name is stable for a given condition, and `Display`-formatting the
+    /// whole expression on every prediction showed up in profiles. A
+    /// 128-bit content key makes the steady state one hash + one clone.
+    static PROB_SYMS: RefCell<HashMap<u128, Symbol>> = RefCell::new(HashMap::new());
+
+    /// Loop-header content hash → `(count, lb)` polynomials. Trip counts
+    /// are pure in `(var, lb, ub, step)` and re-derived from identical
+    /// headers on every prediction of every variant; converting the bound
+    /// expressions to polynomials dominated the aggregation profile before
+    /// this memo.
+    static TRIP_MEMO: RefCell<HashMap<u128, (Poly, Poly)>> = RefCell::new(HashMap::new());
+
     static SCHED_MEMO: RefCell<SchedMemo> = RefCell::new(SchedMemo {
         seed: {
             let mut h = RandomState::new().build_hasher();
@@ -248,15 +265,7 @@ impl Aggregator<'_> {
     }
 
     pub(crate) fn wrap(&self, poly: Poly) -> PerfExpr {
-        let infos: Vec<(Symbol, VarInfo)> = poly
-            .symbols()
-            .into_iter()
-            .map(|s| {
-                let info = self.var_info(s.name());
-                (s, info)
-            })
-            .collect();
-        PerfExpr::from_poly(poly, infos)
+        PerfExpr::from_poly_with(poly, |s| self.var_info(s.name()))
     }
 
     pub(crate) fn nodes(&self, nodes: &[IrNode], ctx: &mut Vec<LoopCtx>) -> PerfExpr {
@@ -312,7 +321,11 @@ impl Aggregator<'_> {
         // body plus loop control into the bins repeatedly for steady-state
         // overlap; for compound bodies, aggregate children symbolically and
         // add the control cost.
-        ctx.push(LoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly.clone() });
+        ctx.push(LoopCtx {
+            var: l.var.clone(),
+            lb: lb_poly,
+            count: count_poly.clone(),
+        });
         let per_iter: PerfExpr = match &l.body[..] {
             [IrNode::Block(b)] if self.opts.steady_probes >= 2 => {
                 let per_iter = memo_steady(
@@ -342,7 +355,7 @@ impl Aggregator<'_> {
     /// the polynomial over the index in closed form (Faulhaber) when it
     /// does, otherwise multiplies by the trip count.
     pub(crate) fn iterate(&self, per_iter: PerfExpr, var: &str, frame: &LoopCtx) -> PerfExpr {
-        let var_sym = Symbol::new(var);
+        let var_sym = Symbol::interned(var);
         if per_iter.poly().contains_symbol(&var_sym) {
             // Unit-step assumption: lb + count − 1 is the inclusive upper
             // index expression in summation space.
@@ -369,41 +382,7 @@ impl Aggregator<'_> {
     /// tightest polynomial candidate: `do i = max(a,b), ub` runs at most
     /// `min_k (ub − arg_k)/step + 1` iterations.
     pub(crate) fn trip_count(&self, l: &LoopIr) -> (Poly, Poly) {
-        let step_const = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
-        let Some(s) = step_const.filter(|s| *s != 0) else {
-            return (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one());
-        };
-        let lbs = bound_candidates(&l.lb, Intrinsic::Max);
-        let ubs = bound_candidates(&l.ub, Intrinsic::Min);
-        let mut best: Option<Poly> = None;
-        for lbp in &lbs {
-            for ubp in &ubs {
-                let count = (ubp - lbp).scale(Rational::new(1, s as i128)) + Poly::one();
-                best = Some(match best {
-                    None => count,
-                    // Prefer a constant bound (the tight tail/tile case),
-                    // otherwise keep the first polynomial candidate.
-                    Some(prev) => match (prev.constant_value(), count.constant_value()) {
-                        (Some(a), Some(b)) => {
-                            if b < a {
-                                count
-                            } else {
-                                Poly::constant(a)
-                            }
-                        }
-                        (None, Some(_)) => count,
-                        _ => prev,
-                    },
-                });
-            }
-        }
-        match best {
-            Some(count) => {
-                let lb = lbs.first().cloned().unwrap_or_else(Poly::one);
-                (count, lb)
-            }
-            None => (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one()),
-        }
+        trip_count_memo(l)
     }
 
     pub(crate) fn if_cost(&self, i: &IfIr, ctx: &mut Vec<LoopCtx>) -> PerfExpr {
@@ -441,7 +420,7 @@ impl Aggregator<'_> {
                 return (self.wrap(p), pe);
             }
         }
-        let p = PerfExpr::var(Symbol::new(format!("p${cond}")), presage_symbolic::VarInfo::branch_prob());
+        let p = PerfExpr::var(prob_symbol(cond), presage_symbolic::VarInfo::branch_prob());
         let q = PerfExpr::cycles(1) - p.clone();
         (p, q)
     }
@@ -466,7 +445,7 @@ impl Aggregator<'_> {
         let loop_ctx = ctx.iter().rev().find(|c| c.var == var)?;
         let bound_poly = int_expr_to_poly(bound)?;
         // The bound must be invariant in the loop variable itself.
-        if bound_poly.contains_symbol(&Symbol::new(var)) {
+        if bound_poly.contains_symbol(&Symbol::interned(var)) {
             return None;
         }
 
@@ -502,6 +481,21 @@ fn flip(op: BinOp) -> BinOp {
     }
 }
 
+/// The probability symbol `p$<cond>` for a conditional without an inferable
+/// split, cached by condition content so the expression is formatted once
+/// per distinct condition per thread rather than once per prediction.
+fn prob_symbol(cond: &Expr) -> Symbol {
+    PROB_SYMS.with(|m| {
+        let mut m = m.borrow_mut();
+        let mut buf = Vec::with_capacity(32);
+        presage_frontend::fold::encode_expr(&mut buf, cond);
+        let key = fold128(&buf, presage_frontend::fold::AST_SEED);
+        m.entry(key)
+            .or_insert_with(|| Symbol::interned(&format!("p${cond}")))
+            .clone()
+    })
+}
+
 /// Appends a copy of `extra`'s operations to `block`, remapping ids.
 pub fn append_block(block: &mut BlockIr, extra: &BlockIr) {
     let value_offset = block.values.len() as u32;
@@ -533,9 +527,50 @@ pub fn append_block(block: &mut BlockIr, extra: &BlockIr) {
 /// Symbolic trip count of a loop, resolving `max`/`min` bound forms the
 /// same way [`Aggregator::trip_count`] does (used by the memory model).
 pub fn loop_trip_poly(l: &LoopIr) -> Poly {
-    let step = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
-    let Some(s) = step.filter(|s| *s != 0) else {
-        return Poly::var(Symbol::new(format!("trip${}", l.var)));
+    trip_count_memo(l).0
+}
+
+/// 128-bit content key over the loop header fields the trip count is pure
+/// in: the index variable and the `lb`/`ub`/`step` expressions.
+fn trip_key(l: &LoopIr) -> u128 {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(l.var.as_bytes());
+    buf.push(0xff);
+    presage_frontend::fold::encode_expr(&mut buf, &l.lb);
+    presage_frontend::fold::encode_expr(&mut buf, &l.ub);
+    if let Some(step) = &l.step {
+        presage_frontend::fold::encode_expr(&mut buf, step);
+    }
+    fold128(&buf, presage_frontend::fold::AST_SEED)
+}
+
+/// Memoized `(count, lb)` for a loop header (see [`TRIP_MEMO`]).
+fn trip_count_memo(l: &LoopIr) -> (Poly, Poly) {
+    TRIP_MEMO.with(|m| {
+        let key = trip_key(l);
+        if let Some(hit) = m.borrow().get(&key) {
+            return hit.clone();
+        }
+        let value = trip_count_uncached(l);
+        let mut m = m.borrow_mut();
+        if m.len() >= SCHED_MEMO_CAP {
+            m.clear();
+        }
+        m.insert(key, value.clone());
+        value
+    })
+}
+
+/// Symbolic trip count `(ub − lb)/step + 1` and the lower bound, resolving
+/// `max(...)` lower / `min(...)` upper bound forms (produced by unroll
+/// tails and tile inner loops) to the tightest polynomial candidate.
+fn trip_count_uncached(l: &LoopIr) -> (Poly, Poly) {
+    let step_const = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
+    let Some(s) = step_const.filter(|s| *s != 0) else {
+        return (
+            Poly::var(Symbol::interned(&format!("trip${}", l.var))),
+            Poly::one(),
+        );
     };
     let lbs = bound_candidates(&l.lb, Intrinsic::Max);
     let ubs = bound_candidates(&l.ub, Intrinsic::Min);
@@ -545,6 +580,8 @@ pub fn loop_trip_poly(l: &LoopIr) -> Poly {
             let count = (ubp - lbp).scale(Rational::new(1, s as i128)) + Poly::one();
             best = Some(match best {
                 None => count,
+                // Prefer a constant bound (the tight tail/tile case),
+                // otherwise keep the first polynomial candidate.
                 Some(prev) => match (prev.constant_value(), count.constant_value()) {
                     (Some(a), Some(b)) => {
                         if b < a {
@@ -559,7 +596,16 @@ pub fn loop_trip_poly(l: &LoopIr) -> Poly {
             });
         }
     }
-    best.unwrap_or_else(|| Poly::var(Symbol::new(format!("trip${}", l.var))))
+    match best {
+        Some(count) => {
+            let lb = lbs.first().cloned().unwrap_or_else(Poly::one);
+            (count, lb)
+        }
+        None => (
+            Poly::var(Symbol::interned(&format!("trip${}", l.var))),
+            Poly::one(),
+        ),
+    }
 }
 
 /// Polynomial candidates for a loop bound: the bound itself, or — when it
@@ -580,8 +626,11 @@ fn bound_candidates(e: &Expr, selector: Intrinsic) -> Vec<Poly> {
 pub fn int_expr_to_poly(e: &Expr) -> Option<Poly> {
     match e {
         Expr::IntLit(n) => Some(Poly::from(*n)),
-        Expr::Var(name) => Some(Poly::var(Symbol::new(name))),
-        Expr::Unary { op: UnOp::Neg, operand } => Some(-int_expr_to_poly(operand)?),
+        Expr::Var(name) => Some(Poly::var(Symbol::interned(name))),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Some(-int_expr_to_poly(operand)?),
         Expr::Binary { op, lhs, rhs } => {
             let l = int_expr_to_poly(lhs)?;
             let r = int_expr_to_poly(rhs)?;
@@ -644,7 +693,14 @@ mod tests {
         let n = Symbol::new("n");
         assert_eq!(c.poly().degree_in(&n), 1);
         // Linear coefficient is the per-iteration cost: positive, modest.
-        let per_iter = c.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        let per_iter = c
+            .poly()
+            .as_univariate(&n)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap();
         assert!(per_iter.to_f64() > 0.5 && per_iter.to_f64() < 40.0, "{c}");
     }
 
@@ -695,10 +751,27 @@ mod tests {
             &AggregateOptions::default(),
         );
         let n = Symbol::new("n");
-        let c_base = base.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
-        let c_step = stepped.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        let c_base = base
+            .poly()
+            .as_univariate(&n)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap();
+        let c_step = stepped
+            .poly()
+            .as_univariate(&n)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap();
         let ratio = c_base.to_f64() / c_step.to_f64();
-        assert!((ratio - 2.0).abs() < 0.3, "step-2 halves the trip count: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.3,
+            "step-2 halves the trip count: {ratio}"
+        );
     }
 
     #[test]
@@ -791,7 +864,10 @@ mod tests {
         let p = int_expr_to_poly(&e).unwrap();
         assert_eq!(p.to_string(), "1/2*n - 1/2");
         let bad = Expr::binary(BinOp::Div, Expr::Var("n".into()), Expr::Var("m".into()));
-        assert!(int_expr_to_poly(&bad).is_none(), "symbolic divisor unsupported");
+        assert!(
+            int_expr_to_poly(&bad).is_none(),
+            "symbolic divisor unsupported"
+        );
     }
 
     #[test]

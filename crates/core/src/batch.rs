@@ -1,0 +1,157 @@
+//! Batched + parallel source-level prediction across `(machine, program)`
+//! jobs.
+//!
+//! The restructuring workload predicts many independent programs — every
+//! kernel of a suite on every candidate machine — and each job is a pure
+//! function of its `(machine, source)` pair. This module fans a job list
+//! out over scoped threads with the same chunking pattern as
+//! `presage_simulator::batch` and the optimizer's parallel A* candidate
+//! evaluation: results come back in job order regardless of worker count,
+//! so callers stay deterministic, and `workers <= 1` degenerates to the
+//! sequential loop with no thread overhead.
+//!
+//! All workers share one sharded [`TranslationCache`] (repeated shapes
+//! translate once across the whole batch) and the process-global
+//! hash-consed polynomial arena (`presage_symbolic::intern`), whose
+//! thread-local mirrors sync append-only tails, so cross-thread polynomial
+//! identity costs no steady-state locking.
+
+use crate::predictor::{PredictError, Prediction, Predictor, PredictorOptions};
+use crate::transcache::TranslationCache;
+use presage_machine::MachineDesc;
+use std::sync::Arc;
+
+/// A sensible worker count for prediction fan-out: the machine's
+/// available parallelism, or 1 when it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `job` over `jobs` on `workers` scoped threads, preserving order.
+fn fan_out<J: Sync, R: Send>(jobs: &[J], workers: usize, job: impl Fn(&J) -> R + Sync) -> Vec<R> {
+    let workers = workers.max(1).min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(&job).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    let chunk = jobs.len().div_ceil(workers);
+    let job = &job;
+    std::thread::scope(|scope| {
+        for (results, work) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, j) in results.iter_mut().zip(work) {
+                    *slot = Some(job(j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every chunk slot is filled"))
+        .collect()
+}
+
+/// Predicts every `(machine, source)` job on `workers` scoped threads,
+/// sharing `cache` (and the global polynomial arena) across all of them.
+///
+/// Each job parses, checks, translates, and predicts every subroutine in
+/// its source, exactly as [`Predictor::predict_source`] does with `cache`
+/// attached; the result vector is index-aligned with `jobs`, and a
+/// failing job yields its own `Err` without disturbing the others.
+pub fn predict_batch(
+    jobs: &[(&MachineDesc, &str)],
+    options: &PredictorOptions,
+    cache: &Arc<TranslationCache>,
+    workers: usize,
+) -> Vec<Result<Vec<Prediction>, PredictError>> {
+    fan_out(jobs, workers, |(machine, source)| {
+        let predictor = Predictor::with_options((*machine).clone(), options.clone())
+            .with_translation_cache(Arc::clone(cache));
+        predictor.predict_source(source)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_machine::machines;
+
+    const KERNELS: [&str; 3] = [
+        "subroutine axpy(y, x, a, n)
+           real y(n), x(n), a
+           integer i, n
+           do i = 1, n
+             y(i) = y(i) + a * x(i)
+           end do
+         end",
+        "subroutine tri(a, n)
+           real a(n)
+           integer i, j, n
+           do i = 1, n
+             do j = i, n
+               a(j) = a(j) * 2.0
+             end do
+           end do
+         end",
+        "subroutine broken(\nend",
+    ];
+
+    #[test]
+    fn batch_matches_sequential_any_worker_count() {
+        let ms = machines::all();
+        let jobs: Vec<(&MachineDesc, &str)> = ms
+            .iter()
+            .flat_map(|m| KERNELS.iter().map(move |k| (m, *k)))
+            .collect();
+        let opts = PredictorOptions::default();
+        let cache = Arc::new(TranslationCache::new());
+        let sequential = predict_batch(&jobs, &opts, &cache, 1);
+        for workers in [2, 4, 17] {
+            let cache = Arc::new(TranslationCache::new());
+            let parallel = predict_batch(&jobs, &opts, &cache, workers);
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                match (p, s) {
+                    (Ok(pv), Ok(sv)) => {
+                        assert_eq!(pv.len(), sv.len(), "job {i}, workers={workers}");
+                        for (a, b) in pv.iter().zip(sv) {
+                            assert_eq!(a.total, b.total, "job {i}, workers={workers}");
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    other => panic!("job {i} diverged (workers={workers}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workers_share_one_translation_cache() {
+        let ms = machines::all();
+        // The same kernel in every job: one miss per machine, everything
+        // else served from the shared table regardless of which worker
+        // translated it first.
+        let jobs: Vec<(&MachineDesc, &str)> = ms
+            .iter()
+            .flat_map(|m| std::iter::repeat_n((m, KERNELS[0]), 6))
+            .collect();
+        let opts = PredictorOptions::default();
+        let cache = Arc::new(TranslationCache::new());
+        let results = predict_batch(&jobs, &opts, &cache, 4);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(cache.len(), ms.len(), "one entry per (machine, program)");
+        // Workers racing on the same first-touch may both translate, so
+        // misses can exceed the entry count but never the hit share.
+        assert!(cache.misses() >= ms.len() as u64);
+        assert_eq!(cache.hits() + cache.misses(), jobs.len() as u64);
+        assert!(cache.hits() >= (jobs.len() - 2 * ms.len()) as u64);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let cache = Arc::new(TranslationCache::new());
+        assert!(predict_batch(&[], &PredictorOptions::default(), &cache, 8).is_empty());
+    }
+}

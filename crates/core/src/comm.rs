@@ -25,7 +25,11 @@ pub struct CommParams {
 impl Default for CommParams {
     /// SP1-flavoured defaults: expensive startup, ~10 cycles/byte.
     fn default() -> Self {
-        CommParams { alpha: 5000.0, beta: 10.0, procs: 16 }
+        CommParams {
+            alpha: 5000.0,
+            beta: 10.0,
+            procs: 16,
+        }
     }
 }
 
@@ -97,7 +101,8 @@ pub fn stencil_exchange_cost(
         Distribution::BlockCyclic(b) => {
             let blocks = np.scale(Rational::new(1, p * b.max(1) as i128));
             let bytes = row_bytes.scale(Rational::from_int(radius as i64));
-            let per_block = bytes.scale(rat(2.0 * params.beta)) + Poly::constant(rat(2.0 * params.alpha));
+            let per_block =
+                bytes.scale(rat(2.0 * params.beta)) + Poly::constant(rat(2.0 * params.alpha));
             &blocks * &per_block
         }
     };
@@ -111,7 +116,12 @@ pub fn stencil_exchange_cost(
 /// Block distribution loads the last processor with the widest rows
 /// (≈ `(2P−1)/P²·n²/2`), while cyclic balances to `≈ n²/(2P)` — the classic
 /// case where cyclic wins despite worse locality.
-pub fn triangular_max_load(params: &CommParams, dist: Distribution, n: &Symbol, n_range: (f64, f64)) -> PerfExpr {
+pub fn triangular_max_load(
+    params: &CommParams,
+    dist: Distribution,
+    n: &Symbol,
+    n_range: (f64, f64),
+) -> PerfExpr {
     let np = Poly::var(n.clone());
     let n2 = (&np * &np).scale(Rational::new(1, 2));
     let p = params.procs.max(1) as i128;
@@ -136,7 +146,9 @@ pub fn redistribution_cost(params: &CommParams, n: &Symbol, n_range: (f64, f64))
     let np = Poly::var(n.clone());
     let p = params.procs.max(1) as i128;
     let local = np.scale(Rational::new(1, p));
-    let moved_bytes = local.scale(Rational::new((p - 1) as i128, p)).scale(rat(ELEM_BYTES));
+    let moved_bytes = local
+        .scale(Rational::new((p - 1) as i128, p))
+        .scale(rat(ELEM_BYTES));
     let msgs = Poly::constant(Rational::from_int((params.procs - 1) as i64));
     let poly = moved_bytes.scale(rat(params.beta)) + msgs.scale(rat(params.alpha));
     wrap(poly, n_range)
@@ -160,7 +172,11 @@ mod tests {
 
     #[test]
     fn message_cost_linear_in_bytes() {
-        let p = CommParams { alpha: 100.0, beta: 2.0, procs: 4 };
+        let p = CommParams {
+            alpha: 100.0,
+            beta: 2.0,
+            procs: 4,
+        };
         assert_eq!(message_cost(&p, 0.0), 100.0);
         assert_eq!(message_cost(&p, 50.0), 200.0);
     }
@@ -172,7 +188,11 @@ mod tests {
         let block = stencil_exchange_cost(&p, Distribution::Block, &n(), 1, range);
         let cyclic = stencil_exchange_cost(&p, Distribution::Cyclic, &n(), 1, range);
         let cmp = block.compare(&cyclic);
-        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "{block} vs {cyclic}");
+        assert_eq!(
+            cmp.outcome,
+            CompareOutcome::FirstCheaper,
+            "{block} vs {cyclic}"
+        );
         // And by a growing factor: at n = 1024 cyclic pays for n/P messages.
         assert!(eval(&cyclic, 1024.0) / eval(&block, 1024.0) > 10.0);
     }

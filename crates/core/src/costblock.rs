@@ -35,7 +35,11 @@ pub struct CostBlock {
 impl CostBlock {
     /// Lowest occupied slot across all units (`None` if nothing placed).
     pub fn bottom(&self) -> Option<u32> {
-        self.units.iter().filter(|u| u.busy > 0).map(|u| u.bottom).min()
+        self.units
+            .iter()
+            .filter(|u| u.busy > 0)
+            .map(|u| u.bottom)
+            .min()
     }
 
     /// One past the highest occupied slot across all units.
@@ -59,7 +63,11 @@ impl CostBlock {
 
     /// Busy slots on one unit class (summed over instances).
     pub fn busy_on(&self, class: UnitClass) -> u32 {
-        self.units.iter().filter(|u| u.class == class).map(|u| u.busy).sum()
+        self.units
+            .iter()
+            .filter(|u| u.class == class)
+            .map(|u| u.busy)
+            .sum()
     }
 
     /// Occupancy ratio of the busiest unit instance within the span —
@@ -150,12 +158,7 @@ impl CostBlock {
     /// factor". Unrolling pays off until the critical bin saturates, so the
     /// suggestion is `span / critical-busy` (≥ 1).
     pub fn suggested_unroll(&self) -> u32 {
-        let crit = self
-            .units
-            .iter()
-            .map(|u| u.busy)
-            .max()
-            .unwrap_or(0);
+        let crit = self.units.iter().map(|u| u.busy).max().unwrap_or(0);
         if crit == 0 {
             return 1;
         }
@@ -188,7 +191,12 @@ impl CostBlock {
 
 impl fmt::Display for CostBlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cost block: span {} (completion {}):", self.span(), self.completion)?;
+        write!(
+            f,
+            "cost block: span {} (completion {}):",
+            self.span(),
+            self.completion
+        )?;
         for u in &self.units {
             if u.busy > 0 {
                 write!(f, " {}[{}..{}:{}]", u.class, u.bottom, u.top, u.busy)?;
@@ -203,7 +211,13 @@ mod tests {
     use super::*;
 
     fn usage(class: UnitClass, bottom: u32, top: u32, busy: u32) -> UnitUsage {
-        UnitUsage { class, instance: 0, bottom, top, busy }
+        UnitUsage {
+            class,
+            instance: 0,
+            bottom,
+            top,
+            busy,
+        }
     }
 
     fn two_unit_block(fxu: (u32, u32, u32), fpu: (u32, u32, u32)) -> CostBlock {

@@ -145,8 +145,13 @@ impl CostTree {
             IrNode::Loop(l) => {
                 let one_time = agg.block_cost(&l.preheader) + agg.block_cost(&l.postheader);
                 let (count_poly, lb_poly) = agg.trip_count(l);
-                ctx.push(LoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly });
-                let simple = matches!(&l.body[..], [IrNode::Block(_)]) && self.opts.steady_probes >= 2;
+                ctx.push(LoopCtx {
+                    var: l.var.clone(),
+                    lb: lb_poly,
+                    count: count_poly,
+                });
+                let simple =
+                    matches!(&l.body[..], [IrNode::Block(_)]) && self.opts.steady_probes >= 2;
                 let result = if simple {
                     // Leaf: the whole loop re-costs as one unit.
                     let mut inner_ctx = ctx.clone();
@@ -161,7 +166,8 @@ impl CostTree {
                     }
                 } else {
                     let control = {
-                        let cb = crate::tetris::place_block(&self.machine, &l.control, self.opts.place);
+                        let cb =
+                            crate::tetris::place_block(&self.machine, &l.control, self.opts.place);
                         PerfExpr::cycles(cb.span() as i64)
                     };
                     let children: Vec<CostNode> =
@@ -179,7 +185,11 @@ impl CostTree {
                     saved_ctx.pop();
                     CostNode {
                         ir: node.clone(),
-                        kind: NodeKind::Loop { one_time, frame, control },
+                        kind: NodeKind::Loop {
+                            one_time,
+                            frame,
+                            control,
+                        },
                         children,
                         ctx: saved_ctx,
                         cost,
@@ -199,7 +209,10 @@ impl CostTree {
                 let then_children = i.then_nodes.len();
                 let mut n = CostNode {
                     ir: node.clone(),
-                    kind: NodeKind::If { cond_cost, then_children },
+                    kind: NodeKind::If {
+                        cond_cost,
+                        then_children,
+                    },
                     children,
                     ctx: ctx.clone(),
                     cost: PerfExpr::zero(),
@@ -211,7 +224,11 @@ impl CostTree {
     }
 
     fn combine_if(&self, node: &CostNode) -> PerfExpr {
-        let NodeKind::If { cond_cost, then_children } = &node.kind else {
+        let NodeKind::If {
+            cond_cost,
+            then_children,
+        } = &node.kind
+        else {
             unreachable!("combine_if on non-if node");
         };
         let IrNode::If(i) = &node.ir else {
@@ -281,13 +298,19 @@ impl CostTree {
                 let node = self.node_at(prefix)?;
                 match &node.kind {
                     NodeKind::Block | NodeKind::SimpleLoop => node.cost.clone(),
-                    NodeKind::Loop { one_time, frame, control } => {
+                    NodeKind::Loop {
+                        one_time,
+                        frame,
+                        control,
+                    } => {
                         let body: PerfExpr = node.children.iter().map(|c| c.cost.clone()).sum();
                         let IrNode::Loop(l) = &node.ir else {
                             unreachable!("loop node without loop ir")
                         };
                         one_time.clone()
-                            + self.aggregator().iterate(body + control.clone(), &l.var, frame)
+                            + self
+                                .aggregator()
+                                .iterate(body + control.clone(), &l.var, frame)
                     }
                     NodeKind::If { .. } => self.combine_if(node),
                 }
@@ -405,7 +428,10 @@ mod tests {
              end",
         );
         let new_inner = cheap_ir.root[0].clone();
-        let after = tree.replace(&[0, 1], new_inner).expect("valid path").clone();
+        let after = tree
+            .replace(&[0, 1], new_inner)
+            .expect("valid path")
+            .clone();
         assert_ne!(before, after);
 
         // The incremental total must equal a from-scratch aggregation of
@@ -449,8 +475,12 @@ mod tests {
     fn invalid_path_rejected() {
         let (ir, m) = ir_of(NESTED);
         let mut tree = CostTree::build(&ir, &m, None, AggregateOptions::default());
-        assert!(tree.replace(&[], IrNode::Block(Default::default())).is_none());
-        assert!(tree.replace(&[9, 9], IrNode::Block(Default::default())).is_none());
+        assert!(tree
+            .replace(&[], IrNode::Block(Default::default()))
+            .is_none());
+        assert!(tree
+            .replace(&[9, 9], IrNode::Block(Default::default()))
+            .is_none());
     }
 
     #[test]

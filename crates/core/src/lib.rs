@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod comm;
 pub mod costblock;
 pub mod incremental;

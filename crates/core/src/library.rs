@@ -47,12 +47,16 @@ pub struct LibraryCostTable {
 impl LibraryCostTable {
     /// An empty table; unknown calls default to 100 cycles.
     pub fn new() -> LibraryCostTable {
-        LibraryCostTable { entries: HashMap::new(), unknown_call_cycles: 100 }
+        LibraryCostTable {
+            entries: HashMap::new(),
+            unknown_call_cycles: 100,
+        }
     }
 
     /// Registers a routine's parameterized cost expression.
     pub fn insert(&mut self, name: impl Into<String>, formals: Vec<String>, cost: PerfExpr) {
-        self.entries.insert(name.into(), LibraryEntry { formals, cost });
+        self.entries
+            .insert(name.into(), LibraryEntry { formals, cost });
     }
 
     /// Looks up a routine.
@@ -131,7 +135,10 @@ mod tests {
     fn substitution_with_constant() {
         let t = table();
         let c = t.call_cost("saxpy", &[Some(Poly::from(10))]);
-        assert_eq!(c.concrete_cycles().unwrap(), presage_symbolic::Rational::from_int(50));
+        assert_eq!(
+            c.concrete_cycles().unwrap(),
+            presage_symbolic::Rational::from_int(50)
+        );
     }
 
     #[test]
@@ -153,7 +160,10 @@ mod tests {
     fn unknown_routine_flat_cost() {
         let t = table();
         let c = t.call_cost("mystery", &[]);
-        assert_eq!(c.concrete_cycles().unwrap(), presage_symbolic::Rational::from_int(100));
+        assert_eq!(
+            c.concrete_cycles().unwrap(),
+            presage_symbolic::Rational::from_int(100)
+        );
     }
 
     #[test]

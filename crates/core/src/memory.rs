@@ -68,7 +68,10 @@ pub fn memory_cost(ir: &ProgramIr, cache: &CacheParams, opts: &AggregateOptions)
         lines_poly += g.lines.clone();
     }
     // Pages touched ≈ lines × (line size / page size).
-    let page_ratio = Rational::new(cache.line_bytes.max(1) as i128, cache.page_bytes.max(1) as i128);
+    let page_ratio = Rational::new(
+        cache.line_bytes.max(1) as i128,
+        cache.page_bytes.max(1) as i128,
+    );
     let pages_poly = lines_poly.scale(page_ratio);
 
     let wrap = |p: Poly| {
@@ -91,7 +94,12 @@ pub fn memory_cost(ir: &ProgramIr, cache: &CacheParams, opts: &AggregateOptions)
         lines_poly.scale(Rational::from_int(cache.miss_penalty as i64))
             + pages_poly.scale(Rational::from_int(cache.tlb_penalty as i64)),
     );
-    MemoryCost { lines: wrap(lines_poly), pages: wrap(pages_poly), cycles, groups }
+    MemoryCost {
+        lines: wrap(lines_poly),
+        pages: wrap(pages_poly),
+        cycles,
+        groups,
+    }
 }
 
 /// One enclosing loop: variable name and symbolic trip count.
@@ -116,7 +124,10 @@ fn walk(
                 }
             }
             IrNode::Loop(l) => {
-                ctx.push(LoopFrame { var: l.var.clone(), trip: trip_poly(l) });
+                ctx.push(LoopFrame {
+                    var: l.var.clone(),
+                    trip: trip_poly(l),
+                });
                 walk(&l.body, cache, opts, ctx, out);
                 ctx.pop();
             }
@@ -214,7 +225,12 @@ fn analyze_block_refs(
                 (Some(j), Some(a)) => a.coeff(&ctx[j].var).abs() == 1,
                 _ => false,
             };
-            GroupInfo { mref: m, key: key.clone(), uses, stride1 }
+            GroupInfo {
+                mref: m,
+                key: key.clone(),
+                uses,
+                stride1,
+            }
         })
         .collect();
 
@@ -295,7 +311,10 @@ mod tests {
         let mut b = HashMap::new();
         b.insert(n, 1600.0);
         let lines = mc.lines.poly().eval_f64(&b).unwrap();
-        assert!((lines - 100.0).abs() < 2.0, "1600 elements / 16 per line = 100, got {lines}");
+        assert!(
+            (lines - 100.0).abs() < 2.0,
+            "1600 elements / 16 per line = 100, got {lines}"
+        );
     }
 
     #[test]
@@ -387,7 +406,11 @@ mod tests {
         );
         let b_group = mc.groups.iter().find(|g| g.array == "b").unwrap();
         let n = Symbol::new("n");
-        assert_eq!(b_group.lines.degree_in(&n), 2, "b refetched per j iteration");
+        assert_eq!(
+            b_group.lines.degree_in(&n),
+            2,
+            "b refetched per j iteration"
+        );
     }
 
     #[test]

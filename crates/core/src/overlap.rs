@@ -39,7 +39,12 @@ impl SteadyState {
 /// # Panics
 ///
 /// Panics if `probes < 2`.
-pub fn steady_state(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions, probes: u32) -> SteadyState {
+pub fn steady_state(
+    machine: &MachineDesc,
+    body: &BlockIr,
+    opts: PlaceOptions,
+    probes: u32,
+) -> SteadyState {
     assert!(probes >= 2, "need at least two probe iterations");
     let prepared = PreparedBlock::new(body);
     let mut placer = Placer::new(machine, opts);
@@ -71,7 +76,12 @@ pub fn shape_estimate(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions)
 
 /// Estimates the benefit of unrolling the body `factor` times: steady-state
 /// cycles per *original* iteration at each factor.
-pub fn unroll_profile(machine: &MachineDesc, body: &BlockIr, opts: PlaceOptions, max_factor: u32) -> Vec<(u32, f64)> {
+pub fn unroll_profile(
+    machine: &MachineDesc,
+    body: &BlockIr,
+    opts: PlaceOptions,
+    max_factor: u32,
+) -> Vec<(u32, f64)> {
     let mut out = Vec::new();
     let prepared = PreparedBlock::new(body);
     for factor in 1..=max_factor {
@@ -135,7 +145,11 @@ mod tests {
         let m = machines::power_like();
         let ss = steady_state(&m, &dense_body(), PlaceOptions::default(), 8);
         // 8 independent adds on one FPU: 8 cycles/iter either way.
-        assert!((ss.per_iteration - 8.0).abs() < 0.75, "got {}", ss.per_iteration);
+        assert!(
+            (ss.per_iteration - 8.0).abs() < 0.75,
+            "got {}",
+            ss.per_iteration
+        );
         assert!(ss.overlap_saving() <= 1.5);
     }
 
@@ -184,7 +198,10 @@ mod tests {
         let profile = unroll_profile(&m, &dense_body(), PlaceOptions::default(), 3);
         let base = profile[0].1;
         for (_, c) in &profile {
-            assert!((c - base).abs() < 1.0, "dense body gains nothing: {profile:?}");
+            assert!(
+                (c - base).abs() < 1.0,
+                "dense body gains nothing: {profile:?}"
+            );
         }
     }
 }

@@ -119,12 +119,20 @@ pub struct Predictor {
 impl Predictor {
     /// A predictor with default options (no memory model, no library).
     pub fn new(machine: MachineDesc) -> Predictor {
-        Predictor { machine, options: PredictorOptions::default(), translation: None }
+        Predictor {
+            machine,
+            options: PredictorOptions::default(),
+            translation: None,
+        }
     }
 
     /// A predictor with explicit options.
     pub fn with_options(machine: MachineDesc, options: PredictorOptions) -> Predictor {
-        Predictor { machine, options, translation: None }
+        Predictor {
+            machine,
+            options,
+            translation: None,
+        }
     }
 
     /// Attaches a shared [`TranslationCache`]: every subsequent
@@ -241,7 +249,13 @@ impl Predictor {
             Some(mc) => compute.clone() + mc.cycles.clone(),
             None => compute.clone(),
         };
-        Prediction { name, compute, memory, total, ir }
+        Prediction {
+            name,
+            compute,
+            memory,
+            total,
+            ir,
+        }
     }
 
     /// Predicts every subroutine with *interprocedural* costing: each
@@ -260,7 +274,10 @@ impl Predictor {
     /// # Errors
     ///
     /// Returns the first front-end or translation error.
-    pub fn predict_source_interprocedural(&self, src: &str) -> Result<Vec<Prediction>, PredictError> {
+    pub fn predict_source_interprocedural(
+        &self,
+        src: &str,
+    ) -> Result<Vec<Prediction>, PredictError> {
         let program = parse(src)?;
         let mut library = self.options.library.clone().unwrap_or_default();
         let mut out = Vec::new();
@@ -277,9 +294,29 @@ impl Predictor {
                 None => compute.clone(),
             };
             library.insert(sub.name.clone(), sub.params.clone(), total.clone());
-            out.push(Prediction { name: sub.name.clone(), compute, memory, total, ir });
+            out.push(Prediction {
+                name: sub.name.clone(),
+                compute,
+                memory,
+                total,
+                ir,
+            });
         }
         Ok(out)
+    }
+
+    /// Predicts every `(machine, source)` job on `workers` scoped
+    /// threads, sharing `cache` and the global polynomial arena across
+    /// all of them — see [`crate::batch::predict_batch`]. Results are
+    /// index-aligned with `jobs`; a failing job yields its own `Err`
+    /// without disturbing the others.
+    pub fn predict_batch(
+        jobs: &[(&MachineDesc, &str)],
+        options: &PredictorOptions,
+        cache: &Arc<TranslationCache>,
+        workers: usize,
+    ) -> Vec<Result<Vec<Prediction>, PredictError>> {
+        crate::batch::predict_batch(jobs, options, cache, workers)
     }
 
     /// Builds an incrementally updatable cost tree for a translated
@@ -330,7 +367,11 @@ mod tests {
         let b = &with.predict_source(AXPY).unwrap()[0];
         assert!(b.memory.is_some());
         let cmp = a.total.compare(&b.total);
-        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "memory adds cost");
+        assert_eq!(
+            cmp.outcome,
+            CompareOutcome::FirstCheaper,
+            "memory adds cost"
+        );
     }
 
     #[test]
@@ -345,7 +386,10 @@ mod tests {
         at.insert(n, 1000.0);
         let pa = a.total.poly().eval_f64(&at).unwrap();
         let pb = b.total.poly().eval_f64(&at).unwrap();
-        assert!(pb > pa, "scalar machine slower than superscalar: {pa} vs {pb}");
+        assert!(
+            pb > pa,
+            "scalar machine slower than superscalar: {pa} vs {pb}"
+        );
     }
 
     #[test]
@@ -381,11 +425,9 @@ mod tests {
         let poly = outer.total.poly();
         assert_eq!(poly.degree_in(&Symbol::new("k")), 1, "{}", outer.total);
         assert_eq!(poly.degree_in(&Symbol::new("m")), 1, "{}", outer.total);
-        let km = poly
-            .terms()
-            .any(|(mono, _)| {
-                mono.exponent_of(&Symbol::new("k")) == 1 && mono.exponent_of(&Symbol::new("m")) == 1
-            });
+        let km = poly.terms().any(|(mono, _)| {
+            mono.exponent_of(&Symbol::new("k")) == 1 && mono.exponent_of(&Symbol::new("m")) == 1
+        });
         assert!(km, "expected a k*m cross term: {}", outer.total);
     }
 
@@ -406,7 +448,10 @@ mod tests {
         lib.insert(
             "work",
             vec!["m".into()],
-            PerfExpr::from_poly(Poly::var(m.clone()).scale(7), [(m, VarInfo::param(1.0, 1e6))]),
+            PerfExpr::from_poly(
+                Poly::var(m.clone()).scale(7),
+                [(m, VarInfo::param(1.0, 1e6))],
+            ),
         );
         let mut opts = PredictorOptions::default();
         opts.library = Some(lib);
@@ -414,6 +459,9 @@ mod tests {
         let pred = &p
             .predict_source("subroutine s(x, k)\nreal x\ninteger k\ncall work(k)\nend")
             .unwrap()[0];
-        assert!(pred.total.poly().contains_symbol(&Symbol::new("m")), "{pred}");
+        assert!(
+            pred.total.poly().contains_symbol(&Symbol::new("m")),
+            "{pred}"
+        );
     }
 }

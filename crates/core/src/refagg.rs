@@ -107,12 +107,21 @@ impl RefAggregator<'_> {
 
         let (count_poly, lb_poly) = self.trip_count(l);
 
-        ctx.push(RefLoopCtx { var: l.var.clone(), lb: lb_poly, count: count_poly.clone() });
+        ctx.push(RefLoopCtx {
+            var: l.var.clone(),
+            lb: lb_poly,
+            count: count_poly.clone(),
+        });
         let per_iter: PerfExpr = match &l.body[..] {
             [IrNode::Block(b)] if self.opts.steady_probes >= 2 => {
                 let mut merged = b.clone();
                 append_block(&mut merged, &l.control);
-                let ss = steady_state(self.machine, &merged, self.opts.place, self.opts.steady_probes);
+                let ss = steady_state(
+                    self.machine,
+                    &merged,
+                    self.opts.place,
+                    self.opts.steady_probes,
+                );
                 PerfExpr::cycles_rational(approx_rational(ss.per_iteration))
             }
             _ => {
@@ -143,7 +152,10 @@ impl RefAggregator<'_> {
     fn trip_count(&self, l: &LoopIr) -> (Poly, Poly) {
         let step_const = l.step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
         let Some(s) = step_const.filter(|s| *s != 0) else {
-            return (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one());
+            return (
+                Poly::var(Symbol::new(format!("trip${}", l.var))),
+                Poly::one(),
+            );
         };
         let lbs = ref_bound_candidates(&l.lb, Intrinsic::Max);
         let ubs = ref_bound_candidates(&l.ub, Intrinsic::Min);
@@ -172,7 +184,10 @@ impl RefAggregator<'_> {
                 let lb = lbs.first().cloned().unwrap_or_else(Poly::one);
                 (count, lb)
             }
-            None => (Poly::var(Symbol::new(format!("trip${}", l.var))), Poly::one()),
+            None => (
+                Poly::var(Symbol::new(format!("trip${}", l.var))),
+                Poly::one(),
+            ),
         }
     }
 
@@ -270,7 +285,10 @@ fn ref_int_expr_to_poly(e: &Expr) -> Option<Poly> {
     match e {
         Expr::IntLit(n) => Some(Poly::from(*n)),
         Expr::Var(name) => Some(Poly::var(Symbol::new(name))),
-        Expr::Unary { op: UnOp::Neg, operand } => Some(-ref_int_expr_to_poly(operand)?),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Some(-ref_int_expr_to_poly(operand)?),
         Expr::Binary { op, lhs, rhs } => {
             let l = ref_int_expr_to_poly(lhs)?;
             let r = ref_int_expr_to_poly(rhs)?;
@@ -307,20 +325,35 @@ mod tests {
         let symbols = sema::analyze(&prog.units[0]).expect("sema");
         let ir = translate(&prog.units[0], &symbols, &m).expect("translate");
         let opts = AggregateOptions::default();
-        (reference_aggregate(&ir, &m, &opts), aggregate(&ir, &m, None, &opts))
+        (
+            reference_aggregate(&ir, &m, &opts),
+            aggregate(&ir, &m, None, &opts),
+        )
     }
 
     #[track_caller]
     fn assert_identical(src: &str) {
         let (reference, optimized) = both(src);
-        assert_eq!(reference.to_string(), optimized.to_string(), "canonical text differs");
+        assert_eq!(
+            reference.to_string(),
+            optimized.to_string(),
+            "canonical text differs"
+        );
         assert_eq!(
             reference.poly().to_string(),
             optimized.poly().to_string(),
             "polynomial differs"
         );
-        let ref_vars: Vec<_> = reference.vars().iter().map(|(s, i)| (s.clone(), i.clone())).collect();
-        let opt_vars: Vec<_> = optimized.vars().iter().map(|(s, i)| (s.clone(), i.clone())).collect();
+        let ref_vars: Vec<_> = reference
+            .vars()
+            .iter()
+            .map(|(s, i)| (s.clone(), i.clone()))
+            .collect();
+        let opt_vars: Vec<_> = optimized
+            .vars()
+            .iter()
+            .map(|(s, i)| (s.clone(), i.clone()))
+            .collect();
         assert_eq!(ref_vars, opt_vars, "tracked unknowns differ");
     }
 

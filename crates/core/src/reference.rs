@@ -44,10 +44,20 @@ impl<'m> NaivePlacer<'m> {
         let mut bins = Vec::new();
         for pool in machine.units() {
             for inst in 0..pool.count {
-                bins.push(Bin { class: pool.class, instance: inst, list: BlockList::new() });
+                bins.push(Bin {
+                    class: pool.class,
+                    instance: inst,
+                    list: BlockList::new(),
+                });
             }
         }
-        NaivePlacer { machine, opts, bins, max_completion: 0, ops_placed: 0 }
+        NaivePlacer {
+            machine,
+            opts,
+            bins,
+            max_completion: 0,
+            ops_placed: 0,
+        }
     }
 
     /// Flushes all bins.
@@ -111,7 +121,10 @@ impl<'m> NaivePlacer<'m> {
                 t_done = t + atomic.latency();
             }
             finish[i] = t_done;
-            per_op.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+            per_op.push(OpTime {
+                issue: first_issue.unwrap_or(ready),
+                finish: t_done,
+            });
             completion = completion.max(t_done);
             self.ops_placed += 1;
         }
@@ -176,7 +189,10 @@ impl<'m> NaivePlacer<'m> {
                 busy: b.list.busy() as u32,
             })
             .collect();
-        CostBlock { units, completion: self.max_completion }
+        CostBlock {
+            units,
+            completion: self.max_completion,
+        }
     }
 }
 

@@ -51,7 +51,13 @@ impl BlockList {
     pub fn new() -> BlockList {
         let mut slots = vec![0; INITIAL_CAPACITY];
         write_run(&mut slots, 0, INITIAL_CAPACITY, false);
-        BlockList { slots, highest: 0, lowest: None, busy: 0, hint: 0 }
+        BlockList {
+            slots,
+            highest: 0,
+            lowest: None,
+            busy: 0,
+            hint: 0,
+        }
     }
 
     /// Flushes all slots ("the bins are flushed before being used for
@@ -344,7 +350,10 @@ pub struct FlatSlots {
 impl FlatSlots {
     /// An empty flat slot map.
     pub fn new() -> FlatSlots {
-        FlatSlots { filled: vec![false; INITIAL_CAPACITY], highest: 0 }
+        FlatSlots {
+            filled: vec![false; INITIAL_CAPACITY],
+            highest: 0,
+        }
     }
 
     /// Finds the lowest start `≥ from` of `len` consecutive empty slots by
@@ -494,8 +503,8 @@ mod tests {
         let mut b = BlockList::new();
         b.fill(0, 10); // filled [0,10)
         b.advance_min_position(10); // hint at the empty run starting at 10
-        // Fill right at the hint: merges backward into the filled run,
-        // making 10 an interior cell. The hint must follow the merge.
+                                    // Fill right at the hint: merges backward into the filled run,
+                                    // making 10 an interior cell. The hint must follow the merge.
         let t = b.find_fit(10, 3);
         assert_eq!(t, 10);
         b.fill(t, 3);
@@ -525,7 +534,9 @@ mod tests {
         // A deterministic mix of placements.
         let mut seed = 0x9E3779B97F4A7C15u64;
         for _ in 0..200 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let from = (seed >> 33) as usize % 64;
             let len = 1 + (seed >> 12) as usize % 5;
             let ta = a.find_fit(from, len);
@@ -544,7 +555,9 @@ mod tests {
         let mut b = BlockList::new();
         let mut seed = 0x243F6A8885A308D3u64;
         for step in 0..500 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let from = (seed >> 33) as usize % 200;
             let len = 1 + (seed >> 13) as usize % 7;
             let probed = b.probe_fit(from, len);
@@ -587,8 +600,8 @@ mod tests {
         b.fill(0, 8);
         b.fill(12, 4); // runs: #8@0 .4@8 #4@12 .-@16
         b.advance_min_position(16); // hint on the trailing empty run at 16
-        // Fill at 16: merges backward into the filled run at 12, swallowing
-        // the boundary cell the hint pointed at.
+                                    // Fill at 16: merges backward into the filled run at 12, swallowing
+                                    // the boundary cell the hint pointed at.
         b.fill(16, 2);
         // The hint must still name a run start; all queries stay correct.
         assert_eq!(b.find_fit(16, 1), 18);

@@ -29,7 +29,9 @@ pub struct PlaceOptions {
 impl PlaceOptions {
     /// Placement with a bounded focus span.
     pub fn with_focus_span(span: u32) -> PlaceOptions {
-        PlaceOptions { focus_span: Some(span) }
+        PlaceOptions {
+            focus_span: Some(span),
+        }
     }
 }
 
@@ -114,7 +116,11 @@ impl<'m> Placer<'m> {
         let mut bins = Vec::new();
         for pool in machine.units() {
             for inst in 0..pool.count {
-                bins.push(Bin { class: pool.class, instance: inst, list: BlockList::new() });
+                bins.push(Bin {
+                    class: pool.class,
+                    instance: inst,
+                    list: BlockList::new(),
+                });
             }
         }
         let table_len = BasicOp::ALL
@@ -247,7 +253,10 @@ impl<'m> Placer<'m> {
             }
             self.finish[i] = t_done;
             if let Some(rec) = per_op.as_deref_mut() {
-                rec.push(OpTime { issue: first_issue.unwrap_or(ready), finish: t_done });
+                rec.push(OpTime {
+                    issue: first_issue.unwrap_or(ready),
+                    finish: t_done,
+                });
             }
             completion = completion.max(t_done);
             self.ops_placed += 1;
@@ -290,7 +299,9 @@ impl<'m> Placer<'m> {
         if occupying.next().is_none() {
             if let Some(comp) = first {
                 let (idx, fit) = self.best_fit(comp.class, t, comp.noncoverable);
-                self.bins[idx].list.fill(fit as usize, comp.noncoverable as usize);
+                self.bins[idx]
+                    .list
+                    .fill(fit as usize, comp.noncoverable as usize);
                 self.highest = self.highest.max(fit + comp.noncoverable);
                 t = fit;
             }
@@ -352,7 +363,10 @@ impl<'m> Placer<'m> {
                 busy: b.list.busy() as u32,
             })
             .collect();
-        CostBlock { units, completion: self.max_completion }
+        CostBlock {
+            units,
+            completion: self.max_completion,
+        }
     }
 
     /// Iterates the run structure of a bin (for rendering; Figure 3).
@@ -551,7 +565,10 @@ mod tests {
             .find(|u| u.class == presage_machine::UnitClass::Fxu)
             .unwrap()
             .bottom;
-        assert!(fxu_bounded >= 15, "focus span pins placement near the top, got {fxu_bounded}");
+        assert!(
+            fxu_bounded >= 15,
+            "focus span pins placement near the top, got {fxu_bounded}"
+        );
     }
 
     #[test]
@@ -566,7 +583,10 @@ mod tests {
         let mut p = Placer::new(&m, PlaceOptions::default());
         let c1 = p.drop_block(&b);
         let c2 = p.drop_block(&b);
-        assert!(c2 - c1 < c1, "second iteration hides in the first's bubbles: {c1} then {c2}");
+        assert!(
+            c2 - c1 < c1,
+            "second iteration hides in the first's bubbles: {c1} then {c2}"
+        );
     }
 
     #[test]

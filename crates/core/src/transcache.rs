@@ -36,17 +36,38 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Number of independent lock shards. Keys are uniformly mixed 128-bit
+/// folds, so the low bits index shards evenly; 16 shards keep
+/// [`crate::predictor::Predictor::predict_batch`] workers from
+/// serializing on one mutex while staying small enough to initialize
+/// cheaply.
+const SHARDS: usize = 16;
+
 /// A thread-safe memo table from canonical `(machine, AST)` identity to
 /// the translated program.
 ///
 /// Interior mutability keeps one instance shareable (via [`Arc`]) across
-/// every [`crate::predictor::Predictor`] of a restructuring session and
-/// across the parallel A* candidate-evaluation workers.
-#[derive(Debug, Default)]
+/// every [`crate::predictor::Predictor`] of a restructuring session,
+/// across the parallel A* candidate-evaluation workers, and across
+/// [`crate::predictor::Predictor::predict_batch`] workers. The table is
+/// split into [`SHARDS`] independently locked shards selected by the low
+/// key bits, so concurrent lookups for different programs rarely touch
+/// the same mutex.
+#[derive(Debug)]
 pub struct TranslationCache {
-    map: Mutex<HashMap<u128, Arc<ProgramIr>>>,
+    shards: [Mutex<HashMap<u128, Arc<ProgramIr>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for TranslationCache {
+    fn default() -> TranslationCache {
+        TranslationCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl TranslationCache {
@@ -84,14 +105,15 @@ impl TranslationCache {
         machine: &MachineDesc,
     ) -> Result<Arc<ProgramIr>, PredictError> {
         let key = Self::key(machine, sub);
-        if let Some(ir) = self.map.lock().expect("translation cache lock").get(&key) {
+        let shard = &self.shards[key as usize % SHARDS];
+        if let Some(ir) = shard.lock().expect("translation cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(ir.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let symbols = sema::analyze(sub)?;
         let ir = Arc::new(translate(sub, &symbols, machine)?);
-        self.map
+        shard
             .lock()
             .expect("translation cache lock")
             .entry(key)
@@ -111,7 +133,10 @@ impl TranslationCache {
 
     /// Number of distinct `(machine, program)` translations memoized.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("translation cache lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("translation cache lock").len())
+            .sum()
     }
 
     /// Returns `true` if nothing is memoized yet.
@@ -121,7 +146,9 @@ impl TranslationCache {
 
     /// Drops all memoized translations and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("translation cache lock").clear();
+        for shard in &self.shards {
+            shard.lock().expect("translation cache lock").clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -150,7 +177,10 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         let second = cache.translated(&sub, &m).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
-        assert!(Arc::ptr_eq(&first, &second), "hit serves the same translation");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit serves the same translation"
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -183,7 +213,10 @@ mod tests {
         let cache = TranslationCache::new();
         let m = machines::power_like();
         // `a` used as an array but declared scalar.
-        let sub = parse("subroutine s(a)\nreal a\na(1) = 0.0\nend").unwrap().units.remove(0);
+        let sub = parse("subroutine s(a)\nreal a\na(1) = 0.0\nend")
+            .unwrap()
+            .units
+            .remove(0);
         assert!(cache.translated(&sub, &m).is_err());
         assert!(cache.is_empty(), "failures are not cached");
     }

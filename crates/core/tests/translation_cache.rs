@@ -54,8 +54,12 @@ fn cached_path_matches_uncached_oracle_on_all_machines() {
         let cached = Predictor::new(machine.clone()).with_translation_cache(cache.clone());
         for src in KERNELS {
             let want = oracle.predict_source(src).expect("oracle predicts");
-            let cold = cached.predict_source(src).expect("cold cached path predicts");
-            let warm = cached.predict_source(src).expect("warm cached path predicts");
+            let cold = cached
+                .predict_source(src)
+                .expect("cold cached path predicts");
+            let warm = cached
+                .predict_source(src)
+                .expect("warm cached path predicts");
             for (w, (c, h)) in want.iter().zip(cold.iter().zip(&warm)) {
                 assert_eq!(w.ir, c.ir, "cold IR diverges on {}", machine.name());
                 assert_eq!(w.ir, h.ir, "warm IR diverges on {}", machine.name());
@@ -70,11 +74,19 @@ fn cached_path_matches_uncached_oracle_on_all_machines() {
             let symbols = sema::analyze(sub).unwrap();
             let fresh = translate(sub, &symbols, &machine).unwrap();
             let served = cache.translated(sub, &machine).unwrap();
-            assert_eq!(&fresh, served.as_ref(), "raw IR diverges on {}", machine.name());
+            assert_eq!(
+                &fresh,
+                served.as_ref(),
+                "raw IR diverges on {}",
+                machine.name()
+            );
         }
         checked_machines += 1;
     }
-    assert_eq!(checked_machines, 4, "the differential proof must cover all four machines");
+    assert_eq!(
+        checked_machines, 4,
+        "the differential proof must cover all four machines"
+    );
 }
 
 #[test]
@@ -92,7 +104,11 @@ fn warmed_cache_serves_every_repeat_from_the_table() {
             predictor.predict_source(src).unwrap();
         }
     }
-    assert_eq!(cache.misses(), misses_after_warmup, "warm rounds must not re-translate");
+    assert_eq!(
+        cache.misses(),
+        misses_after_warmup,
+        "warm rounds must not re-translate"
+    );
     assert_eq!(cache.hits(), 3 * KERNELS.len() as u64);
 }
 
@@ -111,14 +127,25 @@ fn one_cache_is_sound_across_machines() {
             p.predict_source(src).unwrap();
         }
     }
-    assert_eq!(cache.len(), 4 * KERNELS.len(), "per-machine entries must not alias");
+    assert_eq!(
+        cache.len(),
+        4 * KERNELS.len(),
+        "per-machine entries must not alias"
+    );
     assert_eq!(cache.misses(), (4 * KERNELS.len()) as u64);
     let results: Vec<_> = predictors
         .iter()
         .map(|p| p.predict_source(KERNELS[0]).unwrap().remove(0))
         .collect();
-    assert_eq!(cache.misses(), (4 * KERNELS.len()) as u64, "second pass is all hits");
+    assert_eq!(
+        cache.misses(),
+        (4 * KERNELS.len()) as u64,
+        "second pass is all hits"
+    );
     // Translation genuinely depends on the machine: at least the scalar
     // risc1 and the 8-wide FMA machine must disagree.
-    assert_ne!(results[1].ir, results[3].ir, "risc1 and wide8 translations should differ");
+    assert_ne!(
+        results[1].ir, results[3].ir,
+        "risc1 and wide8 translations should differ"
+    );
 }

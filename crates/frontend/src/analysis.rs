@@ -38,7 +38,11 @@ fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
             Stmt::DoWhile { body, .. } => {
                 collect_assigned(body, out);
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_assigned(then_body, out);
                 collect_assigned(else_body, out);
             }
@@ -130,9 +134,18 @@ impl Affine {
 /// imitation in the translator.
 pub fn affine_form(expr: &Expr) -> Option<Affine> {
     match expr {
-        Expr::IntLit(n) => Some(Affine { terms: HashMap::new(), constant: *n }),
-        Expr::Var(n) => Some(Affine { terms: HashMap::from([(n.clone(), 1)]), constant: 0 }),
-        Expr::Unary { op: UnOp::Neg, operand } => affine_form(operand).map(|a| a.scale(-1)),
+        Expr::IntLit(n) => Some(Affine {
+            terms: HashMap::new(),
+            constant: *n,
+        }),
+        Expr::Var(n) => Some(Affine {
+            terms: HashMap::from([(n.clone(), 1)]),
+            constant: 0,
+        }),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => affine_form(operand).map(|a| a.scale(-1)),
         Expr::Binary { op, lhs, rhs } => {
             use crate::ast::BinOp;
             match op {
@@ -177,8 +190,20 @@ pub fn perfect_nest(stmt: &Stmt) -> (Vec<LoopHeader<'_>>, &[Stmt]) {
     let mut current = std::slice::from_ref(stmt);
     loop {
         match current {
-            [Stmt::Do { var, lb, ub, step, body, .. }] => {
-                headers.push(LoopHeader { var, lb, ub, step: step.as_ref() });
+            [Stmt::Do {
+                var,
+                lb,
+                ub,
+                step,
+                body,
+                ..
+            }] => {
+                headers.push(LoopHeader {
+                    var,
+                    lb,
+                    ub,
+                    step: step.as_ref(),
+                });
                 current = body;
             }
             _ => return (headers, current),
@@ -211,7 +236,11 @@ pub fn stmt_stats(stmts: &[Stmt]) -> StmtStats {
                     st.loops += 1;
                     go(body, st);
                 }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     st.conditionals += 1;
                     go(then_body, st);
                     go(else_body, st);
@@ -260,13 +289,30 @@ mod tests {
     #[test]
     fn invariance() {
         let assigned: HashSet<String> = ["a", "i", "t"].iter().map(|s| s.to_string()).collect();
-        let n_plus_1 = Expr::binary(crate::ast::BinOp::Add, Expr::Var("n".into()), Expr::IntLit(1));
+        let n_plus_1 = Expr::binary(
+            crate::ast::BinOp::Add,
+            Expr::Var("n".into()),
+            Expr::IntLit(1),
+        );
         assert!(is_invariant(&n_plus_1, "i", &assigned));
-        let uses_i = Expr::binary(crate::ast::BinOp::Add, Expr::Var("i".into()), Expr::IntLit(1));
+        let uses_i = Expr::binary(
+            crate::ast::BinOp::Add,
+            Expr::Var("i".into()),
+            Expr::IntLit(1),
+        );
         assert!(!is_invariant(&uses_i, "i", &assigned));
-        let loads_a = Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("n".into())] };
-        assert!(!is_invariant(&loads_a, "i", &assigned), "a is assigned in the loop");
-        let loads_b = Expr::ArrayRef { name: "b".into(), indices: vec![Expr::Var("n".into())] };
+        let loads_a = Expr::ArrayRef {
+            name: "a".into(),
+            indices: vec![Expr::Var("n".into())],
+        };
+        assert!(
+            !is_invariant(&loads_a, "i", &assigned),
+            "a is assigned in the loop"
+        );
+        let loads_b = Expr::ArrayRef {
+            name: "b".into(),
+            indices: vec![Expr::Var("n".into())],
+        };
         assert!(is_invariant(&loads_b, "i", &assigned));
     }
 
@@ -277,7 +323,11 @@ mod tests {
             crate::ast::BinOp::Add,
             Expr::binary(
                 crate::ast::BinOp::Sub,
-                Expr::binary(crate::ast::BinOp::Mul, Expr::IntLit(2), Expr::Var("i".into())),
+                Expr::binary(
+                    crate::ast::BinOp::Mul,
+                    Expr::IntLit(2),
+                    Expr::Var("i".into()),
+                ),
                 Expr::Var("j".into()),
             ),
             Expr::IntLit(3),
@@ -291,7 +341,11 @@ mod tests {
 
     #[test]
     fn affine_rejects_products_of_vars() {
-        let e = Expr::binary(crate::ast::BinOp::Mul, Expr::Var("i".into()), Expr::Var("j".into()));
+        let e = Expr::binary(
+            crate::ast::BinOp::Mul,
+            Expr::Var("i".into()),
+            Expr::Var("j".into()),
+        );
         assert!(affine_form(&e).is_none());
     }
 
@@ -300,7 +354,11 @@ mod tests {
         // -(i - i) = 0
         let e = Expr::unary(
             UnOp::Neg,
-            Expr::binary(crate::ast::BinOp::Sub, Expr::Var("i".into()), Expr::Var("i".into())),
+            Expr::binary(
+                crate::ast::BinOp::Sub,
+                Expr::Var("i".into()),
+                Expr::Var("i".into()),
+            ),
         );
         let a = affine_form(&e).unwrap();
         assert!(a.is_constant());

@@ -173,7 +173,10 @@ pub enum BinOp {
 impl BinOp {
     /// Returns `true` for `<, <=, >, >=, ==, /=`.
     pub fn is_relational(&self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// Returns `true` for `.and.` / `.or.`.
@@ -310,12 +313,19 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for binary nodes.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor for unary nodes.
     pub fn unary(op: UnOp, operand: Expr) -> Expr {
-        Expr::Unary { op, operand: Box::new(operand) }
+        Expr::Unary {
+            op,
+            operand: Box::new(operand),
+        }
     }
 
     /// Returns the referenced variable name if the expression is a plain
@@ -331,7 +341,10 @@ impl Expr {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Expr::IntLit(n) => Some(*n),
-            Expr::Unary { op: UnOp::Neg, operand } => operand.as_int().map(|n| -n),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => operand.as_int().map(|n| -n),
             _ => None,
         }
     }
@@ -394,8 +407,14 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Unary { op: UnOp::Neg, operand } => write!(f, "(-{operand})"),
-            Expr::Unary { op: UnOp::Not, operand } => write!(f, "(.not. {operand})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => write!(f, "(-{operand})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                operand,
+            } => write!(f, "(.not. {operand})"),
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
             Expr::Intrinsic { func, args } => {
                 write!(f, "{}(", func.name())?;
@@ -422,7 +441,14 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Res
     let pad = "  ".repeat(depth);
     match stmt {
         Stmt::Assign { target, value, .. } => writeln!(f, "{pad}{target} = {value}"),
-        Stmt::Do { var, lb, ub, step, body, .. } => {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            step,
+            body,
+            ..
+        } => {
             write!(f, "{pad}do {var} = {lb}, {ub}")?;
             if let Some(s) = step {
                 write!(f, ", {s}")?;
@@ -436,7 +462,12 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Res
             write_stmts(f, body, depth + 1)?;
             writeln!(f, "{pad}end do")
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             writeln!(f, "{pad}if ({cond}) then")?;
             write_stmts(f, then_body, depth + 1)?;
             if !else_body.is_empty() {
@@ -521,7 +552,10 @@ mod tests {
             BinOp::Add,
             Expr::binary(
                 BinOp::Add,
-                Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("i".into())] },
+                Expr::ArrayRef {
+                    name: "a".into(),
+                    indices: vec![Expr::Var("i".into())],
+                },
                 Expr::Var("i".into()),
             ),
             Expr::Var("b".into()),
@@ -536,7 +570,11 @@ mod tests {
             Expr::RealLit(0.25),
             Expr::ArrayRef {
                 name: "b".into(),
-                indices: vec![Expr::binary(BinOp::Sub, Expr::Var("i".into()), Expr::IntLit(1))],
+                indices: vec![Expr::binary(
+                    BinOp::Sub,
+                    Expr::Var("i".into()),
+                    Expr::IntLit(1),
+                )],
             },
         );
         assert_eq!(e.to_string(), "(0.25 * b((i - 1)))");

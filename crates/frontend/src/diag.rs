@@ -38,7 +38,11 @@ pub struct FrontendError {
 impl FrontendError {
     /// Builds an error.
     pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> FrontendError {
-        FrontendError { phase, message: message.into(), span }
+        FrontendError {
+            phase,
+            message: message.into(),
+            span,
+        }
     }
 }
 

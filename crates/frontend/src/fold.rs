@@ -120,7 +120,14 @@ fn encode_stmt(buf: &mut Vec<u8>, s: &Stmt) {
             encode_expr(buf, target);
             encode_expr(buf, value);
         }
-        Stmt::Do { var, lb, ub, step, body, .. } => {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            step,
+            body,
+            ..
+        } => {
             buf.push(1);
             encode_str(buf, var);
             encode_expr(buf, lb);
@@ -139,7 +146,12 @@ fn encode_stmt(buf: &mut Vec<u8>, s: &Stmt) {
             encode_expr(buf, cond);
             encode_stmts(buf, body);
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             buf.push(3);
             encode_expr(buf, cond);
             encode_stmts(buf, then_body);
@@ -214,7 +226,11 @@ mod tests {
         // Different whitespace/layout, same structure.
         let reformatted = a.to_string();
         let b = parse(&reformatted).unwrap().units.remove(0);
-        assert_ne!(a.body[0].span(), b.body[0].span(), "spans differ across layouts");
+        assert_ne!(
+            a.body[0].span(),
+            b.body[0].span(),
+            "spans differ across layouts"
+        );
         assert_eq!(subroutine_hash(&a), subroutine_hash(&b));
     }
 

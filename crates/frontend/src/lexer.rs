@@ -29,7 +29,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -156,7 +162,10 @@ impl<'a> Lexer<'a> {
         if matches!(self.peek(), b'e' | b'E' | b'd' | b'D')
             && (self.peek2().is_ascii_digit()
                 || ((self.peek2() == b'+' || self.peek2() == b'-')
-                    && self.src.get(self.pos + 2).is_some_and(|c| c.is_ascii_digit())))
+                    && self
+                        .src
+                        .get(self.pos + 2)
+                        .is_some_and(|c| c.is_ascii_digit())))
         {
             is_real = true;
             self.bump();
@@ -171,14 +180,18 @@ impl<'a> Lexer<'a> {
         let span = Span::new(start, self.pos, span0.line, span0.col);
         if is_real {
             let normalized = text.replace(['d', 'D'], "e");
-            let v: f64 = normalized
-                .parse()
-                .map_err(|_| FrontendError::new(Phase::Lex, format!("malformed real literal `{text}`"), span))?;
+            let v: f64 = normalized.parse().map_err(|_| {
+                FrontendError::new(Phase::Lex, format!("malformed real literal `{text}`"), span)
+            })?;
             self.push(Tok::Real(v), span);
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| FrontendError::new(Phase::Lex, format!("integer literal `{text}` out of range"), span))?;
+            let v: i64 = text.parse().map_err(|_| {
+                FrontendError::new(
+                    Phase::Lex,
+                    format!("integer literal `{text}` out of range"),
+                    span,
+                )
+            })?;
             self.push(Tok::Int(v), span);
         }
         Ok(())
@@ -335,10 +348,7 @@ mod tests {
     #[test]
     fn integer_vs_dot_operator() {
         // `1.lt.2` must lex as Int(1) .lt. Int(2), not Real(1.).
-        assert_eq!(
-            kinds("1.lt.2")[..3],
-            [Tok::Int(1), Tok::Lt, Tok::Int(2)]
-        );
+        assert_eq!(kinds("1.lt.2")[..3], [Tok::Int(1), Tok::Lt, Tok::Int(2)]);
     }
 
     #[test]
@@ -423,7 +433,10 @@ mod tests {
     #[test]
     fn spans_track_lines() {
         let toks = lex("a = 1\nbb = 2").unwrap();
-        let bb = toks.iter().find(|t| t.tok == Tok::Ident("bb".into())).unwrap();
+        let bb = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("bb".into()))
+            .unwrap();
         assert_eq!(bb.span.line, 2);
         assert_eq!(bb.span.col, 1);
     }

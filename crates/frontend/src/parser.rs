@@ -170,7 +170,13 @@ impl Parser {
             }
         }
         self.end_of_stmt()?;
-        Ok(Subroutine { name, params, decls, body, span: start })
+        Ok(Subroutine {
+            name,
+            params,
+            decls,
+            body,
+            span: start,
+        })
     }
 
     fn at_type_keyword(&self) -> bool {
@@ -284,7 +290,14 @@ impl Parser {
             self.expect_kw("do")?;
         }
         self.end_of_stmt()?;
-        Ok(Stmt::Do { var, lb, ub, step, body, span })
+        Ok(Stmt::Do {
+            var,
+            lb,
+            ub,
+            step,
+            body,
+            span,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, FrontendError> {
@@ -299,7 +312,12 @@ impl Parser {
         } else {
             // One-line logical if: `if (cond) stmt`.
             let inner = self.stmt()?;
-            Ok(Stmt::If { cond, then_body: vec![inner], else_body: Vec::new(), span })
+            Ok(Stmt::If {
+                cond,
+                then_body: vec![inner],
+                else_body: Vec::new(),
+                span,
+            })
         }
     }
 
@@ -320,7 +338,12 @@ impl Parser {
                 self.expect_kw("then")?;
                 self.end_of_stmt()?;
                 else_body.push(self.if_tail(cond2, span2)?);
-                return Ok(Stmt::If { cond, then_body, else_body, span });
+                return Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                });
             }
             self.end_of_stmt()?;
             else_body = self.stmts()?;
@@ -330,7 +353,12 @@ impl Parser {
             self.expect_kw("if")?;
         }
         self.end_of_stmt()?;
-        Ok(Stmt::If { cond, then_body, else_body, span })
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        })
     }
 
     fn call_stmt(&mut self) -> Result<Stmt, FrontendError> {
@@ -366,7 +394,11 @@ impl Parser {
         self.expect(Tok::Assign)?;
         let value = self.expr()?;
         self.end_of_stmt()?;
-        Ok(Stmt::Assign { target, value, span })
+        Ok(Stmt::Assign {
+            target,
+            value,
+            span,
+        })
     }
 
     // --- expressions, lowest precedence first -------------------------------
@@ -519,7 +551,10 @@ impl Parser {
                     if let Some(func) = Intrinsic::from_name(&name) {
                         Ok(Expr::Intrinsic { func, args })
                     } else {
-                        Ok(Expr::ArrayRef { name, indices: args })
+                        Ok(Expr::ArrayRef {
+                            name,
+                            indices: args,
+                        })
                     }
                 } else {
                     Ok(Expr::Var(name))
@@ -563,7 +598,9 @@ mod tests {
     fn do_loop_with_step() {
         let p = parse_ok(&wrap("do i = 1, n, 2\na(i,1) = 0.0\nend do"));
         match &p.units[0].body[0] {
-            Stmt::Do { var, step, body, .. } => {
+            Stmt::Do {
+                var, step, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(step.as_ref().unwrap().as_int(), Some(2));
                 assert_eq!(body.len(), 1);
@@ -579,7 +616,9 @@ mod tests {
 
     #[test]
     fn nested_loops() {
-        let p = parse_ok(&wrap("do i = 1, n\ndo j = 1, n\na(i,j) = b(i,j)\nend do\nend do"));
+        let p = parse_ok(&wrap(
+            "do i = 1, n\ndo j = 1, n\na(i,j) = b(i,j)\nend do\nend do",
+        ));
         match &p.units[0].body[0] {
             Stmt::Do { body, .. } => assert!(matches!(body[0], Stmt::Do { .. })),
             _ => panic!(),
@@ -588,9 +627,15 @@ mod tests {
 
     #[test]
     fn block_if_else() {
-        let p = parse_ok(&wrap("if (i .le. k) then\na(i,1) = 0.0\nelse\nb(i,1) = 0.0\nend if"));
+        let p = parse_ok(&wrap(
+            "if (i .le. k) then\na(i,1) = 0.0\nelse\nb(i,1) = 0.0\nend if",
+        ));
         match &p.units[0].body[0] {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
             }
@@ -621,7 +666,11 @@ mod tests {
     fn one_line_if() {
         let p = parse_ok(&wrap("if (i .gt. k) a(i,1) = 0.0"));
         match &p.units[0].body[0] {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assert_eq!(then_body.len(), 1);
                 assert!(else_body.is_empty());
             }

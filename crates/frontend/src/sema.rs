@@ -104,25 +104,39 @@ pub fn analyze(sub: &Subroutine) -> Result<SymbolTable, FrontendError> {
     }
     // Parameters without declarations get implicit types.
     for p in &sub.params {
-        table.symbols.entry(p.clone()).or_insert_with(|| SymbolInfo {
-            name: p.clone(),
-            ty: implicit_type(p),
-            dims: Vec::new(),
-            is_param: true,
-        });
+        table
+            .symbols
+            .entry(p.clone())
+            .or_insert_with(|| SymbolInfo {
+                name: p.clone(),
+                ty: implicit_type(p),
+                dims: Vec::new(),
+                is_param: true,
+            });
     }
     // Array extents must be integer expressions over known scalars.
     let extents: Vec<(Expr, Span)> = sub
         .decls
         .iter()
-        .flat_map(|d| d.vars.iter().flat_map(move |v| v.dims.iter().map(move |e| (e.clone(), d.span))))
+        .flat_map(|d| {
+            d.vars
+                .iter()
+                .flat_map(move |v| v.dims.iter().map(move |e| (e.clone(), d.span)))
+        })
         .collect();
 
-    let mut checker = Checker { table, errors: None };
+    let mut checker = Checker {
+        table,
+        errors: None,
+    };
     for (extent, span) in &extents {
         let ty = checker.type_of(extent, *span)?;
         if ty != BaseType::Integer {
-            return Err(FrontendError::new(Phase::Sema, "array extent must be integer", *span));
+            return Err(FrontendError::new(
+                Phase::Sema,
+                "array extent must be integer",
+                *span,
+            ));
         }
     }
     checker.stmts(&sub.body)?;
@@ -138,7 +152,10 @@ pub fn analyze(sub: &Subroutine) -> Result<SymbolTable, FrontendError> {
 ///
 /// Type errors as described in [`analyze`].
 pub fn type_of_expr(expr: &Expr, table: &SymbolTable) -> Result<BaseType, FrontendError> {
-    let mut checker = Checker { table: table.clone(), errors: None };
+    let mut checker = Checker {
+        table: table.clone(),
+        errors: None,
+    };
     checker.type_of(expr, Span::default())
 }
 
@@ -162,7 +179,12 @@ impl Checker {
             let ty = implicit_type(name);
             self.table.symbols.insert(
                 name.to_string(),
-                SymbolInfo { name: name.to_string(), ty, dims: Vec::new(), is_param: false },
+                SymbolInfo {
+                    name: name.to_string(),
+                    ty,
+                    dims: Vec::new(),
+                    is_param: false,
+                },
             );
             ty
         }
@@ -180,24 +202,31 @@ impl Checker {
                 Ok(self.name_type(name))
             }
             Expr::ArrayRef { name, indices } => {
-                let info = self
-                    .table
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| self.error(format!("`{name}` is not a declared array or intrinsic"), span))?;
+                let info = self.table.lookup(name).cloned().ok_or_else(|| {
+                    self.error(
+                        format!("`{name}` is not a declared array or intrinsic"),
+                        span,
+                    )
+                })?;
                 if !info.is_array() {
                     return Err(self.error(format!("`{name}` is scalar but subscripted"), span));
                 }
                 if info.rank() != indices.len() {
                     return Err(self.error(
-                        format!("`{name}` has rank {} but {} subscripts given", info.rank(), indices.len()),
+                        format!(
+                            "`{name}` has rank {} but {} subscripts given",
+                            info.rank(),
+                            indices.len()
+                        ),
                         span,
                     ));
                 }
                 for idx in indices {
                     let t = self.type_of(idx, span)?;
                     if t != BaseType::Integer {
-                        return Err(self.error(format!("subscript of `{name}` must be integer"), span));
+                        return Err(
+                            self.error(format!("subscript of `{name}` must be integer"), span)
+                        );
                     }
                 }
                 Ok(info.ty)
@@ -251,7 +280,9 @@ impl Checker {
                 for a in args {
                     let t = self.type_of(a, span)?;
                     if t == BaseType::Logical {
-                        return Err(self.error(format!("`{}` takes numeric arguments", func.name()), span));
+                        return Err(
+                            self.error(format!("`{}` takes numeric arguments", func.name()), span)
+                        );
                     }
                 }
                 let arity_ok = match func {
@@ -260,12 +291,18 @@ impl Checker {
                     _ => args.len() == 1,
                 };
                 if !arity_ok {
-                    return Err(self.error(format!("wrong number of arguments to `{}`", func.name()), span));
+                    return Err(self.error(
+                        format!("wrong number of arguments to `{}`", func.name()),
+                        span,
+                    ));
                 }
                 match func {
-                    Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos | Intrinsic::Real => {
-                        Ok(BaseType::Real)
-                    }
+                    Intrinsic::Sqrt
+                    | Intrinsic::Exp
+                    | Intrinsic::Log
+                    | Intrinsic::Sin
+                    | Intrinsic::Cos
+                    | Intrinsic::Real => Ok(BaseType::Real),
                     Intrinsic::Int => Ok(BaseType::Integer),
                     Intrinsic::Abs => self.type_of(&args[0], span),
                     Intrinsic::Mod | Intrinsic::Max | Intrinsic::Min => {
@@ -291,7 +328,11 @@ impl Checker {
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
         match stmt {
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let tt = self.type_of(target, *span)?;
                 let vt = self.type_of(value, *span)?;
                 let compatible = match (tt, vt) {
@@ -304,12 +345,22 @@ impl Checker {
                 }
                 Ok(())
             }
-            Stmt::Do { var, lb, ub, step, body, span } => {
+            Stmt::Do {
+                var,
+                lb,
+                ub,
+                step,
+                body,
+                span,
+            } => {
                 if self.name_type(var) != BaseType::Integer {
                     return Err(self.error(format!("loop variable `{var}` must be integer"), *span));
                 }
-                for (what, e) in [("lower bound", Some(lb)), ("upper bound", Some(ub)), ("step", step.as_ref())]
-                {
+                for (what, e) in [
+                    ("lower bound", Some(lb)),
+                    ("upper bound", Some(ub)),
+                    ("step", step.as_ref()),
+                ] {
                     if let Some(e) = e {
                         if self.type_of(e, *span)? != BaseType::Integer {
                             return Err(self.error(format!("loop {what} must be integer"), *span));
@@ -329,7 +380,12 @@ impl Checker {
                 }
                 self.stmts(body)
             }
-            Stmt::If { cond, then_body, else_body, span } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
                 if self.type_of(cond, *span)? != BaseType::Logical {
                     return Err(self.error("if-condition must be logical", *span));
                 }
@@ -436,7 +492,8 @@ mod tests {
 
     #[test]
     fn expression_types() {
-        let t = analyze_src("subroutine s(a, n)\nreal a(n)\ninteger n, i\ny = a(i) + 1\nend").unwrap();
+        let t =
+            analyze_src("subroutine s(a, n)\nreal a(n)\ninteger n, i\ny = a(i) + 1\nend").unwrap();
         let int_expr = Expr::binary(BinOp::Add, Expr::IntLit(1), Expr::Var("i".into()));
         assert_eq!(type_of_expr(&int_expr, &t).unwrap(), BaseType::Integer);
         let mixed = Expr::binary(BinOp::Mul, Expr::RealLit(2.0), Expr::Var("i".into()));
@@ -448,20 +505,35 @@ mod tests {
     #[test]
     fn intrinsic_types() {
         let t = SymbolTable::default();
-        let sq = Expr::Intrinsic { func: Intrinsic::Sqrt, args: vec![Expr::RealLit(2.0)] };
+        let sq = Expr::Intrinsic {
+            func: Intrinsic::Sqrt,
+            args: vec![Expr::RealLit(2.0)],
+        };
         assert_eq!(type_of_expr(&sq, &t).unwrap(), BaseType::Real);
-        let m = Expr::Intrinsic { func: Intrinsic::Mod, args: vec![Expr::IntLit(5), Expr::IntLit(2)] };
+        let m = Expr::Intrinsic {
+            func: Intrinsic::Mod,
+            args: vec![Expr::IntLit(5), Expr::IntLit(2)],
+        };
         assert_eq!(type_of_expr(&m, &t).unwrap(), BaseType::Integer);
-        let mx = Expr::Intrinsic { func: Intrinsic::Max, args: vec![Expr::IntLit(5), Expr::RealLit(2.0)] };
+        let mx = Expr::Intrinsic {
+            func: Intrinsic::Max,
+            args: vec![Expr::IntLit(5), Expr::RealLit(2.0)],
+        };
         assert_eq!(type_of_expr(&mx, &t).unwrap(), BaseType::Real);
     }
 
     #[test]
     fn intrinsic_arity_checked() {
         let t = SymbolTable::default();
-        let bad = Expr::Intrinsic { func: Intrinsic::Sqrt, args: vec![] };
+        let bad = Expr::Intrinsic {
+            func: Intrinsic::Sqrt,
+            args: vec![],
+        };
         assert!(type_of_expr(&bad, &t).is_err());
-        let bad2 = Expr::Intrinsic { func: Intrinsic::Max, args: vec![Expr::IntLit(1)] };
+        let bad2 = Expr::Intrinsic {
+            func: Intrinsic::Max,
+            args: vec![Expr::IntLit(1)],
+        };
         assert!(type_of_expr(&bad2, &t).is_err());
     }
 

@@ -18,7 +18,12 @@ pub struct Span {
 impl Span {
     /// Builds a span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A span covering both inputs (keeps the earlier start position).

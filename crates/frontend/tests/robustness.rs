@@ -37,7 +37,11 @@ fn parser_never_panics_on_ascii() {
             .map(|_| {
                 // Printable ASCII plus newline, matching the old strategy.
                 let k = rng.below(96);
-                if k == 95 { '\n' } else { (b' ' + k as u8) as char }
+                if k == 95 {
+                    '\n'
+                } else {
+                    (b' ' + k as u8) as char
+                }
             })
             .collect();
         // Success or error are both fine; a panic is not.
@@ -48,8 +52,28 @@ fn parser_never_panics_on_ascii() {
 #[test]
 fn parser_never_panics_on_token_soup() {
     const WORDS: &[&str] = &[
-        "subroutine", "do", "while", "end", "if", "then", "else", "call", "return", "real",
-        "integer", "(", ")", ",", "=", "+", "**", ".lt.", "\n", "x", "1", "2.5",
+        "subroutine",
+        "do",
+        "while",
+        "end",
+        "if",
+        "then",
+        "else",
+        "call",
+        "return",
+        "real",
+        "integer",
+        "(",
+        ")",
+        ",",
+        "=",
+        "+",
+        "**",
+        ".lt.",
+        "\n",
+        "x",
+        "1",
+        "2.5",
     ];
     let mut rng = Rng(0xA5A5_0002);
     for _ in 0..512 {

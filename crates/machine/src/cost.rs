@@ -39,7 +39,11 @@ pub struct UnitCost {
 impl UnitCost {
     /// Convenience constructor.
     pub fn new(class: UnitClass, noncoverable: u32, coverable: u32) -> UnitCost {
-        UnitCost { class, noncoverable, coverable }
+        UnitCost {
+            class,
+            noncoverable,
+            coverable,
+        }
     }
 
     /// Total per-unit latency `noncoverable + coverable`.
@@ -50,7 +54,11 @@ impl UnitCost {
 
 impl fmt::Display for UnitCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}+{}c", self.class, self.noncoverable, self.coverable)
+        write!(
+            f,
+            "{}:{}+{}c",
+            self.class, self.noncoverable, self.coverable
+        )
     }
 }
 
@@ -68,7 +76,10 @@ pub struct AtomicOpDef {
 impl AtomicOpDef {
     /// Builds an atomic operation definition.
     pub fn new(name: impl Into<String>, costs: Vec<UnitCost>) -> AtomicOpDef {
-        AtomicOpDef { name: name.into(), costs }
+        AtomicOpDef {
+            name: name.into(),
+            costs,
+        }
     }
 
     /// Result latency: cycles until a dependent operation may start, i.e.
@@ -128,7 +139,11 @@ impl UnitCost {
             .get("coverable")
             .and_then(Json::as_u64)
             .ok_or("unit cost missing `coverable`")? as u32;
-        Ok(UnitCost { class, noncoverable, coverable })
+        Ok(UnitCost {
+            class,
+            noncoverable,
+            coverable,
+        })
     }
 }
 
@@ -137,7 +152,10 @@ impl AtomicOpDef {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
-            ("costs".into(), Json::Arr(self.costs.iter().map(UnitCost::to_json).collect())),
+            (
+                "costs".into(),
+                Json::Arr(self.costs.iter().map(UnitCost::to_json).collect()),
+            ),
         ])
     }
 
@@ -189,7 +207,10 @@ mod tests {
         // (one coverable) and an integer unit for one cycle.
         AtomicOpDef::new(
             "stfd",
-            vec![UnitCost::new(UnitClass::Fpu, 1, 1), UnitCost::new(UnitClass::Fxu, 1, 0)],
+            vec![
+                UnitCost::new(UnitClass::Fpu, 1, 1),
+                UnitCost::new(UnitClass::Fxu, 1, 0),
+            ],
         )
     }
 

@@ -152,7 +152,10 @@ impl MachineDesc {
 
     /// Total noncoverable work of a basic operation across its expansion.
     pub fn busy_of(&self, op: BasicOp) -> u32 {
-        self.expand(op).iter().map(|id| self.atomic(*id).total_busy()).sum()
+        self.expand(op)
+            .iter()
+            .map(|id| self.atomic(*id).total_busy())
+            .sum()
     }
 
     /// Serializes the description to pretty JSON (the same layout the
@@ -180,25 +183,43 @@ impl MachineDesc {
         let cache = Json::Obj(vec![
             ("line_bytes".into(), Json::Num(self.cache.line_bytes as f64)),
             ("size_bytes".into(), Json::Num(self.cache.size_bytes as f64)),
-            ("miss_penalty".into(), Json::Num(self.cache.miss_penalty as f64)),
+            (
+                "miss_penalty".into(),
+                Json::Num(self.cache.miss_penalty as f64),
+            ),
             ("page_bytes".into(), Json::Num(self.cache.page_bytes as f64)),
-            ("tlb_entries".into(), Json::Num(self.cache.tlb_entries as f64)),
-            ("tlb_penalty".into(), Json::Num(self.cache.tlb_penalty as f64)),
+            (
+                "tlb_entries".into(),
+                Json::Num(self.cache.tlb_entries as f64),
+            ),
+            (
+                "tlb_penalty".into(),
+                Json::Num(self.cache.tlb_penalty as f64),
+            ),
         ]);
         let backend = Json::Obj(vec![
             ("cse".into(), Json::Bool(self.backend.cse)),
             ("licm".into(), Json::Bool(self.backend.licm)),
             ("dce".into(), Json::Bool(self.backend.dce)),
             ("fma_fusion".into(), Json::Bool(self.backend.fma_fusion)),
-            ("reduction_recognition".into(), Json::Bool(self.backend.reduction_recognition)),
-            ("strength_reduction".into(), Json::Bool(self.backend.strength_reduction)),
+            (
+                "reduction_recognition".into(),
+                Json::Bool(self.backend.reduction_recognition),
+            ),
+            (
+                "strength_reduction".into(),
+                Json::Bool(self.backend.strength_reduction),
+            ),
         ]);
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("units".into(), Json::Arr(units)),
             ("atomic_ops".into(), Json::Arr(atomic_ops)),
             ("mapping".into(), Json::Obj(mapping)),
-            ("register_load_limit".into(), Json::Num(self.register_load_limit as f64)),
+            (
+                "register_load_limit".into(),
+                Json::Num(self.register_load_limit as f64),
+            ),
             ("supports_fma".into(), Json::Bool(self.supports_fma)),
             ("cache".into(), cache),
             ("backend".into(), backend),
@@ -232,12 +253,16 @@ fn parse_desc(json: &str) -> Result<MachineDesc, String> {
         .ok_or("machine missing `units`")?
         .iter()
         .map(|u| {
-            let class_name =
-                u.get("class").and_then(Json::as_str).ok_or("unit pool missing `class`")?;
+            let class_name = u
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or("unit pool missing `class`")?;
             let class = UnitClass::from_variant_name(class_name)
                 .ok_or_else(|| format!("unknown unit class `{class_name}`"))?;
-            let count =
-                u.get("count").and_then(Json::as_u64).ok_or("unit pool missing `count`")?;
+            let count = u
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("unit pool missing `count`")?;
             if count > u8::MAX as u64 {
                 return Err(format!("unit count {count} out of range"));
             }
@@ -264,7 +289,9 @@ fn parse_desc(json: &str) -> Result<MachineDesc, String> {
             .ok_or_else(|| format!("mapping for `{key}` is not an array"))?
             .iter()
             .map(|id| {
-                let n = id.as_u64().ok_or_else(|| format!("bad atomic id for `{key}`"))?;
+                let n = id
+                    .as_u64()
+                    .ok_or_else(|| format!("bad atomic id for `{key}`"))?;
                 if n > u16::MAX as u64 {
                     return Err(format!("atomic id {n} out of range"));
                 }
@@ -362,10 +389,17 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::Parse(e) => write!(f, "malformed machine description: {e}"),
-            MachineError::UnmappedOp(op) => write!(f, "basic operation `{op}` has no atomic mapping"),
-            MachineError::DanglingAtomicId(id) => write!(f, "mapping references unknown atomic op {id}"),
+            MachineError::UnmappedOp(op) => {
+                write!(f, "basic operation `{op}` has no atomic mapping")
+            }
+            MachineError::DanglingAtomicId(id) => {
+                write!(f, "mapping references unknown atomic op {id}")
+            }
             MachineError::MissingUnit { op, class } => {
-                write!(f, "atomic op `{op}` costs unit {class} which the machine lacks")
+                write!(
+                    f,
+                    "atomic op `{op}` costs unit {class} which the machine lacks"
+                )
             }
             MachineError::EmptyPool(c) => write!(f, "unit pool {c} has zero units"),
             MachineError::DuplicatePool(c) => write!(f, "unit pool {c} declared twice"),
@@ -401,7 +435,10 @@ fn validate(desc: &MachineDesc) -> Result<(), MachineError> {
     for aop in &desc.atomic_ops {
         for cost in &aop.costs {
             if desc.unit_count(cost.class) == 0 {
-                return Err(MachineError::MissingUnit { op: aop.name.clone(), class: cost.class });
+                return Err(MachineError::MissingUnit {
+                    op: aop.name.clone(),
+                    class: cost.class,
+                });
             }
         }
     }
@@ -562,7 +599,10 @@ mod tests {
     fn dangling_atomic_rejected() {
         let mut b = toy_builder();
         b.map(BasicOp::IAdd, [AtomicOpId(99)]);
-        assert_eq!(b.build().unwrap_err(), MachineError::DanglingAtomicId(AtomicOpId(99)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            MachineError::DanglingAtomicId(AtomicOpId(99))
+        );
     }
 
     #[test]
@@ -581,14 +621,20 @@ mod tests {
     fn empty_pool_rejected() {
         let mut b = toy_builder();
         b.unit(UnitClass::Fpu, 0);
-        assert_eq!(b.build().unwrap_err(), MachineError::EmptyPool(UnitClass::Fpu));
+        assert_eq!(
+            b.build().unwrap_err(),
+            MachineError::EmptyPool(UnitClass::Fpu)
+        );
     }
 
     #[test]
     fn duplicate_pool_rejected() {
         let mut b = toy_builder();
         b.unit(UnitClass::Alu, 2);
-        assert_eq!(b.build().unwrap_err(), MachineError::DuplicatePool(UnitClass::Alu));
+        assert_eq!(
+            b.build().unwrap_err(),
+            MachineError::DuplicatePool(UnitClass::Alu)
+        );
     }
 
     #[test]
@@ -613,7 +659,10 @@ mod tests {
         let fadd = b.atomic("fadd", vec![UnitCost::new(UnitClass::Fpu, 1, 1)]);
         let st = b.atomic(
             "stfd",
-            vec![UnitCost::new(UnitClass::Fpu, 1, 1), UnitCost::new(UnitClass::Fxu, 1, 0)],
+            vec![
+                UnitCost::new(UnitClass::Fpu, 1, 1),
+                UnitCost::new(UnitClass::Fxu, 1, 0),
+            ],
         );
         b.map_all_to(fadd);
         b.map(BasicOp::StoreFloat, [st]);

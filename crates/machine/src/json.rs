@@ -36,7 +36,10 @@ impl Json {
     /// Returns a human-readable message for malformed input (including
     /// trailing garbage after the top-level value).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -96,7 +99,10 @@ impl Json {
 
     /// Looks up a member of an object by key.
     pub fn get(&self, key: &str) -> Option<&Json> {
-        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Pretty-prints with two-space indentation (the `serde_json` layout
@@ -235,7 +241,10 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
@@ -269,9 +278,8 @@ impl Parser<'_> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err("truncated \\u escape".into());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));

@@ -92,7 +92,8 @@ pub fn power_like() -> MachineDesc {
         .map(BasicOp::Convert, [cvt])
         .map(BasicOp::Move, [mov]);
 
-    b.build().expect("power_like is a valid machine description")
+    b.build()
+        .expect("power_like is a valid machine description")
 }
 
 /// A single-pipe pipelined scalar RISC: every operation issues through one
@@ -305,7 +306,11 @@ mod tests {
     #[test]
     fn power_fadd_matches_paper() {
         let m = power_like();
-        assert_eq!(m.latency_of(BasicOp::FAdd), 2, "1 noncoverable + 1 coverable");
+        assert_eq!(
+            m.latency_of(BasicOp::FAdd),
+            2,
+            "1 noncoverable + 1 coverable"
+        );
         assert_eq!(m.busy_of(BasicOp::FAdd), 1);
     }
 
@@ -330,7 +335,11 @@ mod tests {
     fn risc1_fma_decomposes() {
         let m = risc1();
         assert!(!m.supports_fma);
-        assert_eq!(m.expand(BasicOp::Fma).len(), 2, "mul + add on non-FMA machine");
+        assert_eq!(
+            m.expand(BasicOp::Fma).len(),
+            2,
+            "mul + add on non-FMA machine"
+        );
     }
 
     #[test]

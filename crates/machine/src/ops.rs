@@ -134,7 +134,9 @@ impl BasicOp {
         if name == "Nop" {
             return Some(BasicOp::Nop);
         }
-        BasicOp::ALL.into_iter().find(|op| op.variant_name() == name)
+        BasicOp::ALL
+            .into_iter()
+            .find(|op| op.variant_name() == name)
     }
 
     /// Returns `true` for memory reads.
@@ -170,7 +172,10 @@ impl BasicOp {
 
     /// Returns `true` for control-transfer operations.
     pub fn is_control(&self) -> bool {
-        matches!(self, BasicOp::Branch | BasicOp::BranchCond | BasicOp::Call | BasicOp::Return)
+        matches!(
+            self,
+            BasicOp::Branch | BasicOp::BranchCond | BasicOp::Call | BasicOp::Return
+        )
     }
 }
 
@@ -250,6 +255,10 @@ mod tests {
         for op in BasicOp::ALL.into_iter().chain([BasicOp::Nop]) {
             assert_eq!(BasicOp::from_variant_name(op.variant_name()), Some(op));
         }
-        assert_eq!(BasicOp::from_variant_name("iadd"), None, "display names are distinct");
+        assert_eq!(
+            BasicOp::from_variant_name("iadd"),
+            None,
+            "display names are distinct"
+        );
     }
 }

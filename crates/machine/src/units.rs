@@ -60,7 +60,9 @@ impl UnitClass {
 
     /// Inverse of [`UnitClass::variant_name`], for JSON loading.
     pub fn from_variant_name(name: &str) -> Option<UnitClass> {
-        UnitClass::ALL.into_iter().find(|c| c.variant_name() == name)
+        UnitClass::ALL
+            .into_iter()
+            .find(|c| c.variant_name() == name)
     }
 
     /// Short display name matching the paper's figure labels.

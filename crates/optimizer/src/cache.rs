@@ -24,17 +24,34 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Number of independent lock shards; canonical keys are uniformly mixed
+/// folds, so the low bits spread entries evenly and concurrent A* /
+/// batch-prediction workers rarely contend on the same mutex.
+const SHARDS: usize = 16;
+
 /// A thread-safe memo table from a variant's canonical key to its
 /// predicted symbolic cost.
 ///
 /// Failed predictions are cached as `None` so the search never re-predicts
 /// a variant it has already rejected. Interior mutability keeps the table
-/// shareable across the parallel candidate-evaluation workers.
-#[derive(Debug, Default)]
+/// shareable across the parallel candidate-evaluation workers; the table
+/// is split into [`SHARDS`] independently locked shards selected by the
+/// low key bits.
+#[derive(Debug)]
 pub struct PredictionCache {
-    map: Mutex<HashMap<u128, Option<PerfExpr>>>,
+    shards: [Mutex<HashMap<u128, Option<PerfExpr>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for PredictionCache {
+    fn default() -> PredictionCache {
+        PredictionCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl PredictionCache {
@@ -49,19 +66,15 @@ impl PredictionCache {
     ///
     /// The prediction itself runs outside the table lock, so concurrent
     /// workers only serialize on the lookup and the final insert.
-    pub fn cost_of(
-        &self,
-        key: u128,
-        sub: &Subroutine,
-        predictor: &Predictor,
-    ) -> Option<PerfExpr> {
-        if let Some(cached) = self.map.lock().unwrap().get(&key) {
+    pub fn cost_of(&self, key: u128, sub: &Subroutine, predictor: &Predictor) -> Option<PerfExpr> {
+        let shard = &self.shards[key as usize % SHARDS];
+        if let Some(cached) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let expr = cost_of(sub, predictor).ok();
-        self.map.lock().unwrap().insert(key, expr.clone());
+        shard.lock().unwrap().insert(key, expr.clone());
         expr
     }
 
@@ -77,7 +90,7 @@ impl PredictionCache {
 
     /// Number of distinct variants memoized.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
     /// Returns `true` if nothing is memoized yet.
@@ -87,7 +100,9 @@ impl PredictionCache {
 
     /// Drops all memoized predictions and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

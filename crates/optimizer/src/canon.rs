@@ -32,7 +32,11 @@ use presage_frontend::{parse, Span, Subroutine};
 pub fn parse_subroutine(src: &str) -> Result<Subroutine, FrontendError> {
     let mut program = parse(src)?;
     if program.units.is_empty() {
-        return Err(FrontendError::new(Phase::Parse, "no subroutine in source", Span::default()));
+        return Err(FrontendError::new(
+            Phase::Parse,
+            "no subroutine in source",
+            Span::default(),
+        ));
     }
     Ok(program.units.remove(0))
 }

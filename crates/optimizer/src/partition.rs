@@ -37,7 +37,11 @@ pub fn nest_shape(sub: &Subroutine) -> Option<NestShape> {
     let Stmt::Do { var, body, .. } = sub.body.iter().find(|s| matches!(s, Stmt::Do { .. }))? else {
         return None;
     };
-    let mut shape = NestShape { outer_var: var.clone(), halo_radius: 0, triangular: false };
+    let mut shape = NestShape {
+        outer_var: var.clone(),
+        halo_radius: 0,
+        triangular: false,
+    };
     scan(body, var, &mut shape);
     Some(shape)
 }
@@ -72,7 +76,12 @@ fn scan(stmts: &[Stmt], outer: &str, shape: &mut NestShape) {
                 scan(body, outer, shape);
             }
             Stmt::DoWhile { body, .. } => scan(body, outer, shape),
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 scan_expr_for_halo(cond, outer, shape);
                 scan(then_body, outer, shape);
                 scan(else_body, outer, shape);
@@ -121,7 +130,13 @@ pub fn distribution_cost(
         PerfExpr::zero()
     };
     let total = parallel_compute.clone() + comm.clone();
-    Ok(DistributionCost { distribution: dist, shape, parallel_compute, comm, total })
+    Ok(DistributionCost {
+        distribution: dist,
+        shape,
+        parallel_compute,
+        comm,
+        total,
+    })
 }
 
 /// One distribution's predicted cost breakdown.
@@ -149,9 +164,22 @@ pub fn choose_distribution(
     size_sym: &Symbol,
     size_range: (f64, f64),
 ) -> Result<(DistributionCost, DistributionCost, Comparison), crate::whatif::WhatIfError> {
-    let block = distribution_cost(sub, predictor, params, Distribution::Block, size_sym, size_range)?;
-    let cyclic =
-        distribution_cost(sub, predictor, params, Distribution::Cyclic, size_sym, size_range)?;
+    let block = distribution_cost(
+        sub,
+        predictor,
+        params,
+        Distribution::Block,
+        size_sym,
+        size_range,
+    )?;
+    let cyclic = distribution_cost(
+        sub,
+        predictor,
+        params,
+        Distribution::Cyclic,
+        size_sym,
+        size_range,
+    )?;
     let cmp = block.total.compare(&cyclic.total);
     Ok((block, cyclic, cmp))
 }
@@ -225,7 +253,11 @@ mod tests {
             (256.0, 8192.0),
         )
         .unwrap();
-        assert_eq!(cmp.outcome, CompareOutcome::FirstCheaper, "block wins stencils");
+        assert_eq!(
+            cmp.outcome,
+            CompareOutcome::FirstCheaper,
+            "block wins stencils"
+        );
         assert!(!block.comm.poly().is_zero());
         assert!(!cyclic.comm.poly().is_zero());
     }
@@ -242,7 +274,12 @@ mod tests {
             (256.0, 8192.0),
         )
         .unwrap();
-        assert_eq!(cmp.outcome, CompareOutcome::SecondCheaper, "cyclic balances: {}", cmp.difference);
+        assert_eq!(
+            cmp.outcome,
+            CompareOutcome::SecondCheaper,
+            "cyclic balances: {}",
+            cmp.difference
+        );
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl ProfileData {
     pub fn eliminable_branch_probs(&self, expr: &PerfExpr) -> Vec<Symbol> {
         expr.vars()
             .iter()
-            .filter(|(s, i)| i.kind == VarKind::BranchProb && self.observations.contains_key(s.name()))
+            .filter(|(s, i)| {
+                i.kind == VarKind::BranchProb && self.observations.contains_key(s.name())
+            })
             .map(|(s, _)| s.clone())
             .collect()
     }
@@ -130,7 +132,10 @@ mod tests {
         prof.observe_branch("p$(x > 0.5)", 0.5).observe("n", 100.0);
         let narrowed = prof.apply(&e);
         assert!(narrowed.is_concrete());
-        assert_eq!(narrowed.concrete_cycles().unwrap(), Rational::from_int(2200));
+        assert_eq!(
+            narrowed.concrete_cycles().unwrap(),
+            Rational::from_int(2200)
+        );
     }
 
     #[test]

@@ -49,12 +49,19 @@ pub fn sequence_cost(shapes: &[CostBlock], order: &[usize]) -> u32 {
 /// beyond that. Legality (independence of the blocks) is the caller's
 /// responsibility, as everywhere in the paper's framework.
 pub fn best_order(machine: &MachineDesc, blocks: &[BlockIr], opts: PlaceOptions) -> Ordering {
-    let shapes: Vec<CostBlock> = blocks.iter().map(|b| place_block(machine, b, opts)).collect();
+    let shapes: Vec<CostBlock> = blocks
+        .iter()
+        .map(|b| place_block(machine, b, opts))
+        .collect();
     let identity: Vec<usize> = (0..blocks.len()).collect();
     let original_cost = sequence_cost(&shapes, &identity);
 
     if blocks.len() <= 1 {
-        return Ordering { order: identity, estimated_cost: original_cost, original_cost };
+        return Ordering {
+            order: identity,
+            estimated_cost: original_cost,
+            original_cost,
+        };
     }
 
     let best = if blocks.len() <= 6 {
@@ -72,7 +79,11 @@ pub fn best_order(machine: &MachineDesc, blocks: &[BlockIr], opts: PlaceOptions)
         greedy_order(&shapes)
     };
 
-    Ordering { order: best.0, estimated_cost: best.1, original_cost }
+    Ordering {
+        order: best.0,
+        estimated_cost: best.1,
+        original_cost,
+    }
 }
 
 fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
@@ -186,7 +197,13 @@ mod tests {
     fn greedy_handles_many_blocks() {
         let m = machines::power_like();
         let blocks: Vec<BlockIr> = (0..9)
-            .map(|i| if i % 2 == 0 { float_chain() } else { int_chain() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    float_chain()
+                } else {
+                    int_chain()
+                }
+            })
             .collect();
         let o = best_order(&m, &blocks, PlaceOptions::default());
         assert_eq!(o.order.len(), 9);

@@ -99,7 +99,11 @@ pub fn plan_from_comparison(cmp: &Comparison) -> Option<MultiVersionPlan> {
             },
         })
         .collect();
-    Some(MultiVersionPlan { variable, regions: mapped, thresholds: cmp.crossovers.clone() })
+    Some(MultiVersionPlan {
+        variable,
+        regions: mapped,
+        thresholds: cmp.crossovers.clone(),
+    })
 }
 
 /// Ranks a fragment's unknowns by performance sensitivity and returns the
@@ -115,7 +119,11 @@ pub fn test_candidates(expr: &PerfExpr, k: usize) -> Vec<Symbol> {
 /// select between the two variants. The emitted text is parseable
 /// mini-Fortran (thresholds are rounded to integers, the common case for
 /// loop bounds).
-pub fn emit_multiversion(plan: &MultiVersionPlan, first: &Subroutine, second: &Subroutine) -> String {
+pub fn emit_multiversion(
+    plan: &MultiVersionPlan,
+    first: &Subroutine,
+    second: &Subroutine,
+) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let var = plan.variable.name();
@@ -201,18 +209,16 @@ mod tests {
     #[test]
     fn multiversion_emits_dispatch() {
         let plan = plan_from_comparison(&crossover_comparison()).unwrap();
-        let fast = presage_frontend::parse(
-            "subroutine fast(a, n)\nreal a(n)\ninteger n\nreturn\nend",
-        )
-        .unwrap()
-        .units
-        .remove(0);
-        let slow = presage_frontend::parse(
-            "subroutine slow(a, n)\nreal a(n)\ninteger n\nreturn\nend",
-        )
-        .unwrap()
-        .units
-        .remove(0);
+        let fast =
+            presage_frontend::parse("subroutine fast(a, n)\nreal a(n)\ninteger n\nreturn\nend")
+                .unwrap()
+                .units
+                .remove(0);
+        let slow =
+            presage_frontend::parse("subroutine slow(a, n)\nreal a(n)\ninteger n\nreturn\nend")
+                .unwrap()
+                .units
+                .remove(0);
         let text = emit_multiversion(&plan, &fast, &slow);
         assert!(text.contains("if (n .le. "), "{text}");
         assert!(text.contains("call slow"), "{text}");

@@ -265,14 +265,22 @@ pub fn astar_search_cached(
             evaluated += 1;
             let cost = evaluate(&expr, opts);
             let mut sequence = node.sequence.clone();
-            sequence.push(SearchStep { path, transform: t, cost });
+            sequence.push(SearchStep {
+                path,
+                transform: t,
+                cost,
+            });
             if cost < best.best_cost {
                 best.best = variant.clone();
                 best.best_expr = expr.clone();
                 best.best_cost = cost;
                 best.sequence = sequence.clone();
             }
-            open.push(Node { f: cost + resource_floor(cost), sub: variant, sequence });
+            open.push(Node {
+                f: cost + resource_floor(cost),
+                sub: variant,
+                sequence,
+            });
         }
     }
 
@@ -326,8 +334,7 @@ mod tests {
     #[test]
     fn search_never_worsens() {
         let predictor = Predictor::new(machines::power_like());
-        let s = sub(
-            "subroutine s(a, n)
+        let s = sub("subroutine s(a, n)
                real a(n,n)
                integer i, j, n
                do i = 1, n
@@ -335,9 +342,12 @@ mod tests {
                    a(i,j) = a(i,j) * 2.0 + 1.0
                  end do
                end do
-             end",
-        );
-        let opts = SearchOptions { max_expansions: 8, max_depth: 2, ..Default::default() };
+             end");
+        let opts = SearchOptions {
+            max_expansions: 8,
+            max_depth: 2,
+            ..Default::default()
+        };
         let r = astar_search(&s, &predictor, &opts);
         assert!(r.best_cost <= r.original_cost + 1e-9);
         assert!(r.speedup() >= 1.0);
@@ -350,16 +360,18 @@ mod tests {
         // statement leaves pipeline bubbles per iteration; distributing or
         // unrolling can help. Mostly we assert the machinery explores.
         let predictor = Predictor::new(machines::risc1());
-        let s = sub(
-            "subroutine s(a, b, n)
+        let s = sub("subroutine s(a, b, n)
                real a(n), b(n)
                integer i, n
                do i = 1, n
                  a(i) = b(i) * 2.0 + 1.0
                end do
-             end",
-        );
-        let opts = SearchOptions { max_expansions: 6, max_depth: 1, ..Default::default() };
+             end");
+        let opts = SearchOptions {
+            max_expansions: 6,
+            max_depth: 1,
+            ..Default::default()
+        };
         let r = astar_search(&s, &predictor, &opts);
         assert!(r.evaluated > 0);
         assert!(r.best_cost <= r.original_cost + 1e-9);
@@ -368,8 +380,7 @@ mod tests {
     #[test]
     fn sequence_reports_steps() {
         let predictor = Predictor::new(machines::power_like());
-        let s = sub(
-            "subroutine s(a, b, n)
+        let s = sub("subroutine s(a, b, n)
                real a(n), b(n)
                integer i, n
                do i = 1, n
@@ -378,9 +389,12 @@ mod tests {
                do i = 1, n
                  b(i) = 0.0
                end do
-             end",
-        );
-        let opts = SearchOptions { max_expansions: 10, max_depth: 2, ..Default::default() };
+             end");
+        let opts = SearchOptions {
+            max_expansions: 10,
+            max_depth: 2,
+            ..Default::default()
+        };
         let r = astar_search(&s, &predictor, &opts);
         for step in &r.sequence {
             assert!(step.cost.is_finite());
@@ -390,8 +404,7 @@ mod tests {
     #[test]
     fn repeated_search_is_served_from_cache() {
         let predictor = Predictor::new(machines::power_like());
-        let s = sub(
-            "subroutine s(a, n)
+        let s = sub("subroutine s(a, n)
                real a(n,n)
                integer i, j, n
                do i = 1, n
@@ -399,9 +412,12 @@ mod tests {
                    a(i,j) = a(i,j) * 2.0 + 1.0
                  end do
                end do
-             end",
-        );
-        let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+             end");
+        let opts = SearchOptions {
+            max_expansions: 6,
+            max_depth: 2,
+            ..Default::default()
+        };
         let cache = PredictionCache::new();
         let first = astar_search_cached(&s, &predictor, &opts, &cache);
         assert_eq!(first.cache_hits, 0, "fresh cache cannot hit");
@@ -421,8 +437,7 @@ mod tests {
     #[test]
     fn workers_do_not_change_the_answer() {
         let predictor = Predictor::new(machines::wide4());
-        let s = sub(
-            "subroutine s(a, b, n)
+        let s = sub("subroutine s(a, b, n)
                real a(n,n), b(n,n)
                integer i, j, n
                do i = 1, n
@@ -430,11 +445,17 @@ mod tests {
                    a(i,j) = b(i,j) + a(i,j) * 3.0
                  end do
                end do
-             end",
-        );
-        let serial_opts =
-            SearchOptions { max_expansions: 10, max_depth: 2, workers: 1, ..Default::default() };
-        let parallel_opts = SearchOptions { workers: 4, ..serial_opts.clone() };
+             end");
+        let serial_opts = SearchOptions {
+            max_expansions: 10,
+            max_depth: 2,
+            workers: 1,
+            ..Default::default()
+        };
+        let parallel_opts = SearchOptions {
+            workers: 4,
+            ..serial_opts.clone()
+        };
         let serial = astar_search(&s, &predictor, &serial_opts);
         let parallel = astar_search(&s, &predictor, &parallel_opts);
         assert_eq!(serial.best_cost, parallel.best_cost);
@@ -450,9 +471,16 @@ mod tests {
         // and the search must still return the (predictable) original.
         let predictor = Predictor::new(machines::power_like());
         let s = canon::malformed_variant();
-        let opts = SearchOptions { max_expansions: 4, max_depth: 2, ..Default::default() };
+        let opts = SearchOptions {
+            max_expansions: 4,
+            max_depth: 2,
+            ..Default::default()
+        };
         let r = astar_search(&s, &predictor, &opts);
-        assert!(r.rejected_variants > 0, "variants should have been rejected");
+        assert!(
+            r.rejected_variants > 0,
+            "variants should have been rejected"
+        );
         assert!(r.sequence.is_empty(), "no unrepresentable variant may win");
         assert_eq!(r.best.to_string(), s.to_string());
         assert_eq!(r.best_cost, r.original_cost);
@@ -464,7 +492,11 @@ mod tests {
         let s = sub(
             "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = 0.0\nend do\nend",
         );
-        let opts = SearchOptions { max_expansions: 2, max_depth: 5, ..Default::default() };
+        let opts = SearchOptions {
+            max_expansions: 2,
+            max_depth: 5,
+            ..Default::default()
+        };
         let r = astar_search(&s, &predictor, &opts);
         assert!(r.expansions <= 2);
     }

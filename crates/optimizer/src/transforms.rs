@@ -66,7 +66,10 @@ pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         Expr::Var(_) | Expr::IntLit(_) | Expr::RealLit(_) | Expr::LogicalLit(_) => e.clone(),
         Expr::ArrayRef { name, indices } => Expr::ArrayRef {
             name: name.clone(),
-            indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+            indices: indices
+                .iter()
+                .map(|i| subst_var(i, var, replacement))
+                .collect(),
         },
         Expr::Unary { op, operand } => Expr::unary(*op, subst_var(operand, var, replacement)),
         Expr::Binary { op, lhs, rhs } => Expr::binary(
@@ -76,40 +79,74 @@ pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         ),
         Expr::Intrinsic { func, args } => Expr::Intrinsic {
             func: *func,
-            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            args: args
+                .iter()
+                .map(|a| subst_var(a, var, replacement))
+                .collect(),
         },
     }
 }
 
 fn subst_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
     match s {
-        Stmt::Assign { target, value, span } => Stmt::Assign {
+        Stmt::Assign {
+            target,
+            value,
+            span,
+        } => Stmt::Assign {
             target: subst_var(target, var, replacement),
             value: subst_var(value, var, replacement),
             span: *span,
         },
-        Stmt::Do { var: v, lb, ub, step, body, span } => Stmt::Do {
+        Stmt::Do {
+            var: v,
+            lb,
+            ub,
+            step,
+            body,
+            span,
+        } => Stmt::Do {
             var: v.clone(),
             lb: subst_var(lb, var, replacement),
             ub: subst_var(ub, var, replacement),
             step: step.as_ref().map(|s| subst_var(s, var, replacement)),
-            body: body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            body: body
+                .iter()
+                .map(|b| subst_stmt(b, var, replacement))
+                .collect(),
             span: *span,
         },
-        Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        } => Stmt::If {
             cond: subst_var(cond, var, replacement),
-            then_body: then_body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
-            else_body: else_body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            then_body: then_body
+                .iter()
+                .map(|b| subst_stmt(b, var, replacement))
+                .collect(),
+            else_body: else_body
+                .iter()
+                .map(|b| subst_stmt(b, var, replacement))
+                .collect(),
             span: *span,
         },
         Stmt::Call { name, args, span } => Stmt::Call {
             name: name.clone(),
-            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            args: args
+                .iter()
+                .map(|a| subst_var(a, var, replacement))
+                .collect(),
             span: *span,
         },
         Stmt::DoWhile { cond, body, span } => Stmt::DoWhile {
             cond: subst_var(cond, var, replacement),
-            body: body.iter().map(|b| subst_stmt(b, var, replacement)).collect(),
+            body: body
+                .iter()
+                .map(|b| subst_stmt(b, var, replacement))
+                .collect(),
             span: *span,
         },
         Stmt::Return { span } => Stmt::Return { span: *span },
@@ -118,7 +155,12 @@ fn subst_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
 
 fn simplify_add(e: Expr) -> Expr {
     // Fold `x + 0` and constant additions produced by unrolling offsets.
-    if let Expr::Binary { op: BinOp::Add, lhs, rhs } = &e {
+    if let Expr::Binary {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = &e
+    {
         if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
             return Expr::IntLit(a + b);
         }
@@ -138,7 +180,11 @@ fn simplify_add(e: Expr) -> Expr {
 /// # Errors
 ///
 /// [`TransformError`] when the target shape or parameters do not fit.
-pub fn apply(stmts: &mut Vec<Stmt>, idx: usize, transform: &Transform) -> Result<(), TransformError> {
+pub fn apply(
+    stmts: &mut Vec<Stmt>,
+    idx: usize,
+    transform: &Transform,
+) -> Result<(), TransformError> {
     match transform {
         Transform::Unroll(factor) => {
             let new = unroll(get_loop(stmts, idx)?, *factor)?;
@@ -184,12 +230,22 @@ pub fn unroll(stmt: &Stmt, factor: u32) -> Result<Vec<Stmt>, TransformError> {
     if factor < 2 {
         return Err(TransformError::BadParameter("unroll factor must be ≥ 2"));
     }
-    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
+    let Stmt::Do {
+        var,
+        lb,
+        ub,
+        step,
+        body,
+        span,
+    } = stmt
+    else {
         return Err(TransformError::NotApplicable("unroll target is not a loop"));
     };
     let step_val = step.as_ref().map(|s| s.as_int()).unwrap_or(Some(1));
     let Some(step_val) = step_val else {
-        return Err(TransformError::NotApplicable("unroll needs a constant step"));
+        return Err(TransformError::NotApplicable(
+            "unroll needs a constant step",
+        ));
     };
 
     let mut new_body = Vec::new();
@@ -224,7 +280,11 @@ pub fn unroll(stmt: &Stmt, factor: u32) -> Result<Vec<Stmt>, TransformError> {
         func: Intrinsic::Max,
         args: vec![
             lb.clone(),
-            simplify_add(Expr::binary(BinOp::Add, ub.clone(), Expr::IntLit(-shrink + step_val))),
+            simplify_add(Expr::binary(
+                BinOp::Add,
+                ub.clone(),
+                Expr::IntLit(-shrink + step_val),
+            )),
         ],
     };
     let tail = Stmt::Do {
@@ -240,17 +300,39 @@ pub fn unroll(stmt: &Stmt, factor: u32) -> Result<Vec<Stmt>, TransformError> {
 
 /// Swaps this loop with its single nested loop.
 pub fn interchange(stmt: &Stmt) -> Result<Stmt, TransformError> {
-    let Stmt::Do { var: v1, lb: lb1, ub: ub1, step: s1, body, span } = stmt else {
-        return Err(TransformError::NotApplicable("interchange target is not a loop"));
+    let Stmt::Do {
+        var: v1,
+        lb: lb1,
+        ub: ub1,
+        step: s1,
+        body,
+        span,
+    } = stmt
+    else {
+        return Err(TransformError::NotApplicable(
+            "interchange target is not a loop",
+        ));
     };
-    let [Stmt::Do { var: v2, lb: lb2, ub: ub2, step: s2, body: inner, span: span2 }] = &body[..] else {
-        return Err(TransformError::NotApplicable("interchange needs a perfectly nested pair"));
+    let [Stmt::Do {
+        var: v2,
+        lb: lb2,
+        ub: ub2,
+        step: s2,
+        body: inner,
+        span: span2,
+    }] = &body[..]
+    else {
+        return Err(TransformError::NotApplicable(
+            "interchange needs a perfectly nested pair",
+        ));
     };
     // Triangular bounds referencing the outer variable cannot be swapped
     // by a pure header exchange.
     for e in [lb2, ub2] {
         if e.referenced_names().contains(&v1.to_string()) {
-            return Err(TransformError::NotApplicable("inner bounds depend on the outer index"));
+            return Err(TransformError::NotApplicable(
+                "inner bounds depend on the outer index",
+            ));
         }
     }
     Ok(Stmt::Do {
@@ -289,7 +371,14 @@ fn expr_uses(e: &Expr, name: &str) -> bool {
 fn stmt_uses(stmt: &Stmt, name: &str) -> bool {
     match stmt {
         Stmt::Assign { target, value, .. } => expr_uses(target, name) || expr_uses(value, name),
-        Stmt::Do { var, lb, ub, step, body, .. } => {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            step,
+            body,
+            ..
+        } => {
             var == name
                 || expr_uses(lb, name)
                 || expr_uses(ub, name)
@@ -299,14 +388,19 @@ fn stmt_uses(stmt: &Stmt, name: &str) -> bool {
         Stmt::DoWhile { cond, body, .. } => {
             expr_uses(cond, name) || body.iter().any(|s| stmt_uses(s, name))
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             expr_uses(cond, name)
                 || then_body.iter().any(|s| stmt_uses(s, name))
                 || else_body.iter().any(|s| stmt_uses(s, name))
         }
-        Stmt::Call { name: callee, args, .. } => {
-            callee == name || args.iter().any(|a| expr_uses(a, name))
-        }
+        Stmt::Call {
+            name: callee, args, ..
+        } => callee == name || args.iter().any(|a| expr_uses(a, name)),
         Stmt::Return { .. } => false,
     }
 }
@@ -316,7 +410,15 @@ pub fn tile(stmt: &Stmt, size: u32) -> Result<Stmt, TransformError> {
     if size < 2 {
         return Err(TransformError::BadParameter("tile size must be ≥ 2"));
     }
-    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
+    let Stmt::Do {
+        var,
+        lb,
+        ub,
+        step,
+        body,
+        span,
+    } = stmt
+    else {
         return Err(TransformError::NotApplicable("tile target is not a loop"));
     };
     if step.is_some() && step.as_ref().and_then(|s| s.as_int()) != Some(1) {
@@ -361,13 +463,31 @@ pub fn tile(stmt: &Stmt, size: u32) -> Result<Stmt, TransformError> {
 
 /// Fuses two loops with identical headers into one.
 pub fn fuse(a: &Stmt, b: &Stmt) -> Result<Stmt, TransformError> {
-    let (Stmt::Do { var: v1, lb: lb1, ub: ub1, step: s1, body: b1, span },
-         Stmt::Do { var: v2, lb: lb2, ub: ub2, step: s2, body: b2, .. }) = (a, b)
+    let (
+        Stmt::Do {
+            var: v1,
+            lb: lb1,
+            ub: ub1,
+            step: s1,
+            body: b1,
+            span,
+        },
+        Stmt::Do {
+            var: v2,
+            lb: lb2,
+            ub: ub2,
+            step: s2,
+            body: b2,
+            ..
+        },
+    ) = (a, b)
     else {
         return Err(TransformError::NotApplicable("fuse needs two loops"));
     };
     if v1 != v2 || lb1 != lb2 || ub1 != ub2 || s1 != s2 {
-        return Err(TransformError::NotApplicable("fuse needs identical headers"));
+        return Err(TransformError::NotApplicable(
+            "fuse needs identical headers",
+        ));
     }
     let mut body = b1.clone();
     body.extend(b2.iter().cloned());
@@ -383,11 +503,23 @@ pub fn fuse(a: &Stmt, b: &Stmt) -> Result<Stmt, TransformError> {
 
 /// Splits a loop with `k` body statements into `k` loops.
 pub fn distribute(stmt: &Stmt) -> Result<Vec<Stmt>, TransformError> {
-    let Stmt::Do { var, lb, ub, step, body, span } = stmt else {
-        return Err(TransformError::NotApplicable("distribute target is not a loop"));
+    let Stmt::Do {
+        var,
+        lb,
+        ub,
+        step,
+        body,
+        span,
+    } = stmt
+    else {
+        return Err(TransformError::NotApplicable(
+            "distribute target is not a loop",
+        ));
     };
     if body.len() < 2 {
-        return Err(TransformError::NotApplicable("distribute needs ≥ 2 body statements"));
+        return Err(TransformError::NotApplicable(
+            "distribute needs ≥ 2 body statements",
+        ));
     }
     Ok(body
         .iter()
@@ -424,7 +556,15 @@ mod tests {
         let mut body = loop_of(SAXPY);
         apply(&mut body, 0, &Transform::Unroll(4)).unwrap();
         assert_eq!(body.len(), 2, "main + tail");
-        let Stmt::Do { step, body: inner, ub, .. } = &body[0] else { panic!() };
+        let Stmt::Do {
+            step,
+            body: inner,
+            ub,
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
         assert_eq!(step.as_ref().unwrap().as_int(), Some(4));
         assert_eq!(inner.len(), 4);
         assert_eq!(ub.to_string(), "(n + -3)");
@@ -465,9 +605,16 @@ mod tests {
     fn interchange_swaps_headers() {
         let mut body = loop_of(NEST);
         apply(&mut body, 0, &Transform::Interchange).unwrap();
-        let Stmt::Do { var, body: inner, .. } = &body[0] else { panic!() };
+        let Stmt::Do {
+            var, body: inner, ..
+        } = &body[0]
+        else {
+            panic!()
+        };
         assert_eq!(var, "j");
-        let Stmt::Do { var: v2, .. } = &inner[0] else { panic!() };
+        let Stmt::Do { var: v2, .. } = &inner[0] else {
+            panic!()
+        };
         assert_eq!(v2, "i");
     }
 
@@ -511,10 +658,20 @@ mod tests {
     fn tile_strip_mines() {
         let mut body = loop_of(SAXPY);
         apply(&mut body, 0, &Transform::Tile(64)).unwrap();
-        let Stmt::Do { var, step, body: inner, .. } = &body[0] else { panic!() };
+        let Stmt::Do {
+            var,
+            step,
+            body: inner,
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
         assert_eq!(var, "i_t");
         assert_eq!(step.as_ref().unwrap().as_int(), Some(64));
-        let Stmt::Do { var: iv, ub, .. } = &inner[0] else { panic!() };
+        let Stmt::Do { var: iv, ub, .. } = &inner[0] else {
+            panic!()
+        };
         assert_eq!(iv, "i");
         assert!(ub.to_string().starts_with("min("), "{ub}");
     }
@@ -535,7 +692,9 @@ mod tests {
         );
         apply(&mut body, 0, &Transform::Fuse).unwrap();
         assert_eq!(body.len(), 1);
-        let Stmt::Do { body: inner, .. } = &body[0] else { panic!() };
+        let Stmt::Do { body: inner, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(inner.len(), 2);
     }
 
@@ -571,7 +730,9 @@ mod tests {
         apply(&mut body, 0, &Transform::Distribute).unwrap();
         assert_eq!(body.len(), 2);
         for s in &body {
-            let Stmt::Do { body: inner, .. } = s else { panic!() };
+            let Stmt::Do { body: inner, .. } = s else {
+                panic!()
+            };
             assert_eq!(inner.len(), 1);
         }
     }
@@ -580,7 +741,10 @@ mod tests {
     fn subst_var_in_nested_expr() {
         let e = Expr::binary(
             BinOp::Add,
-            Expr::ArrayRef { name: "a".into(), indices: vec![Expr::Var("i".into())] },
+            Expr::ArrayRef {
+                name: "a".into(),
+                indices: vec![Expr::Var("i".into())],
+            },
             Expr::Var("i".into()),
         );
         let r = subst_var(&e, "i", &Expr::IntLit(7));

@@ -83,7 +83,11 @@ fn body_at_path<'a>(body: &'a mut Vec<Stmt>, path: &[usize]) -> Option<(&'a mut 
 /// [`WhatIfError::BadPath`] when the path does not lead through `do`
 /// bodies; [`WhatIfError::Transform`] when the transformation rejects the
 /// target.
-pub fn transformed(sub: &Subroutine, path: &[usize], t: &Transform) -> Result<Subroutine, WhatIfError> {
+pub fn transformed(
+    sub: &Subroutine,
+    path: &[usize],
+    t: &Transform,
+) -> Result<Subroutine, WhatIfError> {
     let mut out = sub.clone();
     let (body, idx) = body_at_path(&mut out.body, path).ok_or(WhatIfError::BadPath)?;
     apply(body, idx, t)?;
@@ -207,7 +211,10 @@ mod tests {
         // comparator must reject the variant instead of costing it.
         let predictor = Predictor::new(machines::power_like());
         let s = crate::canon::malformed_variant();
-        let path = loop_paths(&s).into_iter().next().expect("fixture has a loop");
+        let path = loop_paths(&s)
+            .into_iter()
+            .next()
+            .expect("fixture has a loop");
         let err = compare_transform(&s, &path, &Transform::Unroll(2), &predictor)
             .expect_err("malformed variant must be rejected");
         assert!(matches!(err, WhatIfError::Canonicalize(_)), "{err}");
@@ -217,7 +224,8 @@ mod tests {
     fn compare_transform_runs_end_to_end() {
         let predictor = Predictor::new(machines::power_like());
         let s = sub(NEST);
-        let (variant, cmp) = compare_transform(&s, &[0, 0], &Transform::Unroll(4), &predictor).unwrap();
+        let (variant, cmp) =
+            compare_transform(&s, &[0, 0], &Transform::Unroll(4), &predictor).unwrap();
         assert_ne!(variant.to_string(), s.to_string());
         // Unrolling a dependence-free FMA loop on power-like changes cost
         // only modestly; the comparison must at least be decidable.

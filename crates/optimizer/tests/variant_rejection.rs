@@ -34,13 +34,27 @@ fn malformed() -> Subroutine {
 fn search_survives_malformed_variants_and_counts_them() {
     let predictor = Predictor::new(machines::wide4());
     let s = malformed();
-    let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+    let opts = SearchOptions {
+        max_expansions: 6,
+        max_depth: 2,
+        ..Default::default()
+    };
     // Every derived variant inherits the unparsable statement; before the
     // fix this call panicked inside canonicalization.
     let r = astar_search(&s, &predictor, &opts);
-    assert!(r.rejected_variants > 0, "malformed variants must be counted");
-    assert!(r.sequence.is_empty(), "no unrepresentable variant may be selected");
-    assert_eq!(r.best.to_string(), s.to_string(), "search falls back to the original");
+    assert!(
+        r.rejected_variants > 0,
+        "malformed variants must be counted"
+    );
+    assert!(
+        r.sequence.is_empty(),
+        "no unrepresentable variant may be selected"
+    );
+    assert_eq!(
+        r.best.to_string(),
+        s.to_string(),
+        "search falls back to the original"
+    );
     assert!(r.best_cost.is_finite());
     assert_eq!(r.evaluated, 0, "rejected variants are never predicted");
 }
@@ -49,7 +63,10 @@ fn search_survives_malformed_variants_and_counts_them() {
 fn whatif_reports_canonicalization_errors() {
     let predictor = Predictor::new(machines::power_like());
     let s = malformed();
-    let path = loop_paths(&s).into_iter().next().expect("fixture has a loop");
+    let path = loop_paths(&s)
+        .into_iter()
+        .next()
+        .expect("fixture has a loop");
     let err = compare_transform(&s, &path, &Transform::Unroll(2), &predictor)
         .expect_err("unrepresentable variant must be rejected");
     assert!(matches!(err, WhatIfError::Canonicalize(_)), "got {err}");
@@ -70,7 +87,11 @@ fn well_formed_searches_reject_nothing() {
          end",
     )
     .unwrap();
-    let opts = SearchOptions { max_expansions: 6, max_depth: 2, ..Default::default() };
+    let opts = SearchOptions {
+        max_expansions: 6,
+        max_depth: 2,
+        ..Default::default()
+    };
     let r = astar_search(&s, &predictor, &opts);
     assert_eq!(r.rejected_variants, 0);
     assert!(r.evaluated > 0);

@@ -43,7 +43,11 @@ enum Entry {
     Block { makespan: u32 },
     /// Overlapped-loop measurement: first-iteration and `iterations`-copy
     /// total makespans (steady-state cycles/iteration is derived).
-    Loop { first: u32, total: u32, iterations: u32 },
+    Loop {
+        first: u32,
+        total: u32,
+        iterations: u32,
+    },
 }
 
 /// A load/record/save store of simulator baselines with hit/miss
@@ -87,11 +91,17 @@ impl BaselineStore {
             return store;
         };
         for e in entries {
-            let Some(k) = e.get("key").and_then(Json::as_str) else { continue };
-            let Ok(k) = u128::from_str_radix(k, 16) else { continue };
+            let Some(k) = e.get("key").and_then(Json::as_str) else {
+                continue;
+            };
+            let Ok(k) = u128::from_str_radix(k, 16) else {
+                continue;
+            };
             let entry = match e.get("mode").and_then(Json::as_str) {
                 Some("block") => match e.get("makespan").and_then(Json::as_u64) {
-                    Some(ms) => Entry::Block { makespan: ms as u32 },
+                    Some(ms) => Entry::Block {
+                        makespan: ms as u32,
+                    },
                     None => continue,
                 },
                 Some("loop") => {
@@ -131,7 +141,8 @@ impl BaselineStore {
 
     /// Records a straight-line block makespan.
     pub fn record_block(&mut self, machine: &MachineDesc, block: &BlockIr, makespan: u32) {
-        self.map.insert(key(machine, "block", block), Entry::Block { makespan });
+        self.map
+            .insert(key(machine, "block", block), Entry::Block { makespan });
     }
 
     /// Looks up an overlapped-loop measurement, returning
@@ -145,7 +156,11 @@ impl BaselineStore {
     ) -> Option<(u32, f64)> {
         let mode = format!("loop{iterations}");
         match self.map.get(&key(machine, &mode, body)) {
-            Some(Entry::Loop { first, total, iterations: it }) if *it == iterations => {
+            Some(Entry::Loop {
+                first,
+                total,
+                iterations: it,
+            }) if *it == iterations => {
                 self.hits += 1;
                 let steady = (*total - *first) as f64 / (iterations - 1) as f64;
                 Some((*first, steady))
@@ -169,7 +184,14 @@ impl BaselineStore {
         total: u32,
     ) {
         let mode = format!("loop{iterations}");
-        self.map.insert(key(machine, &mode, body), Entry::Loop { first, total, iterations });
+        self.map.insert(
+            key(machine, &mode, body),
+            Entry::Loop {
+                first,
+                total,
+                iterations,
+            },
+        );
     }
 
     /// Simulates `block` on `machine`, serving the makespan from the
@@ -211,8 +233,7 @@ impl BaselineStore {
         }
         let first = crate::scheduler::simulate_block(machine, body)?.makespan;
         let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
-        let total =
-            crate::scheduler::simulate_blocks(machine, copies.iter().copied())?.makespan;
+        let total = crate::scheduler::simulate_blocks(machine, copies.iter().copied())?.makespan;
         self.record_loop(machine, body, iterations, first, total);
         let steady = (total - first) as f64 / (iterations - 1) as f64;
         Ok((first, steady))
@@ -246,14 +267,15 @@ impl BaselineStore {
                         obj.push(("mode".to_string(), Json::Str("block".into())));
                         obj.push(("makespan".to_string(), Json::Num(f64::from(*makespan))));
                     }
-                    Entry::Loop { first, total, iterations } => {
+                    Entry::Loop {
+                        first,
+                        total,
+                        iterations,
+                    } => {
                         obj.push(("mode".to_string(), Json::Str("loop".into())));
                         obj.push(("first".to_string(), Json::Num(f64::from(*first))));
                         obj.push(("total".to_string(), Json::Num(f64::from(*total))));
-                        obj.push((
-                            "iterations".to_string(),
-                            Json::Num(f64::from(*iterations)),
-                        ));
+                        obj.push(("iterations".to_string(), Json::Num(f64::from(*iterations))));
                     }
                 }
                 Json::Obj(obj)
@@ -303,7 +325,10 @@ mod tests {
         store.record_loop(&m, &b5, 8, 10, 80);
         let text = store.to_json().to_string_pretty();
         let doc = Json::parse(&text).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BASELINE_SCHEMA));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(BASELINE_SCHEMA)
+        );
 
         let dir = std::env::temp_dir().join("presage-baseline-test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -16,15 +16,13 @@ use presage_translate::BlockIr;
 /// A sensible worker count for simulation fan-out: the machine's
 /// available parallelism, or 1 when it cannot be determined.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `job` over `jobs` on `workers` scoped threads, preserving order.
-fn fan_out<J: Sync, R: Send>(
-    jobs: &[J],
-    workers: usize,
-    job: impl Fn(&J) -> R + Sync,
-) -> Vec<R> {
+fn fan_out<J: Sync, R: Send>(jobs: &[J], workers: usize, job: impl Fn(&J) -> R + Sync) -> Vec<R> {
     let workers = workers.max(1).min(jobs.len());
     if workers <= 1 {
         return jobs.iter().map(&job).collect();
@@ -42,7 +40,9 @@ fn fan_out<J: Sync, R: Send>(
             });
         }
     });
-    out.into_iter().map(|r| r.expect("every chunk slot is filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("every chunk slot is filled"))
+        .collect()
 }
 
 /// Simulates each `(machine, block)` pair with the event-driven engine,
@@ -53,7 +53,9 @@ pub fn simulate_batch(
     jobs: &[(&MachineDesc, &BlockIr)],
     workers: usize,
 ) -> Vec<Result<SimResult, SimError>> {
-    fan_out(jobs, workers, |(machine, block)| simulate_block(machine, block))
+    fan_out(jobs, workers, |(machine, block)| {
+        simulate_block(machine, block)
+    })
 }
 
 /// Simulates each `(machine, body, iterations)` loop job — see
@@ -87,11 +89,17 @@ mod tests {
     fn batch_matches_sequential_any_worker_count() {
         let ms = machines::all();
         let blocks: Vec<BlockIr> = (1..=6).map(chain).collect();
-        let jobs: Vec<(&MachineDesc, &BlockIr)> =
-            ms.iter().flat_map(|m| blocks.iter().map(move |b| (m, b))).collect();
+        let jobs: Vec<(&MachineDesc, &BlockIr)> = ms
+            .iter()
+            .flat_map(|m| blocks.iter().map(move |b| (m, b)))
+            .collect();
         let sequential = simulate_batch(&jobs, 1);
         for workers in [2, 4, 17] {
-            assert_eq!(simulate_batch(&jobs, workers), sequential, "workers={workers}");
+            assert_eq!(
+                simulate_batch(&jobs, workers),
+                sequential,
+                "workers={workers}"
+            );
         }
     }
 
@@ -99,8 +107,7 @@ mod tests {
     fn loop_batch_matches_direct_calls() {
         let m = machines::power_like();
         let bodies: Vec<BlockIr> = (1..=4).map(chain).collect();
-        let jobs: Vec<(&MachineDesc, &BlockIr, u32)> =
-            bodies.iter().map(|b| (&m, b, 8)).collect();
+        let jobs: Vec<(&MachineDesc, &BlockIr, u32)> = bodies.iter().map(|b| (&m, b, 8)).collect();
         let batched = simulate_loop_batch(&jobs, 3);
         for (job, got) in jobs.iter().zip(&batched) {
             assert_eq!(*got, simulate_loop(job.0, job.1, job.2));

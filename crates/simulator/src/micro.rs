@@ -223,18 +223,25 @@ pub(crate) fn expand_blocks<'a>(
         if !cache.iter().any(|(p, _)| *p == ptr) {
             cache.push((ptr, flatten_block(machine, block)));
         }
-        let flat = &cache.iter().find(|(p, _)| *p == ptr).expect("just inserted").1;
+        let flat = &cache
+            .iter()
+            .find(|(p, _)| *p == ptr)
+            .expect("just inserted")
+            .1;
         let micro_base = out.n as u32;
         let cost_base = out.costs.len() as u32;
         let dep_base = out.deps.len() as u32;
         let op_base = out.n_ops as u32;
         out.costs.extend_from_slice(&flat.costs);
-        out.costs_off.extend(flat.costs_off[1..].iter().map(|o| o + cost_base));
+        out.costs_off
+            .extend(flat.costs_off[1..].iter().map(|o| o + cost_base));
         out.deps.extend(flat.deps.iter().map(|d| d + micro_base));
-        out.deps_off.extend(flat.deps_off[1..].iter().map(|o| o + dep_base));
+        out.deps_off
+            .extend(flat.deps_off[1..].iter().map(|o| o + dep_base));
         out.latency.extend_from_slice(&flat.latency);
         out.priority.extend_from_slice(&flat.priority);
-        out.source_op.extend(flat.source_op.iter().map(|s| s + op_base));
+        out.source_op
+            .extend(flat.source_op.iter().map(|s| s + op_base));
         out.n += flat.n;
         out.n_ops += flat.n_ops;
     }

@@ -61,7 +61,10 @@ mod tests {
         let b = independent(16);
         let naive = naive_block_cost(&m, &b);
         let actual = crate::scheduler::simulate_block(&m, &b).unwrap().makespan;
-        assert!(naive as f64 / actual as f64 >= 1.8, "naive {naive} vs sim {actual}");
+        assert!(
+            naive as f64 / actual as f64 >= 1.8,
+            "naive {naive} vs sim {actual}"
+        );
     }
 
     #[test]

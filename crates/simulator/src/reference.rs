@@ -76,7 +76,10 @@ pub fn simulate_blocks<'a>(
     let mut timelines: Vec<Timeline> = Vec::new();
     for pool in machine.units() {
         for _ in 0..pool.count {
-            timelines.push(Timeline { class: pool.class, busy: Vec::new() });
+            timelines.push(Timeline {
+                class: pool.class,
+                busy: Vec::new(),
+            });
         }
     }
 
@@ -146,7 +149,11 @@ pub fn simulate_blocks<'a>(
         .iter()
         .map(|t| (t.class, t.busy.iter().filter(|b| **b).count() as u32))
         .collect();
-    Ok(SimResult { makespan, issue_cycles: issue_of_op, unit_busy: busy_map(&per_class) })
+    Ok(SimResult {
+        makespan,
+        issue_cycles: issue_of_op,
+        unit_busy: busy_map(&per_class),
+    })
 }
 
 /// Simulates `iterations` overlapped copies of a loop body and reports
@@ -165,7 +172,9 @@ pub fn simulate_loop(
     body: &BlockIr,
     iterations: u32,
 ) -> Result<(u32, f64), SimError> {
-    loop_measurement(body, iterations, |blocks| simulate_blocks(machine, blocks.iter().copied()))
+    loop_measurement(body, iterations, |blocks| {
+        simulate_blocks(machine, blocks.iter().copied())
+    })
 }
 
 #[cfg(test)]

@@ -62,7 +62,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NonConvergence { remaining } => {
-                write!(f, "simulator failed to converge ({remaining} micro-ops unissued)")
+                write!(
+                    f,
+                    "simulator failed to converge ({remaining} micro-ops unissued)"
+                )
             }
         }
     }
@@ -80,7 +83,10 @@ struct ReadyKey {
 
 impl ReadyKey {
     fn new(priority: u32, i: usize) -> ReadyKey {
-        ReadyKey { priority, index: std::cmp::Reverse(i) }
+        ReadyKey {
+            priority,
+            index: std::cmp::Reverse(i),
+        }
     }
 }
 
@@ -173,8 +179,9 @@ pub fn simulate_blocks<'a>(
         }
     }
 
-    let mut unmet: Vec<u32> =
-        (0..n).map(|i| stream.deps_off[i + 1] - stream.deps_off[i]).collect();
+    let mut unmet: Vec<u32> = (0..n)
+        .map(|i| stream.deps_off[i + 1] - stream.deps_off[i])
+        .collect();
     let mut ready: BinaryHeap<ReadyKey> = BinaryHeap::new();
     for (i, &u) in unmet.iter().enumerate() {
         if u == 0 {
@@ -215,8 +222,7 @@ pub fn simulate_blocks<'a>(
     // an instance free — a micro blocked on the divider is not re-scanned
     // at every event in between. (The reference re-scans it every cycle;
     // every one of those scans fails, so skipping them is a no-op.)
-    let mut waiting: Vec<BinaryHeap<ReadyKey>> =
-        (0..n_pools).map(|_| BinaryHeap::new()).collect();
+    let mut waiting: Vec<BinaryHeap<ReadyKey>> = (0..n_pools).map(|_| BinaryHeap::new()).collect();
     // (pool, key) pairs parked during the current pass, distributed into
     // `waiting` only at pass end so one pass attempts each micro at most
     // once — exactly the reference's single scan per cycle.
@@ -280,8 +286,9 @@ pub fn simulate_blocks<'a>(
             let reqs = &req[req_off[i] as usize..req_off[i + 1] as usize];
             // Fast path: some component's pool has nothing free — park
             // there without probing instances.
-            if let Some(&(pi, _)) =
-                reqs.iter().find(|&&(pi, _)| pi != u32::MAX && free_count[pi as usize] == 0)
+            if let Some(&(pi, _)) = reqs
+                .iter()
+                .find(|&&(pi, _)| pi != u32::MAX && free_count[pi as usize] == 0)
             {
                 parked.push((pi as usize, key));
                 continue;
@@ -370,7 +377,9 @@ pub fn simulate_loop(
     body: &BlockIr,
     iterations: u32,
 ) -> Result<(u32, f64), SimError> {
-    loop_measurement(body, iterations, |blocks| simulate_blocks(machine, blocks.iter().copied()))
+    loop_measurement(body, iterations, |blocks| {
+        simulate_blocks(machine, blocks.iter().copied())
+    })
 }
 
 #[cfg(test)]

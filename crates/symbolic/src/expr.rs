@@ -47,17 +47,26 @@ pub struct VarInfo {
 impl VarInfo {
     /// A loop bound known to lie in `[lo, hi]`.
     pub fn loop_bound(lo: f64, hi: f64) -> VarInfo {
-        VarInfo { kind: VarKind::LoopBound, range: Interval::new(lo, hi) }
+        VarInfo {
+            kind: VarKind::LoopBound,
+            range: Interval::new(lo, hi),
+        }
     }
 
     /// A branch probability (range `[0, 1]`).
     pub fn branch_prob() -> VarInfo {
-        VarInfo { kind: VarKind::BranchProb, range: Interval::new(0.0, 1.0) }
+        VarInfo {
+            kind: VarKind::BranchProb,
+            range: Interval::new(0.0, 1.0),
+        }
     }
 
     /// A general parameter in `[lo, hi]`.
     pub fn param(lo: f64, hi: f64) -> VarInfo {
-        VarInfo { kind: VarKind::Param, range: Interval::new(lo, hi) }
+        VarInfo {
+            kind: VarKind::Param,
+            range: Interval::new(lo, hi),
+        }
     }
 }
 
@@ -89,12 +98,18 @@ impl PerfExpr {
 
     /// A constant cycle count.
     pub fn cycles(n: i64) -> PerfExpr {
-        PerfExpr { poly: Poly::from(n), vars: BTreeMap::new() }
+        PerfExpr {
+            poly: Poly::from(n),
+            vars: BTreeMap::new(),
+        }
     }
 
     /// A constant rational cycle count.
     pub fn cycles_rational(r: Rational) -> PerfExpr {
-        PerfExpr { poly: Poly::constant(r), vars: BTreeMap::new() }
+        PerfExpr {
+            poly: Poly::constant(r),
+            vars: BTreeMap::new(),
+        }
     }
 
     /// Wraps a polynomial with explicit variable metadata.
@@ -106,6 +121,22 @@ impl PerfExpr {
         poly.for_each_symbol(|sym| {
             if !map.contains_key(sym) {
                 map.insert(sym.clone(), VarInfo::param(0.0, 1e9));
+            }
+        });
+        PerfExpr { poly, vars: map }
+    }
+
+    /// Wraps a polynomial, deriving metadata in a single walk: `info` is
+    /// called once per distinct symbol. This is the allocation-light cousin
+    /// of [`PerfExpr::from_poly`] for callers (aggregation's `wrap`) that
+    /// would otherwise build an intermediate symbol set just to look each
+    /// name up again.
+    pub fn from_poly_with(poly: Poly, mut info: impl FnMut(&Symbol) -> VarInfo) -> PerfExpr {
+        let mut map: BTreeMap<Symbol, VarInfo> = BTreeMap::new();
+        poly.for_each_symbol(|sym| {
+            if !map.contains_key(sym) {
+                let i = info(sym);
+                map.insert(sym.clone(), i);
             }
         });
         PerfExpr { poly, vars: map }
@@ -139,10 +170,9 @@ impl PerfExpr {
         self.poly.constant_value()
     }
 
-    /// Merges variable metadata, keeping the tighter range on conflicts.
-    fn merged_vars(&self, other: &PerfExpr) -> BTreeMap<Symbol, VarInfo> {
-        let mut out = self.vars.clone();
-        for (sym, info) in &other.vars {
+    /// Folds `other` into `out`, keeping the tighter range on conflicts.
+    fn merge_vars_into(out: &mut BTreeMap<Symbol, VarInfo>, other: &BTreeMap<Symbol, VarInfo>) {
+        for (sym, info) in other {
             out.entry(sym.clone())
                 .and_modify(|e| {
                     if let Some(tight) = e.range.intersect(&info.range) {
@@ -151,12 +181,23 @@ impl PerfExpr {
                 })
                 .or_insert(*info);
         }
+    }
+
+    /// Merges variable metadata, keeping the tighter range on conflicts.
+    fn merged_vars(&self, other: &PerfExpr) -> BTreeMap<Symbol, VarInfo> {
+        let mut out = self.vars.clone();
+        PerfExpr::merge_vars_into(&mut out, &other.vars);
         out
     }
 
     fn prune_vars(mut self) -> PerfExpr {
+        self.prune_vars_in_place();
+        self
+    }
+
+    fn prune_vars_in_place(&mut self) {
         if self.vars.is_empty() {
-            return self;
+            return;
         }
         // Interned symbol ids avoid the `BTreeSet<Symbol>` build (and its
         // per-symbol `Arc` churn) that made this the hot spot of `+`/`mul`.
@@ -167,17 +208,20 @@ impl PerfExpr {
                 .keys()
                 .all(|s| used.binary_search(&crate::intern::sym_id(s)).is_ok())
         {
-            return self;
+            return;
         }
         self.vars
             .retain(|s, _| used.binary_search(&crate::intern::sym_id(s)).is_ok());
-        self
     }
 
     /// Scales the expression by a rational factor (e.g. an issue-width
     /// correction or a probability constant).
     pub fn scale(&self, c: impl Into<Rational>) -> PerfExpr {
-        PerfExpr { poly: self.poly.scale(c), vars: self.vars.clone() }.prune_vars()
+        PerfExpr {
+            poly: self.poly.scale(c),
+            vars: self.vars.clone(),
+        }
+        .prune_vars()
     }
 
     /// Multiplies by another expression (used for `count × body`).
@@ -189,7 +233,11 @@ impl PerfExpr {
         } else {
             self.merged_vars(other)
         };
-        PerfExpr { poly: &self.poly * &other.poly, vars }.prune_vars()
+        PerfExpr {
+            poly: &self.poly * &other.poly,
+            vars,
+        }
+        .prune_vars()
     }
 
     /// Cost of repeating this expression a symbolic number of times:
@@ -257,7 +305,10 @@ impl PerfExpr {
 
     /// The box of recorded variable ranges.
     pub fn range_box(&self) -> HashMap<Symbol, Interval> {
-        self.vars.iter().map(|(s, i)| (s.clone(), i.range)).collect()
+        self.vars
+            .iter()
+            .map(|(s, i)| (s.clone(), i.range))
+            .collect()
     }
 
     /// Bounds the expression's value over the recorded ranges.
@@ -284,7 +335,11 @@ impl PerfExpr {
                 };
                 iv = iv * r.powi(exp);
             }
-            let min_abs = if iv.contains_zero() { 0.0 } else { iv.lo().abs().min(iv.hi().abs()) };
+            let min_abs = if iv.contains_zero() {
+                0.0
+            } else {
+                iv.lo().abs().min(iv.hi().abs())
+            };
             let max_abs = iv.lo().abs().max(iv.hi().abs());
             dominant = dominant.max(min_abs);
             term_max.push((mono.clone(), max_abs));
@@ -299,7 +354,11 @@ impl PerfExpr {
             .map(|(m, _)| m)
             .collect();
         let poly = self.poly.filter_terms(|m, _| keep.contains(m));
-        PerfExpr { poly, vars: self.vars.clone() }.prune_vars()
+        PerfExpr {
+            poly,
+            vars: self.vars.clone(),
+        }
+        .prune_vars()
     }
 
     /// Symbolically compares two cost expressions ("is `self` cheaper than
@@ -314,7 +373,11 @@ impl PerfExpr {
     pub fn compare(&self, other: &PerfExpr) -> Comparison {
         let diff_poly = &self.poly - &other.poly;
         let vars = self.merged_vars(other);
-        let diff = PerfExpr { poly: diff_poly, vars }.prune_vars();
+        let diff = PerfExpr {
+            poly: diff_poly,
+            vars,
+        }
+        .prune_vars();
 
         if let Some(c) = diff.poly.constant_value() {
             let outcome = match c.signum() {
@@ -322,7 +385,12 @@ impl PerfExpr {
                 s if s > 0 => CompareOutcome::SecondCheaper,
                 _ => CompareOutcome::AlwaysEqual,
             };
-            return Comparison { outcome, difference: diff, regions: None, crossovers: Vec::new() };
+            return Comparison {
+                outcome,
+                difference: diff,
+                regions: None,
+                crossovers: Vec::new(),
+            };
         }
 
         let syms: Vec<Symbol> = diff.poly.symbols().into_iter().collect();
@@ -335,15 +403,24 @@ impl PerfExpr {
                     .map(|w| w[0].hi)
                     .filter(|b| *b > range.lo() && *b < range.hi())
                     .collect();
-                let has_pos = regions.iter().any(|r| r.sign == crate::signs::Sign::Positive);
-                let has_neg = regions.iter().any(|r| r.sign == crate::signs::Sign::Negative);
+                let has_pos = regions
+                    .iter()
+                    .any(|r| r.sign == crate::signs::Sign::Positive);
+                let has_neg = regions
+                    .iter()
+                    .any(|r| r.sign == crate::signs::Sign::Negative);
                 let outcome = match (has_pos, has_neg) {
                     (false, true) => CompareOutcome::FirstCheaper,
                     (true, false) => CompareOutcome::SecondCheaper,
                     (false, false) => CompareOutcome::AlwaysEqual,
                     (true, true) => CompareOutcome::DependsOnUnknowns,
                 };
-                return Comparison { outcome, difference: diff, regions: Some(regions), crossovers };
+                return Comparison {
+                    outcome,
+                    difference: diff,
+                    regions: Some(regions),
+                    crossovers,
+                };
             }
         }
 
@@ -354,7 +431,12 @@ impl PerfExpr {
             SignVerdict::AlwaysZero => CompareOutcome::AlwaysEqual,
             SignVerdict::Unknown => CompareOutcome::Undetermined,
         };
-        Comparison { outcome, difference: diff, regions: None, crossovers: Vec::new() }
+        Comparison {
+            outcome,
+            difference: diff,
+            regions: None,
+            crossovers: Vec::new(),
+        }
     }
 }
 
@@ -401,18 +483,9 @@ pub struct Comparison {
 
 impl std::ops::Add for PerfExpr {
     type Output = PerfExpr;
-    fn add(self, rhs: PerfExpr) -> PerfExpr {
-        // Adding a concrete cost (the common case in block aggregation) can
-        // only touch the constant term: metadata and symbol set are
-        // unchanged, so both the merge and the prune pass are skipped.
-        if rhs.vars.is_empty() && rhs.poly.is_constant() {
-            return PerfExpr { poly: self.poly + rhs.poly, vars: self.vars };
-        }
-        if self.vars.is_empty() && self.poly.is_constant() {
-            return PerfExpr { poly: self.poly + rhs.poly, vars: rhs.vars };
-        }
-        let vars = self.merged_vars(&rhs);
-        PerfExpr { poly: self.poly + rhs.poly, vars }.prune_vars()
+    fn add(mut self, rhs: PerfExpr) -> PerfExpr {
+        self += rhs;
+        self
     }
 }
 
@@ -420,16 +493,40 @@ impl std::ops::Sub for PerfExpr {
     type Output = PerfExpr;
     fn sub(self, rhs: PerfExpr) -> PerfExpr {
         if rhs.vars.is_empty() && rhs.poly.is_constant() {
-            return PerfExpr { poly: self.poly - rhs.poly, vars: self.vars };
+            return PerfExpr {
+                poly: self.poly - rhs.poly,
+                vars: self.vars,
+            };
         }
         let vars = self.merged_vars(&rhs);
-        PerfExpr { poly: self.poly - rhs.poly, vars }.prune_vars()
+        PerfExpr {
+            poly: self.poly - rhs.poly,
+            vars,
+        }
+        .prune_vars()
     }
 }
 
 impl std::ops::AddAssign for PerfExpr {
+    /// In-place accumulation: the workhorse of `aggregate`'s `total += node`
+    /// loops, so it must not clone the metadata map or the term vector.
     fn add_assign(&mut self, rhs: PerfExpr) {
-        *self = self.clone() + rhs;
+        // Adding a concrete cost (the common case in block aggregation) can
+        // only touch the constant term: metadata and symbol set are
+        // unchanged, so both the merge and the prune pass are skipped.
+        if rhs.vars.is_empty() && rhs.poly.is_constant() {
+            self.poly += rhs.poly;
+            return;
+        }
+        if self.vars.is_empty() && self.poly.is_constant() {
+            let lhs = std::mem::take(&mut self.poly);
+            self.poly = rhs.poly + lhs;
+            self.vars = rhs.vars;
+            return;
+        }
+        PerfExpr::merge_vars_into(&mut self.vars, &rhs.vars);
+        self.poly += rhs.poly;
+        self.prune_vars_in_place();
     }
 }
 

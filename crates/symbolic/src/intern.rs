@@ -1,12 +1,19 @@
-//! Hash-consed symbol and monomial tables behind the optimized [`crate::Poly`].
+//! Hash-consed symbol, monomial, and polynomial tables behind the optimized
+//! [`crate::Poly`].
 //!
 //! Every distinct monomial is interned exactly once and identified by a
 //! [`MonoId`]; id equality is structural equality, so polynomial arithmetic
 //! reduces to merging sorted `u32` runs instead of cloning and re-comparing
-//! `Vec<(Symbol, i32)>` factor lists. The tables are append-only:
+//! `Vec<(Symbol, i32)>` factor lists. A second table does the same for whole
+//! canonical polynomials: a [`PolyId`] names one id-sorted term vector, so
+//! the algebra memos (`pow`, `subst`, products, summations) key on packed
+//! integer ids instead of hashing and cloning entire `Poly` values. The
+//! tables are append-only:
 //!
 //! - A process-wide table (`OnceLock<RwLock<Global>>`) assigns ids. It is
-//!   touched only the first time any thread encounters a symbol or monomial.
+//!   touched only the first time any thread encounters a symbol, monomial,
+//!   or polynomial; batch-prediction workers therefore share one arena and
+//!   hit each other's warm entries.
 //! - Each thread keeps a mirror of the global table plus its own memo
 //!   caches (monomial products, `split_symbol` results) and a scratch-buffer
 //!   pool for merge-based polynomial ops. Ids are never invalidated, so
@@ -18,7 +25,11 @@
 //! larger ones spill to a leaked slice. Entries also leak their canonical
 //! [`Monomial`] so `Poly::terms()` can keep handing out `&Monomial` without
 //! ownership gymnastics; the leak is bounded by the number of distinct
-//! monomials ever created, which is tiny for this workload.
+//! monomials ever created, which is tiny for this workload. Polynomial
+//! entries leak their canonical term slice the same way, bounded by
+//! [`POLY_ARENA_CAP`]: past the cap, [`intern_poly`] reports
+//! [`POLY_UNINTERNED`] and callers fall back to direct (unmemoized)
+//! computation instead of growing the arena.
 
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
@@ -32,9 +43,23 @@ pub(crate) type SymId = u32;
 /// Interned monomial id: index into the monomial table.
 pub(crate) type MonoId = u32;
 
+/// Interned polynomial id: index into the polynomial table.
+pub(crate) type PolyId = u32;
+
 /// The constant monomial `1` is always entry 0, so a polynomial's constant
 /// term (if present) is always the first element of its id-sorted term list.
 pub(crate) const MONO_ONE: MonoId = 0;
+
+/// Sentinel returned by [`intern_poly`] once the arena is full: the
+/// polynomial is *not* interned and the caller must compute unmemoized.
+/// Never a valid table index.
+pub(crate) const POLY_UNINTERNED: PolyId = u32::MAX;
+
+/// Hard cap on distinct interned polynomials. Entries leak (by design —
+/// ids must stay valid forever), so a pathological workload producing
+/// unboundedly many distinct polynomials must not grow the arena without
+/// limit; past the cap the algebra simply stops memoizing new shapes.
+pub(crate) const POLY_ARENA_CAP: usize = 1 << 20;
 
 /// Memo caches are cleared (not evicted) past this size; the workloads here
 /// never approach it, it only guards against pathological inputs.
@@ -62,7 +87,10 @@ impl Factors {
         if fs.len() <= 2 {
             let mut fac = [(0, 0); 2];
             fac[..fs.len()].copy_from_slice(fs);
-            Factors::Inline { len: fs.len() as u8, fac }
+            Factors::Inline {
+                len: fs.len() as u8,
+                fac,
+            }
         } else {
             Factors::Spill(Box::leak(fs.to_vec().into_boxed_slice()))
         }
@@ -82,11 +110,17 @@ pub(crate) struct MonoEntry {
     pub(crate) has_neg: bool,
 }
 
+/// One polynomial-table entry: the canonical id-sorted term slice, leaked
+/// so every thread mirror shares the same storage.
+type PolyTerms = &'static [(MonoId, Rational)];
+
 struct Global {
     syms: Vec<Symbol>,
     sym_ids: HashMap<Symbol, SymId>,
     monos: Vec<MonoEntry>,
     mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
+    polys: Vec<PolyTerms>,
+    poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
 }
 
 impl Global {
@@ -103,6 +137,8 @@ impl Global {
             sym_ids: HashMap::new(),
             monos: vec![entry],
             mono_ids: HashMap::from([(Vec::new().into_boxed_slice(), MONO_ONE)]),
+            polys: Vec::new(),
+            poly_ids: HashMap::new(),
         }
     }
 }
@@ -119,6 +155,8 @@ struct Local {
     sym_ids: HashMap<Symbol, SymId>,
     monos: Vec<MonoEntry>,
     mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
+    polys: Vec<PolyTerms>,
+    poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
     mul_cache: HashMap<(MonoId, MonoId), MonoId>,
     split_cache: HashMap<(MonoId, SymId), (i32, MonoId)>,
     scratch: Vec<Vec<(MonoId, Rational)>>,
@@ -138,9 +176,17 @@ fn sync(l: &mut Local, g: &Global) {
     }
     for i in l.monos.len()..g.monos.len() {
         let e = g.monos[i];
-        l.mono_ids
-            .insert(e.factors.as_slice().to_vec().into_boxed_slice(), i as MonoId);
+        l.mono_ids.insert(
+            e.factors.as_slice().to_vec().into_boxed_slice(),
+            i as MonoId,
+        );
         l.monos.push(e);
+    }
+    for i in l.polys.len()..g.polys.len() {
+        let terms = g.polys[i];
+        l.poly_ids
+            .insert(terms.to_vec().into_boxed_slice(), i as PolyId);
+        l.polys.push(terms);
     }
 }
 
@@ -287,10 +333,79 @@ fn mono_split_in(l: &mut Local, id: MonoId, sid: SymId) -> (i32, MonoId) {
     r
 }
 
+/// Interns a canonical (id-sorted, zero-free) polynomial term slice.
+/// Returns [`POLY_UNINTERNED`] once the arena holds [`POLY_ARENA_CAP`]
+/// distinct polynomials; callers must then skip memoization.
+fn intern_poly_in(l: &mut Local, terms: &[(MonoId, Rational)]) -> PolyId {
+    if let Some(&id) = l.poly_ids.get(terms) {
+        return id;
+    }
+    {
+        let g = global().read().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = g.poly_ids.get(terms) {
+            sync(l, &g);
+            return id;
+        }
+        if g.polys.len() >= POLY_ARENA_CAP {
+            return POLY_UNINTERNED;
+        }
+    }
+    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = g.poly_ids.get(terms) {
+        sync(l, &g);
+        return id;
+    }
+    if g.polys.len() >= POLY_ARENA_CAP {
+        return POLY_UNINTERNED;
+    }
+    let leaked: PolyTerms = Box::leak(terms.to_vec().into_boxed_slice());
+    let id = g.polys.len() as PolyId;
+    g.polys.push(leaked);
+    g.poly_ids.insert(terms.to_vec().into_boxed_slice(), id);
+    sync(l, &g);
+    id
+}
+
+/// Makes sure poly ids up to and including `id` are present in the mirror.
+fn ensure_poly(l: &mut Local, id: PolyId) {
+    if (id as usize) >= l.polys.len() {
+        let g = global().read().unwrap_or_else(|e| e.into_inner());
+        sync(l, &g);
+    }
+}
+
 // ---- public (crate) surface -------------------------------------------------
+
+/// Interns a canonical polynomial term slice; see [`intern_poly_in`].
+pub(crate) fn intern_poly(terms: &[(MonoId, Rational)]) -> PolyId {
+    LOCAL.with(|l| intern_poly_in(&mut l.borrow_mut(), terms))
+}
+
+/// The canonical term slice for an interned polynomial id.
+pub(crate) fn poly_terms(id: PolyId) -> PolyTerms {
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        ensure_poly(l, id);
+        l.polys[id as usize]
+    })
+}
 
 pub(crate) fn sym_id(sym: &Symbol) -> SymId {
     LOCAL.with(|l| sym_id_in(&mut l.borrow_mut(), sym))
+}
+
+/// The canonical shared [`Symbol`] for `name`, interning it on first use —
+/// the allocation-free path behind [`Symbol::interned`].
+pub(crate) fn symbol_named(name: &str) -> Symbol {
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        if let Some((sym, _)) = l.sym_ids.get_key_value(name) {
+            return sym.clone();
+        }
+        let sym = Symbol::new(name);
+        sym_id_in(l, &sym);
+        sym
+    })
 }
 
 /// The canonical interned monomial for `id`.
@@ -350,7 +465,11 @@ pub(crate) fn mono_pow(id: MonoId, exp: i32) -> MonoId {
         let l = &mut *l.borrow_mut();
         ensure_mono(l, id);
         let factors = l.monos[id as usize].factors;
-        let fs: Vec<(SymId, i32)> = factors.as_slice().iter().map(|&(s, e)| (s, e * exp)).collect();
+        let fs: Vec<(SymId, i32)> = factors
+            .as_slice()
+            .iter()
+            .map(|&(s, e)| (s, e * exp))
+            .collect();
         intern_factors_in(l, &fs)
     })
 }
@@ -426,6 +545,35 @@ mod tests {
             .join()
             .unwrap();
         assert_eq!(mono(id).to_string(), "tq^5");
+    }
+
+    #[test]
+    fn poly_ids_are_structural_identity() {
+        let x = mono_power(&s("px"), 1);
+        let terms = [
+            (MONO_ONE, Rational::from_int(3)),
+            (x, Rational::from_int(2)),
+        ];
+        let a = intern_poly(&terms);
+        let b = intern_poly(&terms);
+        assert_eq!(a, b);
+        assert_ne!(a, POLY_UNINTERNED);
+        assert_eq!(poly_terms(a), &terms[..]);
+        let other = intern_poly(&[(x, Rational::from_int(7))]);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn cross_thread_poly_ids_resolve() {
+        let id = std::thread::spawn(|| {
+            let y = mono_power(&s("py"), 2);
+            intern_poly(&[(y, Rational::from_int(5))])
+        })
+        .join()
+        .unwrap();
+        let terms = poly_terms(id);
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].1, Rational::from_int(5));
     }
 
     #[test]

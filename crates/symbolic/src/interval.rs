@@ -129,21 +129,32 @@ impl fmt::Display for Interval {
 impl std::ops::Add for Interval {
     type Output = Interval;
     fn add(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
     }
 }
 
 impl std::ops::Sub for Interval {
     type Output = Interval;
     fn sub(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
     }
 }
 
 impl std::ops::Mul for Interval {
     type Output = Interval;
     fn mul(self, rhs: Interval) -> Interval {
-        let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let c = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
         let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Interval { lo, hi }
@@ -153,7 +164,10 @@ impl std::ops::Mul for Interval {
 impl std::ops::Neg for Interval {
     type Output = Interval;
     fn neg(self) -> Interval {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 

@@ -35,7 +35,9 @@ pub struct Monomial {
 impl Monomial {
     /// The empty monomial (multiplicative identity, i.e. the constant 1).
     pub fn one() -> Monomial {
-        Monomial { factors: Vec::new() }
+        Monomial {
+            factors: Vec::new(),
+        }
     }
 
     /// A single variable to the first power.
@@ -48,7 +50,9 @@ impl Monomial {
         if exp == 0 {
             Monomial::one()
         } else {
-            Monomial { factors: vec![(sym, exp)] }
+            Monomial {
+                factors: vec![(sym, exp)],
+            }
         }
     }
 
@@ -318,6 +322,9 @@ mod tests {
         let xy = Monomial::from_pairs([(sym("x"), 1), (sym("y"), 1)]);
         let x = Monomial::var(sym("x"));
         assert!(x < x2);
-        assert!(xy < x2, "same degree: higher power of the earlier symbol sorts later");
+        assert!(
+            xy < x2,
+            "same degree: higher power of the earlier symbol sorts later"
+        );
     }
 }

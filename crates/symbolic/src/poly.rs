@@ -15,7 +15,7 @@
 //! implementation is preserved verbatim in [`crate::reference`] and the
 //! differential suite proves both produce identical canonical forms.
 
-use crate::intern::{self, MonoId, MONO_ONE};
+use crate::intern::{self, MonoId, PolyId, SymId, MONO_ONE, POLY_UNINTERNED};
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
 use crate::Rational;
@@ -44,14 +44,35 @@ pub struct Poly {
 
 const MEMO_CAP: usize = 1 << 13;
 
+/// Polynomials with at most this many terms bypass the arena and the memos:
+/// hashing and interning them costs as much as just computing the answer, and
+/// they are the overwhelming majority of per-block costs.
+const SMALL_POLY: usize = 2;
+
 thread_local! {
-    /// `(base, exp) -> base^exp` for exponents ≥ 2.
-    static POW_MEMO: RefCell<HashMap<(Poly, u32), Poly>> = RefCell::new(HashMap::new());
-    /// `(poly, symbol id, replacement) -> substituted` — aggregation re-runs
-    /// the same handful of substitutions (loop shifts, steady-state probes)
-    /// constantly, so this is the single highest-value cache in the engine.
-    static SUBST_MEMO: RefCell<HashMap<(Poly, u32, Poly), Result<Poly, SubstError>>> =
+    /// `(base PolyId << 32 | exp) -> result PolyId` for exponents ≥ 2 on
+    /// interned (> [`SMALL_POLY`]-term) bases.
+    static POW_MEMO: RefCell<HashMap<u64, PolyId>> = RefCell::new(HashMap::new());
+    /// `(PolyId, SymId, replacement PolyId) -> substituted id` — aggregation
+    /// re-runs the same handful of substitutions (loop shifts, steady-state
+    /// probes) constantly, so this is the single highest-value cache in the
+    /// engine. Id keys: a hit costs two table lookups instead of cloning and
+    /// hashing three whole term vectors.
+    static SUBST_MEMO: RefCell<HashMap<(PolyId, SymId, PolyId), Result<PolyId, SubstError>>> =
         RefCell::new(HashMap::new());
+    /// Order-normalized `(min PolyId << 32 | max PolyId) -> product id` for
+    /// products where both operands exceed [`SMALL_POLY`] terms.
+    static MUL_MEMO: RefCell<HashMap<u64, PolyId>> = RefCell::new(HashMap::new());
+}
+
+#[cfg(test)]
+fn pow_memo_len() -> usize {
+    POW_MEMO.with(|m| m.borrow().len())
+}
+
+#[cfg(test)]
+fn subst_memo_len() -> usize {
+    SUBST_MEMO.with(|m| m.borrow().len())
 }
 
 /// Merges two id-sorted term runs; `negate_b` subtracts instead of adding.
@@ -75,7 +96,11 @@ fn merge_terms(
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                let c = if negate_b { a[i].1 - b[j].1 } else { a[i].1 + b[j].1 };
+                let c = if negate_b {
+                    a[i].1 - b[j].1
+                } else {
+                    a[i].1 + b[j].1
+                };
                 if !c.is_zero() {
                     out.push((a[i].0, c));
                 }
@@ -131,13 +156,17 @@ impl Poly {
         if c.is_zero() {
             Poly::zero()
         } else {
-            Poly { terms: vec![(MONO_ONE, c)] }
+            Poly {
+                terms: vec![(MONO_ONE, c)],
+            }
         }
     }
 
     /// The polynomial consisting of a single variable.
     pub fn var(sym: Symbol) -> Poly {
-        Poly { terms: vec![(intern::mono_power(&sym, 1), Rational::ONE)] }
+        Poly {
+            terms: vec![(intern::mono_power(&sym, 1), Rational::ONE)],
+        }
     }
 
     /// A single-term polynomial `coeff * mono`.
@@ -146,7 +175,9 @@ impl Poly {
         if coeff.is_zero() {
             Poly::zero()
         } else {
-            Poly { terms: vec![(intern::intern_mono(&mono), coeff)] }
+            Poly {
+                terms: vec![(intern::intern_mono(&mono), coeff)],
+            }
         }
     }
 
@@ -154,7 +185,22 @@ impl Poly {
         if coeff.is_zero() {
             Poly::zero()
         } else {
-            Poly { terms: vec![(id, coeff)] }
+            Poly {
+                terms: vec![(id, coeff)],
+            }
+        }
+    }
+
+    /// Interns the canonical term slice into the global arena; returns
+    /// [`POLY_UNINTERNED`] once the arena is at capacity.
+    pub(crate) fn interned_id(&self) -> PolyId {
+        intern::intern_poly(&self.terms)
+    }
+
+    /// Reconstructs a polynomial from its arena id (copies the shared slice).
+    pub(crate) fn from_interned(id: PolyId) -> Poly {
+        Poly {
+            terms: intern::poly_terms(id).to_vec(),
         }
     }
 
@@ -166,7 +212,9 @@ impl Poly {
                 scratch.push((intern::mono_power(sym, i as i32), *c));
             }
         }
-        Poly { terms: coalesce(&mut scratch) }
+        Poly {
+            terms: coalesce(&mut scratch),
+        }
     }
 
     /// Returns `true` if this is the zero polynomial.
@@ -276,7 +324,9 @@ impl Poly {
 
     /// Returns `true` if any term has a negative exponent (a `1/x^k` term).
     pub fn has_negative_exponents(&self) -> bool {
-        self.terms.iter().any(|&(id, _)| intern::mono_entry(id).has_neg)
+        self.terms
+            .iter()
+            .any(|&(id, _)| intern::mono_entry(id).has_neg)
     }
 
     /// Highest exponent of `sym` across terms (0 for absent symbols; may be
@@ -353,11 +403,14 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly { terms: self.terms.iter().map(|&(m, v)| (m, v * c)).collect() }
+        Poly {
+            terms: self.terms.iter().map(|&(m, v)| (m, v * c)).collect(),
+        }
     }
 
-    /// Raises the polynomial to a non-negative power (memoized per thread
-    /// for exponents ≥ 2).
+    /// Raises the polynomial to a non-negative power (memoized per thread on
+    /// the interned id for exponents ≥ 2; bases of at most [`SMALL_POLY`]
+    /// terms compute inline without touching the arena).
     pub fn pow(&self, exp: u32) -> Poly {
         match exp {
             0 => return Poly::one(),
@@ -367,21 +420,36 @@ impl Poly {
         if let Some(c) = self.constant_value() {
             return Poly::constant(c.pow(exp as i32));
         }
-        let key = (self.clone(), exp);
-        if let Some(hit) = POW_MEMO.with(|m| m.borrow().get(&key).cloned()) {
-            return hit;
+        if self.terms.len() <= SMALL_POLY {
+            return self.pow_uncached(exp);
         }
+        let id = self.interned_id();
+        if id == POLY_UNINTERNED {
+            return self.pow_uncached(exp);
+        }
+        let key = ((id as u64) << 32) | exp as u64;
+        if let Some(hit) = POW_MEMO.with(|m| m.borrow().get(&key).copied()) {
+            return Poly::from_interned(hit);
+        }
+        let acc = self.pow_uncached(exp);
+        let rid = acc.interned_id();
+        if rid != POLY_UNINTERNED {
+            POW_MEMO.with(|m| {
+                let mut m = m.borrow_mut();
+                if m.len() >= MEMO_CAP {
+                    m.clear();
+                }
+                m.insert(key, rid);
+            });
+        }
+        acc
+    }
+
+    fn pow_uncached(&self, exp: u32) -> Poly {
         let mut acc = self.clone();
         for _ in 1..exp {
             acc = &acc * self;
         }
-        POW_MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            if m.len() >= MEMO_CAP {
-                m.clear();
-            }
-            m.insert(key, acc.clone());
-        });
         acc
     }
 
@@ -405,17 +473,37 @@ impl Poly {
             return Ok(self.clone());
         }
         let sid = intern::sym_id(sym);
-        let key = (self.clone(), sid, replacement.clone());
+        if self.terms.len() <= SMALL_POLY {
+            // Inline fast path: the heavy part of substituting a tiny
+            // polynomial is `replacement.pow`, which carries its own memo.
+            return self.subst_uncached(sym, sid, replacement);
+        }
+        let id = self.interned_id();
+        let rid = replacement.interned_id();
+        if id == POLY_UNINTERNED || rid == POLY_UNINTERNED {
+            return self.subst_uncached(sym, sid, replacement);
+        }
+        let key = (id, sid, rid);
         if let Some(hit) = SUBST_MEMO.with(|m| m.borrow().get(&key).cloned()) {
-            return hit;
+            return hit.map(Poly::from_interned);
         }
         let result = self.subst_uncached(sym, sid, replacement);
+        let entry = match &result {
+            Ok(p) => {
+                let pid = p.interned_id();
+                if pid == POLY_UNINTERNED {
+                    return result;
+                }
+                Ok(pid)
+            }
+            Err(e) => Err(e.clone()),
+        };
         SUBST_MEMO.with(|m| {
             let mut m = m.borrow_mut();
             if m.len() >= MEMO_CAP {
                 m.clear();
             }
-            m.insert(key, result.clone());
+            m.insert(key, entry);
         });
         result
     }
@@ -438,10 +526,16 @@ impl Poly {
             } else {
                 // Negative power: replacement must be invertible as a monomial.
                 let (rc, rm) = replacement.single_term_id().ok_or_else(|| {
-                    SubstError::new(sym, "replacement for a negative power must be a single nonzero term")
+                    SubstError::new(
+                        sym,
+                        "replacement for a negative power must be a single nonzero term",
+                    )
                 })?;
                 if rc.is_zero() {
-                    return Err(SubstError::new(sym, "cannot substitute zero into a negative power"));
+                    return Err(SubstError::new(
+                        sym,
+                        "cannot substitute zero into a negative power",
+                    ));
                 }
                 let inv = Poly::from_id(intern::mono_pow(rm, exp), rc.pow(exp)).scale(coeff);
                 let shifted = inv.mul_mono(rest);
@@ -557,7 +651,10 @@ impl Poly {
         for &(id, coeff) in &self.terms {
             let (exp, rest) = intern::mono_split(id, sid);
             if exp == -1 {
-                return Err(SubstError::new(sym, "x^-1 integrates to a logarithm; drop the term first"));
+                return Err(SubstError::new(
+                    sym,
+                    "x^-1 integrates to a logarithm; drop the term first",
+                ));
             }
             let new_mono = intern::mono_mul(rest, intern::mono_power(sym, exp + 1));
             out.insert_id(new_mono, coeff / Rational::from_int((exp + 1) as i64));
@@ -575,7 +672,10 @@ impl Poly {
         let mut by_exp: BTreeMap<i32, Poly> = BTreeMap::new();
         for &(id, coeff) in &self.terms {
             let (exp, rest) = intern::mono_split(id, sid);
-            by_exp.entry(exp).or_insert_with(Poly::zero).insert_id(rest, coeff);
+            by_exp
+                .entry(exp)
+                .or_insert_with(Poly::zero)
+                .insert_id(rest, coeff);
         }
         by_exp.into_iter().filter(|(_, p)| !p.is_zero()).collect()
     }
@@ -602,7 +702,11 @@ impl Poly {
             .iter()
             .filter_map(|&(id, c)| {
                 let c = f(intern::mono(id), c);
-                if c.is_zero() { None } else { Some((id, c)) }
+                if c.is_zero() {
+                    None
+                } else {
+                    Some((id, c))
+                }
             })
             .collect();
         Poly { terms }
@@ -629,7 +733,10 @@ pub struct SubstError {
 
 impl SubstError {
     pub(crate) fn new(sym: &Symbol, reason: &'static str) -> SubstError {
-        SubstError { symbol: sym.name().to_string(), reason }
+        SubstError {
+            symbol: sym.name().to_string(),
+            reason,
+        }
     }
 
     /// The symbol that triggered the failure.
@@ -640,7 +747,11 @@ impl SubstError {
 
 impl fmt::Display for SubstError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "substitution failed for `{}`: {}", self.symbol, self.reason)
+        write!(
+            f,
+            "substitution failed for `{}`: {}",
+            self.symbol, self.reason
+        )
     }
 }
 
@@ -719,6 +830,46 @@ impl SubAssign for Poly {
     }
 }
 
+/// The full scratch-buffer product (no memo consultation).
+fn mul_raw(a: &Poly, b: &Poly) -> Poly {
+    let mut scratch = intern::take_scratch();
+    for &(ma, ca) in &a.terms {
+        for &(mb, cb) in &b.terms {
+            scratch.push((intern::mono_mul(ma, mb), ca * cb));
+        }
+    }
+    let terms = coalesce(&mut scratch);
+    intern::put_scratch(scratch);
+    Poly { terms }
+}
+
+/// Id-keyed product memo for operands that both exceed [`SMALL_POLY`] terms.
+/// Multiplication is commutative, so the key is order-normalized. Returns
+/// `None` when either operand fails to intern (arena at capacity) — the
+/// caller then computes directly.
+fn mul_memoized(a: &Poly, b: &Poly) -> Option<Poly> {
+    let (ia, ib) = (a.interned_id(), b.interned_id());
+    if ia == POLY_UNINTERNED || ib == POLY_UNINTERNED {
+        return None;
+    }
+    let key = ((ia.min(ib) as u64) << 32) | ia.max(ib) as u64;
+    if let Some(hit) = MUL_MEMO.with(|m| m.borrow().get(&key).copied()) {
+        return Some(Poly::from_interned(hit));
+    }
+    let prod = mul_raw(a, b);
+    let rid = prod.interned_id();
+    if rid != POLY_UNINTERNED {
+        MUL_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= MEMO_CAP {
+                m.clear();
+            }
+            m.insert(key, rid);
+        });
+    }
+    Some(prod)
+}
+
 impl Mul for &Poly {
     type Output = Poly;
     fn mul(self, rhs: &Poly) -> Poly {
@@ -731,15 +882,12 @@ impl Mul for &Poly {
         if let Some(c) = rhs.constant_value() {
             return self.scale(c);
         }
-        let mut scratch = intern::take_scratch();
-        for &(ma, ca) in &self.terms {
-            for &(mb, cb) in &rhs.terms {
-                scratch.push((intern::mono_mul(ma, mb), ca * cb));
+        if self.terms.len() > SMALL_POLY && rhs.terms.len() > SMALL_POLY {
+            if let Some(p) = mul_memoized(self, rhs) {
+                return p;
             }
         }
-        let terms = coalesce(&mut scratch);
-        intern::put_scratch(scratch);
-        Poly { terms }
+        mul_raw(self, rhs)
     }
 }
 
@@ -777,8 +925,11 @@ impl fmt::Display for Poly {
         }
         // Highest-degree terms first reads naturally: sort descending grlex
         // at format time (display is cold; arithmetic order is id order).
-        let mut view: Vec<(&Monomial, Rational)> =
-            self.terms.iter().map(|&(id, c)| (intern::mono(id), c)).collect();
+        let mut view: Vec<(&Monomial, Rational)> = self
+            .terms
+            .iter()
+            .map(|&(id, c)| (intern::mono(id), c))
+            .collect();
         view.sort_unstable_by(|a, b| b.0.cmp(a.0));
         let mut first = true;
         for (mono, coeff) in view {
@@ -974,7 +1125,11 @@ mod tests {
                 Rational::from_int(4)
             ])
         );
-        assert_eq!(p.univariate_coeffs(&sym("x")), None, "coefficient contains y");
+        assert_eq!(
+            p.univariate_coeffs(&sym("x")),
+            None,
+            "coefficient contains y"
+        );
     }
 
     #[test]
@@ -994,6 +1149,56 @@ mod tests {
     fn pow_zero_is_one() {
         assert_eq!(var("x").pow(0), Poly::one());
         assert_eq!(var("x").pow(3).to_string(), "x^3");
+    }
+
+    #[test]
+    fn memo_caps_evict_instead_of_growing() {
+        // Drive both id-keyed memos past MEMO_CAP with distinct >SMALL_POLY
+        // bases and check they clear rather than grow without bound — the
+        // regression this guards is a multi-machine run accreting a memo
+        // entry per (machine × polynomial) shape forever.
+        let x = var("x");
+        let x2 = &x * &x;
+        let y = sym("y");
+        for i in 0..(MEMO_CAP as i64 + 64) {
+            let base = &x2 + &(&x + &Poly::from(i + 1));
+            assert_eq!(base.num_terms(), 3);
+            let sq = base.pow(2);
+            assert_eq!(sq.degree_in(&sym("x")), 4);
+            let sub = base.subst(&sym("x"), &Poly::var(y.clone())).unwrap();
+            assert_eq!(sub.degree_in(&y), 2);
+            assert!(pow_memo_len() <= MEMO_CAP, "POW_MEMO grew past its cap");
+            assert!(subst_memo_len() <= MEMO_CAP, "SUBST_MEMO grew past its cap");
+        }
+    }
+
+    #[test]
+    fn small_polys_bypass_the_memos() {
+        let before_pow = pow_memo_len();
+        let before_subst = subst_memo_len();
+        let p = var("u") + Poly::from(1);
+        assert_eq!(p.pow(3).to_string(), "u^3 + 3*u^2 + 3*u + 1");
+        let s = p.subst(&sym("u"), &(var("v") + Poly::from(2))).unwrap();
+        assert_eq!(s.to_string(), "v + 3");
+        assert_eq!(
+            pow_memo_len(),
+            before_pow,
+            "2-term base should not be memoized"
+        );
+        assert_eq!(
+            subst_memo_len(),
+            before_subst,
+            "2-term subst should not be memoized"
+        );
+    }
+
+    #[test]
+    fn interned_round_trip_preserves_canonical_form() {
+        let p = (&var("a") + &var("b")) * (&var("a") - &var("b")) + Poly::from(9);
+        let id = p.interned_id();
+        assert_ne!(id, POLY_UNINTERNED);
+        assert_eq!(Poly::from_interned(id), p);
+        assert_eq!(p.interned_id(), id, "re-interning is stable");
     }
 
     #[test]

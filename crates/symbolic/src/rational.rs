@@ -27,9 +27,24 @@ pub struct Rational {
     den: i128,
 }
 
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+fn gcd(a: i128, b: i128) -> i128 {
+    let (a, b) = (a.unsigned_abs(), b.unsigned_abs());
+    // Software 128-bit division is ~20× a hardware divide; nearly every
+    // coefficient in a cost expression fits u64, so run the Euclidean loop
+    // at the narrow width whenever both magnitudes allow it.
+    if let (Ok(a64), Ok(b64)) = (u64::try_from(a), u64::try_from(b)) {
+        return gcd_u64(a64, b64) as i128;
+    }
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i128
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         let t = a % b;
         a = b;
@@ -60,6 +75,20 @@ impl Rational {
     /// ```
     pub fn new(num: i128, den: i128) -> Rational {
         assert!(den != 0, "rational denominator must be nonzero");
+        // Narrow path: cost-expression coefficients almost always fit i64,
+        // where reduction runs on hardware divides instead of __divti3.
+        if let (Ok(n64), Ok(d64)) = (i64::try_from(num), i64::try_from(den)) {
+            if let Ok(g) = i64::try_from(gcd_u64(n64.unsigned_abs(), d64.unsigned_abs())) {
+                // `den != 0` ⇒ `g ≥ 1`; negate after widening so
+                // `i64::MIN / 1` stays representable.
+                let (mut n, mut d) = ((n64 / g) as i128, (d64 / g) as i128);
+                if d < 0 {
+                    n = -n;
+                    d = -d;
+                }
+                return Rational { num: n, den: d };
+            }
+        }
         let g = gcd(num, den);
         let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
         if den < 0 {
@@ -71,7 +100,10 @@ impl Rational {
 
     /// Creates a rational from an integer.
     pub fn from_int(n: i64) -> Rational {
-        Rational { num: n as i128, den: 1 }
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// The numerator (sign-carrying).
@@ -116,7 +148,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -161,6 +196,16 @@ impl Rational {
         -((-self.num).div_euclid(self.den))
     }
 
+    /// `(num, den)` narrowed to i64 when both fit — the gate for the
+    /// hardware-arithmetic fast paths in `Add`/`Mul`.
+    #[inline]
+    fn as_i64_parts(&self) -> Option<(i64, i64)> {
+        match (i64::try_from(self.num), i64::try_from(self.den)) {
+            (Ok(n), Ok(d)) => Some((n, d)),
+            _ => None,
+        }
+    }
+
     fn checked(num: Option<i128>, den: Option<i128>) -> Rational {
         let num = num.expect("rational arithmetic overflowed i128");
         let den = den.expect("rational arithmetic overflowed i128");
@@ -189,14 +234,40 @@ impl From<i32> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
+        // Integer + integer (the overwhelming case in cycle accounting)
+        // needs no gcd, no division, and no re-reduction.
+        if self.den == 1 && rhs.den == 1 {
+            return Rational {
+                num: self
+                    .num
+                    .checked_add(rhs.num)
+                    .expect("rational arithmetic overflowed i128"),
+                den: 1,
+            };
+        }
+        // Narrow path: everything in hardware i64 arithmetic, falling back
+        // to the wide path only on an intermediate overflow.
+        if let (Some((ln, ld)), Some((rn, rd))) = (self.as_i64_parts(), rhs.as_i64_parts()) {
+            let g = gcd_u64(ld as u64, rd as u64) as i64;
+            let (ls, rs) = (rd / g, ld / g);
+            if let (Some(a), Some(b), Some(d)) =
+                (ln.checked_mul(ls), rn.checked_mul(rs), ld.checked_mul(ls))
+            {
+                if let Some(n) = a.checked_add(b) {
+                    return Rational::new(n as i128, d as i128);
+                }
+            }
+        }
         // Reduce by gcd of denominators first to keep magnitudes small.
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
         Rational::checked(
-            self.num
-                .checked_mul(lhs_scale)
-                .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b))),
+            self.num.checked_mul(lhs_scale).and_then(|a| {
+                rhs.num
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            }),
             self.den.checked_mul(lhs_scale),
         )
     }
@@ -212,6 +283,35 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
+        // Integer × integer: the product is already in lowest terms.
+        if self.den == 1 && rhs.den == 1 {
+            return Rational {
+                num: self
+                    .num
+                    .checked_mul(rhs.num)
+                    .expect("rational arithmetic overflowed i128"),
+                den: 1,
+            };
+        }
+        // Narrow path: cross-reduce and multiply in hardware i64
+        // arithmetic. Both inputs are in lowest terms, so the cross-reduced
+        // product already is too — no re-reduction needed.
+        if let (Some((ln, ld)), Some((rn, rd))) = (self.as_i64_parts(), rhs.as_i64_parts()) {
+            let g1 = gcd_u64(ln.unsigned_abs(), rd as u64).max(1) as i64;
+            let g2 = gcd_u64(rn.unsigned_abs(), ld as u64).max(1) as i64;
+            if let (Some(n), Some(d)) = (
+                (ln / g1).checked_mul(rn / g2),
+                (ld / g2).checked_mul(rd / g1),
+            ) {
+                if n == 0 {
+                    return Rational::ZERO;
+                }
+                return Rational {
+                    num: n as i128,
+                    den: d as i128,
+                };
+            }
+        }
         // Cross-reduce before multiplying to avoid overflow.
         let g1 = gcd(self.num, rhs.den).max(1);
         let g2 = gcd(rhs.num, self.den).max(1);
@@ -232,7 +332,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -268,10 +371,70 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
+        // Integer vs integer compares directly.
+        if self.den == 1 && other.den == 1 {
+            return self.num.cmp(&other.num);
+        }
+        // Fast discriminations first: sign classes and equality need no
+        // multiplication at all.
+        let sign = self.num.signum().cmp(&other.num.signum());
+        if sign != Ordering::Equal {
+            return sign;
+        }
+        if self == other {
+            return Ordering::Equal;
+        }
         // den > 0 for both sides, so cross-multiplication preserves order.
-        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflowed");
-        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflowed");
-        lhs.cmp(&rhs)
+        // Cross-reduce by the gcd pairs first: both values are already in
+        // lowest terms, so gcd(self.num, other.num) and gcd(self.den,
+        // other.den) divide out of both products without changing the sign
+        // of the difference, keeping boundary-sized operands in range.
+        let gn = gcd(self.num, other.num).max(1);
+        let gd = gcd(self.den, other.den).max(1);
+        let (ln, ld) = (self.num / gn, self.den / gd);
+        let (rn, rd) = (other.num / gn, other.den / gd);
+        match (ln.checked_mul(rd), rn.checked_mul(ld)) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            // Still out of range after reduction: compare by continued
+            // fractions (exact, no wide arithmetic). Signs are equal and
+            // nonzero here, so work on magnitudes and flip for negatives.
+            _ => {
+                let flip = self.num < 0;
+                let ord = cmp_frac(
+                    ln.unsigned_abs(),
+                    ld.unsigned_abs(),
+                    rn.unsigned_abs(),
+                    rd.unsigned_abs(),
+                );
+                if flip {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            }
+        }
+    }
+}
+
+/// Compares `a/b` with `c/d` (all nonzero magnitudes) by Euclidean descent
+/// on the continued-fraction expansions — exact for any i128 inputs without
+/// ever widening a multiplication.
+fn cmp_frac(mut a: u128, mut b: u128, mut c: u128, mut d: u128) -> Ordering {
+    loop {
+        let (qa, ra) = (a / b, a % b);
+        let (qc, rc) = (c / d, c % d);
+        if qa != qc {
+            return qa.cmp(&qc);
+        }
+        // Equal integer parts: compare fractional remainders ra/b vs rc/d,
+        // i.e. the reciprocals d/rc vs b/ra with the order reversed.
+        match (ra == 0, rc == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {}
+        }
+        (a, b, c, d) = (d, rc, b, ra);
     }
 }
 
@@ -334,6 +497,47 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::new(7, 2) > Rational::from_int(3));
+    }
+
+    #[test]
+    fn ordering_near_i128_boundary_does_not_overflow() {
+        // Cross-reduction handles shared factors: naive cross-multiply of
+        // MAX/2 vs MAX/3 computes MAX*3 and panics.
+        let max = i128::MAX;
+        assert!(Rational::new(max, 3) < Rational::new(max, 2));
+        assert!(Rational::new(-max, 2) < Rational::new(-max, 3));
+        assert_eq!(
+            Rational::new(max, 2).cmp(&Rational::new(max, 2)),
+            Ordering::Equal
+        );
+
+        // Coprime case where reduction cannot help: (2^100+1)/2^100 vs
+        // 2^100/(2^100-1); both cross-products are ~2^200. The continued-
+        // fraction fallback must still get the order right.
+        let big = 1i128 << 100;
+        let a = Rational::new(big + 1, big);
+        let b = Rational::new(big, big - 1);
+        assert!(a < b);
+        assert!(-a > -b);
+        assert!(b > a);
+
+        // Mixed signs and zero stay trivially ordered.
+        assert!(Rational::new(-max, 1) < Rational::ZERO);
+        assert!(Rational::ZERO < Rational::new(1, max));
+        assert!(Rational::new(max, 1) > Rational::new(max - 1, 1));
+    }
+
+    #[test]
+    fn ordering_continued_fraction_descends_multiple_levels() {
+        // 2^100/(2^100+3) vs (2^100-2)/(2^100+1): equal integer parts (0),
+        // forcing the Euclidean descent to recurse past the first level.
+        let big = 1i128 << 100;
+        let a = Rational::new(big, big + 3);
+        let b = Rational::new(big - 2, big + 1);
+        // a = 1/(1 + 3/2^100), b = 1/(1 + 3/(2^100-2)); 3/2^100 < 3/(2^100-2)
+        // so a > b.
+        assert!(a > b);
+        assert!(-a < -b);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub struct Poly {
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Poly {
-        Poly { terms: BTreeMap::new() }
+        Poly {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant polynomial 1.
@@ -110,7 +112,10 @@ impl Poly {
 
     /// The coefficient of the constant (degree-0) term.
     pub fn constant_term(&self) -> Rational {
-        self.terms.get(&Monomial::one()).copied().unwrap_or(Rational::ZERO)
+        self.terms
+            .get(&Monomial::one())
+            .copied()
+            .unwrap_or(Rational::ZERO)
     }
 
     /// Number of (nonzero) terms.
@@ -192,7 +197,11 @@ impl Poly {
             return Poly::zero();
         }
         Poly {
-            terms: self.terms.iter().map(|(m, v)| (m.clone(), *v * c)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, v)| (m.clone(), *v * c))
+                .collect(),
         }
     }
 
@@ -227,11 +236,17 @@ impl Poly {
                 out += shifted;
             } else {
                 // Negative power: replacement must be invertible as a monomial.
-                let (rc, rm) = replacement
-                    .single_term()
-                    .ok_or_else(|| SubstError::new(sym, "replacement for a negative power must be a single nonzero term"))?;
+                let (rc, rm) = replacement.single_term().ok_or_else(|| {
+                    SubstError::new(
+                        sym,
+                        "replacement for a negative power must be a single nonzero term",
+                    )
+                })?;
                 if rc.is_zero() {
-                    return Err(SubstError::new(sym, "cannot substitute zero into a negative power"));
+                    return Err(SubstError::new(
+                        sym,
+                        "cannot substitute zero into a negative power",
+                    ));
                 }
                 let inv = Poly::term(rc.pow(exp), rm.pow(exp));
                 let shifted = &inv.scale(*coeff) * &Poly::term(Rational::ONE, rest);
@@ -314,7 +329,10 @@ impl Poly {
         for (mono, coeff) in &self.terms {
             let (exp, rest) = mono.split_symbol(sym);
             if exp == -1 {
-                return Err(SubstError::new(sym, "x^-1 integrates to a logarithm; drop the term first"));
+                return Err(SubstError::new(
+                    sym,
+                    "x^-1 integrates to a logarithm; drop the term first",
+                ));
             }
             let new_mono = rest.mul(&Monomial::power(sym.clone(), exp + 1));
             out.insert_term(new_mono, *coeff / Rational::from_int((exp + 1) as i64));
@@ -601,12 +619,18 @@ impl PerfExpr {
 
     /// A constant cycle count.
     pub fn cycles(n: i64) -> PerfExpr {
-        PerfExpr { poly: Poly::from(n), vars: BTreeMap::new() }
+        PerfExpr {
+            poly: Poly::from(n),
+            vars: BTreeMap::new(),
+        }
     }
 
     /// A constant rational cycle count.
     pub fn cycles_rational(r: Rational) -> PerfExpr {
-        PerfExpr { poly: Poly::constant(r), vars: BTreeMap::new() }
+        PerfExpr {
+            poly: Poly::constant(r),
+            vars: BTreeMap::new(),
+        }
     }
 
     /// Wraps a polynomial with explicit variable metadata; symbols missing
@@ -670,7 +694,11 @@ impl PerfExpr {
 
     /// Scales the expression by a rational factor.
     pub fn scale(&self, c: impl Into<Rational>) -> PerfExpr {
-        PerfExpr { poly: self.poly.scale(c), vars: self.vars.clone() }.prune_vars()
+        PerfExpr {
+            poly: self.poly.scale(c),
+            vars: self.vars.clone(),
+        }
+        .prune_vars()
     }
 
     /// Multiplies by another expression (used for `count × body`).
@@ -712,7 +740,10 @@ impl PerfExpr {
 
     /// The box of recorded variable ranges.
     pub fn range_box(&self) -> HashMap<Symbol, Interval> {
-        self.vars.iter().map(|(s, i)| (s.clone(), i.range)).collect()
+        self.vars
+            .iter()
+            .map(|(s, i)| (s.clone(), i.range))
+            .collect()
     }
 }
 
@@ -720,7 +751,11 @@ impl Add for PerfExpr {
     type Output = PerfExpr;
     fn add(self, rhs: PerfExpr) -> PerfExpr {
         let vars = self.merged_vars(&rhs);
-        PerfExpr { poly: self.poly + rhs.poly, vars }.prune_vars()
+        PerfExpr {
+            poly: self.poly + rhs.poly,
+            vars,
+        }
+        .prune_vars()
     }
 }
 
@@ -728,7 +763,11 @@ impl Sub for PerfExpr {
     type Output = PerfExpr;
     fn sub(self, rhs: PerfExpr) -> PerfExpr {
         let vars = self.merged_vars(&rhs);
-        PerfExpr { poly: self.poly - rhs.poly, vars }.prune_vars()
+        PerfExpr {
+            poly: self.poly - rhs.poly,
+            vars,
+        }
+        .prune_vars()
     }
 }
 
@@ -808,7 +847,8 @@ mod tests {
     fn seed_perf_expr_preserved() {
         let n = sym("n");
         let body = PerfExpr::cycles(12);
-        let total = body.repeat_symbolic(n.clone(), VarInfo::loop_bound(1.0, 1e6)) + PerfExpr::cycles(3);
+        let total =
+            body.repeat_symbolic(n.clone(), VarInfo::loop_bound(1.0, 1e6)) + PerfExpr::cycles(3);
         assert_eq!(total.poly().to_string(), "12*n + 3");
         let p = sym("p1");
         let c = PerfExpr::conditional(p.clone(), &PerfExpr::cycles(10), &PerfExpr::cycles(4));

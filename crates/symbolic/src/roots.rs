@@ -140,7 +140,10 @@ fn roots_quartic(e: f64, d: f64, c: f64, b: f64, a: f64) -> Vec<f64> {
     let m = res
         .into_iter()
         .filter(|&m| m > 1e-14)
-        .fold(f64::NAN, |acc, m| if acc.is_nan() || m > acc { m } else { acc });
+        .fold(
+            f64::NAN,
+            |acc, m| if acc.is_nan() || m > acc { m } else { acc },
+        );
     if m.is_nan() {
         return Vec::new();
     }
@@ -258,7 +261,11 @@ mod tests {
 
     fn assert_roots(coeffs: &[f64], expected: &[f64]) {
         let r = real_roots(coeffs);
-        assert_eq!(r.len(), expected.len(), "roots {r:?} vs expected {expected:?}");
+        assert_eq!(
+            r.len(),
+            expected.len(),
+            "roots {r:?} vs expected {expected:?}"
+        );
         for (a, b) in r.iter().zip(expected) {
             assert!((a - b).abs() < 1e-6, "root {a} != {b} in {r:?}");
         }
@@ -332,7 +339,10 @@ mod tests {
     #[test]
     fn quintic_fallback() {
         // (x)(x-1)(x+1)(x-2)(x+2) = x^5 - 5x^3 + 4x
-        assert_roots(&[0.0, 4.0, 0.0, -5.0, 0.0, 1.0], &[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_roots(
+            &[0.0, 4.0, 0.0, -5.0, 0.0, 1.0],
+            &[-2.0, -1.0, 0.0, 1.0, 2.0],
+        );
     }
 
     #[test]

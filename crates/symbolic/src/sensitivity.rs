@@ -23,7 +23,13 @@ pub struct Sensitivity {
 
 impl fmt::Display for Sensitivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: Δ={:.4} ({:.2}%)", self.symbol, self.absolute, self.relative * 100.0)
+        write!(
+            f,
+            "{}: Δ={:.4} ({:.2}%)",
+            self.symbol,
+            self.absolute,
+            self.relative * 100.0
+        )
     }
 }
 
@@ -36,7 +42,9 @@ pub struct SensitivityOptions {
 
 impl Default for SensitivityOptions {
     fn default() -> Self {
-        SensitivityOptions { delta_fraction: 0.05 }
+        SensitivityOptions {
+            delta_fraction: 0.05,
+        }
     }
 }
 
@@ -82,11 +90,23 @@ pub fn analyze(expr: &PerfExpr, opts: SensitivityOptions) -> Vec<Sensitivity> {
             let fu = expr.eval_with_defaults(&up);
             let fd = expr.eval_with_defaults(&down);
             let absolute = (fu - fd).abs() / 2.0;
-            let relative = if base.abs() > 0.0 { absolute / base.abs() } else { 0.0 };
-            Sensitivity { symbol: sym.clone(), absolute, relative }
+            let relative = if base.abs() > 0.0 {
+                absolute / base.abs()
+            } else {
+                0.0
+            };
+            Sensitivity {
+                symbol: sym.clone(),
+                absolute,
+                relative,
+            }
         })
         .collect();
-    out.sort_by(|a, b| b.absolute.partial_cmp(&a.absolute).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.absolute
+            .partial_cmp(&a.absolute)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 

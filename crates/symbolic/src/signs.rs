@@ -74,9 +74,15 @@ impl fmt::Display for SignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SignError::NotUnivariate(extra) => {
-                write!(f, "expression is not univariate; extra symbols: {}", extra.join(", "))
+                write!(
+                    f,
+                    "expression is not univariate; extra symbols: {}",
+                    extra.join(", ")
+                )
             }
-            SignError::PoleInRange => f.write_str("expression has a pole (x^-k term) inside the range"),
+            SignError::PoleInRange => {
+                f.write_str("expression has a pole (x^-k term) inside the range")
+            }
             SignError::EmptyRange => f.write_str("empty analysis range"),
         }
     }
@@ -132,7 +138,12 @@ fn cleared_coeffs(poly: &Poly, sym: &Symbol) -> Result<(Vec<f64>, i32), SignErro
 /// assert_eq!(regions.len(), 3);
 /// assert_eq!(regions[1].sign, Sign::Negative);
 /// ```
-pub fn sign_regions(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<Vec<SignRegion>, SignError> {
+pub fn sign_regions(
+    poly: &Poly,
+    sym: &Symbol,
+    lo: f64,
+    hi: f64,
+) -> Result<Vec<SignRegion>, SignError> {
     if lo > hi {
         return Err(SignError::EmptyRange);
     }
@@ -141,7 +152,11 @@ pub fn sign_regions(poly: &Poly, sym: &Symbol, lo: f64, hi: f64) -> Result<Vec<S
         return Err(SignError::PoleInRange);
     }
     if coeffs.iter().all(|c| c.abs() == 0.0) {
-        return Ok(vec![SignRegion { lo, hi, sign: Sign::Zero }]);
+        return Ok(vec![SignRegion {
+            lo,
+            hi,
+            sign: Sign::Zero,
+        }]);
     }
 
     let mut breakpoints = vec![lo];
@@ -331,7 +346,11 @@ pub fn sign_over_box(poly: &Poly, box_: &HashMap<Symbol, Interval>) -> SignVerdi
 /// limits the number of splits (the work is `O(2^depth)` in the worst case).
 ///
 /// Returns a definite verdict if every leaf box agrees; otherwise `Unknown`.
-pub fn sign_over_box_refined(poly: &Poly, box_: &HashMap<Symbol, Interval>, depth: u32) -> SignVerdict {
+pub fn sign_over_box_refined(
+    poly: &Poly,
+    box_: &HashMap<Symbol, Interval>,
+    depth: u32,
+) -> SignVerdict {
     let v = sign_over_box(poly, box_);
     if v != SignVerdict::Unknown || depth == 0 {
         return v;
@@ -341,7 +360,9 @@ pub fn sign_over_box_refined(poly: &Poly, box_: &HashMap<Symbol, Interval>, dept
         .iter()
         .max_by(|a, b| a.1.width().partial_cmp(&b.1.width()).unwrap())
         .map(|(s, _)| s.clone());
-    let Some(sym) = widest else { return SignVerdict::Unknown };
+    let Some(sym) = widest else {
+        return SignVerdict::Unknown;
+    };
     let iv = box_[&sym];
     if iv.width() <= 1e-9 {
         return SignVerdict::Unknown;
@@ -391,7 +412,15 @@ mod tests {
         let p = (xp() + Poly::from(1)) * (xp() - Poly::from(2)) * (xp() - Poly::from(5));
         let regions = sign_regions(&p, &x(), -3.0, 7.0).unwrap();
         let signs: Vec<Sign> = regions.iter().map(|r| r.sign).collect();
-        assert_eq!(signs, [Sign::Negative, Sign::Positive, Sign::Negative, Sign::Positive]);
+        assert_eq!(
+            signs,
+            [
+                Sign::Negative,
+                Sign::Positive,
+                Sign::Negative,
+                Sign::Positive
+            ]
+        );
         assert!((regions[0].hi + 1.0).abs() < 1e-6);
         assert!((regions[2].lo - 2.0).abs() < 1e-6);
         assert!((regions[2].hi - 5.0).abs() < 1e-6);
@@ -408,7 +437,14 @@ mod tests {
     #[test]
     fn zero_polynomial() {
         let regions = sign_regions(&Poly::zero(), &x(), 0.0, 1.0).unwrap();
-        assert_eq!(regions, vec![SignRegion { lo: 0.0, hi: 1.0, sign: Sign::Zero }]);
+        assert_eq!(
+            regions,
+            vec![SignRegion {
+                lo: 0.0,
+                hi: 1.0,
+                sign: Sign::Zero
+            }]
+        );
     }
 
     #[test]
@@ -425,7 +461,10 @@ mod tests {
     #[test]
     fn laurent_pole_in_range_rejected() {
         let p = Poly::term(Rational::ONE, crate::Monomial::power(x(), -1));
-        assert_eq!(sign_regions(&p, &x(), -1.0, 1.0), Err(SignError::PoleInRange));
+        assert_eq!(
+            sign_regions(&p, &x(), -1.0, 1.0),
+            Err(SignError::PoleInRange)
+        );
     }
 
     #[test]
@@ -439,7 +478,10 @@ mod tests {
 
     #[test]
     fn empty_range_rejected() {
-        assert_eq!(sign_regions(&xp(), &x(), 2.0, 1.0), Err(SignError::EmptyRange));
+        assert_eq!(
+            sign_regions(&xp(), &x(), 2.0, 1.0),
+            Err(SignError::EmptyRange)
+        );
     }
 
     #[test]
@@ -497,7 +539,10 @@ mod tests {
         assert_eq!(sign_over_box(&p, &box_), SignVerdict::Unknown);
         // Bisection tightens the bound enough to certify non-negativity
         // (interval endpoints touch zero exactly at the split point x = 1).
-        assert_eq!(sign_over_box_refined(&p, &box_, 6), SignVerdict::NonNegative);
+        assert_eq!(
+            sign_over_box_refined(&p, &box_, 6),
+            SignVerdict::NonNegative
+        );
     }
 
     #[test]

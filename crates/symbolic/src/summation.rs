@@ -7,6 +7,7 @@
 //! 4 are supported, matching the rest of the framework's closed-form
 //! budget.
 
+use crate::intern::{PolyId, SymId, POLY_UNINTERNED};
 use crate::{Poly, Rational, Symbol};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -14,29 +15,44 @@ use std::collections::HashMap;
 const MEMO_CAP: usize = 1 << 12;
 
 thread_local! {
-    /// `(m, k) -> Σ_{t=0}^{m} t^k` — Faulhaber expansion memo.
-    static POWERS_MEMO: RefCell<HashMap<(Poly, u32), Option<Poly>>> = RefCell::new(HashMap::new());
-    /// `(p, var id, lb, ub) -> Σ_{var=lb}^{ub} p(var)` — aggregation asks for
-    /// the same triangular-nest sums on every prediction, keyed on interned
-    /// forms so a hit costs one hash and one clone.
-    static RANGE_MEMO: RefCell<HashMap<(Poly, u32, Poly, Poly), Option<Poly>>> =
+    /// `(m's PolyId, k) -> Σ_{t=0}^{m} t^k` — Faulhaber expansion memo.
+    /// `None` values record "no closed form for this exponent".
+    static POWERS_MEMO: RefCell<HashMap<(PolyId, u32), Option<PolyId>>> =
+        RefCell::new(HashMap::new());
+    /// `(p, var, lb, ub)` as interned ids `-> Σ_{var=lb}^{ub} p(var)` —
+    /// aggregation asks for the same triangular-nest sums on every
+    /// prediction; id keys make a hit two table lookups instead of cloning
+    /// and hashing three whole polynomials.
+    static RANGE_MEMO: RefCell<HashMap<(PolyId, SymId, PolyId, PolyId), Option<PolyId>>> =
         RefCell::new(HashMap::new());
 }
 
+/// Id-keyed memoization: results are stored as arena ids; a result that
+/// fails to intern (arena at capacity) is returned uncached.
 fn memoize<K: std::hash::Hash + Eq, F: FnOnce() -> Option<Poly>>(
-    cache: &RefCell<HashMap<K, Option<Poly>>>,
+    cache: &RefCell<HashMap<K, Option<PolyId>>>,
     key: K,
     compute: F,
 ) -> Option<Poly> {
     if let Some(hit) = cache.borrow().get(&key) {
-        return hit.clone();
+        return hit.map(Poly::from_interned);
     }
     let value = compute();
+    let entry = match &value {
+        Some(p) => {
+            let id = p.interned_id();
+            if id == POLY_UNINTERNED {
+                return value;
+            }
+            Some(id)
+        }
+        None => None,
+    };
     let mut cache = cache.borrow_mut();
     if cache.len() >= MEMO_CAP {
         cache.clear();
     }
-    cache.insert(key, value.clone());
+    cache.insert(key, entry);
     value
 }
 
@@ -45,7 +61,11 @@ fn memoize<K: std::hash::Hash + Eq, F: FnOnce() -> Option<Poly>>(
 ///
 /// Returns `None` for larger exponents.
 pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
-    POWERS_MEMO.with(|cache| memoize(cache, (m.clone(), k), || sum_powers_uncached(m, k)))
+    let id = m.interned_id();
+    if id == POLY_UNINTERNED {
+        return sum_powers_uncached(m, k);
+    }
+    POWERS_MEMO.with(|cache| memoize(cache, (id, k), || sum_powers_uncached(m, k)))
 }
 
 fn sum_powers_uncached(m: &Poly, k: u32) -> Option<Poly> {
@@ -95,14 +115,18 @@ pub fn sum_over(p: &Poly, var: &Symbol, m: &Poly) -> Option<Poly> {
 /// Returns `None` under the same conditions as [`sum_over`], or when the
 /// substitution fails.
 pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
+    let (pid, lbid, ubid) = (p.interned_id(), lb.interned_id(), ub.interned_id());
+    if pid == POLY_UNINTERNED || lbid == POLY_UNINTERNED || ubid == POLY_UNINTERNED {
+        return sum_range_uncached(p, var, lb, ub);
+    }
     RANGE_MEMO.with(|cache| {
-        let key = (p.clone(), crate::intern::sym_id(var), lb.clone(), ub.clone());
+        let key = (pid, crate::intern::sym_id(var), lbid, ubid);
         memoize(cache, key, || sum_range_uncached(p, var, lb, ub))
     })
 }
 
 fn sum_range_uncached(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
-    let t = Symbol::new("$sum_t");
+    let t = Symbol::interned("$sum_t");
     let replacement = lb + &Poly::var(t.clone());
     let shifted = p.subst(var, &replacement).ok()?;
     let m = ub - lb;
@@ -174,7 +198,8 @@ mod tests {
         let i = Symbol::new("i");
         let p = Poly::var(n()) - Poly::var(i.clone()) + Poly::one();
         let s = sum_range(&p, &i, &Poly::one(), &Poly::var(n())).unwrap();
-        let expected = (&Poly::var(n()) * &(Poly::var(n()) + Poly::one())).scale(Rational::new(1, 2));
+        let expected =
+            (&Poly::var(n()) * &(Poly::var(n()) + Poly::one())).scale(Rational::new(1, 2));
         assert_eq!(s, expected, "{s}");
     }
 

@@ -29,6 +29,15 @@ impl Symbol {
         Symbol(Arc::from(name.as_ref()))
     }
 
+    /// The canonical shared symbol for `name`: repeated lookups clone the
+    /// interned `Arc` instead of allocating a fresh string. Prefer this in
+    /// hot paths that re-derive the same symbol on every prediction (loop
+    /// variables, bound names); `Symbol::new` remains correct everywhere
+    /// since equality follows the name either way.
+    pub fn interned(name: &str) -> Symbol {
+        crate::intern::symbol_named(name)
+    }
+
     /// The symbol's textual name.
     pub fn name(&self) -> &str {
         &self.0

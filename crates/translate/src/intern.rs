@@ -47,7 +47,12 @@ struct Arena {
 
 fn arena() -> &'static Mutex<Arena> {
     static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
-    ARENA.get_or_init(|| Mutex::new(Arena { buckets: HashMap::new(), blocks: Vec::new() }))
+    ARENA.get_or_init(|| {
+        Mutex::new(Arena {
+            buckets: HashMap::new(),
+            blocks: Vec::new(),
+        })
+    })
 }
 
 /// Interns one block: returns its arena id, assigning a fresh one if the
@@ -98,7 +103,12 @@ pub fn interned_blocks() -> usize {
 
 /// A copy of the interned block for `id`, if the id is live.
 pub fn lookup(id: BlockId) -> Option<BlockIr> {
-    arena().lock().expect("intern arena lock").blocks.get(id.0 as usize).cloned()
+    arena()
+        .lock()
+        .expect("intern arena lock")
+        .blocks
+        .get(id.0 as usize)
+        .cloned()
 }
 
 #[cfg(test)]

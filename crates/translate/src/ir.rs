@@ -109,7 +109,14 @@ pub struct Op {
 impl Op {
     /// A pure computational op.
     pub fn compute(basic: BasicOp, args: Vec<ValueId>, result: ValueId) -> Op {
-        Op { basic, args, result: Some(result), mem: None, extra_deps: Vec::new(), callee: None }
+        Op {
+            basic,
+            args,
+            result: Some(result),
+            mem: None,
+            extra_deps: Vec::new(),
+            callee: None,
+        }
     }
 }
 
@@ -206,11 +213,7 @@ impl BlockIr {
 
     /// All predecessor ops of `op` (flow args + memory edges).
     pub fn deps_of(&self, op: &Op) -> Vec<OpId> {
-        let mut out: Vec<OpId> = op
-            .args
-            .iter()
-            .filter_map(|v| self.producer(*v))
-            .collect();
+        let mut out: Vec<OpId> = op.args.iter().filter_map(|v| self.producer(*v)).collect();
         out.extend(op.extra_deps.iter().copied());
         out.sort();
         out.dedup();
@@ -239,7 +242,9 @@ impl BlockIr {
 
     /// All memory references in the block (loads and stores).
     pub fn mem_refs(&self) -> impl Iterator<Item = (&Op, &MemRef)> {
-        self.ops.iter().filter_map(|o| o.mem.as_ref().map(|m| (o, m)))
+        self.ops
+            .iter()
+            .filter_map(|o| o.mem.as_ref().map(|m| (o, m)))
     }
 
     /// Appends an unambiguous byte encoding of the block's content
@@ -331,7 +336,10 @@ pub struct DepCsr {
 impl DepCsr {
     /// An empty adjacency (zero ops).
     pub fn new() -> DepCsr {
-        DepCsr { offsets: vec![0], edges: Vec::new() }
+        DepCsr {
+            offsets: vec![0],
+            edges: Vec::new(),
+        }
     }
 
     /// Recomputes the adjacency for `block`, reusing existing storage.
@@ -424,7 +432,10 @@ mod tests {
         let dbl = b.emit(BasicOp::IAdd, vec![sum, sum]);
         assert_eq!(b.len(), 2);
         let dbl_op = b.producer(dbl).unwrap();
-        assert_eq!(b.deps_of(&b.ops[dbl_op.0 as usize]), vec![b.producer(sum).unwrap()]);
+        assert_eq!(
+            b.deps_of(&b.ops[dbl_op.0 as usize]),
+            vec![b.producer(sum).unwrap()]
+        );
         // The first op has no block-local deps.
         assert!(b.deps_of(&b.ops[0]).is_empty());
     }
@@ -444,7 +455,10 @@ mod tests {
             basic: BasicOp::StoreInt,
             args: vec![v],
             result: None,
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![],
             callee: None,
         });
@@ -453,7 +467,10 @@ mod tests {
             basic: BasicOp::LoadInt,
             args: vec![],
             result: Some(ld_v),
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![st],
             callee: None,
         });
@@ -493,7 +510,10 @@ mod tests {
             basic: BasicOp::StoreInt,
             args: vec![dbl],
             result: None,
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![OpId(0)],
             callee: None,
         });
@@ -502,7 +522,10 @@ mod tests {
             basic: BasicOp::LoadInt,
             args: vec![],
             result: Some(ld_v),
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![st, st],
             callee: None,
         });

@@ -80,7 +80,11 @@ pub fn dce_with_live(block: BlockIr, live_out: &[ValueId]) -> BlockIr {
         }
     }
     // Fix result links: each surviving op's result must point back to it.
-    let rebuilt = BlockIr { values, ops: new_ops, interned: None };
+    let rebuilt = BlockIr {
+        values,
+        ops: new_ops,
+        interned: None,
+    };
     debug_assert!(rebuilt.ops.iter().all(|op| {
         op.result
             .map(|r| matches!(rebuilt.value(r), ValueDef::Op(_) | ValueDef::External(_)))
@@ -126,7 +130,10 @@ mod tests {
             basic: BasicOp::StoreFloat,
             args: vec![live, addr],
             result: None,
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![],
             callee: None,
         });
@@ -171,7 +178,11 @@ mod tests {
         let c = b.emit(BasicOp::ICmp, vec![r, r]);
         b.emit(BasicOp::BranchCond, vec![c]);
         let out = dce(b);
-        assert_eq!(out.len(), 3, "call, cmp feeding branch, and branch all live");
+        assert_eq!(
+            out.len(),
+            3,
+            "call, cmp feeding branch, and branch all live"
+        );
     }
 
     #[test]
@@ -184,7 +195,10 @@ mod tests {
             basic: BasicOp::StoreFloat,
             args: vec![x, addr],
             result: None,
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![],
             callee: None,
         });
@@ -192,7 +206,10 @@ mod tests {
             basic: BasicOp::StoreFloat,
             args: vec![x, addr],
             result: None,
-            mem: Some(MemRef { array: "a".into(), subscripts: vec![] }),
+            mem: Some(MemRef {
+                array: "a".into(),
+                subscripts: vec![],
+            }),
             extra_deps: vec![st1],
             callee: None,
         });
@@ -201,7 +218,10 @@ mod tests {
         let last = out.ops.last().unwrap();
         assert_eq!(last.extra_deps.len(), 1);
         // The remapped dep must point at the first store's new position.
-        assert_eq!(out.ops[last.extra_deps[0].0 as usize].basic, BasicOp::StoreFloat);
+        assert_eq!(
+            out.ops[last.extra_deps[0].0 as usize].basic,
+            BasicOp::StoreFloat
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl fmt::Display for ProgramIr {
                         l.var,
                         l.lb,
                         l.ub,
-                        l.step.as_ref().map(|s| format!(", {s}")).unwrap_or_default(),
+                        l.step
+                            .as_ref()
+                            .map(|s| format!(", {s}"))
+                            .unwrap_or_default(),
                         l.preheader.len(),
                         l.control.len(),
                         l.postheader.len()

@@ -79,7 +79,11 @@ pub fn translate(
 ) -> Result<ProgramIr, TranslateError> {
     let ctx = Ctx { machine, symbols };
     let root = ctx.nodes(&sub.body, None)?;
-    let mut ir = ProgramIr { name: sub.name.clone(), params: sub.params.clone(), root };
+    let mut ir = ProgramIr {
+        name: sub.name.clone(),
+        params: sub.params.clone(),
+        root,
+    };
     // Hash-cons every block into the process-wide arena so downstream
     // memo keys (scheduling memo, steady-state prober) become id compares
     // instead of per-lookup content rehashes.
@@ -117,19 +121,39 @@ impl<'a> Ctx<'a> {
                     let b = builder.get_or_insert_with(|| BlockBuilder::new(self, env.cloned()));
                     b.stmt(stmt)?;
                 }
-                Stmt::Do { var, lb, ub, step, body, .. } => {
+                Stmt::Do {
+                    var,
+                    lb,
+                    ub,
+                    step,
+                    body,
+                    ..
+                } => {
                     if let Some(b) = builder.take() {
                         out.push(IrNode::Block(b.finish()));
                     }
-                    out.push(IrNode::Loop(Box::new(self.build_loop(var, lb, ub, step.as_ref(), body)?)));
+                    out.push(IrNode::Loop(Box::new(self.build_loop(
+                        var,
+                        lb,
+                        ub,
+                        step.as_ref(),
+                        body,
+                    )?)));
                 }
                 Stmt::DoWhile { cond, body, span } => {
                     if let Some(b) = builder.take() {
                         out.push(IrNode::Block(b.finish()));
                     }
-                    out.push(IrNode::Loop(Box::new(self.build_while_loop(cond, body, *span)?)));
+                    out.push(IrNode::Loop(Box::new(
+                        self.build_while_loop(cond, body, *span)?,
+                    )));
                 }
-                Stmt::If { cond, then_body, else_body, span } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                } => {
                     if let Some(b) = builder.take() {
                         out.push(IrNode::Block(b.finish()));
                     }
@@ -238,7 +262,12 @@ impl<'a> Ctx<'a> {
     /// Builds a `do while` loop: no induction variable, a synthetic
     /// unknown trip count (the aggregator mints `trip$while…`), and the
     /// condition re-evaluated in the per-iteration control block.
-    fn build_while_loop(&self, cond: &Expr, body: &[Stmt], span: Span) -> Result<LoopIr, TranslateError> {
+    fn build_while_loop(
+        &self,
+        cond: &Expr,
+        body: &[Stmt],
+        span: Span,
+    ) -> Result<LoopIr, TranslateError> {
         let assigned = assigned_names(body);
         // The loop "variable" is a synthetic name no source identifier can
         // collide with (source identifiers cannot contain `$`).
@@ -294,7 +323,12 @@ impl<'a> Ctx<'a> {
 
 /// Collects maximal invariant, non-trivial subexpressions of the loop body
 /// (stopping at nested loops, which get their own environments).
-fn collect_invariant_subexprs(stmts: &[Stmt], var: &str, assigned: &HashSet<String>, out: &mut Vec<Expr>) {
+fn collect_invariant_subexprs(
+    stmts: &[Stmt],
+    var: &str,
+    assigned: &HashSet<String>,
+    out: &mut Vec<Expr>,
+) {
     let scan_expr = scan_invariant_expr;
     for s in stmts {
         match s {
@@ -306,7 +340,12 @@ fn collect_invariant_subexprs(stmts: &[Stmt], var: &str, assigned: &HashSet<Stri
                 }
                 scan_expr(value, var, assigned, out);
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 scan_expr(cond, var, assigned, out);
                 collect_invariant_subexprs(then_body, var, assigned, out);
                 collect_invariant_subexprs(else_body, var, assigned, out);
@@ -369,7 +408,10 @@ fn mentions_ident(key: &str, name: &str) -> bool {
 
 /// An expression worth a register: more than a literal or bare variable.
 fn is_nontrivial(e: &Expr) -> bool {
-    matches!(e, Expr::Binary { .. } | Expr::Intrinsic { .. } | Expr::ArrayRef { .. } | Expr::Unary { .. })
+    matches!(
+        e,
+        Expr::Binary { .. } | Expr::Intrinsic { .. } | Expr::ArrayRef { .. } | Expr::Unary { .. }
+    )
 }
 
 /// Finds array references of the form `A(inv…) = A(inv…) op e` whose
@@ -382,7 +424,12 @@ fn reduction_cells(
 ) -> Vec<MemRef> {
     let mut out = Vec::new();
     for s in stmts {
-        if let Stmt::Assign { target: Expr::ArrayRef { name, indices }, value, .. } = s {
+        if let Stmt::Assign {
+            target: Expr::ArrayRef { name, indices },
+            value,
+            ..
+        } = s
+        {
             let subs_invariant = indices.iter().all(|ix| {
                 // The subscript must not involve the loop variable or
                 // anything assigned in the loop (other than via the array).
@@ -400,18 +447,33 @@ fn reduction_cells(
                 continue;
             }
             // The RHS must read the same cell (a genuine update).
-            let key = MemRef { array: name.clone(), subscripts: indices.clone() }.key();
+            let key = MemRef {
+                array: name.clone(),
+                subscripts: indices.clone(),
+            }
+            .key();
             let mut reads_cell = false;
             value.walk(&mut |e| {
-                if let Expr::ArrayRef { name: n2, indices: ix2 } = e {
-                    let k2 = MemRef { array: n2.clone(), subscripts: ix2.clone() }.key();
+                if let Expr::ArrayRef {
+                    name: n2,
+                    indices: ix2,
+                } = e
+                {
+                    let k2 = MemRef {
+                        array: n2.clone(),
+                        subscripts: ix2.clone(),
+                    }
+                    .key();
                     if k2 == key {
                         reads_cell = true;
                     }
                 }
             });
             if reads_cell && symbols.is_array(name) {
-                out.push(MemRef { array: name.clone(), subscripts: indices.clone() });
+                out.push(MemRef {
+                    array: name.clone(),
+                    subscripts: indices.clone(),
+                });
             }
         }
     }
@@ -469,12 +531,17 @@ impl<'a> BlockBuilder<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>, span: Span) -> Result<T, TranslateError> {
-        Err(TranslateError { message: msg.into(), span })
+        Err(TranslateError {
+            message: msg.into(),
+            span,
+        })
     }
 
     fn ty(&self, e: &Expr, span: Span) -> Result<BaseType, TranslateError> {
-        type_of_expr(e, self.ctx.symbols)
-            .map_err(|fe| TranslateError { message: fe.message, span })
+        type_of_expr(e, self.ctx.symbols).map_err(|fe| TranslateError {
+            message: fe.message,
+            span,
+        })
     }
 
     fn int_const(&mut self, n: i64) -> ValueId {
@@ -515,7 +582,11 @@ impl<'a> BlockBuilder<'a> {
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), TranslateError> {
         match stmt {
-            Stmt::Assign { target, value, span } => match target {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => match target {
                 Expr::Var(name) => {
                     let (v, _) = self.expr(value, *span)?;
                     // Register write: the scalar's current value changes.
@@ -528,7 +599,10 @@ impl<'a> BlockBuilder<'a> {
                     let (v, vty) = self.expr(value, *span)?;
                     let target_ty = self.ty(target, *span)?;
                     let v = self.convert(v, vty, target_ty);
-                    let mref = MemRef { array: name.clone(), subscripts: indices.clone() };
+                    let mref = MemRef {
+                        array: name.clone(),
+                        subscripts: indices.clone(),
+                    };
                     self.store_ref(&mref, Some(v), *span)?;
                     Ok(())
                 }
@@ -549,7 +623,9 @@ impl<'a> BlockBuilder<'a> {
                         }
                     }
                 }
-                let res = self.block.add_value(ValueDef::External(format!("call${name}")));
+                let res = self
+                    .block
+                    .add_value(ValueDef::External(format!("call${name}")));
                 self.block.push_op(Op {
                     basic: BasicOp::Call,
                     args: argvals,
@@ -564,7 +640,10 @@ impl<'a> BlockBuilder<'a> {
                 self.block.emit(BasicOp::Return, vec![]);
                 Ok(())
             }
-            other => self.err("control statement inside straight-line builder", other.span()),
+            other => self.err(
+                "control statement inside straight-line builder",
+                other.span(),
+            ),
         }
     }
 
@@ -689,13 +768,21 @@ impl<'a> BlockBuilder<'a> {
             extra_deps: extra,
             callee: None,
         });
-        self.loads_since_store.entry(mref.array.clone()).or_default().push(op);
+        self.loads_since_store
+            .entry(mref.array.clone())
+            .or_default()
+            .push(op);
         self.cse.insert(key, result);
         self.spill_heuristic();
         Ok(result)
     }
 
-    fn store_ref(&mut self, mref: &MemRef, value: Option<ValueId>, span: Span) -> Result<(), TranslateError> {
+    fn store_ref(
+        &mut self,
+        mref: &MemRef,
+        value: Option<ValueId>,
+        span: Span,
+    ) -> Result<(), TranslateError> {
         // Reduction cells: the store is deferred to the postheader.
         if let Some(env) = &self.env {
             if let Some(reg) = env.replaced.get(&mref.key()) {
@@ -715,7 +802,9 @@ impl<'a> BlockBuilder<'a> {
         let v = match value {
             Some(v) => v,
             // Store-back of a register cell with unknown value (postheader).
-            None => self.block.add_value(ValueDef::External(format!("acc {}", mref.key()))),
+            None => self
+                .block
+                .add_value(ValueDef::External(format!("acc {}", mref.key()))),
         };
         args.insert(0, v);
         let mut extra = Vec::new();
@@ -733,7 +822,8 @@ impl<'a> BlockBuilder<'a> {
             extra_deps: extra,
             callee: None,
         });
-        self.last_store.insert(mref.array.clone(), (op, mref.clone()));
+        self.last_store
+            .insert(mref.array.clone(), (op, mref.clone()));
         self.loads_since_store.remove(&mref.array);
         // A store kills CSE'd loads of possibly-aliased elements; the
         // just-stored value forwards to later loads of the same element.
@@ -755,7 +845,9 @@ impl<'a> BlockBuilder<'a> {
         if self.load_count % limit == 0 {
             // A spill store: costs a store operation but touches no
             // user-visible array (mem = None keeps it out of the cache model).
-            let v = self.block.add_value(ValueDef::External("spill".to_string()));
+            let v = self
+                .block
+                .add_value(ValueDef::External("spill".to_string()));
             self.block.push_op(Op {
                 basic: BasicOp::StoreFloat,
                 args: vec![v],
@@ -799,7 +891,11 @@ impl<'a> BlockBuilder<'a> {
         Ok((v, ty))
     }
 
-    fn expr_uncached(&mut self, e: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+    fn expr_uncached(
+        &mut self,
+        e: &Expr,
+        span: Span,
+    ) -> Result<(ValueId, BaseType), TranslateError> {
         match e {
             Expr::IntLit(n) => Ok((self.int_const(*n), BaseType::Integer)),
             Expr::RealLit(x) => Ok((self.real_const(*x), BaseType::Real)),
@@ -809,7 +905,10 @@ impl<'a> BlockBuilder<'a> {
                 Ok((self.external(name), ty))
             }
             Expr::ArrayRef { name, indices } => {
-                let mref = MemRef { array: name.clone(), subscripts: indices.clone() };
+                let mref = MemRef {
+                    array: name.clone(),
+                    subscripts: indices.clone(),
+                };
                 let v = self.load_ref(&mref, span)?;
                 Ok((v, self.elem_type(name)))
             }
@@ -817,7 +916,11 @@ impl<'a> BlockBuilder<'a> {
                 let (v, ty) = self.expr(operand, span)?;
                 match op {
                     UnOp::Neg => {
-                        let basic = if ty == BaseType::Real { BasicOp::FNeg } else { BasicOp::INeg };
+                        let basic = if ty == BaseType::Real {
+                            BasicOp::FNeg
+                        } else {
+                            BasicOp::INeg
+                        };
                         Ok((self.block.emit(basic, vec![v]), ty))
                     }
                     UnOp::Not => Ok((self.block.emit(BasicOp::ILogic, vec![v]), BaseType::Logical)),
@@ -828,7 +931,13 @@ impl<'a> BlockBuilder<'a> {
         }
     }
 
-    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(ValueId, BaseType), TranslateError> {
         // Multiply-add fusion (paper: "architecture specific operations such
         // as the multiply-and-add ... are recognized by the compiler").
         if matches!(op, BinOp::Add | BinOp::Sub)
@@ -838,21 +947,30 @@ impl<'a> BlockBuilder<'a> {
             let result_ty = self.ty(&Expr::binary(op, lhs.clone(), rhs.clone()), span)?;
             if result_ty == BaseType::Real {
                 // a*b + c, c + a*b, or a*b - c.
-                let try_fuse = |mul: &Expr, other: &Expr, this: &mut Self| -> Option<Result<(ValueId, BaseType), TranslateError>> {
-                    if let Expr::Binary { op: BinOp::Mul, lhs: ma, rhs: mb } = mul {
-                        Some((|| {
-                            let (a, aty) = this.expr(ma, span)?;
-                            let a = this.convert(a, aty, BaseType::Real);
-                            let (b, bty) = this.expr(mb, span)?;
-                            let b = this.convert(b, bty, BaseType::Real);
-                            let (c, cty) = this.expr(other, span)?;
-                            let c = this.convert(c, cty, BaseType::Real);
-                            Ok((this.block.emit(BasicOp::Fma, vec![a, b, c]), BaseType::Real))
-                        })())
-                    } else {
-                        None
-                    }
-                };
+                let try_fuse =
+                    |mul: &Expr,
+                     other: &Expr,
+                     this: &mut Self|
+                     -> Option<Result<(ValueId, BaseType), TranslateError>> {
+                        if let Expr::Binary {
+                            op: BinOp::Mul,
+                            lhs: ma,
+                            rhs: mb,
+                        } = mul
+                        {
+                            Some((|| {
+                                let (a, aty) = this.expr(ma, span)?;
+                                let a = this.convert(a, aty, BaseType::Real);
+                                let (b, bty) = this.expr(mb, span)?;
+                                let b = this.convert(b, bty, BaseType::Real);
+                                let (c, cty) = this.expr(other, span)?;
+                                let c = this.convert(c, cty, BaseType::Real);
+                                Ok((this.block.emit(BasicOp::Fma, vec![a, b, c]), BaseType::Real))
+                            })())
+                        } else {
+                            None
+                        }
+                    };
                 if let Some(r) = try_fuse(lhs, rhs, self) {
                     return r;
                 }
@@ -909,7 +1027,11 @@ impl<'a> BlockBuilder<'a> {
                 }
             }
             (BinOp::Div, BaseType::Integer) => {
-                if rhs.as_int().map(|n| n > 0 && n.count_ones() == 1).unwrap_or(false) {
+                if rhs
+                    .as_int()
+                    .map(|n| n > 0 && n.count_ones() == 1)
+                    .unwrap_or(false)
+                {
                     BasicOp::IShift // divide by power of two
                 } else {
                     BasicOp::IDiv
@@ -924,12 +1046,21 @@ impl<'a> BlockBuilder<'a> {
         Ok((self.block.emit(basic, vec![lv, rv]), result_ty))
     }
 
-    fn power(&mut self, base: &Expr, exp: &Expr, span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+    fn power(
+        &mut self,
+        base: &Expr,
+        exp: &Expr,
+        span: Span,
+    ) -> Result<(ValueId, BaseType), TranslateError> {
         let (bv, bty) = self.expr(base, span)?;
         if let Some(n) = exp.as_int() {
             if (2..=8).contains(&n) {
                 // Repeated squaring: x**2 = 1 mul, x**3 = 2, x**4 = 2, ...
-                let mul = if bty == BaseType::Real { BasicOp::FMul } else { BasicOp::IMul };
+                let mul = if bty == BaseType::Real {
+                    BasicOp::FMul
+                } else {
+                    BasicOp::IMul
+                };
                 let mut have: u32 = 1;
                 let mut acc = bv;
                 // Square while the doubled power still fits under n.
@@ -962,7 +1093,12 @@ impl<'a> BlockBuilder<'a> {
         Ok((res, BaseType::Real))
     }
 
-    fn intrinsic(&mut self, func: Intrinsic, args: &[Expr], span: Span) -> Result<(ValueId, BaseType), TranslateError> {
+    fn intrinsic(
+        &mut self,
+        func: Intrinsic,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<(ValueId, BaseType), TranslateError> {
         match func {
             Intrinsic::Sqrt => {
                 let (v, ty) = self.expr(&args[0], span)?;
@@ -971,7 +1107,11 @@ impl<'a> BlockBuilder<'a> {
             }
             Intrinsic::Abs => {
                 let (v, ty) = self.expr(&args[0], span)?;
-                let basic = if ty == BaseType::Real { BasicOp::FAbs } else { BasicOp::ILogic };
+                let basic = if ty == BaseType::Real {
+                    BasicOp::FAbs
+                } else {
+                    BasicOp::ILogic
+                };
                 Ok((self.block.emit(basic, vec![v]), ty))
             }
             Intrinsic::Max | Intrinsic::Min => {
@@ -986,7 +1126,11 @@ impl<'a> BlockBuilder<'a> {
                     };
                     let accc = self.convert(acc, ty, rty);
                     let vc = self.convert(v, vty, rty);
-                    let cmp = if rty == BaseType::Real { BasicOp::FCmp } else { BasicOp::ICmp };
+                    let cmp = if rty == BaseType::Real {
+                        BasicOp::FCmp
+                    } else {
+                        BasicOp::ICmp
+                    };
                     let c = self.block.emit(cmp, vec![accc, vc]);
                     acc = self.block.emit(BasicOp::Move, vec![c, accc, vc]);
                     ty = rty;
@@ -1000,7 +1144,10 @@ impl<'a> BlockBuilder<'a> {
                     // a - (a/b)*b
                     let q = self.block.emit(BasicOp::IDiv, vec![a, b]);
                     let p = self.block.emit(BasicOp::IMul, vec![q, b]);
-                    Ok((self.block.emit(BasicOp::ISub, vec![a, p]), BaseType::Integer))
+                    Ok((
+                        self.block.emit(BasicOp::ISub, vec![a, p]),
+                        BaseType::Integer,
+                    ))
                 } else {
                     let af = self.convert(a, aty, BaseType::Real);
                     let bf = self.convert(b, bty, BaseType::Real);
@@ -1013,7 +1160,9 @@ impl<'a> BlockBuilder<'a> {
             Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => {
                 let (v, ty) = self.expr(&args[0], span)?;
                 let v = self.convert(v, ty, BaseType::Real);
-                let res = self.block.add_value(ValueDef::External(func.name().to_string()));
+                let res = self
+                    .block
+                    .add_value(ValueDef::External(func.name().to_string()));
                 self.block.push_op(Op {
                     basic: BasicOp::Call,
                     args: vec![v],

@@ -45,7 +45,11 @@ fn axpy_inner_block_is_one_fma() {
     assert_eq!(count_ops(inner, BasicOp::Fma), 1);
     assert_eq!(count_ops(inner, BasicOp::FMul), 0, "multiply fused away");
     assert_eq!(count_ops(inner, BasicOp::FAdd), 0, "add fused away");
-    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 2, "loads of y(i) and x(i)... wait a is hoisted");
+    assert_eq!(
+        count_ops(inner, BasicOp::LoadFloat),
+        2,
+        "loads of y(i) and x(i)... wait a is hoisted"
+    );
 }
 
 #[test]
@@ -76,14 +80,20 @@ fn cse_shares_repeated_subexpression() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!("expected block") };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!("expected block")
+    };
     // b(1)*b(2) translated once; the outer add reuses it. With FMA fusion
     // the expression becomes fma(b1, b2, t) where t = b1*b2 CSE'd... the
     // fusion path recomputes operands via CSE, so exactly one FMul/Fma pair
     // of the four conceptual multiplies remains.
     let mults = count_ops(block, BasicOp::FMul) + count_ops(block, BasicOp::Fma);
     assert!(mults <= 2, "CSE failed: {block}");
-    assert_eq!(count_ops(block, BasicOp::LoadFloat), 2, "b(1), b(2) loaded once each");
+    assert_eq!(
+        count_ops(block, BasicOp::LoadFloat),
+        2,
+        "b(1), b(2) loaded once each"
+    );
 }
 
 #[test]
@@ -96,7 +106,9 @@ fn cse_off_recomputes() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     assert_eq!(count_ops(block, BasicOp::FMul), 2);
     assert_eq!(count_ops(block, BasicOp::LoadFloat), 4, "every use reloads");
 }
@@ -112,7 +124,9 @@ fn store_forwards_to_subsequent_load() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     // a(1) was just stored; the load is forwarded from the register.
     assert_eq!(
         count_ops(block, BasicOp::LoadFloat),
@@ -132,11 +146,17 @@ fn licm_hoists_invariant_expression() {
        end do
      end";
     let ir = build(src, &machines::power_like());
-    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!()
+    };
     // (x + y) computed once in the preheader.
     assert_eq!(count_ops(&l.preheader, BasicOp::FAdd), 1);
     let inner = ir.innermost_block().unwrap();
-    assert_eq!(count_ops(inner, BasicOp::FAdd), 0, "no per-iteration add: {inner}");
+    assert_eq!(
+        count_ops(inner, BasicOp::FAdd),
+        0,
+        "no per-iteration add: {inner}"
+    );
 
     // With LICM off, the add runs every iteration.
     let ir2 = build(src, &power_no_backend_opts());
@@ -156,16 +176,30 @@ fn reduction_keeps_accumulator_in_register() {
        end do
      end";
     let ir = build(src, &machines::power_like());
-    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!()
+    };
     let inner = ir.innermost_block().unwrap();
     assert_eq!(
         count_ops(inner, BasicOp::StoreFloat),
         0,
         "store sunk out of the loop: {inner}"
     );
-    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 2, "only a(k), b(k) loaded");
-    assert_eq!(count_ops(&l.postheader, BasicOp::StoreFloat), 1, "one store after the loop");
-    assert_eq!(count_ops(&l.preheader, BasicOp::LoadFloat), 1, "one load before the loop");
+    assert_eq!(
+        count_ops(inner, BasicOp::LoadFloat),
+        2,
+        "only a(k), b(k) loaded"
+    );
+    assert_eq!(
+        count_ops(&l.postheader, BasicOp::StoreFloat),
+        1,
+        "one store after the loop"
+    );
+    assert_eq!(
+        count_ops(&l.preheader, BasicOp::LoadFloat),
+        1,
+        "one load before the loop"
+    );
 
     // Disabled: load+store of c(i) every iteration.
     let ir2 = build(src, &power_no_backend_opts());
@@ -187,7 +221,11 @@ fn strength_reduction_collapses_addressing() {
     let ir = build(src, &machines::power_like());
     let inner = ir.innermost_block().unwrap();
     assert_eq!(count_ops(inner, BasicOp::AddrCalc), 1);
-    assert_eq!(count_ops(inner, BasicOp::IMul), 0, "no per-iteration multiply: {inner}");
+    assert_eq!(
+        count_ops(inner, BasicOp::IMul),
+        0,
+        "no per-iteration multiply: {inner}"
+    );
 
     let ir2 = build(src, &power_no_backend_opts());
     let inner2 = ir2.innermost_block().unwrap();
@@ -206,8 +244,14 @@ fn small_constant_multiply_specializes() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
-    assert_eq!(count_ops(block, BasicOp::IMulSmall), 1, "n*4 is a small multiply");
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
+    assert_eq!(
+        count_ops(block, BasicOp::IMulSmall),
+        1,
+        "n*4 is a small multiply"
+    );
     assert_eq!(count_ops(block, BasicOp::IMul), 1, "k*n is general");
 }
 
@@ -221,7 +265,9 @@ fn power_of_two_division_becomes_shift() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     assert_eq!(count_ops(block, BasicOp::IShift), 1);
     assert_eq!(count_ops(block, BasicOp::IDiv), 1);
 }
@@ -237,7 +283,9 @@ fn integer_power_unrolls_to_multiplies() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     // x**2: 1, x**4: 2, x**7: 2 squarings (x4) + 3 multiplies = 5 → total 8.
     assert_eq!(count_ops(block, BasicOp::FMul), 8, "{block}");
     assert_eq!(count_ops(block, BasicOp::Call), 0);
@@ -252,8 +300,14 @@ fn general_power_calls_library() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
-    let call = block.ops.iter().find(|o| o.basic == BasicOp::Call).expect("pow call");
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
+    let call = block
+        .ops
+        .iter()
+        .find(|o| o.basic == BasicOp::Call)
+        .expect("pow call");
     assert_eq!(call.callee.as_deref(), Some("pow"));
 }
 
@@ -270,12 +324,25 @@ fn intrinsics_translate() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     assert_eq!(count_ops(block, BasicOp::FSqrt), 1);
     assert_eq!(count_ops(block, BasicOp::FAbs), 1);
-    assert_eq!(count_ops(block, BasicOp::IDiv), 1, "integer mod lowers through divide");
-    assert_eq!(count_ops(block, BasicOp::FCmp), 2, "3-way max = two compare/selects");
-    let sin = block.ops.iter().find(|o| o.callee.as_deref() == Some("sin"));
+    assert_eq!(
+        count_ops(block, BasicOp::IDiv),
+        1,
+        "integer mod lowers through divide"
+    );
+    assert_eq!(
+        count_ops(block, BasicOp::FCmp),
+        2,
+        "3-way max = two compare/selects"
+    );
+    let sin = block
+        .ops
+        .iter()
+        .find(|o| o.callee.as_deref() == Some("sin"));
     assert!(sin.is_some());
 }
 
@@ -295,8 +362,12 @@ fn conditional_structure_and_branch() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
-    let IrNode::If(iff) = &l.body[0] else { panic!("expected If inside loop") };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!()
+    };
+    let IrNode::If(iff) = &l.body[0] else {
+        panic!("expected If inside loop")
+    };
     assert_eq!(count_ops(&iff.cond_block, BasicOp::ICmp), 1);
     assert_eq!(count_ops(&iff.cond_block, BasicOp::BranchCond), 1);
     assert_eq!(iff.then_nodes.len(), 1);
@@ -315,7 +386,9 @@ fn loop_control_costs_three_ops() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!()
+    };
     assert_eq!(l.control.len(), 3, "increment, compare, branch");
     assert_eq!(count_ops(&l.control, BasicOp::IAdd), 1);
     assert_eq!(count_ops(&l.control, BasicOp::ICmp), 1);
@@ -330,11 +403,11 @@ fn spill_heuristic_inserts_stores() {
     for i in 1..=32 {
         body.push_str(&format!("s = s + b({i})\n"));
     }
-    let src = format!(
-        "subroutine s(b, s, n)\nreal b(n), s\ninteger n\n{body}end"
-    );
+    let src = format!("subroutine s(b, s, n)\nreal b(n), s\ninteger n\n{body}end");
     let ir = build(&src, &machines::power_like());
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     let spills = block
         .ops
         .iter()
@@ -384,13 +457,17 @@ fn memory_dependences_order_store_load() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     // The load of a(j) must carry a dependence edge on the store to a(i)
     // (subscripts not provably distinct).
     let load_aj = block
         .ops
         .iter()
-        .find(|o| o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[j]"))
+        .find(|o| {
+            o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[j]")
+        })
         .expect("load of a(j)");
     assert!(!load_aj.extra_deps.is_empty(), "missing store->load edge");
 }
@@ -406,13 +483,20 @@ fn provably_disjoint_accesses_skip_dependence() {
          end",
         &power_no_backend_opts(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     let load = block
         .ops
         .iter()
-        .find(|o| o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[(i + 1)]"))
+        .find(|o| {
+            o.basic == BasicOp::LoadFloat && o.mem.as_ref().is_some_and(|m| m.key() == "a[(i + 1)]")
+        })
         .expect("load of a(i+1)");
-    assert!(load.extra_deps.is_empty(), "a(i) and a(i+1) are provably disjoint");
+    assert!(
+        load.extra_deps.is_empty(),
+        "a(i) and a(i+1) are provably disjoint"
+    );
 }
 
 #[test]
@@ -448,7 +532,11 @@ fn jacobi_inner_block_shape() {
         &machines::power_like(),
     );
     let inner = ir.innermost_block().unwrap();
-    assert_eq!(count_ops(inner, BasicOp::LoadFloat), 4, "four stencil loads");
+    assert_eq!(
+        count_ops(inner, BasicOp::LoadFloat),
+        4,
+        "four stencil loads"
+    );
     assert_eq!(count_ops(inner, BasicOp::FAdd), 3);
     assert_eq!(count_ops(inner, BasicOp::FMul), 1, "scale by 0.25");
     assert_eq!(count_ops(inner, BasicOp::StoreFloat), 1);
@@ -470,7 +558,9 @@ fn scalar_reassignment_invalidates_cse() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
     assert_eq!(
         count_ops(block, BasicOp::FAdd),
         3,
@@ -491,8 +581,14 @@ fn cse_survives_unrelated_assignment() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Block(block) = &ir.root[0] else { panic!() };
-    assert_eq!(count_ops(block, BasicOp::FMul), 1, "shared product: {block}");
+    let IrNode::Block(block) = &ir.root[0] else {
+        panic!()
+    };
+    assert_eq!(
+        count_ops(block, BasicOp::FMul),
+        1,
+        "shared product: {block}"
+    );
 }
 
 #[test]
@@ -506,7 +602,9 @@ fn while_loop_translates_to_loop_node() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Loop(l) = &ir.root[0] else { panic!("expected Loop, got {:?}", ir.root[0]) };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!("expected Loop, got {:?}", ir.root[0])
+    };
     assert!(l.var.starts_with("while$"));
     // Control block evaluates the condition: compare + branch.
     assert_eq!(count_ops(&l.control, BasicOp::FCmp), 1);
@@ -525,7 +623,9 @@ fn while_loop_hoists_invariants() {
          end",
         &machines::power_like(),
     );
-    let IrNode::Loop(l) = &ir.root[0] else { panic!() };
+    let IrNode::Loop(l) = &ir.root[0] else {
+        panic!()
+    };
     // u + v is invariant: computed once in the preheader, not per
     // iteration in the control block.
     assert_eq!(count_ops(&l.preheader, BasicOp::FAdd), 1, "{}", l.preheader);

@@ -35,7 +35,10 @@ const TRIANGULAR: &str = "subroutine tri(a, n)
  end";
 
 fn study(label: &str, src: &str) {
-    let sub = presage::frontend::parse(src).expect("valid").units.remove(0);
+    let sub = presage::frontend::parse(src)
+        .expect("valid")
+        .units
+        .remove(0);
     let predictor = Predictor::new(machines::power_like());
     let params = CommParams::default();
     let n = Symbol::new("n");

@@ -25,7 +25,10 @@ const MATMUL: &str = "subroutine matmul(a, b, c, n)
  end";
 
 fn main() {
-    let sub = presage::frontend::parse(MATMUL).expect("valid").units.remove(0);
+    let sub = presage::frontend::parse(MATMUL)
+        .expect("valid")
+        .units
+        .remove(0);
 
     // Pure compute model first.
     let predictor = Predictor::new(machines::power_like());
@@ -58,14 +61,19 @@ fn main() {
     // row no longer fits in cache.
     let mut opts = PredictorOptions::default();
     opts.include_memory = true;
-    opts.aggregate.var_ranges.insert("n".into(), (512.0, 2048.0));
+    opts.aggregate
+        .var_ranges
+        .insert("n".into(), (512.0, 2048.0));
     let mem_predictor = Predictor::with_options(machines::power_like(), opts);
     let base_mem = cost_of(&sub, &mem_predictor).expect("predicts");
     println!("\nwith the §2.3 memory model (n ∈ [512, 2048]):");
     println!("  C(original)     = {base_mem}");
     match compare_transform(&sub, &[0, 0, 0], &Transform::Tile(32), &mem_predictor) {
         Ok((_, cmp)) => {
-            println!("  tile k by 32    : {}   (Δ = {})", cmp.outcome, cmp.difference);
+            println!(
+                "  tile k by 32    : {}   (Δ = {})",
+                cmp.outcome, cmp.difference
+            );
         }
         Err(e) => println!("  tile k by 32: {e}"),
     }

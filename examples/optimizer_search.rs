@@ -26,7 +26,10 @@ const KERNEL: &str = "subroutine sweep(a, b, n)
  end";
 
 fn main() {
-    let sub = presage::frontend::parse(KERNEL).expect("valid").units.remove(0);
+    let sub = presage::frontend::parse(KERNEL)
+        .expect("valid")
+        .units
+        .remove(0);
     let predictor = Predictor::new(machines::power_like());
 
     let mut opts = SearchOptions::default();
@@ -39,7 +42,10 @@ fn main() {
     println!("original cost : {:>14.0} cycles", result.original_cost);
     println!("best found    : {:>14.0} cycles", result.best_cost);
     println!("speedup       : {:>14.2}×", result.speedup());
-    println!("states expanded: {}, variants evaluated: {}", result.expansions, result.evaluated);
+    println!(
+        "states expanded: {}, variants evaluated: {}",
+        result.expansions, result.evaluated
+    );
 
     if result.sequence.is_empty() {
         println!("\nno transformation sequence improved the prediction.");

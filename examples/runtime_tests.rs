@@ -52,7 +52,10 @@ fn main() {
         println!("\n{plan}");
         let sub_a = presage::frontend::parse(VARIANT_A).unwrap().units.remove(0);
         let sub_b = presage::frontend::parse(VARIANT_B).unwrap().units.remove(0);
-        println!("generated dispatcher:\n{}", emit_multiversion(&plan, &sub_a, &sub_b));
+        println!(
+            "generated dispatcher:\n{}",
+            emit_multiversion(&plan, &sub_a, &sub_b)
+        );
     } else {
         println!("\none variant dominates: no run-time test needed");
     }

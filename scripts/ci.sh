@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="-D warnings"
 
+echo "== format: cargo fmt --check"
+cargo fmt --check
+
 echo "== tier-1: cargo build --release"
 cargo build --release
 
@@ -29,6 +32,10 @@ cargo test -q -p presage-opt --test variant_rejection
 
 echo "== simulator: event-driven engine differential proof vs cycle-driven oracle"
 cargo test -q -p presage-sim --test differential
+
+echo "== symbolic: id-keyed algebra differential proof + predict_batch == sequential"
+cargo test -q --test symbolic_differential
+cargo test -q -p presage-core batch::
 
 echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json

@@ -68,8 +68,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.machine = match machines::by_name(v) {
                     Some(m) => m,
                     None => {
-                        let text = std::fs::read_to_string(v)
-                            .map_err(|e| format!("machine `{v}`: not predefined and not readable ({e})"))?;
+                        let text = std::fs::read_to_string(v).map_err(|e| {
+                            format!("machine `{v}`: not predefined and not readable ({e})")
+                        })?;
                         MachineDesc::from_json(&text).map_err(|e| format!("machine `{v}`: {e}"))?
                     }
                 };
@@ -79,7 +80,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--at" => {
                 let v = it.next().ok_or("--at needs var=value")?;
                 let (name, value) = v.split_once('=').ok_or("--at expects var=value")?;
-                let value: f64 = value.parse().map_err(|_| format!("bad value in --at {v}"))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value in --at {v}"))?;
                 cli.at.insert(name.to_string(), value);
             }
             "--depth" => {
@@ -186,13 +189,16 @@ fn run(args: &[String]) -> Result<(), String> {
             let predictor = predictor_of(&cli);
             let preds = predictor.predict_source(&src).map_err(|e| e.to_string())?;
             let p = preds.first().ok_or("no subroutines in file")?;
-            let block = p
-                .ir
-                .innermost_block()
-                .ok_or("no straight-line code to list")?;
+            let block =
+                p.ir.innermost_block()
+                    .ok_or("no straight-line code to list")?;
             let mut placer = Placer::new(&cli.machine, PlaceOptions::default());
             let sched = placer.drop_block_detailed(block);
-            println!("{}: innermost basic block on {}", p.name, cli.machine.name());
+            println!(
+                "{}: innermost basic block on {}",
+                p.name,
+                cli.machine.name()
+            );
             print!("{}", render_listing(block, &sched, &cli.machine));
             println!("\n{}", render_cost_block(&placer.cost_block()));
             Ok(())

@@ -80,13 +80,25 @@ fn verdicts_agree_with_sampling() {
         match cmp.outcome {
             CompareOutcome::FirstCheaper => {
                 // diff = a − b must never be positive on the range.
-                assert!(!any_pos, "FirstCheaper but diff positive somewhere: {}", cmp.difference);
+                assert!(
+                    !any_pos,
+                    "FirstCheaper but diff positive somewhere: {}",
+                    cmp.difference
+                );
             }
             CompareOutcome::SecondCheaper => {
-                assert!(!any_neg, "SecondCheaper but diff negative somewhere: {}", cmp.difference);
+                assert!(
+                    !any_neg,
+                    "SecondCheaper but diff negative somewhere: {}",
+                    cmp.difference
+                );
             }
             CompareOutcome::AlwaysEqual => {
-                assert!(!any_pos && !any_neg, "AlwaysEqual but diff nonzero: {}", cmp.difference);
+                assert!(
+                    !any_pos && !any_neg,
+                    "AlwaysEqual but diff nonzero: {}",
+                    cmp.difference
+                );
             }
             CompareOutcome::DependsOnUnknowns => {
                 // The winner flips: evaluating at each reported sign
@@ -107,7 +119,11 @@ fn verdicts_agree_with_sampling() {
                         neg = true;
                     }
                 }
-                assert!(pos && neg, "DependsOnUnknowns but single-signed: {}", cmp.difference);
+                assert!(
+                    pos && neg,
+                    "DependsOnUnknowns but single-signed: {}",
+                    cmp.difference
+                );
             }
             CompareOutcome::Undetermined => {
                 // Conservative fallback — allowed, never wrong.
@@ -166,7 +182,9 @@ fn drop_negligible_preserves_value_within_epsilon() {
         let simplified = a.drop_negligible_terms(1e-4);
         let n = Symbol::new("n");
         let info = a.vars().get(&n).copied();
-        let (lo, hi) = info.map(|i| (i.range.lo(), i.range.hi())).unwrap_or((1.0, 1.0));
+        let (lo, hi) = info
+            .map(|i| (i.range.lo(), i.range.hi()))
+            .unwrap_or((1.0, 1.0));
         for k in 0..=20 {
             let x = lo + (hi - lo) * k as f64 / 20.0;
             let mut bnd = HashMap::new();
@@ -175,7 +193,10 @@ fn drop_negligible_preserves_value_within_epsilon() {
             let v1 = simplified.eval_with_defaults(&bnd);
             // Dropping ε-negligible terms moves the value by at most a
             // small relative amount.
-            assert!((v0 - v1).abs() <= 1e-2 * (1.0 + v0.abs()), "{v0} vs {v1} at {x}");
+            assert!(
+                (v0 - v1).abs() <= 1e-2 * (1.0 + v0.abs()),
+                "{v0} vs {v1} at {x}"
+            );
         }
     }
 }

@@ -110,7 +110,10 @@ fn while_loop_condition_charged_per_iteration() {
             .unwrap()
             .to_f64()
     };
-    assert!(coeff(heavy) > coeff(light) + 5.0, "sqrt-condition per-iteration cost");
+    assert!(
+        coeff(heavy) > coeff(light) + 5.0,
+        "sqrt-condition per-iteration cost"
+    );
 }
 
 #[test]

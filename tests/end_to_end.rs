@@ -26,12 +26,19 @@ fn prediction_is_symbolic_and_evaluates() {
     let pred = &predictor.predict_source(TRIAD).unwrap()[0];
     assert!(!pred.total.is_concrete());
     let n = Symbol::new("n");
-    assert_eq!(pred.total.poly().degree_in(&n), 1, "streaming kernel is linear in n");
+    assert_eq!(
+        pred.total.poly().degree_in(&n),
+        1,
+        "streaming kernel is linear in n"
+    );
 
     let mut b = HashMap::new();
     b.insert(n, 1000.0);
     let at_1k = pred.total.eval_with_defaults(&b);
-    assert!(at_1k > 1000.0 && at_1k < 100_000.0, "plausible cycle count: {at_1k}");
+    assert!(
+        at_1k > 1000.0 && at_1k < 100_000.0,
+        "plausible cycle count: {at_1k}"
+    );
 }
 
 #[test]
@@ -72,10 +79,14 @@ fn transformation_decision_workflow() {
     .units
     .remove(0);
     let predictor = Predictor::new(machines::power_like());
-    let (variant, cmp) = compare_transform(&fused, &[0], &Transform::Distribute, &predictor).unwrap();
+    let (variant, cmp) =
+        compare_transform(&fused, &[0], &Transform::Distribute, &predictor).unwrap();
     // Splitting doubles the loop-control work: distribution should not win.
     assert!(
-        matches!(cmp.outcome, CompareOutcome::SecondCheaper | CompareOutcome::AlwaysEqual),
+        matches!(
+            cmp.outcome,
+            CompareOutcome::SecondCheaper | CompareOutcome::AlwaysEqual
+        ),
         "distribute outcome {:?} (Δ = {})",
         cmp.outcome,
         cmp.difference
@@ -126,7 +137,12 @@ fn runtime_test_workflow_produces_thresholds() {
 fn incremental_tree_agrees_with_predictor() {
     let predictor = Predictor::new(machines::power_like());
     let pred = &predictor.predict_source(TRIAD).unwrap()[0];
-    let tree = CostTree::build(&pred.ir, predictor.machine(), None, AggregateOptions::default());
+    let tree = CostTree::build(
+        &pred.ir,
+        predictor.machine(),
+        None,
+        AggregateOptions::default(),
+    );
     assert_eq!(tree.total(), &pred.compute);
 }
 
@@ -193,13 +209,24 @@ fn memory_model_changes_blocking_decision() {
     let compute_only = Predictor::new(machines::power_like());
     let mut mem_opts = PredictorOptions::default();
     mem_opts.include_memory = true;
-    mem_opts.aggregate.var_ranges.insert("n".into(), (1024.0, 1024.0));
+    mem_opts
+        .aggregate
+        .var_ranges
+        .insert("n".into(), (1024.0, 1024.0));
     let with_memory = Predictor::with_options(machines::power_like(), mem_opts);
 
     let ratio = |p: &Predictor| {
-        let base = p.predict_subroutine(&sub).unwrap().total.eval_with_defaults(&at);
+        let base = p
+            .predict_subroutine(&sub)
+            .unwrap()
+            .total
+            .eval_with_defaults(&at);
         let tiled = presage::opt::transformed(&sub, &[0, 0, 0], &Transform::Tile(32)).unwrap();
-        let tiled_cost = p.predict_subroutine(&tiled).unwrap().total.eval_with_defaults(&at);
+        let tiled_cost = p
+            .predict_subroutine(&tiled)
+            .unwrap()
+            .total
+            .eval_with_defaults(&at);
         tiled_cost / base
     };
     let r_compute = ratio(&compute_only);
@@ -208,7 +235,10 @@ fn memory_model_changes_blocking_decision() {
         r_memory < r_compute,
         "memory model should favor tiling: compute ratio {r_compute:.3}, memory ratio {r_memory:.3}"
     );
-    assert!(r_memory < 1.0, "tiling should win outright with memory costs: {r_memory:.3}");
+    assert!(
+        r_memory < 1.0,
+        "tiling should win outright with memory costs: {r_memory:.3}"
+    );
 }
 
 #[test]
@@ -266,7 +296,11 @@ fn triangular_nest_sums_in_closed_form() {
         .unwrap()[0];
     let n = Symbol::new("n");
     let i = Symbol::new("i");
-    assert!(!pred.total.poly().contains_symbol(&i), "loop index summed away: {}", pred.total);
+    assert!(
+        !pred.total.poly().contains_symbol(&i),
+        "loop index summed away: {}",
+        pred.total
+    );
     assert_eq!(pred.total.poly().degree_in(&n), 2);
 
     // The n² coefficient must be half the per-iteration cost: compare the
@@ -295,5 +329,8 @@ fn triangular_nest_sums_in_closed_form() {
             .to_f64()
     };
     let ratio = lead(&full.total) / lead(&pred.total);
-    assert!((ratio - 2.0).abs() < 0.05, "triangular is half the square: {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "triangular is half the square: {ratio}"
+    );
 }

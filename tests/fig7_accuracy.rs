@@ -122,7 +122,9 @@ fn imitation_ablation_shape() {
     let symbols = sema::analyze(&prog.units[0]).unwrap();
 
     let opt_ir = translate(&prog.units[0], &symbols, &imitating).unwrap();
-    let reference = simulate_block(&imitating, opt_ir.innermost_block().unwrap()).unwrap().makespan;
+    let reference = simulate_block(&imitating, opt_ir.innermost_block().unwrap())
+        .unwrap()
+        .makespan;
 
     let naive_ir = translate(&prog.units[0], &symbols, &oblivious).unwrap();
     let distorted = place_block(

@@ -6,7 +6,10 @@ use presage::machine::{machines, MachineDesc};
 #[test]
 fn shipped_json_machines_match_builtins() {
     for (file, builtin) in [
-        (include_str!("../machines/power-like.json"), machines::power_like()),
+        (
+            include_str!("../machines/power-like.json"),
+            machines::power_like(),
+        ),
         (include_str!("../machines/risc1.json"), machines::risc1()),
         (include_str!("../machines/wide4.json"), machines::wide4()),
         (include_str!("../machines/wide8.json"), machines::wide8()),
@@ -19,8 +22,11 @@ fn shipped_json_machines_match_builtins() {
 #[test]
 fn json_loaded_machine_predicts_identically() {
     let loaded = MachineDesc::from_json(include_str!("../machines/power-like.json")).unwrap();
-    let src = "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = a(i) * 2.0\nend do\nend";
-    let a = presage::core::predictor::Predictor::new(loaded).predict_source(src).unwrap();
+    let src =
+        "subroutine s(a, n)\nreal a(n)\ninteger i, n\ndo i = 1, n\na(i) = a(i) * 2.0\nend do\nend";
+    let a = presage::core::predictor::Predictor::new(loaded)
+        .predict_source(src)
+        .unwrap();
     let b = presage::core::predictor::Predictor::new(machines::power_like())
         .predict_source(src)
         .unwrap();

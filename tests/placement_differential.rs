@@ -44,7 +44,8 @@ fn optimized_placer_is_schedule_identical_to_seed() {
                     let want = seed.drop_block_detailed(&block);
                     let got = opt.drop_block_detailed(&block);
                     assert_eq!(
-                        want, got,
+                        want,
+                        got,
                         "schedule diverged: {} on {} (focus {focus:?}, drop {drop})",
                         kernel.name,
                         machine.name()

@@ -177,7 +177,10 @@ fn poly_derivative_of_sum() {
     for _ in 0..128 {
         let (p, q) = (poly(&mut rng), poly(&mut rng));
         let n = Symbol::new("n");
-        assert_eq!((&p + &q).derivative(&n), &p.derivative(&n) + &q.derivative(&n));
+        assert_eq!(
+            (&p + &q).derivative(&n),
+            &p.derivative(&n) + &q.derivative(&n)
+        );
     }
 }
 
@@ -198,7 +201,9 @@ fn poly_antiderivative_inverts_derivative() {
 fn roots_from_factored_polynomials() {
     let mut rng = Rng(11);
     for _ in 0..128 {
-        let mut rs: Vec<i32> = (0..1 + rng.below(4)).map(|_| rng.range(-8, 8) as i32).collect();
+        let mut rs: Vec<i32> = (0..1 + rng.below(4))
+            .map(|_| rng.range(-8, 8) as i32)
+            .collect();
         rs.sort();
         rs.dedup();
         // Build Π (x − r) as dense coefficients.
@@ -223,8 +228,9 @@ fn roots_from_factored_polynomials() {
 fn all_reported_roots_are_roots() {
     let mut rng = Rng(12);
     for _ in 0..128 {
-        let coeffs: Vec<f64> =
-            (0..1 + rng.below(5)).map(|_| rng.f64_in(-50.0, 50.0)).collect();
+        let coeffs: Vec<f64> = (0..1 + rng.below(5))
+            .map(|_| rng.f64_in(-50.0, 50.0))
+            .collect();
         let scale = coeffs.iter().fold(1.0f64, |a, c| a.max(c.abs()));
         for r in real_roots(&coeffs) {
             let v = horner(&coeffs, r);
@@ -341,7 +347,11 @@ fn op_stream(rng: &mut Rng) -> BlockIr {
             BasicOp::IMul,
             BasicOp::FDiv,
         ][rng.below(7) as usize];
-        let args = if rng.flip() { vec![prev, x] } else { vec![x, x] };
+        let args = if rng.flip() {
+            vec![prev, x]
+        } else {
+            vec![x, x]
+        };
         prev = b.emit(basic, args);
     }
     b
@@ -356,8 +366,20 @@ fn naive_upper_bounds_everything() {
             let naive = naive_block_cost(&machine, &block);
             let sim = simulate_block(&machine, &block).unwrap().makespan;
             let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
-            assert!(sim <= naive, "sim {} > naive {} on {}", sim, naive, machine.name());
-            assert!(placed <= naive, "placed {} > naive {} on {}", placed, naive, machine.name());
+            assert!(
+                sim <= naive,
+                "sim {} > naive {} on {}",
+                sim,
+                naive,
+                machine.name()
+            );
+            assert!(
+                placed <= naive,
+                "placed {} > naive {} on {}",
+                placed,
+                naive,
+                machine.name()
+            );
         }
     }
 }
@@ -447,8 +469,15 @@ fn generated_loops_predict_linear_cost() {
         assert_eq!(pred.total.poly().degree_in(&n), 1);
         // Per-iteration coefficient grows with statement count and is
         // bounded by the naive per-iteration cost.
-        let coeff =
-            pred.total.poly().as_univariate(&n).last().unwrap().1.constant_value().unwrap();
+        let coeff = pred
+            .total
+            .poly()
+            .as_univariate(&n)
+            .last()
+            .unwrap()
+            .1
+            .constant_value()
+            .unwrap();
         assert!(coeff.to_f64() > 0.0);
         assert!(coeff.to_f64() < 100.0 * stmts as f64);
     }

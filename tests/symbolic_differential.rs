@@ -7,15 +7,19 @@
 //! a single canonical form: a seeded random workload of
 //! add/sub/mul/scale/pow/substitute/summation chains, degree-≤4
 //! root/sign analyses, the full Figure 7 aggregation suite on every
-//! shipped machine, and the [`PredictionCache`] key scheme must all agree
+//! shipped machine, seeded random loop nests (triangular bounds, non-unit
+//! steps, index-keyed conditionals), the [`PredictionCache`] key scheme,
+//! and the parallel [`Predictor::predict_batch`] fan-out must all agree
 //! exactly between the two engines — same `Display` strings, same exact
-//! rational evaluations.
+//! rational evaluations, on every worker count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use presage::core::aggregate::{aggregate, AggregateOptions};
-use presage::core::predictor::Predictor;
+use presage::core::predictor::{Predictor, PredictorOptions};
 use presage::core::refagg::reference_aggregate;
+use presage::core::TranslationCache;
 use presage::frontend::parse;
 use presage::machine::MachineDesc;
 use presage::opt::cache::PredictionCache;
@@ -82,7 +86,10 @@ struct Pair {
 
 impl Pair {
     fn constant(c: Rational) -> Pair {
-        Pair { fast: Poly::constant(c), slow: reference::Poly::constant(c) }
+        Pair {
+            fast: Poly::constant(c),
+            slow: reference::Poly::constant(c),
+        }
     }
 
     fn var(name: &str) -> Pair {
@@ -143,18 +150,31 @@ fn random_operation_chains_are_canonically_identical() {
             let b = pool[rng.below(pool.len() as u64) as usize].clone();
             let ctx = format!("seed {seed:#x} step {step}");
             let next = match rng.below(7) {
-                0 => Pair { fast: &a.fast + &b.fast, slow: &a.slow + &b.slow },
-                1 => Pair { fast: &a.fast - &b.fast, slow: &a.slow - &b.slow },
-                2 if a.fast.total_degree() + b.fast.total_degree() <= 6 => {
-                    Pair { fast: &a.fast * &b.fast, slow: &a.slow * &b.slow }
-                }
+                0 => Pair {
+                    fast: &a.fast + &b.fast,
+                    slow: &a.slow + &b.slow,
+                },
+                1 => Pair {
+                    fast: &a.fast - &b.fast,
+                    slow: &a.slow - &b.slow,
+                },
+                2 if a.fast.total_degree() + b.fast.total_degree() <= 6 => Pair {
+                    fast: &a.fast * &b.fast,
+                    slow: &a.slow * &b.slow,
+                },
                 3 => {
                     let c = rng.rational();
-                    Pair { fast: a.fast.scale(c), slow: a.slow.scale(c) }
+                    Pair {
+                        fast: a.fast.scale(c),
+                        slow: a.slow.scale(c),
+                    }
                 }
                 4 if a.fast.total_degree() <= 3 => {
                     let exp = rng.below(3) as u32;
-                    Pair { fast: a.fast.pow(exp), slow: a.slow.pow(exp) }
+                    Pair {
+                        fast: a.fast.pow(exp),
+                        slow: a.slow.pow(exp),
+                    }
                 }
                 5 => {
                     // Substitute a random symbol by a linear form; the
@@ -167,8 +187,14 @@ fn random_operation_chains_are_canonically_identical() {
                         fast: &lin.fast + &shift.fast,
                         slow: &lin.slow + &shift.slow,
                     };
-                    let fast = a.fast.subst(&sym, &repl.fast).expect("no negative exponents");
-                    let slow = a.slow.subst(&sym, &repl.slow).expect("no negative exponents");
+                    let fast = a
+                        .fast
+                        .subst(&sym, &repl.fast)
+                        .expect("no negative exponents");
+                    let slow = a
+                        .slow
+                        .subst(&sym, &repl.slow)
+                        .expect("no negative exponents");
                     Pair { fast, slow }
                 }
                 6 if a.fast.total_degree() <= 4 => {
@@ -206,7 +232,11 @@ fn random_operation_chains_are_canonically_identical() {
             // Derived quantities the aggregator relies on must agree too.
             assert_eq!(next.fast.num_terms(), next.slow.num_terms(), "{ctx}");
             assert_eq!(next.fast.total_degree(), next.slow.total_degree(), "{ctx}");
-            assert_eq!(next.fast.constant_term(), next.slow.constant_term(), "{ctx}");
+            assert_eq!(
+                next.fast.constant_term(),
+                next.slow.constant_term(),
+                "{ctx}"
+            );
             assert_eq!(next.fast.symbols(), next.slow.symbols(), "{ctx}");
             for name in SYMS {
                 let sym = Symbol::new(name);
@@ -264,7 +294,11 @@ fn degree_four_roots_and_signs_agree() {
         let via_slow = signs::sign_regions(&pair.slow.to_optimized(), &x, -4.0, 4.0);
         match (via_fast, via_slow) {
             (Ok(a), Ok(b)) => assert_eq!(a, b, "sign regions diverged (case {case})"),
-            (a, b) => assert_eq!(a.is_err(), b.is_err(), "sign feasibility diverged (case {case})"),
+            (a, b) => assert_eq!(
+                a.is_err(),
+                b.is_err(),
+                "sign feasibility diverged (case {case})"
+            ),
         }
     }
 }
@@ -295,6 +329,126 @@ fn figure7_aggregation_is_engine_identical() {
     }
 }
 
+/// Emits one random (but seeded) loop nest in mini-Fortran: up to three
+/// nested `do` loops with optionally triangular bounds, non-unit steps,
+/// and index-keyed conditionals — the aggregation shapes of §2.4 that
+/// exercise trip counts, Faulhaber summation, and branch splitting.
+fn random_nest_source(rng: &mut Rng) -> String {
+    let vars = ["i", "j", "k"];
+    let depth = rng.int(1, 3) as usize;
+    let mut src = String::from("subroutine nest(a, n)\n   real a(n)\n   integer i, j, k, n\n");
+    for d in 0..depth {
+        let v = vars[d];
+        let lb = if d > 0 && rng.below(3) == 0 {
+            // Triangular nest: the inner trip count depends on the outer
+            // index, forcing the closed-form summation path.
+            vars[d - 1].to_string()
+        } else {
+            ["1", "2"][rng.below(2) as usize].to_string()
+        };
+        let ub = ["n", "n-1", "12"][rng.below(3) as usize];
+        let step = if rng.below(4) == 0 { ", 2" } else { "" };
+        src.push_str(&format!("   do {v} = {lb}, {ub}{step}\n"));
+        // A statement at every level keeps outer bodies compound.
+        let iv = vars[rng.below((d + 1) as u64) as usize];
+        src.push_str(&format!("     a({iv}) = a({iv}) * 2.0 + 1.0\n"));
+    }
+    let v = vars[depth - 1];
+    if rng.below(2) == 0 {
+        src.push_str(&format!(
+            "     if ({v} .le. n/2) then\n       a({v}) = a({v}) + 3.0\n     \
+             else\n       a({v}) = a({v}) * 0.5\n     end if\n"
+        ));
+    }
+    for _ in 0..depth {
+        src.push_str("   end do\n");
+    }
+    src.push_str(" end");
+    src
+}
+
+#[test]
+fn random_loop_nests_aggregate_engine_identical() {
+    let opts = AggregateOptions::default();
+    let machines = shipped_machines();
+    let risc1 = machines
+        .iter()
+        .find(|m| m.name() == "risc1")
+        .expect("risc1 ships");
+    // Deep risc1 sweep (the enforced prediction-floor machine), then a
+    // shorter sweep across every other shipped machine.
+    let mut rng = Rng::new(0x1994_1994);
+    for case in 0..24 {
+        let src = random_nest_source(&mut rng);
+        let ir = kernels::translate_kernel(&src, risc1);
+        let slow = reference_aggregate(&ir, risc1, &opts);
+        let fast = aggregate(&ir, risc1, None, &opts);
+        assert_eq!(
+            slow.to_string(),
+            fast.to_string(),
+            "risc1 nest {case} diverged:\n{src}"
+        );
+    }
+    for machine in &machines {
+        for case in 0..8 {
+            let src = random_nest_source(&mut rng);
+            let ir = kernels::translate_kernel(&src, machine);
+            let slow = reference_aggregate(&ir, machine, &opts);
+            let fast = aggregate(&ir, machine, None, &opts);
+            assert_eq!(
+                slow.to_string(),
+                fast.to_string(),
+                "{} nest {case} diverged:\n{src}",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn predict_batch_matches_sequential_predict_source() {
+    let machines = shipped_machines();
+    let kernels = figure7();
+    let jobs: Vec<(&MachineDesc, &str)> = machines
+        .iter()
+        .flat_map(|m| kernels.iter().map(move |k| (m, k.source)))
+        .collect();
+    let opts = PredictorOptions::default();
+
+    // Sequential oracle: a fresh uncached predictor per job.
+    let expected: Vec<Vec<String>> = jobs
+        .iter()
+        .map(|(m, src)| {
+            Predictor::new((*m).clone())
+                .predict_source(src)
+                .expect("kernel predicts")
+                .iter()
+                .map(|p| p.total.to_string())
+                .collect()
+        })
+        .collect();
+
+    for workers in [1, 2, 4, 8] {
+        let cache = Arc::new(TranslationCache::new());
+        let got = Predictor::predict_batch(&jobs, &opts, &cache, workers);
+        assert_eq!(got.len(), jobs.len());
+        for ((exp, got), (m, _)) in expected.iter().zip(&got).zip(&jobs) {
+            let got: Vec<String> = got
+                .as_ref()
+                .expect("kernel predicts in batch")
+                .iter()
+                .map(|p| p.total.to_string())
+                .collect();
+            assert_eq!(&got, exp, "{} diverged at workers={workers}", m.name());
+        }
+        assert_eq!(
+            cache.len() as usize,
+            machines.len() * kernels.len(),
+            "every (machine, kernel) pair translated exactly once"
+        );
+    }
+}
+
 #[test]
 fn prediction_cache_keys_are_engine_independent() {
     let machine = shipped_machines().remove(0);
@@ -308,8 +462,12 @@ fn prediction_cache_keys_are_engine_independent() {
         // the program alone, never of the symbolic representation.
         let key = presage_opt::canonical_key(sub).expect("kernel canonicalizes");
 
-        let first = cache.cost_of(key, sub, &predictor).expect("kernel predicts");
-        let again = cache.cost_of(key, sub, &predictor).expect("kernel predicts");
+        let first = cache
+            .cost_of(key, sub, &predictor)
+            .expect("kernel predicts");
+        let again = cache
+            .cost_of(key, sub, &predictor)
+            .expect("kernel predicts");
         assert_eq!(first.to_string(), again.to_string());
 
         let fresh = predictor
