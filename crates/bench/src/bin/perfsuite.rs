@@ -12,16 +12,23 @@
 //! Usage:
 //!
 //! ```text
-//! perfsuite [--smoke] [--out PATH]
+//! perfsuite [--smoke] [--batch-only] [--out PATH]
 //! ```
 //!
-//! `--smoke` runs a fast sanity pass (no thresholds, tiny workloads) for
-//! CI; the full run enforces the targets (≥3× placement ops/sec on wide8,
-//! ≥5× predictions/sec on wide8 and ≥8× on risc1, ≥1.5× source-level
-//! predictions/sec on wide8 with a warmed translation cache, ≥2× A*
-//! wall-time, ≥4× event-driven simulator sims/sec vs the cycle-driven
-//! reference on wide8, and — on hosts with ≥8 cores — ≥3× 8-worker
-//! `predict_batch` throughput vs 1 worker) and exits nonzero when missed.
+//! `--smoke` runs a fast sanity pass (no timing thresholds, tiny
+//! workloads) for CI; the full run enforces the targets (≥3× placement
+//! ops/sec on wide8, ≥5× predictions/sec on wide8 and ≥8× on risc1,
+//! ≥1.5× source-level predictions/sec on wide8 with a warmed translation
+//! cache, ≥2× A* wall-time, ≥4× event-driven simulator sims/sec vs the
+//! cycle-driven reference on wide8, and two batch-scaling floors: on
+//! hosts with ≥4 cores `predict_batch` throughput must be monotonically
+//! non-decreasing from 1→4 workers, and on hosts with ≥8 cores the
+//! 8-worker speedup must be ≥3× the single worker) and exits nonzero
+//! when missed. The soak footprint ceilings (interned arena + L2 memo
+//! entries after a batch of distinct generated programs) are
+//! deterministic and enforced in every mode. `--batch-only` runs just
+//! the batch-scaling rows and the soak check — the CI scaling gate —
+//! without touching the output file.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -41,6 +48,7 @@ use presage_core::{Predictor, PredictorOptions};
 use presage_machine::json::Json;
 use presage_machine::{machines, MachineDesc};
 use presage_opt::{astar_search_cached, PredictionCache, SearchOptions};
+use presage_symbolic::memo::MemoStats;
 use presage_symbolic::Symbol;
 use presage_translate::{BlockIr, ProgramIr};
 use std::collections::HashMap;
@@ -50,18 +58,21 @@ use std::time::{Duration, Instant};
 
 struct Config {
     smoke: bool,
+    batch_only: bool,
     out: String,
 }
 
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
+        batch_only: false,
         out: "BENCH_placement.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => cfg.smoke = true,
+            "--batch-only" => cfg.batch_only = true,
             "--out" => match args.next() {
                 Some(path) => cfg.out = path,
                 None => {
@@ -70,7 +81,7 @@ fn parse_args() -> Config {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: perfsuite [--smoke] [--out PATH]");
+                eprintln!("usage: perfsuite [--smoke] [--batch-only] [--out PATH]");
                 std::process::exit(0);
             }
             other => {
@@ -222,18 +233,27 @@ fn bench_prediction(budget: Duration) -> Vec<PredictionRow> {
     rows
 }
 
-/// Parallel batch prediction: [`Predictor::predict_batch`] over the full
-/// `(machine, kernel)` cross product with one shared (sharded)
-/// [`TranslationCache`] and the global polynomial arena, at several
-/// worker counts. Workers re-spawn per round (scoped threads), so each
-/// round pays realistic per-thread warm-up; the shared caches stay warm
-/// across rounds, which is the restructuring steady state.
+/// Parallel batch prediction: [`Predictor::predict_batch_report`] over
+/// the full `(machine, kernel)` cross product with one shared (sharded)
+/// [`TranslationCache`], the sharded polynomial arena, and the sharded L2
+/// memo tables, at several worker counts. Workers re-spawn per round
+/// (scoped threads), so each round pays realistic per-thread warm-up —
+/// thread-local L1 memos start empty every round and refill from the L2,
+/// which is exactly the contention the sharded design absorbs.
 struct BatchRow {
     workers: usize,
     preds_per_sec: f64,
+    /// Two-level memo telemetry summed over all rounds at this count.
+    l1_hits: u64,
+    l2_hits: u64,
+    misses: u64,
+    /// Work-stealing chunk claims beyond each worker's first.
+    steals: u64,
 }
 
-fn bench_batch(budget: Duration) -> (Vec<BatchRow>, f64) {
+const BATCH_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_batch(budget: Duration) -> Vec<BatchRow> {
     let machines = machines::all();
     let ks = figure7();
     let jobs: Vec<(&MachineDesc, &str)> = machines
@@ -242,21 +262,105 @@ fn bench_batch(budget: Duration) -> (Vec<BatchRow>, f64) {
         .collect();
     let opts = PredictorOptions::default();
     let cache = Arc::new(TranslationCache::new());
-    // Warm the shared translation cache so every timed round is all hits.
+    // Warm the shared translation cache and L2 memos so every timed round
+    // runs the warm steady state.
     black_box(Predictor::predict_batch(&jobs, &opts, &cache, 1));
     let mut rows = Vec::new();
-    for workers in [1usize, 4, 8] {
+    for workers in BATCH_WORKER_COUNTS {
+        let mut memo = MemoStats::default();
+        let mut steals = 0u64;
         let (n, s) = time_until(budget, || {
-            black_box(Predictor::predict_batch(&jobs, &opts, &cache, workers));
+            let report = Predictor::predict_batch_report(&jobs, &opts, &cache, workers);
+            black_box(&report.results);
+            memo = memo.merged(&report.memo_totals());
+            steals += report.total_steals();
             jobs.len() as u64
         });
         rows.push(BatchRow {
             workers,
             preds_per_sec: n as f64 / s,
+            l1_hits: memo.l1_hits,
+            l2_hits: memo.l2_hits,
+            misses: memo.misses,
+            steals,
         });
     }
-    let speedup_8w = rows[rows.len() - 1].preds_per_sec / rows[0].preds_per_sec;
-    (rows, speedup_8w)
+    rows
+}
+
+/// Soak check toward the prediction-as-a-service roadmap item: many
+/// *distinct* generated programs through `predict_batch`, then assert the
+/// process-wide interned arena and L2 memo footprint stay under fixed
+/// ceilings. Distinct shapes stress the cap-clear and content-fallback
+/// paths under concurrency — a leak here means a long-lived server grows
+/// without bound.
+struct SoakResult {
+    programs: usize,
+    jobs: usize,
+    arena_symbols: usize,
+    arena_monomials: usize,
+    arena_polynomials: usize,
+    l2_entries: usize,
+    ok: bool,
+}
+
+/// Arena entries (symbols + monomials + polynomials) after the soak must
+/// stay under this — far below the `POLY_ARENA_CAP` backstop, so growth
+/// per distinct program is what is actually being bounded.
+const SOAK_ARENA_CEILING: usize = 400_000;
+/// L2 memo entries after the soak; the per-shard caps bound this by
+/// construction (~90k across all tables), so the ceiling catches any
+/// future unbounded L2.
+const SOAK_L2_CEILING: usize = 100_000;
+
+/// A distinct triangular-nest kernel per index: distinct names, constants
+/// and bound structure produce distinct translation shapes, intern
+/// entries, and memo keys.
+fn soak_program(k: usize) -> String {
+    format!(
+        "subroutine soak{k}(y, x, a, n)
+           real y(n), x(n), a
+           integer i, j, n
+           do i = 1, n
+             do j = i, n
+               y(j) = y(j) + {c}.0 * x(j) + a * {d}.0
+             end do
+           end do
+           do i = {lb}, n
+             x(i) = x(i) * {c}.0
+           end do
+         end",
+        c = k % 97 + 2,
+        d = (k * 7) % 89 + 3,
+        lb = k % 5 + 1,
+    )
+}
+
+fn bench_soak(smoke: bool) -> SoakResult {
+    let n_programs = if smoke { 48 } else { 192 };
+    let machines = machines::all();
+    let programs: Vec<String> = (0..n_programs).map(soak_program).collect();
+    let jobs: Vec<(&MachineDesc, &str)> = machines
+        .iter()
+        .flat_map(|m| programs.iter().map(move |p| (m, p.as_str())))
+        .collect();
+    let opts = PredictorOptions::default();
+    let cache = Arc::new(TranslationCache::new());
+    let report = Predictor::predict_batch_report(&jobs, &opts, &cache, 8);
+    let failures = report.results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 0, "soak programs must all predict");
+    let arena = presage_symbolic::arena_stats();
+    let l2_entries = presage_core::l2_memo_entries();
+    let arena_total = arena.symbols + arena.monomials + arena.polynomials;
+    SoakResult {
+        programs: n_programs,
+        jobs: jobs.len(),
+        arena_symbols: arena.symbols,
+        arena_monomials: arena.monomials,
+        arena_polynomials: arena.polynomials,
+        l2_entries,
+        ok: arena_total <= SOAK_ARENA_CEILING && l2_entries <= SOAK_L2_CEILING,
+    }
 }
 
 /// Translation micro-benchmark: source-level prediction throughput
@@ -622,6 +726,21 @@ const SIM_WIDE8_MIN: f64 = 4.0;
 /// below the worker count it gates.
 const BATCH_8W_MIN: f64 = 3.0;
 const BATCH_MIN_CORES: usize = 8;
+/// The 1→4-worker monotonicity floor arms on any host with at least this
+/// many cores — the hole that let a 0.4× collapse land green was arming
+/// the only batch floor at ≥8 cores, which no CI host had.
+const BATCH_MONOTONE_MIN_CORES: usize = 4;
+/// Throughput at each step of 1→4 workers must be at least this fraction
+/// of the previous step: non-decreasing up to measurement noise.
+const BATCH_MONOTONE_TOLERANCE: f64 = 0.9;
+
+/// Worst step ratio `rate(w_{k+1}) / rate(w_k)` over the 1→4-worker rows.
+fn batch_monotone_ratio(rows: &[BatchRow]) -> f64 {
+    rows.windows(2)
+        .filter(|w| w[1].workers <= 4)
+        .map(|w| w[1].preds_per_sec / w[0].preds_per_sec)
+        .fold(f64::INFINITY, f64::min)
+}
 
 fn main() {
     let cfg = parse_args();
@@ -630,11 +749,90 @@ fn main() {
     } else {
         Duration::from_millis(500)
     };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let batch_floor_armed = host_cores >= BATCH_MIN_CORES;
+    let batch_monotone_armed = host_cores >= BATCH_MONOTONE_MIN_CORES;
 
     eprintln!(
-        "perfsuite: end-to-end prediction ({} mode, Figure 7 suite)",
+        "perfsuite: batch prediction ({} mode, {host_cores} cores, predict_batch, machines × Figure 7)",
         if cfg.smoke { "smoke" } else { "full" }
     );
+    let batch = bench_batch(budget);
+    for row in &batch {
+        eprintln!(
+            "  {:>2} workers: {:>9.0} preds/s  (L1 {:>9}, L2 {:>7}, miss {:>6}, steals {:>5})",
+            row.workers, row.preds_per_sec, row.l1_hits, row.l2_hits, row.misses, row.steals
+        );
+    }
+    let batch_speedup_8w = batch[batch.len() - 1].preds_per_sec / batch[0].preds_per_sec;
+    let batch_monotone = batch_monotone_ratio(&batch);
+    eprintln!(
+        "  8w/1w speedup {:.2}x ({}); worst 1→4w step ratio {:.2} ({})",
+        batch_speedup_8w,
+        if batch_floor_armed {
+            "floor armed"
+        } else {
+            "informational: host has <8 cores"
+        },
+        batch_monotone,
+        if batch_monotone_armed {
+            "monotone floor armed"
+        } else {
+            "informational: host has <4 cores"
+        }
+    );
+
+    eprintln!("perfsuite: soak (distinct generated programs, footprint ceilings)");
+    let soak = bench_soak(cfg.smoke);
+    eprintln!(
+        "  {} programs × {} jobs: arena {} syms + {} monos + {} polys, L2 memos {} entries  ({})",
+        soak.programs,
+        soak.jobs,
+        soak.arena_symbols,
+        soak.arena_monomials,
+        soak.arena_polynomials,
+        soak.l2_entries,
+        if soak.ok {
+            "within ceilings"
+        } else {
+            "OVER CEILING"
+        }
+    );
+
+    let mut batch_failed = false;
+    if !soak.ok {
+        eprintln!(
+            "FAIL: soak footprint over ceiling (arena {} > {SOAK_ARENA_CEILING} or L2 {} > {SOAK_L2_CEILING})",
+            soak.arena_symbols + soak.arena_monomials + soak.arena_polynomials,
+            soak.l2_entries
+        );
+        batch_failed = true;
+    }
+    if !cfg.smoke {
+        if batch_floor_armed && batch_speedup_8w < BATCH_8W_MIN {
+            eprintln!(
+                "FAIL: predict_batch 8-worker speedup is {batch_speedup_8w:.2}x (target {BATCH_8W_MIN}x)"
+            );
+            batch_failed = true;
+        }
+        if batch_monotone_armed && batch_monotone < BATCH_MONOTONE_TOLERANCE {
+            eprintln!(
+                "FAIL: predict_batch throughput drops from 1→4 workers (worst step ratio {batch_monotone:.2}, floor {BATCH_MONOTONE_TOLERANCE})"
+            );
+            batch_failed = true;
+        }
+    }
+    if cfg.batch_only {
+        if batch_failed {
+            std::process::exit(1);
+        }
+        eprintln!("perfsuite: batch-only checks passed");
+        return;
+    }
+
+    eprintln!("perfsuite: end-to-end prediction (Figure 7 suite)");
     let prediction = bench_prediction(budget);
     for row in &prediction {
         eprintln!(
@@ -642,27 +840,6 @@ fn main() {
             row.machine, row.ref_preds_per_sec, row.opt_preds_per_sec, row.speedup
         );
     }
-
-    eprintln!("perfsuite: batch prediction (predict_batch, machines × Figure 7)");
-    let (batch, batch_speedup_8w) = bench_batch(budget);
-    for row in &batch {
-        eprintln!(
-            "  {:>2} workers: {:>9.0} preds/s",
-            row.workers, row.preds_per_sec
-        );
-    }
-    let batch_floor_armed = std::thread::available_parallelism()
-        .map(|n| n.get() >= BATCH_MIN_CORES)
-        .unwrap_or(false);
-    eprintln!(
-        "  8w/1w speedup {:.2}x ({})",
-        batch_speedup_8w,
-        if batch_floor_armed {
-            "floor armed"
-        } else {
-            "informational: host has <8 cores"
-        }
-    );
 
     eprintln!("perfsuite: placement");
     let placement = bench_placement(budget);
@@ -734,11 +911,12 @@ fn main() {
         .unwrap_or(0.0);
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-perfsuite-v5".into())),
+        ("schema".into(), Json::Str("presage-perfsuite-v6".into())),
         (
             "mode".into(),
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
         ),
+        ("host_cores".into(), Json::Num(host_cores as f64)),
         (
             "placement".into(),
             Json::Arr(
@@ -792,6 +970,10 @@ fn main() {
                         Json::Obj(vec![
                             ("workers".into(), Json::Num(r.workers as f64)),
                             ("preds_per_sec".into(), Json::Num(r.preds_per_sec.round())),
+                            ("memo_l1_hits".into(), Json::Num(r.l1_hits as f64)),
+                            ("memo_l2_hits".into(), Json::Num(r.l2_hits as f64)),
+                            ("memo_misses".into(), Json::Num(r.misses as f64)),
+                            ("steals".into(), Json::Num(r.steals as f64)),
                         ])
                     })
                     .collect(),
@@ -802,6 +984,34 @@ fn main() {
             Json::Num(round2(batch_speedup_8w)),
         ),
         ("batch_floor_armed".into(), Json::Bool(batch_floor_armed)),
+        (
+            "batch_monotone_ratio_1_to_4w".into(),
+            Json::Num(round2(batch_monotone)),
+        ),
+        (
+            "batch_monotone_armed".into(),
+            Json::Bool(batch_monotone_armed),
+        ),
+        (
+            "soak".into(),
+            Json::Obj(vec![
+                ("programs".into(), Json::Num(soak.programs as f64)),
+                ("jobs".into(), Json::Num(soak.jobs as f64)),
+                ("arena_symbols".into(), Json::Num(soak.arena_symbols as f64)),
+                (
+                    "arena_monomials".into(),
+                    Json::Num(soak.arena_monomials as f64),
+                ),
+                (
+                    "arena_polynomials".into(),
+                    Json::Num(soak.arena_polynomials as f64),
+                ),
+                ("l2_entries".into(), Json::Num(soak.l2_entries as f64)),
+                ("arena_ceiling".into(), Json::Num(SOAK_ARENA_CEILING as f64)),
+                ("l2_ceiling".into(), Json::Num(SOAK_L2_CEILING as f64)),
+                ("ok".into(), Json::Bool(soak.ok)),
+            ]),
+        ),
         (
             "translation".into(),
             Json::Arr(
@@ -897,6 +1107,15 @@ fn main() {
                 ("astar_min".into(), Json::Num(ASTAR_MIN)),
                 ("simulator_wide8_min".into(), Json::Num(SIM_WIDE8_MIN)),
                 ("batch_8w_min".into(), Json::Num(BATCH_8W_MIN)),
+                ("batch_min_cores".into(), Json::Num(BATCH_MIN_CORES as f64)),
+                (
+                    "batch_monotone_min_cores".into(),
+                    Json::Num(BATCH_MONOTONE_MIN_CORES as f64),
+                ),
+                (
+                    "batch_monotone_tolerance".into(),
+                    Json::Num(BATCH_MONOTONE_TOLERANCE),
+                ),
             ]),
         ),
     ]);
@@ -906,8 +1125,13 @@ fn main() {
     }
     eprintln!("perfsuite: wrote {}", cfg.out);
 
+    if cfg.smoke && batch_failed {
+        // Timing floors are off in smoke mode, but the soak footprint
+        // ceiling is deterministic and always enforced.
+        std::process::exit(1);
+    }
     if !cfg.smoke {
-        let mut failed = false;
+        let mut failed = batch_failed;
         if wide8_speedup < PLACEMENT_WIDE8_MIN {
             eprintln!(
                 "FAIL: placement speedup on wide8 is {wide8_speedup:.2}x (target {PLACEMENT_WIDE8_MIN}x)"
@@ -923,12 +1147,6 @@ fn main() {
         if risc1_prediction < PREDICTION_RISC1_MIN {
             eprintln!(
                 "FAIL: prediction speedup on risc1 is {risc1_prediction:.2}x (target {PREDICTION_RISC1_MIN}x)"
-            );
-            failed = true;
-        }
-        if batch_floor_armed && batch_speedup_8w < BATCH_8W_MIN {
-            eprintln!(
-                "FAIL: predict_batch 8-worker speedup is {batch_speedup_8w:.2}x (target {BATCH_8W_MIN}x)"
             );
             failed = true;
         }

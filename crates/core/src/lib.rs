@@ -61,7 +61,16 @@ pub mod slots;
 pub mod tetris;
 pub mod transcache;
 
+pub use batch::{BatchReport, BatchWorkerStats};
 pub use costblock::CostBlock;
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
 pub use tetris::{place_block, PlaceOptions, Placer, PreparedBlock};
 pub use transcache::TranslationCache;
+
+/// Total entries across every process-wide L2 memo table the predictor
+/// feeds: the symbolic-algebra memos plus the scheduling/trip-count memos
+/// in [`aggregate`]. The perfsuite soak check asserts this stays bounded
+/// under sustained batch load.
+pub fn l2_memo_entries() -> usize {
+    presage_symbolic::l2_memo_entries() + aggregate::l2_memo_entries()
+}

@@ -319,6 +319,18 @@ impl Predictor {
         crate::batch::predict_batch(jobs, options, cache, workers)
     }
 
+    /// [`Predictor::predict_batch`] plus per-worker telemetry (jobs run,
+    /// chunks stolen from the work queue, two-level memo hit counts) —
+    /// see [`crate::batch::predict_batch_report`].
+    pub fn predict_batch_report(
+        jobs: &[(&MachineDesc, &str)],
+        options: &PredictorOptions,
+        cache: &Arc<TranslationCache>,
+        workers: usize,
+    ) -> crate::batch::BatchReport {
+        crate::batch::predict_batch_report(jobs, options, cache, workers)
+    }
+
     /// Builds an incrementally updatable cost tree for a translated
     /// program (§3.3.1).
     pub fn cost_tree(&self, ir: &ProgramIr) -> CostTree {

@@ -7,63 +7,109 @@
 //! `Vec<(Symbol, i32)>` factor lists. A second table does the same for whole
 //! canonical polynomials: a [`PolyId`] names one id-sorted term vector, so
 //! the algebra memos (`pow`, `subst`, products, summations) key on packed
-//! integer ids instead of hashing and cloning entire `Poly` values. The
-//! tables are append-only:
+//! integer ids instead of hashing and cloning entire `Poly` values.
 //!
-//! - A process-wide table (`OnceLock<RwLock<Global>>`) assigns ids. It is
-//!   touched only the first time any thread encounters a symbol, monomial,
-//!   or polynomial; batch-prediction workers therefore share one arena and
-//!   hit each other's warm entries.
-//! - Each thread keeps a mirror of the global table plus its own memo
-//!   caches (monomial products, `split_symbol` results) and a scratch-buffer
-//!   pool for merge-based polynomial ops. Ids are never invalidated, so
-//!   mirrors only ever grow a missing tail; steady-state operation is
-//!   entirely lock-free.
+//! # Concurrency architecture (sharded, lock-free reads)
 //!
-//! Factor lists with at most two variables — the overwhelmingly common case
-//! in loop-nest cost expressions — are stored inline in the table entry;
-//! larger ones spill to a leaked slice. Entries also leak their canonical
-//! [`Monomial`] so `Poly::terms()` can keep handing out `&Monomial` without
-//! ownership gymnastics; the leak is bounded by the number of distinct
-//! monomials ever created, which is tiny for this workload. Polynomial
-//! entries leak their canonical term slice the same way, bounded by
-//! [`POLY_ARENA_CAP`]: past the cap, [`intern_poly`] reports
-//! [`POLY_UNINTERNED`] and callers fall back to direct (unmemoized)
-//! computation instead of growing the arena.
+//! The single process-wide `RwLock` this design replaces serialized every
+//! batch-prediction worker on one lock and copied whole table tails into
+//! per-thread mirrors under it. The tables are now **sharded and
+//! append-only**:
+//!
+//! - Each table (symbols, monomials, polynomials) is split into
+//!   [`NUM_SHARDS`] shards selected by content hash. An id packs its
+//!   coordinates as `(index << SHARD_BITS) | shard`, so ids stay `u32`,
+//!   [`MONO_ONE`] stays `0` (shard 0, slot 0 is pre-seeded with the
+//!   constant monomial), and [`POLY_UNINTERNED`] (`u32::MAX`) can never
+//!   collide with a real id (per-shard poly capacity keeps indices far
+//!   below the packing limit).
+//! - **Interning** (key → id) takes exactly one shard mutex for one
+//!   hash-map probe and, on a miss, one append. Distinct shapes hash to
+//!   distinct shards, so concurrent workers interning different content
+//!   almost never touch the same lock. A thread-local key → id cache in
+//!   front makes repeat interning from the same thread lock-free.
+//! - **Resolving** (id → entry) never locks: each shard stores entries in
+//!   a [`SlotArena`] — a bucketed, append-only slot array whose buckets
+//!   are published with release stores and whose length is the
+//!   release/acquire fence. Readers index straight into shared memory.
+//!
+//! Entries leak their canonical data (`&'static Monomial`, `&'static`
+//! term slices) so every thread reads the same storage without ownership
+//! gymnastics; the leak is bounded by the number of distinct shapes ever
+//! created — tiny for monomials, and capped for polynomials: each poly
+//! shard holds at most [`POLY_ARENA_CAP`]`/`[`NUM_SHARDS`] entries, past
+//! which [`intern_poly`] reports [`POLY_UNINTERNED`] for shapes hashing
+//! into that shard and callers fall back to direct (unmemoized)
+//! computation. The cap total across shards is exactly the old global
+//! [`POLY_ARENA_CAP`]; a pathological workload fills shards independently
+//! instead of stalling every worker on one global eviction.
 
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
 use crate::Rational;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-/// Interned symbol id: index into the symbol table.
+/// Interned symbol id: packed `(index, shard)` into the symbol table.
 pub(crate) type SymId = u32;
-/// Interned monomial id: index into the monomial table.
+/// Interned monomial id: packed `(index, shard)` into the monomial table.
 pub(crate) type MonoId = u32;
 
-/// Interned polynomial id: index into the polynomial table.
+/// Interned polynomial id: packed `(index, shard)` into the polynomial table.
 pub(crate) type PolyId = u32;
 
-/// The constant monomial `1` is always entry 0, so a polynomial's constant
-/// term (if present) is always the first element of its id-sorted term list.
+/// Shard-count exponent: ids reserve this many low bits for the shard.
+const SHARD_BITS: u32 = 4;
+
+/// Number of independent shards per table. Shard selection is by content
+/// hash, so concurrent interning of distinct shapes spreads evenly.
+pub(crate) const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+/// The constant monomial `1` is always id 0 (shard 0, slot 0 — pre-seeded
+/// at table construction), so a polynomial's constant term (if present) is
+/// always the first element of its id-sorted term list.
 pub(crate) const MONO_ONE: MonoId = 0;
 
-/// Sentinel returned by [`intern_poly`] once the arena is full: the
+/// Sentinel returned by [`intern_poly`] once the target shard is full: the
 /// polynomial is *not* interned and the caller must compute unmemoized.
-/// Never a valid table index.
+/// Never a valid table index (see [`POLY_SHARD_CAP`]).
 pub(crate) const POLY_UNINTERNED: PolyId = u32::MAX;
 
-/// Hard cap on distinct interned polynomials. Entries leak (by design —
-/// ids must stay valid forever), so a pathological workload producing
-/// unboundedly many distinct polynomials must not grow the arena without
-/// limit; past the cap the algebra simply stops memoizing new shapes.
+/// Hard cap on distinct interned polynomials across all shards. Entries
+/// leak (by design — ids must stay valid forever), so a pathological
+/// workload producing unboundedly many distinct polynomials must not grow
+/// the arena without limit; past the cap the algebra simply stops
+/// memoizing new shapes.
 pub(crate) const POLY_ARENA_CAP: usize = 1 << 20;
 
-/// Memo caches are cleared (not evicted) past this size; the workloads here
-/// never approach it, it only guards against pathological inputs.
+/// Per-shard polynomial capacity. Indices therefore stay at most 16 bits,
+/// so a packed poly id can never reach [`POLY_UNINTERNED`].
+const POLY_SHARD_CAP: usize = POLY_ARENA_CAP / NUM_SHARDS;
+
+/// Thread-local key→id caches and op memos clear (not evict) past this
+/// size; the workloads here never approach it, it only guards against
+/// pathological inputs.
 const CACHE_CAP: usize = 1 << 14;
+
+#[inline]
+fn shard_of(id: u32) -> usize {
+    (id & (NUM_SHARDS as u32 - 1)) as usize
+}
+
+#[inline]
+fn index_of(id: u32) -> u32 {
+    id >> SHARD_BITS
+}
+
+#[inline]
+fn pack_id(shard: usize, index: u32) -> u32 {
+    debug_assert!(index <= u32::MAX >> SHARD_BITS);
+    (index << SHARD_BITS) | shard as u32
+}
 
 /// Packed factor list: `(SymId, exponent)` pairs sorted by `SymId`, with
 /// inline storage for the ≤2-variable case.
@@ -97,7 +143,7 @@ impl Factors {
     }
 }
 
-/// One monomial-table entry. `Copy` so thread mirrors share the leaked data.
+/// One monomial-table entry. `Copy` so slot reads hand out the leaked data.
 #[derive(Clone, Copy)]
 pub(crate) struct MonoEntry {
     /// The canonical (name-sorted) monomial, leaked for `&'static` access.
@@ -111,20 +157,153 @@ pub(crate) struct MonoEntry {
 }
 
 /// One polynomial-table entry: the canonical id-sorted term slice, leaked
-/// so every thread mirror shares the same storage.
+/// so every thread shares the same storage.
 type PolyTerms = &'static [(MonoId, Rational)];
 
-struct Global {
-    syms: Vec<Symbol>,
-    sym_ids: HashMap<Symbol, SymId>,
-    monos: Vec<MonoEntry>,
-    mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
-    polys: Vec<PolyTerms>,
-    poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
+// ---- lock-free slot storage -------------------------------------------------
+
+/// Capacity of bucket 0; bucket `k` holds `FIRST_BUCKET << k` slots.
+const FIRST_BUCKET: usize = 32;
+/// Bucket count: cumulative capacity `FIRST_BUCKET * (2^BUCKETS - 1)`
+/// comfortably exceeds the `u32 >> SHARD_BITS` index space.
+const BUCKETS: usize = 24;
+
+/// Append-only slot array with lock-free reads.
+///
+/// Slots live in geometrically growing buckets behind atomic pointers.
+/// Appends happen under the owning shard's mutex (single writer at a
+/// time); the published `len` is the release/acquire fence that makes a
+/// slot's contents — and its bucket pointer — visible to every reader
+/// that observes an index below it.
+struct SlotArena<T> {
+    len: AtomicU32,
+    buckets: [AtomicPtr<T>; BUCKETS],
 }
 
-impl Global {
-    fn new() -> Global {
+impl<T: Copy> SlotArena<T> {
+    fn new() -> SlotArena<T> {
+        SlotArena {
+            len: AtomicU32::new(0),
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// `(bucket, offset)` coordinates of slot `idx`.
+    #[inline]
+    fn locate(idx: u32) -> (usize, usize) {
+        let n = idx as usize / FIRST_BUCKET + 1;
+        let k = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        let start = FIRST_BUCKET * ((1usize << k) - 1);
+        (k, idx as usize - start)
+    }
+
+    /// Published slot count (acquire: pairs with the release in `push`).
+    #[inline]
+    fn len(&self) -> u32 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Reads slot `idx`. Caller must have observed `idx < self.len()`.
+    #[inline]
+    fn get(&self, idx: u32) -> T {
+        let (k, off) = Self::locate(idx);
+        let ptr = self.buckets[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "slot read below published len");
+        // SAFETY: `idx < len` was observed with acquire ordering, and the
+        // writer stored `len` with release ordering *after* writing this
+        // slot and publishing its bucket, so both are visible here. Slots
+        // are never mutated after publication (append-only).
+        unsafe { *ptr.add(off) }
+    }
+
+    /// Appends `value`, returning its index. Must be called while holding
+    /// the owning shard's mutex — that exclusivity is what makes the
+    /// relaxed `len` read and the raw slot write sound.
+    fn push(&self, value: T) -> u32 {
+        let idx = self.len.load(Ordering::Relaxed);
+        assert!(
+            (idx as usize) < FIRST_BUCKET * ((1usize << BUCKETS) - 1),
+            "intern arena shard exhausted its slot space"
+        );
+        let (k, off) = Self::locate(idx);
+        let mut ptr = self.buckets[k].load(Ordering::Relaxed);
+        if ptr.is_null() {
+            let cap = FIRST_BUCKET << k;
+            let storage: Box<[MaybeUninit<T>]> = Box::new_uninit_slice(cap);
+            ptr = Box::leak(storage).as_mut_ptr() as *mut T;
+            // Release so a reader that follows the pointer (after seeing
+            // a published len) also sees initialized bucket memory.
+            self.buckets[k].store(ptr, Ordering::Release);
+        }
+        // SAFETY: `off < cap` by construction; this writer is the only
+        // one appending (shard mutex held) and `idx >= len` means no
+        // reader may touch the slot yet.
+        unsafe { ptr.add(off).write(value) };
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+}
+
+// ---- sharded tables ---------------------------------------------------------
+
+/// One shard of one table: the key → id map (guarding appends) plus the
+/// lock-free slot storage resolved ids read from.
+struct ShardTab<K, T> {
+    /// Maps interned content to its packed id. The mutex also serializes
+    /// appends to `slots`; critical sections are one probe or one probe
+    /// plus one append.
+    map: Mutex<HashMap<K, u32>>,
+    slots: SlotArena<T>,
+}
+
+impl<K: Hash + Eq, T: Copy> ShardTab<K, T> {
+    fn new() -> ShardTab<K, T> {
+        ShardTab {
+            map: Mutex::new(HashMap::new()),
+            slots: SlotArena::new(),
+        }
+    }
+
+    /// Resolves `id` to its entry, lock-free in the steady state.
+    ///
+    /// An id always originates from an intern call whose effects reach
+    /// other threads through some synchronizing handoff (scoped-thread
+    /// join, shared-cache mutex, …), so the published length normally
+    /// covers it already. If it does not — an id raced ahead of any such
+    /// handoff — taking the shard mutex synchronizes with the writer that
+    /// produced the id, after which the length must cover it.
+    fn entry(&self, idx: u32) -> T {
+        if idx < self.slots.len() {
+            return self.slots.get(idx);
+        }
+        drop(self.map.lock().unwrap_or_else(|e| e.into_inner()));
+        assert!(
+            idx < self.slots.len(),
+            "interned id {idx} beyond published table length"
+        );
+        self.slots.get(idx)
+    }
+}
+
+struct Tables {
+    syms: [ShardTab<Symbol, &'static Symbol>; NUM_SHARDS],
+    monos: [ShardTab<Box<[(SymId, i32)]>, MonoEntry>; NUM_SHARDS],
+    polys: [ShardTab<Box<[(MonoId, Rational)]>, PolyTerms>; NUM_SHARDS],
+    /// Shard selector; per-process random keys are fine — ids are
+    /// process-local — and hardened against adversarial shard pile-up.
+    hasher: RandomState,
+}
+
+impl Tables {
+    fn new() -> Tables {
+        let t = Tables {
+            syms: std::array::from_fn(|_| ShardTab::new()),
+            monos: std::array::from_fn(|_| ShardTab::new()),
+            polys: std::array::from_fn(|_| ShardTab::new()),
+            hasher: RandomState::new(),
+        };
+        // Pre-seed MONO_ONE at shard 0, slot 0: the empty factor list is
+        // special-cased before hashing, so no other shard can alias it.
         let one: &'static Monomial = Box::leak(Box::new(Monomial::one()));
         let entry = MonoEntry {
             mono: one,
@@ -132,30 +311,36 @@ impl Global {
             degree: 0,
             has_neg: false,
         };
-        Global {
-            syms: Vec::new(),
-            sym_ids: HashMap::new(),
-            monos: vec![entry],
-            mono_ids: HashMap::from([(Vec::new().into_boxed_slice(), MONO_ONE)]),
-            polys: Vec::new(),
-            poly_ids: HashMap::new(),
-        }
+        let shard = &t.monos[0];
+        let guard = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = shard.slots.push(entry);
+        debug_assert_eq!(pack_id(0, idx), MONO_ONE);
+        drop(guard);
+        t
+    }
+
+    #[inline]
+    fn shard_for<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        self.hasher.hash_one(key) as usize & (NUM_SHARDS - 1)
     }
 }
 
-static GLOBAL: OnceLock<RwLock<Global>> = OnceLock::new();
+static TABLES: OnceLock<Tables> = OnceLock::new();
 
-fn global() -> &'static RwLock<Global> {
-    GLOBAL.get_or_init(|| RwLock::new(Global::new()))
+fn tables() -> &'static Tables {
+    TABLES.get_or_init(Tables::new)
 }
 
+// ---- thread-local L1 --------------------------------------------------------
+
+/// Per-thread key → id caches (so repeat interning never locks) and op
+/// memos (monomial products, `split_symbol` results), plus a
+/// scratch-buffer pool for merge-based polynomial ops. All maps
+/// clear-on-cap at [`CACHE_CAP`] independently.
 #[derive(Default)]
 struct Local {
-    syms: Vec<Symbol>,
     sym_ids: HashMap<Symbol, SymId>,
-    monos: Vec<MonoEntry>,
     mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
-    polys: Vec<PolyTerms>,
     poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
     mul_cache: HashMap<(MonoId, MonoId), MonoId>,
     split_cache: HashMap<(MonoId, SymId), (i32, MonoId)>,
@@ -166,59 +351,35 @@ thread_local! {
     static LOCAL: RefCell<Local> = RefCell::new(Local::default());
 }
 
-/// Copies the global tail this mirror is missing. Ids are append-only, so
-/// existing local entries are never touched.
-fn sync(l: &mut Local, g: &Global) {
-    for i in l.syms.len()..g.syms.len() {
-        let s = g.syms[i].clone();
-        l.sym_ids.insert(s.clone(), i as SymId);
-        l.syms.push(s);
+fn cache_insert<K: Hash + Eq, V>(cache: &mut HashMap<K, V>, key: K, value: V) {
+    if cache.len() >= CACHE_CAP {
+        cache.clear();
     }
-    for i in l.monos.len()..g.monos.len() {
-        let e = g.monos[i];
-        l.mono_ids.insert(
-            e.factors.as_slice().to_vec().into_boxed_slice(),
-            i as MonoId,
-        );
-        l.monos.push(e);
-    }
-    for i in l.polys.len()..g.polys.len() {
-        let terms = g.polys[i];
-        l.poly_ids
-            .insert(terms.to_vec().into_boxed_slice(), i as PolyId);
-        l.polys.push(terms);
-    }
+    cache.insert(key, value);
 }
 
-/// Makes sure ids up to and including `id` are present in the mirror
-/// (a `Poly` built on another thread can carry ids this thread has not seen).
-fn ensure_mono(l: &mut Local, id: MonoId) {
-    if (id as usize) >= l.monos.len() {
-        let g = global().read().unwrap_or_else(|e| e.into_inner());
-        sync(l, &g);
-    }
-}
+// ---- interning --------------------------------------------------------------
 
 fn sym_id_in(l: &mut Local, sym: &Symbol) -> SymId {
     if let Some(&id) = l.sym_ids.get(sym) {
         return id;
     }
-    {
-        let g = global().read().unwrap_or_else(|e| e.into_inner());
-        if let Some(&id) = g.sym_ids.get(sym) {
-            sync(l, &g);
-            return id;
+    let t = tables();
+    let shard_no = t.shard_for(sym.name());
+    let shard = &t.syms[shard_no];
+    let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+    let id = match map.get(sym) {
+        Some(&id) => id,
+        None => {
+            let leaked: &'static Symbol = Box::leak(Box::new(sym.clone()));
+            let idx = shard.slots.push(leaked);
+            let id = pack_id(shard_no, idx);
+            map.insert(sym.clone(), id);
+            id
         }
-    }
-    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
-    if let Some(&id) = g.sym_ids.get(sym) {
-        sync(l, &g);
-        return id;
-    }
-    let id = g.syms.len() as SymId;
-    g.syms.push(sym.clone());
-    g.sym_ids.insert(sym.clone(), id);
-    sync(l, &g);
+    };
+    drop(map);
+    cache_insert(&mut l.sym_ids, sym.clone(), id);
     id
 }
 
@@ -230,35 +391,68 @@ fn intern_factors_in(l: &mut Local, fs: &[(SymId, i32)]) -> MonoId {
     if let Some(&id) = l.mono_ids.get(fs) {
         return id;
     }
-    {
-        let g = global().read().unwrap_or_else(|e| e.into_inner());
-        if let Some(&id) = g.mono_ids.get(fs) {
-            sync(l, &g);
-            return id;
+    let t = tables();
+    let shard_no = t.shard_for(fs);
+    let shard = &t.monos[shard_no];
+    let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+    let id = match map.get(fs) {
+        Some(&id) => id,
+        None => {
+            // Resolving sym ids here is lock-free, so building the
+            // canonical Monomial holds only this shard's mutex.
+            let pairs: Vec<(Symbol, i32)> = fs
+                .iter()
+                .map(|&(sid, exp)| (sym(sid).clone(), exp))
+                .collect();
+            let mono: &'static Monomial = Box::leak(Box::new(Monomial::from_pairs(pairs)));
+            let entry = MonoEntry {
+                mono,
+                factors: Factors::from_slice(fs),
+                degree: fs.iter().map(|&(_, e)| e).sum(),
+                has_neg: fs.iter().any(|&(_, e)| e < 0),
+            };
+            let idx = shard.slots.push(entry);
+            let id = pack_id(shard_no, idx);
+            map.insert(fs.to_vec().into_boxed_slice(), id);
+            id
         }
-    }
-    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
-    if let Some(&id) = g.mono_ids.get(fs) {
-        sync(l, &g);
-        return id;
-    }
-    let pairs: Vec<(Symbol, i32)> = fs
-        .iter()
-        .map(|&(sid, exp)| (g.syms[sid as usize].clone(), exp))
-        .collect();
-    let mono: &'static Monomial = Box::leak(Box::new(Monomial::from_pairs(pairs)));
-    let entry = MonoEntry {
-        mono,
-        factors: Factors::from_slice(fs),
-        degree: fs.iter().map(|&(_, e)| e).sum(),
-        has_neg: fs.iter().any(|&(_, e)| e < 0),
     };
-    let id = g.monos.len() as MonoId;
-    g.monos.push(entry);
-    g.mono_ids.insert(fs.to_vec().into_boxed_slice(), id);
-    sync(l, &g);
+    drop(map);
+    cache_insert(&mut l.mono_ids, fs.to_vec().into_boxed_slice(), id);
     id
 }
+
+/// Interns a canonical (id-sorted, zero-free) polynomial term slice.
+/// Returns [`POLY_UNINTERNED`] once the target shard holds its share of
+/// [`POLY_ARENA_CAP`] distinct polynomials; callers must then skip
+/// memoization for this shape.
+fn intern_poly_in(l: &mut Local, terms: &[(MonoId, Rational)]) -> PolyId {
+    if let Some(&id) = l.poly_ids.get(terms) {
+        return id;
+    }
+    let t = tables();
+    let shard_no = t.shard_for(terms);
+    let shard = &t.polys[shard_no];
+    let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+    let id = match map.get(terms) {
+        Some(&id) => id,
+        None => {
+            if map.len() >= POLY_SHARD_CAP {
+                return POLY_UNINTERNED;
+            }
+            let leaked: PolyTerms = Box::leak(terms.to_vec().into_boxed_slice());
+            let idx = shard.slots.push(leaked);
+            let id = pack_id(shard_no, idx);
+            map.insert(terms.to_vec().into_boxed_slice(), id);
+            id
+        }
+    };
+    drop(map);
+    cache_insert(&mut l.poly_ids, terms.to_vec().into_boxed_slice(), id);
+    id
+}
+
+// ---- monomial algebra (thread-local memos over lock-free reads) -------------
 
 fn mono_mul_in(l: &mut Local, a: MonoId, b: MonoId) -> MonoId {
     if a == MONO_ONE {
@@ -270,9 +464,8 @@ fn mono_mul_in(l: &mut Local, a: MonoId, b: MonoId) -> MonoId {
     if let Some(&id) = l.mul_cache.get(&(a, b)) {
         return id;
     }
-    ensure_mono(l, a.max(b));
-    let fa = l.monos[a as usize].factors;
-    let fb = l.monos[b as usize].factors;
+    let fa = mono_entry(a).factors;
+    let fb = mono_entry(b).factors;
     let (sa, sb) = (fa.as_slice(), fb.as_slice());
     let mut out: Vec<(SymId, i32)> = Vec::with_capacity(sa.len() + sb.len());
     let (mut i, mut j) = (0, 0);
@@ -299,10 +492,7 @@ fn mono_mul_in(l: &mut Local, a: MonoId, b: MonoId) -> MonoId {
     out.extend_from_slice(&sa[i..]);
     out.extend_from_slice(&sb[j..]);
     let id = intern_factors_in(l, &out);
-    if l.mul_cache.len() >= CACHE_CAP {
-        l.mul_cache.clear();
-    }
-    l.mul_cache.insert((a, b), id);
+    cache_insert(&mut l.mul_cache, (a, b), id);
     id
 }
 
@@ -313,8 +503,7 @@ fn mono_split_in(l: &mut Local, id: MonoId, sid: SymId) -> (i32, MonoId) {
     if let Some(&r) = l.split_cache.get(&(id, sid)) {
         return r;
     }
-    ensure_mono(l, id);
-    let factors = l.monos[id as usize].factors;
+    let factors = mono_entry(id).factors;
     let fs = factors.as_slice();
     let r = match fs.iter().position(|&(s, _)| s == sid) {
         None => (0, id),
@@ -326,52 +515,8 @@ fn mono_split_in(l: &mut Local, id: MonoId, sid: SymId) -> (i32, MonoId) {
             (exp, intern_factors_in(l, &rest))
         }
     };
-    if l.split_cache.len() >= CACHE_CAP {
-        l.split_cache.clear();
-    }
-    l.split_cache.insert((id, sid), r);
+    cache_insert(&mut l.split_cache, (id, sid), r);
     r
-}
-
-/// Interns a canonical (id-sorted, zero-free) polynomial term slice.
-/// Returns [`POLY_UNINTERNED`] once the arena holds [`POLY_ARENA_CAP`]
-/// distinct polynomials; callers must then skip memoization.
-fn intern_poly_in(l: &mut Local, terms: &[(MonoId, Rational)]) -> PolyId {
-    if let Some(&id) = l.poly_ids.get(terms) {
-        return id;
-    }
-    {
-        let g = global().read().unwrap_or_else(|e| e.into_inner());
-        if let Some(&id) = g.poly_ids.get(terms) {
-            sync(l, &g);
-            return id;
-        }
-        if g.polys.len() >= POLY_ARENA_CAP {
-            return POLY_UNINTERNED;
-        }
-    }
-    let mut g = global().write().unwrap_or_else(|e| e.into_inner());
-    if let Some(&id) = g.poly_ids.get(terms) {
-        sync(l, &g);
-        return id;
-    }
-    if g.polys.len() >= POLY_ARENA_CAP {
-        return POLY_UNINTERNED;
-    }
-    let leaked: PolyTerms = Box::leak(terms.to_vec().into_boxed_slice());
-    let id = g.polys.len() as PolyId;
-    g.polys.push(leaked);
-    g.poly_ids.insert(terms.to_vec().into_boxed_slice(), id);
-    sync(l, &g);
-    id
-}
-
-/// Makes sure poly ids up to and including `id` are present in the mirror.
-fn ensure_poly(l: &mut Local, id: PolyId) {
-    if (id as usize) >= l.polys.len() {
-        let g = global().read().unwrap_or_else(|e| e.into_inner());
-        sync(l, &g);
-    }
 }
 
 // ---- public (crate) surface -------------------------------------------------
@@ -381,17 +526,19 @@ pub(crate) fn intern_poly(terms: &[(MonoId, Rational)]) -> PolyId {
     LOCAL.with(|l| intern_poly_in(&mut l.borrow_mut(), terms))
 }
 
-/// The canonical term slice for an interned polynomial id.
+/// The canonical term slice for an interned polynomial id (lock-free).
 pub(crate) fn poly_terms(id: PolyId) -> PolyTerms {
-    LOCAL.with(|l| {
-        let l = &mut *l.borrow_mut();
-        ensure_poly(l, id);
-        l.polys[id as usize]
-    })
+    debug_assert_ne!(id, POLY_UNINTERNED);
+    tables().polys[shard_of(id)].entry(index_of(id))
 }
 
 pub(crate) fn sym_id(sym: &Symbol) -> SymId {
     LOCAL.with(|l| sym_id_in(&mut l.borrow_mut(), sym))
+}
+
+/// The canonical interned symbol for `id` (lock-free).
+fn sym(id: SymId) -> &'static Symbol {
+    tables().syms[shard_of(id)].entry(index_of(id))
 }
 
 /// The canonical shared [`Symbol`] for `name`, interning it on first use —
@@ -403,27 +550,21 @@ pub(crate) fn symbol_named(name: &str) -> Symbol {
             return sym.clone();
         }
         let sym = Symbol::new(name);
-        sym_id_in(l, &sym);
-        sym
+        let id = sym_id_in(l, &sym);
+        // Hand back the canonical leaked Arc so clones share storage.
+        self::sym(id).clone()
     })
 }
 
-/// The canonical interned monomial for `id`.
+/// The canonical interned monomial for `id` (lock-free).
 pub(crate) fn mono(id: MonoId) -> &'static Monomial {
-    LOCAL.with(|l| {
-        let l = &mut *l.borrow_mut();
-        ensure_mono(l, id);
-        l.monos[id as usize].mono
-    })
+    mono_entry(id).mono
 }
 
-/// A copy of the full table entry (factors, degree, negativity flag).
+/// A copy of the full table entry (factors, degree, negativity flag) —
+/// lock-free.
 pub(crate) fn mono_entry(id: MonoId) -> MonoEntry {
-    LOCAL.with(|l| {
-        let l = &mut *l.borrow_mut();
-        ensure_mono(l, id);
-        l.monos[id as usize]
-    })
+    tables().monos[shard_of(id)].entry(index_of(id))
 }
 
 /// Interns an API-level monomial (name-sorted factors → id-sorted key).
@@ -461,17 +602,13 @@ pub(crate) fn mono_pow(id: MonoId, exp: i32) -> MonoId {
     if exp == 1 {
         return id;
     }
-    LOCAL.with(|l| {
-        let l = &mut *l.borrow_mut();
-        ensure_mono(l, id);
-        let factors = l.monos[id as usize].factors;
-        let fs: Vec<(SymId, i32)> = factors
-            .as_slice()
-            .iter()
-            .map(|&(s, e)| (s, e * exp))
-            .collect();
-        intern_factors_in(l, &fs)
-    })
+    let factors = mono_entry(id).factors;
+    let fs: Vec<(SymId, i32)> = factors
+        .as_slice()
+        .iter()
+        .map(|&(s, e)| (s, e * exp))
+        .collect();
+    LOCAL.with(|l| intern_factors_in(&mut l.borrow_mut(), &fs))
 }
 
 /// Removes `sym` from the monomial: `(removed exponent, remaining id)`,
@@ -499,6 +636,35 @@ pub(crate) fn put_scratch(v: Vec<(MonoId, Rational)>) {
             l.scratch.push(v);
         }
     })
+}
+
+/// Footprint of the process-wide intern arenas — the soak-check probe.
+///
+/// Counts are published table lengths (entries never leave, so these are
+/// monotone); `poly_capacity` is the process-wide ceiling past which new
+/// polynomial shapes stop interning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct interned symbols.
+    pub symbols: usize,
+    /// Distinct interned monomials (including the constant `1`).
+    pub monomials: usize,
+    /// Distinct interned polynomials.
+    pub polynomials: usize,
+    /// Total polynomial capacity across shards ([`POLY_ARENA_CAP`]).
+    pub poly_capacity: usize,
+}
+
+/// Current sizes of the global symbol/monomial/polynomial arenas.
+pub fn arena_stats() -> ArenaStats {
+    let t = tables();
+    let count = |lens: &mut dyn Iterator<Item = u32>| lens.map(|n| n as usize).sum::<usize>();
+    ArenaStats {
+        symbols: count(&mut t.syms.iter().map(|s| s.slots.len())),
+        monomials: count(&mut t.monos.iter().map(|s| s.slots.len())),
+        polynomials: count(&mut t.polys.iter().map(|s| s.slots.len())),
+        poly_capacity: POLY_ARENA_CAP,
+    }
 }
 
 #[cfg(test)]
@@ -582,5 +748,79 @@ mod tests {
         let m2 = mono_pow(m, 2);
         assert_eq!(mono(m2).to_string(), "a^2*b^4");
         assert_eq!(mono_pow(m, 0), MONO_ONE);
+    }
+
+    #[test]
+    fn id_packing_round_trips() {
+        for shard in 0..NUM_SHARDS {
+            for index in [0u32, 1, 31, 32, 95, 96, 1 << 16, (1 << 20) - 1] {
+                let id = pack_id(shard, index);
+                assert_eq!(shard_of(id), shard);
+                assert_eq!(index_of(id), index);
+            }
+        }
+        assert_eq!(pack_id(0, 0), MONO_ONE);
+        // POLY_UNINTERNED can never be a legal poly id: per-shard caps
+        // keep indices 16-bit, far below the sentinel's 28-bit index.
+        assert!(index_of(POLY_UNINTERNED) as usize >= POLY_SHARD_CAP);
+    }
+
+    #[test]
+    fn slot_arena_bucket_math_is_contiguous() {
+        let mut expect = 0u32;
+        for idx in 0..10_000u32 {
+            let (k, off) = SlotArena::<u32>::locate(idx);
+            if off == 0 && idx > 0 {
+                // Bucket boundary: previous bucket was exactly full.
+                let (pk, poff) = SlotArena::<u32>::locate(idx - 1);
+                assert_eq!(pk + 1, k, "idx {idx}");
+                assert_eq!(poff + 1, FIRST_BUCKET << pk, "idx {idx}");
+            }
+            assert!(off < FIRST_BUCKET << k, "idx {idx}");
+            expect += 1;
+            let _ = expect;
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_converges_on_one_id() {
+        // All threads intern the same shapes; every id must agree, and
+        // resolution must be readable from the spawning thread.
+        let ids: Vec<Vec<MonoId>> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..64)
+                            .map(|k| {
+                                intern_mono(&Monomial::from_pairs([
+                                    (s("cc_a"), k % 5 + 1),
+                                    (s("cc_b"), k % 7 + 1),
+                                ]))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "interned ids diverged across threads");
+        }
+        for &id in &ids[0] {
+            assert!(!mono(id).to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn arena_stats_are_monotone() {
+        let before = arena_stats();
+        let _ = intern_mono(&Monomial::from_pairs([(s("stat_probe"), 3)]));
+        let after = arena_stats();
+        assert!(after.monomials > 0);
+        assert!(after.symbols >= before.symbols);
+        assert!(after.monomials >= before.monomials);
+        assert_eq!(after.poly_capacity, POLY_ARENA_CAP);
     }
 }

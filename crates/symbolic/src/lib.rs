@@ -47,6 +47,7 @@ mod poly;
 mod rational;
 mod symbol;
 
+pub mod memo;
 pub mod reference;
 pub mod roots;
 pub mod sensitivity;
@@ -54,6 +55,14 @@ pub mod signs;
 pub mod summation;
 
 pub use expr::{CompareOutcome, Comparison, PerfExpr, VarInfo, VarKind};
+pub use intern::{arena_stats, ArenaStats};
+
+/// Total entries across this crate's process-wide L2 memo tables
+/// (`pow`/`subst`/product and summation memos) — the soak-check probe for
+/// bounding memo footprint under sustained batch load.
+pub fn l2_memo_entries() -> usize {
+    poly::l2_memo_entries() + summation::l2_memo_entries()
+}
 pub use interval::Interval;
 pub use monomial::Monomial;
 pub use poly::{Poly, SubstError};

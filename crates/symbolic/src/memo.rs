@@ -1,0 +1,276 @@
+//! Sharded second-level memo tables and per-thread hit telemetry.
+//!
+//! The algebra memos (`pow`, `subst`, products, summations, and the
+//! scheduling memos layered on top in `presage-core`) are two-level:
+//!
+//! - **L1** is a plain thread-local `HashMap` — a hit costs no atomic
+//!   operation at all, which is what keeps the sequential hot path as
+//!   fast as the single-threaded engine.
+//! - **L2** is a [`ShardedMemo`]: one short-critical-section mutex per
+//!   shard, selected by key hash. A thread that has never seen a shape
+//!   (a freshly spawned batch worker, a cold thread pool slot) probes L2
+//!   before computing, so warm results survive thread churn instead of
+//!   being recomputed once per worker per round.
+//!
+//! Each L2 shard enforces its capacity independently: a hot shard that
+//! fills up clears *only itself*, so an eviction storm on one shard never
+//! stalls or empties the others (the single-global-clear behaviour this
+//! replaces wiped every memo under one write lock mid-flight).
+//!
+//! The thread-local counters ([`thread_stats`] / [`take_thread_stats`])
+//! classify every memoized lookup as an L1 hit, an L2 hit, or a miss.
+//! `Predictor::predict_batch` drains them per worker and threads them
+//! into its report for `perfsuite` telemetry.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+/// A fixed-shard, mutex-per-shard memo table.
+///
+/// Keys hash to a shard; each shard is an independently locked
+/// `HashMap` with an independently enforced capacity (clear-on-cap, the
+/// same eviction discipline as the thread-local L1 memos). Lookups and
+/// inserts hold exactly one shard lock for one hash-map operation.
+#[derive(Debug)]
+pub struct ShardedMemo<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+    hasher: RandomState,
+    cap_per_shard: usize,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
+    /// A memo with `shards` independent locks, each holding at most
+    /// `cap_per_shard` entries before clearing itself.
+    ///
+    /// `shards` must be a power of two (the shard index is a hash mask).
+    pub fn new(shards: usize, cap_per_shard: usize) -> ShardedMemo<K, V> {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        ShardedMemo {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            cap_per_shard,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (self.shards.len() - 1)]
+    }
+
+    /// Clones the memoized value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Memoizes `key → value`. If the owning shard is at capacity it is
+    /// cleared first — *only* that shard; sibling shards keep their
+    /// entries.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= self.cap_per_shard {
+            shard.clear();
+        }
+        shard.insert(key, value);
+    }
+
+    /// Total entries across all shards (diagnostic; takes every lock).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Returns `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry in every shard.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+/// Per-thread memoization counters for one stretch of work.
+///
+/// Returned by [`thread_stats`] and [`take_thread_stats`]; the three
+/// fields partition every counted lookup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups served from a thread-local L1 memo (no atomics touched).
+    pub l1_hits: u64,
+    /// L1 misses served from a sharded L2 memo (one shard lock).
+    pub l2_hits: u64,
+    /// Lookups that missed both levels and computed from scratch.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Total counted lookups.
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Component-wise sum — aggregates per-worker stats into a batch total.
+    pub fn merged(&self, other: &MemoStats) -> MemoStats {
+        MemoStats {
+            l1_hits: self.l1_hits + other.l1_hits,
+            l2_hits: self.l2_hits + other.l2_hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+thread_local! {
+    static L1_HITS: Cell<u64> = const { Cell::new(0) };
+    static L2_HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts one thread-local (L1) memo hit toward [`thread_stats`].
+#[inline]
+pub fn record_l1_hit() {
+    L1_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Counts one sharded (L2) memo hit toward [`thread_stats`].
+#[inline]
+pub fn record_l2_hit() {
+    L2_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Counts one two-level memo miss toward [`thread_stats`].
+#[inline]
+pub fn record_miss() {
+    MISSES.with(|c| c.set(c.get() + 1));
+}
+
+/// The calling thread's memo counters since the last [`take_thread_stats`].
+pub fn thread_stats() -> MemoStats {
+    MemoStats {
+        l1_hits: L1_HITS.with(|c| c.get()),
+        l2_hits: L2_HITS.with(|c| c.get()),
+        misses: MISSES.with(|c| c.get()),
+    }
+}
+
+/// Reads and resets the calling thread's memo counters — one worker's
+/// share of a batch.
+pub fn take_thread_stats() -> MemoStats {
+    MemoStats {
+        l1_hits: L1_HITS.with(|c| c.replace(0)),
+        l2_hits: L2_HITS.with(|c| c.replace(0)),
+        misses: MISSES.with(|c| c.replace(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_round_trip() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(4, 8);
+        assert_eq!(memo.get(&1), None);
+        memo.insert(1, 100);
+        memo.insert(2, 200);
+        assert_eq!(memo.get(&1), Some(100));
+        assert_eq!(memo.get(&2), Some(200));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn cap_clears_only_the_hot_shard() {
+        // One shard: every key lands in it, so filling past cap clears it.
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(1, 4);
+        for k in 0..4 {
+            memo.insert(k, k);
+        }
+        assert_eq!(memo.len(), 4);
+        memo.insert(99, 99);
+        assert_eq!(memo.len(), 1, "at-cap shard clears before inserting");
+        assert_eq!(memo.get(&99), Some(99));
+
+        // Many shards: drive one key's shard past cap repeatedly and
+        // check entries in *other* shards survive every clear.
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(8, 2);
+        for k in 0..256 {
+            memo.insert(k, k);
+        }
+        // Each of the 8 shards holds at most 2 entries; at least one
+        // survivor per shard means clears stayed independent.
+        assert!(
+            memo.len() >= 8,
+            "sibling shards kept entries: {}",
+            memo.len()
+        );
+        assert!(memo.len() <= 16);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_gets() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(16, 1 << 12);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let memo = &memo;
+                scope.spawn(move || {
+                    for k in 0..500u64 {
+                        memo.insert(k * 4 + t, k);
+                        assert_eq!(memo.get(&(k * 4 + t)), Some(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 2000);
+    }
+
+    #[test]
+    fn thread_stats_drain_per_thread() {
+        let before = take_thread_stats();
+        record_l1_hit();
+        record_l1_hit();
+        record_l2_hit();
+        record_miss();
+        let got = take_thread_stats();
+        assert_eq!(
+            got,
+            MemoStats {
+                l1_hits: 2,
+                l2_hits: 1,
+                misses: 1
+            }
+        );
+        assert_eq!(got.lookups(), 4);
+        assert_eq!(take_thread_stats(), MemoStats::default(), "drained");
+        // Another thread's counters are independent.
+        std::thread::spawn(|| {
+            record_miss();
+            assert_eq!(take_thread_stats().misses, 1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thread_stats(), MemoStats::default());
+        // Restore whatever the harness had accumulated (tests share threads).
+        for _ in 0..before.l1_hits {
+            record_l1_hit();
+        }
+        for _ in 0..before.l2_hits {
+            record_l2_hit();
+        }
+        for _ in 0..before.misses {
+            record_miss();
+        }
+    }
+}

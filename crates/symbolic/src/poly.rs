@@ -10,12 +10,14 @@
 //! interned monomial id (see [`crate::intern`]'s module docs), so `add` is a
 //! sorted merge of `u32` runs, `mul` is a scratch-buffer product + sort +
 //! coalesce, and structural queries read packed factor lists instead of
-//! walking `BTreeMap` nodes. `substitute` and `pow` are memoized per thread,
+//! walking `BTreeMap` nodes. `substitute` and `pow` are memoized two-level
+//! (thread-local L1, sharded process-wide L2 — see [`crate::memo`]),
 //! keyed on the interned form. The seed `BTreeMap<Monomial, Rational>`
 //! implementation is preserved verbatim in [`crate::reference`] and the
 //! differential suite proves both produce identical canonical forms.
 
 use crate::intern::{self, MonoId, PolyId, SymId, MONO_ONE, POLY_UNINTERNED};
+use crate::memo::{self, ShardedMemo};
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
 use crate::Rational;
@@ -23,6 +25,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::LazyLock;
 
 /// A multivariate Laurent polynomial with [`Rational`] coefficients.
 ///
@@ -44,6 +47,12 @@ pub struct Poly {
 
 const MEMO_CAP: usize = 1 << 13;
 
+/// Shard count for the process-wide L2 memo tables.
+const L2_SHARDS: usize = 16;
+/// Per-shard L2 capacity: totals match the thread-local caps, but each
+/// shard clears independently (one hot shard cannot wipe the others).
+const L2_CAP_PER_SHARD: usize = MEMO_CAP / L2_SHARDS * 2;
+
 /// Polynomials with at most this many terms bypass the arena and the memos:
 /// hashing and interning them costs as much as just computing the answer, and
 /// they are the overwhelming majority of per-block costs.
@@ -51,7 +60,8 @@ const SMALL_POLY: usize = 2;
 
 thread_local! {
     /// `(base PolyId << 32 | exp) -> result PolyId` for exponents ≥ 2 on
-    /// interned (> [`SMALL_POLY`]-term) bases.
+    /// interned (> [`SMALL_POLY`]-term) bases. L1 of the two-level memo:
+    /// a hit costs no atomics.
     static POW_MEMO: RefCell<HashMap<u64, PolyId>> = RefCell::new(HashMap::new());
     /// `(PolyId, SymId, replacement PolyId) -> substituted id` — aggregation
     /// re-runs the same handful of substitutions (loop shifts, steady-state
@@ -63,6 +73,36 @@ thread_local! {
     /// Order-normalized `(min PolyId << 32 | max PolyId) -> product id` for
     /// products where both operands exceed [`SMALL_POLY`] terms.
     static MUL_MEMO: RefCell<HashMap<u64, PolyId>> = RefCell::new(HashMap::new());
+}
+
+/// Sharded L2 memos behind the thread-local L1s above: freshly spawned
+/// batch workers (whose thread-local memos start empty) inherit warm
+/// results here instead of recomputing every shape once per thread.
+static POW_L2: LazyLock<ShardedMemo<u64, PolyId>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+static SUBST_L2: LazyLock<ShardedMemo<(PolyId, SymId, PolyId), Result<PolyId, SubstError>>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+static MUL_L2: LazyLock<ShardedMemo<u64, PolyId>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+
+/// Total entries across the polynomial-algebra L2 memos (soak telemetry).
+pub(crate) fn l2_memo_entries() -> usize {
+    POW_L2.len() + SUBST_L2.len() + MUL_L2.len()
+}
+
+/// Clear-on-cap insert into a thread-local L1 memo.
+fn l1_insert<K: std::hash::Hash + Eq + 'static, V: 'static>(
+    l1: &'static std::thread::LocalKey<RefCell<HashMap<K, V>>>,
+    key: K,
+    value: V,
+) {
+    l1.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.len() >= MEMO_CAP {
+            m.clear();
+        }
+        m.insert(key, value);
+    });
 }
 
 #[cfg(test)]
@@ -429,18 +469,20 @@ impl Poly {
         }
         let key = ((id as u64) << 32) | exp as u64;
         if let Some(hit) = POW_MEMO.with(|m| m.borrow().get(&key).copied()) {
+            memo::record_l1_hit();
             return Poly::from_interned(hit);
         }
+        if let Some(hit) = POW_L2.get(&key) {
+            memo::record_l2_hit();
+            l1_insert(&POW_MEMO, key, hit);
+            return Poly::from_interned(hit);
+        }
+        memo::record_miss();
         let acc = self.pow_uncached(exp);
         let rid = acc.interned_id();
         if rid != POLY_UNINTERNED {
-            POW_MEMO.with(|m| {
-                let mut m = m.borrow_mut();
-                if m.len() >= MEMO_CAP {
-                    m.clear();
-                }
-                m.insert(key, rid);
-            });
+            l1_insert(&POW_MEMO, key, rid);
+            POW_L2.insert(key, rid);
         }
         acc
     }
@@ -485,8 +527,15 @@ impl Poly {
         }
         let key = (id, sid, rid);
         if let Some(hit) = SUBST_MEMO.with(|m| m.borrow().get(&key).cloned()) {
+            memo::record_l1_hit();
             return hit.map(Poly::from_interned);
         }
+        if let Some(hit) = SUBST_L2.get(&key) {
+            memo::record_l2_hit();
+            l1_insert(&SUBST_MEMO, key, hit.clone());
+            return hit.map(Poly::from_interned);
+        }
+        memo::record_miss();
         let result = self.subst_uncached(sym, sid, replacement);
         let entry = match &result {
             Ok(p) => {
@@ -498,13 +547,8 @@ impl Poly {
             }
             Err(e) => Err(e.clone()),
         };
-        SUBST_MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            if m.len() >= MEMO_CAP {
-                m.clear();
-            }
-            m.insert(key, entry);
-        });
+        l1_insert(&SUBST_MEMO, key, entry.clone());
+        SUBST_L2.insert(key, entry);
         result
     }
 
@@ -854,18 +898,20 @@ fn mul_memoized(a: &Poly, b: &Poly) -> Option<Poly> {
     }
     let key = ((ia.min(ib) as u64) << 32) | ia.max(ib) as u64;
     if let Some(hit) = MUL_MEMO.with(|m| m.borrow().get(&key).copied()) {
+        memo::record_l1_hit();
         return Some(Poly::from_interned(hit));
     }
+    if let Some(hit) = MUL_L2.get(&key) {
+        memo::record_l2_hit();
+        l1_insert(&MUL_MEMO, key, hit);
+        return Some(Poly::from_interned(hit));
+    }
+    memo::record_miss();
     let prod = mul_raw(a, b);
     let rid = prod.interned_id();
     if rid != POLY_UNINTERNED {
-        MUL_MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            if m.len() >= MEMO_CAP {
-                m.clear();
-            }
-            m.insert(key, rid);
-        });
+        l1_insert(&MUL_MEMO, key, rid);
+        MUL_L2.insert(key, rid);
     }
     Some(prod)
 }

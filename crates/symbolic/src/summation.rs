@@ -8,11 +8,15 @@
 //! budget.
 
 use crate::intern::{PolyId, SymId, POLY_UNINTERNED};
+use crate::memo::{self, ShardedMemo};
 use crate::{Poly, Rational, Symbol};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::LazyLock;
 
 const MEMO_CAP: usize = 1 << 12;
+const L2_SHARDS: usize = 16;
+const L2_CAP_PER_SHARD: usize = MEMO_CAP / L2_SHARDS * 2;
 
 thread_local! {
     /// `(m's PolyId, k) -> Σ_{t=0}^{m} t^k` — Faulhaber expansion memo.
@@ -27,33 +31,56 @@ thread_local! {
         RefCell::new(HashMap::new());
 }
 
-/// Id-keyed memoization: results are stored as arena ids; a result that
-/// fails to intern (arena at capacity) is returned uncached.
-fn memoize<K: std::hash::Hash + Eq, F: FnOnce() -> Option<Poly>>(
+/// Sharded L2s behind the thread-local memos: fresh batch workers inherit
+/// warm Faulhaber expansions and range sums instead of recomputing them.
+static POWERS_L2: LazyLock<ShardedMemo<(PolyId, u32), Option<PolyId>>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+static RANGE_L2: LazyLock<ShardedMemo<(PolyId, SymId, PolyId, PolyId), Option<PolyId>>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+
+/// Total entries across the summation L2 memos (soak telemetry).
+pub(crate) fn l2_memo_entries() -> usize {
+    POWERS_L2.len() + RANGE_L2.len()
+}
+
+/// Two-level id-keyed memoization: thread-local L1 (no atomics on hit)
+/// backed by a sharded process-wide L2. Results are stored as arena ids; a
+/// result that fails to intern (arena at capacity) is returned uncached.
+fn memoize<K: std::hash::Hash + Eq + Copy, F: FnOnce() -> Option<Poly>>(
     cache: &RefCell<HashMap<K, Option<PolyId>>>,
+    l2: &ShardedMemo<K, Option<PolyId>>,
     key: K,
     compute: F,
 ) -> Option<Poly> {
     if let Some(hit) = cache.borrow().get(&key) {
+        memo::record_l1_hit();
         return hit.map(Poly::from_interned);
     }
-    let value = compute();
-    let entry = match &value {
-        Some(p) => {
-            let id = p.interned_id();
-            if id == POLY_UNINTERNED {
-                return value;
+    let entry = if let Some(hit) = l2.get(&key) {
+        memo::record_l2_hit();
+        hit
+    } else {
+        memo::record_miss();
+        let value = compute();
+        let entry = match &value {
+            Some(p) => {
+                let id = p.interned_id();
+                if id == POLY_UNINTERNED {
+                    return value;
+                }
+                Some(id)
             }
-            Some(id)
-        }
-        None => None,
+            None => None,
+        };
+        l2.insert(key, entry);
+        entry
     };
     let mut cache = cache.borrow_mut();
     if cache.len() >= MEMO_CAP {
         cache.clear();
     }
     cache.insert(key, entry);
-    value
+    entry.map(Poly::from_interned)
 }
 
 /// `Σ_{t=0}^{m} t^k` as a polynomial in `m`, for `k ≤ 4` (memoized per
@@ -65,7 +92,7 @@ pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
     if id == POLY_UNINTERNED {
         return sum_powers_uncached(m, k);
     }
-    POWERS_MEMO.with(|cache| memoize(cache, (id, k), || sum_powers_uncached(m, k)))
+    POWERS_MEMO.with(|cache| memoize(cache, &POWERS_L2, (id, k), || sum_powers_uncached(m, k)))
 }
 
 fn sum_powers_uncached(m: &Poly, k: u32) -> Option<Poly> {
@@ -121,7 +148,7 @@ pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
     }
     RANGE_MEMO.with(|cache| {
         let key = (pid, crate::intern::sym_id(var), lbid, ubid);
-        memoize(cache, key, || sum_range_uncached(p, var, lb, ub))
+        memoize(cache, &RANGE_L2, key, || sum_range_uncached(p, var, lb, ub))
     })
 }
 

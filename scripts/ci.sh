@@ -33,9 +33,15 @@ cargo test -q -p presage-opt --test variant_rejection
 echo "== simulator: event-driven engine differential proof vs cycle-driven oracle"
 cargo test -q -p presage-sim --test differential
 
-echo "== symbolic: id-keyed algebra differential proof + predict_batch == sequential"
+echo "== symbolic: id-keyed algebra differential proof + predict_batch == sequential (1..16 workers)"
 cargo test -q --test symbolic_differential
 cargo test -q -p presage-core batch::
+
+echo "== contention: identical jobs on all workers stay bit-identical"
+cargo test -q --test symbolic_differential contended_identical_jobs_stay_bit_identical
+
+echo "== batch scaling: 1..4-worker monotone floor + soak footprint ceilings"
+cargo run --release -p presage-bench --bin perfsuite -- --batch-only
 
 echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json

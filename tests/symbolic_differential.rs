@@ -428,7 +428,7 @@ fn predict_batch_matches_sequential_predict_source() {
         })
         .collect();
 
-    for workers in [1, 2, 4, 8] {
+    for workers in [1, 2, 4, 8, 16] {
         let cache = Arc::new(TranslationCache::new());
         let got = Predictor::predict_batch(&jobs, &opts, &cache, workers);
         assert_eq!(got.len(), jobs.len());
@@ -445,6 +445,58 @@ fn predict_batch_matches_sequential_predict_source() {
             cache.len() as usize,
             machines.len() * kernels.len(),
             "every (machine, kernel) pair translated exactly once"
+        );
+    }
+}
+
+#[test]
+fn contended_identical_jobs_stay_bit_identical() {
+    // Adversarial contention: every worker predicts the *same* program on
+    // the same machine concurrently, so every intern call and every memo
+    // lookup across every thread collides on the same shards and keys.
+    // Results must match the sequential oracle bit-for-bit, and the
+    // telemetry must account for every job.
+    let machines = shipped_machines();
+    let machine = &machines[3]; // wide8 — the heaviest scheduling workload
+    let kernel = figure7()[0].source;
+    let opts = PredictorOptions::default();
+
+    let oracle: Vec<String> = Predictor::new(machine.clone())
+        .predict_source(kernel)
+        .expect("kernel predicts")
+        .iter()
+        .map(|p| p.total.to_string())
+        .collect();
+
+    let jobs: Vec<(&MachineDesc, &str)> = std::iter::repeat_n((machine, kernel), 64).collect();
+    for workers in [4, 8, 16] {
+        let cache = Arc::new(TranslationCache::new());
+        let report = Predictor::predict_batch_report(&jobs, &opts, &cache, workers);
+        for (i, got) in report.results.iter().enumerate() {
+            let got: Vec<String> = got
+                .as_ref()
+                .expect("kernel predicts in batch")
+                .iter()
+                .map(|p| p.total.to_string())
+                .collect();
+            assert_eq!(got, oracle, "job {i} diverged at workers={workers}");
+        }
+        // Sane accounting: every job ran exactly once across workers, and
+        // 64 identical jobs through the two-level memos must mostly hit
+        // (each distinct shape misses at most once per worker at L1 and
+        // once process-wide at L2).
+        let run: u64 = report.workers.iter().map(|w| w.jobs).sum();
+        assert_eq!(run, jobs.len() as u64, "workers={workers}");
+        let totals = report.memo_totals();
+        assert!(totals.lookups() > 0, "workers={workers}");
+        assert!(
+            totals.l1_hits + totals.l2_hits > totals.misses,
+            "identical jobs should be memo-dominated at workers={workers}: {totals:?}"
+        );
+        assert_eq!(
+            cache.len(),
+            1,
+            "one (machine, program) shape in the shared translation cache"
         );
     }
 }
