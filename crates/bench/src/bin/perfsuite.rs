@@ -12,23 +12,26 @@
 //! Usage:
 //!
 //! ```text
-//! perfsuite [--smoke] [--batch-only] [--out PATH]
+//! perfsuite [--smoke] [--batch-only] [--search-only] [--out PATH]
 //! ```
 //!
 //! `--smoke` runs a fast sanity pass (no timing thresholds, tiny
 //! workloads) for CI; the full run enforces the targets (≥3× placement
 //! ops/sec on wide8, ≥5× predictions/sec on wide8 and ≥8× on risc1,
 //! ≥1.5× source-level predictions/sec on wide8 with a warmed translation
-//! cache, ≥2× A* wall-time, ≥4× event-driven simulator sims/sec vs the
-//! cycle-driven reference on wide8, and two batch-scaling floors: on
-//! hosts with ≥4 cores `predict_batch` throughput must be monotonically
-//! non-decreasing from 1→4 workers, and on hosts with ≥8 cores the
-//! 8-worker speedup must be ≥3× the single worker) and exits nonzero
-//! when missed. The soak footprint ceilings (interned arena + L2 memo
-//! entries after a batch of distinct generated programs) are
-//! deterministic and enforced in every mode. `--batch-only` runs just
-//! the batch-scaling rows and the soak check — the CI scaling gate —
-//! without touching the output file.
+//! cache, ≥2× A* wall-time, ≥3× variants/sec for the structural e-graph
+//! engine over the textual A* baseline on wide8, ≥4× event-driven
+//! simulator sims/sec vs the cycle-driven reference on wide8, and two
+//! batch-scaling floors: on hosts with ≥4 cores `predict_batch`
+//! throughput must be monotonically non-decreasing from 1→4 workers, and
+//! on hosts with ≥8 cores the 8-worker speedup must be ≥3× the single
+//! worker) and exits nonzero when missed. The soak footprint ceilings
+//! (interned arena + L2 memo entries after a batch of distinct generated
+//! programs) are deterministic and enforced in every mode. `--batch-only`
+//! runs just the batch-scaling rows and the soak check — the CI scaling
+//! gate — without touching the output file. `--search-only` runs just the
+//! variant-search rows and writes `BENCH_search.json` — the CI gate for
+//! the structural search engine.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -47,7 +50,10 @@ use presage_core::TranslationCache;
 use presage_core::{Predictor, PredictorOptions};
 use presage_machine::json::Json;
 use presage_machine::{machines, MachineDesc};
-use presage_opt::{astar_search_cached, PredictionCache, SearchOptions};
+use presage_opt::{
+    astar_search_cached, search_cached, PredictionCache, SearchConfig, SearchOptions,
+    SearchStrategy,
+};
 use presage_symbolic::memo::MemoStats;
 use presage_symbolic::Symbol;
 use presage_translate::{BlockIr, ProgramIr};
@@ -59,20 +65,25 @@ use std::time::{Duration, Instant};
 struct Config {
     smoke: bool,
     batch_only: bool,
+    search_only: bool,
     out: String,
+    search_out: String,
 }
 
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
         batch_only: false,
+        search_only: false,
         out: "BENCH_placement.json".to_string(),
+        search_out: "BENCH_search.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => cfg.smoke = true,
             "--batch-only" => cfg.batch_only = true,
+            "--search-only" => cfg.search_only = true,
             "--out" => match args.next() {
                 Some(path) => cfg.out = path,
                 None => {
@@ -80,8 +91,17 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 }
             },
+            "--search-out" => match args.next() {
+                Some(path) => cfg.search_out = path,
+                None => {
+                    eprintln!("--search-out takes a path; see --help");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: perfsuite [--smoke] [--batch-only] [--out PATH]");
+                eprintln!(
+                    "usage: perfsuite [--smoke] [--batch-only] [--search-only] [--out PATH] [--search-out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -603,6 +623,152 @@ fn bench_astar(smoke: bool) -> AstarResult {
     }
 }
 
+/// Variant-search micro-benchmark: the structural e-graph engine
+/// (AST normalization + `fold128` keys, e-class merging) against the A*
+/// baseline whose canonicalization re-emits and re-parses every variant.
+/// Each engine runs the same restructuring session — MATMUL, JACOBI and
+/// F4 searched at several evaluation points on one shared prediction
+/// cache — warmed first, so the timed rounds isolate exactly the
+/// per-variant overhead the e-graph removes: canonicalization plus
+/// search bookkeeping, with predictions served from cache on both sides.
+/// Throughput is variants *explored* per second (evaluated + merged +
+/// rejected). The heuristic columns report how many cost evaluations the
+/// explain-driven move ordering needs before finding the winner.
+struct SearchRow {
+    machine: String,
+    astar_variants_per_sec: f64,
+    egraph_variants_per_sec: f64,
+    speedup: f64,
+    astar_explored: u64,
+    egraph_explored: u64,
+    egraph_merged: u64,
+    egraph_expansions: u64,
+    found_at_heuristic_on: u64,
+    found_at_heuristic_off: u64,
+}
+
+fn bench_search(smoke: bool) -> Vec<SearchRow> {
+    let sources = [kernels::MATMUL, kernels::JACOBI, kernels::F4];
+    let subs: Vec<_> = sources
+        .iter()
+        .map(|s| {
+            presage_frontend::parse(s)
+                .expect("kernel parses")
+                .units
+                .remove(0)
+        })
+        .collect();
+    let eval_points: &[f64] = if smoke {
+        &[64.0, 256.0]
+    } else {
+        &[64.0, 128.0, 256.0, 512.0]
+    };
+    let max_expansions = if smoke { 4 } else { 12 };
+    let opts_at = |n: f64| SearchOptions {
+        max_expansions,
+        max_depth: 2,
+        eval_point: HashMap::from([("n".to_string(), n)]),
+        ..Default::default()
+    };
+    let config_at = |n: f64, heuristic: bool| SearchConfig {
+        strategy: SearchStrategy::EGraph,
+        options: opts_at(n),
+        node_budget: 256,
+        heuristic,
+    };
+    const REPS: usize = 3;
+
+    let mut rows = Vec::new();
+    for machine in machines::all() {
+        let name = machine.name().to_string();
+        // A warmed translation cache on the shared predictor, as a
+        // restructuring session would run: both engines translate the
+        // same variants over and over (the heuristic's explain pass in
+        // particular), so steady-state throughput is what matters.
+        let predictor =
+            Predictor::new(machine).with_translation_cache(Arc::new(TranslationCache::new()));
+
+        // Baseline session: A* with textual (re-emit + re-parse)
+        // canonicalization. Warm the shared cache once off-clock, then
+        // time best-of-REPS warm sessions.
+        let astar_cache = PredictionCache::new();
+        let astar_session = |cache: &PredictionCache| {
+            let mut explored = 0u64;
+            for sub in &subs {
+                for &n in eval_points {
+                    let r = astar_search_cached(sub, &predictor, &opts_at(n), cache);
+                    explored += (r.evaluated + r.merged_variants + r.rejected_variants) as u64;
+                    black_box(&r);
+                }
+            }
+            explored
+        };
+        astar_session(&astar_cache);
+        let mut astar_secs = f64::MAX;
+        let mut astar_explored = 0u64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let explored = astar_session(&astar_cache);
+            let secs = start.elapsed().as_secs_f64();
+            if secs < astar_secs {
+                astar_secs = secs;
+                astar_explored = explored;
+            }
+        }
+
+        // Structural session: same workload through the e-graph engine.
+        let egraph_cache = PredictionCache::new();
+        let egraph_session = |cache: &PredictionCache, heuristic: bool| {
+            let mut explored = 0u64;
+            let mut merged = 0u64;
+            let mut expansions = 0u64;
+            let mut found_at = 0u64;
+            for sub in &subs {
+                for &n in eval_points {
+                    let r = search_cached(sub, &predictor, &config_at(n, heuristic), cache);
+                    explored += (r.evaluated + r.merged_variants + r.rejected_variants) as u64;
+                    merged += r.merged_variants as u64;
+                    expansions += r.expansions as u64;
+                    found_at += r.best_found_at as u64;
+                    black_box(&r);
+                }
+            }
+            (explored, merged, expansions, found_at)
+        };
+        egraph_session(&egraph_cache, true);
+        let mut egraph_secs = f64::MAX;
+        let mut egraph_stats = (0u64, 0u64, 0u64, 0u64);
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let stats = egraph_session(&egraph_cache, true);
+            let secs = start.elapsed().as_secs_f64();
+            if secs < egraph_secs {
+                egraph_secs = secs;
+                egraph_stats = stats;
+            }
+        }
+        // Heuristic-off pass (untimed): how many evaluations the winner
+        // costs without explain-driven move ordering.
+        let (_, _, _, found_at_off) = egraph_session(&PredictionCache::new(), false);
+
+        let astar_rate = astar_explored as f64 / astar_secs;
+        let egraph_rate = egraph_stats.0 as f64 / egraph_secs;
+        rows.push(SearchRow {
+            machine: name,
+            astar_variants_per_sec: astar_rate,
+            egraph_variants_per_sec: egraph_rate,
+            speedup: egraph_rate / astar_rate,
+            astar_explored,
+            egraph_explored: egraph_stats.0,
+            egraph_merged: egraph_stats.1,
+            egraph_expansions: egraph_stats.2,
+            found_at_heuristic_on: egraph_stats.3,
+            found_at_heuristic_off: found_at_off,
+        });
+    }
+    rows
+}
+
 /// Simulator micro-benchmark: the event-driven engine vs the retained
 /// cycle-driven reference on the workloads where the bench tables spend
 /// their simulator wall clock — the overlap/unroll tables' long
@@ -719,6 +885,11 @@ const PREDICTION_WIDE8_MIN: f64 = 5.0;
 const PREDICTION_RISC1_MIN: f64 = 8.0;
 const TRANSLATION_WIDE8_MIN: f64 = 1.5;
 const ASTAR_MIN: f64 = 2.0;
+/// Structural e-graph engine variants/sec over the textual-A* baseline
+/// on wide8, warmed prediction caches on both sides — the tentpole
+/// floor: AST normalization must beat re-emit + re-parse by at least
+/// this much per explored variant.
+const SEARCH_WIDE8_MIN: f64 = 3.0;
 const SIM_WIDE8_MIN: f64 = 4.0;
 /// 8-worker batch prediction vs single-worker, enforced only on hosts
 /// with at least [`BATCH_MIN_CORES`] cores — scoped-thread fan-out cannot
@@ -742,6 +913,102 @@ fn batch_monotone_ratio(rows: &[BatchRow]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Runs the variant-search rows, writes `BENCH_search.json`, and returns
+/// whether the wide8 floor held (always true in smoke mode).
+fn run_search_bench(cfg: &Config) -> bool {
+    eprintln!(
+        "perfsuite: variant search ({} mode, e-graph vs textual A*, warmed caches)",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    let rows = bench_search(cfg.smoke);
+    for row in &rows {
+        eprintln!(
+            "  {:>10}: A* {:>8.0} variants/s, e-graph {:>8.0} variants/s  ({:.2}x)  merged {:>3}, winner at {:>3} evals (heuristic) vs {:>3} (none)",
+            row.machine,
+            row.astar_variants_per_sec,
+            row.egraph_variants_per_sec,
+            row.speedup,
+            row.egraph_merged,
+            row.found_at_heuristic_on,
+            row.found_at_heuristic_off
+        );
+    }
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("presage-search-bench-v1".into())),
+        (
+            "mode".into(),
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
+        ),
+        (
+            "search".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(r.machine.clone())),
+                            (
+                                "astar_variants_per_sec".into(),
+                                Json::Num(r.astar_variants_per_sec.round()),
+                            ),
+                            (
+                                "egraph_variants_per_sec".into(),
+                                Json::Num(r.egraph_variants_per_sec.round()),
+                            ),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                            ("astar_explored".into(), Json::Num(r.astar_explored as f64)),
+                            (
+                                "egraph_explored".into(),
+                                Json::Num(r.egraph_explored as f64),
+                            ),
+                            ("egraph_merged".into(), Json::Num(r.egraph_merged as f64)),
+                            (
+                                "egraph_expansions".into(),
+                                Json::Num(r.egraph_expansions as f64),
+                            ),
+                            (
+                                "found_at_heuristic_on".into(),
+                                Json::Num(r.found_at_heuristic_on as f64),
+                            ),
+                            (
+                                "found_at_heuristic_off".into(),
+                                Json::Num(r.found_at_heuristic_off as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "targets".into(),
+            Json::Obj(vec![(
+                "search_wide8_min".into(),
+                Json::Num(SEARCH_WIDE8_MIN),
+            )]),
+        ),
+    ]);
+    if let Err(err) = std::fs::write(&cfg.search_out, report.to_string_pretty() + "\n") {
+        eprintln!("perfsuite: cannot write {}: {err}", cfg.search_out);
+        std::process::exit(1);
+    }
+    eprintln!("perfsuite: wrote {}", cfg.search_out);
+    if cfg.smoke {
+        return true;
+    }
+    let wide8 = rows
+        .iter()
+        .find(|r| r.machine == "wide8")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+    if wide8 < SEARCH_WIDE8_MIN {
+        eprintln!(
+            "FAIL: e-graph search speedup on wide8 is {wide8:.2}x (target {SEARCH_WIDE8_MIN}x)"
+        );
+        return false;
+    }
+    eprintln!("perfsuite: search target met (wide8 {wide8:.2}x >= {SEARCH_WIDE8_MIN}x)");
+    true
+}
+
 fn main() {
     let cfg = parse_args();
     let budget = if cfg.smoke {
@@ -752,6 +1019,13 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if cfg.search_only {
+        if !run_search_bench(&cfg) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let batch_floor_armed = host_cores >= BATCH_MIN_CORES;
     let batch_monotone_armed = host_cores >= BATCH_MONOTONE_MIN_CORES;
 
@@ -884,6 +1158,8 @@ fn main() {
         astar.uncached_ms, astar.cached_ms, astar.speedup, astar.cache_hits, astar.cache_misses
     );
 
+    let search_ok = run_search_bench(&cfg);
+
     let wide8_speedup = placement
         .iter()
         .find(|r| r.machine == "wide8")
@@ -911,7 +1187,7 @@ fn main() {
         .unwrap_or(0.0);
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-perfsuite-v6".into())),
+        ("schema".into(), Json::Str("presage-perfsuite-v7".into())),
         (
             "mode".into(),
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
@@ -1105,6 +1381,7 @@ fn main() {
                     Json::Num(TRANSLATION_WIDE8_MIN),
                 ),
                 ("astar_min".into(), Json::Num(ASTAR_MIN)),
+                ("search_wide8_min".into(), Json::Num(SEARCH_WIDE8_MIN)),
                 ("simulator_wide8_min".into(), Json::Num(SIM_WIDE8_MIN)),
                 ("batch_8w_min".into(), Json::Num(BATCH_8W_MIN)),
                 ("batch_min_cores".into(), Json::Num(BATCH_MIN_CORES as f64)),
@@ -1161,6 +1438,9 @@ fn main() {
                 "FAIL: A* session speedup is {:.2}x (target {ASTAR_MIN}x)",
                 astar.speedup
             );
+            failed = true;
+        }
+        if !search_ok {
             failed = true;
         }
         if wide8_simulator < SIM_WIDE8_MIN {

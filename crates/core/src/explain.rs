@@ -1,0 +1,303 @@
+//! Per-block bottleneck explanation from the Tetris placement.
+//!
+//! The placer already computes everything a restructurer wants to know
+//! about *why* a block costs what it costs: per-unit busy time (how
+//! saturated each unit pool is over the block's span) and the block's
+//! dependence structure (how long the resource-free critical path is).
+//! This module surfaces both as an [`ExplainReport`] — the shape
+//! throughput-analysis tools build per basic block: per-unit
+//! busy/saturation plus a critical-path length, classified into a
+//! [`Bottleneck`] verdict.
+//!
+//! The transformation searchers consume the verdict as a move-ordering
+//! heuristic: a **resource-bound** block wants its operation mix or
+//! locality restructured first (interchange, tile, distribute), while a
+//! **latency-bound** block wants its pipeline bubbles filled first
+//! (unroll, fuse). Ordering only — the verdict never prunes a move, so
+//! search results are unchanged; only the order in which they are
+//! reached is.
+
+use crate::costblock::CostBlock;
+use crate::tetris::{place_block, PlaceOptions};
+use presage_machine::{MachineDesc, UnitClass};
+use presage_translate::{BlockIr, IrNode, ProgramIr};
+use std::fmt;
+
+/// Aggregated load on one unit class over a block's span.
+#[derive(Clone, Debug)]
+pub struct UnitLoad {
+    /// The unit class.
+    pub class: UnitClass,
+    /// Busy (noncoverable) cycles summed over the pool's instances.
+    pub busy: u32,
+    /// `busy / (instances × span)` — 1.0 means the pool is the
+    /// hard floor of the block's cost.
+    pub saturation: f64,
+}
+
+/// What limits a block's cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// A unit pool's busy time explains the span: more of the span is
+    /// accounted for by this class's saturation than by any dependence
+    /// chain.
+    Resource(UnitClass),
+    /// The resource-free critical path explains the span: the block is
+    /// waiting on latencies, not on units.
+    Latency,
+    /// The block places no work.
+    Empty,
+}
+
+/// One placed block's explanation.
+#[derive(Clone, Debug)]
+pub struct BlockExplain {
+    /// Loop-nesting depth of the block (0 = straight-line top level).
+    pub loop_depth: usize,
+    /// Operations in the block.
+    pub ops: usize,
+    /// Placed span (first to last occupied slot).
+    pub span: u32,
+    /// Completion time including trailing coverable latency.
+    pub completion: u32,
+    /// Length of the longest dependence chain, ignoring all resource
+    /// limits (each operation contributes its expanded atomic
+    /// latencies).
+    pub critical_path: u32,
+    /// Per-class load, machine unit order, unused classes omitted.
+    pub units: Vec<UnitLoad>,
+    /// The verdict.
+    pub bottleneck: Bottleneck,
+}
+
+impl BlockExplain {
+    /// Highest per-class saturation in the block (0.0 when empty).
+    pub fn max_saturation(&self) -> f64 {
+        self.units.iter().map(|u| u.saturation).fold(0.0, f64::max)
+    }
+}
+
+/// Per-block explanation of one program's placement.
+#[derive(Clone, Debug)]
+pub struct ExplainReport {
+    /// Subroutine name.
+    pub name: String,
+    /// One entry per placed block, in program order (preheaders,
+    /// control, bodies, postheaders — the aggregation walk's order).
+    pub blocks: Vec<BlockExplain>,
+}
+
+impl ExplainReport {
+    /// The block that dominates run time: deepest loop nesting first,
+    /// most operations as the tie-break — the block the §3.2 search
+    /// should attack first.
+    pub fn hottest(&self) -> Option<&BlockExplain> {
+        self.blocks
+            .iter()
+            .max_by_key(|b| (b.loop_depth, b.ops, b.span))
+    }
+}
+
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "explain {}:", self.name)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(
+                f,
+                "  block {i} (depth {}, {} ops): span {}, critical path {}, {:?}",
+                b.loop_depth, b.ops, b.span, b.critical_path, b.bottleneck
+            )?;
+            for u in &b.units {
+                writeln!(
+                    f,
+                    "    {:?}: busy {} ({:.0}% saturated)",
+                    u.class,
+                    u.busy,
+                    u.saturation * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Length of the longest dependence chain through `block` with all
+/// resource limits removed: every operation starts when its last
+/// dependence finishes and occupies its expanded atomic latencies
+/// back-to-back. This is the latency floor the placement cannot beat.
+pub fn critical_path(block: &BlockIr, machine: &MachineDesc) -> u32 {
+    let csr = block.dep_csr();
+    let n = block.ops.len();
+    let mut finish = vec![0u32; n];
+    let mut longest = 0u32;
+    for i in 0..n {
+        let start = csr
+            .deps(i)
+            .iter()
+            .map(|d| finish[d.0 as usize])
+            .max()
+            .unwrap_or(0);
+        let latency: u32 = machine
+            .expand(block.ops[i].basic)
+            .iter()
+            .map(|&a| machine.atomic(a).latency())
+            .sum();
+        finish[i] = start + latency;
+        longest = longest.max(finish[i]);
+    }
+    longest
+}
+
+/// Explains one placed block: per-class saturation over the span,
+/// critical-path length, and the [`Bottleneck`] verdict. The verdict
+/// compares how much of the span each limiter accounts for: the top
+/// class's `saturation × span` against the critical path.
+pub fn explain_block(
+    block: &BlockIr,
+    machine: &MachineDesc,
+    opts: PlaceOptions,
+    loop_depth: usize,
+) -> BlockExplain {
+    let cost: CostBlock = place_block(machine, block, opts);
+    let span = cost.span();
+    let cp = critical_path(block, machine);
+    let mut units: Vec<UnitLoad> = Vec::new();
+    for pool in machine.units() {
+        let busy = cost.busy_on(pool.class);
+        if busy == 0 {
+            continue;
+        }
+        let capacity = (pool.count as u32 * span.max(1)) as f64;
+        units.push(UnitLoad {
+            class: pool.class,
+            busy,
+            saturation: busy as f64 / capacity,
+        });
+    }
+    let bottleneck = if span == 0 {
+        Bottleneck::Empty
+    } else {
+        let top = units
+            .iter()
+            .max_by(|a, b| a.saturation.total_cmp(&b.saturation));
+        match top {
+            Some(u) if u.saturation * span as f64 >= cp as f64 => Bottleneck::Resource(u.class),
+            Some(_) => Bottleneck::Latency,
+            None => Bottleneck::Empty,
+        }
+    };
+    BlockExplain {
+        loop_depth,
+        ops: block.ops.len(),
+        span,
+        completion: cost.completion,
+        critical_path: cp,
+        units,
+        bottleneck,
+    }
+}
+
+/// Explains every block of a translated program, in the aggregation
+/// walk's order, tagging each with its loop-nesting depth.
+pub fn explain_ir(ir: &ProgramIr, machine: &MachineDesc, opts: PlaceOptions) -> ExplainReport {
+    fn walk(
+        nodes: &[IrNode],
+        depth: usize,
+        machine: &MachineDesc,
+        opts: PlaceOptions,
+        out: &mut Vec<BlockExplain>,
+    ) {
+        for node in nodes {
+            match node {
+                IrNode::Block(b) => out.push(explain_block(b, machine, opts, depth)),
+                IrNode::Loop(l) => {
+                    out.push(explain_block(&l.preheader, machine, opts, depth));
+                    out.push(explain_block(&l.control, machine, opts, depth + 1));
+                    walk(&l.body, depth + 1, machine, opts, out);
+                    out.push(explain_block(&l.postheader, machine, opts, depth));
+                }
+                IrNode::If(i) => {
+                    out.push(explain_block(&i.cond_block, machine, opts, depth));
+                    walk(&i.then_nodes, depth, machine, opts, out);
+                    walk(&i.else_nodes, depth, machine, opts, out);
+                }
+            }
+        }
+    }
+    let mut blocks = Vec::new();
+    walk(&ir.root, 0, machine, opts, &mut blocks);
+    blocks.retain(|b| b.ops > 0);
+    ExplainReport {
+        name: ir.name.clone(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::Predictor;
+    use presage_machine::machines;
+
+    fn sub(src: &str) -> presage_frontend::Subroutine {
+        presage_frontend::parse(src).unwrap().units.remove(0)
+    }
+
+    const NEST: &str = "subroutine s(a, b, n)
+        real a(n), b(n)
+        integer i, n
+        do i = 1, n
+          a(i) = b(i) * 2.0 + 1.0
+        end do
+      end";
+
+    #[test]
+    fn explain_reports_the_loop_body_as_hottest() {
+        let p = Predictor::new(machines::risc1());
+        let report = p.explain_subroutine(&sub(NEST)).unwrap();
+        assert!(!report.blocks.is_empty());
+        let hot = report.hottest().unwrap();
+        assert!(hot.loop_depth >= 1, "hot block must be inside the loop");
+        assert!(hot.span > 0);
+        assert!(hot.critical_path > 0);
+        assert!(!hot.units.is_empty());
+    }
+
+    #[test]
+    fn saturation_is_a_ratio() {
+        let p = Predictor::new(machines::wide8());
+        let report = p.explain_subroutine(&sub(NEST)).unwrap();
+        for b in &report.blocks {
+            for u in &b.units {
+                assert!(u.saturation > 0.0 && u.saturation <= 1.0 + 1e-9);
+            }
+            assert!(b.critical_path <= b.completion + b.span, "sane bounds");
+        }
+    }
+
+    #[test]
+    fn dependence_chain_is_latency_bound_on_a_scalar_machine() {
+        // One long fp dependence chain on risc1: the critical path covers
+        // the whole span, so the verdict must be Latency.
+        let p = Predictor::new(machines::risc1());
+        let chain = sub("subroutine s(x, n)
+            real x
+            integer i, n
+            do i = 1, n
+              x = ((((x * 1.1) * 1.2) * 1.3) * 1.4) * 1.5
+            end do
+          end");
+        let report = p.explain_subroutine(&chain).unwrap();
+        let hot = report.hottest().unwrap();
+        assert_eq!(hot.bottleneck, Bottleneck::Latency, "{report}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let p = Predictor::new(machines::power_like());
+        let report = p.explain_subroutine(&sub(NEST)).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("explain s"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+    }
+}

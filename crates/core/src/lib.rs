@@ -49,6 +49,7 @@ pub mod aggregate;
 pub mod batch;
 pub mod comm;
 pub mod costblock;
+pub mod explain;
 pub mod incremental;
 pub mod library;
 pub mod memory;
@@ -63,6 +64,7 @@ pub mod transcache;
 
 pub use batch::{BatchReport, BatchWorkerStats};
 pub use costblock::CostBlock;
+pub use explain::{BlockExplain, Bottleneck, ExplainReport, UnitLoad};
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
 pub use tetris::{place_block, PlaceOptions, Placer, PreparedBlock};
 pub use transcache::TranslationCache;

@@ -233,6 +233,30 @@ impl Predictor {
         }
     }
 
+    /// Explains an already-translated program block by block: per-unit
+    /// busy/saturation and resource-free critical-path length from the
+    /// Tetris placement, with a [`crate::explain::Bottleneck`] verdict
+    /// per block. The searchers use the hottest block's verdict to
+    /// order their moves (attack the saturated unit first).
+    pub fn explain(&self, ir: &ProgramIr) -> crate::explain::ExplainReport {
+        crate::explain::explain_ir(ir, &self.machine, self.options.aggregate.place)
+    }
+
+    /// Explains one parsed subroutine — [`Predictor::explain`] behind
+    /// the same translation (and translation cache) as
+    /// [`Predictor::predict_subroutine_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns semantic or translation errors.
+    pub fn explain_subroutine(
+        &self,
+        sub: &Subroutine,
+    ) -> Result<crate::explain::ExplainReport, PredictError> {
+        let ir = self.translated(sub)?;
+        Ok(self.explain(&ir))
+    }
+
     /// Predicts an already-translated program.
     pub fn predict_ir(&self, name: String, ir: ProgramIr) -> Prediction {
         let compute = aggregate(

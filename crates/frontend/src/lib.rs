@@ -46,6 +46,7 @@ pub mod analysis;
 pub mod ast;
 pub mod diag;
 pub mod fold;
+pub mod normalize;
 pub mod sema;
 pub mod span;
 

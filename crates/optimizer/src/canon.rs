@@ -19,8 +19,15 @@
 //! what-if comparator reports [`crate::whatif::WhatIfError::Canonicalize`].
 
 use presage_frontend::diag::{FrontendError, Phase};
-use presage_frontend::fold::subroutine_hash;
+use presage_frontend::fold::{encode_subroutine, fold128, subroutine_hash, AST_SEED};
+use presage_frontend::normalize;
 use presage_frontend::{parse, Span, Subroutine};
+
+/// Seed for [`fallback_key`]s. Distinct from [`AST_SEED`], so a raw
+/// fallback hash lives in a different key family than every canonical
+/// or structural key — an unrepresentable root can never alias a
+/// representable variant.
+const FALLBACK_SEED: u64 = AST_SEED ^ 0x4641_4c4c_4241_434b; // "FALLBACK"
 
 /// Parses `src` and returns its first subroutine — the shared helper
 /// behind every "source text in, one variant out" path (tests included).
@@ -56,6 +63,38 @@ pub fn parse_subroutine(src: &str) -> Result<Subroutine, FrontendError> {
 pub fn canonical_key(sub: &Subroutine) -> Result<u128, FrontendError> {
     let canonical = parse_subroutine(&sub.to_string())?;
     Ok(subroutine_hash(&canonical))
+}
+
+/// The structural 128-bit key of a program variant: validate that the
+/// variant is representable, then hash its
+/// [normalized](presage_frontend::normalize::normalize) AST — no source
+/// is printed, lexed, or parsed.
+///
+/// This key *refines* [`canonical_key`]: variants with equal canonical
+/// keys always have equal structural keys (proven differentially over
+/// the transform corpus in `tests/normalize_differential.rs`), and the
+/// structural key additionally merges commutative-operand orderings and
+/// alpha-equivalent loop variables — transformation transpositions the
+/// textual pipeline only catches when they produce identical text.
+///
+/// # Errors
+///
+/// Returns the front-end error when the variant's re-emitted source
+/// would not parse (the same rejection set as [`canonical_key`],
+/// decided by [`presage_frontend::normalize::validate_emittable`]).
+pub fn structural_key(sub: &Subroutine) -> Result<u128, FrontendError> {
+    normalize::validate_emittable(sub)?;
+    Ok(normalize::structural_hash(sub))
+}
+
+/// Last-resort key for a subroutine that does not canonicalize (an
+/// unrepresentable *root* — derived variants are rejected instead): the
+/// raw span-insensitive fold under [`FALLBACK_SEED`], so it cannot
+/// collide with any canonical or structural key family.
+pub fn fallback_key(sub: &Subroutine) -> u128 {
+    let mut buf = Vec::with_capacity(256);
+    encode_subroutine(&mut buf, sub);
+    fold128(&buf, FALLBACK_SEED)
 }
 
 /// Test fixture: a structurally valid AST whose re-emission is not
@@ -108,6 +147,36 @@ mod tests {
     #[test]
     fn malformed_variant_is_an_error_not_a_panic() {
         assert!(canonical_key(&malformed_variant()).is_err());
+    }
+
+    #[test]
+    fn structural_key_agrees_with_the_textual_oracle_on_rejection() {
+        assert!(structural_key(&malformed_variant()).is_err());
+        let ok = parse_subroutine(NEST).unwrap();
+        assert!(structural_key(&ok).is_ok());
+    }
+
+    #[test]
+    fn structural_key_refines_canonical_key() {
+        // Textual-equal implies structural-equal …
+        let a = parse_subroutine(NEST).unwrap();
+        let b = parse_subroutine(&a.to_string()).unwrap();
+        assert_eq!(structural_key(&a).unwrap(), structural_key(&b).unwrap());
+        // … and structural merges loop-variable renames that textual
+        // keeps apart.
+        let renamed = parse_subroutine(&NEST.replace('j', "k")).unwrap();
+        assert_ne!(canonical_key(&a).unwrap(), canonical_key(&renamed).unwrap());
+        assert_eq!(
+            structural_key(&a).unwrap(),
+            structural_key(&renamed).unwrap()
+        );
+    }
+
+    #[test]
+    fn fallback_key_is_disjoint_from_canonical_families() {
+        let a = parse_subroutine(NEST).unwrap();
+        assert_ne!(fallback_key(&a), canonical_key(&a).unwrap());
+        assert_ne!(fallback_key(&a), structural_key(&a).unwrap());
     }
 
     #[test]

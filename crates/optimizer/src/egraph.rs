@@ -1,0 +1,403 @@
+//! Bounded e-graph saturation over structural variant classes (§3.2).
+//!
+//! The A* engine explores transformation *sequences*: the same program
+//! reached by `tile ∘ interchange` and `interchange ∘ tile` is two
+//! search states until the closed set happens to collapse them — and
+//! the collapse itself costs a re-emit + re-parse per candidate. This
+//! engine explores *equivalence classes* instead. An [`EClass`] is the
+//! set of all transformation-reachable programs sharing a
+//! [structural key](crate::canon::structural_key); the catalog moves of
+//! [`crate::transforms`] are its rewrites; saturation applies rewrites
+//! best-first until the class **node budget**
+//! ([`SearchConfig::node_budget`]) or the expansion budget is spent;
+//! extraction returns the class with the cheapest predicted cost,
+//! costed by [`Predictor::predict_subroutine_cost`] through the shared
+//! sharded [`PredictionCache`].
+//!
+//! Because the structural key also merges commutative operand orders
+//! and alpha-equivalent loop variables (which the textual key only
+//! merges when the printed text coincides — e.g. differently-freshened
+//! tile variables never do), the e-graph sees strictly fewer states for
+//! the same reachable set, and each state costs a normalize + hash
+//! instead of an emit + lex + parse + hash.
+//!
+//! A* remains available behind [`SearchStrategy::AStar`] as the
+//! baseline and oracle: `tests/structural_search.rs` proves extraction
+//! never returns a variant whose predicted cost exceeds the A* winner
+//! on the Figure 7 corpus across all four machines.
+
+use crate::cache::PredictionCache;
+use crate::canon;
+use crate::search::{
+    evaluate, evaluate_candidates, generate_moves, order_moves, SearchConfig, SearchResult,
+    SearchStep,
+};
+use crate::transforms::Transform;
+use crate::whatif::transformed;
+use presage_core::predictor::Predictor;
+use presage_frontend::Subroutine;
+use presage_symbolic::PerfExpr;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One equivalence class of program variants: every
+/// transformation-reachable program whose [`crate::canon::structural_key`]
+/// equals `key`. The representative is the first member discovered;
+/// its cost is the class cost (structural equivalence is cost-preserving
+/// — the differential suite enforces this).
+#[derive(Clone, Debug)]
+pub struct EClass {
+    /// The class's structural key.
+    pub key: u128,
+    /// First-discovered member, used for rewriting and extraction.
+    pub repr: Subroutine,
+    /// Cheapest-known derivation of the representative from the root.
+    pub sequence: Vec<SearchStep>,
+    /// Symbolic predicted cost; `None` when prediction failed (a dead
+    /// class: never expanded, never extracted).
+    pub expr: Option<PerfExpr>,
+    /// `expr` evaluated at the search's eval point (`+∞` when dead).
+    pub cost: f64,
+    /// Rewrite steps from the root to this class.
+    pub depth: usize,
+}
+
+/// The e-graph: classes plus the key index that makes every rewrite
+/// application an O(1) merge test.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    classes: Vec<EClass>,
+    index: HashMap<u128, usize>,
+}
+
+impl EGraph {
+    /// An empty e-graph.
+    pub fn new() -> EGraph {
+        EGraph::default()
+    }
+
+    /// Number of e-classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no class has been added.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// All classes, in discovery order (the root is class 0).
+    pub fn classes(&self) -> &[EClass] {
+        &self.classes
+    }
+
+    /// The class holding `key`, if any.
+    pub fn find(&self, key: u128) -> Option<usize> {
+        self.index.get(&key).copied()
+    }
+
+    fn add(&mut self, class: EClass) -> usize {
+        let id = self.classes.len();
+        self.index.insert(class.key, id);
+        self.classes.push(class);
+        id
+    }
+}
+
+/// Worklist entry: min-heap on evaluated cost, ties to the older class
+/// so saturation order is deterministic.
+struct WorkItem {
+    cost: f64,
+    id: usize,
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.id == other.id
+    }
+}
+impl Eq for WorkItem {}
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Runs bounded e-graph saturation from `sub` and extracts the cheapest
+/// class, with a caller-owned [`PredictionCache`].
+///
+/// Saturation is best-first: the cheapest unexpanded class rewrites
+/// next (with [`SearchConfig::heuristic`], its moves additionally
+/// ordered by the explain verdict), so when the node budget truncates
+/// the space, it truncates the expensive frontier first. Every counter
+/// in the returned [`SearchResult`] has the same meaning as under A*;
+/// [`SearchResult::merged_variants`] counts rewrite applications that
+/// landed in an existing class — the transpositions A* would have
+/// re-keyed textually.
+pub fn egraph_search_cached(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    config: &SearchConfig,
+    cache: &PredictionCache,
+) -> SearchResult {
+    let opts = &config.options;
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let mut rejected = 0usize;
+    let mut merged = 0usize;
+    let mut evaluated = 0usize;
+    let mut expansions = 0usize;
+
+    // An unrepresentable root still searches under the disjoint
+    // fallback key family, counted as a rejection (same contract as
+    // the A* engine).
+    let root_key = match canon::structural_key(sub) {
+        Ok(key) => key,
+        Err(_) => {
+            rejected += 1;
+            canon::fallback_key(sub)
+        }
+    };
+    let original_expr = cache
+        .cost_of(root_key, sub, predictor)
+        .expect("original program must predict");
+    let original_cost = evaluate(&original_expr, opts);
+
+    let mut g = EGraph::new();
+    g.add(EClass {
+        key: root_key,
+        repr: sub.clone(),
+        sequence: Vec::new(),
+        expr: Some(original_expr.clone()),
+        cost: original_cost,
+        depth: 0,
+    });
+    let mut best_id = 0usize;
+    let mut best_found_at = 0usize;
+
+    let mut open = BinaryHeap::new();
+    open.push(WorkItem {
+        cost: original_cost,
+        id: 0,
+    });
+
+    while let Some(item) = open.pop() {
+        if expansions >= opts.max_expansions || g.len() >= config.node_budget {
+            break;
+        }
+        let (repr, sequence, depth) = {
+            let c = &g.classes[item.id];
+            (c.repr.clone(), c.sequence.clone(), c.depth)
+        };
+        if depth >= opts.max_depth {
+            continue;
+        }
+        expansions += 1;
+
+        let mut moves = generate_moves(&repr, opts);
+        if config.heuristic {
+            order_moves(&mut moves, predictor, &repr);
+        }
+
+        // Rewrite, key, and merge serially (cheap, order-sensitive);
+        // predict the genuinely new classes concurrently.
+        let mut batch_keys: HashSet<u128> = HashSet::new();
+        let mut candidates: Vec<(Vec<usize>, Transform, Subroutine, u128)> = Vec::new();
+        for (path, t) in moves {
+            if g.len() + candidates.len() >= config.node_budget {
+                break;
+            }
+            let Ok(variant) = transformed(&repr, &path, &t) else {
+                continue;
+            };
+            let key = match canon::structural_key(&variant) {
+                Ok(key) => key,
+                Err(_) => {
+                    rejected += 1;
+                    continue;
+                }
+            };
+            if g.find(key).is_some() || !batch_keys.insert(key) {
+                merged += 1;
+                continue;
+            }
+            candidates.push((path, t, variant, key));
+        }
+        let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
+
+        for ((path, t, variant, key), expr) in candidates.into_iter().zip(exprs) {
+            let (cost, expr) = match expr {
+                Some(e) => {
+                    evaluated += 1;
+                    (evaluate(&e, opts), Some(e))
+                }
+                None => (f64::INFINITY, None),
+            };
+            let mut sequence = sequence.clone();
+            sequence.push(SearchStep {
+                path,
+                transform: t,
+                cost,
+            });
+            let live = expr.is_some();
+            let id = g.add(EClass {
+                key,
+                repr: variant,
+                sequence,
+                expr,
+                cost,
+                depth: depth + 1,
+            });
+            if cost < g.classes[best_id].cost {
+                best_id = id;
+                best_found_at = evaluated;
+            }
+            if live && depth + 1 < opts.max_depth {
+                open.push(WorkItem { cost, id });
+            }
+        }
+    }
+
+    let best = &g.classes[best_id];
+    SearchResult {
+        best: best.repr.clone(),
+        best_expr: best
+            .expr
+            .clone()
+            .expect("extracted class has a predicted cost"),
+        best_cost: best.cost,
+        original_cost,
+        sequence: best.sequence.clone(),
+        expansions,
+        evaluated,
+        cache_hits: cache.hits() - hits_before,
+        cache_misses: cache.misses() - misses_before,
+        rejected_variants: rejected,
+        merged_variants: merged,
+        best_found_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{search, SearchStrategy};
+    use presage_machine::machines;
+
+    fn sub(src: &str) -> Subroutine {
+        canon::parse_subroutine(src).unwrap()
+    }
+
+    const NEST: &str = "subroutine s(a, n)
+        real a(n,n)
+        integer i, j, n
+        do i = 1, n
+          do j = 1, n
+            a(i,j) = a(i,j) * 2.0 + 1.0
+          end do
+        end do
+      end";
+
+    fn config(max_expansions: usize, max_depth: usize) -> SearchConfig {
+        SearchConfig {
+            strategy: SearchStrategy::EGraph,
+            options: crate::search::SearchOptions {
+                max_expansions,
+                max_depth,
+                ..Default::default()
+            },
+            node_budget: 128,
+            heuristic: true,
+        }
+    }
+
+    #[test]
+    fn egraph_never_worsens() {
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(NEST);
+        let r = search(&s, &predictor, &config(8, 2));
+        assert!(r.best_cost <= r.original_cost + 1e-9);
+        assert!(r.speedup() >= 1.0);
+        assert!(r.expansions >= 1);
+        assert!(r.evaluated > 0);
+    }
+
+    #[test]
+    fn transpositions_merge_into_one_class() {
+        // Two sibling loops: rewrites applied in either order reach the
+        // same program, which must key to one e-class, not two.
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub("subroutine s(a, b, n)
+               real a(n), b(n)
+               integer i, n
+               do i = 1, n
+                 a(i) = 0.0
+               end do
+               do i = 1, n
+                 b(i) = 0.0
+               end do
+             end");
+        let r = search(&s, &predictor, &config(16, 2));
+        assert!(
+            r.merged_variants > 0,
+            "transposed sequences must merge, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn node_budget_bounds_the_graph() {
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(NEST);
+        let mut cfg = config(64, 3);
+        cfg.node_budget = 5;
+        let r = search(&s, &predictor, &cfg);
+        // Root + at most 4 discovered classes were costed.
+        assert!(r.evaluated <= 5, "{r:?}");
+        assert!(r.best_cost <= r.original_cost + 1e-9);
+    }
+
+    #[test]
+    fn malformed_root_falls_back_and_counts() {
+        let predictor = Predictor::new(machines::power_like());
+        let s = canon::malformed_variant();
+        let r = search(&s, &predictor, &config(4, 2));
+        assert!(r.rejected_variants > 0);
+        assert!(r.sequence.is_empty(), "no unrepresentable variant may win");
+        assert_eq!(r.best_cost, r.original_cost);
+    }
+
+    #[test]
+    fn heuristic_only_reorders_never_changes_the_winner() {
+        let predictor = Predictor::new(machines::risc1());
+        let s = sub(NEST);
+        let mut on = config(12, 2);
+        let mut off = on.clone();
+        on.heuristic = true;
+        off.heuristic = false;
+        let r_on = search(&s, &predictor, &on);
+        let r_off = search(&s, &predictor, &off);
+        assert_eq!(r_on.best_cost, r_off.best_cost);
+        assert_eq!(r_on.best.to_string(), r_off.best.to_string());
+    }
+
+    #[test]
+    fn shared_cache_serves_repeat_searches() {
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(NEST);
+        let cache = PredictionCache::new();
+        let cfg = config(6, 2);
+        let first = crate::search::search_cached(&s, &predictor, &cfg, &cache);
+        assert!(first.cache_misses > 0);
+        let second = crate::search::search_cached(&s, &predictor, &cfg, &cache);
+        assert_eq!(second.cache_misses, 0, "rerun must not re-predict");
+        assert_eq!(second.best.to_string(), first.best.to_string());
+    }
+}

@@ -3,7 +3,9 @@
 //! The framework's consumer side: a catalog of [restructuring
 //! transformations](transforms), [what-if costing](whatif) that applies a
 //! transformation to a copy and symbolically compares the variants (§3.1),
-//! [A* search](search) over transformation sequences (§3.2), and
+//! variant [search] over transformation sequences (§3.2) — bounded
+//! [e-graph saturation](egraph) over structural equivalence classes by
+//! default, classic A* behind [`SearchStrategy::AStar`] — and
 //! [run-time test generation](rtt) from crossover points and sensitivity
 //! analysis (§3.4).
 //!
@@ -33,6 +35,7 @@
 
 pub mod cache;
 pub mod canon;
+pub mod egraph;
 pub mod partition;
 pub mod profile;
 pub mod reorder;
@@ -42,8 +45,12 @@ pub mod transforms;
 pub mod whatif;
 
 pub use cache::PredictionCache;
-pub use canon::{canonical_key, parse_subroutine};
+pub use canon::{canonical_key, fallback_key, parse_subroutine, structural_key};
+pub use egraph::{EClass, EGraph};
 pub use profile::ProfileData;
-pub use search::{astar_search, astar_search_cached, SearchOptions, SearchResult, SearchStep};
+pub use search::{
+    astar_search, astar_search_cached, search, search_cached, SearchConfig, SearchOptions,
+    SearchResult, SearchStep, SearchStrategy,
+};
 pub use transforms::{Transform, TransformError};
 pub use whatif::{compare_transform, loop_paths, transformed, WhatIfError};

@@ -4,14 +4,24 @@
 //! graph search algorithms, such as the A* algorithm, to choose program
 //! transformation sequence systematically."
 //!
-//! States are program variants, identified by their
-//! [canonical key](crate::canon::canonical_key) — the span-insensitive
-//! structural hash of the re-emitted, re-parsed source; moves are
-//! `(loop path, transformation)` pairs; the objective is the predicted
-//! cost evaluated over the unknowns' ranges. The heuristic is the
-//! machine's resource lower bound — total noncoverable work divided by
-//! unit parallelism — which no transformation sequence can beat, making
-//! the search A*-admissible.
+//! Two engines share this module's configuration and result types,
+//! selected by [`SearchStrategy`] on [`SearchConfig`]:
+//!
+//! * **A\*** (this file) — best-first over transformation sequences,
+//!   states identified by their
+//!   [canonical key](crate::canon::canonical_key) — the span-insensitive
+//!   structural hash of the re-emitted, re-parsed source. Retained as
+//!   the baseline and the differential oracle.
+//! * **E-graph** ([`crate::egraph`]) — bounded saturation over
+//!   structural equivalence classes keyed by
+//!   [`crate::canon::structural_key`], which never prints or re-parses
+//!   source.
+//!
+//! Moves are `(loop path, transformation)` pairs; the objective is the
+//! predicted cost evaluated over the unknowns' ranges. With
+//! [`SearchConfig::heuristic`] set, each expansion's moves are ordered
+//! by the hottest block's [`Bottleneck`] verdict from
+//! [`Predictor::explain`] — attack the saturated unit first.
 //!
 //! A variant whose re-emitted source does not parse (a transformation
 //! produced an unrepresentable program) is skipped and counted in
@@ -21,8 +31,8 @@ use crate::cache::PredictionCache;
 use crate::canon;
 use crate::transforms::Transform;
 use crate::whatif::{loop_paths, transformed};
+use presage_core::explain::Bottleneck;
 use presage_core::predictor::Predictor;
-use presage_frontend::fold::subroutine_hash;
 use presage_frontend::Subroutine;
 use presage_symbolic::PerfExpr;
 use std::cmp::Ordering;
@@ -66,6 +76,49 @@ impl Default for SearchOptions {
     }
 }
 
+/// Which engine explores the variant space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Best-first A* over transformation *sequences*, states keyed by
+    /// the textual [`canon::canonical_key`]. Retained as the baseline
+    /// and differential oracle for the e-graph.
+    AStar,
+    /// Bounded e-graph saturation over structural equivalence
+    /// *classes* ([`crate::egraph`]), states keyed by
+    /// [`canon::structural_key`] — no source is printed or re-parsed
+    /// per candidate.
+    EGraph,
+}
+
+/// Top-level search configuration: the engine plus its shared options.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Which engine runs.
+    pub strategy: SearchStrategy,
+    /// Options shared by both engines (budgets, factors, eval point).
+    pub options: SearchOptions,
+    /// E-graph node budget: saturation stops growing new e-classes at
+    /// this many (ignored by A*, which bounds on
+    /// [`SearchOptions::max_expansions`] alone).
+    pub node_budget: usize,
+    /// Order each expansion's moves by the hottest block's
+    /// [`Bottleneck`] verdict ([`Predictor::explain`]): attack the
+    /// saturated unit first. Ordering only — no move is pruned, so the
+    /// reachable set is unchanged.
+    pub heuristic: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            strategy: SearchStrategy::EGraph,
+            options: SearchOptions::default(),
+            node_budget: 256,
+            heuristic: true,
+        }
+    }
+}
+
 /// One applied step of the winning sequence.
 #[derive(Clone, Debug)]
 pub struct SearchStep {
@@ -98,10 +151,20 @@ pub struct SearchResult {
     pub cache_hits: u64,
     /// Candidate predictions computed from scratch.
     pub cache_misses: u64,
-    /// Candidate variants discarded because their re-emitted source did
-    /// not parse (the transformation produced an unrepresentable
-    /// program).
+    /// Candidate variants discarded because their re-emitted source
+    /// would not parse (the transformation produced an unrepresentable
+    /// program) — plus one when the *original* does not canonicalize
+    /// and the search fell back to [`canon::fallback_key`].
     pub rejected_variants: usize,
+    /// Candidate variants that keyed to an already-known state — the
+    /// transpositions the canonical key collapses (A*: closed-set
+    /// duplicates; e-graph: e-class merges).
+    pub merged_variants: usize,
+    /// Value of [`SearchResult::evaluated`] when the winning variant
+    /// was costed (0 when the original wins): how much exploration the
+    /// result actually needed, the number the move-ordering heuristic
+    /// drives down.
+    pub best_found_at: usize,
 }
 
 impl SearchResult {
@@ -139,7 +202,7 @@ impl Ord for Node {
     }
 }
 
-fn evaluate(expr: &PerfExpr, opts: &SearchOptions) -> f64 {
+pub(crate) fn evaluate(expr: &PerfExpr, opts: &SearchOptions) -> f64 {
     let bindings: HashMap<presage_symbolic::Symbol, f64> = opts
         .eval_point
         .iter()
@@ -165,6 +228,88 @@ pub fn astar_search(sub: &Subroutine, predictor: &Predictor, opts: &SearchOption
     astar_search_cached(sub, predictor, opts, &PredictionCache::new())
 }
 
+/// Runs the engine selected by `config` with a private cache.
+pub fn search(sub: &Subroutine, predictor: &Predictor, config: &SearchConfig) -> SearchResult {
+    search_cached(sub, predictor, config, &PredictionCache::new())
+}
+
+/// Runs the engine selected by `config` with a caller-owned
+/// [`PredictionCache`] — the one entry point both strategies share.
+pub fn search_cached(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    config: &SearchConfig,
+    cache: &PredictionCache,
+) -> SearchResult {
+    match config.strategy {
+        SearchStrategy::AStar => {
+            astar_with(sub, predictor, &config.options, cache, config.heuristic)
+        }
+        SearchStrategy::EGraph => {
+            crate::egraph::egraph_search_cached(sub, predictor, config, cache)
+        }
+    }
+}
+
+/// Every `(loop path, transformation)` move `opts` allows from `sub`,
+/// in the deterministic catalog order both engines share.
+pub(crate) fn generate_moves(
+    sub: &Subroutine,
+    opts: &SearchOptions,
+) -> Vec<(Vec<usize>, Transform)> {
+    let mut moves: Vec<(Vec<usize>, Transform)> = Vec::new();
+    for path in loop_paths(sub) {
+        for &k in &opts.unroll_factors {
+            moves.push((path.clone(), Transform::Unroll(k)));
+        }
+        for &s in &opts.tile_sizes {
+            moves.push((path.clone(), Transform::Tile(s)));
+        }
+        if opts.structural {
+            moves.push((path.clone(), Transform::Interchange));
+            moves.push((path.clone(), Transform::Fuse));
+            moves.push((path.clone(), Transform::Distribute));
+        }
+    }
+    moves
+}
+
+/// Stable-sorts `moves` by the hottest block's bottleneck verdict: a
+/// latency-bound block tries bubble-fillers (unroll, fuse) first, a
+/// resource-bound block tries restructurers (interchange, tile) first.
+/// Ordering is advisory — every move is still generated — so this can
+/// change *when* the winner is found, never *whether*.
+pub(crate) fn order_moves(
+    moves: &mut [(Vec<usize>, Transform)],
+    predictor: &Predictor,
+    sub: &Subroutine,
+) {
+    let Ok(report) = predictor.explain_subroutine(sub) else {
+        return;
+    };
+    let Some(hot) = report.hottest() else {
+        return;
+    };
+    let bottleneck = hot.bottleneck;
+    moves.sort_by_key(|(_, t)| match bottleneck {
+        Bottleneck::Latency => match t {
+            Transform::Unroll(_) => 0,
+            Transform::Fuse => 1,
+            Transform::Distribute => 2,
+            Transform::Interchange => 3,
+            Transform::Tile(_) => 4,
+        },
+        Bottleneck::Resource(_) => match t {
+            Transform::Interchange => 0,
+            Transform::Tile(_) => 1,
+            Transform::Distribute => 2,
+            Transform::Fuse => 3,
+            Transform::Unroll(_) => 4,
+        },
+        Bottleneck::Empty => 0,
+    });
+}
+
 /// Runs the A* search with a caller-owned [`PredictionCache`].
 ///
 /// The cache key is the variant's [canonical key](canon::canonical_key)
@@ -178,12 +323,34 @@ pub fn astar_search_cached(
     opts: &SearchOptions,
     cache: &PredictionCache,
 ) -> SearchResult {
+    astar_with(sub, predictor, opts, cache, false)
+}
+
+/// The A* engine; `heuristic` enables [`order_moves`] per expansion.
+fn astar_with(
+    sub: &Subroutine,
+    predictor: &Predictor,
+    opts: &SearchOptions,
+    cache: &PredictionCache,
+    heuristic: bool,
+) -> SearchResult {
     let hits_before = cache.hits();
     let misses_before = cache.misses();
-    // A root that does not canonicalize still searches (its key falls
-    // back to the raw structural hash); only *derived* variants are
-    // rejected on canonicalization failure.
-    let original_key = canon::canonical_key(sub).unwrap_or_else(|_| subroutine_hash(sub));
+    let mut evaluated = 0usize;
+    let mut expansions = 0usize;
+    let mut rejected = 0usize;
+    let mut merged = 0usize;
+    // A root that does not canonicalize still searches, under a key
+    // from the disjoint fallback family ([`canon::fallback_key`]) so it
+    // cannot alias a variant's canonical key; the fallback is counted
+    // as a rejection. Only *derived* variants are skipped outright.
+    let original_key = match canon::canonical_key(sub) {
+        Ok(key) => key,
+        Err(_) => {
+            rejected += 1;
+            canon::fallback_key(sub)
+        }
+    };
     let original_expr = cache
         .cost_of(original_key, sub, predictor)
         .expect("original program must predict");
@@ -191,9 +358,6 @@ pub fn astar_search_cached(
 
     let mut open = BinaryHeap::new();
     let mut closed: HashSet<u128> = HashSet::new();
-    let mut evaluated = 0usize;
-    let mut expansions = 0usize;
-    let mut rejected = 0usize;
 
     let mut best = SearchResult {
         best: sub.clone(),
@@ -206,6 +370,8 @@ pub fn astar_search_cached(
         cache_hits: 0,
         cache_misses: 0,
         rejected_variants: 0,
+        merged_variants: 0,
+        best_found_at: 0,
     };
 
     open.push(Node {
@@ -224,19 +390,9 @@ pub fn astar_search_cached(
             continue;
         }
 
-        let mut moves: Vec<(Vec<usize>, Transform)> = Vec::new();
-        for path in loop_paths(&node.sub) {
-            for &k in &opts.unroll_factors {
-                moves.push((path.clone(), Transform::Unroll(k)));
-            }
-            for &s in &opts.tile_sizes {
-                moves.push((path.clone(), Transform::Tile(s)));
-            }
-            if opts.structural {
-                moves.push((path.clone(), Transform::Interchange));
-                moves.push((path.clone(), Transform::Fuse));
-                moves.push((path.clone(), Transform::Distribute));
-            }
+        let mut moves = generate_moves(&node.sub, opts);
+        if heuristic {
+            order_moves(&mut moves, predictor, &node.sub);
         }
 
         // Apply transformations and deduplicate serially (cheap and
@@ -253,7 +409,12 @@ pub fn astar_search_cached(
                         return None;
                     }
                 };
-                closed.insert(key).then_some((path, t, variant, key))
+                if closed.insert(key) {
+                    Some((path, t, variant, key))
+                } else {
+                    merged += 1;
+                    None
+                }
             })
             .collect();
         let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
@@ -275,6 +436,7 @@ pub fn astar_search_cached(
                 best.best_expr = expr.clone();
                 best.best_cost = cost;
                 best.sequence = sequence.clone();
+                best.best_found_at = evaluated;
             }
             open.push(Node {
                 f: cost + resource_floor(cost),
@@ -289,13 +451,14 @@ pub fn astar_search_cached(
     best.cache_hits = cache.hits() - hits_before;
     best.cache_misses = cache.misses() - misses_before;
     best.rejected_variants = rejected;
+    best.merged_variants = merged;
     best
 }
 
 /// Predicts each candidate's cost, fanning out over `workers` scoped
 /// threads when it pays. Results come back in candidate order regardless
 /// of worker count, so the search stays deterministic.
-fn evaluate_candidates(
+pub(crate) fn evaluate_candidates(
     candidates: &[(Vec<usize>, Transform, Subroutine, u128)],
     predictor: &Predictor,
     cache: &PredictionCache,

@@ -109,10 +109,15 @@ pub fn cost_of(sub: &Subroutine, predictor: &Predictor) -> Result<PerfExpr, What
 /// [`presage_symbolic::CompareOutcome::FirstCheaper`] verdict means the
 /// transformation wins over the whole range of the unknowns.
 ///
+/// The caller already holds the transformed AST, so the variant is
+/// checked for representability structurally
+/// ([`presage_frontend::normalize::validate_emittable`]) — the historic
+/// re-emit + re-parse of the variant's source is gone from this path.
+///
 /// # Errors
 ///
 /// Any [`WhatIfError`]; in particular [`WhatIfError::Canonicalize`] when
-/// the variant's re-emitted source does not parse (the variant is not a
+/// the variant's re-emitted source would not parse (the variant is not a
 /// representable program, so comparing its cost would be meaningless).
 pub fn compare_transform(
     sub: &Subroutine,
@@ -121,7 +126,7 @@ pub fn compare_transform(
     predictor: &Predictor,
 ) -> Result<(Subroutine, Comparison), WhatIfError> {
     let variant = transformed(sub, path, t)?;
-    crate::canon::canonical_key(&variant)?;
+    presage_frontend::normalize::validate_emittable(&variant)?;
     let before = cost_of(sub, predictor)?;
     let after = cost_of(&variant, predictor)?;
     Ok((variant, after.compare(&before)))

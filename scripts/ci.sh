@@ -40,11 +40,18 @@ cargo test -q -p presage-core batch::
 echo "== contention: identical jobs on all workers stay bit-identical"
 cargo test -q --test symbolic_differential contended_identical_jobs_stay_bit_identical
 
+echo "== structural canonicalization: normalize-vs-reparse differential + e-graph dominance"
+cargo test -q --test normalize_differential
+cargo test -q --test structural_search
+
 echo "== batch scaling: 1..4-worker monotone floor + soak footprint ceilings"
 cargo run --release -p presage-bench --bin perfsuite -- --batch-only
 
-echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator)"
-cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json
-rm -f BENCH_smoke.json
+echo "== variant search: e-graph vs textual A* floor (full budgets, writes BENCH_search.json)"
+cargo run --release -p presage-bench --bin perfsuite -- --search-only
+
+echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator + search)"
+cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json --search-out BENCH_search_smoke.json
+rm -f BENCH_smoke.json BENCH_search_smoke.json
 
 echo "ci: all checks passed"
