@@ -12,7 +12,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsuite [--smoke] [--batch-only] [--search-only] [--out PATH]
+//! perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--out PATH]
 //! ```
 //!
 //! `--smoke` runs a fast sanity pass (no timing thresholds, tiny
@@ -31,7 +31,11 @@
 //! runs just the batch-scaling rows and the soak check — the CI scaling
 //! gate — without touching the output file. `--search-only` runs just the
 //! variant-search rows and writes `BENCH_search.json` — the CI gate for
-//! the structural search engine.
+//! the structural search engine. `--server-only` runs the server-loop
+//! soak — ≥192 distinct programs through `presage_server::Server` with
+//! epoch advances between waves, every response checked bit-identical
+//! against a fresh uncached predictor, and the arena + L2 footprint
+//! ceilings enforced after reclamation — and writes `BENCH_server.json`.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -66,8 +70,10 @@ struct Config {
     smoke: bool,
     batch_only: bool,
     search_only: bool,
+    server_only: bool,
     out: String,
     search_out: String,
+    server_out: String,
 }
 
 fn parse_args() -> Config {
@@ -75,8 +81,10 @@ fn parse_args() -> Config {
         smoke: false,
         batch_only: false,
         search_only: false,
+        server_only: false,
         out: "BENCH_placement.json".to_string(),
         search_out: "BENCH_search.json".to_string(),
+        server_out: "BENCH_server.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -84,6 +92,7 @@ fn parse_args() -> Config {
             "--smoke" => cfg.smoke = true,
             "--batch-only" => cfg.batch_only = true,
             "--search-only" => cfg.search_only = true,
+            "--server-only" => cfg.server_only = true,
             "--out" => match args.next() {
                 Some(path) => cfg.out = path,
                 None => {
@@ -98,9 +107,16 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 }
             },
+            "--server-out" => match args.next() {
+                Some(path) => cfg.server_out = path,
+                None => {
+                    eprintln!("--server-out takes a path; see --help");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perfsuite [--smoke] [--batch-only] [--search-only] [--out PATH] [--search-out PATH]"
+                    "usage: perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--out PATH] [--search-out PATH] [--server-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -381,6 +397,301 @@ fn bench_soak(smoke: bool) -> SoakResult {
         l2_entries,
         ok: arena_total <= SOAK_ARENA_CEILING && l2_entries <= SOAK_L2_CEILING,
     }
+}
+
+/// Server-loop soak: the epoch-reclamation acceptance gate. Drives every
+/// distinct generated program through [`presage_server::Server`] over the
+/// real JSON-lines wire format, with epoch advances (and translation
+/// generation eviction) between waves, then checks three things:
+///
+/// 1. **Bit-identity.** Every response cost equals a fresh, uncached
+///    predictor's answer for the same `(machine, program)` — computed
+///    before the server ran, so reclamation mid-stream cannot have bent
+///    a prediction. A post-run re-check on recycled arena slots proves
+///    the oracle still agrees *after* the last reclamation.
+/// 2. **Epochs.** The run must span at least [`SERVER_SOAK_MIN_ADVANCES`]
+///    epoch advances, so reclamation actually exercised the id-recycling
+///    paths rather than idling.
+/// 3. **Footprint.** The interned arena and L2 memo entries after the
+///    run obey the same ceilings as the batch soak — a long-lived server
+///    must not grow with the distinct-program count it has ever seen.
+struct ServerSoakResult {
+    programs: usize,
+    jobs: usize,
+    waves: u64,
+    advances: u64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    translation_hits: u64,
+    translation_misses: u64,
+    translations_evicted: u64,
+    memo: MemoStats,
+    polys_reclaimed: u64,
+    blocks_reclaimed: u64,
+    sched_entries_cleared: u64,
+    arena_symbols: usize,
+    arena_monomials: usize,
+    arena_polynomials: usize,
+    l2_entries: usize,
+    ok: bool,
+}
+
+/// The soak must reclaim across at least this many epochs to count.
+const SERVER_SOAK_MIN_ADVANCES: u64 = 3;
+
+fn bench_server_soak(smoke: bool) -> ServerSoakResult {
+    use presage_server::{Server, ServerConfig};
+    let n_programs = if smoke { 48 } else { 192 };
+    let machines = machines::all();
+    let programs: Vec<String> = (0..n_programs).map(soak_program).collect();
+    let n_jobs = n_programs * machines.len();
+
+    // The uncached oracle, computed before the server touches anything:
+    // fresh sema + translation + aggregation per job, no shared caches.
+    let oracle: Vec<Vec<String>> = programs
+        .iter()
+        .map(|src| {
+            machines
+                .iter()
+                .map(|m| {
+                    Predictor::new(m.clone())
+                        .predict_source(src)
+                        .expect("soak kernel predicts")[0]
+                        .total
+                        .to_string()
+                })
+                .collect()
+        })
+        .collect();
+
+    // The request stream, in the daemon's wire format (one JSON object
+    // per line; the writer escapes the embedded newlines).
+    let mut input = String::new();
+    for (pi, src) in programs.iter().enumerate() {
+        for (mi, m) in machines.iter().enumerate() {
+            let req = Json::Obj(vec![
+                ("id".into(), Json::Num((pi * machines.len() + mi) as f64)),
+                ("machine".into(), Json::Str(m.name().to_string())),
+                ("source".into(), Json::Str(src.clone())),
+            ]);
+            input.push_str(&req.to_string_compact());
+            input.push('\n');
+        }
+    }
+
+    let mut server = Server::new(ServerConfig {
+        workers: 8,
+        wave_size: 64,
+        advance_every: 1,
+    });
+    let mut out: Vec<u8> = Vec::new();
+    let stats = server
+        .run(std::io::Cursor::new(input.into_bytes()), &mut out)
+        .expect("in-memory server I/O cannot fail");
+
+    // Every response must be ok and bit-identical to its oracle.
+    let text = String::from_utf8(out).expect("server output is UTF-8");
+    let mut seen = 0usize;
+    for line in text.lines() {
+        let v = Json::parse(line).expect("server emits valid JSON");
+        if v.get("stats").is_some() {
+            continue;
+        }
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "soak job failed: {line}"
+        );
+        let id = v.get("id").and_then(Json::as_u64).expect("id echoes back") as usize;
+        let cost = v
+            .get("predictions")
+            .and_then(Json::as_arr)
+            .and_then(|preds| preds.first())
+            .and_then(|p| p.get("cost"))
+            .and_then(Json::as_str)
+            .expect("ok response carries a cost");
+        let (pi, mi) = (id / machines.len(), id % machines.len());
+        assert_eq!(
+            cost, oracle[pi][mi],
+            "server prediction diverged from the uncached oracle (program {pi}, machine {mi})"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, n_jobs, "every job must get exactly one response");
+
+    // Post-reclaim differential: arena slots from the early waves have
+    // been recycled by now, so a fresh predictor agreeing with the
+    // pre-run oracle proves reclamation never corrupted global state.
+    for (pi, src) in programs.iter().enumerate().take(n_programs.min(24)) {
+        for (mi, m) in machines.iter().enumerate() {
+            let fresh = Predictor::new(m.clone())
+                .predict_source(src)
+                .expect("soak kernel predicts")[0]
+                .total
+                .to_string();
+            assert_eq!(
+                fresh, oracle[pi][mi],
+                "post-reclaim divergence (program {pi}, machine {mi})"
+            );
+        }
+    }
+
+    let arena = presage_symbolic::arena_stats();
+    let l2_entries = presage_core::l2_memo_entries();
+    let arena_total = arena.symbols + arena.monomials + arena.polynomials;
+    ServerSoakResult {
+        programs: n_programs,
+        jobs: n_jobs,
+        waves: stats.waves,
+        advances: stats.advances,
+        latency_p50_us: stats.latency.p50_us,
+        latency_p99_us: stats.latency.p99_us,
+        translation_hits: stats.translation_hits,
+        translation_misses: stats.translation_misses,
+        translations_evicted: stats.translations_evicted,
+        memo: stats.memo,
+        polys_reclaimed: stats.polys_reclaimed,
+        blocks_reclaimed: stats.blocks_reclaimed,
+        sched_entries_cleared: stats.sched_entries_cleared,
+        arena_symbols: arena.symbols,
+        arena_monomials: arena.monomials,
+        arena_polynomials: arena.polynomials,
+        l2_entries,
+        ok: stats.advances >= SERVER_SOAK_MIN_ADVANCES
+            && arena_total <= SOAK_ARENA_CEILING
+            && l2_entries <= SOAK_L2_CEILING,
+    }
+}
+
+/// Runs the server-loop soak, writes `BENCH_server.json`, and returns
+/// whether the epoch/footprint gate held. Bit-identity violations panic
+/// inside [`bench_server_soak`] — a wrong answer is a bug, not a missed
+/// target.
+fn run_server_bench(cfg: &Config) -> bool {
+    eprintln!(
+        "perfsuite: server soak ({} mode, JSON-lines loop, epoch advance per wave)",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    let soak = bench_server_soak(cfg.smoke);
+    eprintln!(
+        "  {} programs × {} jobs over {} waves, {} advances: p50 {}us p99 {}us",
+        soak.programs,
+        soak.jobs,
+        soak.waves,
+        soak.advances,
+        soak.latency_p50_us,
+        soak.latency_p99_us
+    );
+    eprintln!(
+        "  reclaimed {} polys, {} blocks, {} sched entries; evicted {} translations ({} hits / {} misses)",
+        soak.polys_reclaimed,
+        soak.blocks_reclaimed,
+        soak.sched_entries_cleared,
+        soak.translations_evicted,
+        soak.translation_hits,
+        soak.translation_misses
+    );
+    eprintln!(
+        "  footprint after reclaim: arena {} syms + {} monos + {} polys, L2 memos {} entries  ({})",
+        soak.arena_symbols,
+        soak.arena_monomials,
+        soak.arena_polynomials,
+        soak.l2_entries,
+        if soak.ok {
+            "within ceilings"
+        } else {
+            "OVER CEILING / TOO FEW EPOCHS"
+        }
+    );
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("presage-server-bench-v1".into())),
+        (
+            "mode".into(),
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("programs".into(), Json::Num(soak.programs as f64)),
+        ("jobs".into(), Json::Num(soak.jobs as f64)),
+        ("waves".into(), Json::Num(soak.waves as f64)),
+        ("advances".into(), Json::Num(soak.advances as f64)),
+        (
+            "latency_us".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(soak.latency_p50_us as f64)),
+                ("p99".into(), Json::Num(soak.latency_p99_us as f64)),
+            ]),
+        ),
+        (
+            "translation".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(soak.translation_hits as f64)),
+                ("misses".into(), Json::Num(soak.translation_misses as f64)),
+                (
+                    "evicted".into(),
+                    Json::Num(soak.translations_evicted as f64),
+                ),
+            ]),
+        ),
+        (
+            "memo".into(),
+            Json::Obj(vec![
+                ("l1_hits".into(), Json::Num(soak.memo.l1_hits as f64)),
+                ("l2_hits".into(), Json::Num(soak.memo.l2_hits as f64)),
+                ("misses".into(), Json::Num(soak.memo.misses as f64)),
+            ]),
+        ),
+        (
+            "reclaimed".into(),
+            Json::Obj(vec![
+                ("polys".into(), Json::Num(soak.polys_reclaimed as f64)),
+                ("blocks".into(), Json::Num(soak.blocks_reclaimed as f64)),
+                (
+                    "sched_entries".into(),
+                    Json::Num(soak.sched_entries_cleared as f64),
+                ),
+            ]),
+        ),
+        (
+            "footprint".into(),
+            Json::Obj(vec![
+                ("arena_symbols".into(), Json::Num(soak.arena_symbols as f64)),
+                (
+                    "arena_monomials".into(),
+                    Json::Num(soak.arena_monomials as f64),
+                ),
+                (
+                    "arena_polynomials".into(),
+                    Json::Num(soak.arena_polynomials as f64),
+                ),
+                ("l2_entries".into(), Json::Num(soak.l2_entries as f64)),
+                ("arena_ceiling".into(), Json::Num(SOAK_ARENA_CEILING as f64)),
+                ("l2_ceiling".into(), Json::Num(SOAK_L2_CEILING as f64)),
+            ]),
+        ),
+        (
+            "min_advances".into(),
+            Json::Num(SERVER_SOAK_MIN_ADVANCES as f64),
+        ),
+        ("ok".into(), Json::Bool(soak.ok)),
+    ]);
+    if let Err(err) = std::fs::write(&cfg.server_out, report.to_string_pretty() + "\n") {
+        eprintln!("perfsuite: cannot write {}: {err}", cfg.server_out);
+        std::process::exit(1);
+    }
+    eprintln!("perfsuite: wrote {}", cfg.server_out);
+    if !soak.ok {
+        eprintln!(
+            "FAIL: server soak gate (advances {} >= {SERVER_SOAK_MIN_ADVANCES}, arena {} <= {SOAK_ARENA_CEILING}, L2 {} <= {SOAK_L2_CEILING})",
+            soak.advances,
+            soak.arena_symbols + soak.arena_monomials + soak.arena_polynomials,
+            soak.l2_entries
+        );
+        return false;
+    }
+    eprintln!(
+        "perfsuite: server soak gate met ({} advances, bit-identical to the uncached oracle)",
+        soak.advances
+    );
+    true
 }
 
 /// Translation micro-benchmark: source-level prediction throughput
@@ -1022,6 +1333,12 @@ fn main() {
 
     if cfg.search_only {
         if !run_search_bench(&cfg) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if cfg.server_only {
+        if !run_server_bench(&cfg) {
             std::process::exit(1);
         }
         return;

@@ -88,6 +88,14 @@ pub fn aggregate(
     library: Option<&LibraryCostTable>,
     opts: &AggregateOptions,
 ) -> PerfExpr {
+    // Pin for the whole aggregation so every symbolic op inside is a
+    // cheap reentrant re-pin, and no epoch advance reclaims state this
+    // prediction is still building keys from. Registering the L2 hook
+    // here (not at first memo use) keeps registration off the memo fast
+    // path.
+    ensure_sched_reclaimer();
+    let guard = presage_symbolic::epoch::pin();
+    sync_l1_epoch(guard.epoch());
     let agg = Aggregator {
         machine,
         library,
@@ -181,6 +189,53 @@ static TRIP_L2: LazyLock<ShardedMemo<u128, (Poly, Poly)>> =
 /// telemetry).
 pub(crate) fn l2_memo_entries() -> usize {
     PLACE_L2.len() + STEADY_L2.len() + TRIP_L2.len()
+}
+
+thread_local! {
+    /// Epoch the scheduling L1 memos were last validated against; see
+    /// [`sync_l1_epoch`].
+    static L1_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Clears the thread-local scheduling memos when the epoch has advanced
+/// since this thread last aggregated.
+///
+/// These L1s are content-keyed with self-contained values, so a stale
+/// entry is never *wrong* — but entries keyed by reclaimed block ids can
+/// never hit again (ids are never reused), and would otherwise pile up
+/// for the lifetime of a server worker thread. Epoch-stamping bounds
+/// them the same way the symbolic L1s are bounded.
+fn sync_l1_epoch(pin_epoch: u64) {
+    L1_EPOCH.with(|e| {
+        if e.get() != pin_epoch {
+            e.set(pin_epoch);
+            PROB_SYMS.with(|m| m.borrow_mut().clear());
+            TRIP_MEMO.with(|m| m.borrow_mut().clear());
+            SCHED_MEMO.with(|m| {
+                let mut m = m.borrow_mut();
+                m.place.clear();
+                m.steady.clear();
+            });
+        }
+    });
+}
+
+/// Registers (once per process) the epoch hook that wipes the scheduling
+/// L2s on every advance. Keys embed translation-arena block ids; after
+/// an advance reclaims blocks, entries keyed by the retired ids are
+/// permanently dead (ids are never reused), so the wipe trades warm
+/// entries for a hard bound on L2 growth across epochs.
+fn ensure_sched_reclaimer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        presage_symbolic::epoch::register_reclaimer("sched-l2", |_bound| {
+            let n = l2_memo_entries();
+            PLACE_L2.clear();
+            STEADY_L2.clear();
+            TRIP_L2.clear();
+            n
+        });
+    });
 }
 
 /// Encodes the full memo key into `memo.buf` and folds it into the

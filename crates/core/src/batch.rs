@@ -137,7 +137,16 @@ fn fan_out<J: Sync, R: Send>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // Prediction jobs catch their own panics (see
+                // `predict_batch_report`), so a worker-level panic means
+                // the fan-out infrastructure itself is broken — propagate
+                // it instead of silently dropping that worker's claims.
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
+            })
+            .collect()
     });
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(jobs.len(), || None);
@@ -181,13 +190,36 @@ pub fn predict_batch_report(
     workers: usize,
 ) -> BatchReport {
     let (results, worker_stats) = fan_out(jobs, workers, |(machine, source)| {
-        let predictor = Predictor::with_options((*machine).clone(), options.clone())
-            .with_translation_cache(Arc::clone(cache));
-        predictor.predict_source(source)
+        // Pin for the whole job so translation and aggregation observe
+        // one epoch interval: an `epoch::advance` racing the batch (the
+        // server advances between waves, not during them) waits this job
+        // out before reclaiming anything it might still be stamping.
+        let _epoch = presage_symbolic::epoch::pin();
+        // One panicking job must not take down the worker (and with it
+        // every other job in the wave): catch it and report it as this
+        // job's own typed error. Shared state is sharded-lock based and
+        // poison-recovering, so crossing the unwind boundary is benign.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let predictor = Predictor::with_options((*machine).clone(), options.clone())
+                .with_translation_cache(Arc::clone(cache));
+            predictor.predict_source(source)
+        }))
+        .unwrap_or_else(|payload| Err(PredictError::Internal(panic_message(&payload))))
     });
     BatchReport {
         results,
         workers: worker_stats,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "prediction worker panicked".to_string()
     }
 }
 

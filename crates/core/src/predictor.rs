@@ -35,6 +35,10 @@ pub enum PredictError {
     Frontend(FrontendError),
     /// Instruction translation failed.
     Translate(TranslateError),
+    /// The prediction pipeline panicked or hit an invariant violation.
+    /// Batch workers catch per-job panics and report them here so one
+    /// poisoned job cannot take down a server wave.
+    Internal(String),
 }
 
 impl fmt::Display for PredictError {
@@ -42,6 +46,7 @@ impl fmt::Display for PredictError {
         match self {
             PredictError::Frontend(e) => write!(f, "{e}"),
             PredictError::Translate(e) => write!(f, "{e}"),
+            PredictError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }

@@ -20,8 +20,12 @@
 //!   machine-specific back-end behavior), and one shared cache is sound
 //!   across all target machines simultaneously;
 //! - there is no invalidation story to get wrong: keys are content
-//!   hashes, values are immutable [`Arc<ProgramIr>`]s, and nothing is
-//!   ever evicted or mutated in place.
+//!   hashes and values are immutable [`Arc<ProgramIr>`]s. Entries carry
+//!   the epoch generation of their last use, so a long-lived server can
+//!   bound the table with [`TranslationCache::evict_older_than`] between
+//!   job waves; eviction only drops the table's reference — in-flight
+//!   holders keep their `Arc`, and a re-translated program simply
+//!   re-interns its blocks under fresh (never-reused) ids.
 //!
 //! The cached value already carries interned block ids
 //! ([`presage_translate::intern`]), so downstream scheduling-memo lookups
@@ -55,7 +59,9 @@ const SHARDS: usize = 16;
 /// the same mutex.
 #[derive(Debug)]
 pub struct TranslationCache {
-    shards: [Mutex<HashMap<u128, Arc<ProgramIr>>>; SHARDS],
+    /// Value: translation plus the epoch generation of its last hit or
+    /// insert (drives [`TranslationCache::evict_older_than`]).
+    shards: [Mutex<HashMap<u128, (Arc<ProgramIr>, u64)>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -106,19 +112,46 @@ impl TranslationCache {
     ) -> Result<Arc<ProgramIr>, PredictError> {
         let key = Self::key(machine, sub);
         let shard = &self.shards[key as usize % SHARDS];
-        if let Some(ir) = shard.lock().expect("translation cache lock").get(&key) {
+        let gen = presage_symbolic::epoch::current();
+        if let Some(entry) = shard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(&key)
+        {
+            // Re-stamp on hit so translations in active use survive
+            // generation-based eviction.
+            entry.1 = entry.1.max(gen);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(ir.clone());
+            return Ok(entry.0.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let symbols = sema::analyze(sub)?;
         let ir = Arc::new(translate(sub, &symbols, machine)?);
         shard
             .lock()
-            .expect("translation cache lock")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(key)
-            .or_insert_with(|| ir.clone());
+            .or_insert_with(|| (ir.clone(), gen));
         Ok(ir)
+    }
+
+    /// Drops entries whose generation is strictly below `bound` (as
+    /// reported by `presage_symbolic::epoch::advance`), returning how
+    /// many were evicted. The server calls this between job waves to
+    /// bound the cache under millions of distinct programs; in-flight
+    /// holders of an evicted translation keep their [`Arc`].
+    pub fn evict_older_than(&self, bound: u64) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let before = shard.len();
+            shard.retain(|_, (_, gen)| *gen >= bound);
+            evicted += before - shard.len();
+        }
+        evicted
     }
 
     /// Number of translations served from the table.
@@ -135,7 +168,7 @@ impl TranslationCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("translation cache lock").len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 
@@ -147,7 +180,7 @@ impl TranslationCache {
     /// Drops all memoized translations and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("translation cache lock").clear();
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);

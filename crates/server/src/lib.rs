@@ -1,0 +1,617 @@
+//! A JSON-lines prediction daemon over the batch prediction engine.
+//!
+//! The paper's workload is a restructurer calling the predictor
+//! "repeatedly during restructuring" (§3.2). This crate packages that
+//! workload as a long-lived process: clients stream `(machine, source)`
+//! jobs as JSON objects, one per line, and receive one response line per
+//! job — the symbolic cost expression of every subroutine, or a typed
+//! error. Jobs are grouped into *waves* and multiplexed onto
+//! [`Predictor::predict_batch`]'s work-stealing workers, so a wave of
+//! restructuring candidates shares the translation cache, the global
+//! polynomial arena, and the two-level memo tables.
+//!
+//! What makes a *long-lived* server possible at all is the epoch
+//! reclamation underneath (`presage_symbolic::epoch`): between waves the
+//! server advances the epoch, which reclaims retired polynomial arena
+//! slots and translation-arena blocks and wipes the id-keyed memo
+//! tables, then evicts translation-cache entries whose generation fell
+//! behind. Footprint is therefore bounded by the working set of a few
+//! recent waves, not by the total number of distinct programs ever seen
+//! — the unbounded-growth bug the epoch layer exists to fix.
+//!
+//! # Protocol
+//!
+//! Request (one line):
+//!
+//! ```json
+//! {"id": 7, "machine": "power-like", "source": "subroutine s(...)..."}
+//! ```
+//!
+//! - `machine` — a built-in machine name ([`machines::by_name`]) or one
+//!   registered with [`Server::with_machine`];
+//! - `source` — mini-Fortran source text (may contain `\n` escapes);
+//! - `id` — optional, echoed verbatim in the response.
+//!
+//! Response (one line per request, in request order):
+//!
+//! ```json
+//! {"id":7,"ok":true,"us":412,"predictions":[{"name":"s","cost":"4 + 11*n","concrete":false}]}
+//! {"id":8,"ok":false,"kind":"machine","error":"unknown machine `vax`"}
+//! ```
+//!
+//! After EOF the server writes one final `{"stats": ...}` line with
+//! latency percentiles and cache/memo/arena telemetry, then returns the
+//! same [`ServerStats`] to the caller.
+
+use presage_core::batch::default_workers;
+use presage_core::predictor::{PredictError, Predictor, PredictorOptions};
+use presage_core::transcache::TranslationCache;
+use presage_machine::json::Json;
+use presage_machine::{machines, MachineDesc};
+use presage_symbolic::memo::MemoStats;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads per wave (see
+    /// [`presage_core::batch::predict_batch`]); 1 runs waves inline.
+    pub workers: usize,
+    /// Maximum jobs per wave. Responses for a wave are written together,
+    /// so this bounds both batching gain and per-request latency.
+    pub wave_size: usize,
+    /// Advance the reclamation epoch every this many waves (0 disables —
+    /// footprint then grows with the distinct-program count, which is
+    /// only safe for short-lived runs).
+    pub advance_every: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: default_workers(),
+            wave_size: 64,
+            advance_every: 1,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+struct Job {
+    /// Echoed back verbatim ([`Json::Null`] when absent).
+    id: Json,
+    machine: String,
+    source: String,
+}
+
+/// Why a request failed before (or during) prediction. The tag appears
+/// as the `kind` member of error responses so clients can distinguish
+/// their bugs (`parse`, `machine`) from program errors (`frontend`,
+/// `translate`) and server bugs (`internal`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ErrorKind {
+    Parse,
+    Machine,
+    Frontend,
+    Translate,
+    Internal,
+}
+
+impl ErrorKind {
+    fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Machine => "machine",
+            ErrorKind::Frontend => "frontend",
+            ErrorKind::Translate => "translate",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn of(err: &PredictError) -> ErrorKind {
+        match err {
+            PredictError::Frontend(_) => ErrorKind::Frontend,
+            PredictError::Translate(_) => ErrorKind::Translate,
+            PredictError::Internal(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+/// Latency percentiles over every completed request, in microseconds.
+/// A request's latency runs from the moment its line was read to the
+/// moment its response line was formatted (its whole wave included).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst request.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_sorted(sorted_us: &[u64]) -> LatencySummary {
+        let pick = |p: usize| {
+            if sorted_us.is_empty() {
+                0
+            } else {
+                sorted_us[(sorted_us.len() - 1) * p / 100]
+            }
+        };
+        LatencySummary {
+            p50_us: pick(50),
+            p90_us: pick(90),
+            p99_us: pick(99),
+            max_us: sorted_us.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// End-of-stream telemetry, also emitted as the final `{"stats": ...}`
+/// response line.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Request lines consumed (including malformed ones).
+    pub jobs: u64,
+    /// Requests answered `ok:true`.
+    pub ok: u64,
+    /// Requests answered `ok:false`.
+    pub failed: u64,
+    /// Waves dispatched.
+    pub waves: u64,
+    /// Epoch advances performed between waves.
+    pub advances: u64,
+    /// Per-request latency percentiles.
+    pub latency: LatencySummary,
+    /// Translation-cache hits over the whole run.
+    pub translation_hits: u64,
+    /// Translation-cache misses over the whole run.
+    pub translation_misses: u64,
+    /// Translation-cache entries evicted by generation between waves.
+    pub translations_evicted: u64,
+    /// Two-level memo telemetry summed over every wave's workers.
+    pub memo: MemoStats,
+    /// Polynomial-arena slots reclaimed by this server's advances.
+    pub polys_reclaimed: u64,
+    /// Translation-arena blocks reclaimed by this server's advances.
+    pub blocks_reclaimed: u64,
+    /// Scheduling-L2 entries wiped by this server's advances.
+    pub sched_entries_cleared: u64,
+}
+
+impl ServerStats {
+    /// The stats line payload.
+    pub fn to_json(&self) -> Json {
+        let num = |n: u64| Json::Num(n as f64);
+        Json::Obj(vec![(
+            "stats".into(),
+            Json::Obj(vec![
+                ("jobs".into(), num(self.jobs)),
+                ("ok".into(), num(self.ok)),
+                ("failed".into(), num(self.failed)),
+                ("waves".into(), num(self.waves)),
+                ("advances".into(), num(self.advances)),
+                (
+                    "latency_us".into(),
+                    Json::Obj(vec![
+                        ("p50".into(), num(self.latency.p50_us)),
+                        ("p90".into(), num(self.latency.p90_us)),
+                        ("p99".into(), num(self.latency.p99_us)),
+                        ("max".into(), num(self.latency.max_us)),
+                    ]),
+                ),
+                (
+                    "translation".into(),
+                    Json::Obj(vec![
+                        ("hits".into(), num(self.translation_hits)),
+                        ("misses".into(), num(self.translation_misses)),
+                        ("evicted".into(), num(self.translations_evicted)),
+                    ]),
+                ),
+                (
+                    "memo".into(),
+                    Json::Obj(vec![
+                        ("l1_hits".into(), num(self.memo.l1_hits)),
+                        ("l2_hits".into(), num(self.memo.l2_hits)),
+                        ("misses".into(), num(self.memo.misses)),
+                    ]),
+                ),
+                (
+                    "reclaimed".into(),
+                    Json::Obj(vec![
+                        ("polys".into(), num(self.polys_reclaimed)),
+                        ("blocks".into(), num(self.blocks_reclaimed)),
+                        ("sched_entries".into(), num(self.sched_entries_cleared)),
+                    ]),
+                ),
+            ]),
+        )])
+    }
+}
+
+/// One pending request of the current wave.
+struct Pending {
+    enqueued: Instant,
+    parsed: Result<Job, String>,
+}
+
+/// The prediction daemon: owns the shared translation cache, the machine
+/// registry, and the prediction options; [`Server::run`] drives one
+/// request stream through it. Run multiple streams through one `Server`
+/// to share caches across connections.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    options: PredictorOptions,
+    cache: Arc<TranslationCache>,
+    machines: HashMap<String, MachineDesc>,
+}
+
+impl Default for Server {
+    fn default() -> Server {
+        Server::new(ServerConfig::default())
+    }
+}
+
+impl Server {
+    /// A server with default prediction options and the built-in machine
+    /// registry.
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            config,
+            options: PredictorOptions::default(),
+            cache: Arc::new(TranslationCache::new()),
+            machines: HashMap::new(),
+        }
+    }
+
+    /// Overrides the prediction options (memory model, library table,
+    /// aggregation knobs).
+    pub fn with_options(mut self, options: PredictorOptions) -> Server {
+        self.options = options;
+        self
+    }
+
+    /// Registers a machine beyond the built-ins; requests resolve
+    /// `machine` names here first.
+    pub fn with_machine(mut self, machine: MachineDesc) -> Server {
+        self.machines.insert(machine.name().to_string(), machine);
+        self
+    }
+
+    /// The shared translation cache (telemetry / tests).
+    pub fn translation_cache(&self) -> &Arc<TranslationCache> {
+        &self.cache
+    }
+
+    /// Serves one request stream to completion: reads JSON-lines jobs
+    /// from `input` until EOF, writes one response line per job plus a
+    /// final stats line to `output`, and returns the run's telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors on `input`/`output` abort the run; per-job
+    /// failures of any kind become `ok:false` response lines.
+    pub fn run<R: BufRead, W: Write>(
+        &mut self,
+        input: R,
+        output: &mut W,
+    ) -> std::io::Result<ServerStats> {
+        let mut stats = ServerStats::default();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut wave: Vec<Pending> = Vec::new();
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            stats.jobs += 1;
+            wave.push(Pending {
+                enqueued: Instant::now(),
+                parsed: parse_job(&line),
+            });
+            if wave.len() >= self.config.wave_size.max(1) {
+                self.dispatch(&mut wave, output, &mut stats, &mut latencies)?;
+            }
+        }
+        if !wave.is_empty() {
+            self.dispatch(&mut wave, output, &mut stats, &mut latencies)?;
+        }
+        latencies.sort_unstable();
+        stats.latency = LatencySummary::from_sorted(&latencies);
+        stats.translation_hits = self.cache.hits();
+        stats.translation_misses = self.cache.misses();
+        writeln!(output, "{}", stats.to_json().to_string_compact())?;
+        output.flush()?;
+        Ok(stats)
+    }
+
+    /// Runs one wave: resolves machines, fans the well-formed jobs out
+    /// over the batch workers, writes responses in request order, then
+    /// advances the reclamation epoch when the schedule says so.
+    fn dispatch<W: Write>(
+        &mut self,
+        wave: &mut Vec<Pending>,
+        output: &mut W,
+        stats: &mut ServerStats,
+        latencies: &mut Vec<u64>,
+    ) -> std::io::Result<()> {
+        // Resolve built-in machine names first (needs `&mut self.machines`,
+        // so it cannot overlap the batch borrow below).
+        for p in wave.iter() {
+            if let Ok(job) = &p.parsed {
+                if !self.machines.contains_key(&job.machine) {
+                    if let Some(m) = machines::by_name(&job.machine) {
+                        self.machines.insert(job.machine.clone(), m);
+                    }
+                }
+            }
+        }
+        let mut batch: Vec<(&MachineDesc, &str)> = Vec::new();
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(wave.len());
+        for p in wave.iter() {
+            slots.push(match &p.parsed {
+                Ok(job) => self.machines.get(&job.machine).map(|m| {
+                    batch.push((m, &job.source));
+                    batch.len() - 1
+                }),
+                Err(_) => None,
+            });
+        }
+        let report = Predictor::predict_batch_report(
+            &batch,
+            &self.options,
+            &self.cache,
+            self.config.workers,
+        );
+        stats.memo = stats.memo.merged(&report.memo_totals());
+        let mut results: Vec<Option<_>> = report.results.into_iter().map(Some).collect();
+        for (p, slot) in wave.iter().zip(&slots) {
+            let response = match (&p.parsed, slot) {
+                (Err(msg), _) => error_json(&Json::Null, ErrorKind::Parse, msg),
+                (Ok(job), None) => error_json(
+                    &job.id,
+                    ErrorKind::Machine,
+                    &format!("unknown machine `{}`", job.machine),
+                ),
+                (Ok(job), Some(i)) => {
+                    let result = results[*i].take().expect("each batch slot consumed once");
+                    let us = p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    latencies.push(us);
+                    match result {
+                        Ok(predictions) => ok_json(&job.id, us, &predictions),
+                        Err(e) => error_json(&job.id, ErrorKind::of(&e), &e.to_string()),
+                    }
+                }
+            };
+            if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                stats.ok += 1;
+            } else {
+                stats.failed += 1;
+            }
+            writeln!(output, "{}", response.to_string_compact())?;
+        }
+        output.flush()?;
+        wave.clear();
+        stats.waves += 1;
+        if self.config.advance_every > 0 && stats.waves % self.config.advance_every as u64 == 0 {
+            let report = presage_symbolic::epoch::advance();
+            stats.advances += 1;
+            for entry in &report.reclaimed {
+                match entry.name {
+                    "poly" => stats.polys_reclaimed += entry.reclaimed as u64,
+                    "blockir" => stats.blocks_reclaimed += entry.reclaimed as u64,
+                    "sched-l2" => stats.sched_entries_cleared += entry.reclaimed as u64,
+                    _ => {}
+                }
+            }
+            stats.translations_evicted += self.cache.evict_older_than(report.retire_before) as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one request line.
+fn parse_job(line: &str) -> Result<Job, String> {
+    let v = Json::parse(line)?;
+    if v.as_obj().is_none() {
+        return Err("request must be a JSON object".into());
+    }
+    let field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string `{name}`"))
+    };
+    Ok(Job {
+        id: v.get("id").cloned().unwrap_or(Json::Null),
+        machine: field("machine")?,
+        source: field("source")?,
+    })
+}
+
+/// A success response line.
+fn ok_json(id: &Json, us: u64, predictions: &[presage_core::predictor::Prediction]) -> Json {
+    let preds = predictions
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(p.name.clone())),
+                ("cost".into(), Json::Str(p.total.to_string())),
+                ("concrete".into(), Json::Bool(p.total.is_concrete())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(true)),
+        ("us".into(), Json::Num(us as f64)),
+        ("predictions".into(), Json::Arr(preds)),
+    ])
+}
+
+/// A failure response line.
+fn error_json(id: &Json, kind: ErrorKind, message: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(false)),
+        ("kind".into(), Json::Str(kind.tag().into())),
+        ("error".into(), Json::Str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AXPY: &str = "subroutine axpy(y, x, a, n)\\nreal y(n), x(n), a\\ninteger i, n\\ndo i = 1, n\\ny(i) = y(i) + a * x(i)\\nend do\\nend";
+
+    fn serve(input: &str, config: ServerConfig) -> (Vec<Json>, ServerStats) {
+        let mut server = Server::new(config);
+        let mut out = Vec::new();
+        let stats = server.run(input.as_bytes(), &mut out).unwrap();
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        (lines, stats)
+    }
+
+    #[test]
+    fn serves_predictions_in_request_order() {
+        let input = format!(
+            "{{\"id\": 1, \"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n{{\"id\": 2, \"machine\": \"risc1\", \"source\": \"{AXPY}\"}}\n"
+        );
+        let (lines, stats) = serve(&input, ServerConfig::default());
+        assert_eq!(lines.len(), 3, "two responses plus the stats line");
+        for (i, line) in lines[..2].iter().enumerate() {
+            assert_eq!(line.get("id").and_then(Json::as_u64), Some(i as u64 + 1));
+            assert_eq!(line.get("ok").and_then(Json::as_bool), Some(true));
+            let preds = line.get("predictions").unwrap().as_arr().unwrap();
+            assert_eq!(preds[0].get("name").and_then(Json::as_str), Some("axpy"));
+            assert_eq!(
+                preds[0].get("concrete").and_then(Json::as_bool),
+                Some(false)
+            );
+        }
+        assert!(lines[2].get("stats").is_some());
+        assert_eq!((stats.jobs, stats.ok, stats.failed), (2, 2, 0));
+    }
+
+    #[test]
+    fn response_cost_matches_direct_prediction() {
+        let input = format!("{{\"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n");
+        let (lines, _) = serve(&input, ServerConfig::default());
+        let served = lines[0].get("predictions").unwrap().as_arr().unwrap()[0]
+            .get("cost")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let direct = Predictor::new(machines::power_like())
+            .predict_source(&AXPY.replace("\\n", "\n"))
+            .unwrap()[0]
+            .total
+            .to_string();
+        assert_eq!(served, direct);
+    }
+
+    #[test]
+    fn malformed_and_unknown_jobs_fail_without_poisoning_the_wave() {
+        // One wave: garbage JSON, valid JSON with garbage source, unknown
+        // machine, then a good job — the good job must still be served.
+        let input = format!(
+            "this is not json\n{{\"id\": \"bad\", \"machine\": \"power-like\", \"source\": \"subroutine s(\\nend\"}}\n{{\"id\": 3, \"machine\": \"vax\", \"source\": \"{AXPY}\"}}\n{{\"id\": 4, \"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n"
+        );
+        let (lines, stats) = serve(&input, ServerConfig::default());
+        let kind = |i: usize| {
+            lines[i]
+                .get("kind")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(lines[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(kind(0).as_deref(), Some("parse"));
+        assert_eq!(kind(1).as_deref(), Some("frontend"));
+        assert_eq!(kind(2).as_deref(), Some("machine"));
+        assert!(lines[2]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("vax"));
+        assert_eq!(lines[3].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!((stats.ok, stats.failed), (1, 3));
+    }
+
+    #[test]
+    fn missing_fields_are_parse_errors() {
+        let (lines, _) = serve(
+            "{\"machine\": \"power-like\"}\n{\"source\": \"x\"}\n",
+            ServerConfig::default(),
+        );
+        for line in &lines[..2] {
+            assert_eq!(line.get("kind").and_then(Json::as_str), Some("parse"));
+        }
+    }
+
+    #[test]
+    fn waves_advance_epochs_and_keep_serving() {
+        // Three waves of two jobs with advance_every=1: the server must
+        // advance between waves and every job must still come back right.
+        let mut input = String::new();
+        for i in 0..6 {
+            let src = format!(
+                "subroutine w{i}(a, n)\\nreal a(n)\\ninteger i, n\\ndo i = 1, n\\na(i) = a(i) + {i}.0\\nend do\\nend"
+            );
+            input.push_str(&format!(
+                "{{\"id\": {i}, \"machine\": \"power-like\", \"source\": \"{src}\"}}\n"
+            ));
+        }
+        let config = ServerConfig {
+            workers: 2,
+            wave_size: 2,
+            advance_every: 1,
+        };
+        let (lines, stats) = serve(&input, config);
+        assert_eq!(stats.waves, 3);
+        assert_eq!(stats.advances, 3);
+        assert_eq!(stats.ok, 6);
+        for (i, line) in lines[..6].iter().enumerate() {
+            assert_eq!(line.get("id").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(
+                line.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_machine_registration() {
+        use presage_machine::{MachineBuilder, UnitClass, UnitCost};
+        let mut b = MachineBuilder::new("toy-server");
+        b.unit(UnitClass::Alu, 1);
+        let add = b.atomic("add", vec![UnitCost::new(UnitClass::Alu, 1, 0)]);
+        b.map_all_to(add);
+        let mut server = Server::new(ServerConfig::default()).with_machine(b.build().unwrap());
+        let input = format!("{{\"machine\": \"toy-server\", \"source\": \"{AXPY}\"}}\n");
+        let mut out = Vec::new();
+        let stats = server.run(input.as_bytes(), &mut out).unwrap();
+        assert_eq!((stats.ok, stats.failed), (1, 0));
+    }
+
+    #[test]
+    fn empty_stream_emits_only_stats() {
+        let (lines, stats) = serve("\n  \n", ServerConfig::default());
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].get("stats").is_some());
+        assert_eq!(stats.jobs, 0);
+    }
+}

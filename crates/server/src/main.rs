@@ -1,0 +1,101 @@
+//! `presage-server` — the JSON-lines prediction daemon.
+//!
+//! ```text
+//! presage-server [--workers N] [--wave N] [--advance-every N] [--listen ADDR]
+//! ```
+//!
+//! Without `--listen`, serves one request stream on stdin/stdout (the
+//! mode `scripts/ci.sh --server-only` and the perfsuite soak drive).
+//! With `--listen HOST:PORT`, accepts TCP connections and serves them
+//! sequentially, sharing one translation cache — and one reclamation
+//! epoch timeline — across connections; each connection is its own
+//! JSON-lines stream ended by the client's shutdown.
+
+use presage_server::{Server, ServerConfig};
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!("usage: presage-server [--workers N] [--wave N] [--advance-every N] [--listen ADDR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut listen: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workers" => config.workers = num("--workers").max(1),
+            "--wave" => config.wave_size = num("--wave").max(1),
+            "--advance-every" => config.advance_every = num("--advance-every"),
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let mut server = Server::new(config);
+    let result = match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.run(stdin.lock(), &mut stdout.lock())
+        }
+        Some(addr) => serve_tcp(&mut server, &addr),
+    };
+    match result {
+        Ok(stats) => {
+            eprintln!(
+                "presage-server: {} jobs ({} ok, {} failed), {} waves, {} advances, p50 {}us p99 {}us",
+                stats.jobs,
+                stats.ok,
+                stats.failed,
+                stats.waves,
+                stats.advances,
+                stats.latency.p50_us,
+                stats.latency.p99_us,
+            );
+        }
+        Err(e) => {
+            eprintln!("presage-server: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Accepts connections forever (exits only on a listener error), serving
+/// each as one JSON-lines stream. Returns the last connection's stats if
+/// the listener dies; under normal operation this never returns.
+fn serve_tcp(server: &mut Server, addr: &str) -> std::io::Result<presage_server::ServerStats> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("presage-server: listening on {addr}");
+    let mut last = presage_server::ServerStats::default();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let peer = stream.peer_addr()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        match server.run(reader, &mut writer) {
+            Ok(stats) => {
+                eprintln!(
+                    "presage-server: {peer} closed after {} jobs ({} ok)",
+                    stats.jobs, stats.ok
+                );
+                last = stats;
+            }
+            Err(e) => eprintln!("presage-server: {peer}: {e}"),
+        }
+        let _ = writer.flush();
+    }
+    Ok(last)
+}

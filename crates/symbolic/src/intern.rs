@@ -33,16 +33,36 @@
 //!   are published with release stores and whose length is the
 //!   release/acquire fence. Readers index straight into shared memory.
 //!
-//! Entries leak their canonical data (`&'static Monomial`, `&'static`
-//! term slices) so every thread reads the same storage without ownership
-//! gymnastics; the leak is bounded by the number of distinct shapes ever
-//! created — tiny for monomials, and capped for polynomials: each poly
-//! shard holds at most [`POLY_ARENA_CAP`]`/`[`NUM_SHARDS`] entries, past
-//! which [`intern_poly`] reports [`POLY_UNINTERNED`] for shapes hashing
-//! into that shard and callers fall back to direct (unmemoized)
-//! computation. The cap total across shards is exactly the old global
-//! [`POLY_ARENA_CAP`]; a pathological workload fills shards independently
-//! instead of stalling every worker on one global eviction.
+//! # Lifecycle: immortal monomials, epoch-confined polynomials
+//!
+//! Symbol and monomial entries leak their canonical data (`&'static
+//! Monomial`, `&'static` factor lists) so every thread reads the same
+//! storage without ownership gymnastics. That leak is deliberate and
+//! bounded: [`crate::Poly`] values embed `MonoId`s and outlive any job,
+//! so those two tables must stay append-only forever, and their growth is
+//! limited by the number of distinct variable names × exponent shapes
+//! ever seen — structurally tiny.
+//!
+//! Polynomial entries are different: a `PolyId` only ever lives in memo
+//! keys/values and in-flight computation (never inside a `Poly`), so the
+//! poly shards participate in [`crate::epoch`]-based reclamation instead
+//! of leaking. Every entry carries the *generation* (epoch) in which it
+//! was last interned or re-interned; [`reclaim_polys`] — called from
+//! `epoch::advance` after every `PolyId`-bearing L2 memo has been
+//! cleared — frees the term slices of entries retired by every active
+//! pin and recycles their slots through a per-shard free list. Slot reuse
+//! means a numeric id can name different content across generations;
+//! that is sound because the epoch protocol guarantees no retired id
+//! survives anywhere reachable (L2s cleared on advance, thread-local L1s
+//! epoch-stamped, stack-held ids covered by their thread's pin).
+//!
+//! Each poly shard additionally caps its *live* entry count at
+//! [`POLY_ARENA_CAP`]`/`[`NUM_SHARDS`]; past the cap [`intern_poly`]
+//! reports [`POLY_UNINTERNED`] for shapes hashing into that shard and
+//! callers fall back to direct (unmemoized) computation until the next
+//! epoch advance frees room. A pathological workload fills shards
+//! independently instead of stalling every worker on one global
+//! eviction.
 
 use crate::monomial::Monomial;
 use crate::symbol::Symbol;
@@ -51,7 +71,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Interned symbol id: packed `(index, shard)` into the symbol table.
@@ -89,6 +109,32 @@ pub(crate) const POLY_ARENA_CAP: usize = 1 << 20;
 /// Per-shard polynomial capacity. Indices therefore stay at most 16 bits,
 /// so a packed poly id can never reach [`POLY_UNINTERNED`].
 const POLY_SHARD_CAP: usize = POLY_ARENA_CAP / NUM_SHARDS;
+
+/// Test-only override of the per-shard poly cap (`0` = use the default).
+/// Lives behind a runtime atomic because `cfg(test)` does not cross crate
+/// boundaries and the cap-pressure tests drive shards past capacity.
+static POLY_SHARD_CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn poly_shard_cap() -> usize {
+    match POLY_SHARD_CAP_OVERRIDE.load(Ordering::Relaxed) {
+        0 => POLY_SHARD_CAP,
+        n => n,
+    }
+}
+
+/// Overrides the per-shard live-entry cap of the polynomial arena.
+/// Test hook only — pass `0` to restore the default.
+#[doc(hidden)]
+pub fn set_poly_shard_cap_for_tests(cap: usize) {
+    POLY_SHARD_CAP_OVERRIDE.store(cap, Ordering::Relaxed);
+}
+
+/// Generation stamp of a vacant (reclaimed, not yet reused) poly slot.
+const VACANT_GEN: u64 = u64::MAX;
+
+/// Cumulative count of polynomial entries reclaimed by [`reclaim_polys`].
+static POLYS_RECLAIMED: AtomicUsize = AtomicUsize::new(0);
 
 /// Thread-local key→id caches and op memos clear (not evict) past this
 /// size; the workloads here never approach it, it only guards against
@@ -242,6 +288,25 @@ impl<T: Copy> SlotArena<T> {
         self.len.store(idx + 1, Ordering::Release);
         idx
     }
+
+    /// Overwrites an existing slot (free-list reuse). Must be called while
+    /// holding the owning shard's mutex with `idx < len`.
+    ///
+    /// Unlike `push` there is no length fence to publish the write; the
+    /// caller's epoch protocol must guarantee that (a) no thread still
+    /// holds an id naming the slot's previous occupant, and (b) the new id
+    /// reaches readers only through a synchronizing handoff (the shard
+    /// mutex, an L2 memo mutex, a scoped-thread join) that happens-after
+    /// this write.
+    fn replace(&self, idx: u32, value: T) {
+        debug_assert!(idx < self.len.load(Ordering::Relaxed));
+        let (k, off) = Self::locate(idx);
+        let ptr = self.buckets[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        // SAFETY: `idx < len` so the bucket is allocated and the slot in
+        // bounds; exclusivity and reader visibility per the doc contract.
+        unsafe { ptr.add(off).write(value) };
+    }
 }
 
 // ---- sharded tables ---------------------------------------------------------
@@ -285,10 +350,52 @@ impl<K: Hash + Eq, T: Copy> ShardTab<K, T> {
     }
 }
 
+/// Book-keeping for one polynomial shard, all guarded by one mutex:
+/// content → id map (live entries only), per-slot generation stamps
+/// ([`VACANT_GEN`] marks reclaimed slots), and the free list of
+/// recyclable slot indices.
+#[derive(Default)]
+struct PolyState {
+    map: HashMap<Box<[(MonoId, Rational)]>, u32>,
+    gens: Vec<u64>,
+    free: Vec<u32>,
+}
+
+/// One polynomial shard: locked state plus the lock-free slot storage
+/// resolved ids read from. Unlike [`ShardTab`], slots here are *recycled*
+/// across epochs (see the module docs for why that is sound).
+struct PolyShard {
+    state: Mutex<PolyState>,
+    slots: SlotArena<PolyTerms>,
+}
+
+impl PolyShard {
+    fn new() -> PolyShard {
+        PolyShard {
+            state: Mutex::new(PolyState::default()),
+            slots: SlotArena::new(),
+        }
+    }
+
+    /// Resolves a slot index to its term slice; same synchronization
+    /// contract as [`ShardTab::entry`].
+    fn entry(&self, idx: u32) -> PolyTerms {
+        if idx < self.slots.len() {
+            return self.slots.get(idx);
+        }
+        drop(self.state.lock().unwrap_or_else(|e| e.into_inner()));
+        assert!(
+            idx < self.slots.len(),
+            "interned poly id {idx} beyond published table length"
+        );
+        self.slots.get(idx)
+    }
+}
+
 struct Tables {
     syms: [ShardTab<Symbol, &'static Symbol>; NUM_SHARDS],
     monos: [ShardTab<Box<[(SymId, i32)]>, MonoEntry>; NUM_SHARDS],
-    polys: [ShardTab<Box<[(MonoId, Rational)]>, PolyTerms>; NUM_SHARDS],
+    polys: [PolyShard; NUM_SHARDS],
     /// Shard selector; per-process random keys are fine — ids are
     /// process-local — and hardened against adversarial shard pile-up.
     hasher: RandomState,
@@ -299,7 +406,7 @@ impl Tables {
         let t = Tables {
             syms: std::array::from_fn(|_| ShardTab::new()),
             monos: std::array::from_fn(|_| ShardTab::new()),
-            polys: std::array::from_fn(|_| ShardTab::new()),
+            polys: std::array::from_fn(|_| PolyShard::new()),
             hasher: RandomState::new(),
         };
         // Pre-seed MONO_ONE at shard 0, slot 0: the empty factor list is
@@ -342,6 +449,10 @@ struct Local {
     sym_ids: HashMap<Symbol, SymId>,
     mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
     poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
+    /// Pin epoch `poly_ids` was last validated at: poly ids are
+    /// epoch-confined, so the L1 self-clears on the first intern under a
+    /// newer pin (before any stale id could be returned).
+    poly_epoch: u64,
     mul_cache: HashMap<(MonoId, MonoId), MonoId>,
     split_cache: HashMap<(MonoId, SymId), (i32, MonoId)>,
     scratch: Vec<Vec<(MonoId, Rational)>>,
@@ -424,32 +535,121 @@ fn intern_factors_in(l: &mut Local, fs: &[(SymId, i32)]) -> MonoId {
 
 /// Interns a canonical (id-sorted, zero-free) polynomial term slice.
 /// Returns [`POLY_UNINTERNED`] once the target shard holds its share of
-/// [`POLY_ARENA_CAP`] distinct polynomials; callers must then skip
-/// memoization for this shape.
-fn intern_poly_in(l: &mut Local, terms: &[(MonoId, Rational)]) -> PolyId {
+/// [`POLY_ARENA_CAP`] *live* polynomials; callers must then skip
+/// memoization for this shape until an epoch advance frees room.
+///
+/// `pin_epoch` is the calling thread's validated pin: it gates the L1
+/// cache (cleared on the first call under a newer pin) and lower-bounds
+/// the generation stamp written to the arena.
+fn intern_poly_in(l: &mut Local, terms: &[(MonoId, Rational)], pin_epoch: u64) -> PolyId {
+    if l.poly_epoch != pin_epoch {
+        l.poly_ids.clear();
+        l.poly_epoch = pin_epoch;
+    }
     if let Some(&id) = l.poly_ids.get(terms) {
         return id;
     }
     let t = tables();
     let shard_no = t.shard_for(terms);
     let shard = &t.polys[shard_no];
-    let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
-    let id = match map.get(terms) {
-        Some(&id) => id,
+    let mut st = shard.state.lock().unwrap_or_else(|e| e.into_inner());
+    let id = match st.map.get(terms) {
+        Some(&id) => {
+            // Re-stamp on hit so shapes in active use survive the next
+            // advance. `current()` cannot lag the pin (same-thread
+            // coherence after the pin's SeqCst load), so the stamp never
+            // moves backwards past the reclaim bound.
+            let slot = index_of(id) as usize;
+            let gen = crate::epoch::current().max(pin_epoch);
+            st.gens[slot] = st.gens[slot].max(gen);
+            id
+        }
         None => {
-            if map.len() >= POLY_SHARD_CAP {
+            if st.map.len() >= poly_shard_cap() {
                 return POLY_UNINTERNED;
             }
             let leaked: PolyTerms = Box::leak(terms.to_vec().into_boxed_slice());
-            let idx = shard.slots.push(leaked);
+            let gen = crate::epoch::current().max(pin_epoch);
+            let idx = match st.free.pop() {
+                Some(idx) => {
+                    // Recycle a reclaimed slot: sound because no thread
+                    // can still hold the retired id (see module docs).
+                    shard.slots.replace(idx, leaked);
+                    st.gens[idx as usize] = gen;
+                    idx
+                }
+                None => {
+                    let idx = shard.slots.push(leaked);
+                    debug_assert_eq!(st.gens.len(), idx as usize);
+                    st.gens.push(gen);
+                    idx
+                }
+            };
             let id = pack_id(shard_no, idx);
-            map.insert(terms.to_vec().into_boxed_slice(), id);
+            st.map.insert(terms.to_vec().into_boxed_slice(), id);
             id
         }
     };
-    drop(map);
+    drop(st);
     cache_insert(&mut l.poly_ids, terms.to_vec().into_boxed_slice(), id);
     id
+}
+
+/// Frees polynomial-arena entries whose generation is strictly below
+/// `retire_before`, recycling their slots. Called only from
+/// [`crate::epoch::advance`], *after* every `PolyId`-bearing L2 memo has
+/// been cleared — that ordering (plus epoch-stamped L1s and active-pin
+/// accounting in the bound) is what makes freeing the leaked term slices
+/// sound. Returns the number of entries freed.
+pub(crate) fn reclaim_polys(retire_before: u64) -> usize {
+    if retire_before == 0 {
+        return 0;
+    }
+    let t = tables();
+    let mut freed = 0usize;
+    for shard in &t.polys {
+        let mut st = shard.state.lock().unwrap_or_else(|e| e.into_inner());
+        let PolyState { map, gens, free } = &mut *st;
+        let slots = &shard.slots;
+        map.retain(|_, id| {
+            let idx = index_of(*id);
+            if gens[idx as usize] >= retire_before {
+                return true;
+            }
+            let terms = slots.get(idx);
+            // SAFETY: the slice was created by `Box::leak` in
+            // `intern_poly_in` with exactly this pointer and length, and
+            // the epoch protocol guarantees no thread can reach it again
+            // through this (now retired) id.
+            unsafe {
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                    terms.as_ptr() as *mut (MonoId, Rational),
+                    terms.len(),
+                )));
+            }
+            gens[idx as usize] = VACANT_GEN;
+            free.push(idx);
+            freed += 1;
+            false
+        });
+    }
+    POLYS_RECLAIMED.fetch_add(freed, Ordering::Relaxed);
+    freed
+}
+
+/// Whether `id` currently names a live (non-reclaimed) arena entry.
+/// Test hook for the reclamation and fallback-key suites.
+#[doc(hidden)]
+pub fn poly_id_is_live(id: u32) -> bool {
+    if id == POLY_UNINTERNED {
+        return false;
+    }
+    let st = tables().polys[shard_of(id)]
+        .state
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let idx = index_of(id) as usize;
+    idx < st.gens.len() && st.gens[idx] != VACANT_GEN
 }
 
 // ---- monomial algebra (thread-local memos over lock-free reads) -------------
@@ -522,8 +722,14 @@ fn mono_split_in(l: &mut Local, id: MonoId, sid: SymId) -> (i32, MonoId) {
 // ---- public (crate) surface -------------------------------------------------
 
 /// Interns a canonical polynomial term slice; see [`intern_poly_in`].
+///
+/// Pins the calling thread for the duration of the intern. Callers that
+/// go on to *use* the returned id (resolve it, key a memo with it) must
+/// hold their own covering pin — the id is only guaranteed live while a
+/// pin taken at or before acquisition is held.
 pub(crate) fn intern_poly(terms: &[(MonoId, Rational)]) -> PolyId {
-    LOCAL.with(|l| intern_poly_in(&mut l.borrow_mut(), terms))
+    let guard = crate::epoch::pin();
+    LOCAL.with(|l| intern_poly_in(&mut l.borrow_mut(), terms, guard.epoch()))
 }
 
 /// The canonical term slice for an interned polynomial id (lock-free).
@@ -640,18 +846,25 @@ pub(crate) fn put_scratch(v: Vec<(MonoId, Rational)>) {
 
 /// Footprint of the process-wide intern arenas — the soak-check probe.
 ///
-/// Counts are published table lengths (entries never leave, so these are
-/// monotone); `poly_capacity` is the process-wide ceiling past which new
-/// polynomial shapes stop interning.
+/// Symbol and monomial counts are published table lengths (those entries
+/// never leave, so they are monotone). `polynomials` counts **live**
+/// entries only — epoch advances reclaim retired ones — while
+/// `poly_slots` is the monotone allocated-slot high-water mark and
+/// `poly_reclaimed` the cumulative reclamation total.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Distinct interned symbols.
     pub symbols: usize,
     /// Distinct interned monomials (including the constant `1`).
     pub monomials: usize,
-    /// Distinct interned polynomials.
+    /// Live (non-reclaimed) interned polynomials.
     pub polynomials: usize,
-    /// Total polynomial capacity across shards ([`POLY_ARENA_CAP`]).
+    /// Allocated polynomial slots (monotone high-water mark; vacant slots
+    /// are recycled before new ones are allocated).
+    pub poly_slots: usize,
+    /// Cumulative polynomial entries reclaimed across all epoch advances.
+    pub poly_reclaimed: usize,
+    /// Total live-polynomial capacity across shards ([`POLY_ARENA_CAP`]).
     pub poly_capacity: usize,
 }
 
@@ -662,7 +875,13 @@ pub fn arena_stats() -> ArenaStats {
     ArenaStats {
         symbols: count(&mut t.syms.iter().map(|s| s.slots.len())),
         monomials: count(&mut t.monos.iter().map(|s| s.slots.len())),
-        polynomials: count(&mut t.polys.iter().map(|s| s.slots.len())),
+        polynomials: t
+            .polys
+            .iter()
+            .map(|s| s.state.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum(),
+        poly_slots: count(&mut t.polys.iter().map(|s| s.slots.len())),
+        poly_reclaimed: POLYS_RECLAIMED.load(Ordering::Relaxed),
         poly_capacity: POLY_ARENA_CAP,
     }
 }
@@ -715,6 +934,9 @@ mod tests {
 
     #[test]
     fn poly_ids_are_structural_identity() {
+        // Pin across acquisition and resolution: ids are epoch-confined,
+        // and sibling tests advance the epoch concurrently.
+        let _g = crate::epoch::pin();
         let x = mono_power(&s("px"), 1);
         let terms = [
             (MONO_ONE, Rational::from_int(3)),
@@ -731,6 +953,10 @@ mod tests {
 
     #[test]
     fn cross_thread_poly_ids_resolve() {
+        // The spawning thread's pin covers the child's id: the child
+        // interns at the current epoch (>= our pin), so the entry outlives
+        // any advance that could run while we hold the guard.
+        let _g = crate::epoch::pin();
         let id = std::thread::spawn(|| {
             let y = mono_power(&s("py"), 2);
             intern_poly(&[(y, Rational::from_int(5))])
@@ -740,6 +966,40 @@ mod tests {
         let terms = poly_terms(id);
         assert_eq!(terms.len(), 1);
         assert_eq!(terms[0].1, Rational::from_int(5));
+    }
+
+    #[test]
+    fn reclaim_frees_retired_polys_and_recycles_slots() {
+        let x = mono_power(&s("rcl_x"), 1);
+        let terms = [
+            (MONO_ONE, Rational::from_int(11)),
+            (x, Rational::from_int(3)),
+        ];
+        let id = {
+            let _g = crate::epoch::pin();
+            intern_poly(&terms)
+        };
+        assert_ne!(id, POLY_UNINTERNED);
+        assert!(poly_id_is_live(id));
+        // With no pin held, the entry retires after its generation falls
+        // behind the reclaim bound. Sibling tests' short pins can hold
+        // the bound back transiently, so advance until it lands.
+        for _ in 0..64 {
+            crate::epoch::advance();
+            if !poly_id_is_live(id) {
+                break;
+            }
+        }
+        assert!(!poly_id_is_live(id), "retired entry was never reclaimed");
+        assert!(arena_stats().poly_reclaimed >= 1);
+        // Re-interning the same shape under a fresh pin is live again and
+        // resolves to identical content (slot recycling preserved
+        // structural identity).
+        let _g = crate::epoch::pin();
+        let id2 = intern_poly(&terms);
+        assert_ne!(id2, POLY_UNINTERNED);
+        assert!(poly_id_is_live(id2));
+        assert_eq!(poly_terms(id2), &terms[..]);
     }
 
     #[test]

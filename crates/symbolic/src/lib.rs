@@ -47,6 +47,7 @@ mod poly;
 mod rational;
 mod symbol;
 
+pub mod epoch;
 pub mod memo;
 pub mod reference;
 pub mod roots;
@@ -56,6 +57,8 @@ pub mod summation;
 
 pub use expr::{CompareOutcome, Comparison, PerfExpr, VarInfo, VarKind};
 pub use intern::{arena_stats, ArenaStats};
+#[doc(hidden)]
+pub use intern::{poly_id_is_live, set_poly_shard_cap_for_tests};
 
 /// Total entries across this crate's process-wide L2 memo tables
 /// (`pow`/`subst`/product and summation memos) — the soak-check probe for

@@ -90,6 +90,40 @@ pub(crate) fn l2_memo_entries() -> usize {
     POW_L2.len() + SUBST_L2.len() + MUL_L2.len()
 }
 
+/// Drops every entry in the polynomial-algebra L2 memos. Called from
+/// [`crate::epoch::advance`] *before* arena slots are reclaimed, so no
+/// retired `PolyId` can ever be served from an L2 again.
+pub(crate) fn clear_l2_memos() {
+    POW_L2.clear();
+    SUBST_L2.clear();
+    MUL_L2.clear();
+}
+
+thread_local! {
+    /// Pin epoch the L1 memos above were last validated at. `PolyId`s are
+    /// epoch-confined, so a stale L1 hit must never cross an epoch
+    /// boundary: [`sync_l1_epoch`] clears all three maps on the first
+    /// memoized operation under a newer pin — before any id they hold
+    /// could be returned. (This is the fix for the stale-L1 bug: an L2
+    /// shard wipe used to leave L1 entries pointing at ids the wipe had
+    /// orphaned.)
+    static L1_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Invalidates the thread-local L1 memos when the thread's pin epoch has
+/// moved since they were last used. Must be called under the pin guard
+/// whose epoch is passed in, before consulting any L1.
+fn sync_l1_epoch(pin_epoch: u64) {
+    L1_EPOCH.with(|e| {
+        if e.get() != pin_epoch {
+            e.set(pin_epoch);
+            POW_MEMO.with(|m| m.borrow_mut().clear());
+            SUBST_MEMO.with(|m| m.borrow_mut().clear());
+            MUL_MEMO.with(|m| m.borrow_mut().clear());
+        }
+    });
+}
+
 /// Clear-on-cap insert into a thread-local L1 memo.
 fn l1_insert<K: std::hash::Hash + Eq + 'static, V: 'static>(
     l1: &'static std::thread::LocalKey<RefCell<HashMap<K, V>>>,
@@ -235,6 +269,15 @@ impl Poly {
     /// [`POLY_UNINTERNED`] once the arena is at capacity.
     pub(crate) fn interned_id(&self) -> PolyId {
         intern::intern_poly(&self.terms)
+    }
+
+    /// Test hook: the arena id this polynomial interns to right now
+    /// (`u32::MAX` is the un-interned sentinel). The cap-pressure suite
+    /// uses it to prove fallback keys never alias real ids.
+    #[doc(hidden)]
+    pub fn interned_id_for_tests(&self) -> u32 {
+        let _guard = crate::epoch::pin();
+        self.interned_id()
     }
 
     /// Reconstructs a polynomial from its arena id (copies the shared slice).
@@ -463,6 +506,10 @@ impl Poly {
         if self.terms.len() <= SMALL_POLY {
             return self.pow_uncached(exp);
         }
+        // The pin covers the whole memoized operation: every id acquired
+        // below stays live until the guard drops.
+        let guard = crate::epoch::pin();
+        sync_l1_epoch(guard.epoch());
         let id = self.interned_id();
         if id == POLY_UNINTERNED {
             return self.pow_uncached(exp);
@@ -520,6 +567,8 @@ impl Poly {
             // polynomial is `replacement.pow`, which carries its own memo.
             return self.subst_uncached(sym, sid, replacement);
         }
+        let guard = crate::epoch::pin();
+        sync_l1_epoch(guard.epoch());
         let id = self.interned_id();
         let rid = replacement.interned_id();
         if id == POLY_UNINTERNED || rid == POLY_UNINTERNED {
@@ -892,6 +941,8 @@ fn mul_raw(a: &Poly, b: &Poly) -> Poly {
 /// `None` when either operand fails to intern (arena at capacity) — the
 /// caller then computes directly.
 fn mul_memoized(a: &Poly, b: &Poly) -> Option<Poly> {
+    let guard = crate::epoch::pin();
+    sync_l1_epoch(guard.epoch());
     let (ia, ib) = (a.interned_id(), b.interned_id());
     if ia == POLY_UNINTERNED || ib == POLY_UNINTERNED {
         return None;
@@ -1240,6 +1291,9 @@ mod tests {
 
     #[test]
     fn interned_round_trip_preserves_canonical_form() {
+        // Pin across acquisition and resolution — sibling tests advance
+        // the epoch concurrently and poly ids are epoch-confined.
+        let _g = crate::epoch::pin();
         let p = (&var("a") + &var("b")) * (&var("a") - &var("b")) + Poly::from(9);
         let id = p.interned_id();
         assert_ne!(id, POLY_UNINTERNED);

@@ -43,6 +43,31 @@ pub(crate) fn l2_memo_entries() -> usize {
     POWERS_L2.len() + RANGE_L2.len()
 }
 
+/// Drops every entry in the summation L2 memos. Called from
+/// [`crate::epoch::advance`] before arena slots are reclaimed, so no
+/// retired `PolyId` can ever be served from an L2 again.
+pub(crate) fn clear_l2_memos() {
+    POWERS_L2.clear();
+    RANGE_L2.clear();
+}
+
+thread_local! {
+    /// Pin epoch the L1 memos above were last validated at; see
+    /// `poly::sync_l1_epoch` for the invariant. Cleared-on-mismatch so a
+    /// stale `PolyId` can never be served across an epoch boundary.
+    static L1_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn sync_l1_epoch(pin_epoch: u64) {
+    L1_EPOCH.with(|e| {
+        if e.get() != pin_epoch {
+            e.set(pin_epoch);
+            POWERS_MEMO.with(|m| m.borrow_mut().clear());
+            RANGE_MEMO.with(|m| m.borrow_mut().clear());
+        }
+    });
+}
+
 /// Two-level id-keyed memoization: thread-local L1 (no atomics on hit)
 /// backed by a sharded process-wide L2. Results are stored as arena ids; a
 /// result that fails to intern (arena at capacity) is returned uncached.
@@ -88,6 +113,10 @@ fn memoize<K: std::hash::Hash + Eq + Copy, F: FnOnce() -> Option<Poly>>(
 ///
 /// Returns `None` for larger exponents.
 pub fn sum_powers(m: &Poly, k: u32) -> Option<Poly> {
+    // The pin covers acquisition of `id` through its use as a memo key
+    // and the final resolution — ids are epoch-confined.
+    let guard = crate::epoch::pin();
+    sync_l1_epoch(guard.epoch());
     let id = m.interned_id();
     if id == POLY_UNINTERNED {
         return sum_powers_uncached(m, k);
@@ -142,6 +171,8 @@ pub fn sum_over(p: &Poly, var: &Symbol, m: &Poly) -> Option<Poly> {
 /// Returns `None` under the same conditions as [`sum_over`], or when the
 /// substitution fails.
 pub fn sum_range(p: &Poly, var: &Symbol, lb: &Poly, ub: &Poly) -> Option<Poly> {
+    let guard = crate::epoch::pin();
+    sync_l1_epoch(guard.epoch());
     let (pid, lbid, ubid) = (p.interned_id(), lb.interned_id(), ub.interned_id());
     if pid == POLY_UNINTERNED || lbid == POLY_UNINTERNED || ubid == POLY_UNINTERNED {
         return sum_range_uncached(p, var, lb, ub);

@@ -1,0 +1,167 @@
+//! Cap-pressure and stale-L1 regression suite for the epoch-reclaimed
+//! polynomial arena.
+//!
+//! Runs as its own test binary on purpose: the per-shard cap override
+//! ([`set_poly_shard_cap_for_tests`]) is process-global, so confining it
+//! here keeps the main unit-test binary's arena behavior untouched. The
+//! tests below still serialize on [`CAP_LOCK`] against each other.
+
+use presage_symbolic::{poly_id_is_live, set_poly_shard_cap_for_tests, Poly, Symbol};
+use std::sync::Mutex;
+
+/// The un-interned sentinel (`intern::POLY_UNINTERNED`). Real ids pack a
+/// shard and a 16-bit slot index, so they can never reach it.
+const UNINTERNED: u32 = u32::MAX;
+
+static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the default cap even if the test panics.
+struct CapGuard;
+
+impl Drop for CapGuard {
+    fn drop(&mut self) {
+        set_poly_shard_cap_for_tests(0);
+    }
+}
+
+fn var(name: &str) -> Poly {
+    Poly::var(Symbol::new(name))
+}
+
+/// A family of structurally distinct polynomials over one symbol.
+fn family(sym: &str, n: usize) -> Vec<Poly> {
+    (0..n)
+        .map(|k| {
+            let x = var(sym);
+            &(&x * &x) * &Poly::from(k as i64 + 1) + x + Poly::from(7)
+        })
+        .collect()
+}
+
+#[test]
+fn uninterned_fallback_is_bit_identical_and_never_aliases_ids() {
+    let _lock = CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = CapGuard;
+
+    // Warm every shard so a cap of 1 saturates all of them: shard
+    // selection is by content hash, so a few hundred distinct shapes
+    // cover the shard space with overwhelming probability.
+    let _pin = presage_symbolic::epoch::pin();
+    for p in family("warm", 256) {
+        let id = p.interned_id_for_tests();
+        assert_ne!(id, UNINTERNED, "default cap must not saturate");
+        assert!(poly_id_is_live(id));
+    }
+
+    // Under pressure: every *new* shape reports the sentinel, which can
+    // never alias a live id, and every operation still computes — the
+    // memo layers are skipped, not corrupted.
+    set_poly_shard_cap_for_tests(1);
+    let pressured = family("pressed", 64);
+    let mut pressured_results = Vec::new();
+    for p in &pressured {
+        assert_eq!(p.interned_id_for_tests(), UNINTERNED);
+        assert!(!poly_id_is_live(UNINTERNED));
+        pressured_results.push((p.pow(3), p * p));
+    }
+
+    // Lift the cap: the same expressions now intern and memoize. The
+    // memoized results must be bit-identical to the fallback-path ones.
+    set_poly_shard_cap_for_tests(0);
+    for (p, (pow3, sq)) in pressured.iter().zip(&pressured_results) {
+        assert_eq!(&p.pow(3), pow3, "memoized pow diverged from fallback");
+        assert_eq!(&(p * p), sq, "memoized mul diverged from fallback");
+        let id = p.interned_id_for_tests();
+        assert_ne!(id, UNINTERNED);
+        assert!(poly_id_is_live(id));
+    }
+}
+
+#[test]
+fn recycled_slots_after_advance_never_produce_the_sentinel() {
+    let _lock = CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = CapGuard;
+
+    // Intern a generation of polynomials, then retire it.
+    let first: Vec<u32> = {
+        let _pin = presage_symbolic::epoch::pin();
+        family("gen_a", 64)
+            .iter()
+            .map(|p| p.interned_id_for_tests())
+            .collect()
+    };
+    assert!(first.iter().all(|&id| id != UNINTERNED));
+    for _ in 0..64 {
+        presage_symbolic::epoch::advance();
+        if first.iter().all(|&id| !poly_id_is_live(id)) {
+            break;
+        }
+    }
+    assert!(
+        first.iter().all(|&id| !poly_id_is_live(id)),
+        "first generation was never reclaimed"
+    );
+
+    // The next generation recycles the freed slots: its ids are live,
+    // mutually distinct, and (like all packed ids) distinct from the
+    // sentinel — id reuse across generations never collides with the
+    // fallback key space.
+    let _pin = presage_symbolic::epoch::pin();
+    let second: Vec<u32> = family("gen_b", 64)
+        .iter()
+        .map(|p| p.interned_id_for_tests())
+        .collect();
+    let mut dedup = second.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), second.len(), "recycled ids must stay distinct");
+    for &id in &second {
+        assert_ne!(id, UNINTERNED);
+        assert!(poly_id_is_live(id));
+    }
+}
+
+#[test]
+fn stale_l1_entries_never_survive_a_shard_wipe() {
+    let _lock = CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // First hit: memoizes the cube in the thread-local L1 and the shared
+    // L2, keyed by the probe's interned id. Three terms, so the probe is
+    // past the small-poly fast path that skips memoization.
+    let v = var("stale_l1_probe");
+    let x = &v * &v + v + Poly::from(3);
+    let before = x.pow(3);
+
+    // Force the wipe the bug needs: an epoch advance clears every L2
+    // shard and reclaims the arena entries the L1 values point at...
+    presage_symbolic::epoch::advance();
+
+    // ...then stuff the freed slots with unrelated content, so an
+    // un-stamped L1 entry would now resolve its cached id to garbage.
+    {
+        let _pin = presage_symbolic::epoch::pin();
+        for p in family("stale_l1_filler", 128) {
+            let _ = p.interned_id_for_tests();
+        }
+    }
+
+    // Second hit: the epoch stamp must invalidate the L1 before the
+    // lookup, so the recomputed value is bit-identical to the first —
+    // and, per the memo counters, it must NOT have been served from the
+    // (stale) L1: the advance wiped the L2 shards, so an L1 hit here
+    // could only be a pre-wipe entry resolving a reclaimed id.
+    presage_symbolic::memo::take_thread_stats();
+    let after = x.pow(3);
+    let stats = presage_symbolic::memo::take_thread_stats();
+    assert_eq!(
+        stats.l1_hits, 0,
+        "stale L1 entry served across an epoch boundary"
+    );
+    assert!(stats.misses > 0, "the recomputation must actually run");
+    assert_eq!(before, after, "stale L1 hit crossed an epoch");
+    assert_eq!(
+        before.to_string(),
+        after.to_string(),
+        "rendered forms must agree too"
+    );
+}

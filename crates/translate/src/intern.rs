@@ -3,10 +3,8 @@
 //! Downstream memo tables (the scheduling memo in `presage-core`) key on
 //! block content. Before interning, every lookup re-encoded the whole
 //! block — O(block) per lookup *even on hits*. Interning assigns each
-//! distinct block content a stable [`BlockId`] once, at translation time,
-//! so those keys collapse to an id compare: two blocks with the same id
-//! are guaranteed content-identical, and two content-identical blocks
-//! interned here receive the same id.
+//! distinct block content a [`BlockId`] once, at translation time, so
+//! those keys collapse to an id compare.
 //!
 //! The arena is deliberately global (not per-thread): translated
 //! [`ProgramIr`]s flow between threads — the parallel A* workers and the
@@ -15,51 +13,116 @@
 //! translation (then the translation cache reuses the product), so the
 //! lock is far off any hot path.
 //!
+//! # Lifecycle: reclaimed content, never-reused ids
+//!
+//! The arena participates in `presage_symbolic::epoch` reclamation
+//! instead of growing forever. Every entry carries the generation
+//! (epoch) in which its content was last interned; an epoch advance
+//! drops entries retired by every worker, bounding the arena for a
+//! long-lived server translating millions of distinct programs. Ids,
+//! however, come from a **monotone counter and are never reused**, so:
+//!
+//! - equal ids imply identical content forever — a scheduling-memo key
+//!   built from a stale-but-held id (inside a cached [`ProgramIr`]) can
+//!   never alias a different block;
+//! - the same content re-interned after reclamation simply receives a
+//!   fresh id (a duplicate downstream memo entry, never a collision).
+//!
 //! Blocks mutated after interning drop their id automatically
-//! ([`BlockIr`] clears it in every `&mut self` method), and the arena is
-//! capacity-bounded: past [`INTERN_CAP`] distinct blocks, new content
-//! simply stays un-interned and downstream keys fall back to full content
-//! encoding. Nothing is ever evicted, so an id can never be reused for
-//! different content.
+//! ([`BlockIr`] clears it in every `&mut self` method). The *live* entry
+//! count is additionally capped: past [`INTERN_CAP`] distinct live
+//! blocks, new content stays un-interned and downstream keys fall back
+//! to full content encoding until an advance frees room — a throughput
+//! cliff, not a correctness one.
 
 use crate::ir::{BlockId, BlockIr};
 use crate::program::ProgramIr;
 use presage_frontend::fold::fold128;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// Maximum number of distinct blocks the arena will hold. Past this,
-/// [`intern_block`] returns `None` and callers key by content instead —
-/// a throughput cliff, not a correctness one.
+/// Maximum number of distinct *live* blocks the arena will hold. Past
+/// this, [`intern_block`] returns `None` and callers key by content
+/// instead.
 pub const INTERN_CAP: usize = 1 << 16;
 
 /// Fixed seed for the arena's content addressing. Must be identical for
 /// every producer (the arena is process-global), hence not per-thread.
 const CONTENT_SEED: u64 = 0x424c_4f43_4b49_52_u64; // "BLOCKIR"
 
+/// Cumulative count of arena entries reclaimed by epoch advances.
+static RECLAIMED: AtomicUsize = AtomicUsize::new(0);
+
+/// One live arena entry: the canonical block, its content key (so
+/// reclamation can maintain the bucket index), and the generation of its
+/// last intern.
+struct Entry {
+    block: BlockIr,
+    key: u128,
+    gen: u64,
+}
+
 struct Arena {
     /// Content hash → candidate ids (collision bucket; full equality
-    /// check resolves).
+    /// check resolves). Holds live ids only.
     buckets: HashMap<u128, Vec<BlockId>>,
-    /// The interned blocks, indexed by [`BlockId`].
-    blocks: Vec<BlockIr>,
+    /// Live interned blocks by id. Ids are handed out by `next` and never
+    /// reused, so this is a map, not a dense vector.
+    blocks: HashMap<u32, Entry>,
+    /// Monotone id counter — the source of the never-reused guarantee.
+    next: u32,
 }
 
 fn arena() -> &'static Mutex<Arena> {
     static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
     ARENA.get_or_init(|| {
+        // First use wires the arena into the epoch coordinator: every
+        // advance retires entries whose generation fell behind the bound.
+        presage_symbolic::epoch::register_reclaimer("blockir", reclaim_blocks);
         Mutex::new(Arena {
             buckets: HashMap::new(),
-            blocks: Vec::new(),
+            blocks: HashMap::new(),
+            next: 0,
         })
     })
 }
 
+/// Drops arena entries whose generation is strictly below `bound`;
+/// returns how many were dropped. Runs under the epoch coordinator's
+/// advance (between job waves).
+fn reclaim_blocks(bound: u64) -> usize {
+    if bound == 0 {
+        return 0;
+    }
+    let mut arena = arena().lock().unwrap_or_else(|e| e.into_inner());
+    let arena = &mut *arena;
+    let before = arena.blocks.len();
+    let blocks = &mut arena.blocks;
+    let buckets = &mut arena.buckets;
+    blocks.retain(|&raw, entry| {
+        if entry.gen >= bound {
+            return true;
+        }
+        if let Some(ids) = buckets.get_mut(&entry.key) {
+            ids.retain(|id| id.0 != raw);
+            if ids.is_empty() {
+                buckets.remove(&entry.key);
+            }
+        }
+        false
+    });
+    let freed = before - arena.blocks.len();
+    RECLAIMED.fetch_add(freed, Ordering::Relaxed);
+    freed
+}
+
 /// Interns one block: returns its arena id, assigning a fresh one if the
-/// content has not been seen before. The id is also recorded on the block
-/// itself ([`BlockIr::interned_id`]) so later consumers skip the arena
-/// entirely. Returns `None` only when the arena is at [`INTERN_CAP`] and
-/// the content is new.
+/// content has not been seen (or was reclaimed) before. The id is also
+/// recorded on the block itself ([`BlockIr::interned_id`]) so later
+/// consumers skip the arena entirely — that fast path stays valid across
+/// reclamation because ids are never reused. Returns `None` only when
+/// the arena holds [`INTERN_CAP`] live blocks and the content is new.
 pub fn intern_block(block: &mut BlockIr) -> Option<BlockId> {
     if let Some(id) = block.interned_id() {
         return Some(id);
@@ -67,21 +130,36 @@ pub fn intern_block(block: &mut BlockIr) -> Option<BlockId> {
     let mut buf = Vec::with_capacity(64 + 16 * block.len());
     block.encode_content(&mut buf);
     let key = fold128(&buf, CONTENT_SEED);
-    let mut arena = arena().lock().expect("intern arena lock");
+    let gen = presage_symbolic::epoch::current();
+    let mut arena = arena().lock().unwrap_or_else(|e| e.into_inner());
+    let arena = &mut *arena;
     if let Some(ids) = arena.buckets.get(&key) {
         for &id in ids {
-            if arena.blocks[id.0 as usize] == *block {
-                block.set_interned(id);
-                return Some(id);
+            if let Some(entry) = arena.blocks.get_mut(&id.0) {
+                if entry.block == *block {
+                    // Re-stamp on hit so content in active use survives
+                    // the next advance.
+                    entry.gen = entry.gen.max(gen);
+                    block.set_interned(id);
+                    return Some(id);
+                }
             }
         }
     }
     if arena.blocks.len() >= INTERN_CAP {
         return None;
     }
-    let id = BlockId(arena.blocks.len() as u32);
+    let id = BlockId(arena.next);
+    arena.next += 1;
     block.set_interned(id);
-    arena.blocks.push(block.clone());
+    arena.blocks.insert(
+        id.0,
+        Entry {
+            block: block.clone(),
+            key,
+            gen,
+        },
+    );
     arena.buckets.entry(key).or_default().push(id);
     Some(id)
 }
@@ -96,19 +174,31 @@ pub fn intern_program(ir: &mut ProgramIr) {
     });
 }
 
-/// Number of distinct blocks currently interned (diagnostics/tests).
+/// Number of distinct blocks currently live in the arena
+/// (diagnostics/tests — reclamation shrinks this).
 pub fn interned_blocks() -> usize {
-    arena().lock().expect("intern arena lock").blocks.len()
+    arena()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .blocks
+        .len()
 }
 
-/// A copy of the interned block for `id`, if the id is live.
+/// Cumulative count of arena entries reclaimed by epoch advances
+/// (soak telemetry).
+pub fn reclaimed_blocks() -> usize {
+    RECLAIMED.load(Ordering::Relaxed)
+}
+
+/// A copy of the interned block for `id`, if the id is live (reclaimed
+/// entries return `None`; their ids remain valid as memo keys).
 pub fn lookup(id: BlockId) -> Option<BlockIr> {
     arena()
         .lock()
-        .expect("intern arena lock")
+        .unwrap_or_else(|e| e.into_inner())
         .blocks
-        .get(id.0 as usize)
-        .cloned()
+        .get(&id.0)
+        .map(|e| e.block.clone())
 }
 
 #[cfg(test)]
@@ -126,6 +216,9 @@ mod tests {
 
     #[test]
     fn equal_content_same_id() {
+        // Pin: sibling tests advance the epoch, and same-content-same-id
+        // only holds while the first entry stays live.
+        let _g = presage_symbolic::epoch::pin();
         let mut a = sample(7001);
         let mut b = sample(7001);
         let ia = intern_block(&mut a).unwrap();
@@ -144,6 +237,7 @@ mod tests {
 
     #[test]
     fn mutation_drops_id() {
+        let _g = presage_symbolic::epoch::pin();
         let mut a = sample(7004);
         let id = intern_block(&mut a).unwrap();
         let v = a.add_value(crate::ir::ValueDef::IntConst(1));
@@ -157,10 +251,37 @@ mod tests {
 
     #[test]
     fn reintern_is_idempotent() {
+        let _g = presage_symbolic::epoch::pin();
         let mut a = sample(7005);
         let before = intern_block(&mut a).unwrap();
         let count = interned_blocks();
         assert_eq!(intern_block(&mut a).unwrap(), before);
         assert_eq!(interned_blocks(), count, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn reclaim_retires_content_but_never_reuses_ids() {
+        let mut a = sample(7100);
+        let id = intern_block(&mut a).unwrap();
+        // No pin held: advance until the entry retires (sibling tests'
+        // short pins can hold the bound back transiently).
+        for _ in 0..64 {
+            presage_symbolic::epoch::advance();
+            if lookup(id).is_none() {
+                break;
+            }
+        }
+        assert!(lookup(id).is_none(), "retired entry was never reclaimed");
+        assert!(reclaimed_blocks() >= 1);
+        // A stale-but-held id short-circuits without touching the arena —
+        // still sound, because the id can never name different content.
+        assert_eq!(intern_block(&mut a), Some(id));
+        // Fresh same-content blocks get a *new* id: ids are never reused.
+        let _g = presage_symbolic::epoch::pin();
+        let mut b = sample(7100);
+        let id2 = intern_block(&mut b).unwrap();
+        assert_ne!(id, id2);
+        assert!(id2.0 > id.0, "id counter must be monotone");
+        assert_eq!(lookup(id2).unwrap(), b);
     }
 }

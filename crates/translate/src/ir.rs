@@ -14,9 +14,13 @@ use std::fmt;
 /// Identity of an interned block in the process-wide arena (see
 /// [`crate::intern`]).
 ///
-/// Two blocks carry the same `BlockId` if and only if they have identical
-/// content, so downstream memo tables can key on the id — an O(1)
-/// compare — instead of rehashing the whole block on every lookup.
+/// Ids are never reused: equal ids imply identical content *forever*,
+/// even after the arena entry is reclaimed by an epoch advance, so
+/// downstream memo tables can key on the id — an O(1) compare — instead
+/// of rehashing the whole block on every lookup. The converse holds only
+/// within a reclamation window: content re-interned after its entry was
+/// retired receives a fresh id (a duplicate memo entry, never a
+/// collision).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BlockId(pub u32);
 

@@ -4,12 +4,31 @@
 # symbolic engine micro-benchmark on reduced budgets). No network access
 # is required or attempted — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--server-only]
+#
+# `--server-only` runs just the epoch-reclamation / daemon gate: the
+# perfsuite server soak (footprint ceilings + oracle bit-identity over
+# ≥3 reclaiming epochs, writes BENCH_server.json), the stale-L1 and
+# cap-pressure regressions, and the server's malformed-job negatives.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="-D warnings"
+
+if [ "${1:-}" = "--server-only" ]; then
+    echo "== server: epoch soak + footprint ceilings + oracle bit-identity (writes BENCH_server.json)"
+    cargo run --release -p presage-bench --bin perfsuite -- --server-only
+
+    echo "== server: stale-L1 + cap-pressure + recycled-slot regressions"
+    cargo test -q -p presage-symbolic --test cap_pressure
+
+    echo "== server: malformed-job negatives + wave protocol"
+    cargo test -q -p presage-server
+
+    echo "ci: server-only checks passed"
+    exit 0
+fi
 
 echo "== format: cargo fmt --check"
 cargo fmt --check
@@ -49,6 +68,13 @@ cargo run --release -p presage-bench --bin perfsuite -- --batch-only
 
 echo "== variant search: e-graph vs textual A* floor (full budgets, writes BENCH_search.json)"
 cargo run --release -p presage-bench --bin perfsuite -- --search-only
+
+echo "== server loop: epoch soak, footprint ceilings, oracle bit-identity (writes BENCH_server.json)"
+cargo run --release -p presage-bench --bin perfsuite -- --server-only
+
+echo "== epoch reclamation: differential proof across reclaiming epochs"
+cargo test -q --test epoch_differential
+cargo test -q -p presage-symbolic --test cap_pressure
 
 echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator + search)"
 cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json --search-out BENCH_search_smoke.json
