@@ -13,13 +13,14 @@ use std::collections::HashMap;
 
 fn lines_at(src: &str, n: f64, extra: &[(&str, f64)]) -> f64 {
     let machine = machines::power_like();
+    let cache = machine.cache.unwrap_or_default();
     let mut opts = AggregateOptions::default();
     opts.var_ranges.insert("n".into(), (n, n));
     for (v, val) in extra {
         opts.var_ranges.insert(v.to_string(), (*val, *val));
     }
     let ir = translate_kernel(src, &machine);
-    let mc = memory_cost(&ir, &machine.cache, &opts);
+    let mc = memory_cost(&ir, &cache, &opts);
     let mut bindings = HashMap::new();
     bindings.insert(Symbol::new("n"), n);
     for (v, val) in extra {
@@ -79,11 +80,12 @@ const MATMUL_TILED: &str = "subroutine mmt(a, b, c, n)
 
 fn main() {
     let machine = machines::power_like();
+    let cache = machine.cache.unwrap_or_default();
     println!(
         "cache: {} KiB, {}-byte lines, miss {} cycles\n",
-        machine.cache.size_bytes / 1024,
-        machine.cache.line_bytes,
-        machine.cache.miss_penalty
+        cache.size_bytes / 1024,
+        cache.line_bytes,
+        cache.miss_penalty
     );
 
     println!("column-major scan direction (n = 2048):");

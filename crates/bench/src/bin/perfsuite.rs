@@ -12,7 +12,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--out PATH]
+//! perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--memory-only] [--out PATH]
 //! ```
 //!
 //! `--smoke` runs a fast sanity pass (no timing thresholds, tiny
@@ -36,6 +36,10 @@
 //! epoch advances between waves, every response checked bit-identical
 //! against a fresh uncached predictor, and the arena + L2 footprint
 //! ceilings enforced after reclamation — and writes `BENCH_server.json`.
+//! `--memory-only` runs just the §2.3 memory-model rows — memoized
+//! `mem_cost` throughput ≥2× the naive per-nest recount on wide8, plus
+//! the memory-vs-compute split per Figure 7 kernel — and writes
+//! `BENCH_memory.json`.
 //!
 //! Prediction throughput is measured at the prediction-engine boundary
 //! ([`Predictor::predict_cost`] over pre-translated IR, warmed caches)
@@ -47,13 +51,14 @@
 
 use presage_bench::kernels::{self, figure7};
 use presage_core::aggregate::AggregateOptions;
+use presage_core::memcost::{mem_cost, mem_cost_fresh};
 use presage_core::refagg::reference_aggregate;
 use presage_core::reference::NaivePlacer;
 use presage_core::tetris::{PlaceOptions, Placer, PreparedBlock};
 use presage_core::TranslationCache;
 use presage_core::{Predictor, PredictorOptions};
 use presage_machine::json::Json;
-use presage_machine::{machines, MachineDesc};
+use presage_machine::{machines, CacheParams, MachineDesc};
 use presage_opt::{
     astar_search_cached, search_cached, PredictionCache, SearchConfig, SearchOptions,
     SearchStrategy,
@@ -71,9 +76,11 @@ struct Config {
     batch_only: bool,
     search_only: bool,
     server_only: bool,
+    memory_only: bool,
     out: String,
     search_out: String,
     server_out: String,
+    memory_out: String,
 }
 
 fn parse_args() -> Config {
@@ -82,9 +89,11 @@ fn parse_args() -> Config {
         batch_only: false,
         search_only: false,
         server_only: false,
+        memory_only: false,
         out: "BENCH_placement.json".to_string(),
         search_out: "BENCH_search.json".to_string(),
         server_out: "BENCH_server.json".to_string(),
+        memory_out: "BENCH_memory.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -93,6 +102,7 @@ fn parse_args() -> Config {
             "--batch-only" => cfg.batch_only = true,
             "--search-only" => cfg.search_only = true,
             "--server-only" => cfg.server_only = true,
+            "--memory-only" => cfg.memory_only = true,
             "--out" => match args.next() {
                 Some(path) => cfg.out = path,
                 None => {
@@ -114,9 +124,16 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 }
             },
+            "--memory-out" => match args.next() {
+                Some(path) => cfg.memory_out = path,
+                None => {
+                    eprintln!("--memory-out takes a path; see --help");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--out PATH] [--search-out PATH] [--server-out PATH]"
+                    "usage: perfsuite [--smoke] [--batch-only] [--search-only] [--server-only] [--memory-only] [--out PATH] [--search-out PATH] [--server-out PATH] [--memory-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +144,15 @@ fn parse_args() -> Config {
         }
     }
     cfg
+}
+
+/// Labeled bench abort: an unusable input (a kernel that stopped
+/// parsing, a simulator that fails to converge, a soak response that
+/// went missing) fails the perf gate with a diagnosis naming the bench
+/// and the job, never a panic backtrace.
+fn bail(msg: String) -> ! {
+    eprintln!("perfsuite: FAIL: {msg}");
+    std::process::exit(1);
 }
 
 /// The placement workload: every Figure 7 innermost block, re-dropped to
@@ -384,7 +410,12 @@ fn bench_soak(smoke: bool) -> SoakResult {
     let cache = Arc::new(TranslationCache::new());
     let report = Predictor::predict_batch_report(&jobs, &opts, &cache, 8);
     let failures = report.results.iter().filter(|r| r.is_err()).count();
-    assert_eq!(failures, 0, "soak programs must all predict");
+    if failures != 0 {
+        bail(format!(
+            "batch soak: {failures} of {} generated soak jobs failed to predict",
+            jobs.len()
+        ));
+    }
     let arena = presage_symbolic::arena_stats();
     let l2_entries = presage_core::l2_memo_entries();
     let arena_total = arena.symbols + arena.monomials + arena.polynomials;
@@ -450,15 +481,26 @@ fn bench_server_soak(smoke: bool) -> ServerSoakResult {
     // fresh sema + translation + aggregation per job, no shared caches.
     let oracle: Vec<Vec<String>> = programs
         .iter()
-        .map(|src| {
+        .enumerate()
+        .map(|(pi, src)| {
             machines
                 .iter()
                 .map(|m| {
-                    Predictor::new(m.clone())
+                    let preds = Predictor::new(m.clone())
                         .predict_source(src)
-                        .expect("soak kernel predicts")[0]
-                        .total
-                        .to_string()
+                        .unwrap_or_else(|e| {
+                            bail(format!(
+                                "server soak oracle: program {pi} on {}: {e}",
+                                m.name()
+                            ))
+                        });
+                    match preds.first() {
+                        Some(p) => p.total.to_string(),
+                        None => bail(format!(
+                            "server soak oracle: program {pi} on {}: no predictions",
+                            m.name()
+                        )),
+                    }
                 })
                 .collect()
         })
@@ -487,52 +529,83 @@ fn bench_server_soak(smoke: bool) -> ServerSoakResult {
     let mut out: Vec<u8> = Vec::new();
     let stats = server
         .run(std::io::Cursor::new(input.into_bytes()), &mut out)
-        .expect("in-memory server I/O cannot fail");
+        .unwrap_or_else(|e| bail(format!("server soak: in-memory server run failed: {e}")));
 
     // Every response must be ok and bit-identical to its oracle.
-    let text = String::from_utf8(out).expect("server output is UTF-8");
+    let text = String::from_utf8(out)
+        .unwrap_or_else(|e| bail(format!("server soak: server emitted non-UTF-8 output: {e}")));
     let mut seen = 0usize;
     for line in text.lines() {
-        let v = Json::parse(line).expect("server emits valid JSON");
+        let v = Json::parse(line)
+            .unwrap_or_else(|e| bail(format!("server soak: unparseable response {line}: {e}")));
         if v.get("stats").is_some() {
             continue;
         }
-        assert_eq!(
-            v.get("ok").and_then(Json::as_bool),
-            Some(true),
-            "soak job failed: {line}"
-        );
-        let id = v.get("id").and_then(Json::as_u64).expect("id echoes back") as usize;
-        let cost = v
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            bail(format!("server soak: job failed: {line}"));
+        }
+        let id = match v.get("id").and_then(Json::as_u64) {
+            Some(id) => id as usize,
+            None => bail(format!("server soak: response without an id: {line}")),
+        };
+        let cost = match v
             .get("predictions")
             .and_then(Json::as_arr)
             .and_then(|preds| preds.first())
             .and_then(|p| p.get("cost"))
             .and_then(Json::as_str)
-            .expect("ok response carries a cost");
+        {
+            Some(cost) => cost,
+            None => bail(format!("server soak: ok response without a cost: {line}")),
+        };
         let (pi, mi) = (id / machines.len(), id % machines.len());
-        assert_eq!(
-            cost, oracle[pi][mi],
-            "server prediction diverged from the uncached oracle (program {pi}, machine {mi})"
-        );
+        let expected = match oracle.get(pi).and_then(|row| row.get(mi)) {
+            Some(e) => e,
+            None => bail(format!(
+                "server soak: response id {id} out of range: {line}"
+            )),
+        };
+        if cost != expected {
+            bail(format!(
+                "server soak: prediction diverged from the uncached oracle \
+                 (program {pi}, machine {mi}): got {cost}, expected {expected}"
+            ));
+        }
         seen += 1;
     }
-    assert_eq!(seen, n_jobs, "every job must get exactly one response");
+    if seen != n_jobs {
+        bail(format!(
+            "server soak: expected one response per job ({n_jobs}), saw {seen}"
+        ));
+    }
 
     // Post-reclaim differential: arena slots from the early waves have
     // been recycled by now, so a fresh predictor agreeing with the
     // pre-run oracle proves reclamation never corrupted global state.
     for (pi, src) in programs.iter().enumerate().take(n_programs.min(24)) {
         for (mi, m) in machines.iter().enumerate() {
-            let fresh = Predictor::new(m.clone())
+            let preds = Predictor::new(m.clone())
                 .predict_source(src)
-                .expect("soak kernel predicts")[0]
-                .total
-                .to_string();
-            assert_eq!(
-                fresh, oracle[pi][mi],
-                "post-reclaim divergence (program {pi}, machine {mi})"
-            );
+                .unwrap_or_else(|e| {
+                    bail(format!(
+                        "server soak re-check: program {pi} on {}: {e}",
+                        m.name()
+                    ))
+                });
+            let fresh = match preds.first() {
+                Some(p) => p.total.to_string(),
+                None => bail(format!(
+                    "server soak re-check: program {pi} on {}: no predictions",
+                    m.name()
+                )),
+            };
+            if fresh != oracle[pi][mi] {
+                bail(format!(
+                    "server soak: post-reclaim divergence (program {pi}, machine {mi}): \
+                     got {fresh}, expected {}",
+                    oracle[pi][mi]
+                ));
+            }
         }
     }
 
@@ -694,6 +767,234 @@ fn run_server_bench(cfg: &Config) -> bool {
     true
 }
 
+/// Memory-model micro-benchmark: the memoized [`mem_cost`] against the
+/// naive per-nest recount [`mem_cost_fresh`] over the Figure 7 suite on
+/// cache-extended machines. A restructuring session or a batch server
+/// re-costs the same nests over and over, so the warmed steady state is
+/// the design point; the fresh recount is what every prediction would
+/// pay without the memo.
+struct MemoryRow {
+    machine: String,
+    fresh_costs_per_sec: f64,
+    memo_costs_per_sec: f64,
+    speedup: f64,
+}
+
+/// One kernel's memory-vs-compute split on the cache-extended wide8 —
+/// the data behind the EXPERIMENTS.md E16 sweep table. The crossover
+/// penalty (compute cycles ÷ distinct lines) is the miss cost at which
+/// the kernel tips from compute- to memory-bound: the sweep axis.
+struct MemoryScenarioRow {
+    kernel: String,
+    compute_cycles: f64,
+    memory_cycles: f64,
+    lines: f64,
+    crossover_penalty: f64,
+    memory_bound: bool,
+}
+
+/// The cache geometry the memory gate runs: 64-byte lines (8 doubles),
+/// 1 MiB, fully associative, a POWER1-flavoured 15-cycle line fill.
+fn gate_cache() -> CacheParams {
+    CacheParams {
+        line_bytes: 64,
+        size_bytes: 1 << 20,
+        miss_penalty: 15,
+        ways: 0,
+        ..CacheParams::default()
+    }
+}
+
+fn bench_memory(budget: Duration) -> Vec<MemoryRow> {
+    let cache = gate_cache();
+    let opts = AggregateOptions::default();
+    let mut rows = Vec::new();
+    for machine in machines::all() {
+        let irs = prediction_irs(&machine);
+        // Warm both paths: first-touch allocation off-clock, and the
+        // memoized side's L1/L2 tables filled so the timed rounds hit.
+        for ir in &irs {
+            black_box(mem_cost(ir, &cache, &opts));
+            black_box(mem_cost_fresh(ir, &cache, &opts));
+        }
+        let (memo_n, memo_s) = time_until(budget, || {
+            for ir in &irs {
+                black_box(mem_cost(ir, &cache, &opts));
+            }
+            irs.len() as u64
+        });
+        let (fresh_n, fresh_s) = time_until(budget, || {
+            for ir in &irs {
+                black_box(mem_cost_fresh(ir, &cache, &opts));
+            }
+            irs.len() as u64
+        });
+        let fresh_rate = fresh_n as f64 / fresh_s;
+        let memo_rate = memo_n as f64 / memo_s;
+        rows.push(MemoryRow {
+            machine: machine.name().to_string(),
+            fresh_costs_per_sec: fresh_rate,
+            memo_costs_per_sec: memo_rate,
+            speedup: memo_rate / fresh_rate,
+        });
+    }
+    rows
+}
+
+/// Classifies every Figure 7 kernel as memory- or compute-bound on the
+/// cache-extended wide8 at n = 512 (Matmul's register block at the
+/// origin). Wide issue makes compute cheap, so the streaming kernels tip
+/// memory-bound while the divide/√-heavy ones stay compute-bound.
+fn memory_scenarios() -> Vec<MemoryScenarioRow> {
+    let mut machine = machines::wide8();
+    machine.cache = Some(gate_cache());
+    let predictor = Predictor::new(machine);
+    let point: HashMap<Symbol, f64> = [("n", 512.0), ("i", 1.0), ("j", 1.0)]
+        .into_iter()
+        .map(|(name, v)| (Symbol::new(name), v))
+        .collect();
+    figure7()
+        .iter()
+        .map(|k| {
+            let preds = predictor.predict_source(k.source).unwrap_or_else(|e| {
+                bail(format!("memory bench: {} failed to predict: {e}", k.name))
+            });
+            let p = match preds.first() {
+                Some(p) => p,
+                None => bail(format!("memory bench: {}: no predictions", k.name)),
+            };
+            let mc = match &p.memcost {
+                Some(mc) => mc,
+                None => bail(format!(
+                    "memory bench: {}: cache-extended machine produced no memory cost",
+                    k.name
+                )),
+            };
+            let compute_cycles = p.compute.eval_with_defaults(&point);
+            let memory_cycles = mc.cycles.eval_with_defaults(&point);
+            let lines = mc.lines.eval_with_defaults(&point);
+            MemoryScenarioRow {
+                kernel: k.name.to_string(),
+                compute_cycles,
+                memory_cycles,
+                lines,
+                crossover_penalty: compute_cycles / lines.max(1.0),
+                memory_bound: memory_cycles > compute_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Runs the memory-model rows, writes `BENCH_memory.json`, and returns
+/// whether the wide8 floor held (always true in smoke mode).
+fn run_memory_bench(cfg: &Config, budget: Duration) -> bool {
+    eprintln!(
+        "perfsuite: memory model ({} mode, memoized mem_cost vs naive recount, Figure 7 suite)",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    let rows = bench_memory(budget);
+    for row in &rows {
+        eprintln!(
+            "  {:>10}: fresh {:>9.0} costs/s, memoized {:>9.0} costs/s  ({:.2}x)",
+            row.machine, row.fresh_costs_per_sec, row.memo_costs_per_sec, row.speedup
+        );
+    }
+    let scenarios = memory_scenarios();
+    eprintln!("perfsuite: memory-vs-compute split (cache-extended wide8, n = 512)");
+    for s in &scenarios {
+        eprintln!(
+            "  {:>8}: compute {:>12.0} cycles, memory {:>12.0} cycles over {:>8.0} lines, crossover at {:>6.1}-cycle misses  ({})",
+            s.kernel,
+            s.compute_cycles,
+            s.memory_cycles,
+            s.lines,
+            s.crossover_penalty,
+            if s.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
+        );
+    }
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("presage-memory-bench-v1".into())),
+        (
+            "mode".into(),
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
+        ),
+        (
+            "memory".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(r.machine.clone())),
+                            (
+                                "fresh_costs_per_sec".into(),
+                                Json::Num(r.fresh_costs_per_sec.round()),
+                            ),
+                            (
+                                "memo_costs_per_sec".into(),
+                                Json::Num(r.memo_costs_per_sec.round()),
+                            ),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                scenarios
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("kernel".into(), Json::Str(s.kernel.clone())),
+                            ("compute_cycles".into(), Json::Num(s.compute_cycles.round())),
+                            ("memory_cycles".into(), Json::Num(s.memory_cycles.round())),
+                            ("lines".into(), Json::Num(s.lines.round())),
+                            (
+                                "crossover_penalty".into(),
+                                Json::Num(round2(s.crossover_penalty)),
+                            ),
+                            ("memory_bound".into(), Json::Bool(s.memory_bound)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "targets".into(),
+            Json::Obj(vec![(
+                "memory_wide8_min".into(),
+                Json::Num(MEMORY_WIDE8_MIN),
+            )]),
+        ),
+    ]);
+    if let Err(err) = std::fs::write(&cfg.memory_out, report.to_string_pretty() + "\n") {
+        eprintln!("perfsuite: cannot write {}: {err}", cfg.memory_out);
+        std::process::exit(1);
+    }
+    eprintln!("perfsuite: wrote {}", cfg.memory_out);
+    if cfg.smoke {
+        return true;
+    }
+    let wide8 = rows
+        .iter()
+        .find(|r| r.machine == "wide8")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+    if wide8 < MEMORY_WIDE8_MIN {
+        eprintln!(
+            "FAIL: memoized memory-model speedup on wide8 is {wide8:.2}x (target {MEMORY_WIDE8_MIN}x)"
+        );
+        return false;
+    }
+    eprintln!("perfsuite: memory target met (wide8 {wide8:.2}x >= {MEMORY_WIDE8_MIN}x)");
+    true
+}
+
 /// Translation micro-benchmark: source-level prediction throughput
 /// ([`Predictor::predict_source`] over the Figure 7 suite) with and
 /// without a warmed [`TranslationCache`]. Both sides parse the source
@@ -713,21 +1014,29 @@ fn bench_translation(budget: Duration) -> Vec<TranslationRow> {
         let cached = Predictor::new(machine.clone())
             .with_translation_cache(Arc::new(TranslationCache::new()));
         let sources: Vec<&str> = figure7().iter().map(|k| k.source).collect();
+        let predict = |p: &Predictor, src: &str| {
+            p.predict_source(src).unwrap_or_else(|e| {
+                bail(format!(
+                    "translation bench: Figure 7 kernel failed on {}: {e}",
+                    machine.name()
+                ))
+            })
+        };
         // Warm both predictors; the cached one's warm-up round populates
         // the translation cache, so the timed rounds are all hits.
         for src in &sources {
-            black_box(uncached.predict_source(src).expect("kernel predicts"));
-            black_box(cached.predict_source(src).expect("kernel predicts"));
+            black_box(predict(&uncached, src));
+            black_box(predict(&cached, src));
         }
         let (cold_n, cold_s) = time_until(budget, || {
             for src in &sources {
-                black_box(uncached.predict_source(src).expect("kernel predicts"));
+                black_box(predict(&uncached, src));
             }
             sources.len() as u64
         });
         let (warm_n, warm_s) = time_until(budget, || {
             for src in &sources {
-                black_box(cached.predict_source(src).expect("kernel predicts"));
+                black_box(predict(&cached, src));
             }
             sources.len() as u64
         });
@@ -799,15 +1108,20 @@ macro_rules! sym_engine_rates {
             }
             quads.len() as u64
         };
-        let subst = |_: ()| {
-            for q in &quads {
-                black_box(q.subst(&x, &repl).expect("substitution succeeds"));
-            }
-            quads.len() as u64
-        };
+        let subst =
+            |_: ()| {
+                for q in &quads {
+                    black_box(q.subst(&x, &repl).unwrap_or_else(|e| {
+                        bail(format!("symbolic bench: substitution failed: {e}"))
+                    }));
+                }
+                quads.len() as u64
+            };
         let sum = |_: ()| {
             for b in &bodies {
-                black_box($sum_range(b, &i, &one, &ub).expect("degree ≤ 4 sums"));
+                black_box($sum_range(b, &i, &one, &ub).unwrap_or_else(|| {
+                    bail("symbolic bench: degree <= 4 summation returned none".to_string())
+                }));
             }
             bodies.len() as u64
         };
@@ -861,18 +1175,25 @@ struct AstarResult {
     cache_misses: u64,
 }
 
-fn bench_astar(smoke: bool) -> AstarResult {
-    let predictor = Predictor::new(machines::wide8());
-    let sources = [kernels::MATMUL, kernels::JACOBI, kernels::F4];
-    let subs: Vec<_> = sources
+/// MATMUL, JACOBI and F4 parsed for a restructuring session. A kernel
+/// that stops parsing aborts the named bench with the diagnostic.
+fn session_kernels(bench: &str) -> Vec<presage_frontend::Subroutine> {
+    [kernels::MATMUL, kernels::JACOBI, kernels::F4]
         .iter()
         .map(|s| {
-            presage_frontend::parse(s)
-                .expect("kernel parses")
-                .units
-                .remove(0)
+            let mut prog = presage_frontend::parse(s)
+                .unwrap_or_else(|e| bail(format!("{bench}: session kernel failed to parse: {e}")));
+            if prog.units.is_empty() {
+                bail(format!("{bench}: session kernel parsed to no units"));
+            }
+            prog.units.remove(0)
         })
-        .collect();
+        .collect()
+}
+
+fn bench_astar(smoke: bool) -> AstarResult {
+    let predictor = Predictor::new(machines::wide8());
+    let subs = session_kernels("A* bench");
     let eval_points: &[f64] = if smoke {
         &[64.0, 256.0]
     } else {
@@ -959,16 +1280,7 @@ struct SearchRow {
 }
 
 fn bench_search(smoke: bool) -> Vec<SearchRow> {
-    let sources = [kernels::MATMUL, kernels::JACOBI, kernels::F4];
-    let subs: Vec<_> = sources
-        .iter()
-        .map(|s| {
-            presage_frontend::parse(s)
-                .expect("kernel parses")
-                .units
-                .remove(0)
-        })
-        .collect();
+    let subs = session_kernels("variant-search bench");
     let eval_points: &[f64] = if smoke {
         &[64.0, 256.0]
     } else {
@@ -1138,19 +1450,25 @@ fn bench_simulator(budget: Duration) -> Vec<SimulatorRow> {
     for machine in machines::all() {
         let blocks = placement_blocks(&machine);
         let sims_per_round = (blocks.len() + 1) as u64;
+        let diverged = |engine: &str, e: presage_sim::SimError| -> ! {
+            bail(format!(
+                "simulator bench: {engine} engine failed to converge on {}: {e}",
+                machine.name()
+            ))
+        };
         let event_round = || {
             for b in &blocks {
                 let copies: Vec<&BlockIr> = std::iter::repeat(b).take(LOOP_COPIES).collect();
                 black_box(
                     scheduler::simulate_blocks(&machine, copies.iter().copied())
-                        .expect("converges"),
+                        .unwrap_or_else(|e| diverged("event-driven", e)),
                 );
             }
             let big_copies: Vec<&BlockIr> =
                 std::iter::repeat(&big).take(BIG_BLOCK_COPIES).collect();
             black_box(
                 scheduler::simulate_blocks(&machine, big_copies.iter().copied())
-                    .expect("converges"),
+                    .unwrap_or_else(|e| diverged("event-driven", e)),
             );
             sims_per_round
         };
@@ -1159,14 +1477,14 @@ fn bench_simulator(budget: Duration) -> Vec<SimulatorRow> {
                 let copies: Vec<&BlockIr> = std::iter::repeat(b).take(LOOP_COPIES).collect();
                 black_box(
                     reference::simulate_blocks(&machine, copies.iter().copied())
-                        .expect("converges"),
+                        .unwrap_or_else(|e| diverged("cycle-driven", e)),
                 );
             }
             let big_copies: Vec<&BlockIr> =
                 std::iter::repeat(&big).take(BIG_BLOCK_COPIES).collect();
             black_box(
                 reference::simulate_blocks(&machine, big_copies.iter().copied())
-                    .expect("converges"),
+                    .unwrap_or_else(|e| diverged("cycle-driven", e)),
             );
             sims_per_round
         };
@@ -1202,6 +1520,10 @@ const ASTAR_MIN: f64 = 2.0;
 /// this much per explored variant.
 const SEARCH_WIDE8_MIN: f64 = 3.0;
 const SIM_WIDE8_MIN: f64 = 4.0;
+/// Warmed (memoized) memory-model cost throughput over the naive
+/// per-nest recount on wide8 — the floor the §2.3 cache model must hold
+/// so adding memory attribution doesn't tax the batch/server hot paths.
+const MEMORY_WIDE8_MIN: f64 = 2.0;
 /// 8-worker batch prediction vs single-worker, enforced only on hosts
 /// with at least [`BATCH_MIN_CORES`] cores — scoped-thread fan-out cannot
 /// beat sequential on a single-core box, and the ratio is meaningless
@@ -1343,6 +1665,12 @@ fn main() {
         }
         return;
     }
+    if cfg.memory_only {
+        if !run_memory_bench(&cfg, budget) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let batch_floor_armed = host_cores >= BATCH_MIN_CORES;
     let batch_monotone_armed = host_cores >= BATCH_MONOTONE_MIN_CORES;
 
@@ -1476,6 +1804,7 @@ fn main() {
     );
 
     let search_ok = run_search_bench(&cfg);
+    let memory_ok = run_memory_bench(&cfg, budget);
 
     let wide8_speedup = placement
         .iter()
@@ -1504,7 +1833,7 @@ fn main() {
         .unwrap_or(0.0);
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-perfsuite-v7".into())),
+        ("schema".into(), Json::Str("presage-perfsuite-v8".into())),
         (
             "mode".into(),
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
@@ -1700,6 +2029,7 @@ fn main() {
                 ("astar_min".into(), Json::Num(ASTAR_MIN)),
                 ("search_wide8_min".into(), Json::Num(SEARCH_WIDE8_MIN)),
                 ("simulator_wide8_min".into(), Json::Num(SIM_WIDE8_MIN)),
+                ("memory_wide8_min".into(), Json::Num(MEMORY_WIDE8_MIN)),
                 ("batch_8w_min".into(), Json::Num(BATCH_8W_MIN)),
                 ("batch_min_cores".into(), Json::Num(BATCH_MIN_CORES as f64)),
                 (
@@ -1758,6 +2088,9 @@ fn main() {
             failed = true;
         }
         if !search_ok {
+            failed = true;
+        }
+        if !memory_ok {
             failed = true;
         }
         if wide8_simulator < SIM_WIDE8_MIN {

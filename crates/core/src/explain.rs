@@ -77,6 +77,35 @@ impl BlockExplain {
     }
 }
 
+/// Memory-vs-compute attribution for the whole program, present exactly
+/// when the machine declares a `cache` section. Cycle figures are the
+/// symbolic expressions evaluated at the report's default variable
+/// bindings (range midpoints), the same defaults the comparison
+/// machinery uses.
+#[derive(Clone, Debug)]
+pub struct MemoryExplain {
+    /// Instruction-stream (placement + aggregation) cycles.
+    pub compute_cycles: f64,
+    /// Memory stall cycles from the cache-line access model.
+    pub memory_cycles: f64,
+    /// Distinct cache lines behind the stall cycles.
+    pub lines: f64,
+    /// Per-reference-group line counts, for pinpointing which sweep
+    /// dominates the stalls.
+    pub groups: Vec<crate::memcost::GroupLines>,
+    /// Whether every group was counted exactly (see [`crate::memcost`]).
+    pub exact: bool,
+}
+
+impl MemoryExplain {
+    /// True when memory stalls exceed compute cycles at the evaluated
+    /// bindings — the restructurer should attack locality (tile,
+    /// interchange) before the instruction mix.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+}
+
 /// Per-block explanation of one program's placement.
 #[derive(Clone, Debug)]
 pub struct ExplainReport {
@@ -85,6 +114,9 @@ pub struct ExplainReport {
     /// One entry per placed block, in program order (preheaders,
     /// control, bodies, postheaders — the aggregation walk's order).
     pub blocks: Vec<BlockExplain>,
+    /// Memory-vs-compute attribution; `None` on perfect-cache machines
+    /// (no `cache` section), where there are no stalls to attribute.
+    pub memory: Option<MemoryExplain>,
 }
 
 impl ExplainReport {
@@ -114,6 +146,31 @@ impl fmt::Display for ExplainReport {
                     u.class,
                     u.busy,
                     u.saturation * 100.0
+                )?;
+            }
+        }
+        if let Some(m) = &self.memory {
+            writeln!(
+                f,
+                "  memory: {:.0} stall cycles over {:.0} lines vs {:.0} compute cycles ({})",
+                m.memory_cycles,
+                m.lines,
+                m.compute_cycles,
+                if m.memory_bound() {
+                    "memory-bound"
+                } else {
+                    "compute-bound"
+                }
+            )?;
+            for g in &m.groups {
+                writeln!(
+                    f,
+                    "    {} [{} member{}]: {} lines{}",
+                    g.shape,
+                    g.members,
+                    if g.members == 1 { "" } else { "s" },
+                    g.lines,
+                    if g.exact { "" } else { " (approx)" }
                 )?;
             }
         }
@@ -230,6 +287,7 @@ pub fn explain_ir(ir: &ProgramIr, machine: &MachineDesc, opts: PlaceOptions) -> 
     ExplainReport {
         name: ir.name.clone(),
         blocks,
+        memory: None,
     }
 }
 
@@ -290,6 +348,37 @@ mod tests {
         let report = p.explain_subroutine(&chain).unwrap();
         let hot = report.hottest().unwrap();
         assert_eq!(hot.bottleneck, Bottleneck::Latency, "{report}");
+    }
+
+    #[test]
+    fn cache_machines_get_memory_attribution() {
+        use presage_machine::CacheParams;
+        // Perfect-cache machine: no attribution.
+        let p = Predictor::new(machines::power_like());
+        let report = p.explain_subroutine(&sub(NEST)).unwrap();
+        assert!(report.memory.is_none());
+
+        // Same machine with a brutal miss penalty: the streaming kernel
+        // must come out memory-bound, and the report must render it.
+        let mut m = machines::power_like();
+        m.cache = Some(CacheParams {
+            line_bytes: 64,
+            size_bytes: 1 << 22,
+            miss_penalty: 500,
+            ways: 0,
+            ..CacheParams::default()
+        });
+        let p = Predictor::new(m);
+        let report = p.explain_subroutine(&sub(NEST)).unwrap();
+        let mem = report
+            .memory
+            .as_ref()
+            .expect("cache section => attribution");
+        assert!(mem.memory_cycles > 0.0 && mem.compute_cycles > 0.0);
+        assert!(mem.memory_bound(), "{mem:?}");
+        assert!(!mem.groups.is_empty());
+        let text = report.to_string();
+        assert!(text.contains("memory-bound"), "{text}");
     }
 
     #[test]

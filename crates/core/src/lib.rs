@@ -15,8 +15,10 @@
 //! - **Cost aggregation** (§2.4): [`aggregate`] builds symbolic
 //!   performance expressions over unknown bounds and branch probabilities,
 //!   with the §3.3.2 simplification heuristics.
-//! - **Memory cost model** (§2.3): [`memory`] counts cache-line accesses
-//!   per reference group with a capacity-aware reuse heuristic.
+//! - **Memory cost model** (§2.3): [`memcost`] counts the *distinct*
+//!   cache lines each reference group touches, symbolically in the loop
+//!   bounds and exactly enough to check against the simulator's cache;
+//!   [`memory`] is the original capacity-heuristic variant.
 //! - **Communication cost model**: [`comm`] is the parameterized
 //!   message-passing model used for distribution decisions.
 //! - **Library interface** (§3.5): [`library`] holds parameterized cost
@@ -52,6 +54,7 @@ pub mod costblock;
 pub mod explain;
 pub mod incremental;
 pub mod library;
+pub mod memcost;
 pub mod memory;
 pub mod overlap;
 pub mod predictor;
@@ -64,7 +67,7 @@ pub mod transcache;
 
 pub use batch::{BatchReport, BatchWorkerStats};
 pub use costblock::CostBlock;
-pub use explain::{BlockExplain, Bottleneck, ExplainReport, UnitLoad};
+pub use explain::{BlockExplain, Bottleneck, ExplainReport, MemoryExplain, UnitLoad};
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
 pub use tetris::{place_block, PlaceOptions, Placer, PreparedBlock};
 pub use transcache::TranslationCache;
@@ -74,5 +77,5 @@ pub use transcache::TranslationCache;
 /// in [`aggregate`]. The perfsuite soak check asserts this stays bounded
 /// under sustained batch load.
 pub fn l2_memo_entries() -> usize {
-    presage_symbolic::l2_memo_entries() + aggregate::l2_memo_entries()
+    presage_symbolic::l2_memo_entries() + aggregate::l2_memo_entries() + memcost::l2_memo_entries()
 }

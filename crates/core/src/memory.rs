@@ -297,7 +297,7 @@ mod tests {
         let prog = parse(src).expect("parse");
         let symbols = sema::analyze(&prog.units[0]).expect("sema");
         let ir = translate(&prog.units[0], &symbols, &m).expect("translate");
-        memory_cost(&ir, &m.cache, opts)
+        memory_cost(&ir, &m.cache.unwrap_or_default(), opts)
     }
 
     #[test]

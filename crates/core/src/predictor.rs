@@ -8,6 +8,7 @@
 use crate::aggregate::{aggregate, AggregateOptions};
 use crate::incremental::CostTree;
 use crate::library::LibraryCostTable;
+use crate::memcost::{mem_cost, MemCost};
 use crate::memory::{memory_cost, MemoryCost};
 use crate::transcache::TranslationCache;
 use presage_frontend::{parse, sema, FrontendError, Subroutine};
@@ -72,8 +73,12 @@ pub struct Prediction {
     pub name: String,
     /// Instruction-stream cost (placement + aggregation).
     pub compute: PerfExpr,
-    /// Memory cost, when enabled.
+    /// Legacy capacity-heuristic memory cost, when enabled via
+    /// [`PredictorOptions::include_memory`].
     pub memory: Option<MemoryCost>,
+    /// The §2.3 cache-line access model, present exactly when the machine
+    /// declares a `cache` section (see [`crate::memcost`]).
+    pub memcost: Option<MemCost>,
     /// `compute` plus memory stall cycles.
     pub total: PerfExpr,
     /// The translated program (for cost blocks, optimization, rendering).
@@ -230,21 +235,50 @@ impl Predictor {
             self.options.library.as_ref(),
             &self.options.aggregate,
         );
-        if self.options.include_memory {
-            let mc = memory_cost(ir, &self.machine.cache, &self.options.aggregate);
-            compute + mc.cycles
-        } else {
-            compute
+        let mut total = compute;
+        if let Some(cache) = &self.machine.cache {
+            total += mem_cost(ir, cache, &self.options.aggregate).cycles;
         }
+        if self.options.include_memory {
+            let cache = self.machine.cache.unwrap_or_default();
+            let mc = memory_cost(ir, &cache, &self.options.aggregate);
+            total += mc.cycles;
+        }
+        total
     }
 
     /// Explains an already-translated program block by block: per-unit
     /// busy/saturation and resource-free critical-path length from the
     /// Tetris placement, with a [`crate::explain::Bottleneck`] verdict
-    /// per block. The searchers use the hottest block's verdict to
-    /// order their moves (attack the saturated unit first).
+    /// per block. When the machine declares a `cache` section the report
+    /// also carries the memory-vs-compute attribution
+    /// ([`crate::explain::MemoryExplain`]): stall cycles from the
+    /// cache-line model against compute cycles, both evaluated at the
+    /// default variable bindings. The searchers use the hottest block's
+    /// verdict to order their moves (attack the saturated unit first),
+    /// and a memory-bound verdict says to attack locality before the
+    /// instruction mix.
     pub fn explain(&self, ir: &ProgramIr) -> crate::explain::ExplainReport {
-        crate::explain::explain_ir(ir, &self.machine, self.options.aggregate.place)
+        let mut report =
+            crate::explain::explain_ir(ir, &self.machine, self.options.aggregate.place);
+        if let Some(cache) = &self.machine.cache {
+            let compute = aggregate(
+                ir,
+                &self.machine,
+                self.options.library.as_ref(),
+                &self.options.aggregate,
+            );
+            let mc = mem_cost(ir, cache, &self.options.aggregate);
+            let defaults = std::collections::HashMap::new();
+            report.memory = Some(crate::explain::MemoryExplain {
+                compute_cycles: compute.eval_with_defaults(&defaults),
+                memory_cycles: mc.cycles.eval_with_defaults(&defaults),
+                lines: mc.lines.eval_with_defaults(&defaults),
+                groups: mc.groups,
+                exact: mc.exact,
+            });
+        }
+        report
     }
 
     /// Explains one parsed subroutine — [`Predictor::explain`] behind
@@ -262,6 +296,36 @@ impl Predictor {
         Ok(self.explain(&ir))
     }
 
+    /// Assembles a [`Prediction`] from a computed instruction-stream cost:
+    /// attaches the cache-line model when the machine declares a cache,
+    /// the legacy heuristic when `include_memory` is set, and totals them.
+    fn assemble(&self, name: String, ir: ProgramIr, compute: PerfExpr) -> Prediction {
+        let memcost = self
+            .machine
+            .cache
+            .as_ref()
+            .map(|cache| mem_cost(&ir, cache, &self.options.aggregate));
+        let memory = self.options.include_memory.then(|| {
+            let cache = self.machine.cache.unwrap_or_default();
+            memory_cost(&ir, &cache, &self.options.aggregate)
+        });
+        let mut total = compute.clone();
+        if let Some(mc) = &memcost {
+            total += mc.cycles.clone();
+        }
+        if let Some(mc) = &memory {
+            total += mc.cycles.clone();
+        }
+        Prediction {
+            name,
+            compute,
+            memory,
+            memcost,
+            total,
+            ir,
+        }
+    }
+
     /// Predicts an already-translated program.
     pub fn predict_ir(&self, name: String, ir: ProgramIr) -> Prediction {
         let compute = aggregate(
@@ -270,21 +334,7 @@ impl Predictor {
             self.options.library.as_ref(),
             &self.options.aggregate,
         );
-        let memory = self
-            .options
-            .include_memory
-            .then(|| memory_cost(&ir, &self.machine.cache, &self.options.aggregate));
-        let total = match &memory {
-            Some(mc) => compute.clone() + mc.cycles.clone(),
-            None => compute.clone(),
-        };
-        Prediction {
-            name,
-            compute,
-            memory,
-            total,
-            ir,
-        }
+        self.assemble(name, ir, compute)
     }
 
     /// Predicts every subroutine with *interprocedural* costing: each
@@ -314,22 +364,9 @@ impl Predictor {
             let ir = self.translated(sub)?;
             let ir = (*ir).clone();
             let compute = aggregate(&ir, &self.machine, Some(&library), &self.options.aggregate);
-            let memory = self
-                .options
-                .include_memory
-                .then(|| memory_cost(&ir, &self.machine.cache, &self.options.aggregate));
-            let total = match &memory {
-                Some(mc) => compute.clone() + mc.cycles.clone(),
-                None => compute.clone(),
-            };
-            library.insert(sub.name.clone(), sub.params.clone(), total.clone());
-            out.push(Prediction {
-                name: sub.name.clone(),
-                compute,
-                memory,
-                total,
-                ir,
-            });
+            let pred = self.assemble(sub.name.clone(), ir, compute);
+            library.insert(sub.name.clone(), sub.params.clone(), pred.total.clone());
+            out.push(pred);
         }
         Ok(out)
     }

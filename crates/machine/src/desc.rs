@@ -24,12 +24,26 @@ pub struct CacheParams {
     pub size_bytes: u64,
     /// Cycles to fill one cache line from memory.
     pub miss_penalty: u32,
+    /// Associativity: 0 = fully associative, 1 = direct-mapped, n = n-way.
+    pub ways: u32,
     /// Page size in bytes (for TLB cost).
     pub page_bytes: u64,
     /// Number of TLB entries.
     pub tlb_entries: u32,
     /// Cycles per TLB miss.
     pub tlb_penalty: u32,
+}
+
+impl CacheParams {
+    /// Elements of 8 bytes per cache line.
+    pub fn elems_per_line(&self) -> u64 {
+        (self.line_bytes / 8).max(1)
+    }
+
+    /// Number of lines the cache holds.
+    pub fn total_lines(&self) -> u64 {
+        (self.size_bytes / self.line_bytes.max(1)).max(1)
+    }
 }
 
 impl Default for CacheParams {
@@ -39,6 +53,7 @@ impl Default for CacheParams {
             line_bytes: 128,
             size_bytes: 64 * 1024,
             miss_penalty: 16,
+            ways: 1,
             page_bytes: 4096,
             tlb_entries: 128,
             tlb_penalty: 30,
@@ -92,8 +107,10 @@ pub struct MachineDesc {
     pub register_load_limit: u32,
     /// Whether the architecture has a fused multiply-add.
     pub supports_fma: bool,
-    /// Memory-hierarchy parameters.
-    pub cache: CacheParams,
+    /// Memory-hierarchy parameters. `None` models a perfect cache: every
+    /// access hits and predictions contain no memory-cost term (the
+    /// behaviour of all descriptions that predate the `cache` section).
+    pub cache: Option<CacheParams>,
     /// Modeled back-end capabilities.
     pub backend: BackendFlags,
 }
@@ -180,23 +197,17 @@ impl MachineDesc {
                 (op.variant_name().to_string(), Json::Arr(arr))
             })
             .collect();
-        let cache = Json::Obj(vec![
-            ("line_bytes".into(), Json::Num(self.cache.line_bytes as f64)),
-            ("size_bytes".into(), Json::Num(self.cache.size_bytes as f64)),
-            (
-                "miss_penalty".into(),
-                Json::Num(self.cache.miss_penalty as f64),
-            ),
-            ("page_bytes".into(), Json::Num(self.cache.page_bytes as f64)),
-            (
-                "tlb_entries".into(),
-                Json::Num(self.cache.tlb_entries as f64),
-            ),
-            (
-                "tlb_penalty".into(),
-                Json::Num(self.cache.tlb_penalty as f64),
-            ),
-        ]);
+        let cache = self.cache.as_ref().map(|c| {
+            Json::Obj(vec![
+                ("line_bytes".into(), Json::Num(c.line_bytes as f64)),
+                ("size_bytes".into(), Json::Num(c.size_bytes as f64)),
+                ("miss_penalty".into(), Json::Num(c.miss_penalty as f64)),
+                ("ways".into(), Json::Num(c.ways as f64)),
+                ("page_bytes".into(), Json::Num(c.page_bytes as f64)),
+                ("tlb_entries".into(), Json::Num(c.tlb_entries as f64)),
+                ("tlb_penalty".into(), Json::Num(c.tlb_penalty as f64)),
+            ])
+        });
         let backend = Json::Obj(vec![
             ("cse".into(), Json::Bool(self.backend.cse)),
             ("licm".into(), Json::Bool(self.backend.licm)),
@@ -211,7 +222,7 @@ impl MachineDesc {
                 Json::Bool(self.backend.strength_reduction),
             ),
         ]);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("units".into(), Json::Arr(units)),
             ("atomic_ops".into(), Json::Arr(atomic_ops)),
@@ -221,10 +232,12 @@ impl MachineDesc {
                 Json::Num(self.register_load_limit as f64),
             ),
             ("supports_fma".into(), Json::Bool(self.supports_fma)),
-            ("cache".into(), cache),
-            ("backend".into(), backend),
-        ])
-        .to_string_pretty()
+        ];
+        if let Some(cache) = cache {
+            fields.push(("cache".into(), cache));
+        }
+        fields.push(("backend".into(), backend));
+        Json::Obj(fields).to_string_pretty()
     }
 
     /// Loads a description from JSON, revalidating invariants.
@@ -234,13 +247,36 @@ impl MachineDesc {
     /// Returns [`MachineError`] for malformed JSON or descriptions that
     /// violate the builder's invariants.
     pub fn from_json(json: &str) -> Result<MachineDesc, MachineError> {
-        let desc = parse_desc(json).map_err(MachineError::Parse)?;
+        let desc = parse_desc(json).map_err(|issue| match issue {
+            ParseIssue::Malformed(e) => MachineError::Parse(e),
+            ParseIssue::UnknownCacheField(f) => MachineError::UnknownCacheField(f),
+        })?;
         validate(&desc)?;
         Ok(desc)
     }
 }
 
-fn parse_desc(json: &str) -> Result<MachineDesc, String> {
+/// Internal parse-failure channel: malformed JSON vs. a structurally valid
+/// `cache` object with a field the model does not know (surfaced as its own
+/// [`MachineError`] variant so callers can distinguish typos from syntax).
+enum ParseIssue {
+    Malformed(String),
+    UnknownCacheField(String),
+}
+
+impl From<String> for ParseIssue {
+    fn from(e: String) -> Self {
+        ParseIssue::Malformed(e)
+    }
+}
+
+impl From<&str> for ParseIssue {
+    fn from(e: &str) -> Self {
+        ParseIssue::Malformed(e.to_string())
+    }
+}
+
+fn parse_desc(json: &str) -> Result<MachineDesc, ParseIssue> {
     let root = Json::parse(json)?;
     let name = root
         .get("name")
@@ -308,20 +344,50 @@ fn parse_desc(json: &str) -> Result<MachineDesc, String> {
         .get("supports_fma")
         .and_then(Json::as_bool)
         .ok_or("machine missing `supports_fma`")?;
-    let cache_obj = root.get("cache").ok_or("machine missing `cache`")?;
-    let cache_field = |field: &str| -> Result<u64, String> {
-        cache_obj
-            .get(field)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("cache missing `{field}`"))
-    };
-    let cache = CacheParams {
-        line_bytes: cache_field("line_bytes")?,
-        size_bytes: cache_field("size_bytes")?,
-        miss_penalty: cache_field("miss_penalty")? as u32,
-        page_bytes: cache_field("page_bytes")?,
-        tlb_entries: cache_field("tlb_entries")? as u32,
-        tlb_penalty: cache_field("tlb_penalty")? as u32,
+    // The `cache` section is optional: absent means a perfect cache (the
+    // pre-cache-model behaviour), so old descriptions keep their exact
+    // predictions. When present, only known fields are accepted.
+    let cache = match root.get("cache") {
+        None => None,
+        Some(cache_obj) => {
+            const KNOWN: [&str; 7] = [
+                "line_bytes",
+                "size_bytes",
+                "miss_penalty",
+                "ways",
+                "page_bytes",
+                "tlb_entries",
+                "tlb_penalty",
+            ];
+            let fields = cache_obj.as_obj().ok_or("`cache` is not an object")?;
+            if let Some((bad, _)) = fields.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+                return Err(ParseIssue::UnknownCacheField(bad.clone()));
+            }
+            let required = |field: &str| -> Result<u64, String> {
+                cache_obj
+                    .get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("cache missing `{field}`"))
+            };
+            let optional = |field: &str, default: u64| -> Result<u64, String> {
+                match cache_obj.get(field) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| format!("cache field `{field}` is not a number")),
+                }
+            };
+            let defaults = CacheParams::default();
+            Some(CacheParams {
+                line_bytes: required("line_bytes")?,
+                size_bytes: required("size_bytes")?,
+                miss_penalty: required("miss_penalty")? as u32,
+                ways: optional("ways", defaults.ways as u64)? as u32,
+                page_bytes: optional("page_bytes", defaults.page_bytes)?,
+                tlb_entries: optional("tlb_entries", defaults.tlb_entries as u64)? as u32,
+                tlb_penalty: optional("tlb_penalty", defaults.tlb_penalty as u64)? as u32,
+            })
+        }
     };
     let backend_obj = root.get("backend").ok_or("machine missing `backend`")?;
     let backend_field = |field: &str| -> Result<bool, String> {
@@ -383,6 +449,13 @@ pub enum MachineError {
     EmptyPool(UnitClass),
     /// The same unit class is declared twice.
     DuplicatePool(UnitClass),
+    /// Two atomic operations share one name (mappings would be ambiguous
+    /// to human readers and to the inference tooling).
+    DuplicateAtomic(String),
+    /// The `cache` section contains a field the model does not know.
+    UnknownCacheField(String),
+    /// The `cache` section is present but geometrically inconsistent.
+    BadCache(String),
 }
 
 impl fmt::Display for MachineError {
@@ -403,6 +476,13 @@ impl fmt::Display for MachineError {
             }
             MachineError::EmptyPool(c) => write!(f, "unit pool {c} has zero units"),
             MachineError::DuplicatePool(c) => write!(f, "unit pool {c} declared twice"),
+            MachineError::DuplicateAtomic(name) => {
+                write!(f, "atomic op `{name}` declared twice")
+            }
+            MachineError::UnknownCacheField(field) => {
+                write!(f, "unknown cache field `{field}`")
+            }
+            MachineError::BadCache(why) => write!(f, "bad cache geometry: {why}"),
         }
     }
 }
@@ -442,6 +522,25 @@ fn validate(desc: &MachineDesc) -> Result<(), MachineError> {
             }
         }
     }
+    let mut names: Vec<&str> = Vec::with_capacity(desc.atomic_ops.len());
+    for aop in &desc.atomic_ops {
+        if names.contains(&aop.name.as_str()) {
+            return Err(MachineError::DuplicateAtomic(aop.name.clone()));
+        }
+        names.push(&aop.name);
+    }
+    if let Some(c) = &desc.cache {
+        let bad = |why: &str| Err(MachineError::BadCache(why.to_string()));
+        if c.line_bytes == 0 || c.line_bytes % 8 != 0 {
+            return bad("line_bytes must be a positive multiple of 8");
+        }
+        if c.size_bytes < c.line_bytes || c.size_bytes % c.line_bytes != 0 {
+            return bad("size_bytes must be a positive multiple of line_bytes");
+        }
+        if c.ways != 0 && (c.size_bytes / c.line_bytes) % c.ways as u64 != 0 {
+            return bad("ways must divide the line count");
+        }
+    }
     Ok(())
 }
 
@@ -467,12 +566,14 @@ pub struct MachineBuilder {
     mapping: BTreeMap<BasicOp, Vec<AtomicOpId>>,
     register_load_limit: u32,
     supports_fma: bool,
-    cache: CacheParams,
+    cache: Option<CacheParams>,
     backend: BackendFlags,
 }
 
 impl MachineBuilder {
-    /// Starts a description with the given machine name.
+    /// Starts a description with the given machine name. No `cache`
+    /// section is attached by default: the machine models a perfect cache
+    /// until [`MachineBuilder::cache`] is called.
     pub fn new(name: impl Into<String>) -> MachineBuilder {
         MachineBuilder {
             name: name.into(),
@@ -481,7 +582,7 @@ impl MachineBuilder {
             mapping: BTreeMap::new(),
             register_load_limit: 24,
             supports_fma: false,
-            cache: CacheParams::default(),
+            cache: None,
             backend: BackendFlags::default(),
         }
     }
@@ -526,9 +627,9 @@ impl MachineBuilder {
         self
     }
 
-    /// Sets memory-hierarchy parameters.
+    /// Sets memory-hierarchy parameters (enables the memory cost model).
     pub fn cache(&mut self, cache: CacheParams) -> &mut Self {
-        self.cache = cache;
+        self.cache = Some(cache);
         self
     }
 
@@ -640,9 +741,93 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let m = toy_builder().build().unwrap();
+        assert!(m.cache.is_none(), "builder default is a perfect cache");
         let json = m.to_json();
+        assert!(
+            !json.contains("\"cache\""),
+            "perfect-cache machines serialize without a cache section"
+        );
         let back = MachineDesc::from_json(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn json_roundtrip_with_cache() {
+        let mut b = toy_builder();
+        b.cache(CacheParams {
+            line_bytes: 64,
+            size_bytes: 32 * 1024,
+            miss_penalty: 20,
+            ways: 2,
+            ..CacheParams::default()
+        });
+        let m = b.build().unwrap();
+        let json = m.to_json();
+        assert!(json.contains("\"cache\""));
+        let back = MachineDesc::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.cache.unwrap().ways, 2);
+    }
+
+    #[test]
+    fn duplicate_atomic_name_rejected() {
+        let mut b = toy_builder();
+        b.atomic("add", vec![UnitCost::new(UnitClass::Alu, 1, 0)]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            MachineError::DuplicateAtomic("add".into())
+        );
+    }
+
+    #[test]
+    fn unknown_cache_field_rejected() {
+        let mut b = toy_builder();
+        b.cache(CacheParams::default());
+        let json = b.build().unwrap().to_json().replace("\"ways\"", "\"waze\"");
+        assert_eq!(
+            MachineDesc::from_json(&json).unwrap_err(),
+            MachineError::UnknownCacheField("waze".into())
+        );
+    }
+
+    #[test]
+    fn bad_cache_geometry_rejected() {
+        for (line, size, ways) in [
+            (0u64, 1024u64, 1u32),
+            (100, 1024, 1),
+            (128, 64, 1),
+            (128, 1024, 3),
+        ] {
+            let mut b = toy_builder();
+            b.cache(CacheParams {
+                line_bytes: line,
+                size_bytes: size,
+                ways,
+                ..CacheParams::default()
+            });
+            assert!(
+                matches!(b.build(), Err(MachineError::BadCache(_))),
+                "line {line} size {size} ways {ways} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_optional_fields_default() {
+        let json = r#"{"line_bytes": 64, "size_bytes": 8192, "miss_penalty": 10}"#;
+        let mut b = toy_builder();
+        b.cache(CacheParams::default());
+        let full = b.build().unwrap().to_json();
+        // Swap the serialized cache object for a minimal one; parsing must
+        // fill the optional fields with defaults.
+        let start = full.find("\"cache\": {").unwrap();
+        let end = full[start..].find('}').unwrap() + start + 1;
+        let minimal = format!("{}\"cache\": {}{}", &full[..start], json, &full[end..]);
+        let m = MachineDesc::from_json(&minimal).unwrap();
+        let c = m.cache.unwrap();
+        assert_eq!((c.line_bytes, c.size_bytes, c.miss_penalty), (64, 8192, 10));
+        assert_eq!(c.ways, CacheParams::default().ways);
+        assert_eq!(c.page_bytes, CacheParams::default().page_bytes);
     }
 
     #[test]

@@ -39,6 +39,13 @@
 //! {"id":8,"ok":false,"kind":"machine","error":"unknown machine `vax`"}
 //! ```
 //!
+//! When the job's machine declares a `cache` section, each prediction
+//! additionally carries `"compute"` (the instruction-stream cost alone)
+//! and a `"memory"` object — `{"cycles": ..., "lines": ..., "exact":
+//! bool}` from the §2.3 cache-line access model — and `"cost"` is their
+//! total. Perfect-cache machines (no `cache` section) are bit-identical
+//! to the pre-cache protocol.
+//!
 //! After EOF the server writes one final `{"stats": ...}` line with
 //! latency percentiles and cache/memo/arena telemetry, then returns the
 //! same [`ServerStats`] to the caller.
@@ -437,16 +444,33 @@ fn parse_job(line: &str) -> Result<Job, String> {
     })
 }
 
-/// A success response line.
+/// A success response line. `cost` is always the total; when the
+/// machine declares a `cache` section each prediction additionally
+/// carries the memory-vs-compute split (`compute` plus a `memory`
+/// object with stall cycles, distinct-line count, and exactness), so
+/// restructuring clients can tell a locality problem from an
+/// instruction-mix problem without re-deriving the model.
 fn ok_json(id: &Json, us: u64, predictions: &[presage_core::predictor::Prediction]) -> Json {
     let preds = predictions
         .iter()
         .map(|p| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("name".into(), Json::Str(p.name.clone())),
                 ("cost".into(), Json::Str(p.total.to_string())),
                 ("concrete".into(), Json::Bool(p.total.is_concrete())),
-            ])
+            ];
+            if let Some(mc) = &p.memcost {
+                fields.push(("compute".into(), Json::Str(p.compute.to_string())));
+                fields.push((
+                    "memory".into(),
+                    Json::Obj(vec![
+                        ("cycles".into(), Json::Str(mc.cycles.to_string())),
+                        ("lines".into(), Json::Str(mc.lines.to_string())),
+                        ("exact".into(), Json::Bool(mc.exact)),
+                    ]),
+                ));
+            }
+            Json::Obj(fields)
         })
         .collect();
     Json::Obj(vec![
@@ -591,6 +615,43 @@ mod tests {
                 "{line:?}"
             );
         }
+    }
+
+    #[test]
+    fn cache_machines_report_the_memory_split() {
+        use presage_machine::CacheParams;
+        // Register a cached variant over the built-in name: the registry
+        // wins resolution, so every job in the wave sees the cache.
+        let mut cached = machines::power_like();
+        cached.cache = Some(CacheParams::default());
+        let mut server = Server::new(ServerConfig::default()).with_machine(cached);
+        let input = format!(
+            "{{\"id\": 1, \"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n{{\"id\": 2, \"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n"
+        );
+        let mut out = Vec::new();
+        server.run(input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        for line in &lines[..2] {
+            let pred = &line.get("predictions").unwrap().as_arr().unwrap()[0];
+            let mem = pred.get("memory").expect("cache section => memory split");
+            assert!(mem.get("cycles").and_then(Json::as_str).is_some());
+            assert!(mem.get("lines").and_then(Json::as_str).is_some());
+            assert_eq!(mem.get("exact").and_then(Json::as_bool), Some(true));
+            assert!(pred.get("compute").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn perfect_cache_responses_omit_the_memory_split() {
+        let input = format!("{{\"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n");
+        let (lines, _) = serve(&input, ServerConfig::default());
+        let pred = &lines[0].get("predictions").unwrap().as_arr().unwrap()[0];
+        assert!(pred.get("memory").is_none());
+        assert!(pred.get("compute").is_none());
     }
 
     #[test]

@@ -73,17 +73,34 @@ fn main() {
     }
 }
 
-/// Accepts connections forever (exits only on a listener error), serving
-/// each as one JSON-lines stream. Returns the last connection's stats if
-/// the listener dies; under normal operation this never returns.
+/// Accepts connections forever, serving each as one JSON-lines stream.
+/// Only a bind failure is fatal: a connection that dies between accept
+/// and setup (reset mid-handshake, dead socket on `peer_addr` or
+/// `try_clone`) is logged and skipped, so one bad client can never take
+/// the daemon down. Under normal operation this never returns.
 fn serve_tcp(server: &mut Server, addr: &str) -> std::io::Result<presage_server::ServerStats> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("presage-server: listening on {addr}");
     let mut last = presage_server::ServerStats::default();
     for stream in listener.incoming() {
-        let stream = stream?;
-        let peer = stream.peer_addr()?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("presage-server: accept failed: {e}");
+                continue;
+            }
+        };
+        let peer = match stream.peer_addr() {
+            Ok(p) => p.to_string(),
+            Err(_) => "<unknown peer>".to_string(),
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(e) => {
+                eprintln!("presage-server: {peer}: cannot clone stream: {e}");
+                continue;
+            }
+        };
         let mut writer = stream;
         match server.run(reader, &mut writer) {
             Ok(stats) => {

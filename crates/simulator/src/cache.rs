@@ -1,0 +1,559 @@
+//! Line-counting cache oracle for the memory cost model.
+//!
+//! The symbolic model in `presage-core`'s `memcost` module claims that a
+//! loop nest touches a particular number of distinct cache lines —
+//! polynomial in the loop bounds. This module is the other half of that
+//! differential: it *walks* the translated program with every variable
+//! bound to a concrete integer, computes the real element address of
+//! every load and store, and drives a set-associative LRU line cache.
+//! When the cache capacity covers the footprint, the miss count is
+//! exactly the number of distinct lines touched, and
+//! `tests/memcost_differential.rs` in `presage-core` asserts the two
+//! sides agree line-for-line on the Figure 7 kernels.
+//!
+//! # Layout contract (shared with the cost model)
+//!
+//! Both sides must place arrays identically or the comparison is
+//! meaningless. The contract: column-major storage, 8-byte elements,
+//! every array base aligned to a line boundary, the leading (contiguous)
+//! dimension padded up to a whole number of lines, arrays laid out in
+//! [`ProgramIr::arrays`] declaration order, subscripts 1-based.
+//! The padding makes subscript tuples and lines bijective across
+//! dimensions: two references can only share a line when they agree on
+//! every non-leading subscript.
+//!
+//! # This is a model oracle, not a trace simulator
+//!
+//! The walk mirrors the cost model's charging rules rather than any one
+//! real execution: loop preheaders and postheaders run once, the control
+//! and body blocks run once per iteration, and **both** branches of an
+//! `if` are walked (the predictor charges both, weighted by probability;
+//! the oracle checks the line counts those charges are built from).
+//! Operations without a memory reference — including spill traffic,
+//! which carries `mem: None` — never touch the cache, matching the cost
+//! model's reference collection exactly.
+
+use presage_frontend::{BinOp, Expr, Intrinsic, UnOp};
+use presage_machine::CacheParams;
+use presage_translate::{BlockIr, IrNode, LoopIr, ProgramIr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Access and miss totals from one cache walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheCounts {
+    /// Memory operations that reached the cache (loads + stores with a
+    /// memory reference).
+    pub accesses: u64,
+    /// Accesses whose line was not resident.
+    pub misses: u64,
+}
+
+/// Why a cache walk could not be carried out.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CacheSimError {
+    /// An expression referenced a variable with no concrete binding.
+    UnboundVariable(String),
+    /// A memory reference named an array with no declaration.
+    UnknownArray(String),
+    /// A reference's subscript count disagrees with the declaration.
+    SubscriptRank {
+        /// The array whose reference is malformed.
+        array: String,
+        /// Declared dimension count.
+        expected: usize,
+        /// Subscripts on the offending reference.
+        got: usize,
+    },
+    /// An array dimension evaluated to zero or a negative extent.
+    BadExtent(String),
+    /// A loop step evaluated to zero.
+    ZeroStep(String),
+    /// An expression form the integer evaluator does not support
+    /// (e.g. an array-valued subscript).
+    UnsupportedExpr(String),
+    /// The walk exceeded the iteration safety cap.
+    IterationCap,
+}
+
+impl fmt::Display for CacheSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheSimError::UnboundVariable(v) => {
+                write!(f, "variable `{v}` has no concrete binding")
+            }
+            CacheSimError::UnknownArray(a) => write!(f, "array `{a}` is not declared"),
+            CacheSimError::SubscriptRank {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array `{array}` declared with {expected} dimensions but referenced with {got}"
+            ),
+            CacheSimError::BadExtent(a) => {
+                write!(f, "array `{a}` has a non-positive dimension extent")
+            }
+            CacheSimError::ZeroStep(v) => write!(f, "loop over `{v}` has step 0"),
+            CacheSimError::UnsupportedExpr(e) => {
+                write!(f, "cannot evaluate expression `{e}` to an integer")
+            }
+            CacheSimError::IterationCap => {
+                write!(f, "walk exceeded the iteration safety cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheSimError {}
+
+/// Total block executions before the walk aborts (guards against
+/// enormous concrete bounds rather than real kernels).
+const WALK_CAP: u64 = 1 << 28;
+
+/// Walks `ir` with every free variable bound through `bindings`, driving
+/// a set-associative LRU cache shaped by `cache`, and returns the access
+/// and miss totals.
+///
+/// Associativity follows [`CacheParams::ways`]: `0` is fully
+/// associative, `1` direct-mapped, `n` n-way. Size a fully-associative
+/// cache at or above [`layout_lines`] and the misses are exactly the
+/// distinct lines the program touches.
+///
+/// # Errors
+///
+/// Returns a [`CacheSimError`] when a bound cannot be evaluated, an
+/// array reference is malformed, or the walk would not terminate.
+pub fn simulate_cache(
+    ir: &ProgramIr,
+    cache: &CacheParams,
+    bindings: &HashMap<String, i64>,
+) -> Result<CacheCounts, CacheSimError> {
+    let mut env: HashMap<String, i128> = bindings
+        .iter()
+        .map(|(k, &v)| (k.clone(), i128::from(v)))
+        .collect();
+    let layout = Layout::build(ir, cache, &env)?;
+    let mut sim = LineCache::new(cache);
+    let mut budget = WALK_CAP;
+    walk_nodes(&ir.root, &mut env, &layout, &mut sim, &mut budget)?;
+    Ok(sim.counts)
+}
+
+/// Number of cache lines the program's arrays occupy under the layout
+/// contract — the footprint a differential cache must cover to make
+/// every miss compulsory.
+///
+/// # Errors
+///
+/// Returns a [`CacheSimError`] when an array extent cannot be evaluated
+/// under `bindings`.
+pub fn layout_lines(
+    ir: &ProgramIr,
+    cache: &CacheParams,
+    bindings: &HashMap<String, i64>,
+) -> Result<u64, CacheSimError> {
+    let env: HashMap<String, i128> = bindings
+        .iter()
+        .map(|(k, &v)| (k.clone(), i128::from(v)))
+        .collect();
+    let layout = Layout::build(ir, cache, &env)?;
+    Ok(layout.total_lines)
+}
+
+// ---------------------------------------------------------------------
+// Storage layout.
+// ---------------------------------------------------------------------
+
+/// One array's placement: base element address (always a line multiple)
+/// and the element stride of each dimension.
+struct ArrayLayout {
+    base_elem: i128,
+    strides: Vec<i128>,
+}
+
+struct Layout {
+    arrays: HashMap<String, ArrayLayout>,
+    elems_per_line: i128,
+    total_lines: u64,
+}
+
+impl Layout {
+    fn build(
+        ir: &ProgramIr,
+        cache: &CacheParams,
+        env: &HashMap<String, i128>,
+    ) -> Result<Layout, CacheSimError> {
+        let epl = cache.elems_per_line() as i128;
+        let mut arrays = HashMap::new();
+        let mut cursor: i128 = 0; // next free element address, line-aligned
+        for decl in &ir.arrays {
+            let mut extents = Vec::with_capacity(decl.dims.len());
+            for d in &decl.dims {
+                let e = eval_int(d, env)?;
+                if e <= 0 {
+                    return Err(CacheSimError::BadExtent(decl.name.clone()));
+                }
+                extents.push(e);
+            }
+            // Column-major with the leading dimension padded up to a
+            // whole number of lines; outer dimensions use the declared
+            // extents.
+            let mut strides = Vec::with_capacity(extents.len());
+            let mut stride: i128 = 1;
+            for (i, &e) in extents.iter().enumerate() {
+                strides.push(stride);
+                stride *= if i == 0 { round_up(e, epl) } else { e };
+            }
+            arrays.insert(
+                decl.name.clone(),
+                ArrayLayout {
+                    base_elem: cursor,
+                    strides,
+                },
+            );
+            // `stride` is now the padded element count: a line multiple
+            // because the leading dimension was rounded up.
+            cursor += round_up(stride, epl);
+        }
+        Ok(Layout {
+            arrays,
+            elems_per_line: epl,
+            total_lines: (cursor / epl) as u64,
+        })
+    }
+
+    /// The line index a reference touches.
+    fn line_of(
+        &self,
+        array: &str,
+        subscripts: &[Expr],
+        env: &HashMap<String, i128>,
+    ) -> Result<i128, CacheSimError> {
+        let a = self
+            .arrays
+            .get(array)
+            .ok_or_else(|| CacheSimError::UnknownArray(array.to_string()))?;
+        if subscripts.len() != a.strides.len() {
+            return Err(CacheSimError::SubscriptRank {
+                array: array.to_string(),
+                expected: a.strides.len(),
+                got: subscripts.len(),
+            });
+        }
+        let mut elem = a.base_elem;
+        for (sub, stride) in subscripts.iter().zip(&a.strides) {
+            elem += (eval_int(sub, env)? - 1) * stride;
+        }
+        Ok(elem.div_euclid(self.elems_per_line))
+    }
+}
+
+fn round_up(v: i128, to: i128) -> i128 {
+    v.div_euclid(to) * to + if v.rem_euclid(to) == 0 { 0 } else { to }
+}
+
+// ---------------------------------------------------------------------
+// The cache proper.
+// ---------------------------------------------------------------------
+
+/// Set-associative LRU over line indices. Each set is kept in recency
+/// order (most recently used last); resident sets never exceed the
+/// footprint, so the linear scans stay cheap for oracle-sized runs.
+struct LineCache {
+    sets: Vec<Vec<i128>>,
+    assoc: usize,
+    counts: CacheCounts,
+}
+
+impl LineCache {
+    fn new(params: &CacheParams) -> LineCache {
+        let total = params.total_lines().max(1) as usize;
+        let (num_sets, assoc) = match params.ways {
+            0 => (1, total),
+            w => {
+                let w = (w as usize).min(total);
+                ((total / w).max(1), w)
+            }
+        };
+        LineCache {
+            sets: vec![Vec::new(); num_sets],
+            assoc,
+            counts: CacheCounts::default(),
+        }
+    }
+
+    fn access(&mut self, line: i128) {
+        self.counts.accesses += 1;
+        let idx = line.rem_euclid(self.sets.len() as i128) as usize;
+        let set = &mut self.sets[idx];
+        match set.iter().position(|&l| l == line) {
+            Some(pos) => {
+                set.remove(pos);
+                set.push(line);
+            }
+            None => {
+                self.counts.misses += 1;
+                if set.len() >= self.assoc {
+                    set.remove(0);
+                }
+                set.push(line);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The walk.
+// ---------------------------------------------------------------------
+
+fn touch_block(
+    block: &BlockIr,
+    env: &HashMap<String, i128>,
+    layout: &Layout,
+    sim: &mut LineCache,
+    budget: &mut u64,
+) -> Result<(), CacheSimError> {
+    if *budget == 0 {
+        return Err(CacheSimError::IterationCap);
+    }
+    *budget -= 1;
+    for (_, mref) in block.mem_refs() {
+        let line = layout.line_of(&mref.array, &mref.subscripts, env)?;
+        sim.access(line);
+    }
+    Ok(())
+}
+
+fn walk_nodes(
+    nodes: &[IrNode],
+    env: &mut HashMap<String, i128>,
+    layout: &Layout,
+    sim: &mut LineCache,
+    budget: &mut u64,
+) -> Result<(), CacheSimError> {
+    for node in nodes {
+        match node {
+            IrNode::Block(b) => touch_block(b, env, layout, sim, budget)?,
+            IrNode::Loop(l) => walk_loop(l, env, layout, sim, budget)?,
+            IrNode::If(i) => {
+                touch_block(&i.cond_block, env, layout, sim, budget)?;
+                walk_nodes(&i.then_nodes, env, layout, sim, budget)?;
+                walk_nodes(&i.else_nodes, env, layout, sim, budget)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn walk_loop(
+    l: &LoopIr,
+    env: &mut HashMap<String, i128>,
+    layout: &Layout,
+    sim: &mut LineCache,
+    budget: &mut u64,
+) -> Result<(), CacheSimError> {
+    touch_block(&l.preheader, env, layout, sim, budget)?;
+    // Fortran do-loop semantics: bounds and step are evaluated once.
+    let lb = eval_int(&l.lb, env)?;
+    let ub = eval_int(&l.ub, env)?;
+    let step = match &l.step {
+        Some(s) => eval_int(s, env)?,
+        None => 1,
+    };
+    if step == 0 {
+        return Err(CacheSimError::ZeroStep(l.var.clone()));
+    }
+    let shadowed = env.get(&l.var).copied();
+    let mut v = lb;
+    while (step > 0 && v <= ub) || (step < 0 && v >= ub) {
+        env.insert(l.var.clone(), v);
+        touch_block(&l.control, env, layout, sim, budget)?;
+        walk_nodes(&l.body, env, layout, sim, budget)?;
+        v += step;
+    }
+    match shadowed {
+        Some(prev) => env.insert(l.var.clone(), prev),
+        None => env.remove(&l.var),
+    };
+    // The postheader (reduction store-back) runs after the loop exits,
+    // with the control variable out of scope for the cost model.
+    touch_block(&l.postheader, env, layout, sim, budget)
+}
+
+/// Evaluates an integer source expression under concrete bindings.
+/// Division truncates toward zero (Fortran integer division), matching
+/// the cost model's evaluator.
+fn eval_int(e: &Expr, env: &HashMap<String, i128>) -> Result<i128, CacheSimError> {
+    match e {
+        Expr::IntLit(n) => Ok(i128::from(*n)),
+        Expr::Var(name) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| CacheSimError::UnboundVariable(name.clone())),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Ok(-eval_int(operand, env)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_int(lhs, env)?;
+            let r = eval_int(rhs, env)?;
+            match op {
+                BinOp::Add => Ok(l + r),
+                BinOp::Sub => Ok(l - r),
+                BinOp::Mul => l
+                    .checked_mul(r)
+                    .ok_or_else(|| CacheSimError::UnsupportedExpr(e.to_string())),
+                BinOp::Div if r != 0 => Ok(l / r),
+                _ => Err(CacheSimError::UnsupportedExpr(e.to_string())),
+            }
+        }
+        Expr::Intrinsic { func, args } => {
+            let vals: Result<Vec<i128>, CacheSimError> =
+                args.iter().map(|a| eval_int(a, env)).collect();
+            let vals = vals?;
+            match (func, vals.into_iter()) {
+                (Intrinsic::Min, it) => it
+                    .min()
+                    .ok_or_else(|| CacheSimError::UnsupportedExpr(e.to_string())),
+                (Intrinsic::Max, it) => it
+                    .max()
+                    .ok_or_else(|| CacheSimError::UnsupportedExpr(e.to_string())),
+                _ => Err(CacheSimError::UnsupportedExpr(e.to_string())),
+            }
+        }
+        other => Err(CacheSimError::UnsupportedExpr(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presage_frontend::{parse, sema};
+    use presage_machine::machines;
+    use presage_translate::translate;
+
+    fn ir_of(src: &str) -> ProgramIr {
+        let prog = parse(src).expect("parse");
+        let symbols = sema::analyze(&prog.units[0]).expect("sema");
+        translate(&prog.units[0], &symbols, &machines::power_like()).expect("translate")
+    }
+
+    fn cache64() -> CacheParams {
+        CacheParams {
+            line_bytes: 64,
+            size_bytes: 1 << 22,
+            miss_penalty: 10,
+            ways: 0,
+            ..CacheParams::default()
+        }
+    }
+
+    fn bind(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    const COPY: &str = "subroutine copy(a, b, n)
+        real a(n), b(n)
+        integer i, n
+        do i = 1, n
+          a(i) = b(i)
+        end do
+      end";
+
+    #[test]
+    fn unit_stride_copy_misses_once_per_line() {
+        let ir = ir_of(COPY);
+        let c = simulate_cache(&ir, &cache64(), &bind(&[("n", 512)])).unwrap();
+        // 512 loads + 512 stores; 64 lines per array, each missed once.
+        assert_eq!(c.accesses, 1024);
+        assert_eq!(c.misses, 128);
+    }
+
+    #[test]
+    fn direct_mapped_same_set_arrays_thrash() {
+        let ir = ir_of(COPY);
+        // Tiny direct-mapped cache: a(i) and b(i) offsets within the
+        // cache collide every iteration, so every access misses.
+        let params = CacheParams {
+            line_bytes: 64,
+            size_bytes: 4096,
+            miss_penalty: 10,
+            ways: 1,
+            ..CacheParams::default()
+        };
+        let c = simulate_cache(&ir, &params, &bind(&[("n", 512)])).unwrap();
+        assert_eq!(c.misses, 1024, "every access conflict-misses");
+        // Fully associative at the same size holds both streams.
+        let fa = CacheParams { ways: 0, ..params };
+        let c = simulate_cache(&ir, &fa, &bind(&[("n", 512)])).unwrap();
+        assert_eq!(c.misses, 128);
+    }
+
+    #[test]
+    fn padded_leading_dimension_separates_columns() {
+        // A 6-wide leading dimension pads to 8 elements (one 64-byte
+        // line), so each of the 6 columns starts its own line.
+        let ir = ir_of(
+            "subroutine fill(a, n)
+               real a(6, n)
+               integer i, j, n
+               do j = 1, n
+                 do i = 1, 6
+                   a(i, j) = 0.0
+                 end do
+               end do
+             end",
+        );
+        let c = simulate_cache(&ir, &cache64(), &bind(&[("n", 10)])).unwrap();
+        assert_eq!(c.misses, 10, "one padded line per column");
+        assert_eq!(
+            layout_lines(&ir, &cache64(), &bind(&[("n", 10)])).unwrap(),
+            10
+        );
+    }
+
+    #[test]
+    fn reuse_never_remisses_under_covering_capacity() {
+        // b(j) is swept n times; with capacity over the footprint only
+        // the first sweep misses.
+        let ir = ir_of(
+            "subroutine outer(a, b, n)
+               real a(n), b(n)
+               integer i, j, n
+               do i = 1, n
+                 do j = 1, n
+                   a(i) = a(i) + b(j)
+                 end do
+               end do
+             end",
+        );
+        let c = simulate_cache(&ir, &cache64(), &bind(&[("n", 64)])).unwrap();
+        assert_eq!(c.misses, 16, "8 lines of a + 8 lines of b");
+    }
+
+    #[test]
+    fn zero_trip_loop_still_runs_headers() {
+        let ir = ir_of(
+            "subroutine red(s, a, n, m)
+               real s, a(n)
+               integer i, n, m
+               s = 0.0
+               do i = 1, m
+                 s = s + a(i)
+               end do
+             end",
+        );
+        // m = 0: the body never runs; header blocks hold no array refs
+        // here, so the walk completes with zero accesses.
+        let c = simulate_cache(&ir, &cache64(), &bind(&[("n", 8), ("m", 0)])).unwrap();
+        assert_eq!(c.accesses, 0);
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let ir = ir_of(COPY);
+        let err = simulate_cache(&ir, &cache64(), &bind(&[])).unwrap_err();
+        assert_eq!(err, CacheSimError::UnboundVariable("n".into()));
+    }
+}

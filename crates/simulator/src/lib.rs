@@ -25,7 +25,10 @@
 //! Around the engines sit [`batch`] (scoped-thread fan-out over
 //! `(machine, block)` jobs) and [`baseline`] (content-hash-keyed
 //! persisted results so the bench tables skip re-simulating unchanged
-//! kernels).
+//! kernels). [`cache`] plays the same oracle role for the memory cost
+//! model: a set-associative LRU line cache driven by the real element
+//! addresses of a concrete-bounds walk, checked line-for-line against
+//! the symbolic distinct-line polynomials.
 //!
 //! # No issue-width limit (deliberate)
 //!
@@ -43,6 +46,7 @@
 
 pub mod baseline;
 pub mod batch;
+pub mod cache;
 mod micro;
 pub mod naive;
 pub mod reference;
@@ -50,5 +54,6 @@ pub mod scheduler;
 
 pub use baseline::BaselineStore;
 pub use batch::{simulate_batch, simulate_loop_batch};
+pub use cache::{layout_lines, simulate_cache, CacheCounts, CacheSimError};
 pub use naive::{naive_block_cost, naive_loop_cost, op_count_cost};
 pub use scheduler::{simulate_block, simulate_blocks, simulate_loop, SimError, SimResult};

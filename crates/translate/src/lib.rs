@@ -26,5 +26,5 @@ pub mod intern;
 pub mod passes;
 
 pub use ir::{BlockId, BlockIr, DepCsr, MemRef, Op, OpId, ValueDef, ValueId};
-pub use program::{IfIr, IrNode, LoopIr, ProgramIr};
+pub use program::{ArrayDecl, IfIr, IrNode, LoopIr, ProgramIr};
 pub use translate::{translate, TranslateError};

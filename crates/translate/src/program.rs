@@ -16,8 +16,22 @@ pub struct ProgramIr {
     pub name: String,
     /// Formal parameters.
     pub params: Vec<String>,
+    /// Declared arrays (name + dimension extents), in declaration order.
+    /// The memory cost model and the cache simulator use these to agree
+    /// on one storage layout; scalars are not listed.
+    pub arrays: Vec<ArrayDecl>,
     /// Top-level nodes.
     pub root: Vec<IrNode>,
+}
+
+/// One declared array: its name and per-dimension extents as source
+/// expressions (symbolic bounds like `n` stay symbolic).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Dimension extents, leftmost (contiguous, column-major) first.
+    pub dims: Vec<Expr>,
 }
 
 /// A node of the structured tree.

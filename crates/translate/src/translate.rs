@@ -79,11 +79,33 @@ pub fn translate(
 ) -> Result<ProgramIr, TranslateError> {
     let ctx = Ctx { machine, symbols };
     let root = ctx.nodes(&sub.body, None)?;
+    // Declared arrays, sorted by name so the layout downstream consumers
+    // derive from this list is deterministic (the symbol table iterates
+    // in hash order).
+    let mut arrays: Vec<crate::program::ArrayDecl> = symbols
+        .iter()
+        .filter(|s| s.is_array())
+        .map(|s| crate::program::ArrayDecl {
+            name: s.name.clone(),
+            dims: s.dims.clone(),
+        })
+        .collect();
+    arrays.sort_by(|a, b| a.name.cmp(&b.name));
     let mut ir = ProgramIr {
         name: sub.name.clone(),
         params: sub.params.clone(),
+        arrays,
         root,
     };
+    // Canonical operation ordering before interning: commuted operand
+    // orders translate to isomorphic dependence graphs, and this pass
+    // makes them byte-for-byte the same op sequence, so the (order
+    // sensitive) greedy placement predicts one cost per structural class
+    // and hash-consing below merges what the e-graph considers equal.
+    ir.visit_blocks_mut(&mut |b| {
+        let owned = std::mem::take(b);
+        *b = crate::passes::canonical_order(owned);
+    });
     // Hash-cons every block into the process-wide arena so downstream
     // memo keys (scheduling memo, steady-state prober) become id compares
     // instead of per-lookup content rehashes.

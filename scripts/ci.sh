@@ -66,6 +66,13 @@ cargo test -q --test structural_search
 echo "== batch scaling: 1..4-worker monotone floor + soak footprint ceilings"
 cargo run --release -p presage-bench --bin perfsuite -- --batch-only
 
+echo "== memory model: differential proof vs the line-counting cache + machine-file negatives"
+cargo test -q --test memcost_differential
+cargo test -q --test machine_files
+
+echo "== memory model: memoized mem_cost floor + memory-vs-compute split (writes BENCH_memory.json)"
+cargo run --release -p presage-bench --bin perfsuite -- --memory-only
+
 echo "== variant search: e-graph vs textual A* floor (full budgets, writes BENCH_search.json)"
 cargo run --release -p presage-bench --bin perfsuite -- --search-only
 
@@ -76,8 +83,8 @@ echo "== epoch reclamation: differential proof across reclaiming epochs"
 cargo test -q --test epoch_differential
 cargo test -q -p presage-symbolic --test cap_pressure
 
-echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator + search)"
-cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json --search-out BENCH_search_smoke.json
-rm -f BENCH_smoke.json BENCH_search_smoke.json
+echo "== perfsuite --smoke (placement + prediction + translation + symbolic + simulator + search + memory)"
+cargo run --release -p presage-bench --bin perfsuite -- --smoke --out BENCH_smoke.json --search-out BENCH_search_smoke.json --memory-out BENCH_memory_smoke.json
+rm -f BENCH_smoke.json BENCH_search_smoke.json BENCH_memory_smoke.json
 
 echo "ci: all checks passed"

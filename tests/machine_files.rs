@@ -1,7 +1,9 @@
 //! The shipped machine-description JSON files load, validate, and agree
-//! with the built-in definitions (the paper's portability claim as data).
+//! with the built-in definitions (the paper's portability claim as data),
+//! and corrupted descriptions are rejected with a named diagnosis rather
+//! than loading into a machine that predicts garbage.
 
-use presage::machine::{machines, MachineDesc};
+use presage::machine::{machines, CacheParams, MachineDesc, MachineError};
 
 #[test]
 fn shipped_json_machines_match_builtins() {
@@ -31,4 +33,76 @@ fn json_loaded_machine_predicts_identically() {
         .predict_source(src)
         .unwrap();
     assert_eq!(a[0].total, b[0].total);
+}
+
+/// The shipped file with one textual mutation applied — the corruption a
+/// hand-edited description picks up, not a synthetic fixture.
+fn corrupted(from: &str, to: &str) -> String {
+    let base = include_str!("../machines/power-like.json");
+    assert!(base.contains(from), "mutation target {from:?} not in file");
+    base.replacen(from, to, 1)
+}
+
+#[test]
+fn duplicate_atomic_names_are_rejected() {
+    // Renaming `muli.s` to `a` collides with the existing `a` atomic.
+    let bad = corrupted("\"name\": \"muli.s\"", "\"name\": \"a\"");
+    match MachineDesc::from_json(&bad) {
+        Err(MachineError::DuplicateAtomic(name)) => assert_eq!(name, "a"),
+        other => panic!("expected DuplicateAtomic, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_count_unit_pools_are_rejected() {
+    // The first `count` in the file is the Fxu pool's.
+    let bad = corrupted("\"count\": 1", "\"count\": 0");
+    assert!(
+        matches!(
+            MachineDesc::from_json(&bad),
+            Err(MachineError::EmptyPool(_))
+        ),
+        "a zero-unit pool must not validate"
+    );
+}
+
+#[test]
+fn unknown_cache_fields_are_rejected() {
+    // A `cache` section with a typoed field must name the stranger, not
+    // silently ignore it (a misspelled `ways` would change predictions).
+    let bad = corrupted(
+        "\"name\": \"power-like\",",
+        "\"name\": \"power-like\",\n  \"cache\": { \"line_bytes\": 64, \"size_bytes\": 65536, \"miss_penalty\": 15, \"waze\": 2 },",
+    );
+    match MachineDesc::from_json(&bad) {
+        Err(MachineError::UnknownCacheField(field)) => assert_eq!(field, "waze"),
+        other => panic!("expected UnknownCacheField, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_sections_round_trip_through_json() {
+    // A valid cache section loads into the documented parameters, and the
+    // shipped (cache-less) files stay perfect-cache machines.
+    let with_cache = corrupted(
+        "\"name\": \"power-like\",",
+        "\"name\": \"power-like\",\n  \"cache\": { \"line_bytes\": 128, \"size_bytes\": 65536, \"miss_penalty\": 15, \"ways\": 4 },",
+    );
+    let loaded = MachineDesc::from_json(&with_cache).expect("cache section validates");
+    let cache = loaded.cache.expect("cache section is parsed");
+    assert_eq!(
+        (
+            cache.line_bytes,
+            cache.size_bytes,
+            cache.miss_penalty,
+            cache.ways
+        ),
+        (128, 65536, 15, 4)
+    );
+    // Unspecified fields fall back to the documented defaults.
+    let defaults = CacheParams::default();
+    assert_eq!(cache.page_bytes, defaults.page_bytes);
+    assert_eq!(cache.tlb_entries, defaults.tlb_entries);
+    let plain = MachineDesc::from_json(include_str!("../machines/power-like.json")).unwrap();
+    assert!(plain.cache.is_none(), "shipped files stay perfect-cache");
 }

@@ -1,0 +1,180 @@
+//! Differential oracle for the §2.3 memory cost model: the predicted
+//! distinct-cache-line counts (symbolic in the loop bounds) must equal
+//! the miss counts of the line-counting cache simulator on the Figure 7
+//! suite, kernel by kernel, machine by machine.
+//!
+//! The simulated cache is sized to cover every kernel's footprint and
+//! made fully associative (`ways: 0`), so its misses are *exactly* the
+//! distinct lines touched — the quantity the model predicts. Both sides
+//! implement the same layout contract (column-major, 8-byte elements,
+//! line-aligned bases, leading dimension padded to the line size), so
+//! any disagreement is a modelling bug, not a layout convention.
+//!
+//! Two prediction paths are checked:
+//!
+//! 1. [`count_lines_concrete`] — exact counting at arbitrary concrete
+//!    bounds, including unaligned trip counts and block origins.
+//! 2. The symbolic polynomial from [`mem_cost_fresh`], evaluated at
+//!    bounds satisfying the alignment discipline the closed form
+//!    assumes (line-size-divisible trips, parameters ≡ 1 mod the line
+//!    width).
+//!
+//! A third test pins the compatibility contract: machines without a
+//! `cache` section (all shipped builtins) predict a total identical to
+//! the pure compute cost, with no memory attribution at all.
+
+use presage::core::aggregate::AggregateOptions;
+use presage::core::memcost::{count_lines_concrete, mem_cost_fresh};
+use presage::core::predictor::Predictor;
+use presage::machine::{machines, CacheParams, MachineDesc};
+use presage::sim::simulate_cache;
+use presage::symbolic::Symbol;
+use presage_bench::kernels::{self, figure7};
+use std::collections::HashMap;
+
+/// The oracle geometry: 64-byte lines (8 doubles), fully associative,
+/// capacity far beyond any Figure 7 footprint — misses == distinct lines.
+fn covering_cache(line_bytes: u64) -> CacheParams {
+    CacheParams {
+        line_bytes,
+        size_bytes: 1 << 24,
+        miss_penalty: 10,
+        ways: 0,
+        ..CacheParams::default()
+    }
+}
+
+fn shipped_machines() -> Vec<MachineDesc> {
+    vec![
+        machines::power_like(),
+        machines::risc1(),
+        machines::wide4(),
+        machines::wide8(),
+    ]
+}
+
+fn bind(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+}
+
+/// Concrete integer bindings per kernel: one deliberately unaligned set
+/// (odd bounds, off-line block origins) and one aligned set. Matmul's
+/// free parameters `i`, `j` are the register-block origin.
+fn concrete_bindings(kernel: &str) -> Vec<HashMap<String, i64>> {
+    match kernel {
+        "Matmul" => vec![
+            bind(&[("n", 37), ("i", 5), ("j", 9)]),
+            bind(&[("n", 64), ("i", 1), ("j", 1)]),
+        ],
+        _ => vec![bind(&[("n", 37)]), bind(&[("n", 64)])],
+    }
+}
+
+/// Bindings satisfying the symbolic form's alignment discipline for
+/// 8-element lines: trip counts divisible by the line width and
+/// parameters ≡ 1 (mod 8). Jacobi runs 2..n-1 (trip n-2, so n = 66);
+/// red-black steps by 2 over 2..n-1 (n = 65 keeps the span even and the
+/// trip a multiple of 4).
+fn aligned_bindings(kernel: &str) -> HashMap<String, i64> {
+    match kernel {
+        "Matmul" => bind(&[("n", 64), ("i", 1), ("j", 1)]),
+        "Jacobi" => bind(&[("n", 66)]),
+        "RB" => bind(&[("n", 65)]),
+        _ => bind(&[("n", 64)]),
+    }
+}
+
+#[test]
+fn concrete_line_counts_match_the_simulated_cache() {
+    for machine in shipped_machines() {
+        for k in figure7() {
+            let ir = kernels::translate_kernel(k.source, &machine);
+            for line_bytes in [32, 64, 128] {
+                let cache = covering_cache(line_bytes);
+                for bindings in concrete_bindings(k.name) {
+                    let predicted =
+                        count_lines_concrete(&ir, &cache, &bindings).unwrap_or_else(|| {
+                            panic!("{} on {}: model defeated", k.name, machine.name())
+                        });
+                    let counts = simulate_cache(&ir, &cache, &bindings).unwrap_or_else(|e| {
+                        panic!("{} on {}: simulator failed: {e}", k.name, machine.name())
+                    });
+                    assert_eq!(
+                        predicted,
+                        counts.misses,
+                        "{} on {} ({}B lines, bindings {bindings:?}): predicted {predicted} \
+                         distinct lines, simulator missed {}",
+                        k.name,
+                        machine.name(),
+                        line_bytes,
+                        counts.misses
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symbolic_polynomials_match_the_simulated_cache_under_the_discipline() {
+    let opts = AggregateOptions::default();
+    let cache = covering_cache(64);
+    for machine in shipped_machines() {
+        for k in figure7() {
+            let ir = kernels::translate_kernel(k.source, &machine);
+            let mc = mem_cost_fresh(&ir, &cache, &opts);
+            assert!(
+                mc.exact,
+                "{} on {}: symbolic count fell back to a bound: {:?}",
+                k.name,
+                machine.name(),
+                mc.groups
+            );
+            let bindings = aligned_bindings(k.name);
+            let point: HashMap<Symbol, f64> = bindings
+                .iter()
+                .map(|(name, v)| (Symbol::new(name), *v as f64))
+                .collect();
+            let predicted = mc.lines.eval_with_defaults(&point);
+            let counts = simulate_cache(&ir, &cache, &bindings).unwrap_or_else(|e| {
+                panic!("{} on {}: simulator failed: {e}", k.name, machine.name())
+            });
+            assert_eq!(
+                predicted,
+                counts.misses as f64,
+                "{} on {} (bindings {bindings:?}): polynomial {} evaluates to {predicted}, \
+                 simulator missed {}",
+                k.name,
+                machine.name(),
+                mc.lines,
+                counts.misses
+            );
+        }
+    }
+}
+
+#[test]
+fn machines_without_a_cache_section_predict_pure_compute() {
+    // The compatibility half of the bugfix: every shipped machine has no
+    // `cache` section, so its predictions carry no memory attribution and
+    // the total is bit-identical to the compute cost — exactly what these
+    // machines predicted before the memory model existed.
+    for machine in shipped_machines() {
+        assert!(machine.cache.is_none(), "builtins stay perfect-cache");
+        let predictor = Predictor::new(machine.clone());
+        for k in figure7() {
+            let preds = predictor
+                .predict_source(k.source)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, machine.name()));
+            let p = &preds[0];
+            assert!(p.memcost.is_none(), "{}: no cache, no memcost", k.name);
+            assert_eq!(
+                p.total.to_string(),
+                p.compute.to_string(),
+                "{} on {}: total must be the compute cost verbatim",
+                k.name,
+                machine.name()
+            );
+        }
+    }
+}

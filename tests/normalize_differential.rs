@@ -22,12 +22,14 @@
 //!   makes it sound for the e-graph and the prediction cache to cost a
 //!   class once via its representative.
 //!
-//! Commutative-operand merging is deliberately *excluded* from P3: the
-//! catalog transforms never reorder operands, so the search space never
-//! exercises it, and the greedy placement is not invariant under operand
-//! emission order (Jacobi on wide8 shifts by ~12% — see EXPERIMENTS.md).
-//! For commuted variants only key equality is asserted; the textual
-//! oracle is retained in-tree precisely to keep this boundary observable.
+//! Commutative-operand merging used to be *excluded* from P3: the greedy
+//! placement was not invariant under operand emission order (Jacobi on
+//! wide8 shifted by ~12% — see EXPERIMENTS.md E15). The canonical
+//! operation ordering pass (`translate::passes::canonical_order`) closed
+//! that hole: commuted variants now translate to the same op sequence,
+//! so the commuted-variant test below asserts *cost equality* on every
+//! shipped machine, not just key equality. The textual oracle is
+//! retained in-tree to keep the (now-closed) boundary observable.
 
 use std::collections::{HashMap, HashSet};
 
@@ -442,12 +444,14 @@ fn p3_structural_classes_are_cost_uniform() {
 }
 
 #[test]
-fn commuted_operands_share_a_structural_key_only() {
+fn commuted_operands_share_a_structural_key_and_a_cost() {
     // Operand order merges structurally (the normal form sorts
-    // commutative operands) but is intentionally NOT part of the cost
-    // claim: the greedy placement is order-sensitive, and the catalog
-    // transforms never commute operands, so the search never relies on
-    // it. Key equality is the whole contract here.
+    // commutative operands), and since the canonical operation ordering
+    // pass it also merges *behaviorally*: commuted sources translate to
+    // one op sequence, so the order-sensitive greedy placement predicts
+    // one cost. Before that pass, Jacobi on wide8 shifted by ~12% under
+    // operand commutation (E15) — this test is the regression fence.
+    let eval_points = [64.0, 500.0];
     for k in figure7() {
         let sub = parse(k.source).unwrap().units.remove(0);
         let commuted = commute(&sub);
@@ -464,6 +468,22 @@ fn commuted_operands_share_a_structural_key_only() {
                 "{}: the textual oracle keeps commuted operands distinct",
                 k.name
             );
+        }
+        for machine in shipped_machines() {
+            let name = machine.name().to_string();
+            let predictor = Predictor::new(machine);
+            let a = predictor.predict_subroutine_cost(&sub).unwrap();
+            let b = predictor.predict_subroutine_cost(&commuted).unwrap();
+            for &n in &eval_points {
+                let mut bind = HashMap::new();
+                bind.insert(presage::symbolic::Symbol::new("n"), n);
+                let (ca, cb) = (a.eval_with_defaults(&bind), b.eval_with_defaults(&bind));
+                assert!(
+                    (ca - cb).abs() <= 1e-9 * ca.abs().max(1.0),
+                    "{} on {name}: commuted variant predicts {cb}, original {ca}",
+                    k.name
+                );
+            }
         }
     }
 }
