@@ -793,6 +793,16 @@ struct MemoryScenarioRow {
     memory_bound: bool,
 }
 
+/// Prints any non-fatal description warnings for a machine entering the
+/// suite (e.g. a cache section whose declared TLB fields are parsed but
+/// never charged), so benchmark numbers are not read against knobs that
+/// silently do nothing.
+fn print_machine_warnings(machine: &MachineDesc) {
+    for w in machine.warnings() {
+        eprintln!("perfsuite: warning: machine `{}`: {w}", machine.name());
+    }
+}
+
 /// The cache geometry the memory gate runs: 64-byte lines (8 doubles),
 /// 1 MiB, fully associative, a POWER1-flavoured 15-cycle line fill.
 fn gate_cache() -> CacheParams {
@@ -848,6 +858,7 @@ fn bench_memory(budget: Duration) -> Vec<MemoryRow> {
 fn memory_scenarios() -> Vec<MemoryScenarioRow> {
     let mut machine = machines::wide8();
     machine.cache = Some(gate_cache());
+    print_machine_warnings(&machine);
     let predictor = Predictor::new(machine);
     let point: HashMap<Symbol, f64> = [("n", 512.0), ("i", 1.0), ("j", 1.0)]
         .into_iter()
@@ -1277,6 +1288,22 @@ struct SearchRow {
     egraph_expansions: u64,
     found_at_heuristic_on: u64,
     found_at_heuristic_off: u64,
+    /// Candidate evaluations over the cold session with bound pruning on.
+    pruned_evaluated: u64,
+    /// Same cold session with pruning off — the denominator of the
+    /// expansions-to-winner reduction gate.
+    unpruned_evaluated: u64,
+    /// Predictions the admissible bound skipped outright (cold, pruned).
+    predictions_avoided: u64,
+    /// Pruned and unpruned winners bit-identical on every (kernel, eval
+    /// point) — the winner-invariance admissibility guarantees.
+    winners_match: bool,
+    /// Pruned winner never predicts worse than the unpruned A* oracle.
+    dominates_astar: bool,
+    /// Mean `lower bound / predicted cost` of the session kernels at
+    /// n = 256: how much of the true cost the bound explains (1.0 would
+    /// be a perfect bound).
+    bound_tightness: f64,
 }
 
 fn bench_search(smoke: bool) -> Vec<SearchRow> {
@@ -1293,11 +1320,12 @@ fn bench_search(smoke: bool) -> Vec<SearchRow> {
         eval_point: HashMap::from([("n".to_string(), n)]),
         ..Default::default()
     };
-    let config_at = |n: f64, heuristic: bool| SearchConfig {
+    let config_at = |n: f64, heuristic: bool, prune: bool| SearchConfig {
         strategy: SearchStrategy::EGraph,
         options: opts_at(n),
         node_budget: 256,
         heuristic,
+        prune,
     };
     const REPS: usize = 3;
 
@@ -1339,7 +1367,8 @@ fn bench_search(smoke: bool) -> Vec<SearchRow> {
             }
         }
 
-        // Structural session: same workload through the e-graph engine.
+        // Structural session: same workload through the e-graph engine,
+        // bound pruning on (the shipped default).
         let egraph_cache = PredictionCache::new();
         let egraph_session = |cache: &PredictionCache, heuristic: bool| {
             let mut explored = 0u64;
@@ -1348,8 +1377,14 @@ fn bench_search(smoke: bool) -> Vec<SearchRow> {
             let mut found_at = 0u64;
             for sub in &subs {
                 for &n in eval_points {
-                    let r = search_cached(sub, &predictor, &config_at(n, heuristic), cache);
-                    explored += (r.evaluated + r.merged_variants + r.rejected_variants) as u64;
+                    let r = search_cached(sub, &predictor, &config_at(n, heuristic, true), cache);
+                    // A pruned candidate is a dispositioned variant like a
+                    // merged or rejected one: the engine considered it and
+                    // resolved it without a prediction, so it counts
+                    // toward the session's processing rate.
+                    explored +=
+                        (r.evaluated + r.merged_variants + r.rejected_variants + r.pruned_variants)
+                            as u64;
                     merged += r.merged_variants as u64;
                     expansions += r.expansions as u64;
                     found_at += r.best_found_at as u64;
@@ -1374,6 +1409,63 @@ fn bench_search(smoke: bool) -> Vec<SearchRow> {
         // costs without explain-driven move ordering.
         let (_, _, _, found_at_off) = egraph_session(&PredictionCache::new(), false);
 
+        // Pruning effectiveness, measured cold (fresh prediction cache
+        // per search, so every avoided prediction is real work avoided,
+        // not a cache hit): the same session with the bound on and off,
+        // winner identity checked per (kernel, eval point), plus the
+        // unpruned A* oracle for the dominance check.
+        let mut pruned_evaluated = 0u64;
+        let mut unpruned_evaluated = 0u64;
+        let mut predictions_avoided = 0u64;
+        let mut winners_match = true;
+        let mut dominates_astar = true;
+        for sub in &subs {
+            for &n in eval_points {
+                let rp = search_cached(
+                    sub,
+                    &predictor,
+                    &config_at(n, true, true),
+                    &PredictionCache::new(),
+                );
+                let ru = search_cached(
+                    sub,
+                    &predictor,
+                    &config_at(n, true, false),
+                    &PredictionCache::new(),
+                );
+                let ra = astar_search_cached(sub, &predictor, &opts_at(n), &PredictionCache::new());
+                pruned_evaluated += rp.evaluated as u64;
+                unpruned_evaluated += ru.evaluated as u64;
+                predictions_avoided += rp.pruned_variants as u64;
+                if rp.best.to_string() != ru.best.to_string() {
+                    winners_match = false;
+                }
+                if rp.best_cost > ra.best_cost + 1e-6 {
+                    dominates_astar = false;
+                }
+            }
+        }
+
+        // Bound tightness: how much of the predicted cost the admissible
+        // floor explains on the unmodified kernels at n = 256.
+        let bindings: HashMap<Symbol, f64> = HashMap::from([(Symbol::new("n"), 256.0)]);
+        let mut tightness_sum = 0.0;
+        for sub in &subs {
+            let lb = predictor
+                .lower_bound_subroutine(sub, &bindings)
+                .unwrap_or(0.0);
+            let cost = predictor
+                .predict_subroutine_cost(sub)
+                .map(|e| e.eval_with_defaults(&bindings))
+                .unwrap_or(f64::INFINITY);
+            tightness_sum += if cost > 0.0 && cost.is_finite() {
+                lb / cost
+            } else {
+                0.0
+            };
+        }
+        let bound_tightness = tightness_sum / subs.len() as f64;
+
         let astar_rate = astar_explored as f64 / astar_secs;
         let egraph_rate = egraph_stats.0 as f64 / egraph_secs;
         rows.push(SearchRow {
@@ -1387,6 +1479,12 @@ fn bench_search(smoke: bool) -> Vec<SearchRow> {
             egraph_expansions: egraph_stats.2,
             found_at_heuristic_on: egraph_stats.3,
             found_at_heuristic_off: found_at_off,
+            pruned_evaluated,
+            unpruned_evaluated,
+            predictions_avoided,
+            winners_match,
+            dominates_astar,
+            bound_tightness,
         });
     }
     rows
@@ -1519,6 +1617,15 @@ const ASTAR_MIN: f64 = 2.0;
 /// floor: AST normalization must beat re-emit + re-parse by at least
 /// this much per explored variant.
 const SEARCH_WIDE8_MIN: f64 = 3.0;
+/// The wide8 e-graph throughput recorded in BENCH_search.json before the
+/// bound-and-prune core landed (PR 7 baseline): the pruned engine with
+/// the block-summary cache must beat it by [`SEARCH_WIDE8_VPS_GAIN_MIN`].
+const SEARCH_WIDE8_BASELINE_VPS: f64 = 8963.0;
+/// Required variants-evaluated-per-second gain over the PR 7 baseline.
+const SEARCH_WIDE8_VPS_GAIN_MIN: f64 = 1.5;
+/// Cold-session candidate evaluations with bound pruning on must be at
+/// most this fraction of the unpruned count on wide8.
+const SEARCH_PRUNED_RATIO_MAX: f64 = 0.7;
 const SIM_WIDE8_MIN: f64 = 4.0;
 /// Warmed (memoized) memory-model cost throughput over the naive
 /// per-nest recount on wide8 — the floor the §2.3 cache model must hold
@@ -1565,9 +1672,20 @@ fn run_search_bench(cfg: &Config) -> bool {
             row.found_at_heuristic_on,
             row.found_at_heuristic_off
         );
+        eprintln!(
+            "  {:>10}  pruning: {} evals vs {} unpruned ({:.2}x), {} predictions avoided, bound tightness {:.3}, winners {}, A* dominance {}",
+            "",
+            row.pruned_evaluated,
+            row.unpruned_evaluated,
+            row.pruned_evaluated as f64 / row.unpruned_evaluated.max(1) as f64,
+            row.predictions_avoided,
+            row.bound_tightness,
+            if row.winners_match { "identical" } else { "DIVERGED" },
+            if row.dominates_astar { "holds" } else { "VIOLATED" },
+        );
     }
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("presage-search-bench-v1".into())),
+        ("schema".into(), Json::Str("presage-search-bench-v2".into())),
         (
             "mode".into(),
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.into()),
@@ -1606,6 +1724,24 @@ fn run_search_bench(cfg: &Config) -> bool {
                                 "found_at_heuristic_off".into(),
                                 Json::Num(r.found_at_heuristic_off as f64),
                             ),
+                            (
+                                "pruned_evaluated".into(),
+                                Json::Num(r.pruned_evaluated as f64),
+                            ),
+                            (
+                                "unpruned_evaluated".into(),
+                                Json::Num(r.unpruned_evaluated as f64),
+                            ),
+                            (
+                                "predictions_avoided".into(),
+                                Json::Num(r.predictions_avoided as f64),
+                            ),
+                            ("winners_match".into(), Json::Bool(r.winners_match)),
+                            ("dominates_astar".into(), Json::Bool(r.dominates_astar)),
+                            (
+                                "bound_tightness".into(),
+                                Json::Num((r.bound_tightness * 1000.0).round() / 1000.0),
+                            ),
                         ])
                     })
                     .collect(),
@@ -1613,10 +1749,21 @@ fn run_search_bench(cfg: &Config) -> bool {
         ),
         (
             "targets".into(),
-            Json::Obj(vec![(
-                "search_wide8_min".into(),
-                Json::Num(SEARCH_WIDE8_MIN),
-            )]),
+            Json::Obj(vec![
+                ("search_wide8_min".into(), Json::Num(SEARCH_WIDE8_MIN)),
+                (
+                    "search_wide8_baseline_vps".into(),
+                    Json::Num(SEARCH_WIDE8_BASELINE_VPS),
+                ),
+                (
+                    "search_wide8_vps_gain_min".into(),
+                    Json::Num(SEARCH_WIDE8_VPS_GAIN_MIN),
+                ),
+                (
+                    "search_pruned_ratio_max".into(),
+                    Json::Num(SEARCH_PRUNED_RATIO_MAX),
+                ),
+            ]),
         ),
     ]);
     if let Err(err) = std::fs::write(&cfg.search_out, report.to_string_pretty() + "\n") {
@@ -1627,19 +1774,49 @@ fn run_search_bench(cfg: &Config) -> bool {
     if cfg.smoke {
         return true;
     }
-    let wide8 = rows
-        .iter()
-        .find(|r| r.machine == "wide8")
-        .map(|r| r.speedup)
-        .unwrap_or(0.0);
-    if wide8 < SEARCH_WIDE8_MIN {
-        eprintln!(
-            "FAIL: e-graph search speedup on wide8 is {wide8:.2}x (target {SEARCH_WIDE8_MIN}x)"
-        );
+    let Some(wide8) = rows.iter().find(|r| r.machine == "wide8") else {
+        eprintln!("FAIL: no wide8 row in the search bench");
         return false;
+    };
+    let mut ok = true;
+    if wide8.speedup < SEARCH_WIDE8_MIN {
+        eprintln!(
+            "FAIL: e-graph search speedup on wide8 is {:.2}x (target {SEARCH_WIDE8_MIN}x)",
+            wide8.speedup
+        );
+        ok = false;
     }
-    eprintln!("perfsuite: search target met (wide8 {wide8:.2}x >= {SEARCH_WIDE8_MIN}x)");
-    true
+    let vps_floor = SEARCH_WIDE8_BASELINE_VPS * SEARCH_WIDE8_VPS_GAIN_MIN;
+    if wide8.egraph_variants_per_sec < vps_floor {
+        eprintln!(
+            "FAIL: wide8 e-graph throughput {:.0} variants/s is below {:.0} ({}x the PR 7 baseline {:.0})",
+            wide8.egraph_variants_per_sec, vps_floor, SEARCH_WIDE8_VPS_GAIN_MIN, SEARCH_WIDE8_BASELINE_VPS
+        );
+        ok = false;
+    }
+    if !wide8.winners_match {
+        eprintln!("FAIL: wide8 pruned-search winner diverged from the unpruned winner");
+        ok = false;
+    }
+    if !wide8.dominates_astar {
+        eprintln!("FAIL: wide8 pruned-search winner predicts worse than the A* oracle");
+        ok = false;
+    }
+    let ratio = wide8.pruned_evaluated as f64 / wide8.unpruned_evaluated.max(1) as f64;
+    if ratio > SEARCH_PRUNED_RATIO_MAX {
+        eprintln!(
+            "FAIL: wide8 pruned session evaluated {:.2}x of the unpruned count (max {SEARCH_PRUNED_RATIO_MAX}x)",
+            ratio
+        );
+        ok = false;
+    }
+    if ok {
+        eprintln!(
+            "perfsuite: search targets met (wide8 {:.2}x >= {SEARCH_WIDE8_MIN}x, {:.0} variants/s >= {:.0}, pruned ratio {:.2} <= {SEARCH_PRUNED_RATIO_MAX}, winners identical, A* dominance holds)",
+            wide8.speedup, wide8.egraph_variants_per_sec, vps_floor, ratio
+        );
+    }
+    ok
 }
 
 fn main() {
@@ -1652,6 +1829,9 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    for machine in machines::all() {
+        print_machine_warnings(&machine);
+    }
 
     if cfg.search_only {
         if !run_search_bench(&cfg) {

@@ -313,8 +313,10 @@ fn memo_place(machine: &MachineDesc, opts: PlaceOptions, block: &BlockIr) -> (u3
 
 /// Memoized per-iteration steady-state cost of `body` followed by the
 /// loop `control` block. Keyed on the *pair*, so the merged probe block
-/// is only materialized on a miss.
-fn memo_steady(
+/// is only materialized on a miss. Shared with [`crate::bounds`]: the
+/// admissible lower bound floors this exact value, so a bound
+/// computation warms the same memo a later prediction reads.
+pub(crate) fn memo_steady(
     machine: &MachineDesc,
     opts: PlaceOptions,
     probes: u32,
@@ -639,7 +641,7 @@ fn trip_key(l: &LoopIr) -> u128 {
 }
 
 /// Memoized `(count, lb)` for a loop header (see [`TRIP_MEMO`]).
-fn trip_count_memo(l: &LoopIr) -> (Poly, Poly) {
+pub(crate) fn trip_count_memo(l: &LoopIr) -> (Poly, Poly) {
     TRIP_MEMO.with(|m| {
         let key = trip_key(l);
         if let Some(hit) = m.borrow().get(&key) {

@@ -1,0 +1,730 @@
+//! Admissible lower bounds on block and subroutine cost, plus the
+//! per-block summary cache that serves them (and the explain path).
+//!
+//! The transformation search (§3.2) prunes a candidate only when a
+//! *sound* floor on its cost already exceeds the incumbent's predicted
+//! cost — admissibility is what makes pruning winner-invariant. Three
+//! floors are computed straight from [`BlockIr`], without running the
+//! Tetris placement:
+//!
+//! - **Dependence critical path** ([`crate::explain::critical_path`]):
+//!   every operation waits out its predecessors' expanded atomic
+//!   latencies, so no placement and no schedule — greedy or
+//!   event-driven — completes before the longest chain.
+//! - **Port pressure**: pool `p` of `count_p` instances retires at most
+//!   `count_p` noncoverable cycles per cycle, so any schedule of the
+//!   block's operations needs at least `ceil(busy_p / count_p)` cycles,
+//!   where `busy_p` sums the expanded atomic noncoverable costs over
+//!   the block (a floor on what the placer actually places — spill
+//!   heuristics only add work).
+//! - **Steady-state loop floor** ([`steady_iter_lower_bound`]): the
+//!   overlap prober's `(c_k − c_1)/(k − 1)` is resource-driven and has
+//!   no useful placement-free floor on wide machines (port quotients
+//!   divide by the pool width; the measured value comes from slot
+//!   congestion at dependence-chain roots), so the floor reads the
+//!   *exact* per-iteration value from the content-keyed memo the
+//!   aggregator itself charges from — trivially admissible, and the
+//!   entries it warms are the ones the winner's prediction reads.
+//!
+//! [`subroutine_lower_bound`] composes the block floors through trip
+//! counts exactly the way [`crate::aggregate`] composes costs: loops
+//! multiply by the (corner-minimized) symbolic trip count, conditionals
+//! take the cheaper branch, calls contribute nothing (their table cost
+//! is nonnegative).
+//!
+//! The same two-level, epoch-aware memo that backs the bounds also
+//! caches [`BlockSummary`] — the placed completion/span/critical-path/
+//! busy profile of a block keyed by its interned
+//! [`presage_translate::BlockId`] (or content) × machine. A search
+//! variant whose rewrite touched `k` of `n` blocks re-places only those
+//! `k`; the untouched blocks keep their interned ids and hit this
+//! cache, which is what turns whole-subroutine explanation in the
+//! search inner loop into delta work. The L2 is wiped by the
+//! `blockcost-l2` reclaimer on every epoch advance (retired block ids
+//! are never reused, so their entries can never hit again).
+
+use crate::aggregate::{trip_count_memo, AggregateOptions};
+use crate::explain::critical_path;
+use crate::tetris::{place_block, PlaceOptions};
+use presage_frontend::fold::fold128;
+use presage_machine::{MachineDesc, UnitClass};
+use presage_symbolic::memo::{self, ShardedMemo};
+use presage_symbolic::{PerfExpr, Poly, Symbol, VarInfo};
+use presage_translate::{BlockIr, IfIr, IrNode, LoopIr, ProgramIr};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::LazyLock;
+
+/// Placed summary of one block: everything the explain path and the
+/// bound composition need, cached so unchanged blocks are never
+/// re-placed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockSummary {
+    /// Completion time of the last result (includes trailing coverable
+    /// latency), the quantity [`crate::aggregate`] charges per block.
+    pub completion: u32,
+    /// Placed span (first to last occupied slot).
+    pub span: u32,
+    /// Resource-free dependence critical path.
+    pub critical_path: u32,
+    /// Placed noncoverable cycles per unit class, machine unit order,
+    /// zero-busy pools omitted.
+    pub busy: Vec<(UnitClass, u32)>,
+}
+
+const BOUNDS_MEMO_CAP: usize = 1 << 12;
+const L2_SHARDS: usize = 16;
+const L2_CAP_PER_SHARD: usize = BOUNDS_MEMO_CAP / L2_SHARDS * 2;
+
+/// Fixed cross-thread seed for the bound-memo content hash, disjoint
+/// from the scheduling-memo seed so the two key families cannot alias.
+const BOUNDS_SEED: u64 = 0x5851_f42d_4c95_7f2d;
+
+struct BoundsMemo {
+    buf: Vec<u8>,
+    summary: HashMap<u128, BlockSummary>,
+    lower: HashMap<u128, u32>,
+}
+
+thread_local! {
+    static BOUNDS_MEMO: RefCell<BoundsMemo> = RefCell::new(BoundsMemo {
+        buf: Vec::new(),
+        summary: HashMap::new(),
+        lower: HashMap::new(),
+    });
+
+    static L1_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static SUMMARY_L2: LazyLock<ShardedMemo<u128, BlockSummary>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+static LOWER_L2: LazyLock<ShardedMemo<u128, u32>> =
+    LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
+/// Total entries across the block-summary/bound L2 memos (soak
+/// telemetry).
+pub(crate) fn l2_memo_entries() -> usize {
+    SUMMARY_L2.len() + LOWER_L2.len()
+}
+
+/// Clears the thread-local bound memos when the epoch has advanced
+/// since this thread last queried them (same contract as the
+/// scheduling L1s: entries keyed by reclaimed block ids can never hit
+/// again, so stamping bounds their growth).
+fn sync_l1_epoch(pin_epoch: u64) {
+    L1_EPOCH.with(|e| {
+        if e.get() != pin_epoch {
+            e.set(pin_epoch);
+            BOUNDS_MEMO.with(|m| {
+                let mut m = m.borrow_mut();
+                m.summary.clear();
+                m.lower.clear();
+            });
+        }
+    });
+}
+
+/// Registers (once per process) the epoch hook that wipes the
+/// block-summary/bound L2s on every advance, reporting the reclaimed
+/// entry count as `blockcost-l2`.
+fn ensure_bounds_reclaimer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        presage_symbolic::epoch::register_reclaimer("blockcost-l2", |_bound| {
+            let n = l2_memo_entries();
+            SUMMARY_L2.clear();
+            LOWER_L2.clear();
+            n
+        });
+    });
+}
+
+/// Key-space tags: the two value tables share one encoding, a leading
+/// tag byte keeps their key families disjoint.
+const TAG_SUMMARY: u8 = 1;
+const TAG_LOWER: u8 = 2;
+
+/// Encodes `(tag, machine, focus span, blocks)` and folds it into the
+/// 128-bit memo key. Interned blocks contribute their 4-byte id (an id
+/// compare is a content compare); un-interned blocks fall back to the
+/// content encoding behind a disjoint tag byte.
+fn bounds_key(
+    memo: &mut BoundsMemo,
+    tag: u8,
+    machine: &MachineDesc,
+    focus: Option<u32>,
+    blocks: &[&BlockIr],
+) -> u128 {
+    let mut buf = std::mem::take(&mut memo.buf);
+    buf.clear();
+    buf.push(tag);
+    buf.extend_from_slice(machine.name().as_bytes());
+    buf.push(0);
+    match focus {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    for b in blocks {
+        match b.interned_id() {
+            Some(id) => {
+                buf.push(1);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+            }
+            None => {
+                buf.push(0);
+                b.encode_content(&mut buf);
+            }
+        }
+    }
+    let key = fold128(&buf, BOUNDS_SEED);
+    memo.buf = buf;
+    key
+}
+
+/// Noncoverable cycles the block's operations demand from each unit
+/// pool, from the atomic expansion alone — a floor on what any
+/// placement places (spill heuristics only add busy cycles).
+fn op_busy(machine: &MachineDesc, block: &BlockIr) -> Vec<(UnitClass, u32)> {
+    let mut busy: Vec<(UnitClass, u32)> = machine.units().iter().map(|p| (p.class, 0u32)).collect();
+    for op in &block.ops {
+        for &a in machine.expand(op.basic) {
+            for (class, b) in &mut busy {
+                *b += machine.atomic(a).busy_on(*class);
+            }
+        }
+    }
+    busy.retain(|(_, b)| *b > 0);
+    busy
+}
+
+/// The placement-free lower bound on a block's completion time (and on
+/// the event-driven simulator's makespan): the larger of the dependence
+/// critical path and the worst per-pool port-pressure quotient
+/// `ceil(busy_p / count_p)`.
+pub fn block_lower_bound(machine: &MachineDesc, block: &BlockIr) -> u32 {
+    ensure_bounds_reclaimer();
+    let guard = presage_symbolic::epoch::pin();
+    sync_l1_epoch(guard.epoch());
+    BOUNDS_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        let key = bounds_key(&mut m, TAG_LOWER, machine, None, &[block]);
+        if let Some(&v) = m.lower.get(&key) {
+            memo::record_l1_hit();
+            return v;
+        }
+        let v = if let Some(hit) = LOWER_L2.get(&key) {
+            memo::record_l2_hit();
+            hit
+        } else {
+            memo::record_miss();
+            let v = block_lower_bound_uncached(machine, block);
+            LOWER_L2.insert(key, v);
+            v
+        };
+        if m.lower.len() >= BOUNDS_MEMO_CAP {
+            m.lower.clear();
+        }
+        m.lower.insert(key, v);
+        v
+    })
+}
+
+fn block_lower_bound_uncached(machine: &MachineDesc, block: &BlockIr) -> u32 {
+    let cp = critical_path(block, machine);
+    let port = port_quotient(machine, block);
+    cp.max(port)
+}
+
+/// `max_p ceil(busy_p / count_p)` — a floor on the placed *span* as
+/// well as the completion (busy slots all lie inside the span).
+fn port_quotient(machine: &MachineDesc, block: &BlockIr) -> u32 {
+    let mut worst = 0u32;
+    for (class, busy) in op_busy(machine, block) {
+        let count = machine
+            .units()
+            .iter()
+            .find(|p| p.class == class)
+            .map(|p| p.count.max(1) as u32)
+            .unwrap_or(1);
+        worst = worst.max(busy.div_ceil(count));
+    }
+    worst
+}
+
+/// Cached placed summary of one block: completion, span, critical path,
+/// and per-class busy cycles — one [`place_block`] per distinct
+/// `(machine, focus span, block)` per epoch, shared process-wide.
+pub fn block_summary(machine: &MachineDesc, opts: PlaceOptions, block: &BlockIr) -> BlockSummary {
+    ensure_bounds_reclaimer();
+    let guard = presage_symbolic::epoch::pin();
+    sync_l1_epoch(guard.epoch());
+    BOUNDS_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        let key = bounds_key(&mut m, TAG_SUMMARY, machine, opts.focus_span, &[block]);
+        if let Some(v) = m.summary.get(&key) {
+            memo::record_l1_hit();
+            return v.clone();
+        }
+        let v = if let Some(hit) = SUMMARY_L2.get(&key) {
+            memo::record_l2_hit();
+            hit
+        } else {
+            memo::record_miss();
+            let cost = place_block(machine, block, opts);
+            let busy = machine
+                .units()
+                .iter()
+                .filter_map(|pool| {
+                    let b = cost.busy_on(pool.class);
+                    (b > 0).then_some((pool.class, b))
+                })
+                .collect();
+            let v = BlockSummary {
+                completion: cost.completion,
+                span: cost.span(),
+                critical_path: critical_path(block, machine),
+                busy,
+            };
+            SUMMARY_L2.insert(key, v.clone());
+            v
+        };
+        if m.summary.len() >= BOUNDS_MEMO_CAP {
+            m.summary.clear();
+        }
+        m.summary.insert(key, v.clone());
+        v
+    })
+}
+
+/// Admissible floor on the steady-state per-iteration cost of a
+/// single-block loop body followed by its control block — a lower bound
+/// on what the aggregator charges per iteration for the merged block
+/// under the same probe count.
+///
+/// The prober's `(c_k − c_1)/(k − 1)` is resource-driven (the placer
+/// carries no dependence state across drops), so no placement-free
+/// counting argument tracks it on wide machines: port quotients divide
+/// by the pool width while the measured per-iteration cost comes from
+/// slot congestion at the dependence-chain roots. Instead the floor
+/// reads the *exact* per-iteration value from the same content-keyed
+/// memo the aggregator itself charges from
+/// ([`crate::aggregate::memo_steady`]) — trivially admissible, and a
+/// bound computation warms the very entries the winner's eventual
+/// prediction will read, which is the delta-prediction sharing this
+/// module exists for. The result is floored one millicycle below the
+/// prober's rounding grid so the aggregator's `approx_rational` can
+/// never round underneath it.
+pub fn steady_iter_lower_bound(
+    machine: &MachineDesc,
+    opts: PlaceOptions,
+    probes: u32,
+    body: &BlockIr,
+    control: &BlockIr,
+) -> f64 {
+    if probes < 2 {
+        return 0.0;
+    }
+    let v = crate::aggregate::memo_steady(machine, opts, probes, body, control);
+    (((v * 1000.0).floor() - 1.0) / 1000.0).max(0.0)
+}
+
+/// Enclosing-loop frame for corner evaluation: the loop variable and
+/// the numeric range it sweeps at the bound's evaluation point.
+struct Frame {
+    var: Symbol,
+    lo: f64,
+    hi: f64,
+}
+
+/// Evaluates a polynomial at `bindings`, defaulting unbound symbols to
+/// their range midpoints exactly as the aggregator's expressions do.
+fn eval_poly(poly: &Poly, opts: &AggregateOptions, bindings: &HashMap<Symbol, f64>) -> f64 {
+    let expr = PerfExpr::from_poly_with(poly.clone(), |s| {
+        let (lo, hi) = opts
+            .var_ranges
+            .get(s.name())
+            .copied()
+            .unwrap_or(opts.default_range);
+        VarInfo::loop_bound(lo, hi)
+    });
+    expr.eval_with_defaults(bindings)
+}
+
+/// Minimum of a trip-count polynomial over the enclosing loops' ranges,
+/// clamped nonnegative. Trip counts are (multi)linear in enclosing
+/// indices (triangular/trapezoidal nests), so the minimum sits at a
+/// corner of the range box; anything of higher degree gives up to 0,
+/// which is always admissible.
+fn min_count(
+    poly: &Poly,
+    frames: &[Frame],
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+) -> f64 {
+    let present: Vec<&Frame> = frames
+        .iter()
+        .filter(|f| poly.contains_symbol(&f.var))
+        .collect();
+    if present.is_empty() {
+        return eval_poly(poly, opts, bindings).max(0.0);
+    }
+    if present.len() > 3 || present.iter().any(|f| poly.degree_in(&f.var) > 1) {
+        return 0.0;
+    }
+    let mut min = f64::INFINITY;
+    for mask in 0..(1usize << present.len()) {
+        let mut b = bindings.clone();
+        for (i, f) in present.iter().enumerate() {
+            let v = if mask & (1 << i) != 0 { f.hi } else { f.lo };
+            b.insert(f.var.clone(), v);
+        }
+        min = min.min(eval_poly(poly, opts, &b));
+    }
+    if min.is_finite() {
+        min.max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Corner evaluation without the nonnegative clamp, for frame ranges.
+fn corner_eval(
+    poly: &Poly,
+    frames: &[Frame],
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+    want_max: bool,
+) -> Option<f64> {
+    let present: Vec<&Frame> = frames
+        .iter()
+        .filter(|f| poly.contains_symbol(&f.var))
+        .collect();
+    if present.is_empty() {
+        return Some(eval_poly(poly, opts, bindings));
+    }
+    if present.len() > 3 || present.iter().any(|f| poly.degree_in(&f.var) > 1) {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    for mask in 0..(1usize << present.len()) {
+        let mut b = bindings.clone();
+        for (i, f) in present.iter().enumerate() {
+            let v = if mask & (1 << i) != 0 { f.hi } else { f.lo };
+            b.insert(f.var.clone(), v);
+        }
+        let v = eval_poly(poly, opts, &b);
+        best = Some(match best {
+            None => v,
+            Some(prev) => {
+                if want_max {
+                    prev.max(v)
+                } else {
+                    prev.min(v)
+                }
+            }
+        });
+    }
+    best
+}
+
+/// Admissible lower bound on a translated program's predicted cost,
+/// evaluated at `bindings` (unbound unknowns default to their range
+/// midpoints, exactly as the search's own evaluation does).
+///
+/// Composes [`block_lower_bound`] and [`steady_iter_lower_bound`]
+/// through symbolic trip counts the way [`crate::aggregate`] composes
+/// costs: loop bodies multiply by the corner-minimized trip count,
+/// conditionals take the cheaper branch, calls and memory-model terms
+/// contribute nothing (both are nonnegative in the prediction). Sound
+/// for the predictor's meaningful regime — nonnegative trip counts and
+/// branch probabilities at the evaluation point.
+pub fn subroutine_lower_bound(
+    ir: &ProgramIr,
+    machine: &MachineDesc,
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+) -> f64 {
+    let mut frames = Vec::new();
+    nodes_lower(&ir.root, machine, opts, bindings, &mut frames)
+}
+
+fn nodes_lower(
+    nodes: &[IrNode],
+    machine: &MachineDesc,
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+    frames: &mut Vec<Frame>,
+) -> f64 {
+    nodes
+        .iter()
+        .map(|n| node_lower(n, machine, opts, bindings, frames))
+        .sum()
+}
+
+fn node_lower(
+    node: &IrNode,
+    machine: &MachineDesc,
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+    frames: &mut Vec<Frame>,
+) -> f64 {
+    match node {
+        IrNode::Block(b) => block_lower_f64(machine, b),
+        IrNode::Loop(l) => loop_lower(l, machine, opts, bindings, frames),
+        IrNode::If(i) => if_lower(i, machine, opts, bindings, frames),
+    }
+}
+
+fn block_lower_f64(machine: &MachineDesc, b: &BlockIr) -> f64 {
+    if b.is_empty() {
+        0.0
+    } else {
+        block_lower_bound(machine, b) as f64
+    }
+}
+
+fn loop_lower(
+    l: &LoopIr,
+    machine: &MachineDesc,
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+    frames: &mut Vec<Frame>,
+) -> f64 {
+    let one_time = block_lower_f64(machine, &l.preheader) + block_lower_f64(machine, &l.postheader);
+    let (count_poly, lb_poly) = trip_count_memo(l);
+    let count = min_count(&count_poly, frames, opts, bindings);
+    if count <= 0.0 {
+        return one_time;
+    }
+    let per_iter = match &l.body[..] {
+        [IrNode::Block(b)] if opts.steady_probes >= 2 => {
+            steady_iter_lower_bound(machine, opts.place, opts.steady_probes, b, &l.control)
+        }
+        _ => {
+            // Compound body: the aggregator charges the children plus
+            // the control block's *span*; bound the span by the port
+            // quotient alone (the critical path may exceed a span).
+            let lo = corner_eval(&lb_poly, frames, opts, bindings, false);
+            let hi_poly = &(&lb_poly + &count_poly) - &Poly::one();
+            let hi = corner_eval(&hi_poly, frames, opts, bindings, true);
+            let (lo, hi) = match (lo, hi) {
+                (Some(lo), Some(hi)) if lo <= hi => (lo, hi),
+                _ => (1.0, opts.default_range.1),
+            };
+            frames.push(Frame {
+                var: Symbol::interned(&l.var),
+                lo,
+                hi,
+            });
+            let body = nodes_lower(&l.body, machine, opts, bindings, frames);
+            frames.pop();
+            body + port_quotient(machine, &l.control) as f64
+        }
+    };
+    one_time + per_iter * count
+}
+
+fn if_lower(
+    i: &IfIr,
+    machine: &MachineDesc,
+    opts: &AggregateOptions,
+    bindings: &HashMap<Symbol, f64>,
+    frames: &mut Vec<Frame>,
+) -> f64 {
+    let cond = block_lower_f64(machine, &i.cond_block);
+    let then_lb = nodes_lower(&i.then_nodes, machine, opts, bindings, frames);
+    let else_lb = nodes_lower(&i.else_nodes, machine, opts, bindings, frames);
+    cond + then_lb.min(else_lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate, append_block, AggregateOptions};
+    use crate::overlap::steady_state;
+    use presage_frontend::{parse, sema};
+    use presage_machine::machines;
+    use presage_translate::translate;
+
+    fn ir_of(src: &str, m: &MachineDesc) -> ProgramIr {
+        let prog = parse(src).unwrap();
+        let symbols = sema::analyze(&prog.units[0]).unwrap();
+        translate(&prog.units[0], &symbols, m).unwrap()
+    }
+
+    const NEST: &str = "subroutine s(a, n)
+        real a(n,n)
+        integer i, j, n
+        do i = 1, n
+          do j = 1, n
+            a(i,j) = a(i,j) * 2.0 + 1.0
+          end do
+        end do
+      end";
+
+    const TRIANGULAR: &str = "subroutine s(a, n)
+        real a(n,n)
+        integer i, j, n
+        do i = 1, n
+          do j = i, n
+            a(i,j) = a(i,j) + 1.0
+          end do
+        end do
+      end";
+
+    const BRANCHY: &str = "subroutine s(a, n, k)
+        real a(n)
+        integer i, n, k
+        do i = 1, n
+          if (i .le. k) then
+            a(i) = a(i) * 2.0 + 1.0
+          else
+            a(i) = 0.0
+          end if
+        end do
+      end";
+
+    fn all_machines() -> Vec<MachineDesc> {
+        vec![
+            machines::power_like(),
+            machines::risc1(),
+            machines::wide4(),
+            machines::wide8(),
+        ]
+    }
+
+    #[test]
+    fn block_bound_never_exceeds_placement() {
+        for m in all_machines() {
+            let ir = ir_of(NEST, &m);
+            fn walk(nodes: &[IrNode], m: &MachineDesc) {
+                for n in nodes {
+                    match n {
+                        IrNode::Block(b) => {
+                            if b.is_empty() {
+                                continue;
+                            }
+                            let lb = block_lower_bound(m, b);
+                            let placed = place_block(m, b, PlaceOptions::default());
+                            assert!(
+                                lb <= placed.completion,
+                                "{}: bound {lb} > completion {}",
+                                m.name(),
+                                placed.completion
+                            );
+                        }
+                        IrNode::Loop(l) => {
+                            walk(std::slice::from_ref(&IrNode::Block(l.preheader.clone())), m);
+                            walk(&l.body, m);
+                        }
+                        IrNode::If(i) => {
+                            walk(&i.then_nodes, m);
+                            walk(&i.else_nodes, m);
+                        }
+                    }
+                }
+            }
+            walk(&ir.root, &m);
+        }
+    }
+
+    #[test]
+    fn steady_bound_never_exceeds_the_prober() {
+        for m in all_machines() {
+            let ir = ir_of(NEST, &m);
+            fn walk(nodes: &[IrNode], m: &MachineDesc) {
+                for n in nodes {
+                    if let IrNode::Loop(l) = n {
+                        if let [IrNode::Block(b)] = &l.body[..] {
+                            let lb = steady_iter_lower_bound(
+                                m,
+                                PlaceOptions::default(),
+                                6,
+                                b,
+                                &l.control,
+                            );
+                            let mut merged = b.clone();
+                            append_block(&mut merged, &l.control);
+                            let per =
+                                steady_state(m, &merged, PlaceOptions::default(), 6).per_iteration;
+                            assert!(
+                                lb <= per + 1e-9,
+                                "{}: steady bound {lb} > prober {per}",
+                                m.name()
+                            );
+                        }
+                        walk(&l.body, m);
+                    }
+                }
+            }
+            walk(&ir.root, &m);
+        }
+    }
+
+    #[test]
+    fn subroutine_bound_is_admissible_on_kernels() {
+        for src in [NEST, TRIANGULAR, BRANCHY] {
+            for m in all_machines() {
+                let ir = ir_of(src, &m);
+                let opts = AggregateOptions::default();
+                for n in [64.0, 256.0, 512.0] {
+                    let mut bindings = HashMap::new();
+                    bindings.insert(Symbol::new("n"), n);
+                    bindings.insert(Symbol::new("k"), n / 2.0);
+                    let lb = subroutine_lower_bound(&ir, &m, &opts, &bindings);
+                    let pred = aggregate(&ir, &m, None, &opts).eval_with_defaults(&bindings);
+                    assert!(
+                        lb <= pred + 1e-6,
+                        "{} n={n}: bound {lb} > prediction {pred} for {src}",
+                        m.name()
+                    );
+                    assert!(lb >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_positive_on_real_work() {
+        let m = machines::wide8();
+        let ir = ir_of(NEST, &m);
+        let mut bindings = HashMap::new();
+        bindings.insert(Symbol::new("n"), 256.0);
+        let lb = subroutine_lower_bound(&ir, &m, &AggregateOptions::default(), &bindings);
+        assert!(lb > 0.0, "a dense nest must have a nonzero floor");
+    }
+
+    #[test]
+    fn summary_matches_fresh_placement() {
+        let m = machines::wide4();
+        let ir = ir_of(NEST, &m);
+        fn first_block(nodes: &[IrNode]) -> Option<&BlockIr> {
+            for n in nodes {
+                match n {
+                    IrNode::Block(b) if !b.is_empty() => return Some(b),
+                    IrNode::Loop(l) => {
+                        if let Some(b) = first_block(&l.body) {
+                            return Some(b);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let b = first_block(&ir.root).expect("kernel has a body block");
+        let s = block_summary(&m, PlaceOptions::default(), b);
+        let fresh = place_block(&m, b, PlaceOptions::default());
+        assert_eq!(s.completion, fresh.completion);
+        assert_eq!(s.span, fresh.span());
+        assert_eq!(s.critical_path, critical_path(b, &m));
+        for (class, busy) in &s.busy {
+            assert_eq!(*busy, fresh.busy_on(*class));
+        }
+        // Second query is a memo hit returning the identical summary.
+        let again = block_summary(&m, PlaceOptions::default(), b);
+        assert_eq!(s, again);
+    }
+}

@@ -146,9 +146,7 @@ pub fn redistribution_cost(params: &CommParams, n: &Symbol, n_range: (f64, f64))
     let np = Poly::var(n.clone());
     let p = params.procs.max(1) as i128;
     let local = np.scale(Rational::new(1, p));
-    let moved_bytes = local
-        .scale(Rational::new((p - 1) as i128, p))
-        .scale(rat(ELEM_BYTES));
+    let moved_bytes = local.scale(Rational::new(p - 1, p)).scale(rat(ELEM_BYTES));
     let msgs = Poly::constant(Rational::from_int((params.procs - 1) as i64));
     let poly = moved_bytes.scale(rat(params.beta)) + msgs.scale(rat(params.alpha));
     wrap(poly, n_range)

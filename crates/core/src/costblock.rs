@@ -162,7 +162,7 @@ impl CostBlock {
         if crit == 0 {
             return 1;
         }
-        (self.span() + crit - 1) / crit
+        self.span().div_ceil(crit)
     }
 
     /// The paper's branch-cost probe: "the cost of branch operations can be

@@ -17,8 +17,7 @@
 //! search results are unchanged; only the order in which they are
 //! reached is.
 
-use crate::costblock::CostBlock;
-use crate::tetris::{place_block, PlaceOptions};
+use crate::tetris::PlaceOptions;
 use presage_machine::{MachineDesc, UnitClass};
 use presage_translate::{BlockIr, IrNode, ProgramIr};
 use std::fmt;
@@ -209,24 +208,32 @@ pub fn critical_path(block: &BlockIr, machine: &MachineDesc) -> u32 {
 /// critical-path length, and the [`Bottleneck`] verdict. The verdict
 /// compares how much of the span each limiter accounts for: the top
 /// class's `saturation × span` against the critical path.
+///
+/// Served from the [`crate::bounds::block_summary`] cache: a variant
+/// whose rewrite touched `k` of `n` blocks re-places only those `k` —
+/// the untouched blocks keep their interned ids and hit the summary
+/// memo, so search move-ordering pays delta cost, not whole-subroutine
+/// cost.
 pub fn explain_block(
     block: &BlockIr,
     machine: &MachineDesc,
     opts: PlaceOptions,
     loop_depth: usize,
 ) -> BlockExplain {
-    let cost: CostBlock = place_block(machine, block, opts);
-    let span = cost.span();
-    let cp = critical_path(block, machine);
+    let summary = crate::bounds::block_summary(machine, opts, block);
+    let span = summary.span;
+    let cp = summary.critical_path;
     let mut units: Vec<UnitLoad> = Vec::new();
-    for pool in machine.units() {
-        let busy = cost.busy_on(pool.class);
-        if busy == 0 {
-            continue;
-        }
-        let capacity = (pool.count as u32 * span.max(1)) as f64;
+    for &(class, busy) in &summary.busy {
+        let count = machine
+            .units()
+            .iter()
+            .find(|p| p.class == class)
+            .map(|p| p.count)
+            .unwrap_or(1);
+        let capacity = (count as u32 * span.max(1)) as f64;
         units.push(UnitLoad {
-            class: pool.class,
+            class,
             busy,
             saturation: busy as f64 / capacity,
         });
@@ -247,7 +254,7 @@ pub fn explain_block(
         loop_depth,
         ops: block.ops.len(),
         span,
-        completion: cost.completion,
+        completion: summary.completion,
         critical_path: cp,
         units,
         bottleneck,

@@ -49,6 +49,7 @@
 
 pub mod aggregate;
 pub mod batch;
+pub mod bounds;
 pub mod comm;
 pub mod costblock;
 pub mod explain;
@@ -66,6 +67,7 @@ pub mod tetris;
 pub mod transcache;
 
 pub use batch::{BatchReport, BatchWorkerStats};
+pub use bounds::{block_lower_bound, block_summary, subroutine_lower_bound, BlockSummary};
 pub use costblock::CostBlock;
 pub use explain::{BlockExplain, Bottleneck, ExplainReport, MemoryExplain, UnitLoad};
 pub use predictor::{PredictError, Prediction, Predictor, PredictorOptions};
@@ -74,8 +76,12 @@ pub use transcache::TranslationCache;
 
 /// Total entries across every process-wide L2 memo table the predictor
 /// feeds: the symbolic-algebra memos plus the scheduling/trip-count memos
-/// in [`aggregate`]. The perfsuite soak check asserts this stays bounded
-/// under sustained batch load.
+/// in [`aggregate`] and the block-summary/bound memos in [`bounds`]. The
+/// perfsuite soak check asserts this stays bounded under sustained batch
+/// load.
 pub fn l2_memo_entries() -> usize {
-    presage_symbolic::l2_memo_entries() + aggregate::l2_memo_entries() + memcost::l2_memo_entries()
+    presage_symbolic::l2_memo_entries()
+        + aggregate::l2_memo_entries()
+        + memcost::l2_memo_entries()
+        + bounds::l2_memo_entries()
 }

@@ -633,8 +633,10 @@ fn class_of(offset: i128, s: i128, line_space: bool, lw: i128, lam: Rational) ->
 
 /// Index-space coordinates for a lattice dimension: member at base `o`
 /// with step `g` occupies indices `[o div g, (o div g − 1) + 1·T]` within
-/// its residue class.
-fn lattice_coords(offsets: &[i128], g: i128) -> Option<(i128, Rational, Vec<(i128, i128)>)> {
+/// its residue class. Returns `(step, mean, (quotient, remainder) pairs)`.
+type LatticeCoords = (i128, Rational, Vec<(i128, i128)>);
+
+fn lattice_coords(offsets: &[i128], g: i128) -> Option<LatticeCoords> {
     if g <= 0 {
         return None;
     }
@@ -1162,7 +1164,9 @@ fn con_dim_segments(sets: &[ConSet]) -> Option<Vec<(i128, u64)>> {
     }
     // All lattices. Group by (step, residue class); within a class the
     // sets are index-space intervals and a boundary sweep applies.
-    let mut by_class: BTreeMap<(i128, i128), Vec<(usize, i128, i128)>> = BTreeMap::new();
+    // `(step, residue) -> (set index, first index, last index)` members.
+    type ClassMembers = Vec<(usize, i128, i128)>;
+    let mut by_class: BTreeMap<(i128, i128), ClassMembers> = BTreeMap::new();
     for (i, s) in sets.iter().enumerate() {
         let ConSet::Lattice { start, step, count } = s else {
             unreachable!()

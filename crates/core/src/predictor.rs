@@ -225,6 +225,47 @@ impl Predictor {
         Ok(self.predict_cost(&ir))
     }
 
+    /// Admissible lower bound on [`Self::predict_subroutine_cost`]
+    /// evaluated at `bindings` (unbound unknowns default to their range
+    /// midpoints, matching [`PerfExpr::eval_with_defaults`]). Computed
+    /// from per-block critical-path/port-pressure floors without running
+    /// the placement — see [`crate::bounds`]. The searchers use it to
+    /// prune candidates that provably cannot beat the incumbent.
+    pub fn lower_bound_subroutine(
+        &self,
+        sub: &Subroutine,
+        bindings: &std::collections::HashMap<presage_symbolic::Symbol, f64>,
+    ) -> Result<f64, PredictError> {
+        let ir = self.translated(sub)?;
+        let mut lb = crate::bounds::subroutine_lower_bound(
+            &ir,
+            &self.machine,
+            &self.options.aggregate,
+            bindings,
+        );
+        // The memory-model terms are added to the prediction verbatim, so
+        // charging their exact (memoized) values keeps the bound
+        // admissible and tight on cache-extended machines.
+        if let Some(cache) = &self.machine.cache {
+            let mem = mem_cost(&ir, cache, &self.options.aggregate)
+                .cycles
+                .eval_with_defaults(bindings);
+            if mem.is_finite() {
+                lb += mem;
+            }
+        }
+        if self.options.include_memory {
+            let cache = self.machine.cache.unwrap_or_default();
+            let mem = memory_cost(&ir, &cache, &self.options.aggregate)
+                .cycles
+                .eval_with_defaults(bindings);
+            if mem.is_finite() {
+                lb += mem;
+            }
+        }
+        Ok(lb)
+    }
+
     /// Total cost expression of an already-translated program: aggregation
     /// plus the memory model when enabled, without building a
     /// [`Prediction`].

@@ -169,7 +169,7 @@ impl<'m> NaivePlacer<'m> {
                 continue;
             }
             let fit = bin.list.find_fit(from as usize, len as usize) as u32;
-            if best.map_or(true, |(_, bf)| fit < bf) {
+            if best.is_none_or(|(_, bf)| fit < bf) {
                 best = Some((i, fit));
             }
         }

@@ -91,11 +91,7 @@ pub fn render_listing(
 ) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>5} {:>6}  {:<10} {}",
-        "issue", "finish", "op", "operands"
-    );
+    let _ = writeln!(out, "{:>5} {:>6}  {:<10} operands", "issue", "finish", "op");
     for (op, t) in block.ops.iter().zip(&schedule.per_op) {
         let atomics: Vec<&str> = machine
             .expand(op.basic)

@@ -41,6 +41,10 @@ struct Bin {
     list: BlockList,
 }
 
+/// Run structure of one placed bin, for rendering (Figure 3): the unit
+/// class, the pool instance, and its `(start, length, filled)` runs.
+pub type BinRuns = (UnitClass, u8, Vec<(usize, usize, bool)>);
+
 /// The virtual architecture bins: reusable placement state.
 ///
 /// Repeatedly [`Placer::drop_block`]-ing the same block models loop
@@ -343,7 +347,7 @@ impl<'m> Placer<'m> {
                 continue;
             }
             let fit = bin.list.probe_fit(from as usize, len as usize) as u32;
-            if best.map_or(true, |(_, bf)| fit < bf) {
+            if best.is_none_or(|(_, bf)| fit < bf) {
                 best = Some((i, fit));
             }
         }
@@ -370,7 +374,7 @@ impl<'m> Placer<'m> {
     }
 
     /// Iterates the run structure of a bin (for rendering; Figure 3).
-    pub fn bin_runs(&self) -> Vec<(UnitClass, u8, Vec<(usize, usize, bool)>)> {
+    pub fn bin_runs(&self) -> Vec<BinRuns> {
         self.bins
             .iter()
             .map(|b| (b.class, b.instance, b.list.runs().collect()))

@@ -47,6 +47,9 @@ use std::sync::{Arc, Mutex};
 /// cheaply.
 const SHARDS: usize = 16;
 
+/// A cached translation and the epoch generation of its last touch.
+type CachedIr = (Arc<ProgramIr>, u64);
+
 /// A thread-safe memo table from canonical `(machine, AST)` identity to
 /// the translated program.
 ///
@@ -61,7 +64,7 @@ const SHARDS: usize = 16;
 pub struct TranslationCache {
     /// Value: translation plus the epoch generation of its last hit or
     /// insert (drives [`TranslationCache::evict_older_than`]).
-    shards: [Mutex<HashMap<u128, (Arc<ProgramIr>, u64)>>; SHARDS],
+    shards: [Mutex<HashMap<u128, CachedIr>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -70,17 +70,13 @@ fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
 pub fn is_invariant(expr: &Expr, loop_var: &str, assigned: &HashSet<String>) -> bool {
     let mut invariant = true;
     expr.walk(&mut |e| match e {
-        Expr::Var(n) => {
-            if n == loop_var || assigned.contains(n) {
-                invariant = false;
-            }
+        Expr::Var(n) if n == loop_var || assigned.contains(n) => {
+            invariant = false;
         }
-        Expr::ArrayRef { name, .. } => {
-            // A load from an array written in the loop may change between
-            // iterations.
-            if assigned.contains(name) {
-                invariant = false;
-            }
+        // A load from an array written in the loop may change between
+        // iterations.
+        Expr::ArrayRef { name, .. } if assigned.contains(name) => {
+            invariant = false;
         }
         _ => {}
     });

@@ -32,6 +32,14 @@ pub struct CacheParams {
     pub tlb_entries: u32,
     /// Cycles per TLB miss.
     pub tlb_penalty: u32,
+    /// True when the description's JSON explicitly carried any of the
+    /// TLB fields (`page_bytes`, `tlb_entries`, `tlb_penalty`). The
+    /// default cost path charges only line misses; the TLB parameters
+    /// are charged by the opt-in legacy memory model. Tracking the
+    /// declaration lets tooling warn that explicitly-written TLB
+    /// numbers are parsed but not charged — see
+    /// [`MachineDesc::warnings`].
+    pub tlb_declared: bool,
 }
 
 impl CacheParams {
@@ -57,6 +65,7 @@ impl Default for CacheParams {
             page_bytes: 4096,
             tlb_entries: 128,
             tlb_penalty: 30,
+            tlb_declared: false,
         }
     }
 }
@@ -198,15 +207,21 @@ impl MachineDesc {
             })
             .collect();
         let cache = self.cache.as_ref().map(|c| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("line_bytes".into(), Json::Num(c.line_bytes as f64)),
                 ("size_bytes".into(), Json::Num(c.size_bytes as f64)),
                 ("miss_penalty".into(), Json::Num(c.miss_penalty as f64)),
                 ("ways".into(), Json::Num(c.ways as f64)),
-                ("page_bytes".into(), Json::Num(c.page_bytes as f64)),
-                ("tlb_entries".into(), Json::Num(c.tlb_entries as f64)),
-                ("tlb_penalty".into(), Json::Num(c.tlb_penalty as f64)),
-            ])
+            ];
+            // TLB fields are emitted only when they were declared, so a
+            // description that never wrote them round-trips without
+            // growing (and without acquiring the uncharged-TLB warning).
+            if c.tlb_declared {
+                fields.push(("page_bytes".into(), Json::Num(c.page_bytes as f64)));
+                fields.push(("tlb_entries".into(), Json::Num(c.tlb_entries as f64)));
+                fields.push(("tlb_penalty".into(), Json::Num(c.tlb_penalty as f64)));
+            }
+            Json::Obj(fields)
         });
         let backend = Json::Obj(vec![
             ("cse".into(), Json::Bool(self.backend.cse)),
@@ -253,6 +268,18 @@ impl MachineDesc {
         })?;
         validate(&desc)?;
         Ok(desc)
+    }
+
+    /// Non-fatal issues with the description: valid to load, but some
+    /// declared parameter will not influence predictions. Tooling (the
+    /// server's stats endpoint, the bench suite) surfaces these so a
+    /// description author is not silently tuning dead knobs.
+    pub fn warnings(&self) -> Vec<MachineWarning> {
+        let mut warnings = Vec::new();
+        if self.cache.is_some_and(|c| c.tlb_declared) {
+            warnings.push(MachineWarning::TlbUncharged);
+        }
+        warnings
     }
 }
 
@@ -378,6 +405,9 @@ fn parse_desc(json: &str) -> Result<MachineDesc, ParseIssue> {
                 }
             };
             let defaults = CacheParams::default();
+            let tlb_declared = ["page_bytes", "tlb_entries", "tlb_penalty"]
+                .iter()
+                .any(|f| cache_obj.get(f).is_some());
             Some(CacheParams {
                 line_bytes: required("line_bytes")?,
                 size_bytes: required("size_bytes")?,
@@ -386,6 +416,7 @@ fn parse_desc(json: &str) -> Result<MachineDesc, ParseIssue> {
                 page_bytes: optional("page_bytes", defaults.page_bytes)?,
                 tlb_entries: optional("tlb_entries", defaults.tlb_entries as u64)? as u32,
                 tlb_penalty: optional("tlb_penalty", defaults.tlb_penalty as u64)? as u32,
+                tlb_declared,
             })
         }
     };
@@ -426,6 +457,29 @@ impl fmt::Display for MachineDesc {
             write!(f, "{u}")?;
         }
         write!(f, "; {} atomic ops)", self.atomic_ops.len())
+    }
+}
+
+/// Non-fatal description issues reported by [`MachineDesc::warnings`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineWarning {
+    /// The `cache` section explicitly declares TLB fields (`page_bytes`,
+    /// `tlb_entries`, `tlb_penalty`), but the default memory cost model
+    /// charges only cache-line misses — the TLB numbers are parsed and
+    /// kept, yet contribute nothing to predictions unless the opt-in
+    /// legacy whole-hierarchy model is enabled.
+    TlbUncharged,
+}
+
+impl fmt::Display for MachineWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineWarning::TlbUncharged => write!(
+                f,
+                "cache section declares TLB fields (page_bytes/tlb_entries/tlb_penalty), \
+                 which the default memory cost model parses but does not charge"
+            ),
+        }
     }
 }
 
@@ -767,6 +821,33 @@ mod tests {
         let back = MachineDesc::from_json(&json).unwrap();
         assert_eq!(m, back);
         assert_eq!(back.cache.unwrap().ways, 2);
+    }
+
+    #[test]
+    fn declared_tlb_fields_warn_and_round_trip() {
+        let mut b = toy_builder();
+        b.cache(CacheParams::default());
+        let quiet = b.build().unwrap();
+        assert!(quiet.warnings().is_empty(), "defaulted TLB is silent");
+        let json = quiet.to_json();
+        assert!(
+            !json.contains("tlb_entries"),
+            "undeclared TLB fields are not serialized"
+        );
+
+        let mut b = toy_builder();
+        b.cache(CacheParams {
+            tlb_entries: 64,
+            tlb_declared: true,
+            ..CacheParams::default()
+        });
+        let loud = b.build().unwrap();
+        assert_eq!(loud.warnings(), vec![MachineWarning::TlbUncharged]);
+        let json = loud.to_json();
+        assert!(json.contains("tlb_entries"));
+        let back = MachineDesc::from_json(&json).unwrap();
+        assert_eq!(loud, back, "declared TLB fields round-trip");
+        assert_eq!(back.warnings(), vec![MachineWarning::TlbUncharged]);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub mod json;
 pub mod machines;
 
 pub use cost::{AtomicOpDef, AtomicOpId, UnitCost};
-pub use desc::{BackendFlags, CacheParams, MachineBuilder, MachineDesc, MachineError};
+pub use desc::{
+    BackendFlags, CacheParams, MachineBuilder, MachineDesc, MachineError, MachineWarning,
+};
 pub use ops::BasicOp;
 pub use units::{UnitClass, UnitPool};

@@ -29,6 +29,22 @@ use std::sync::Mutex;
 /// batch-prediction workers rarely contend on the same mutex.
 const SHARDS: usize = 16;
 
+/// Outcome of one rewrite edge — applying `(path, transform)` to a
+/// parent class — memoized by [`PredictionCache::edge_of`]. Transform
+/// application is a pure function of the parent's content (which its
+/// canonical key identifies), so repeated searches can disposition a
+/// candidate that merges or prunes from its key alone, without
+/// re-materializing the variant AST.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeOutcome {
+    /// The transform does not apply at this path.
+    NotApplicable,
+    /// The variant materialized but could not be keyed.
+    Unkeyable,
+    /// The variant's canonical key.
+    Child(u128),
+}
+
 /// A thread-safe memo table from a variant's canonical key to its
 /// predicted symbolic cost.
 ///
@@ -40,6 +56,17 @@ const SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct PredictionCache {
     shards: [Mutex<HashMap<u128, Option<PerfExpr>>>; SHARDS],
+    /// Memoized admissible lower bounds, keyed by the variant's
+    /// canonical key *salted with the evaluation point* (bounds are
+    /// numeric, so unlike the symbolic predictions above they are only
+    /// sound at the point they were computed for). `NAN` marks a failed
+    /// bound computation — "never prunes", memoized like failed
+    /// predictions so a search re-asks neither.
+    bounds: [Mutex<HashMap<u128, f64>>; SHARDS],
+    /// Memoized rewrite edges: `(parent key, path, transform)` folded
+    /// into one key ([`crate::search::edge_key`]) → the child's
+    /// disposition. Point-independent, like the predictions.
+    edges: [Mutex<HashMap<u128, EdgeOutcome>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -48,6 +75,8 @@ impl Default for PredictionCache {
     fn default() -> PredictionCache {
         PredictionCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            bounds: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            edges: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -78,6 +107,51 @@ impl PredictionCache {
         expr
     }
 
+    /// True when `key` is already memoized (hit or failed prediction).
+    /// A pure probe: unlike [`Self::cost_of`] it touches neither the
+    /// hit nor the miss counter, so the searchers can ask "would this
+    /// prediction be free?" before spending bound computation on a
+    /// candidate — a memoized candidate is cheaper to look up than to
+    /// bound.
+    pub fn contains(&self, key: u128) -> bool {
+        let shard = &self.shards[key as usize % SHARDS];
+        shard.lock().unwrap().contains_key(&key)
+    }
+
+    /// Memoized admissible lower bound under `salted_key` (the variant's
+    /// canonical key folded with the evaluation point — see
+    /// [`crate::search::bound_key`]). `compute` runs at most once per
+    /// key for the cache's lifetime; a `None` from it (bound computation
+    /// failed) is memoized as "no bound" and never recomputed. Like
+    /// [`Self::contains`], this table is counter-silent: hits/misses
+    /// track predictions only.
+    pub fn bound_of(&self, salted_key: u128, compute: impl FnOnce() -> Option<f64>) -> Option<f64> {
+        let shard = &self.bounds[salted_key as usize % SHARDS];
+        if let Some(&b) = shard.lock().unwrap().get(&salted_key) {
+            return (!b.is_nan()).then_some(b);
+        }
+        let bound = compute();
+        shard
+            .lock()
+            .unwrap()
+            .insert(salted_key, bound.unwrap_or(f64::NAN));
+        bound
+    }
+
+    /// Memoized rewrite-edge disposition under `edge_key` (see
+    /// [`crate::search::edge_key`]). `compute` — materialize the variant
+    /// and key it — runs at most once per edge for the cache's lifetime.
+    /// Counter-silent like [`Self::contains`] and [`Self::bound_of`].
+    pub fn edge_of(&self, edge_key: u128, compute: impl FnOnce() -> EdgeOutcome) -> EdgeOutcome {
+        let shard = &self.edges[edge_key as usize % SHARDS];
+        if let Some(&o) = shard.lock().unwrap().get(&edge_key) {
+            return o;
+        }
+        let outcome = compute();
+        shard.lock().unwrap().insert(edge_key, outcome);
+        outcome
+    }
+
     /// Number of lookups served from the table.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -98,9 +172,16 @@ impl PredictionCache {
         self.len() == 0
     }
 
-    /// Drops all memoized predictions and resets the counters.
+    /// Drops all memoized predictions, bounds, and edges and resets the
+    /// counters.
     pub fn clear(&self) {
         for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+        for shard in &self.bounds {
+            shard.lock().unwrap().clear();
+        }
+        for shard in &self.edges {
             shard.lock().unwrap().clear();
         }
         self.hits.store(0, Ordering::Relaxed);

@@ -26,11 +26,11 @@
 //! never returns a variant whose predicted cost exceeds the A* winner
 //! on the Figure 7 corpus across all four machines.
 
-use crate::cache::PredictionCache;
+use crate::cache::{EdgeOutcome, PredictionCache};
 use crate::canon;
 use crate::search::{
-    evaluate, evaluate_candidates, generate_moves, order_moves, SearchConfig, SearchResult,
-    SearchStep,
+    bindings_of, bound_dominates, bound_key, edge_key, evaluate, evaluate_candidates,
+    generate_moves, order_moves, SearchConfig, SearchResult, SearchStep,
 };
 use crate::transforms::Transform;
 use crate::whatif::transformed;
@@ -155,6 +155,8 @@ pub fn egraph_search_cached(
     let mut merged = 0usize;
     let mut evaluated = 0usize;
     let mut expansions = 0usize;
+    let mut pruned = 0usize;
+    let bindings = bindings_of(opts);
 
     // An unrepresentable root still searches under the disjoint
     // fallback key family, counted as a rejection (same contract as
@@ -209,26 +211,77 @@ pub fn egraph_search_cached(
 
         // Rewrite, key, and merge serially (cheap, order-sensitive);
         // predict the genuinely new classes concurrently.
+        let terminal = depth + 1 >= opts.max_depth;
         let mut batch_keys: HashSet<u128> = HashSet::new();
         let mut candidates: Vec<(Vec<usize>, Transform, Subroutine, u128)> = Vec::new();
+        let parent_key = g.classes[item.id].key;
         for (path, t) in moves {
-            if g.len() + candidates.len() >= config.node_budget {
-                break;
-            }
-            let Ok(variant) = transformed(&repr, &path, &t) else {
-                continue;
-            };
-            let key = match canon::structural_key(&variant) {
-                Ok(key) => key,
-                Err(_) => {
+            // The edge memo dispositions repeat candidates from their
+            // key alone: a variant that merges or prunes again is never
+            // re-materialized (the transform application and the
+            // structural hash dominate the warm-session profile). The
+            // variant AST is built lazily, only when a bound or an
+            // acceptance actually needs it.
+            let mut materialized: Option<Subroutine> = None;
+            let outcome = cache.edge_of(edge_key(parent_key, &path, &t), || {
+                match transformed(&repr, &path, &t) {
+                    Err(_) => EdgeOutcome::NotApplicable,
+                    Ok(v) => match canon::structural_key(&v) {
+                        Err(_) => EdgeOutcome::Unkeyable,
+                        Ok(k) => {
+                            materialized = Some(v);
+                            EdgeOutcome::Child(k)
+                        }
+                    },
+                }
+            });
+            let key = match outcome {
+                EdgeOutcome::NotApplicable => continue,
+                EdgeOutcome::Unkeyable => {
                     rejected += 1;
                     continue;
                 }
+                EdgeOutcome::Child(key) => key,
             };
             if g.find(key).is_some() || !batch_keys.insert(key) {
                 merged += 1;
                 continue;
             }
+            // Terminal classes are costed but never expanded, so an
+            // admissible floor above the incumbent proves the class
+            // cannot win — skip the prediction (unless it is already
+            // memoized and free). Pruned candidates consume no budget.
+            if config.prune && terminal && !cache.contains(key) {
+                let bound = cache.bound_of(bound_key(key, opts), || {
+                    if materialized.is_none() {
+                        materialized = transformed(&repr, &path, &t).ok();
+                    }
+                    let v = materialized.as_ref()?;
+                    predictor.lower_bound_subroutine(v, &bindings).ok()
+                });
+                if let Some(bound) = bound {
+                    if bound_dominates(bound, g.classes[best_id].cost) {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            // The node budget is charged per *accepted* candidate, after
+            // merge/prune filtering, so rejected, merged, and pruned
+            // moves never consume budget and saturation fills the graph
+            // to exactly `node_budget` classes before stopping.
+            if g.len() + candidates.len() >= config.node_budget {
+                break;
+            }
+            let variant = match materialized {
+                Some(v) => v,
+                // A memoized edge being re-accepted (e.g. a fresh
+                // e-graph over a warm cache): rebuild the variant now.
+                None => match transformed(&repr, &path, &t) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                },
+            };
             candidates.push((path, t, variant, key));
         }
         let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
@@ -282,6 +335,7 @@ pub fn egraph_search_cached(
         cache_misses: cache.misses() - misses_before,
         rejected_variants: rejected,
         merged_variants: merged,
+        pruned_variants: pruned,
         best_found_at,
     }
 }
@@ -316,6 +370,7 @@ mod tests {
             },
             node_budget: 128,
             heuristic: true,
+            prune: true,
         }
     }
 
@@ -362,6 +417,54 @@ mod tests {
         // Root + at most 4 discovered classes were costed.
         assert!(r.evaluated <= 5, "{r:?}");
         assert!(r.best_cost <= r.original_cost + 1e-9);
+    }
+
+    #[test]
+    fn saturation_fills_the_budget_exactly() {
+        // The budget is charged per accepted candidate: with room for
+        // node_budget − 1 new classes beyond the root and plenty of
+        // moves, saturation must cost exactly that many — no tail move
+        // may be abandoned while budget remains.
+        let predictor = Predictor::new(machines::power_like());
+        let s = sub(NEST);
+        let mut cfg = config(64, 3);
+        cfg.node_budget = 5;
+        cfg.prune = false;
+        let r = search(&s, &predictor, &cfg);
+        assert_eq!(
+            r.evaluated, 4,
+            "root + exactly node_budget - 1 new classes, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn pruning_never_changes_the_winner() {
+        for m in [
+            machines::power_like(),
+            machines::risc1(),
+            machines::wide4(),
+            machines::wide8(),
+        ] {
+            let predictor = Predictor::new(m);
+            let s = sub(NEST);
+            let mut on = config(12, 2);
+            on.prune = true;
+            let mut off = on.clone();
+            off.prune = false;
+            let r_on = search(&s, &predictor, &on);
+            let r_off = search(&s, &predictor, &off);
+            assert_eq!(
+                r_on.best.to_string(),
+                r_off.best.to_string(),
+                "pruned winner must be bit-identical on {}",
+                predictor.machine().name()
+            );
+            assert_eq!(r_on.best_cost, r_off.best_cost);
+            assert!(
+                r_on.evaluated + r_on.pruned_variants >= r_off.evaluated,
+                "pruning skips predictions, it does not lose candidates: {r_on:?} vs {r_off:?}"
+            );
+        }
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct SearchConfig {
     /// saturated unit first. Ordering only — no move is pruned, so the
     /// reachable set is unchanged.
     pub heuristic: bool,
+    /// Skip (never predict) terminal candidates whose admissible lower
+    /// bound ([`Predictor::lower_bound_subroutine`]) already exceeds the
+    /// incumbent's cost. Admissibility keeps the winner invariant: a
+    /// pruned candidate's true cost is at least its bound, which is
+    /// above a cost the search has already achieved.
+    pub prune: bool,
 }
 
 impl Default for SearchConfig {
@@ -115,6 +121,7 @@ impl Default for SearchConfig {
             options: SearchOptions::default(),
             node_budget: 256,
             heuristic: true,
+            prune: true,
         }
     }
 }
@@ -160,6 +167,10 @@ pub struct SearchResult {
     /// transpositions the canonical key collapses (A*: closed-set
     /// duplicates; e-graph: e-class merges).
     pub merged_variants: usize,
+    /// Candidate variants never predicted because their admissible
+    /// lower bound exceeded the incumbent's cost
+    /// ([`SearchConfig::prune`]) — the predictions the bound avoided.
+    pub pruned_variants: usize,
     /// Value of [`SearchResult::evaluated`] when the winning variant
     /// was costed (0 when the original wins): how much exploration the
     /// result actually needed, the number the move-ordering heuristic
@@ -203,22 +214,80 @@ impl Ord for Node {
 }
 
 pub(crate) fn evaluate(expr: &PerfExpr, opts: &SearchOptions) -> f64 {
-    let bindings: HashMap<presage_symbolic::Symbol, f64> = opts
-        .eval_point
-        .iter()
-        .map(|(k, v)| (presage_symbolic::Symbol::new(k), *v))
-        .collect();
-    expr.eval_with_defaults(&bindings)
+    expr.eval_with_defaults(&bindings_of(opts))
 }
 
-/// Lower bound on any variant's cost: the machine cannot retire work
-/// faster than its busiest unit pool allows. Loop restructuring preserves
-/// the essential operation count, so this is (approximately) admissible.
-fn resource_floor(cost: f64) -> f64 {
-    // Without re-deriving total work per variant, anchor the heuristic at
-    // a fraction of the current best cost; 0 would make this Dijkstra.
-    cost * 0.0
+/// Evaluation-point bindings shared by the objective ([`evaluate`]) and
+/// the admissible lower bound, so both sides of a prune comparison see
+/// the same point.
+pub(crate) fn bindings_of(opts: &SearchOptions) -> HashMap<presage_symbolic::Symbol, f64> {
+    opts.eval_point
+        .iter()
+        .map(|(k, v)| (presage_symbolic::Symbol::new(k), *v))
+        .collect()
 }
+
+/// True when an admissible floor proves a candidate cannot beat the
+/// incumbent. The tolerance mirrors the winner comparisons elsewhere: a
+/// bound that merely *ties* the incumbent never prunes, so a variant
+/// exactly as good as the incumbent is still evaluated.
+pub(crate) fn bound_dominates(bound: f64, incumbent: f64) -> bool {
+    bound > incumbent * (1.0 + 1e-9) + 1e-6
+}
+
+/// Memo key for a variant's numeric lower bound: the canonical key
+/// folded with the evaluation point. Bounds, unlike the symbolic
+/// predictions, are only sound at the point they were computed for, so
+/// the point participates in the key — one [`PredictionCache`] shared
+/// across a restructuring session that sweeps eval points keeps each
+/// point's bounds separate.
+pub(crate) fn bound_key(key: u128, opts: &SearchOptions) -> u128 {
+    let mut buf = Vec::with_capacity(16 + 16 * opts.eval_point.len());
+    buf.extend_from_slice(&key.to_le_bytes());
+    let mut point: Vec<(&String, &f64)> = opts.eval_point.iter().collect();
+    point.sort_by_key(|(name, _)| name.as_str());
+    for (name, value) in point {
+        buf.extend_from_slice(name.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    presage_frontend::fold::fold128(&buf, BOUND_KEY_SEED)
+}
+
+/// Seed for [`bound_key`], disjoint from the AST/canonicalization seeds
+/// so salted bound keys can never alias canonical keys.
+const BOUND_KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Memo key for one rewrite edge: the parent class's canonical key
+/// folded with the move. The parent key identifies the parent's content
+/// under the same identity the whole engine trusts, and transform
+/// application is a pure function of that content and the move, so the
+/// edge's outcome ([`crate::cache::EdgeOutcome`]) is memoizable across
+/// searches.
+pub(crate) fn edge_key(parent: u128, path: &[usize], t: &Transform) -> u128 {
+    let mut buf = Vec::with_capacity(16 + 4 * path.len() + 6);
+    buf.extend_from_slice(&parent.to_le_bytes());
+    for &p in path {
+        buf.extend_from_slice(&(p as u32).to_le_bytes());
+    }
+    match t {
+        Transform::Unroll(f) => {
+            buf.push(1);
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        Transform::Interchange => buf.push(2),
+        Transform::Tile(s) => {
+            buf.push(3);
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        Transform::Fuse => buf.push(4),
+        Transform::Distribute => buf.push(5),
+    }
+    presage_frontend::fold::fold128(&buf, EDGE_KEY_SEED)
+}
+
+/// Seed for [`edge_key`], disjoint from every other key family.
+const EDGE_KEY_SEED: u64 = 0xc2b2_ae3d_27d4_eb4f;
 
 /// Runs the A* search from `sub`, returning the cheapest variant found.
 ///
@@ -242,9 +311,14 @@ pub fn search_cached(
     cache: &PredictionCache,
 ) -> SearchResult {
     match config.strategy {
-        SearchStrategy::AStar => {
-            astar_with(sub, predictor, &config.options, cache, config.heuristic)
-        }
+        SearchStrategy::AStar => astar_with(
+            sub,
+            predictor,
+            &config.options,
+            cache,
+            config.heuristic,
+            config.prune,
+        ),
         SearchStrategy::EGraph => {
             crate::egraph::egraph_search_cached(sub, predictor, config, cache)
         }
@@ -317,22 +391,28 @@ pub(crate) fn order_moves(
 /// across searches with different [`SearchOptions::eval_point`]s — the
 /// restructuring workload the paper targets ("call repeatedly during
 /// restructuring") re-predicts nothing it has already costed.
+///
+/// Runs with ordering and pruning both off — this entry point is the
+/// differential oracle the pruned engines are checked against, so it
+/// must visit the unrestricted frontier.
 pub fn astar_search_cached(
     sub: &Subroutine,
     predictor: &Predictor,
     opts: &SearchOptions,
     cache: &PredictionCache,
 ) -> SearchResult {
-    astar_with(sub, predictor, opts, cache, false)
+    astar_with(sub, predictor, opts, cache, false, false)
 }
 
-/// The A* engine; `heuristic` enables [`order_moves`] per expansion.
+/// The A* engine; `heuristic` enables [`order_moves`] per expansion,
+/// `prune` the admissible lower-bound skip on terminal candidates.
 fn astar_with(
     sub: &Subroutine,
     predictor: &Predictor,
     opts: &SearchOptions,
     cache: &PredictionCache,
     heuristic: bool,
+    prune: bool,
 ) -> SearchResult {
     let hits_before = cache.hits();
     let misses_before = cache.misses();
@@ -340,6 +420,8 @@ fn astar_with(
     let mut expansions = 0usize;
     let mut rejected = 0usize;
     let mut merged = 0usize;
+    let mut pruned = 0usize;
+    let bindings = bindings_of(opts);
     // A root that does not canonicalize still searches, under a key
     // from the disjoint fallback family ([`canon::fallback_key`]) so it
     // cannot alias a variant's canonical key; the fallback is counted
@@ -371,11 +453,12 @@ fn astar_with(
         cache_misses: 0,
         rejected_variants: 0,
         merged_variants: 0,
+        pruned_variants: 0,
         best_found_at: 0,
     };
 
     open.push(Node {
-        f: original_cost + resource_floor(original_cost),
+        f: original_cost,
         sub: sub.clone(),
         sequence: Vec::new(),
     });
@@ -398,6 +481,8 @@ fn astar_with(
         // Apply transformations and deduplicate serially (cheap and
         // order-sensitive), then predict the surviving unseen variants —
         // the expensive pure step — concurrently.
+        let incumbent = best.best_cost;
+        let terminal = node.sequence.len() + 1 >= opts.max_depth;
         let candidates: Vec<(Vec<usize>, Transform, Subroutine, u128)> = moves
             .into_iter()
             .filter_map(|(path, t)| {
@@ -409,12 +494,26 @@ fn astar_with(
                         return None;
                     }
                 };
-                if closed.insert(key) {
-                    Some((path, t, variant, key))
-                } else {
+                if !closed.insert(key) {
                     merged += 1;
-                    None
+                    return None;
                 }
+                // Terminal candidates are evaluated but never expanded,
+                // so an admissible floor above the incumbent proves they
+                // cannot affect the result — skip the prediction
+                // entirely (unless it is already memoized and free).
+                if prune && terminal && !cache.contains(key) {
+                    let bound = cache.bound_of(bound_key(key, opts), || {
+                        predictor.lower_bound_subroutine(&variant, &bindings).ok()
+                    });
+                    if let Some(bound) = bound {
+                        if bound_dominates(bound, incumbent) {
+                            pruned += 1;
+                            return None;
+                        }
+                    }
+                }
+                Some((path, t, variant, key))
             })
             .collect();
         let exprs = evaluate_candidates(&candidates, predictor, cache, opts.workers);
@@ -439,7 +538,7 @@ fn astar_with(
                 best.best_found_at = evaluated;
             }
             open.push(Node {
-                f: cost + resource_floor(cost),
+                f: cost,
                 sub: variant,
                 sequence,
             });
@@ -452,6 +551,7 @@ fn astar_with(
     best.cache_misses = cache.misses() - misses_before;
     best.rejected_variants = rejected;
     best.merged_variants = merged;
+    best.pruned_variants = pruned;
     best
 }
 

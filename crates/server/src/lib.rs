@@ -54,7 +54,7 @@ use presage_core::batch::default_workers;
 use presage_core::predictor::{PredictError, Predictor, PredictorOptions};
 use presage_core::transcache::TranslationCache;
 use presage_machine::json::Json;
-use presage_machine::{machines, MachineDesc};
+use presage_machine::{machines, MachineDesc, MachineWarning};
 use presage_symbolic::memo::MemoStats;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -191,6 +191,12 @@ pub struct ServerStats {
     pub blocks_reclaimed: u64,
     /// Scheduling-L2 entries wiped by this server's advances.
     pub sched_entries_cleared: u64,
+    /// Block-bound-L2 entries wiped by this server's advances.
+    pub bound_entries_cleared: u64,
+    /// Non-fatal issues with registered machine descriptions, as
+    /// `(machine name, warning)` — e.g. a cache section whose declared
+    /// TLB fields are parsed but never charged.
+    pub machine_warnings: Vec<(String, MachineWarning)>,
 }
 
 impl ServerStats {
@@ -236,7 +242,22 @@ impl ServerStats {
                         ("polys".into(), num(self.polys_reclaimed)),
                         ("blocks".into(), num(self.blocks_reclaimed)),
                         ("sched_entries".into(), num(self.sched_entries_cleared)),
+                        ("bound_entries".into(), num(self.bound_entries_cleared)),
                     ]),
+                ),
+                (
+                    "machine_warnings".into(),
+                    Json::Arr(
+                        self.machine_warnings
+                            .iter()
+                            .map(|(name, w)| {
+                                Json::Obj(vec![
+                                    ("machine".into(), Json::Str(name.clone())),
+                                    ("warning".into(), Json::Str(w.to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         )])
@@ -312,6 +333,16 @@ impl Server {
         output: &mut W,
     ) -> std::io::Result<ServerStats> {
         let mut stats = ServerStats::default();
+        // Surface description issues for every registered machine up
+        // front (built-ins resolved lazily per request are warning-free
+        // by construction).
+        let mut named: Vec<&String> = self.machines.keys().collect();
+        named.sort();
+        for name in named {
+            for w in self.machines[name].warnings() {
+                stats.machine_warnings.push((name.clone(), w));
+            }
+        }
         let mut latencies: Vec<u64> = Vec::new();
         let mut wave: Vec<Pending> = Vec::new();
         for line in input.lines() {
@@ -408,7 +439,9 @@ impl Server {
         output.flush()?;
         wave.clear();
         stats.waves += 1;
-        if self.config.advance_every > 0 && stats.waves % self.config.advance_every as u64 == 0 {
+        if self.config.advance_every > 0
+            && stats.waves.is_multiple_of(self.config.advance_every as u64)
+        {
             let report = presage_symbolic::epoch::advance();
             stats.advances += 1;
             for entry in &report.reclaimed {
@@ -416,6 +449,7 @@ impl Server {
                     "poly" => stats.polys_reclaimed += entry.reclaimed as u64,
                     "blockir" => stats.blocks_reclaimed += entry.reclaimed as u64,
                     "sched-l2" => stats.sched_entries_cleared += entry.reclaimed as u64,
+                    "blockcost-l2" => stats.bound_entries_cleared += entry.reclaimed as u64,
                     _ => {}
                 }
             }
@@ -666,6 +700,41 @@ mod tests {
         let mut out = Vec::new();
         let stats = server.run(input.as_bytes(), &mut out).unwrap();
         assert_eq!((stats.ok, stats.failed), (1, 0));
+    }
+
+    #[test]
+    fn declared_tlb_fields_surface_in_stats() {
+        use presage_machine::CacheParams;
+        let mut loud = machines::power_like();
+        loud.cache = Some(CacheParams {
+            tlb_declared: true,
+            ..CacheParams::default()
+        });
+        let mut server = Server::new(ServerConfig::default()).with_machine(loud);
+        let input = format!("{{\"machine\": \"power-like\", \"source\": \"{AXPY}\"}}\n");
+        let mut out = Vec::new();
+        let stats = server.run(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            stats.machine_warnings,
+            vec![("power-like".to_string(), MachineWarning::TlbUncharged)]
+        );
+        let last = String::from_utf8(out).unwrap();
+        let stats_line = Json::parse(last.lines().last().unwrap()).unwrap();
+        let warnings = stats_line
+            .get("stats")
+            .and_then(|s| s.get("machine_warnings"))
+            .and_then(Json::as_arr)
+            .expect("stats line carries machine_warnings");
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            warnings[0].get("machine").and_then(Json::as_str),
+            Some("power-like")
+        );
+        assert!(warnings[0]
+            .get("warning")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("TLB"));
     }
 
     #[test]

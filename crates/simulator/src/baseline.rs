@@ -232,7 +232,7 @@ impl BaselineStore {
             return Ok(r);
         }
         let first = crate::scheduler::simulate_block(machine, body)?.makespan;
-        let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
+        let copies: Vec<&BlockIr> = std::iter::repeat_n(body, iterations as usize).collect();
         let total = crate::scheduler::simulate_blocks(machine, copies.iter().copied())?.makespan;
         self.record_loop(machine, body, iterations, first, total);
         let steady = (total - first) as f64 / (iterations - 1) as f64;

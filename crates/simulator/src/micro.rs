@@ -267,7 +267,7 @@ pub(crate) fn loop_measurement(
 ) -> Result<(u32, f64), SimError> {
     assert!(iterations >= 2, "need at least two iterations");
     let first = sim(&[body])?.makespan;
-    let copies: Vec<&BlockIr> = std::iter::repeat(body).take(iterations as usize).collect();
+    let copies: Vec<&BlockIr> = std::iter::repeat_n(body, iterations as usize).collect();
     let total = sim(&copies)?.makespan;
     let steady = (total - first) as f64 / (iterations - 1) as f64;
     Ok((first, steady))

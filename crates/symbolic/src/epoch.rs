@@ -68,9 +68,13 @@ static EPOCH: AtomicU64 = AtomicU64::new(1);
 /// Serializes [`advance`] calls (reclamation must not interleave).
 static ADVANCE: Mutex<()> = Mutex::new(());
 
+/// A registered reclamation hook: given the retire-before epoch, frees
+/// what it safely can and reports how many entries went.
+type Reclaimer = Arc<dyn Fn(u64) -> usize + Send + Sync>;
+
 struct Registry {
     participants: Vec<Arc<AtomicU64>>,
-    reclaimers: Vec<(&'static str, Arc<dyn Fn(u64) -> usize + Send + Sync>)>,
+    reclaimers: Vec<(&'static str, Reclaimer)>,
 }
 
 fn registry() -> &'static Mutex<Registry> {

@@ -392,9 +392,12 @@ impl PolyShard {
     }
 }
 
+/// Canonical monomial content: sorted `(symbol id, exponent)` pairs.
+type MonoKey = Box<[(SymId, i32)]>;
+
 struct Tables {
     syms: [ShardTab<Symbol, &'static Symbol>; NUM_SHARDS],
-    monos: [ShardTab<Box<[(SymId, i32)]>, MonoEntry>; NUM_SHARDS],
+    monos: [ShardTab<MonoKey, MonoEntry>; NUM_SHARDS],
     polys: [PolyShard; NUM_SHARDS],
     /// Shard selector; per-process random keys are fine — ids are
     /// process-local — and hardened against adversarial shard pile-up.
@@ -447,7 +450,7 @@ fn tables() -> &'static Tables {
 #[derive(Default)]
 struct Local {
     sym_ids: HashMap<Symbol, SymId>,
-    mono_ids: HashMap<Box<[(SymId, i32)]>, MonoId>,
+    mono_ids: HashMap<MonoKey, MonoId>,
     poly_ids: HashMap<Box<[(MonoId, Rational)]>, PolyId>,
     /// Pin epoch `poly_ids` was last validated at: poly ids are
     /// epoch-confined, so the L1 self-clears on the first intern under a

@@ -58,6 +58,10 @@ const L2_CAP_PER_SHARD: usize = MEMO_CAP / L2_SHARDS * 2;
 /// they are the overwhelming majority of per-block costs.
 const SMALL_POLY: usize = 2;
 
+/// `(source poly, substituted symbol, replacement poly)` — key of the
+/// substitution memos (L1 and L2) below.
+type SubstKey = (PolyId, SymId, PolyId);
+
 thread_local! {
     /// `(base PolyId << 32 | exp) -> result PolyId` for exponents ≥ 2 on
     /// interned (> [`SMALL_POLY`]-term) bases. L1 of the two-level memo:
@@ -68,7 +72,7 @@ thread_local! {
     /// probes) constantly, so this is the single highest-value cache in the
     /// engine. Id keys: a hit costs two table lookups instead of cloning and
     /// hashing three whole term vectors.
-    static SUBST_MEMO: RefCell<HashMap<(PolyId, SymId, PolyId), Result<PolyId, SubstError>>> =
+    static SUBST_MEMO: RefCell<HashMap<SubstKey, Result<PolyId, SubstError>>> =
         RefCell::new(HashMap::new());
     /// Order-normalized `(min PolyId << 32 | max PolyId) -> product id` for
     /// products where both operands exceed [`SMALL_POLY`] terms.
@@ -80,7 +84,7 @@ thread_local! {
 /// results here instead of recomputing every shape once per thread.
 static POW_L2: LazyLock<ShardedMemo<u64, PolyId>> =
     LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
-static SUBST_L2: LazyLock<ShardedMemo<(PolyId, SymId, PolyId), Result<PolyId, SubstError>>> =
+static SUBST_L2: LazyLock<ShardedMemo<SubstKey, Result<PolyId, SubstError>>> =
     LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
 static MUL_L2: LazyLock<ShardedMemo<u64, PolyId>> =
     LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
@@ -192,7 +196,7 @@ fn merge_terms(
 }
 
 /// Sorts a scratch product buffer by id and coalesces equal monomials.
-fn coalesce(scratch: &mut Vec<(MonoId, Rational)>) -> Vec<(MonoId, Rational)> {
+fn coalesce(scratch: &mut [(MonoId, Rational)]) -> Vec<(MonoId, Rational)> {
     scratch.sort_unstable_by_key(|&(id, _)| id);
     let mut out: Vec<(MonoId, Rational)> = Vec::with_capacity(scratch.len());
     for &(id, c) in scratch.iter() {

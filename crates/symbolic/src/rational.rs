@@ -176,7 +176,7 @@ impl Rational {
         let base = if exp < 0 { self.recip() } else { *self };
         let mut acc = Rational::ONE;
         for _ in 0..exp.unsigned_abs() {
-            acc = acc * base;
+            acc *= base;
         }
         acc
     }
@@ -324,6 +324,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division via the reciprocal is the intended normalization path.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }

@@ -27,15 +27,19 @@ thread_local! {
     /// aggregation asks for the same triangular-nest sums on every
     /// prediction; id keys make a hit two table lookups instead of cloning
     /// and hashing three whole polynomials.
-    static RANGE_MEMO: RefCell<HashMap<(PolyId, SymId, PolyId, PolyId), Option<PolyId>>> =
+    static RANGE_MEMO: RefCell<HashMap<RangeKey, Option<PolyId>>> =
         RefCell::new(HashMap::new());
 }
+
+/// `(summand, summation variable, lower bound, upper bound)` — key of the
+/// range-sum memos (L1 and L2).
+type RangeKey = (PolyId, SymId, PolyId, PolyId);
 
 /// Sharded L2s behind the thread-local memos: fresh batch workers inherit
 /// warm Faulhaber expansions and range sums instead of recomputing them.
 static POWERS_L2: LazyLock<ShardedMemo<(PolyId, u32), Option<PolyId>>> =
     LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
-static RANGE_L2: LazyLock<ShardedMemo<(PolyId, SymId, PolyId, PolyId), Option<PolyId>>> =
+static RANGE_L2: LazyLock<ShardedMemo<RangeKey, Option<PolyId>>> =
     LazyLock::new(|| ShardedMemo::new(L2_SHARDS, L2_CAP_PER_SHARD));
 
 /// Total entries across the summation L2 memos (soak telemetry).

@@ -49,7 +49,7 @@ pub const INTERN_CAP: usize = 1 << 16;
 
 /// Fixed seed for the arena's content addressing. Must be identical for
 /// every producer (the arena is process-global), hence not per-thread.
-const CONTENT_SEED: u64 = 0x424c_4f43_4b49_52_u64; // "BLOCKIR"
+const CONTENT_SEED: u64 = 0x0042_4c4f_434b_4952_u64; // "BLOCKIR"
 
 /// Cumulative count of arena entries reclaimed by epoch advances.
 static RECLAIMED: AtomicUsize = AtomicUsize::new(0);

@@ -741,15 +741,12 @@ impl<'a> BlockBuilder<'a> {
         let mut any_differs = false;
         for (sa, sb) in a.subscripts.iter().zip(&b.subscripts) {
             match (affine_form(sa), affine_form(sb)) {
-                (Some(fa), Some(fb)) => {
-                    if fa.terms == fb.terms {
-                        if fa.constant != fb.constant {
-                            any_differs = true;
-                        }
-                    } else {
-                        return false; // different shapes: cannot prove
+                (Some(fa), Some(fb)) if fa.terms == fb.terms => {
+                    if fa.constant != fb.constant {
+                        any_differs = true;
                     }
                 }
+                // Different shapes (or non-affine): cannot prove.
                 _ => return false,
             }
         }
@@ -864,7 +861,7 @@ impl<'a> BlockBuilder<'a> {
     fn spill_heuristic(&mut self) {
         self.load_count += 1;
         let limit = self.ctx.machine.register_load_limit.max(1);
-        if self.load_count % limit == 0 {
+        if self.load_count.is_multiple_of(limit) {
             // A spill store: costs a store operation but touches no
             // user-visible array (mem = None keeps it out of the cache model).
             let v = self

@@ -59,8 +59,10 @@ fn main() {
     // With the memory model, tiling becomes interesting: the untiled inner
     // nest streams b(k,j) column-by-column while a(i,k) loses reuse once a
     // row no longer fits in cache.
-    let mut opts = PredictorOptions::default();
-    opts.include_memory = true;
+    let mut opts = PredictorOptions {
+        include_memory: true,
+        ..PredictorOptions::default()
+    };
     opts.aggregate
         .var_ranges
         .insert("n".into(), (512.0, 2048.0));

@@ -32,9 +32,11 @@ fn main() {
         .remove(0);
     let predictor = Predictor::new(machines::power_like());
 
-    let mut opts = SearchOptions::default();
-    opts.max_expansions = 32;
-    opts.max_depth = 3;
+    let mut opts = SearchOptions {
+        max_expansions: 32,
+        max_depth: 3,
+        ..SearchOptions::default()
+    };
     opts.eval_point.insert("n".into(), 1000.0);
 
     let result = astar_search(&sub, &predictor, &opts);

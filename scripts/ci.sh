@@ -43,6 +43,9 @@ echo "== workspace: build + test (all crates, warnings denied)"
 cargo build --release --workspace
 cargo test -q --workspace
 
+echo "== lint: cargo clippy (all targets, warnings denied)"
+cargo clippy --release --all-targets -- -D warnings
+
 echo "== translation cache: differential proof against the uncached oracle"
 cargo test -q -p presage-core --test translation_cache
 

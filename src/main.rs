@@ -105,8 +105,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
 }
 
 fn predictor_of(cli: &Cli) -> Predictor {
-    let mut opts = PredictorOptions::default();
-    opts.include_memory = cli.memory;
+    let mut opts = PredictorOptions {
+        include_memory: cli.memory,
+        ..PredictorOptions::default()
+    };
     for (k, v) in &cli.at {
         opts.aggregate.var_ranges.insert(k.clone(), (*v, *v));
     }
@@ -208,10 +210,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let program = presage::frontend::parse(&src).map_err(|e| e.to_string())?;
             let sub = program.units.first().ok_or("no subroutines in file")?;
             let predictor = predictor_of(&cli);
-            let mut opts = SearchOptions::default();
-            opts.max_depth = cli.depth;
-            opts.max_expansions = cli.expansions;
-            opts.eval_point = cli.at.clone();
+            let opts = SearchOptions {
+                max_depth: cli.depth,
+                max_expansions: cli.expansions,
+                eval_point: cli.at.clone(),
+                ..SearchOptions::default()
+            };
             let r = astar_search(sub, &predictor, &opts);
             println!("original: {:.0} cycles", r.original_cost);
             println!("best    : {:.0} cycles ({:.2}×)", r.best_cost, r.speedup());

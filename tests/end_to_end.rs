@@ -164,8 +164,10 @@ fn search_workflow_improves_or_preserves() {
     .units
     .remove(0);
     let predictor = Predictor::new(machines::power_like());
-    let mut opts = SearchOptions::default();
-    opts.max_expansions = 16;
+    let mut opts = SearchOptions {
+        max_expansions: 16,
+        ..SearchOptions::default()
+    };
     opts.eval_point.insert("n".into(), 10_000.0);
     let r = astar_search(&sub, &predictor, &opts);
     assert!(r.best_cost <= r.original_cost);
@@ -207,8 +209,10 @@ fn memory_model_changes_blocking_decision() {
     at.insert(n, 1024.0);
 
     let compute_only = Predictor::new(machines::power_like());
-    let mut mem_opts = PredictorOptions::default();
-    mem_opts.include_memory = true;
+    let mut mem_opts = PredictorOptions {
+        include_memory: true,
+        ..PredictorOptions::default()
+    };
     mem_opts
         .aggregate
         .var_ranges
@@ -255,8 +259,10 @@ fn library_table_flows_through_prediction() {
             [(m.clone(), VarInfo::param(1.0, 1e5))],
         ),
     );
-    let mut opts = PredictorOptions::default();
-    opts.library = Some(lib);
+    let opts = PredictorOptions {
+        library: Some(lib),
+        ..PredictorOptions::default()
+    };
     let p = Predictor::with_options(machines::power_like(), opts);
     let pred = &p
         .predict_source(

@@ -415,6 +415,38 @@ fn placement_respects_critical_path() {
 }
 
 #[test]
+fn block_lower_bound_is_admissible() {
+    // The pruning bound must never exceed what any execution engine
+    // charges: neither greedy placement (the prediction's cost source)
+    // nor the cycle-accurate simulator may beat it. Random streams on
+    // all four machines, including the wide ones where per-pool port
+    // quotients are loosest.
+    let mut rng = Rng(21);
+    for _ in 0..64 {
+        let block = op_stream(&mut rng);
+        for machine in machines::all() {
+            let bound = presage::core::bounds::block_lower_bound(&machine, &block);
+            let placed = place_block(&machine, &block, PlaceOptions::default()).completion;
+            let sim = simulate_block(&machine, &block).unwrap().makespan;
+            assert!(
+                bound <= placed,
+                "bound {} > placed {} on {}",
+                bound,
+                placed,
+                machine.name()
+            );
+            assert!(
+                bound <= sim,
+                "bound {} > sim {} on {}",
+                bound,
+                sim,
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn prediction_tracks_simulator_within_factor() {
     let mut rng = Rng(18);
     for _ in 0..64 {

@@ -171,6 +171,7 @@ fn both_engines_observe_the_merge() {
         options,
         node_budget: 256,
         heuristic: true,
+        prune: true,
     };
     let egraph = search(&s, &predictor, &config);
     assert!(
@@ -207,6 +208,7 @@ fn egraph_extraction_never_regresses_the_astar_winner() {
         },
         node_budget: 256,
         heuristic: true,
+        prune: true,
     };
     for machine in [
         machines::risc1(),

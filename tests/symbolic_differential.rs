@@ -442,7 +442,7 @@ fn predict_batch_matches_sequential_predict_source() {
             assert_eq!(&got, exp, "{} diverged at workers={workers}", m.name());
         }
         assert_eq!(
-            cache.len() as usize,
+            cache.len(),
             machines.len() * kernels.len(),
             "every (machine, kernel) pair translated exactly once"
         );
